@@ -1,0 +1,86 @@
+// Experiment E2.6 — dataset deaugmentation for object detection (§2.6):
+// the same 24-frame budget drawn as consecutive frames (original) vs every
+// 24th frame (deaugmented, covering 24x the video); validation mAP on a
+// disjoint segment. Paper: the deaugmented-trained model generalizes
+// better (and the authors note the coverage confound — we report the
+// redundancy diagnostic so the confound is visible).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "treu/core/rng.hpp"
+#include "treu/vision/detector.hpp"
+
+namespace vi = treu::vision;
+
+namespace {
+
+void print_report() {
+  std::printf("== E2.6: original vs deaugmented detector training (§2.6) ==\n");
+  std::printf("  %-6s %14s %14s %16s %16s\n", "seed", "orig mAP",
+              "deaug mAP", "orig overlap", "deaug overlap");
+  double orig_sum = 0.0, deaug_sum = 0.0;
+  const int seeds = 5;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    vi::DeaugExperimentConfig config;
+    config.scene.image_size = 40;
+    config.frames_budget = 16;
+    config.stride = 24;
+    config.validation_frames = 16;
+    config.detector.train.epochs = 25;
+    config.detector.hidden = {48};
+    config.detector.background_keep = 0.15;
+    config.detector.score_threshold = 0.5;
+    treu::core::Rng rng(seed);
+    const auto r = vi::run_deaug_experiment(config, rng);
+    std::printf("  %-6d %13.3f %14.3f %16.4f %16.4f\n", seed, r.original_map,
+                r.deaug_map, r.original_overlap, r.deaug_overlap);
+    orig_sum += r.original_map;
+    deaug_sum += r.deaug_map;
+  }
+  std::printf("  mean   %13.3f %14.3f\n", orig_sum / seeds, deaug_sum / seeds);
+  std::printf(
+      "  paper shape: deaugmented set (unique content) generalizes better;\n"
+      "  overlap column shows the near-duplicate structure of the original set\n\n");
+}
+
+void BM_FrameRender(benchmark::State &state) {
+  vi::SceneConfig config;
+  treu::core::Rng rng(1);
+  const vi::Scene scene(config, rng);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    treu::core::Rng frame_rng(2);
+    benchmark::DoNotOptimize(scene.render(t++, frame_rng));
+  }
+}
+BENCHMARK(BM_FrameRender);
+
+void BM_DetectOneFrame(benchmark::State &state) {
+  vi::SceneConfig scene_config;
+  scene_config.image_size = 40;
+  treu::core::Rng rng(3);
+  const vi::Scene scene(scene_config, rng);
+  treu::core::Rng frame_rng(4);
+  const auto frames = vi::consecutive_frames(scene, 0, 6, frame_rng);
+  vi::DetectorConfig config;
+  config.train.epochs = 4;
+  treu::core::Rng det_rng(5);
+  vi::SlidingWindowDetector detector(config, det_rng);
+  treu::core::Rng fit_rng(6);
+  detector.fit(frames, fit_rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(frames[0]));
+  }
+}
+BENCHMARK(BM_DetectOneFrame)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char **argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Experiment E2.7 — multi-task histopathology (§2.7): single-task vs
+// shared-encoder multi-task on the two-scale synthetic data (tissue Dice,
+// cell Dice, cell-count MAE), plus the augmentation and pre-training
+// ablations the students ran (experiments (c) and (d)) and a compute
+// scaling probe (their experiment (a), CPU vs GPU, reduced to image-size
+// scaling on this host).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "treu/core/rng.hpp"
+#include "treu/histo/segnet.hpp"
+
+namespace hi = treu::histo;
+
+namespace {
+
+void print_report() {
+  std::printf("== E2.7: multi-task tissue+cell segmentation (§2.7) ==\n");
+  std::printf("  %-6s %12s %12s %12s %12s %10s\n", "seed", "1task tis",
+              "1task cell", "multi tis", "multi cell", "count MAE");
+  const int seeds = 3;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    hi::MultiTaskExperimentConfig config;
+    config.data.size = 24;
+    config.n_train = 14;
+    config.n_test = 6;
+    config.train.epochs = 12;
+    treu::core::Rng rng(seed);
+    const auto r = hi::run_multitask_experiment(config, rng);
+    std::printf("  %-6d %12.3f %12.3f %12.3f %12.3f %10.2f\n", seed,
+                r.single_tissue.dice, r.single_cell.dice, r.multi_tissue.dice,
+                r.multi_cell.dice, r.multi_cell.count_mae);
+  }
+
+  // Hyper-parameter search (experiment (b)): grid over lr x epochs, 3-fold
+  // cross-validated tissue Dice.
+  {
+    hi::DataConfig data_config;
+    data_config.size = 16;
+    treu::core::Rng rng(8);
+    const auto data = hi::make_dataset(data_config, 9, rng);
+    hi::HyperParamSearchConfig search;
+    treu::core::Rng search_rng(9);
+    const auto grid = hi::hyperparameter_search(data, search, search_rng);
+    std::printf("  hyper-parameter search (3-fold CV tissue dice, best first):\n");
+    for (const auto &point : grid) {
+      std::printf("    lr=%.0e epochs=%zu -> dice %.3f +- %.3f\n", point.lr,
+                  point.epochs, point.mean_dice, point.stddev_dice);
+    }
+  }
+
+  // Pre-training ablation (experiment (d)).
+  {
+    hi::MultiTaskExperimentConfig config;
+    config.data.size = 16;
+    config.n_train = 10;
+    config.train.epochs = 5;
+    treu::core::Rng rng(9);
+    const auto r = hi::run_pretrain_experiment(config, rng);
+    std::printf("  pretraining ablation (cell-task loss per epoch):\n");
+    std::printf("    scratch:    ");
+    for (double l : r.scratch_loss) std::printf("%.3f ", l);
+    std::printf("\n    pretrained: ");
+    for (double l : r.pretrained_loss) std::printf("%.3f ", l);
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void BM_TrainEpochByImageSize(benchmark::State &state) {
+  // The compute-scaling probe: seconds per training epoch vs patch size —
+  // the bottleneck that pushed the students onto CHPC GPU nodes.
+  const std::size_t size = state.range(0);
+  hi::DataConfig data_config;
+  data_config.size = size;
+  treu::core::Rng rng(1);
+  const auto data = hi::make_dataset(data_config, 4, rng);
+  treu::core::Rng init(2);
+  hi::SingleTaskNet net(hi::Task::Tissue, init);
+  hi::SegTrainConfig config;
+  config.epochs = 1;
+  for (auto _ : state) {
+    treu::core::Rng fit_rng(3);
+    benchmark::DoNotOptimize(net.fit(data, config, fit_rng));
+  }
+  state.SetLabel(std::to_string(size) + "x" + std::to_string(size));
+}
+BENCHMARK(BM_TrainEpochByImageSize)
+    ->Arg(16)
+    ->Arg(24)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CellCounting(benchmark::State &state) {
+  hi::DataConfig config;
+  treu::core::Rng rng(4);
+  const hi::Patch patch = hi::make_patch(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hi::count_components(patch.cell_mask));
+  }
+}
+BENCHMARK(BM_CellCounting);
+
+}  // namespace
+
+int main(int argc, char **argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

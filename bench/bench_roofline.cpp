@@ -1,0 +1,74 @@
+// Experiment E2.5b — the roofline model (§2.5 lesson): measure this
+// machine's compute and bandwidth ceilings, place each kernel by arithmetic
+// intensity, and report achieved-vs-attainable efficiency for the naive and
+// tuned variants.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "treu/core/rng.hpp"
+#include "treu/parallel/thread_pool.hpp"
+#include "treu/sched/problem.hpp"
+#include "treu/sched/roofline.hpp"
+
+namespace ts = treu::sched;
+
+namespace {
+
+void print_report() {
+  std::printf("== E2.5b: roofline model of this host (§2.5 lesson) ==\n");
+  const ts::RooflineModel model = ts::measure_roofline();
+  std::printf("  %s\n", model.describe().c_str());
+  std::printf("  %-10s %14s %12s %14s %10s\n", "kernel", "intensity",
+              "achieved", "attainable", "efficiency");
+
+  treu::parallel::ThreadPool pool(0);
+  for (const auto kind :
+       {ts::KernelKind::MatVec, ts::KernelKind::Conv1D, ts::KernelKind::Conv2D,
+        ts::KernelKind::MatMul, ts::KernelKind::MatMulTransposed}) {
+    treu::core::Rng rng(11);
+    ts::Problem problem(kind, ts::default_size(kind), rng);
+    ts::Schedule schedule = ts::ScheduleSpace::baseline(kind);
+    schedule.params.tile_i = 32;
+    schedule.params.unroll = 4;
+    if (kind == ts::KernelKind::MatMul) {
+      schedule.params.order = treu::tensor::LoopOrder::IKJ;
+      schedule.params.tile_j = 64;
+      schedule.params.tile_k = 32;
+    }
+    const auto m = problem.measure(schedule, pool, 3);
+    const double intensity = problem.intensity();
+    std::printf("  %-10s %8.2f f/B %s %7.2f GF %10.2f GF %9.0f%%\n",
+                ts::to_string(kind), intensity,
+                model.memory_bound(intensity) ? "(mem) " : "(comp)",
+                m.gflops, model.attainable_gflops(intensity),
+                100.0 * model.efficiency(intensity, m.gflops));
+  }
+  std::printf("\n");
+}
+
+void BM_PeakFlopsProbe(benchmark::State &state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ts::measure_peak_gflops(std::size_t{1} << 22, 1));
+  }
+}
+BENCHMARK(BM_PeakFlopsProbe)->Unit(benchmark::kMillisecond);
+
+void BM_BandwidthProbe(benchmark::State &state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ts::measure_peak_bandwidth_gbs(std::size_t{1} << 22, 1));
+  }
+}
+BENCHMARK(BM_BandwidthProbe)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char **argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

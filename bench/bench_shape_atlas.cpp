@@ -1,0 +1,105 @@
+// Experiment E2.11 — statistical shape atlases (§2.11): the student's
+// pipeline end to end. (1) sanity: a sphere family has exactly one mode of
+// variation; (2) the anatomy-like two-lobe family's modes; (3) the
+// particle-count ablation.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "treu/core/rng.hpp"
+#include "treu/shape/atlas.hpp"
+
+namespace sh = treu::shape;
+
+namespace {
+
+void print_report() {
+  std::printf("== E2.11: shape atlases and modes of variation (§2.11) ==\n");
+  sh::ProcrustesOptions no_scale;
+  no_scale.with_scale = false;  // keep size modes observable
+
+  // Sphere sanity check: 1 generative mode.
+  {
+    const sh::SphereFamily family;
+    treu::core::Rng rng(1);
+    const auto pop = sh::sample_population(family, 16, 128, rng);
+    const auto atlas = sh::ShapeAtlas::build(pop, no_scale);
+    std::printf("  sphere family (1 true mode): modes for 95%% variance = %zu, "
+                "top-mode share = %.1f%%\n",
+                atlas.compact_modes(0.95),
+                100.0 * atlas.pca().explained_variance_ratio(1));
+  }
+  // Two-lobe "left atrium": 2 generative modes.
+  {
+    const sh::TwoLobeFamily family;
+    treu::core::Rng rng(2);
+    const auto pop = sh::sample_population(family, 24, 128, rng);
+    const auto atlas = sh::ShapeAtlas::build(pop, no_scale);
+    std::printf("  two-lobe family (2 true modes): modes for 95%% = %zu; "
+                "eigen spectrum:", atlas.compact_modes(0.95));
+    const auto &eig = atlas.pca().eigenvalues();
+    double total = 0.0;
+    for (double e : eig) total += e;
+    for (std::size_t k = 0; k < std::min<std::size_t>(4, eig.size()); ++k) {
+      std::printf(" %.1f%%", total > 0 ? 100.0 * eig[k] / total : 0.0);
+    }
+    treu::core::Rng spec_rng(3);
+    std::printf("\n  generalization(2 modes) = %.4f, specificity = %.4f\n",
+                sh::generalization_error(pop, 2, no_scale),
+                sh::specificity(atlas, pop, 20, spec_rng));
+  }
+  // Particle-count ablation (the student's final study).
+  {
+    const sh::TwoLobeFamily family;
+    treu::core::Rng rng(4);
+    const auto rows =
+        sh::particle_count_ablation(family, 16, {16, 32, 64, 128, 256}, rng);
+    std::printf("  particle-count ablation:\n");
+    std::printf("    %-10s %12s %14s %16s\n", "particles", "modes@95%",
+                "top share", "generalization");
+    for (const auto &row : rows) {
+      std::printf("    %-10zu %12zu %13.1f%% %16.4f\n", row.particles,
+                  row.modes_for_95, 100.0 * row.top_mode_ratio,
+                  row.generalization);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_ProcrustesAlign(benchmark::State &state) {
+  const sh::TwoLobeFamily family;
+  treu::core::Rng rng(5);
+  const auto pop = sh::sample_population(family, 16, state.range(0), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sh::procrustes_align(pop.shapes));
+  }
+}
+BENCHMARK(BM_ProcrustesAlign)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_AtlasBuild(benchmark::State &state) {
+  const sh::TwoLobeFamily family;
+  treu::core::Rng rng(6);
+  const auto pop = sh::sample_population(family, 16, 64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sh::ShapeAtlas::build(pop));
+  }
+}
+BENCHMARK(BM_AtlasBuild)->Unit(benchmark::kMillisecond);
+
+void BM_RepulsionRelax(benchmark::State &state) {
+  for (auto _ : state) {
+    auto dirs = sh::fibonacci_sphere(64);
+    benchmark::DoNotOptimize(sh::repulsion_relax(dirs, 5));
+  }
+}
+BENCHMARK(BM_RepulsionRelax)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char **argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

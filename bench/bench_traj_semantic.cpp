@@ -1,0 +1,88 @@
+// Experiment E2.4 — semantic trajectory classification (§2.4): shape-only
+// vs semantic vs combined features on classes that share route families and
+// differ only in POI preference. Paper: "clear improvement in a controlled
+// experiment" from the semantic extension.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "treu/core/rng.hpp"
+#include "treu/traj/dataset.hpp"
+
+namespace tj = treu::traj;
+
+namespace {
+
+void print_report() {
+  std::printf("== E2.4: semantic trajectory classification (§2.4) ==\n");
+  std::printf("  4 classes = 2 route families x 2 POI preferences; kNN (k=3)\n");
+  std::printf("  %-6s %10s %10s %10s %10s\n", "seed", "shape", "semantic",
+              "combined", "frechet");
+  double shape_sum = 0.0, sem_sum = 0.0, comb_sum = 0.0, frechet_sum = 0.0;
+  const int seeds = 5;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    tj::SemanticExperimentConfig config;
+    config.per_class = 30;
+    treu::core::Rng rng(seed);
+    const auto r = tj::run_semantic_experiment(config, rng);
+    std::printf("  %-6d %9.0f%% %9.0f%% %9.0f%% %9.0f%%\n", seed,
+                100.0 * r.shape_only_accuracy, 100.0 * r.semantic_only_accuracy,
+                100.0 * r.combined_accuracy, 100.0 * r.frechet_knn_accuracy);
+    shape_sum += r.shape_only_accuracy;
+    sem_sum += r.semantic_only_accuracy;
+    comb_sum += r.combined_accuracy;
+    frechet_sum += r.frechet_knn_accuracy;
+  }
+  std::printf("  %-6s %9.0f%% %9.0f%% %9.0f%% %9.0f%%   <- mean\n", "mean",
+              100.0 * shape_sum / seeds, 100.0 * sem_sum / seeds,
+              100.0 * comb_sum / seeds, 100.0 * frechet_sum / seeds);
+  std::printf(
+      "  paper shape: combined (shape+semantic) clearly beats shape-only\n\n");
+}
+
+void BM_LandmarkFeatures(benchmark::State &state) {
+  treu::core::Rng rng(1);
+  const auto map = tj::PoiMap::random(120, 2, 100.0, rng);
+  const auto corpus =
+      tj::make_corpus({{0, 0}}, 1, map, tj::CorpusConfig{}, rng);
+  const auto landmarks = tj::Landmarks::grid(3, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tj::landmark_features(corpus[0].trajectory, landmarks, 30.0));
+  }
+}
+BENCHMARK(BM_LandmarkFeatures);
+
+void BM_SemanticFeatures(benchmark::State &state) {
+  treu::core::Rng rng(2);
+  const auto map = tj::PoiMap::random(120, 2, 100.0, rng);
+  const auto corpus =
+      tj::make_corpus({{0, 0}}, 1, map, tj::CorpusConfig{}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tj::semantic_features(corpus[0].trajectory, map, 8.0));
+  }
+}
+BENCHMARK(BM_SemanticFeatures);
+
+void BM_DiscreteFrechet(benchmark::State &state) {
+  treu::core::Rng rng(3);
+  const auto map = tj::PoiMap::random(40, 2, 100.0, rng);
+  const auto corpus =
+      tj::make_corpus({{0, 0}, {1, 1}}, 1, map, tj::CorpusConfig{}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tj::discrete_frechet(corpus[0].trajectory, corpus[1].trajectory));
+  }
+}
+BENCHMARK(BM_DiscreteFrechet);
+
+}  // namespace
+
+int main(int argc, char **argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

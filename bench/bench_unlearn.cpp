@@ -1,0 +1,106 @@
+// Experiment E2.3 — machine unlearning (§2.3): unlearn-by-retargeting vs
+// full retraining. The paper's claim: "avoids complete retraining" with
+// "comparable performance to models that were not required to unlearn".
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "treu/core/rng.hpp"
+#include "treu/unlearn/unlearn.hpp"
+
+namespace ul = treu::unlearn;
+
+namespace {
+
+void print_report() {
+  std::printf("== E2.3: machine unlearning vs retraining (§2.3) ==\n");
+  std::printf(
+      "  %-8s %-26s %-26s %-10s\n", "seed",
+      "retrain (acc / forgetP / s)", "unlearn (acc / forgetP / s)", "speedup");
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ul::ExperimentConfig config;
+    config.per_class = 100;
+    config.train.epochs = 20;
+    treu::core::Rng rng(seed);
+    const auto r = ul::run_unlearning_experiment(config, rng);
+    std::printf("  %-8llu %.3f / %.3f / %6.3fs     %.3f / %.3f / %6.3fs    %5.1fx\n",
+                static_cast<unsigned long long>(seed), r.retrain_retain_acc,
+                r.retrain_forget_prob, r.retrain_seconds, r.unlearn_retain_acc,
+                r.unlearn_forget_prob, r.unlearn_seconds,
+                r.unlearn_seconds > 0 ? r.retrain_seconds / r.unlearn_seconds
+                                      : 0.0);
+  }
+  std::printf(
+      "  (higher acc = retained classes kept; lower forgetP = class forgotten)\n\n");
+}
+
+void BM_FullRetrain(benchmark::State &state) {
+  treu::core::Rng data_rng(1);
+  const treu::nn::Dataset data = ul::make_blobs(5, 100, 16, 1.1, data_rng);
+  auto [retain, forget] = data.without_class(0);
+  for (auto _ : state) {
+    treu::core::Rng rng(2);
+    treu::nn::MlpClassifier model(16, {32}, 5, rng);
+    treu::nn::TrainConfig config;
+    config.epochs = 10;
+    model.train(retain, config, rng);
+    benchmark::DoNotOptimize(model.evaluate(retain));
+  }
+}
+BENCHMARK(BM_FullRetrain);
+
+void BM_UnlearnClass(benchmark::State &state) {
+  treu::core::Rng data_rng(1);
+  const treu::nn::Dataset data = ul::make_blobs(5, 100, 16, 1.1, data_rng);
+  auto [retain, forget] = data.without_class(0);
+  treu::core::Rng rng(2);
+  treu::nn::MlpClassifier model(16, {32}, 5, rng);
+  treu::nn::TrainConfig config;
+  config.epochs = 10;
+  model.train(data, config, rng);
+  const auto trained_params = model.params();
+  const std::vector<double> trained_weights = treu::nn::save_weights(
+      std::span<treu::nn::Param *const>(trained_params.data(),
+                                        trained_params.size()));
+  for (auto _ : state) {
+    state.PauseTiming();
+    treu::core::Rng init(2);
+    treu::nn::MlpClassifier victim(16, {32}, 5, init);
+    const auto victim_params = victim.params();
+    treu::nn::load_weights(
+        std::span<treu::nn::Param *const>(victim_params.data(),
+                                          victim_params.size()),
+        trained_weights);
+    state.ResumeTiming();
+    treu::core::Rng unlearn_rng(3);
+    benchmark::DoNotOptimize(ul::unlearn_class(victim, forget, retain, retain,
+                                               0, {}, unlearn_rng));
+  }
+}
+BENCHMARK(BM_UnlearnClass);
+
+void BM_SisaForgetOneSample(benchmark::State &state) {
+  treu::core::Rng rng(4);
+  const treu::nn::Dataset data = ul::make_blobs(3, 60, 8, 1.0, rng);
+  treu::nn::TrainConfig config;
+  config.epochs = 15;
+  config.lr = 5e-3;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ul::SisaEnsemble ensemble(6, 8, {16}, 3, rng);
+    ensemble.fit(data, config, rng);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ensemble.forget_samples({17}, config, rng));
+  }
+}
+BENCHMARK(BM_SisaForgetOneSample)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char **argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// §2.11 scenario: the student's ShapeWorks pipeline — sphere sanity check,
+// then a left-atrium-like family: build the atlas, report modes of
+// variation, walk the first mode, and run the particle-count ablation.
+//
+// Build & run:  ./build/examples/shape_atlas_demo
+
+#include <cstdio>
+
+#include "treu/core/rng.hpp"
+#include "treu/shape/atlas.hpp"
+
+using namespace treu;
+
+int main() {
+  shape::ProcrustesOptions options;
+  options.with_scale = false;  // keep size modes visible
+
+  // Step 1 (the warm-up the student did first): synthetic spheres with one
+  // mode of variation.
+  {
+    const shape::SphereFamily family;
+    core::Rng rng(1);
+    const auto pop = shape::sample_population(family, 14, 128, rng);
+    const auto atlas = shape::ShapeAtlas::build(pop, options);
+    std::printf("sphere family: %zu shapes x %zu particles\n",
+                pop.shapes.size(), pop.particles_per_shape);
+    std::printf("  modes for 95%% variance: %zu (true generative modes: %zu)\n\n",
+                atlas.compact_modes(0.95), family.n_modes());
+  }
+
+  // Step 2: the anatomy-like family.
+  const shape::TwoLobeFamily family;
+  core::Rng rng(2);
+  const auto pop = shape::sample_population(family, 24, 128, rng);
+  const auto atlas = shape::ShapeAtlas::build(pop, options);
+  std::printf("two-lobe 'left atrium' family: %zu shapes x %zu particles\n",
+              pop.shapes.size(), pop.particles_per_shape);
+  const auto &eig = atlas.pca().eigenvalues();
+  double total = 0.0;
+  for (double e : eig) total += e;
+  std::printf("  modes of variation (share of variance):\n");
+  for (std::size_t k = 0; k < std::min<std::size_t>(4, eig.size()); ++k) {
+    std::printf("    mode %zu: %5.1f%%\n", k,
+                total > 0 ? 100.0 * eig[k] / total : 0.0);
+  }
+  std::printf("  modes for 95%%: %zu (true generative modes: %zu)\n",
+              atlas.compact_modes(0.95), family.n_modes());
+
+  // Walk mode 0.
+  const auto mean = atlas.mean_shape();
+  for (const double sd : {-2.0, 0.0, 2.0}) {
+    const auto walked = atlas.mode_shape(0, sd);
+    std::printf("  mode 0 at %+.0f sd: rms distance from mean %.3f\n", sd,
+                shape::ShapeAtlas::shape_distance(mean, walked));
+  }
+
+  // Quality metrics + ablation.
+  core::Rng spec_rng(3);
+  std::printf("  generalization (LOO, 2 modes): %.4f\n",
+              shape::generalization_error(pop, 2, options));
+  std::printf("  specificity (20 samples): %.4f\n",
+              shape::specificity(atlas, pop, 20, spec_rng));
+
+  core::Rng ablation_rng(4);
+  std::printf("\nparticle-count ablation:\n");
+  for (const auto &row : shape::particle_count_ablation(
+           family, 16, {16, 64, 256}, ablation_rng)) {
+    std::printf("  %3zu particles: modes@95%% = %zu, top-mode share %.1f%%, "
+                "generalization %.4f\n",
+                row.particles, row.modes_for_95, 100.0 * row.top_mode_ratio,
+                row.generalization);
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Regenerate the paper's entire assessment section (§3): Tables 1-3 and
+// the networking statistics, from the reconstructed response data.
+//
+// Build & run:  ./build/examples/survey_report
+
+#include <cstdio>
+
+#include "treu/survey/treu_survey.hpp"
+
+int main() {
+  std::printf("%s\n", treu::survey::render_table1().c_str());
+  std::printf("%s\n", treu::survey::render_table2().c_str());
+  std::printf("%s\n", treu::survey::render_table3().c_str());
+  std::printf("%s", treu::survey::render_networking().c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+#pragma once
+
+// Reviewer panels, badge decisions, and inter-rater agreement (§2.1).
+//
+// Artifacts have two independent quality axes — the paper's piloting
+// surfaced exactly this distinction ("to computational researchers,
+// artifacts are code", distinct from the documentation that explains
+// them). A reviewer's probability of successfully reproducing an artifact
+// depends on code completeness, documentation quality, the reviewer's
+// expertise, and whether the artifact fits in the reviewer's compute
+// budget. Cohen's kappa quantifies how consistently two reviewers judge the
+// same artifact pool; better instruments (clearer review guidance) shrink
+// the noise term and raise kappa, which is the study's measurable outcome.
+
+#include <cstddef>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+
+namespace treu::artifact {
+
+struct Artifact {
+  double code_completeness = 0.5;   // [0, 1]
+  double documentation = 0.5;       // [0, 1]
+  double compute_hours = 1.0;       // hours needed to reproduce
+  bool truly_reproducible = true;   // latent ground truth
+};
+
+struct Reviewer {
+  double expertise = 0.5;       // [0, 1]
+  double time_budget = 8.0;     // hours
+};
+
+enum class Badge { None, Available, Functional, Reproduced };
+
+/// Random artifact pool: a `reproducible_fraction` of artifacts are truly
+/// reproducible; quality axes correlate loosely with the ground truth.
+[[nodiscard]] std::vector<Artifact> random_pool(std::size_t n,
+                                                double reproducible_fraction,
+                                                core::Rng &rng);
+
+/// Probability the reviewer's reproduction attempt succeeds.
+[[nodiscard]] double reproduction_probability(const Artifact &artifact,
+                                              const Reviewer &reviewer,
+                                              double guidance_quality) noexcept;
+
+/// One reviewer's badge decision on one artifact. `guidance_quality` in
+/// [0, 1] is the instrument validity from study.hpp: clearer guidance makes
+/// decisions less noisy.
+[[nodiscard]] Badge review(const Artifact &artifact, const Reviewer &reviewer,
+                           double guidance_quality, core::Rng &rng);
+
+/// Cohen's kappa between two label sequences (categorical). Returns 1 when
+/// both raters are constant and equal, 0 when expected agreement equals
+/// observed.
+[[nodiscard]] double cohen_kappa(std::span<const int> rater_a,
+                                 std::span<const int> rater_b);
+
+struct PanelResult {
+  double kappa = 0.0;            // mean pairwise agreement
+  double reproduced_rate = 0.0;  // fraction of (artifact, reviewer) pairs
+  double decision_accuracy = 0.0;  // badge==Reproduced iff truly reproducible
+};
+
+/// Have every reviewer judge every artifact; report agreement and accuracy.
+[[nodiscard]] PanelResult run_panel(const std::vector<Artifact> &pool,
+                                    const std::vector<Reviewer> &panel,
+                                    double guidance_quality, core::Rng &rng);
+
+}  // namespace treu::artifact

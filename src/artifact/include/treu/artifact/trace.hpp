@@ -1,0 +1,69 @@
+#pragma once
+
+// Trace-data collection with failure injection (§2.1).
+//
+// "Attempts to use third-party packages to collect trace data from artifact
+// repositories were unsuccessful. However, students did gain practice in
+// communicating with package developers and troubleshooting." We model the
+// collector the students fought with: repositories expose events (commits,
+// issues, CI runs); the third-party collector fails on a configurable class
+// of repositories (API change, rate limit, schema drift); a troubleshooting
+// loop retries with fixes and records the interaction count. Tests use this
+// to verify partial-failure accounting, and the bench reports the recovered
+// fraction as a function of troubleshooting effort.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+
+namespace treu::artifact {
+
+enum class RepoKind { GitForge, PackageRegistry, BinaryArchive };
+
+struct Repository {
+  std::string name;
+  RepoKind kind = RepoKind::GitForge;
+  std::size_t events = 0;  // trace events available if collection succeeds
+};
+
+enum class CollectError { None, ApiChange, RateLimit, SchemaDrift };
+
+struct CollectResult {
+  bool success = false;
+  CollectError error = CollectError::None;
+  std::size_t events_collected = 0;
+  std::size_t attempts = 0;          // total tries incl. retries
+  std::size_t developer_contacts = 0;  // escalations to the package developer
+};
+
+struct CollectorConfig {
+  double base_failure_rate = 0.7;   // matches "unsuccessful" experience
+  double retry_fix_probability = 0.25;  // chance a troubleshooting retry works
+  std::size_t max_retries = 3;
+  bool escalate_to_developer = true;  // a contact halves failure on next try
+};
+
+class TraceCollector {
+ public:
+  explicit TraceCollector(const CollectorConfig &config) : config_(config) {}
+
+  [[nodiscard]] CollectResult collect(const Repository &repo, core::Rng &rng) const;
+
+  /// Run over a corpus; returns per-repo results.
+  [[nodiscard]] std::vector<CollectResult> collect_all(
+      const std::vector<Repository> &repos, core::Rng &rng) const;
+
+  /// Fraction of repos whose traces were eventually collected.
+  [[nodiscard]] static double success_rate(std::span<const CollectResult> results);
+
+ private:
+  CollectorConfig config_;
+};
+
+/// Random corpus of repositories.
+[[nodiscard]] std::vector<Repository> random_repositories(std::size_t n,
+                                                          core::Rng &rng);
+
+}  // namespace treu::artifact

@@ -1,0 +1,113 @@
+#include "treu/artifact/review.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace treu::artifact {
+
+std::vector<Artifact> random_pool(std::size_t n, double reproducible_fraction,
+                                  core::Rng &rng) {
+  std::vector<Artifact> pool(n);
+  for (auto &a : pool) {
+    a.truly_reproducible = rng.bernoulli(reproducible_fraction);
+    const double base = a.truly_reproducible ? 0.65 : 0.35;
+    a.code_completeness = std::clamp(base + rng.normal(0.0, 0.15), 0.05, 1.0);
+    a.documentation = std::clamp(base + rng.normal(0.0, 0.2), 0.05, 1.0);
+    a.compute_hours = std::exp(rng.normal(0.5, 1.0));  // log-normal hours
+  }
+  return pool;
+}
+
+double reproduction_probability(const Artifact &artifact,
+                                const Reviewer &reviewer,
+                                double guidance_quality) noexcept {
+  if (!artifact.truly_reproducible) return 0.02;  // flukes only
+  if (artifact.compute_hours > reviewer.time_budget) return 0.05;
+  // Documentation gaps can be compensated by expertise; guidance sharpens
+  // everything multiplicatively.
+  const double doc_term =
+      artifact.documentation + (1.0 - artifact.documentation) * reviewer.expertise * 0.6;
+  const double p = artifact.code_completeness * doc_term *
+                   (0.6 + 0.4 * guidance_quality);
+  return std::clamp(p, 0.0, 0.99);
+}
+
+Badge review(const Artifact &artifact, const Reviewer &reviewer,
+             double guidance_quality, core::Rng &rng) {
+  // Availability is near-mechanical once guidance explains what to check.
+  if (!rng.bernoulli(0.8 + 0.19 * guidance_quality)) return Badge::None;
+  if (artifact.code_completeness < 0.2) return Badge::Available;
+  const double p = reproduction_probability(artifact, reviewer, guidance_quality);
+  if (rng.bernoulli(p)) return Badge::Reproduced;
+  // Runs-but-does-not-reproduce threshold.
+  return artifact.code_completeness > 0.5 ? Badge::Functional
+                                          : Badge::Available;
+}
+
+double cohen_kappa(std::span<const int> rater_a, std::span<const int> rater_b) {
+  if (rater_a.size() != rater_b.size()) {
+    throw std::invalid_argument("cohen_kappa: length mismatch");
+  }
+  const std::size_t n = rater_a.size();
+  if (n == 0) return 0.0;
+  std::map<int, double> pa, pb;
+  double observed = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rater_a[i] == rater_b[i]) observed += 1.0;
+    pa[rater_a[i]] += 1.0;
+    pb[rater_b[i]] += 1.0;
+  }
+  observed /= static_cast<double>(n);
+  double expected = 0.0;
+  for (const auto &[label, count_a] : pa) {
+    const auto it = pb.find(label);
+    if (it != pb.end()) {
+      expected += (count_a / static_cast<double>(n)) *
+                  (it->second / static_cast<double>(n));
+    }
+  }
+  if (expected >= 1.0) return 1.0;  // both raters constant and equal
+  return (observed - expected) / (1.0 - expected);
+}
+
+PanelResult run_panel(const std::vector<Artifact> &pool,
+                      const std::vector<Reviewer> &panel,
+                      double guidance_quality, core::Rng &rng) {
+  if (pool.empty() || panel.empty()) {
+    throw std::invalid_argument("run_panel: empty pool or panel");
+  }
+  // decisions[r][a] as int for kappa.
+  std::vector<std::vector<int>> decisions(panel.size(),
+                                          std::vector<int>(pool.size(), 0));
+  std::size_t reproduced = 0;
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < panel.size(); ++r) {
+    for (std::size_t a = 0; a < pool.size(); ++a) {
+      const Badge b = review(pool[a], panel[r], guidance_quality, rng);
+      decisions[r][a] = static_cast<int>(b);
+      if (b == Badge::Reproduced) ++reproduced;
+      const bool said_reproduced = b == Badge::Reproduced;
+      if (said_reproduced == pool[a].truly_reproducible) ++correct;
+    }
+  }
+  PanelResult result;
+  const double pairs_total =
+      static_cast<double>(panel.size() * pool.size());
+  result.reproduced_rate = static_cast<double>(reproduced) / pairs_total;
+  result.decision_accuracy = static_cast<double>(correct) / pairs_total;
+  double kappa_sum = 0.0;
+  std::size_t kappa_count = 0;
+  for (std::size_t i = 0; i < panel.size(); ++i) {
+    for (std::size_t j = i + 1; j < panel.size(); ++j) {
+      kappa_sum += cohen_kappa(decisions[i], decisions[j]);
+      ++kappa_count;
+    }
+  }
+  result.kappa = kappa_count > 0 ? kappa_sum / static_cast<double>(kappa_count)
+                                 : 1.0;
+  return result;
+}
+
+}  // namespace treu::artifact

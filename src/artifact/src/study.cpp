@@ -1,0 +1,90 @@
+#include "treu/artifact/study.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace treu::artifact {
+
+Instrument::Instrument(std::string name, std::vector<Question> questions)
+    : name_(std::move(name)), questions_(std::move(questions)) {
+  if (questions_.empty()) {
+    throw std::invalid_argument("Instrument: no questions");
+  }
+  for (const auto &q : questions_) {
+    if (q.clarity <= 0.0 || q.clarity > 1.0) {
+      throw std::invalid_argument("Instrument: clarity out of (0, 1]");
+    }
+  }
+}
+
+Instrument Instrument::draft(std::string name, std::size_t n_diary,
+                             std::size_t n_interview, core::Rng &rng) {
+  std::vector<Question> qs;
+  qs.reserve(n_diary + n_interview);
+  for (std::size_t i = 0; i < n_diary; ++i) {
+    qs.push_back({"diary question " + std::to_string(i + 1),
+                  QuestionKind::Diary, rng.uniform(0.3, 0.7), 0});
+  }
+  for (std::size_t i = 0; i < n_interview; ++i) {
+    qs.push_back({"interview prompt " + std::to_string(i + 1),
+                  QuestionKind::Interview, rng.uniform(0.3, 0.7), 0});
+  }
+  return Instrument(std::move(name), std::move(qs));
+}
+
+double Instrument::validity() const noexcept {
+  double s = 0.0;
+  for (const auto &q : questions_) s += q.clarity;
+  return s / static_cast<double>(questions_.size());
+}
+
+double Instrument::utility(double threshold) const noexcept {
+  std::size_t good = 0;
+  for (const auto &q : questions_) {
+    if (q.clarity >= threshold) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(questions_.size());
+}
+
+PilotOutcome PilotSession::run(Instrument &instrument,
+                               const PilotConfig &config, core::Rng &rng) {
+  PilotOutcome outcome;
+  outcome.validity_before = instrument.validity();
+  for (auto &q : instrument.questions_) {
+    // Each participant independently notices the problem with probability
+    // (1 - clarity); one notice is enough to trigger a revision. The
+    // sharpness exponent concentrates flags on the worst questions.
+    bool flagged = false;
+    const double p_each =
+        std::pow(1.0 - q.clarity, 1.0 / config.flag_sharpness);
+    for (std::size_t participant = 0; participant < config.participants;
+         ++participant) {
+      if (rng.bernoulli(p_each * (1.0 - q.clarity))) {
+        flagged = true;
+      }
+    }
+    if (flagged) {
+      q.clarity += config.revision_gain * (1.0 - q.clarity);
+      ++q.revisions;
+      ++outcome.flagged;
+    }
+  }
+  outcome.validity_after = instrument.validity();
+  return outcome;
+}
+
+std::vector<PilotOutcome> run_pilot_study(Instrument &instrument,
+                                          std::size_t n_sessions,
+                                          const PilotConfig &config,
+                                          core::Rng &rng) {
+  std::vector<PilotOutcome> outcomes;
+  outcomes.reserve(n_sessions);
+  for (std::size_t s = 0; s < n_sessions; ++s) {
+    PilotOutcome o = PilotSession::run(instrument, config, rng);
+    o.session = s + 1;
+    outcomes.push_back(o);
+  }
+  return outcomes;
+}
+
+}  // namespace treu::artifact

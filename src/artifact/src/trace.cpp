@@ -1,0 +1,87 @@
+#include "treu/artifact/trace.hpp"
+
+#include <algorithm>
+
+namespace treu::artifact {
+namespace {
+
+CollectError random_error(RepoKind kind, core::Rng &rng) {
+  // Error mix depends on the repo kind: registries rate-limit, forges
+  // change APIs, archives drift schemas.
+  const double u = rng.uniform();
+  switch (kind) {
+    case RepoKind::GitForge:
+      return u < 0.5 ? CollectError::ApiChange
+                     : (u < 0.8 ? CollectError::RateLimit
+                                : CollectError::SchemaDrift);
+    case RepoKind::PackageRegistry:
+      return u < 0.6 ? CollectError::RateLimit
+                     : (u < 0.85 ? CollectError::ApiChange
+                                 : CollectError::SchemaDrift);
+    case RepoKind::BinaryArchive:
+      return u < 0.7 ? CollectError::SchemaDrift
+                     : (u < 0.9 ? CollectError::ApiChange
+                                : CollectError::RateLimit);
+  }
+  return CollectError::ApiChange;
+}
+
+}  // namespace
+
+CollectResult TraceCollector::collect(const Repository &repo,
+                                      core::Rng &rng) const {
+  CollectResult result;
+  double failure_rate = config_.base_failure_rate;
+  for (std::size_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    ++result.attempts;
+    if (!rng.bernoulli(failure_rate)) {
+      result.success = true;
+      result.error = CollectError::None;
+      result.events_collected = repo.events;
+      return result;
+    }
+    result.error = random_error(repo.kind, rng);
+    // Troubleshooting between attempts: a fix lands with some probability,
+    // and escalating to the developer halves the residual failure rate.
+    if (rng.bernoulli(config_.retry_fix_probability)) {
+      failure_rate *= 0.5;
+    }
+    if (config_.escalate_to_developer && result.error == CollectError::ApiChange) {
+      ++result.developer_contacts;
+      failure_rate *= 0.5;
+    }
+  }
+  return result;
+}
+
+std::vector<CollectResult> TraceCollector::collect_all(
+    const std::vector<Repository> &repos, core::Rng &rng) const {
+  std::vector<CollectResult> out;
+  out.reserve(repos.size());
+  for (const auto &repo : repos) out.push_back(collect(repo, rng));
+  return out;
+}
+
+double TraceCollector::success_rate(std::span<const CollectResult> results) {
+  if (results.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const auto &r : results) {
+    if (r.success) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(results.size());
+}
+
+std::vector<Repository> random_repositories(std::size_t n, core::Rng &rng) {
+  std::vector<Repository> repos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    repos[i].name = "artifact-repo-" + std::to_string(i);
+    const double u = rng.uniform();
+    repos[i].kind = u < 0.6 ? RepoKind::GitForge
+                            : (u < 0.85 ? RepoKind::PackageRegistry
+                                        : RepoKind::BinaryArchive);
+    repos[i].events = 10 + static_cast<std::size_t>(rng.uniform_index(500));
+  }
+  return repos;
+}
+
+}  // namespace treu::artifact

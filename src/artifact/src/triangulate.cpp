@@ -1,0 +1,71 @@
+#include "treu/artifact/triangulate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace treu::artifact {
+
+TriangulationResult triangulate(std::span<const Evidence> evidence) {
+  if (evidence.empty()) {
+    throw std::invalid_argument("triangulate: no evidence");
+  }
+  double log_odds = 0.0;  // for the proposition "claim is true"
+  for (const Evidence &e : evidence) {
+    if (e.reliability <= 0.5 || e.reliability >= 1.0) {
+      throw std::invalid_argument("triangulate: reliability must be in (0.5, 1)");
+    }
+    const double weight = std::log(e.reliability / (1.0 - e.reliability));
+    log_odds += e.claim ? weight : -weight;
+  }
+  TriangulationResult result;
+  result.total = evidence.size();
+  result.consensus = log_odds >= 0.0;
+  // Posterior for the chosen side.
+  const double p_true = 1.0 / (1.0 + std::exp(-log_odds));
+  result.confidence = result.consensus ? p_true : 1.0 - p_true;
+  for (const Evidence &e : evidence) {
+    if (e.claim == result.consensus) ++result.agreeing;
+  }
+  return result;
+}
+
+TriangulationStudy run_triangulation_study(const TriangulationConfig &config,
+                                           core::Rng &rng) {
+  TriangulationStudy study;
+  std::size_t diary_ok = 0, interview_ok = 0, trace_ok = 0, fused_ok = 0;
+  std::size_t traces = 0;
+  for (std::size_t q = 0; q < config.n_questions; ++q) {
+    const bool truth = rng.bernoulli(0.5);
+    const auto observe = [&](double reliability) {
+      return rng.bernoulli(reliability) ? truth : !truth;
+    };
+    std::vector<Evidence> evidence;
+    const bool diary_says = observe(config.diary_reliability);
+    evidence.push_back({Source::Diary, diary_says, config.diary_reliability});
+    const bool interview_says = observe(config.interview_reliability);
+    evidence.push_back(
+        {Source::Interview, interview_says, config.interview_reliability});
+    bool has_trace = !rng.bernoulli(config.trace_failure_rate);
+    bool trace_says = false;
+    if (has_trace) {
+      trace_says = observe(config.trace_reliability);
+      evidence.push_back({Source::Trace, trace_says, config.trace_reliability});
+      ++traces;
+      if (trace_says == truth) ++trace_ok;
+    }
+    if (diary_says == truth) ++diary_ok;
+    if (interview_says == truth) ++interview_ok;
+    if (triangulate(evidence).consensus == truth) ++fused_ok;
+  }
+  const double n = static_cast<double>(config.n_questions);
+  study.diary_accuracy = diary_ok / n;
+  study.interview_accuracy = interview_ok / n;
+  study.trace_accuracy =
+      traces > 0 ? static_cast<double>(trace_ok) / static_cast<double>(traces)
+                 : 0.0;
+  study.trace_coverage = static_cast<double>(traces) / n;
+  study.triangulated_accuracy = fused_ok / n;
+  return study;
+}
+
+}  // namespace treu::artifact

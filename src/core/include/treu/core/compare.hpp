@@ -1,0 +1,60 @@
+#pragma once
+
+// Tolerance-aware comparison of experiment results.
+//
+// "Did the rerun reproduce the published numbers?" is rarely a bitwise
+// question — a reproduction is judged against declared tolerances. This
+// header provides the comparison vocabulary: per-metric absolute/relative
+// tolerances, ULP distance for bit-level forensics, and a structured report
+// listing exactly which metrics diverged and by how much.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace treu::core {
+
+/// Acceptance band for one metric. A value b matches reference a when
+/// |b - a| <= abs_tol + rel_tol * |a|.
+struct Tolerance {
+  double abs_tol = 0.0;
+  double rel_tol = 0.0;
+
+  [[nodiscard]] bool accepts(double reference, double measured) const noexcept;
+};
+
+/// Number of representable doubles strictly between a and b (0 when equal).
+/// Returns UINT64_MAX for NaNs or differing signs across zero at extreme
+/// distance.
+[[nodiscard]] std::uint64_t ulp_distance(double a, double b) noexcept;
+
+/// One divergent (or missing) metric in a comparison.
+struct MetricMismatch {
+  std::string name;
+  double reference = 0.0;
+  double measured = 0.0;
+  double abs_error = 0.0;
+  bool missing_in_reference = false;
+  bool missing_in_measured = false;
+};
+
+/// Result of comparing two metric maps.
+struct ComparisonReport {
+  std::vector<MetricMismatch> mismatches;
+  std::size_t compared = 0;
+
+  [[nodiscard]] bool reproduced() const noexcept { return mismatches.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Compare `measured` against `reference` under per-metric tolerances.
+/// Metrics absent from `tolerances` use `fallback`. Keys present on only one
+/// side are reported as mismatches.
+[[nodiscard]] ComparisonReport compare_metrics(
+    const std::map<std::string, double> &reference,
+    const std::map<std::string, double> &measured,
+    const std::map<std::string, Tolerance> &tolerances = {},
+    Tolerance fallback = {1e-12, 1e-9});
+
+}  // namespace treu::core

@@ -1,0 +1,36 @@
+#pragma once
+
+// Environment capture: the "what machine / what build" half of a
+// reproducible record. Fields that are stable across reruns on the same
+// build (compiler, standard, word size, endianness) go into the digest;
+// volatile fields (hostname, core count) are recorded but excluded, so two
+// machines with the same toolchain produce the same environment digest.
+
+#include <cstddef>
+#include <string>
+
+#include "treu/core/sha256.hpp"
+
+namespace treu::core {
+
+struct EnvironmentInfo {
+  std::string compiler;        // e.g. "gcc 12.2.0"
+  long cpp_standard = 0;       // __cplusplus
+  std::size_t pointer_bits = 0;
+  bool little_endian = true;
+  std::string build_type;      // "release" / "debug" / "unknown"
+  // Volatile (not part of the digest):
+  std::string hostname;
+  unsigned hardware_threads = 0;
+
+  /// Digest over the stable fields only.
+  [[nodiscard]] Digest digest() const;
+
+  /// Human-readable one-per-line description.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Capture the current process environment.
+[[nodiscard]] EnvironmentInfo capture_environment();
+
+}  // namespace treu::core

@@ -1,0 +1,38 @@
+#pragma once
+
+// Journal serialization: export a run journal to a line-oriented text
+// format and import it back with full chain verification.
+//
+// This is the artifact-exchange half of the reproducibility story: a
+// journal exported by the author travels with the artifact; the reviewer
+// imports it, the chain is re-verified during parsing, and any edited
+// record (or truncated tail) is rejected with a precise error. The format
+// is deliberately boring — versioned header, one record per block,
+// netstring-escaped fields — so it can be diffed and archived.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "treu/core/manifest.hpp"
+
+namespace treu::core {
+
+/// Serialize the journal (records + chain hashes) to text.
+[[nodiscard]] std::string export_journal(const Journal &journal);
+
+/// Result of an import attempt.
+struct ImportResult {
+  Journal journal;
+  bool ok = false;
+  std::string error;          // empty when ok
+  std::size_t records = 0;    // parsed before success/failure
+};
+
+/// Parse an exported journal. Verifies the hash chain as it parses:
+/// tampered records, reordered blocks, or a forged head all fail with a
+/// descriptive error. Never throws; malformed input is reported in the
+/// result.
+[[nodiscard]] ImportResult import_journal(std::string_view text);
+
+}  // namespace treu::core

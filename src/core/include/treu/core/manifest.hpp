@@ -1,0 +1,103 @@
+#pragma once
+
+// Experiment manifests, run records, and the hash-chained run journal.
+//
+// The manifest is the unit of "what was run": a named experiment, its
+// parameters, and the master seed. Its digest is stable under map reordering
+// because parameters serialize in canonical (sorted-key) order. A run record
+// binds a manifest digest to measured metrics and artifact digests; the
+// journal chains record digests so that any later edit of an earlier record
+// is detectable (a tiny, file-free ledger).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "treu/core/sha256.hpp"
+
+namespace treu::core {
+
+/// Declarative description of one experiment configuration.
+struct Manifest {
+  std::string name;
+  std::string description;
+  std::uint64_t seed = 0;
+  std::map<std::string, std::string> params;  // canonical order by key
+  std::string code_version;                   // e.g. git describe / lib version
+
+  Manifest &set(std::string key, std::string value);
+  Manifest &set(std::string key, double value);
+  Manifest &set(std::string key, std::int64_t value);
+
+  /// Look up a parameter; empty optional when missing.
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const;
+
+  /// Canonical, self-delimiting serialization (stable across platforms).
+  [[nodiscard]] std::string canonical_string() const;
+
+  /// Parse a canonical string back into a manifest (round-trips with
+  /// canonical_string, including the digest). Returns nullopt on malformed
+  /// input — a manifest that travels with an artifact must parse exactly or
+  /// not at all.
+  [[nodiscard]] static std::optional<Manifest> from_canonical_string(
+      std::string_view text);
+
+  /// SHA-256 of the canonical string: the experiment's identity.
+  [[nodiscard]] Digest digest() const;
+};
+
+/// Result of one execution of a manifest.
+struct RunRecord {
+  Digest manifest_digest;
+  std::map<std::string, double> metrics;       // canonical order by key
+  std::map<std::string, Digest> artifacts;     // named artifact fingerprints
+  double duration_seconds = 0.0;
+  std::string notes;
+
+  [[nodiscard]] std::string canonical_string() const;
+  [[nodiscard]] Digest digest() const;
+};
+
+/// Append-only, hash-chained sequence of run records.
+///
+/// entry_hash[i] = SHA256(entry_hash[i-1] || record_digest[i]); the genesis
+/// hash is SHA256("treu-journal-v1"). `verify()` recomputes the chain and
+/// reports the first index at which it breaks (or nullopt when intact).
+class Journal {
+ public:
+  /// Append a record; returns the new chain head hash.
+  Digest append(RunRecord record);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const RunRecord &record(std::size_t i) const {
+    return records_.at(i);
+  }
+  [[nodiscard]] const Digest &chain_hash(std::size_t i) const {
+    return chain_.at(i);
+  }
+  [[nodiscard]] Digest head() const;
+
+  /// Recompute the chain; returns the first broken index, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> verify() const;
+
+  /// Find all runs of a given manifest.
+  [[nodiscard]] std::vector<std::size_t> runs_of(const Digest &manifest) const;
+
+  /// Deliberately corrupt a stored record (testing hook for tamper
+  /// detection; the chain hashes are left as recorded).
+  void tamper_with_record(std::size_t i, const std::string &notes);
+
+  [[nodiscard]] static Digest genesis();
+
+ private:
+  std::vector<RunRecord> records_;
+  std::vector<Digest> chain_;
+};
+
+}  // namespace treu::core

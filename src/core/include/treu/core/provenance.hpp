@@ -1,0 +1,63 @@
+#pragma once
+
+// Provenance graph: which artifact was derived from which.
+//
+// Nodes are named artifacts with content digests; edges point from an
+// artifact to the inputs it was derived from (dataset -> preprocessed set ->
+// trained weights -> result table). The graph answers the two questions an
+// artifact reviewer asks: "what went into this result?" (lineage) and "is
+// everything along that path still what it claims to be?" (verify against a
+// digest oracle).
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "treu/core/sha256.hpp"
+
+namespace treu::core {
+
+class ProvenanceGraph {
+ public:
+  /// Register an artifact with its digest and (already-registered) parents.
+  /// Throws std::invalid_argument on duplicate names or unknown parents —
+  /// insertion order therefore guarantees acyclicity.
+  void add_artifact(const std::string &name, const Digest &digest,
+                    const std::vector<std::string> &parents = {});
+
+  [[nodiscard]] bool contains(const std::string &name) const;
+  [[nodiscard]] const Digest &digest_of(const std::string &name) const;
+  [[nodiscard]] const std::vector<std::string> &parents_of(
+      const std::string &name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// All transitive ancestors of `name` (dependencies first, deterministic
+  /// order, `name` itself last).
+  [[nodiscard]] std::vector<std::string> lineage(const std::string &name) const;
+
+  /// Artifacts nothing depends on (the "results").
+  [[nodiscard]] std::vector<std::string> sinks() const;
+
+  /// Re-check every artifact in `name`'s lineage against the oracle
+  /// (current digest by name). Returns the names whose digests changed or
+  /// that the oracle cannot produce.
+  [[nodiscard]] std::vector<std::string> verify_lineage(
+      const std::string &name,
+      const std::function<std::optional<Digest>(const std::string &)> &oracle)
+      const;
+
+  /// Graphviz dot rendering (stable node order).
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  struct Node {
+    Digest digest;
+    std::vector<std::string> parents;
+  };
+  std::map<std::string, Node> nodes_;
+  std::vector<std::string> insertion_order_;
+};
+
+}  // namespace treu::core

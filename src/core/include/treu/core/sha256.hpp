@@ -1,0 +1,72 @@
+#pragma once
+
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// The reproducibility kernel uses SHA-256 to fingerprint artifacts: input
+// datasets, model weights, result tables, and the experiment manifests
+// themselves. A digest mismatch is the toolkit's primitive notion of "this
+// is not the computation you ran before".
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace treu::core {
+
+/// 32-byte SHA-256 digest.
+struct Digest {
+  std::array<std::uint8_t, 32> bytes{};
+
+  /// Lower-case hex representation (64 chars).
+  [[nodiscard]] std::string hex() const;
+
+  /// Parse from hex; throws std::invalid_argument on malformed input.
+  [[nodiscard]] static Digest from_hex(std::string_view hex);
+
+  friend bool operator==(const Digest &, const Digest &) = default;
+};
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  /// Absorb bytes. May be called any number of times.
+  Sha256 &update(std::span<const std::uint8_t> data) noexcept;
+  Sha256 &update(std::string_view text) noexcept;
+
+  /// Absorb the raw little-endian bytes of a trivially copyable value.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Sha256 &update_value(const T &v) noexcept {
+    return update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t *>(&v), sizeof(T)));
+  }
+
+  /// Finalize and return the digest. The hasher must not be reused after.
+  [[nodiscard]] Digest finish() noexcept;
+
+ private:
+  void process_block(const std::uint8_t *block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// One-shot digest of a byte span.
+[[nodiscard]] Digest sha256(std::span<const std::uint8_t> data) noexcept;
+
+/// One-shot digest of a string.
+[[nodiscard]] Digest sha256(std::string_view text) noexcept;
+
+/// Digest of a vector<double> viewed as raw bytes (bit-exact fingerprint of
+/// numeric results).
+[[nodiscard]] Digest sha256_doubles(std::span<const double> xs) noexcept;
+
+}  // namespace treu::core

@@ -1,0 +1,55 @@
+#pragma once
+
+// Descriptive statistics shared across the experiment modules (survey
+// tables, RL reliability, robust-statistics baselines). All functions are
+// deterministic; anything randomized (bootstrap) takes an explicit Rng.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+
+namespace treu::core {
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Sample variance (n-1 denominator); 0 for fewer than 2 elements.
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Median (average of middle two for even n). Copies and sorts.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Copies and sorts.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Smallest most-frequent value (for Likert-style integer-valued data).
+[[nodiscard]] double mode(std::span<const double> xs);
+
+[[nodiscard]] double min_of(std::span<const double> xs) noexcept;
+[[nodiscard]] double max_of(std::span<const double> xs) noexcept;
+
+/// Pearson correlation; 0 when either side is constant.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Mean of the central (1 - 2*trim) fraction, trim in [0, 0.5).
+[[nodiscard]] double trimmed_mean(std::span<const double> xs, double trim);
+
+/// Percentile bootstrap confidence interval for the mean.
+struct BootstrapCi {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;
+};
+[[nodiscard]] BootstrapCi bootstrap_mean_ci(std::span<const double> xs,
+                                            Rng &rng, double level = 0.95,
+                                            std::size_t resamples = 1000);
+
+/// Conditional value-at-risk of the *lower* tail: mean of the worst
+/// `alpha` fraction. Used as the RL reliability metric (§2.8).
+[[nodiscard]] double cvar_lower(std::span<const double> xs, double alpha);
+
+}  // namespace treu::core

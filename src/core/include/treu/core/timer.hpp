@@ -1,0 +1,27 @@
+#pragma once
+
+// Minimal wall-clock timer for experiment drivers. Benchmarks use
+// google-benchmark; this is for coarse per-phase durations recorded into
+// RunRecords.
+
+#include <chrono>
+
+namespace treu::core {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction or last reset.
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace treu::core

@@ -1,0 +1,82 @@
+#include "treu/core/compare.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace treu::core {
+
+bool Tolerance::accepts(double reference, double measured) const noexcept {
+  if (std::isnan(reference) || std::isnan(measured)) {
+    return std::isnan(reference) && std::isnan(measured);
+  }
+  return std::fabs(measured - reference) <=
+         abs_tol + rel_tol * std::fabs(reference);
+}
+
+std::uint64_t ulp_distance(double a, double b) noexcept {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  if (a == b) return 0;  // covers +0 == -0
+  const auto to_ordered = [](double x) -> std::int64_t {
+    const auto bits = std::bit_cast<std::int64_t>(x);
+    // Map the sign-magnitude double ordering onto two's complement.
+    return bits < 0 ? std::numeric_limits<std::int64_t>::min() - bits : bits;
+  };
+  const std::int64_t ia = to_ordered(a);
+  const std::int64_t ib = to_ordered(b);
+  return ia > ib ? static_cast<std::uint64_t>(ia) - static_cast<std::uint64_t>(ib)
+                 : static_cast<std::uint64_t>(ib) - static_cast<std::uint64_t>(ia);
+}
+
+ComparisonReport compare_metrics(
+    const std::map<std::string, double> &reference,
+    const std::map<std::string, double> &measured,
+    const std::map<std::string, Tolerance> &tolerances, Tolerance fallback) {
+  ComparisonReport report;
+  for (const auto &[name, ref] : reference) {
+    const auto it = measured.find(name);
+    if (it == measured.end()) {
+      report.mismatches.push_back({name, ref, 0.0, 0.0, false, true});
+      continue;
+    }
+    ++report.compared;
+    const auto tol_it = tolerances.find(name);
+    const Tolerance &tol = tol_it == tolerances.end() ? fallback : tol_it->second;
+    if (!tol.accepts(ref, it->second)) {
+      report.mismatches.push_back(
+          {name, ref, it->second, std::fabs(it->second - ref), false, false});
+    }
+  }
+  for (const auto &[name, got] : measured) {
+    if (!reference.contains(name)) {
+      report.mismatches.push_back({name, 0.0, got, 0.0, true, false});
+    }
+  }
+  return report;
+}
+
+std::string ComparisonReport::summary() const {
+  std::ostringstream os;
+  if (reproduced()) {
+    os << "reproduced (" << compared << " metrics within tolerance)";
+    return os.str();
+  }
+  os << mismatches.size() << " mismatch(es): ";
+  for (std::size_t i = 0; i < mismatches.size(); ++i) {
+    const auto &m = mismatches[i];
+    if (i) os << ", ";
+    if (m.missing_in_measured) {
+      os << m.name << " missing in measured";
+    } else if (m.missing_in_reference) {
+      os << m.name << " unexpected";
+    } else {
+      os << m.name << " ref=" << m.reference << " got=" << m.measured;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace treu::core

@@ -1,0 +1,65 @@
+#include "treu/core/env.hpp"
+
+#include <bit>
+#include <sstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace treu::core {
+
+EnvironmentInfo capture_environment() {
+  EnvironmentInfo info;
+#if defined(__clang__)
+  info.compiler = "clang " + std::to_string(__clang_major__) + "." +
+                  std::to_string(__clang_minor__) + "." +
+                  std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  info.compiler = "gcc " + std::to_string(__GNUC__) + "." +
+                  std::to_string(__GNUC_MINOR__) + "." +
+                  std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  info.compiler = "unknown";
+#endif
+  info.cpp_standard = __cplusplus;
+  info.pointer_bits = sizeof(void *) * 8;
+  info.little_endian = std::endian::native == std::endian::little;
+#ifdef NDEBUG
+  info.build_type = "release";
+#else
+  info.build_type = "debug";
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  char host[256] = {};
+  if (gethostname(host, sizeof(host) - 1) == 0) info.hostname = host;
+#endif
+  info.hardware_threads = std::thread::hardware_concurrency();
+  return info;
+}
+
+Digest EnvironmentInfo::digest() const {
+  Sha256 h;
+  h.update("env-v1\n");
+  h.update(compiler);
+  h.update_value(cpp_standard);
+  h.update_value(pointer_bits);
+  h.update_value(little_endian);
+  h.update(build_type);
+  return h.finish();
+}
+
+std::string EnvironmentInfo::describe() const {
+  std::ostringstream os;
+  os << "compiler: " << compiler << '\n'
+     << "c++ standard: " << cpp_standard << '\n'
+     << "pointer bits: " << pointer_bits << '\n'
+     << "endianness: " << (little_endian ? "little" : "big") << '\n'
+     << "build type: " << build_type << '\n'
+     << "hostname: " << hostname << '\n'
+     << "hardware threads: " << hardware_threads << '\n';
+  return os.str();
+}
+
+}  // namespace treu::core

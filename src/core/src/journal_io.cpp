@@ -1,0 +1,192 @@
+#include "treu/core/journal_io.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace treu::core {
+namespace {
+
+constexpr std::string_view kHeader = "treu-journal-export-v1";
+
+void emit_field(std::string &out, std::string_view value) {
+  out += std::to_string(value.size());
+  out += ':';
+  out += value;
+  out += '\n';
+}
+
+std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);  // hex float: bit-exact
+  return buf;
+}
+
+// Line-oriented netstring reader.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+
+  /// Read one "<len>:<bytes>\n" field.
+  std::optional<std::string_view> field() {
+    std::size_t len = 0;
+    std::size_t i = pos_;
+    bool any_digit = false;
+    while (i < text_.size() && text_[i] >= '0' && text_[i] <= '9') {
+      len = len * 10 + static_cast<std::size_t>(text_[i] - '0');
+      ++i;
+      any_digit = true;
+      if (len > text_.size()) return std::nullopt;  // absurd length
+    }
+    if (!any_digit || i >= text_.size() || text_[i] != ':') return std::nullopt;
+    ++i;
+    if (i + len > text_.size()) return std::nullopt;
+    const std::string_view value = text_.substr(i, len);
+    i += len;
+    if (i >= text_.size() || text_[i] != '\n') return std::nullopt;
+    pos_ = i + 1;
+    return value;
+  }
+
+  /// Read a plain line (for the header).
+  std::optional<std::string_view> line() {
+    if (eof()) return std::nullopt;
+    const std::size_t nl = text_.find('\n', pos_);
+    if (nl == std::string_view::npos) return std::nullopt;
+    const std::string_view value = text_.substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    return value;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<std::size_t> parse_size(std::string_view s) {
+  std::size_t out = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return out;
+}
+
+ImportResult fail(std::string error, std::size_t records) {
+  ImportResult r;
+  r.ok = false;
+  r.error = std::move(error);
+  r.records = records;
+  return r;
+}
+
+}  // namespace
+
+std::string export_journal(const Journal &journal) {
+  std::string out;
+  out += kHeader;
+  out += '\n';
+  emit_field(out, std::to_string(journal.size()));
+  for (std::size_t i = 0; i < journal.size(); ++i) {
+    const RunRecord &rec = journal.record(i);
+    emit_field(out, "record");
+    emit_field(out, rec.manifest_digest.hex());
+    emit_field(out, format_double(rec.duration_seconds));
+    emit_field(out, rec.notes);
+    emit_field(out, std::to_string(rec.metrics.size()));
+    for (const auto &[k, v] : rec.metrics) {
+      emit_field(out, k);
+      emit_field(out, format_double(v));
+    }
+    emit_field(out, std::to_string(rec.artifacts.size()));
+    for (const auto &[k, d] : rec.artifacts) {
+      emit_field(out, k);
+      emit_field(out, d.hex());
+    }
+    emit_field(out, journal.chain_hash(i).hex());
+  }
+  return out;
+}
+
+ImportResult import_journal(std::string_view text) {
+  Reader reader(text);
+  const auto header = reader.line();
+  if (!header || *header != kHeader) {
+    return fail("bad or missing header", 0);
+  }
+  const auto count_field = reader.field();
+  if (!count_field) return fail("missing record count", 0);
+  const auto count = parse_size(*count_field);
+  if (!count) return fail("unparseable record count", 0);
+
+  ImportResult result;
+  for (std::size_t i = 0; i < *count; ++i) {
+    const auto tag = reader.field();
+    if (!tag || *tag != "record") {
+      return fail("missing record tag at index " + std::to_string(i), i);
+    }
+    RunRecord rec;
+    const auto manifest_hex = reader.field();
+    const auto duration = reader.field();
+    const auto notes = reader.field();
+    const auto n_metrics_field = reader.field();
+    if (!manifest_hex || !duration || !notes || !n_metrics_field) {
+      return fail("truncated record header at index " + std::to_string(i), i);
+    }
+    try {
+      rec.manifest_digest = Digest::from_hex(*manifest_hex);
+    } catch (const std::exception &) {
+      return fail("bad manifest digest at index " + std::to_string(i), i);
+    }
+    rec.duration_seconds = std::strtod(std::string(*duration).c_str(), nullptr);
+    rec.notes = std::string(*notes);
+    const auto n_metrics = parse_size(*n_metrics_field);
+    if (!n_metrics) return fail("bad metric count", i);
+    for (std::size_t m = 0; m < *n_metrics; ++m) {
+      const auto key = reader.field();
+      const auto value = reader.field();
+      if (!key || !value) return fail("truncated metrics", i);
+      rec.metrics[std::string(*key)] =
+          std::strtod(std::string(*value).c_str(), nullptr);
+    }
+    const auto n_artifacts_field = reader.field();
+    if (!n_artifacts_field) return fail("missing artifact count", i);
+    const auto n_artifacts = parse_size(*n_artifacts_field);
+    if (!n_artifacts) return fail("bad artifact count", i);
+    for (std::size_t a = 0; a < *n_artifacts; ++a) {
+      const auto key = reader.field();
+      const auto value = reader.field();
+      if (!key || !value) return fail("truncated artifacts", i);
+      try {
+        rec.artifacts[std::string(*key)] = Digest::from_hex(*value);
+      } catch (const std::exception &) {
+        return fail("bad artifact digest", i);
+      }
+    }
+    const auto chain_hex = reader.field();
+    if (!chain_hex) return fail("missing chain hash", i);
+    Digest recorded_chain;
+    try {
+      recorded_chain = Digest::from_hex(*chain_hex);
+    } catch (const std::exception &) {
+      return fail("bad chain hash", i);
+    }
+    // Append recomputes the chain; a tampered record or reordered block
+    // produces a different head than the recorded one.
+    const Digest recomputed = result.journal.append(std::move(rec));
+    if (!(recomputed == recorded_chain)) {
+      return fail("chain verification failed at record " + std::to_string(i) +
+                      " (record was modified after export)",
+                  i);
+    }
+    ++result.records;
+  }
+  if (!reader.eof()) {
+    // Trailing garbage is suspicious for an artifact of record.
+    return fail("trailing data after final record", result.records);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace treu::core

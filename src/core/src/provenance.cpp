@@ -1,0 +1,99 @@
+#include "treu/core/provenance.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace treu::core {
+
+void ProvenanceGraph::add_artifact(const std::string &name,
+                                   const Digest &digest,
+                                   const std::vector<std::string> &parents) {
+  if (nodes_.contains(name)) {
+    throw std::invalid_argument("ProvenanceGraph: duplicate artifact " + name);
+  }
+  for (const auto &p : parents) {
+    if (!nodes_.contains(p)) {
+      throw std::invalid_argument("ProvenanceGraph: unknown parent " + p);
+    }
+  }
+  nodes_.emplace(name, Node{digest, parents});
+  insertion_order_.push_back(name);
+}
+
+bool ProvenanceGraph::contains(const std::string &name) const {
+  return nodes_.contains(name);
+}
+
+const Digest &ProvenanceGraph::digest_of(const std::string &name) const {
+  return nodes_.at(name).digest;
+}
+
+const std::vector<std::string> &ProvenanceGraph::parents_of(
+    const std::string &name) const {
+  return nodes_.at(name).parents;
+}
+
+std::vector<std::string> ProvenanceGraph::lineage(
+    const std::string &name) const {
+  if (!nodes_.contains(name)) {
+    throw std::invalid_argument("ProvenanceGraph: unknown artifact " + name);
+  }
+  std::vector<std::string> order;
+  std::set<std::string> seen;
+  // Post-order DFS; parents vectors are stored in registration order, so the
+  // output is deterministic.
+  const std::function<void(const std::string &)> visit =
+      [&](const std::string &n) {
+        if (seen.contains(n)) return;
+        seen.insert(n);
+        for (const auto &p : nodes_.at(n).parents) visit(p);
+        order.push_back(n);
+      };
+  visit(name);
+  return order;
+}
+
+std::vector<std::string> ProvenanceGraph::sinks() const {
+  std::set<std::string> has_child;
+  for (const auto &[name, node] : nodes_) {
+    (void)name;
+    for (const auto &p : node.parents) has_child.insert(p);
+  }
+  std::vector<std::string> out;
+  for (const auto &name : insertion_order_) {
+    if (!has_child.contains(name)) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> ProvenanceGraph::verify_lineage(
+    const std::string &name,
+    const std::function<std::optional<Digest>(const std::string &)> &oracle)
+    const {
+  std::vector<std::string> broken;
+  for (const auto &n : lineage(name)) {
+    const auto current = oracle(n);
+    if (!current || !(*current == nodes_.at(n).digest)) broken.push_back(n);
+  }
+  return broken;
+}
+
+std::string ProvenanceGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph provenance {\n";
+  for (const auto &name : insertion_order_) {
+    os << "  \"" << name << "\" [label=\"" << name << "\\n"
+       << nodes_.at(name).digest.hex().substr(0, 12) << "\"];\n";
+  }
+  for (const auto &name : insertion_order_) {
+    for (const auto &p : nodes_.at(name).parents) {
+      os << "  \"" << p << "\" -> \"" << name << "\";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace treu::core

@@ -1,0 +1,186 @@
+#include "treu/core/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace treu::core {
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline std::uint32_t mulhi(std::uint32_t a, std::uint32_t b,
+                           std::uint32_t &lo) noexcept {
+  const std::uint64_t p = static_cast<std::uint64_t>(a) * b;
+  lo = static_cast<std::uint32_t>(p);
+  return static_cast<std::uint32_t>(p >> 32);
+}
+
+// 64-bit mix (SplitMix64 finalizer) used to derive stream keys.
+inline std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::array<std::uint32_t, 4> philox4x32(std::array<std::uint32_t, 4> ctr,
+                                        std::array<std::uint32_t, 2> key) noexcept {
+  for (int round = 0; round < 10; ++round) {
+    std::uint32_t lo0;
+    std::uint32_t lo1;
+    const std::uint32_t hi0 = mulhi(kPhiloxM0, ctr[0], lo0);
+    const std::uint32_t hi1 = mulhi(kPhiloxM1, ctr[2], lo1);
+    ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+    key[0] += kWeyl0;
+    key[1] += kWeyl1;
+  }
+  return ctr;
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept
+    : seed_(seed), stream_(stream) {}
+
+Rng Rng::split(std::uint64_t lane) const noexcept {
+  // Derive a new stream id that depends on (seed, stream, lane) through a
+  // strong mix; collisions across lanes of the same parent are impossible
+  // for lane < 2^64 because mix64 is a bijection of stream^rot(lane).
+  const std::uint64_t child =
+      mix64(stream_ ^ (lane * 0xA24BAED4963EE407ull + 0x9FB21C651E98DF25ull));
+  return Rng(seed_, child);
+}
+
+void Rng::refill() noexcept {
+  const std::array<std::uint32_t, 4> ctr = {
+      static_cast<std::uint32_t>(counter_),
+      static_cast<std::uint32_t>(counter_ >> 32),
+      static_cast<std::uint32_t>(stream_),
+      static_cast<std::uint32_t>(stream_ >> 32)};
+  const std::uint64_t key64 = mix64(seed_);
+  buf_ = philox4x32(ctr, {static_cast<std::uint32_t>(key64),
+                          static_cast<std::uint32_t>(key64 >> 32)});
+  ++counter_;
+  buf_pos_ = 0;
+}
+
+std::uint32_t Rng::next_u32() noexcept {
+  if (buf_pos_ >= 4) refill();
+  return buf_[buf_pos_++];
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t hi = next_u32();
+  const std::uint64_t lo = next_u32();
+  return (hi << 32) | lo;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire-style rejection for unbiased bounded integers.
+  if (n == 0) return 0;
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (hi <= lo) return lo;
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::normal() noexcept {
+  // Box–Muller; consumes exactly two uniforms, returns one deviate. The
+  // second deviate is discarded on purpose so that the number of raw draws
+  // per call is constant (stream alignment across refactors).
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double lambda) noexcept {
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+std::size_t Rng::categorical(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return weights.size();
+  const double u = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+double Rng::gamma(double k, double theta) noexcept {
+  if (k <= 0.0) return 0.0;
+  if (k < 1.0) {
+    // Boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+    const double g = gamma(k + 1.0, 1.0);
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return theta * g * std::pow(u, 1.0 / k);
+  }
+  // Marsaglia–Tsang squeeze.
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return theta * d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return theta * d * v;
+    }
+  }
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) noexcept {
+  if (k > n) k = n;
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(uniform_index(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<double> Rng::normal_vector(std::size_t n) noexcept {
+  std::vector<double> v(n);
+  for (auto &x : v) x = normal();
+  return v;
+}
+
+}  // namespace treu::core

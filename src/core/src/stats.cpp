@@ -1,0 +1,139 @@
+#include "treu/core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace treu::core {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double mode(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::map<double, std::size_t> counts;
+  for (double x : xs) ++counts[x];
+  double best = xs[0];
+  std::size_t best_count = 0;
+  for (const auto &[value, count] : counts) {  // map order => smallest wins ties
+    if (count > best_count) {
+      best = value;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+double min_of(std::span<const double> xs) noexcept {
+  double m = std::numeric_limits<double>::infinity();
+  for (double x : xs) m = std::min(m, x);
+  return m;
+}
+
+double max_of(std::span<const double> xs) noexcept {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson: size mismatch");
+  }
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double trimmed_mean(std::span<const double> xs, double trim) {
+  if (xs.empty()) return 0.0;
+  if (trim < 0.0 || trim >= 0.5) {
+    throw std::invalid_argument("trimmed_mean: trim must be in [0, 0.5)");
+  }
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t k = static_cast<std::size_t>(trim * static_cast<double>(v.size()));
+  double s = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = k; i + k < v.size(); ++i) {
+    s += v[i];
+    ++n;
+  }
+  return n == 0 ? median(xs) : s / static_cast<double>(n);
+}
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> xs, Rng &rng,
+                              double level, std::size_t resamples) {
+  BootstrapCi ci;
+  ci.point = mean(xs);
+  if (xs.size() < 2 || resamples == 0) {
+    ci.lo = ci.hi = ci.point;
+    return ci;
+  }
+  std::vector<double> means(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      s += xs[static_cast<std::size_t>(rng.uniform_index(xs.size()))];
+    }
+    means[r] = s / static_cast<double>(xs.size());
+  }
+  const double alpha = (1.0 - level) / 2.0;
+  ci.lo = quantile(means, alpha);
+  ci.hi = quantile(means, 1.0 - alpha);
+  return ci;
+}
+
+double cvar_lower(std::span<const double> xs, double alpha) {
+  if (xs.empty()) return 0.0;
+  alpha = std::clamp(alpha, 1e-9, 1.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(alpha * static_cast<double>(v.size()))));
+  double s = 0.0;
+  for (std::size_t i = 0; i < k; ++i) s += v[i];
+  return s / static_cast<double>(k);
+}
+
+}  // namespace treu::core

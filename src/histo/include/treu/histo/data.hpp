@@ -1,0 +1,62 @@
+#pragma once
+
+// Synthetic two-scale histopathology data (§2.7).
+//
+// OCELOT's defining property is *overlapping annotations at two scales*:
+// tissue regions (the zoomed-out task) and cell locations (the zoomed-in
+// task), where cells occur inside tissue. The generator reproduces that
+// dependence: a smooth blob field thresholded into a tissue mask, cell
+// centers sampled only inside tissue, and a grayscale image whose texture
+// reflects both — so a model that learns tissue context has a real
+// advantage at counting cells, which is what multi-task sharing exploits.
+
+#include <cstddef>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/tensor/matrix.hpp"
+
+namespace treu::histo {
+
+struct Patch {
+  tensor::Matrix image;        // grayscale [0,1], H x W
+  tensor::Matrix tissue_mask;  // binary
+  tensor::Matrix cell_mask;    // binary cell-center disks
+  std::size_t cell_count = 0;
+};
+
+struct DataConfig {
+  std::size_t size = 32;        // H = W
+  std::size_t blobs = 3;        // tissue blobs
+  double blob_radius = 9.0;
+  std::size_t max_cells = 12;
+  double noise = 0.04;
+};
+
+[[nodiscard]] Patch make_patch(const DataConfig &config, core::Rng &rng);
+
+[[nodiscard]] std::vector<Patch> make_dataset(const DataConfig &config,
+                                              std::size_t n, core::Rng &rng);
+
+/// Dice coefficient between a probability map (thresholded at 0.5) and a
+/// binary mask. Returns 1 when both are empty.
+[[nodiscard]] double dice(const tensor::Matrix &prediction,
+                          const tensor::Matrix &truth,
+                          double threshold = 0.5);
+
+/// Count connected components (4-connectivity) of the thresholded map —
+/// the cell-counting post-processing step.
+[[nodiscard]] std::size_t count_components(const tensor::Matrix &probability,
+                                           double threshold = 0.5,
+                                           std::size_t min_pixels = 2);
+
+/// Horizontal/vertical flips for augmentation.
+[[nodiscard]] Patch flip_horizontal(const Patch &p);
+[[nodiscard]] Patch flip_vertical(const Patch &p);
+
+/// K-fold cross-validation index splitter (deterministic).
+[[nodiscard]] std::vector<std::pair<std::vector<std::size_t>,
+                                    std::vector<std::size_t>>>
+kfold_indices(std::size_t n, std::size_t folds);
+
+}  // namespace treu::histo

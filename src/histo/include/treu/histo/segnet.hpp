@@ -1,0 +1,178 @@
+#pragma once
+
+// Encoder-decoder segmentation nets and the §2.7 experiments.
+//
+// Architecture (deliberately small — the study's claims are about *training
+// protocol*, not scale):
+//   encoder:  conv(1->8) relu pool conv(8->16) relu         (H/2 features)
+//   head:     upsample conv(16->8) relu conv(8->1) sigmoid  (H mask)
+//
+// `SingleTaskNet` = encoder + one head, trained on one mask. `MultiTaskNet`
+// = one shared encoder + tissue head + cell head, trained jointly — the
+// pathologist's zoom-out/zoom-in workflow as an inductive bias. The §2.7
+// experiments compare Dice / cell-count error, measure the effect of flip
+// augmentation, and test encoder pre-training (fine-tuning a tissue-trained
+// encoder for the cell task).
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/histo/data.hpp"
+#include "treu/nn/optimizer.hpp"
+#include "treu/nn/spatial.hpp"
+
+namespace treu::histo {
+
+/// Shared encoder trunk.
+class Encoder {
+ public:
+  explicit Encoder(core::Rng &rng);
+
+  [[nodiscard]] tensor::Tensor3 forward(const tensor::Matrix &image);
+  /// Backward from the gradient at the encoder output; accumulates grads.
+  void backward(const tensor::Tensor3 &grad);
+  [[nodiscard]] std::vector<nn::Param *> params();
+
+  /// Copy weights from another encoder (pre-training transfer).
+  void copy_weights_from(Encoder &other);
+
+ private:
+  nn::Conv2d3 conv1_;
+  nn::ReLU3 relu1_;
+  nn::MaxPool2x2 pool_;
+  nn::Conv2d3 conv2_;
+  nn::ReLU3 relu2_;
+};
+
+/// Mask decoder head.
+class MaskHead {
+ public:
+  explicit MaskHead(core::Rng &rng);
+
+  [[nodiscard]] tensor::Matrix forward(const tensor::Tensor3 &features);
+  /// Backward from d(loss)/d(mask); returns gradient at the encoder output.
+  [[nodiscard]] tensor::Tensor3 backward(const tensor::Matrix &grad_mask);
+  [[nodiscard]] std::vector<nn::Param *> params();
+
+ private:
+  nn::Upsample2x up_;
+  nn::Conv2d3 conv1_;
+  nn::ReLU3 relu_;
+  nn::Conv2d3 conv2_;
+  nn::Sigmoid3 sigmoid_;
+};
+
+struct SegTrainConfig {
+  std::size_t epochs = 6;
+  double lr = 3e-3;
+  bool augment_flips = false;
+  /// Multi-task only: cell-loss multiplier. Cells cover far fewer pixels
+  /// than tissue, so an unweighted joint loss lets the tissue gradient
+  /// dominate the shared encoder; upweighting the sparse task is the
+  /// standard fix.
+  double cell_loss_weight = 4.0;
+};
+
+struct SegMetrics {
+  double dice = 0.0;
+  double count_mae = 0.0;   // only meaningful for the cell task
+  double seconds = 0.0;
+};
+
+enum class Task { Tissue, Cell };
+
+class SingleTaskNet {
+ public:
+  SingleTaskNet(Task task, core::Rng &rng);
+
+  /// Per-pixel BCE training; returns the mean loss of the final epoch.
+  double fit(const std::vector<Patch> &data, const SegTrainConfig &config,
+             core::Rng &rng);
+
+  [[nodiscard]] tensor::Matrix predict(const tensor::Matrix &image);
+  [[nodiscard]] SegMetrics evaluate(const std::vector<Patch> &data);
+  [[nodiscard]] Encoder &encoder() noexcept { return encoder_; }
+  [[nodiscard]] Task task() const noexcept { return task_; }
+
+ private:
+  Task task_;
+  Encoder encoder_;
+  MaskHead head_;
+  nn::Adam opt_;
+};
+
+class MultiTaskNet {
+ public:
+  explicit MultiTaskNet(core::Rng &rng);
+
+  double fit(const std::vector<Patch> &data, const SegTrainConfig &config,
+             core::Rng &rng);
+
+  [[nodiscard]] tensor::Matrix predict_tissue(const tensor::Matrix &image);
+  [[nodiscard]] tensor::Matrix predict_cells(const tensor::Matrix &image);
+  [[nodiscard]] SegMetrics evaluate_tissue(const std::vector<Patch> &data);
+  [[nodiscard]] SegMetrics evaluate_cells(const std::vector<Patch> &data);
+
+ private:
+  Encoder encoder_;
+  MaskHead tissue_head_;
+  MaskHead cell_head_;
+  nn::Adam opt_;
+};
+
+/// §2.7 main comparison.
+struct MultiTaskExperimentConfig {
+  DataConfig data;
+  SegTrainConfig train;
+  std::size_t n_train = 16;
+  std::size_t n_test = 8;
+};
+
+struct MultiTaskExperimentResult {
+  SegMetrics single_tissue;
+  SegMetrics single_cell;
+  SegMetrics multi_tissue;
+  SegMetrics multi_cell;
+  double single_train_seconds = 0.0;
+  double multi_train_seconds = 0.0;
+};
+
+[[nodiscard]] MultiTaskExperimentResult run_multitask_experiment(
+    const MultiTaskExperimentConfig &config, core::Rng &rng);
+
+/// Hyper-parameter search for the segmentation nets (paper experiment (b)):
+/// grid over learning rates x epochs, scored by k-fold cross-validated Dice
+/// on the chosen task. Exposes the same knob-tuning loop the students ran,
+/// including the cross-validation they learned in the process.
+struct HyperParamPoint {
+  double lr = 0.0;
+  std::size_t epochs = 0;
+  double mean_dice = 0.0;   // across folds
+  double stddev_dice = 0.0;
+};
+
+struct HyperParamSearchConfig {
+  std::vector<double> lrs = {1e-3, 3e-3, 1e-2};
+  std::vector<std::size_t> epoch_choices = {4, 8};
+  std::size_t folds = 3;
+  Task task = Task::Tissue;
+};
+
+/// Returns every grid point evaluated (sorted best-first by mean dice).
+[[nodiscard]] std::vector<HyperParamPoint> hyperparameter_search(
+    const std::vector<Patch> &data, const HyperParamSearchConfig &config,
+    core::Rng &rng);
+
+/// Pre-training study: cell-task loss trajectory with a fresh encoder vs a
+/// tissue-pretrained encoder (paper experiment (d)).
+struct PretrainResult {
+  std::vector<double> scratch_loss;     // per epoch
+  std::vector<double> pretrained_loss;  // per epoch
+};
+
+[[nodiscard]] PretrainResult run_pretrain_experiment(
+    const MultiTaskExperimentConfig &config, core::Rng &rng);
+
+}  // namespace treu::histo

@@ -1,0 +1,186 @@
+#include "treu/histo/data.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+
+namespace treu::histo {
+
+Patch make_patch(const DataConfig &config, core::Rng &rng) {
+  const std::size_t s = config.size;
+  Patch patch;
+  patch.image = tensor::Matrix(s, s, 0.15);
+  patch.tissue_mask = tensor::Matrix(s, s, 0.0);
+  patch.cell_mask = tensor::Matrix(s, s, 0.0);
+
+  // Smooth blob field -> tissue mask.
+  std::vector<std::array<double, 3>> blobs(config.blobs);  // cx, cy, r
+  for (auto &b : blobs) {
+    b[0] = rng.uniform(0.0, static_cast<double>(s));
+    b[1] = rng.uniform(0.0, static_cast<double>(s));
+    b[2] = config.blob_radius * rng.uniform(0.7, 1.3);
+  }
+  for (std::size_t y = 0; y < s; ++y) {
+    for (std::size_t x = 0; x < s; ++x) {
+      double field = 0.0;
+      for (const auto &b : blobs) {
+        const double dx = static_cast<double>(x) - b[0];
+        const double dy = static_cast<double>(y) - b[1];
+        field += std::exp(-(dx * dx + dy * dy) / (2.0 * b[2] * b[2]));
+      }
+      if (field > 0.5) {
+        patch.tissue_mask(y, x) = 1.0;
+        patch.image(y, x) = 0.45 + 0.1 * std::sin(0.9 * static_cast<double>(x)) *
+                                        std::cos(0.7 * static_cast<double>(y));
+      }
+    }
+  }
+
+  // Cells strictly inside tissue.
+  const std::size_t want =
+      static_cast<std::size_t>(rng.uniform_index(config.max_cells + 1));
+  std::size_t placed = 0;
+  for (std::size_t attempt = 0; attempt < want * 20 && placed < want;
+       ++attempt) {
+    const std::size_t cx = 1 + static_cast<std::size_t>(rng.uniform_index(s - 2));
+    const std::size_t cy = 1 + static_cast<std::size_t>(rng.uniform_index(s - 2));
+    if (patch.tissue_mask(cy, cx) < 0.5) continue;
+    if (patch.cell_mask(cy, cx) > 0.5) continue;  // avoid merging cells
+    bool clear = true;
+    for (int dy = -2; dy <= 2 && clear; ++dy) {
+      for (int dx = -2; dx <= 2 && clear; ++dx) {
+        const long px = static_cast<long>(cx) + dx;
+        const long py = static_cast<long>(cy) + dy;
+        if (px < 0 || py < 0 || px >= static_cast<long>(s) ||
+            py >= static_cast<long>(s)) {
+          continue;
+        }
+        if (patch.cell_mask(static_cast<std::size_t>(py),
+                            static_cast<std::size_t>(px)) > 0.5) {
+          clear = false;
+        }
+      }
+    }
+    if (!clear) continue;
+    // 3x3 cross footprint.
+    const auto mark = [&](long px, long py) {
+      if (px < 0 || py < 0 || px >= static_cast<long>(s) ||
+          py >= static_cast<long>(s)) {
+        return;
+      }
+      patch.cell_mask(static_cast<std::size_t>(py),
+                      static_cast<std::size_t>(px)) = 1.0;
+      patch.image(static_cast<std::size_t>(py),
+                  static_cast<std::size_t>(px)) = 0.9;
+    };
+    mark(static_cast<long>(cx), static_cast<long>(cy));
+    mark(static_cast<long>(cx) + 1, static_cast<long>(cy));
+    mark(static_cast<long>(cx) - 1, static_cast<long>(cy));
+    mark(static_cast<long>(cx), static_cast<long>(cy) + 1);
+    mark(static_cast<long>(cx), static_cast<long>(cy) - 1);
+    ++placed;
+  }
+  patch.cell_count = placed;
+
+  for (auto &p : patch.image.flat()) {
+    p = std::clamp(p + rng.normal(0.0, config.noise), 0.0, 1.0);
+  }
+  return patch;
+}
+
+std::vector<Patch> make_dataset(const DataConfig &config, std::size_t n,
+                                core::Rng &rng) {
+  std::vector<Patch> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(make_patch(config, rng));
+  return out;
+}
+
+double dice(const tensor::Matrix &prediction, const tensor::Matrix &truth,
+            double threshold) {
+  double inter = 0.0, pred = 0.0, pos = 0.0;
+  for (std::size_t i = 0; i < prediction.size(); ++i) {
+    const bool p = prediction.flat()[i] >= threshold;
+    const bool t = truth.flat()[i] >= 0.5;
+    if (p && t) inter += 1.0;
+    if (p) pred += 1.0;
+    if (t) pos += 1.0;
+  }
+  if (pred + pos == 0.0) return 1.0;
+  return 2.0 * inter / (pred + pos);
+}
+
+std::size_t count_components(const tensor::Matrix &probability,
+                             double threshold, std::size_t min_pixels) {
+  const std::size_t h = probability.rows(), w = probability.cols();
+  std::vector<bool> visited(h * w, false);
+  std::size_t components = 0;
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      if (visited[y * w + x] || probability(y, x) < threshold) continue;
+      // BFS flood fill.
+      std::size_t pixels = 0;
+      std::deque<std::pair<std::size_t, std::size_t>> queue{{y, x}};
+      visited[y * w + x] = true;
+      while (!queue.empty()) {
+        const auto [cy, cx] = queue.front();
+        queue.pop_front();
+        ++pixels;
+        const auto push = [&](std::size_t ny, std::size_t nx) {
+          if (ny < h && nx < w && !visited[ny * w + nx] &&
+              probability(ny, nx) >= threshold) {
+            visited[ny * w + nx] = true;
+            queue.emplace_back(ny, nx);
+          }
+        };
+        if (cy > 0) push(cy - 1, cx);
+        push(cy + 1, cx);
+        if (cx > 0) push(cy, cx - 1);
+        push(cy, cx + 1);
+      }
+      if (pixels >= min_pixels) ++components;
+    }
+  }
+  return components;
+}
+
+namespace {
+
+tensor::Matrix flip_matrix(const tensor::Matrix &m, bool horizontal) {
+  tensor::Matrix out(m.rows(), m.cols());
+  for (std::size_t y = 0; y < m.rows(); ++y) {
+    for (std::size_t x = 0; x < m.cols(); ++x) {
+      out(y, x) = horizontal ? m(y, m.cols() - 1 - x)
+                             : m(m.rows() - 1 - y, x);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Patch flip_horizontal(const Patch &p) {
+  return {flip_matrix(p.image, true), flip_matrix(p.tissue_mask, true),
+          flip_matrix(p.cell_mask, true), p.cell_count};
+}
+
+Patch flip_vertical(const Patch &p) {
+  return {flip_matrix(p.image, false), flip_matrix(p.tissue_mask, false),
+          flip_matrix(p.cell_mask, false), p.cell_count};
+}
+
+std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+kfold_indices(std::size_t n, std::size_t folds) {
+  folds = std::max<std::size_t>(folds, 2);
+  std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>> out(
+      folds);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < folds; ++f) {
+      (i % folds == f ? out[f].second : out[f].first).push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace treu::histo

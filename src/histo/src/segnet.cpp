@@ -1,0 +1,348 @@
+#include "treu/histo/segnet.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include <algorithm>
+
+#include "treu/core/stats.hpp"
+#include "treu/core/timer.hpp"
+#include "treu/nn/loss.hpp"
+#include "treu/nn/param.hpp"
+
+namespace treu::histo {
+namespace {
+
+tensor::Tensor3 to_tensor3(const tensor::Matrix &image) {
+  tensor::Tensor3 t(1, image.rows(), image.cols());
+  for (std::size_t y = 0; y < image.rows(); ++y) {
+    for (std::size_t x = 0; x < image.cols(); ++x) t(0, y, x) = image(y, x);
+  }
+  return t;
+}
+
+tensor::Matrix to_matrix(const tensor::Tensor3 &t) {
+  return t.channel(0);
+}
+
+const tensor::Matrix &target_of(const Patch &p, Task task) {
+  return task == Task::Tissue ? p.tissue_mask : p.cell_mask;
+}
+
+std::vector<Patch> with_augmentation(const std::vector<Patch> &data,
+                                     bool augment) {
+  if (!augment) return data;
+  std::vector<Patch> out;
+  out.reserve(data.size() * 3);
+  for (const auto &p : data) {
+    out.push_back(p);
+    out.push_back(flip_horizontal(p));
+    out.push_back(flip_vertical(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+Encoder::Encoder(core::Rng &rng)
+    : conv1_(1, 8, 3, rng), conv2_(8, 16, 3, rng) {}
+
+tensor::Tensor3 Encoder::forward(const tensor::Matrix &image) {
+  return relu2_.forward(
+      conv2_.forward(pool_.forward(relu1_.forward(conv1_.forward(to_tensor3(image))))));
+}
+
+void Encoder::backward(const tensor::Tensor3 &grad) {
+  (void)conv1_.backward(
+      relu1_.backward(pool_.backward(conv2_.backward(relu2_.backward(grad)))));
+}
+
+std::vector<nn::Param *> Encoder::params() {
+  std::vector<nn::Param *> out;
+  for (nn::Param *p : conv1_.params()) out.push_back(p);
+  for (nn::Param *p : conv2_.params()) out.push_back(p);
+  return out;
+}
+
+void Encoder::copy_weights_from(Encoder &other) {
+  const auto src = other.params();
+  const auto dst = params();
+  const auto flat =
+      nn::save_weights(std::span<nn::Param *const>(src.data(), src.size()));
+  nn::load_weights(std::span<nn::Param *const>(dst.data(), dst.size()), flat);
+}
+
+MaskHead::MaskHead(core::Rng &rng)
+    : conv1_(16, 8, 3, rng), conv2_(8, 1, 3, rng) {}
+
+tensor::Matrix MaskHead::forward(const tensor::Tensor3 &features) {
+  return to_matrix(sigmoid_.forward(
+      conv2_.forward(relu_.forward(conv1_.forward(up_.forward(features))))));
+}
+
+tensor::Tensor3 MaskHead::backward(const tensor::Matrix &grad_mask) {
+  return up_.backward(conv1_.backward(
+      relu_.backward(conv2_.backward(sigmoid_.backward(to_tensor3(grad_mask))))));
+}
+
+std::vector<nn::Param *> MaskHead::params() {
+  std::vector<nn::Param *> out;
+  for (nn::Param *p : conv1_.params()) out.push_back(p);
+  for (nn::Param *p : conv2_.params()) out.push_back(p);
+  return out;
+}
+
+SingleTaskNet::SingleTaskNet(Task task, core::Rng &rng)
+    : task_(task), encoder_(rng), head_(rng), opt_(3e-3) {}
+
+double SingleTaskNet::fit(const std::vector<Patch> &data,
+                          const SegTrainConfig &config, core::Rng &rng) {
+  opt_.set_lr(config.lr);
+  const std::vector<Patch> training =
+      with_augmentation(data, config.augment_flips);
+  std::vector<nn::Param *> params = encoder_.params();
+  for (nn::Param *p : head_.params()) params.push_back(p);
+
+  std::vector<std::size_t> order(training.size());
+  std::iota(order.begin(), order.end(), 0);
+  double last_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    for (std::size_t i : order) {
+      const Patch &patch = training[i];
+      const tensor::Tensor3 features = encoder_.forward(patch.image);
+      const tensor::Matrix pred = head_.forward(features);
+      const nn::LossResult loss =
+          nn::binary_cross_entropy(pred, target_of(patch, task_));
+      encoder_.backward(head_.backward(loss.grad));
+      opt_.step(params);
+      loss_sum += loss.loss;
+    }
+    last_loss = training.empty()
+                    ? 0.0
+                    : loss_sum / static_cast<double>(training.size());
+  }
+  return last_loss;
+}
+
+tensor::Matrix SingleTaskNet::predict(const tensor::Matrix &image) {
+  return head_.forward(encoder_.forward(image));
+}
+
+SegMetrics SingleTaskNet::evaluate(const std::vector<Patch> &data) {
+  SegMetrics m;
+  core::WallTimer timer;
+  double dice_sum = 0.0;
+  double count_err = 0.0;
+  for (const auto &patch : data) {
+    const tensor::Matrix pred = predict(patch.image);
+    dice_sum += dice(pred, target_of(patch, task_));
+    if (task_ == Task::Cell) {
+      const double counted = static_cast<double>(count_components(pred));
+      count_err += std::abs(counted - static_cast<double>(patch.cell_count));
+    }
+  }
+  const double n = static_cast<double>(std::max<std::size_t>(data.size(), 1));
+  m.dice = dice_sum / n;
+  m.count_mae = count_err / n;
+  m.seconds = timer.elapsed_seconds();
+  return m;
+}
+
+MultiTaskNet::MultiTaskNet(core::Rng &rng)
+    : encoder_(rng), tissue_head_(rng), cell_head_(rng), opt_(3e-3) {}
+
+double MultiTaskNet::fit(const std::vector<Patch> &data,
+                         const SegTrainConfig &config, core::Rng &rng) {
+  opt_.set_lr(config.lr);
+  const std::vector<Patch> training =
+      with_augmentation(data, config.augment_flips);
+  std::vector<nn::Param *> params = encoder_.params();
+  for (nn::Param *p : tissue_head_.params()) params.push_back(p);
+  for (nn::Param *p : cell_head_.params()) params.push_back(p);
+
+  std::vector<std::size_t> order(training.size());
+  std::iota(order.begin(), order.end(), 0);
+  double last_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    for (std::size_t i : order) {
+      const Patch &patch = training[i];
+      const tensor::Tensor3 features = encoder_.forward(patch.image);
+      const tensor::Matrix tissue_pred = tissue_head_.forward(features);
+      const tensor::Matrix cell_pred = cell_head_.forward(features);
+      const nn::LossResult tissue_loss =
+          nn::binary_cross_entropy(tissue_pred, patch.tissue_mask);
+      nn::LossResult cell_loss =
+          nn::binary_cross_entropy(cell_pred, patch.cell_mask);
+      cell_loss.grad *= config.cell_loss_weight;
+      // Sum head gradients at the shared encoder output, then one encoder
+      // backward (parameter grads of both heads were already accumulated).
+      tensor::Tensor3 grad = tissue_head_.backward(tissue_loss.grad);
+      const tensor::Tensor3 cell_grad = cell_head_.backward(cell_loss.grad);
+      auto gf = grad.flat();
+      const auto cf = cell_grad.flat();
+      for (std::size_t j = 0; j < gf.size(); ++j) gf[j] += cf[j];
+      encoder_.backward(grad);
+      opt_.step(params);
+      loss_sum += tissue_loss.loss + cell_loss.loss;
+    }
+    last_loss = training.empty()
+                    ? 0.0
+                    : loss_sum / static_cast<double>(training.size());
+  }
+  return last_loss;
+}
+
+tensor::Matrix MultiTaskNet::predict_tissue(const tensor::Matrix &image) {
+  return tissue_head_.forward(encoder_.forward(image));
+}
+
+tensor::Matrix MultiTaskNet::predict_cells(const tensor::Matrix &image) {
+  return cell_head_.forward(encoder_.forward(image));
+}
+
+SegMetrics MultiTaskNet::evaluate_tissue(const std::vector<Patch> &data) {
+  SegMetrics m;
+  core::WallTimer timer;
+  double dice_sum = 0.0;
+  for (const auto &patch : data) {
+    dice_sum += dice(predict_tissue(patch.image), patch.tissue_mask);
+  }
+  m.dice = dice_sum / static_cast<double>(std::max<std::size_t>(data.size(), 1));
+  m.seconds = timer.elapsed_seconds();
+  return m;
+}
+
+SegMetrics MultiTaskNet::evaluate_cells(const std::vector<Patch> &data) {
+  SegMetrics m;
+  core::WallTimer timer;
+  double dice_sum = 0.0;
+  double count_err = 0.0;
+  for (const auto &patch : data) {
+    const tensor::Matrix pred = predict_cells(patch.image);
+    dice_sum += dice(pred, patch.cell_mask);
+    const double counted = static_cast<double>(count_components(pred));
+    count_err += std::abs(counted - static_cast<double>(patch.cell_count));
+  }
+  const double n = static_cast<double>(std::max<std::size_t>(data.size(), 1));
+  m.dice = dice_sum / n;
+  m.count_mae = count_err / n;
+  m.seconds = timer.elapsed_seconds();
+  return m;
+}
+
+MultiTaskExperimentResult run_multitask_experiment(
+    const MultiTaskExperimentConfig &config, core::Rng &rng) {
+  MultiTaskExperimentResult result;
+  core::Rng data_rng = rng.split(1);
+  const std::vector<Patch> train =
+      make_dataset(config.data, config.n_train, data_rng);
+  const std::vector<Patch> test =
+      make_dataset(config.data, config.n_test, data_rng);
+
+  {
+    core::WallTimer timer;
+    core::Rng t_init = rng.split(2);
+    SingleTaskNet tissue_net(Task::Tissue, t_init);
+    core::Rng t_fit = rng.split(3);
+    tissue_net.fit(train, config.train, t_fit);
+    core::Rng c_init = rng.split(4);
+    SingleTaskNet cell_net(Task::Cell, c_init);
+    core::Rng c_fit = rng.split(5);
+    cell_net.fit(train, config.train, c_fit);
+    result.single_train_seconds = timer.elapsed_seconds();
+    result.single_tissue = tissue_net.evaluate(test);
+    result.single_cell = cell_net.evaluate(test);
+  }
+  {
+    core::WallTimer timer;
+    core::Rng m_init = rng.split(6);
+    MultiTaskNet multi(m_init);
+    core::Rng m_fit = rng.split(7);
+    multi.fit(train, config.train, m_fit);
+    result.multi_train_seconds = timer.elapsed_seconds();
+    result.multi_tissue = multi.evaluate_tissue(test);
+    result.multi_cell = multi.evaluate_cells(test);
+  }
+  return result;
+}
+
+std::vector<HyperParamPoint> hyperparameter_search(
+    const std::vector<Patch> &data, const HyperParamSearchConfig &config,
+    core::Rng &rng) {
+  std::vector<HyperParamPoint> results;
+  const auto folds = kfold_indices(data.size(), config.folds);
+  std::uint64_t lane = 0;
+  for (const double lr : config.lrs) {
+    for (const std::size_t epochs : config.epoch_choices) {
+      HyperParamPoint point;
+      point.lr = lr;
+      point.epochs = epochs;
+      std::vector<double> dices;
+      for (const auto &[train_idx, test_idx] : folds) {
+        std::vector<Patch> train_set, test_set;
+        for (auto i : train_idx) train_set.push_back(data[i]);
+        for (auto i : test_idx) test_set.push_back(data[i]);
+        core::Rng init = rng.split(1000 + lane);
+        SingleTaskNet net(config.task, init);
+        SegTrainConfig train_config;
+        train_config.lr = lr;
+        train_config.epochs = epochs;
+        core::Rng fit_rng = rng.split(2000 + lane);
+        net.fit(train_set, train_config, fit_rng);
+        dices.push_back(net.evaluate(test_set).dice);
+        ++lane;
+      }
+      point.mean_dice = core::mean(dices);
+      point.stddev_dice = core::stddev(dices);
+      results.push_back(point);
+    }
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const HyperParamPoint &a, const HyperParamPoint &b) {
+                     return a.mean_dice > b.mean_dice;
+                   });
+  return results;
+}
+
+PretrainResult run_pretrain_experiment(const MultiTaskExperimentConfig &config,
+                                       core::Rng &rng) {
+  PretrainResult result;
+  core::Rng data_rng = rng.split(11);
+  const std::vector<Patch> train =
+      make_dataset(config.data, config.n_train, data_rng);
+
+  // Scratch cell net: record per-epoch loss.
+  {
+    core::Rng init = rng.split(12);
+    SingleTaskNet net(Task::Cell, init);
+    SegTrainConfig one = config.train;
+    one.epochs = 1;
+    for (std::size_t e = 0; e < config.train.epochs; ++e) {
+      core::Rng fit_rng = rng.split(100 + e);
+      result.scratch_loss.push_back(net.fit(train, one, fit_rng));
+    }
+  }
+  // Pretrained: train a tissue net, transplant its encoder into a cell net.
+  {
+    core::Rng t_init = rng.split(13);
+    SingleTaskNet tissue_net(Task::Tissue, t_init);
+    core::Rng t_fit = rng.split(14);
+    tissue_net.fit(train, config.train, t_fit);
+    core::Rng c_init = rng.split(15);
+    SingleTaskNet cell_net(Task::Cell, c_init);
+    cell_net.encoder().copy_weights_from(tissue_net.encoder());
+    SegTrainConfig one = config.train;
+    one.epochs = 1;
+    for (std::size_t e = 0; e < config.train.epochs; ++e) {
+      core::Rng fit_rng = rng.split(200 + e);
+      result.pretrained_loss.push_back(cell_net.fit(train, one, fit_rng));
+    }
+  }
+  return result;
+}
+
+}  // namespace treu::histo

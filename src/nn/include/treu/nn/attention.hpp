@@ -1,0 +1,70 @@
+#pragma once
+
+// Multi-head self-attention and a pre-norm transformer encoder block.
+//
+// Activations are one sequence at a time: (seq_len x model_dim). The
+// attention layer owns packed Q/K/V/output projections (each
+// model_dim x model_dim) and computes scaled dot-product attention per
+// head, with the full analytic backward pass (softmax Jacobian included) —
+// no autograd, every gradient is written out and unit-tested against finite
+// differences.
+
+#include <string>
+
+#include "treu/core/rng.hpp"
+#include "treu/nn/layer.hpp"
+#include "treu/nn/layers.hpp"
+
+namespace treu::nn {
+
+class MultiHeadAttention final : public Layer {
+ public:
+  /// model_dim must be divisible by heads.
+  MultiHeadAttention(std::size_t model_dim, std::size_t heads, core::Rng &rng);
+
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  std::vector<Param *> params() override { return {&wq_, &wk_, &wv_, &wo_}; }
+  [[nodiscard]] std::string name() const override { return "mha"; }
+
+  [[nodiscard]] std::size_t heads() const noexcept { return heads_; }
+
+  /// Attention weights of head h from the last forward (seq x seq).
+  [[nodiscard]] const tensor::Matrix &attention(std::size_t h) const {
+    return attn_.at(h);
+  }
+
+ private:
+  std::size_t model_dim_;
+  std::size_t heads_;
+  std::size_t head_dim_;
+  Param wq_, wk_, wv_, wo_;  // each model_dim x model_dim
+
+  // Forward caches.
+  tensor::Matrix x_, q_, k_, v_, concat_;
+  std::vector<tensor::Matrix> attn_;  // per head, seq x seq
+};
+
+/// Pre-norm transformer encoder block:
+///   h = x + MHA(LN1(x));  y = h + FFN(LN2(h))
+/// with FFN = Dense(d, ff) -> ReLU -> Dense(ff, d).
+class TransformerBlock final : public Layer {
+ public:
+  TransformerBlock(std::size_t model_dim, std::size_t heads,
+                   std::size_t ff_dim, core::Rng &rng);
+
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  std::vector<Param *> params() override;
+  [[nodiscard]] std::string name() const override { return "transformer_block"; }
+
+ private:
+  LayerNorm ln1_;
+  MultiHeadAttention mha_;
+  LayerNorm ln2_;
+  Dense ff1_;
+  ReLU relu_;
+  Dense ff2_;
+};
+
+}  // namespace treu::nn

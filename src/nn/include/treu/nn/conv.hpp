@@ -1,0 +1,52 @@
+#pragma once
+
+// Sequence convolution layers for the text/opcode classifiers (§2.9).
+//
+// `Conv1dSeq` convolves along the sequence axis of a (seq x in_dim)
+// activation with `filters` kernels of width `width` ("same" output length
+// via zero padding is *not* used — valid mode, matching the McLaughlin-style
+// malware CNN). `GlobalMaxPool` reduces (seq x d) to (1 x d) keeping argmax
+// indices for backward.
+
+#include <string>
+
+#include "treu/core/rng.hpp"
+#include "treu/nn/layer.hpp"
+
+namespace treu::nn {
+
+class Conv1dSeq final : public Layer {
+ public:
+  Conv1dSeq(std::size_t in_dim, std::size_t filters, std::size_t width,
+            core::Rng &rng);
+
+  /// (seq x in_dim) -> (seq - width + 1 x filters); seq must be >= width.
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  std::vector<Param *> params() override { return {&w_, &b_}; }
+  [[nodiscard]] std::string name() const override { return "conv1d_seq"; }
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+
+ private:
+  std::size_t in_dim_;
+  std::size_t filters_;
+  std::size_t width_;
+  Param w_;  // filters x (width * in_dim), row f is filter f flattened
+  Param b_;  // 1 x filters
+  tensor::Matrix input_;
+};
+
+/// Column-wise max over rows: (seq x d) -> (1 x d).
+class GlobalMaxPool final : public Layer {
+ public:
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  [[nodiscard]] std::string name() const override { return "globalmaxpool"; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::vector<std::size_t> argmax_;  // per column
+};
+
+}  // namespace treu::nn

@@ -1,0 +1,38 @@
+#pragma once
+
+// Token embedding table. Unlike the Matrix->Matrix layers, the input is a
+// token id sequence, so Embedding sits in front of a Sequential rather than
+// inside one: call `forward(tokens)` to get the (seq x dim) activation, run
+// the network, then feed the network's input-gradient to `backward`.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/nn/param.hpp"
+
+namespace treu::nn {
+
+class Embedding {
+ public:
+  Embedding(std::size_t vocab_size, std::size_t dim, core::Rng &rng);
+
+  /// Look up a sequence of token ids; out-of-range ids throw.
+  [[nodiscard]] tensor::Matrix forward(std::span<const std::uint32_t> tokens);
+
+  /// Accumulate gradients for the rows used in the last forward.
+  void backward(const tensor::Matrix &grad_out);
+
+  [[nodiscard]] std::vector<Param *> params() { return {&table_}; }
+  [[nodiscard]] std::size_t vocab_size() const noexcept {
+    return table_.value.rows();
+  }
+  [[nodiscard]] std::size_t dim() const noexcept { return table_.value.cols(); }
+
+ private:
+  Param table_;  // vocab x dim
+  std::vector<std::uint32_t> last_tokens_;
+};
+
+}  // namespace treu::nn

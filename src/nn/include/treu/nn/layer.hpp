@@ -1,0 +1,68 @@
+#pragma once
+
+// Layer interface and the Sequential container.
+//
+// Convention: activations are row-major matrices of shape (rows x features).
+// For feed-forward nets, rows is the minibatch; for sequence models, rows is
+// sequence positions (one sequence at a time). Every layer caches its
+// forward inputs as needed and must be driven strictly as
+// forward -> backward -> (optimizer step) on the same data.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "treu/nn/param.hpp"
+#include "treu/tensor/matrix.hpp"
+
+namespace treu::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass; caches whatever backward will need.
+  virtual tensor::Matrix forward(const tensor::Matrix &x) = 0;
+
+  /// Backward pass: gradient of the loss w.r.t. this layer's output in,
+  /// gradient w.r.t. its input out. Accumulates parameter gradients.
+  virtual tensor::Matrix backward(const tensor::Matrix &grad_out) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param *> params() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Toggle training-time behaviour (dropout). Default: no-op.
+  virtual void set_training(bool) {}
+};
+
+/// Ordered composition of layers.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Sequential &add(std::unique_ptr<Layer> layer);
+
+  template <typename L, typename... Args>
+  Sequential &emplace(Args &&...args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  std::vector<Param *> params() override;
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+  void set_training(bool training) override;
+
+  [[nodiscard]] std::size_t depth() const noexcept { return layers_.size(); }
+  [[nodiscard]] Layer &layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+void zero_grads(std::span<Param *const> params) noexcept;
+
+}  // namespace treu::nn

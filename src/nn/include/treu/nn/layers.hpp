@@ -1,0 +1,126 @@
+#pragma once
+
+// Core feed-forward layers: Dense, activations, Dropout, LayerNorm,
+// mean pooling, and sinusoidal positional encoding.
+
+#include <string>
+
+#include "treu/core/rng.hpp"
+#include "treu/nn/layer.hpp"
+
+namespace treu::nn {
+
+/// Fully connected layer: y = x W + b, with W (in x out) He-initialized.
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, core::Rng &rng);
+
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  std::vector<Param *> params() override { return {&w_, &b_}; }
+  [[nodiscard]] std::string name() const override { return "dense"; }
+
+  [[nodiscard]] Param &weight() noexcept { return w_; }
+  [[nodiscard]] Param &bias() noexcept { return b_; }
+
+ private:
+  Param w_;  // in x out
+  Param b_;  // 1 x out
+  tensor::Matrix input_;
+};
+
+class ReLU final : public Layer {
+ public:
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  [[nodiscard]] std::string name() const override { return "relu"; }
+
+ private:
+  tensor::Matrix input_;
+};
+
+class Tanh final : public Layer {
+ public:
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  [[nodiscard]] std::string name() const override { return "tanh"; }
+
+ private:
+  tensor::Matrix output_;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  [[nodiscard]] std::string name() const override { return "sigmoid"; }
+
+ private:
+  tensor::Matrix output_;
+};
+
+/// Inverted dropout; identity at evaluation time.
+class Dropout final : public Layer {
+ public:
+  Dropout(double rate, core::Rng &rng);
+
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  [[nodiscard]] std::string name() const override { return "dropout"; }
+  void set_training(bool training) override { training_ = training; }
+
+ private:
+  double rate_;
+  core::Rng rng_;
+  bool training_ = true;
+  tensor::Matrix mask_;
+};
+
+/// Per-row layer normalization with learned gain/bias.
+class LayerNorm final : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features, double eps = 1e-5);
+
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  std::vector<Param *> params() override { return {&gain_, &bias_}; }
+  [[nodiscard]] std::string name() const override { return "layernorm"; }
+
+ private:
+  double eps_;
+  Param gain_;  // 1 x features
+  Param bias_;  // 1 x features
+  tensor::Matrix normalized_;
+  std::vector<double> inv_std_;
+};
+
+/// Mean over rows: (seq x d) -> (1 x d). Pools a sequence representation
+/// into a classification vector.
+class MeanPool final : public Layer {
+ public:
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  [[nodiscard]] std::string name() const override { return "meanpool"; }
+
+ private:
+  std::size_t rows_ = 0;
+};
+
+/// Adds fixed sinusoidal positional encodings (Vaswani et al.) to a
+/// (seq x d) activation. Stateless w.r.t. training.
+class PositionalEncoding final : public Layer {
+ public:
+  explicit PositionalEncoding(std::size_t max_len, std::size_t dim);
+
+  tensor::Matrix forward(const tensor::Matrix &x) override;
+  tensor::Matrix backward(const tensor::Matrix &grad_out) override;
+  [[nodiscard]] std::string name() const override { return "posenc"; }
+
+  /// The encoding table itself (max_len x dim), for inspection/tests.
+  [[nodiscard]] const tensor::Matrix &table() const noexcept { return table_; }
+
+ private:
+  tensor::Matrix table_;
+};
+
+}  // namespace treu::nn

@@ -1,0 +1,43 @@
+#pragma once
+
+// Losses. Each returns the scalar loss and the gradient w.r.t. the logits /
+// predictions, ready to feed into Layer::backward.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "treu/tensor/matrix.hpp"
+
+namespace treu::nn {
+
+struct LossResult {
+  double loss = 0.0;
+  tensor::Matrix grad;  // same shape as the input
+};
+
+/// Softmax cross-entropy over rows: logits (batch x classes), one label per
+/// row. Gradient is (softmax - onehot) / batch.
+[[nodiscard]] LossResult softmax_cross_entropy(const tensor::Matrix &logits,
+                                               std::span<const std::size_t> labels);
+
+/// Row-wise softmax probabilities (numerically stabilized).
+[[nodiscard]] tensor::Matrix softmax(const tensor::Matrix &logits);
+
+/// Mean squared error against a target of the same shape; grad is
+/// 2 (pred - target) / size.
+[[nodiscard]] LossResult mse(const tensor::Matrix &pred,
+                             const tensor::Matrix &target);
+
+/// Binary cross entropy on sigmoid probabilities in (0,1).
+[[nodiscard]] LossResult binary_cross_entropy(const tensor::Matrix &probs,
+                                              const tensor::Matrix &targets);
+
+/// Argmax prediction per row.
+[[nodiscard]] std::vector<std::size_t> argmax_rows(const tensor::Matrix &logits);
+
+/// Fraction of rows whose argmax equals the label.
+[[nodiscard]] double accuracy(const tensor::Matrix &logits,
+                              std::span<const std::size_t> labels);
+
+}  // namespace treu::nn

@@ -1,0 +1,97 @@
+#pragma once
+
+// Convenience multilayer-perceptron classifier used by several experiment
+// modules (unlearning, DQN Q-estimators, detector scoring): Dense/ReLU
+// stack + softmax cross-entropy training loop with deterministic minibatch
+// shuffling.
+
+#include <memory>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/nn/layer.hpp"
+#include "treu/nn/loss.hpp"
+#include "treu/nn/optimizer.hpp"
+
+namespace treu::nn {
+
+/// Labeled dense dataset: one row per sample.
+struct Dataset {
+  tensor::Matrix x;
+  std::vector<std::size_t> y;
+
+  [[nodiscard]] std::size_t size() const noexcept { return y.size(); }
+
+  /// Row subset (copy).
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Split into (train, test) by shuffled indices.
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double train_fraction,
+                                                  core::Rng &rng) const;
+
+  /// Remove all samples of one class (returns the filtered set and the
+  /// removed set) — the unlearning module's "forget set" constructor.
+  [[nodiscard]] std::pair<Dataset, Dataset> without_class(std::size_t cls) const;
+};
+
+struct TrainConfig {
+  std::size_t epochs = 20;
+  std::size_t batch_size = 32;
+  double lr = 1e-3;
+  double grad_clip = 0.0;      // 0 = off
+  double weight_decay = 0.0;   // L2 regularization fed to the optimizer
+  double momentum = 0.9;       // SGD only
+  /// Adam's per-coordinate scaling is the right default for dense nets but
+  /// notoriously overfits very sparse high-dimensional features (rare
+  /// feature -> tiny second moment -> huge step); plain SGD is the safe
+  /// choice there.
+  bool use_sgd = false;
+  bool shuffle = true;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_loss;
+  double final_train_accuracy = 0.0;
+};
+
+class MlpClassifier {
+ public:
+  MlpClassifier(std::size_t input_dim, const std::vector<std::size_t> &hidden,
+                std::size_t classes, core::Rng &rng);
+
+  [[nodiscard]] tensor::Matrix logits(const tensor::Matrix &x);
+  [[nodiscard]] std::vector<std::size_t> predict(const tensor::Matrix &x);
+  [[nodiscard]] double evaluate(const Dataset &data);
+
+  /// Mean per-class probability the model assigns to class `cls` over the
+  /// rows of `x` (used by unlearning verification).
+  [[nodiscard]] double mean_class_probability(const tensor::Matrix &x,
+                                              std::size_t cls);
+
+  /// Adam training with softmax cross-entropy.
+  TrainStats train(const Dataset &data, const TrainConfig &config,
+                   core::Rng &rng);
+
+  /// One gradient step on an explicit batch with sign `direction`
+  /// (+1 descend, -1 ascend — gradient ascent drives unlearning).
+  double step_on_batch(const tensor::Matrix &x,
+                       std::span<const std::size_t> y, Optimizer &opt,
+                       double direction = 1.0);
+
+  /// One step pulling the softmax outputs for `x` toward an explicit target
+  /// distribution (same row count as x, `classes` columns). Bounded
+  /// gradients make this the stable primitive for unlearning: retargeting
+  /// the forget class to uniform never explodes the way CE ascent does.
+  double step_toward_distribution(const tensor::Matrix &x,
+                                  const tensor::Matrix &target_probs,
+                                  Optimizer &opt);
+
+  [[nodiscard]] std::vector<Param *> params() { return net_.params(); }
+  [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
+
+ private:
+  Sequential net_;
+  std::size_t classes_;
+};
+
+}  // namespace treu::nn

@@ -1,0 +1,62 @@
+#pragma once
+
+// Optimizers over Param lists. Both are deterministic given the gradient
+// sequence; state (momentum / moment estimates) is keyed by position in the
+// parameter list, so the list must be stable across steps.
+
+#include <vector>
+
+#include "treu/nn/param.hpp"
+
+namespace treu::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  virtual void step(std::span<Param *const> params) = 0;
+};
+
+/// SGD with classical momentum and optional L2 weight decay.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0, double weight_decay = 0.0)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void step(std::span<Param *const> params) override;
+
+  void set_lr(double lr) noexcept { lr_ = lr; }
+  [[nodiscard]] double lr() const noexcept { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+        weight_decay_(weight_decay) {}
+
+  void step(std::span<Param *const> params) override;
+
+  void set_lr(double lr) noexcept { lr_ = lr; }
+  [[nodiscard]] double lr() const noexcept { return lr_; }
+  [[nodiscard]] std::size_t steps_taken() const noexcept { return t_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::size_t t_ = 0;
+  std::vector<std::vector<double>> m_, v_;
+};
+
+/// Clip gradients to a global L2 norm bound; returns the pre-clip norm.
+double clip_grad_norm(std::span<Param *const> params, double max_norm);
+
+}  // namespace treu::nn

@@ -1,0 +1,43 @@
+#pragma once
+
+// Trainable parameter: a value matrix and its accumulated gradient.
+//
+// The library uses explicit forward/backward passes (no tape autograd):
+// each layer caches what it needs during forward and writes parameter
+// gradients during backward. Optimizers see parameters through `Param*`
+// lists, and the whole parameter set can be fingerprinted for the
+// reproducibility ledger (identical training run => identical weight
+// digest).
+
+#include <span>
+#include <vector>
+
+#include "treu/core/sha256.hpp"
+#include "treu/tensor/matrix.hpp"
+
+namespace treu::nn {
+
+struct Param {
+  tensor::Matrix value;
+  tensor::Matrix grad;
+
+  Param() = default;
+  explicit Param(tensor::Matrix v)
+      : value(std::move(v)), grad(value.rows(), value.cols(), 0.0) {}
+
+  void zero_grad() noexcept { grad.fill(0.0); }
+  [[nodiscard]] std::size_t size() const noexcept { return value.size(); }
+};
+
+/// Total scalar count across a parameter list.
+[[nodiscard]] std::size_t parameter_count(std::span<Param *const> params) noexcept;
+
+/// Bit-exact fingerprint of all parameter values (shapes included), in list
+/// order. Equal training runs produce equal digests.
+[[nodiscard]] core::Digest weight_digest(std::span<Param *const> params);
+
+/// Serialize / restore all parameter values (shapes must already match).
+[[nodiscard]] std::vector<double> save_weights(std::span<Param *const> params);
+void load_weights(std::span<Param *const> params, std::span<const double> flat);
+
+}  // namespace treu::nn

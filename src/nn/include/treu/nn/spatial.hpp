@@ -1,0 +1,79 @@
+#pragma once
+
+// Spatial (image) layers over Tensor3 activations (channels x H x W),
+// the building blocks of the histopathology segmentation nets (§2.7):
+// same-padded multi-channel 2D convolution, 2x2 max pooling, 2x nearest
+// upsampling, and ReLU — each with explicit backward.
+//
+// These mirror the Layer interface but on Tensor3; they are composed
+// directly (not via Sequential) by the encoder-decoder models.
+
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/nn/param.hpp"
+#include "treu/tensor/matrix.hpp"
+
+namespace treu::nn {
+
+/// Same-padded KxK convolution: (Cin x H x W) -> (Cout x H x W).
+class Conv2d3 {
+ public:
+  Conv2d3(std::size_t in_channels, std::size_t out_channels, std::size_t ksize,
+          core::Rng &rng);
+
+  [[nodiscard]] tensor::Tensor3 forward(const tensor::Tensor3 &x);
+  [[nodiscard]] tensor::Tensor3 backward(const tensor::Tensor3 &grad_out);
+  [[nodiscard]] std::vector<Param *> params() { return {&w_, &b_}; }
+
+  [[nodiscard]] std::size_t in_channels() const noexcept { return cin_; }
+  [[nodiscard]] std::size_t out_channels() const noexcept { return cout_; }
+
+ private:
+  std::size_t cin_, cout_, k_;
+  Param w_;  // cout x (cin * k * k)
+  Param b_;  // 1 x cout
+  tensor::Tensor3 input_;
+};
+
+/// 2x2 max pooling with stride 2 (floor semantics on odd sizes).
+class MaxPool2x2 {
+ public:
+  [[nodiscard]] tensor::Tensor3 forward(const tensor::Tensor3 &x);
+  [[nodiscard]] tensor::Tensor3 backward(const tensor::Tensor3 &grad_out);
+
+ private:
+  std::size_t in_h_ = 0, in_w_ = 0;
+  std::vector<std::size_t> argmax_;  // flat index into input per output cell
+};
+
+/// Nearest-neighbour 2x upsampling.
+class Upsample2x {
+ public:
+  [[nodiscard]] tensor::Tensor3 forward(const tensor::Tensor3 &x);
+  [[nodiscard]] tensor::Tensor3 backward(const tensor::Tensor3 &grad_out);
+
+ private:
+  std::size_t in_h_ = 0, in_w_ = 0;
+};
+
+class ReLU3 {
+ public:
+  [[nodiscard]] tensor::Tensor3 forward(const tensor::Tensor3 &x);
+  [[nodiscard]] tensor::Tensor3 backward(const tensor::Tensor3 &grad_out);
+
+ private:
+  tensor::Tensor3 input_;
+};
+
+/// Per-pixel sigmoid (for mask heads).
+class Sigmoid3 {
+ public:
+  [[nodiscard]] tensor::Tensor3 forward(const tensor::Tensor3 &x);
+  [[nodiscard]] tensor::Tensor3 backward(const tensor::Tensor3 &grad_out);
+
+ private:
+  tensor::Tensor3 output_;
+};
+
+}  // namespace treu::nn

@@ -1,0 +1,91 @@
+#include "treu/nn/conv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace treu::nn {
+
+Conv1dSeq::Conv1dSeq(std::size_t in_dim, std::size_t filters,
+                     std::size_t width, core::Rng &rng)
+    : in_dim_(in_dim),
+      filters_(filters),
+      width_(width),
+      w_(tensor::Matrix::random_normal(
+          filters, width * in_dim, rng,
+          std::sqrt(2.0 / static_cast<double>(width * in_dim)))),
+      b_(tensor::Matrix(1, filters, 0.0)) {
+  if (width == 0 || in_dim == 0 || filters == 0) {
+    throw std::invalid_argument("Conv1dSeq: zero-sized configuration");
+  }
+}
+
+tensor::Matrix Conv1dSeq::forward(const tensor::Matrix &x) {
+  if (x.cols() != in_dim_ || x.rows() < width_) {
+    throw std::invalid_argument("Conv1dSeq::forward: bad input shape");
+  }
+  input_ = x;
+  const std::size_t out_len = x.rows() - width_ + 1;
+  tensor::Matrix y(out_len, filters_);
+  for (std::size_t t = 0; t < out_len; ++t) {
+    // The window rows [t, t+width) are contiguous in memory because the
+    // matrix is row-major: flatten once per position.
+    const double *window = x.row(t).data();
+    for (std::size_t f = 0; f < filters_; ++f) {
+      const double *wf = w_.value.row(f).data();
+      double s = b_.value(0, f);
+      for (std::size_t i = 0; i < width_ * in_dim_; ++i) s += window[i] * wf[i];
+      y(t, f) = s;
+    }
+  }
+  return y;
+}
+
+tensor::Matrix Conv1dSeq::backward(const tensor::Matrix &grad_out) {
+  const std::size_t out_len = grad_out.rows();
+  tensor::Matrix dx(input_.rows(), in_dim_, 0.0);
+  for (std::size_t t = 0; t < out_len; ++t) {
+    const double *window = input_.row(t).data();
+    double *dwindow = dx.row(t).data();
+    for (std::size_t f = 0; f < filters_; ++f) {
+      const double g = grad_out(t, f);
+      if (g == 0.0) continue;
+      const double *wf = w_.value.row(f).data();
+      double *dwf = w_.grad.row(f).data();
+      for (std::size_t i = 0; i < width_ * in_dim_; ++i) {
+        dwf[i] += g * window[i];
+        dwindow[i] += g * wf[i];
+      }
+      b_.grad(0, f) += g;
+    }
+  }
+  return dx;
+}
+
+tensor::Matrix GlobalMaxPool::forward(const tensor::Matrix &x) {
+  rows_ = x.rows();
+  argmax_.assign(x.cols(), 0);
+  tensor::Matrix y(1, x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    double best = x(0, c);
+    std::size_t arg = 0;
+    for (std::size_t r = 1; r < x.rows(); ++r) {
+      if (x(r, c) > best) {
+        best = x(r, c);
+        arg = r;
+      }
+    }
+    y(0, c) = best;
+    argmax_[c] = arg;
+  }
+  return y;
+}
+
+tensor::Matrix GlobalMaxPool::backward(const tensor::Matrix &grad_out) {
+  tensor::Matrix g(rows_, grad_out.cols(), 0.0);
+  for (std::size_t c = 0; c < grad_out.cols(); ++c) {
+    g(argmax_[c], c) = grad_out(0, c);
+  }
+  return g;
+}
+
+}  // namespace treu::nn

@@ -1,0 +1,37 @@
+#include "treu/nn/embedding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace treu::nn {
+
+Embedding::Embedding(std::size_t vocab_size, std::size_t dim, core::Rng &rng)
+    : table_(tensor::Matrix::random_normal(
+          vocab_size, dim, rng, std::sqrt(1.0 / static_cast<double>(dim)))) {}
+
+tensor::Matrix Embedding::forward(std::span<const std::uint32_t> tokens) {
+  last_tokens_.assign(tokens.begin(), tokens.end());
+  tensor::Matrix out(tokens.size(), dim());
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    if (tokens[t] >= vocab_size()) {
+      throw std::out_of_range("Embedding::forward: token id out of range");
+    }
+    const auto row = table_.value.row(tokens[t]);
+    auto dst = out.row(t);
+    for (std::size_t c = 0; c < row.size(); ++c) dst[c] = row[c];
+  }
+  return out;
+}
+
+void Embedding::backward(const tensor::Matrix &grad_out) {
+  if (grad_out.rows() != last_tokens_.size() || grad_out.cols() != dim()) {
+    throw std::invalid_argument("Embedding::backward: shape mismatch");
+  }
+  for (std::size_t t = 0; t < last_tokens_.size(); ++t) {
+    auto g = table_.grad.row(last_tokens_[t]);
+    const auto src = grad_out.row(t);
+    for (std::size_t c = 0; c < g.size(); ++c) g[c] += src[c];
+  }
+}
+
+}  // namespace treu::nn

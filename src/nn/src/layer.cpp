@@ -1,0 +1,40 @@
+#include "treu/nn/layer.hpp"
+
+namespace treu::nn {
+
+Sequential &Sequential::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+tensor::Matrix Sequential::forward(const tensor::Matrix &x) {
+  tensor::Matrix h = x;
+  for (auto &l : layers_) h = l->forward(h);
+  return h;
+}
+
+tensor::Matrix Sequential::backward(const tensor::Matrix &grad_out) {
+  tensor::Matrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param *> Sequential::params() {
+  std::vector<Param *> out;
+  for (auto &l : layers_) {
+    for (Param *p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Sequential::set_training(bool training) {
+  for (auto &l : layers_) l->set_training(training);
+}
+
+void zero_grads(std::span<Param *const> params) noexcept {
+  for (Param *p : params) p->zero_grad();
+}
+
+}  // namespace treu::nn

@@ -1,0 +1,105 @@
+#include "treu/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace treu::nn {
+
+tensor::Matrix softmax(const tensor::Matrix &logits) {
+  tensor::Matrix p = logits;
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    auto row = p.row(r);
+    double mx = row[0];
+    for (double v : row) mx = std::max(mx, v);
+    double sum = 0.0;
+    for (auto &v : row) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    for (auto &v : row) v /= sum;
+  }
+  return p;
+}
+
+LossResult softmax_cross_entropy(const tensor::Matrix &logits,
+                                 std::span<const std::size_t> labels) {
+  if (logits.rows() != labels.size()) {
+    throw std::invalid_argument("softmax_cross_entropy: batch size mismatch");
+  }
+  LossResult out;
+  out.grad = softmax(logits);
+  const double inv_batch = 1.0 / static_cast<double>(logits.rows());
+  double loss = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    if (labels[r] >= logits.cols()) {
+      throw std::out_of_range("softmax_cross_entropy: label out of range");
+    }
+    const double p = std::max(out.grad(r, labels[r]), 1e-15);
+    loss -= std::log(p);
+    out.grad(r, labels[r]) -= 1.0;
+  }
+  out.grad *= inv_batch;
+  out.loss = loss * inv_batch;
+  return out;
+}
+
+LossResult mse(const tensor::Matrix &pred, const tensor::Matrix &target) {
+  if (pred.rows() != target.rows() || pred.cols() != target.cols()) {
+    throw std::invalid_argument("mse: shape mismatch");
+  }
+  LossResult out;
+  out.grad = pred;
+  out.grad -= target;
+  double loss = 0.0;
+  for (double g : out.grad.flat()) loss += g * g;
+  const double inv = 1.0 / static_cast<double>(pred.size());
+  out.loss = loss * inv;
+  out.grad *= 2.0 * inv;
+  return out;
+}
+
+LossResult binary_cross_entropy(const tensor::Matrix &probs,
+                                const tensor::Matrix &targets) {
+  if (probs.rows() != targets.rows() || probs.cols() != targets.cols()) {
+    throw std::invalid_argument("binary_cross_entropy: shape mismatch");
+  }
+  LossResult out;
+  out.grad = tensor::Matrix(probs.rows(), probs.cols());
+  double loss = 0.0;
+  const double inv = 1.0 / static_cast<double>(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const double p = std::clamp(probs.flat()[i], 1e-12, 1.0 - 1e-12);
+    const double t = targets.flat()[i];
+    loss -= t * std::log(p) + (1.0 - t) * std::log(1.0 - p);
+    out.grad.flat()[i] = (p - t) / (p * (1.0 - p)) * inv;
+  }
+  out.loss = loss * inv;
+  return out;
+}
+
+std::vector<std::size_t> argmax_rows(const tensor::Matrix &logits) {
+  std::vector<std::size_t> out(logits.rows(), 0);
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto row = logits.row(r);
+    std::size_t arg = 0;
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      if (row[c] > row[arg]) arg = c;
+    }
+    out[r] = arg;
+  }
+  return out;
+}
+
+double accuracy(const tensor::Matrix &logits,
+                std::span<const std::size_t> labels) {
+  if (logits.rows() == 0) return 0.0;
+  const auto preds = argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < preds.size(); ++r) {
+    if (preds[r] == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+}  // namespace treu::nn

@@ -1,0 +1,158 @@
+#include "treu/nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "treu/nn/layers.hpp"
+
+namespace treu::nn {
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.x = tensor::Matrix(indices.size(), x.cols());
+  out.y.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = x.row(indices[i]);
+    auto dst = out.x.row(i);
+    for (std::size_t c = 0; c < src.size(); ++c) dst[c] = src[c];
+    out.y[i] = y[indices[i]];
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
+                                           core::Rng &rng) const {
+  std::vector<std::size_t> idx(size());
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  const std::size_t n_train =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(size()));
+  const std::span<const std::size_t> all(idx);
+  return {subset(all.subspan(0, n_train)), subset(all.subspan(n_train))};
+}
+
+std::pair<Dataset, Dataset> Dataset::without_class(std::size_t cls) const {
+  std::vector<std::size_t> keep;
+  std::vector<std::size_t> removed;
+  for (std::size_t i = 0; i < size(); ++i) {
+    (y[i] == cls ? removed : keep).push_back(i);
+  }
+  return {subset(keep), subset(removed)};
+}
+
+MlpClassifier::MlpClassifier(std::size_t input_dim,
+                             const std::vector<std::size_t> &hidden,
+                             std::size_t classes, core::Rng &rng)
+    : classes_(classes) {
+  std::size_t prev = input_dim;
+  for (std::size_t h : hidden) {
+    net_.emplace<Dense>(prev, h, rng);
+    net_.emplace<ReLU>();
+    prev = h;
+  }
+  net_.emplace<Dense>(prev, classes, rng);
+}
+
+tensor::Matrix MlpClassifier::logits(const tensor::Matrix &x) {
+  return net_.forward(x);
+}
+
+std::vector<std::size_t> MlpClassifier::predict(const tensor::Matrix &x) {
+  return argmax_rows(logits(x));
+}
+
+double MlpClassifier::evaluate(const Dataset &data) {
+  if (data.size() == 0) return 0.0;
+  return accuracy(logits(data.x), data.y);
+}
+
+double MlpClassifier::mean_class_probability(const tensor::Matrix &x,
+                                             std::size_t cls) {
+  if (x.rows() == 0) return 0.0;
+  const tensor::Matrix p = softmax(logits(x));
+  double s = 0.0;
+  for (std::size_t r = 0; r < p.rows(); ++r) s += p(r, cls);
+  return s / static_cast<double>(p.rows());
+}
+
+TrainStats MlpClassifier::train(const Dataset &data, const TrainConfig &config,
+                                core::Rng &rng) {
+  TrainStats stats;
+  if (data.size() == 0) return stats;
+  std::unique_ptr<Optimizer> opt;
+  if (config.use_sgd) {
+    opt = std::make_unique<Sgd>(config.lr, config.momentum, config.weight_decay);
+  } else {
+    opt = std::make_unique<Adam>(config.lr, 0.9, 0.999, 1e-8,
+                                 config.weight_decay);
+  }
+  const auto param_list = net_.params();
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle) rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, order.size());
+      const std::span<const std::size_t> batch_idx(order.data() + start,
+                                                   end - start);
+      const Dataset batch = data.subset(batch_idx);
+      const tensor::Matrix out = net_.forward(batch.x);
+      const LossResult lr = softmax_cross_entropy(out, batch.y);
+      net_.backward(lr.grad);
+      if (config.grad_clip > 0.0) clip_grad_norm(param_list, config.grad_clip);
+      opt->step(param_list);
+      epoch_loss += lr.loss;
+      ++batches;
+    }
+    stats.epoch_loss.push_back(batches > 0 ? epoch_loss / static_cast<double>(batches)
+                                           : 0.0);
+  }
+  stats.final_train_accuracy = evaluate(data);
+  return stats;
+}
+
+double MlpClassifier::step_toward_distribution(const tensor::Matrix &x,
+                                               const tensor::Matrix &target_probs,
+                                               Optimizer &opt) {
+  if (target_probs.rows() != x.rows() || target_probs.cols() != classes_) {
+    throw std::invalid_argument(
+        "step_toward_distribution: target shape mismatch");
+  }
+  const tensor::Matrix out = net_.forward(x);
+  tensor::Matrix probs = softmax(out);
+  // Cross-entropy against a soft target: grad = (softmax - target) / batch.
+  double loss = 0.0;
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    for (std::size_t c = 0; c < classes_; ++c) {
+      const double p = std::max(probs(r, c), 1e-15);
+      loss -= target_probs(r, c) * std::log(p);
+    }
+  }
+  const double inv_batch = 1.0 / static_cast<double>(x.rows());
+  probs -= target_probs;
+  probs *= inv_batch;
+  net_.backward(probs);
+  opt.step(net_.params());
+  return loss * inv_batch;
+}
+
+double MlpClassifier::step_on_batch(const tensor::Matrix &x,
+                                    std::span<const std::size_t> y,
+                                    Optimizer &opt, double direction) {
+  const tensor::Matrix out = net_.forward(x);
+  LossResult lr = softmax_cross_entropy(out, y);
+  if (direction != 1.0) lr.grad *= direction;
+  net_.backward(lr.grad);
+  opt.step(net_.params());
+  return lr.loss;
+}
+
+}  // namespace treu::nn

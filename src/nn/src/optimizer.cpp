@@ -1,0 +1,78 @@
+#include "treu/nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace treu::nn {
+namespace {
+
+void ensure_state(std::vector<std::vector<double>> &state,
+                  std::span<Param *const> params) {
+  if (state.size() == params.size()) return;
+  if (!state.empty()) {
+    throw std::invalid_argument("Optimizer: parameter list changed size");
+  }
+  state.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    state[i].assign(params[i]->size(), 0.0);
+  }
+}
+
+}  // namespace
+
+void Sgd::step(std::span<Param *const> params) {
+  ensure_state(velocity_, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param &p = *params[i];
+    auto value = p.value.flat();
+    auto grad = p.grad.flat();
+    auto &vel = velocity_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      double g = grad[j] + weight_decay_ * value[j];
+      vel[j] = momentum_ * vel[j] + g;
+      value[j] -= lr_ * vel[j];
+    }
+    p.zero_grad();
+  }
+}
+
+void Adam::step(std::span<Param *const> params) {
+  ensure_state(m_, params);
+  ensure_state(v_, params);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param &p = *params[i];
+    auto value = p.value.flat();
+    auto grad = p.grad.flat();
+    auto &m = m_[i];
+    auto &v = v_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const double g = grad[j] + weight_decay_ * value[j];
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g * g;
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    p.zero_grad();
+  }
+}
+
+double clip_grad_norm(std::span<Param *const> params, double max_norm) {
+  double total = 0.0;
+  for (const Param *p : params) {
+    for (double g : p->grad.flat()) total += g * g;
+  }
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (Param *p : params) {
+      for (auto &g : p->grad.flat()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace treu::nn

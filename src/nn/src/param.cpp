@@ -1,0 +1,49 @@
+#include "treu/nn/param.hpp"
+
+#include <stdexcept>
+
+namespace treu::nn {
+
+std::size_t parameter_count(std::span<Param *const> params) noexcept {
+  std::size_t n = 0;
+  for (const Param *p : params) n += p->size();
+  return n;
+}
+
+core::Digest weight_digest(std::span<Param *const> params) {
+  core::Sha256 h;
+  h.update("weights-v1");
+  for (const Param *p : params) {
+    const std::size_t r = p->value.rows();
+    const std::size_t c = p->value.cols();
+    h.update_value(r);
+    h.update_value(c);
+    h.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t *>(p->value.data()),
+        p->value.size() * sizeof(double)));
+  }
+  return h.finish();
+}
+
+std::vector<double> save_weights(std::span<Param *const> params) {
+  std::vector<double> flat;
+  flat.reserve(parameter_count(params));
+  for (const Param *p : params) {
+    flat.insert(flat.end(), p->value.flat().begin(), p->value.flat().end());
+  }
+  return flat;
+}
+
+void load_weights(std::span<Param *const> params, std::span<const double> flat) {
+  if (flat.size() != parameter_count(params)) {
+    throw std::invalid_argument("load_weights: size mismatch");
+  }
+  std::size_t off = 0;
+  for (Param *p : params) {
+    auto dst = p->value.flat();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = flat[off + i];
+    off += dst.size();
+  }
+}
+
+}  // namespace treu::nn

@@ -1,0 +1,210 @@
+#include "treu/nn/spatial.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace treu::nn {
+
+Conv2d3::Conv2d3(std::size_t in_channels, std::size_t out_channels,
+                 std::size_t ksize, core::Rng &rng)
+    : cin_(in_channels),
+      cout_(out_channels),
+      k_(ksize),
+      w_(tensor::Matrix::random_normal(
+          out_channels, in_channels * ksize * ksize, rng,
+          std::sqrt(2.0 / static_cast<double>(in_channels * ksize * ksize)))),
+      b_(tensor::Matrix(1, out_channels, 0.0)) {
+  if (ksize % 2 == 0) {
+    throw std::invalid_argument("Conv2d3: kernel size must be odd (same pad)");
+  }
+}
+
+tensor::Tensor3 Conv2d3::forward(const tensor::Tensor3 &x) {
+  if (x.channels() != cin_) {
+    throw std::invalid_argument("Conv2d3::forward: channel mismatch");
+  }
+  input_ = x;
+  const std::size_t h = x.height(), w = x.width();
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
+  tensor::Tensor3 y(cout_, h, w, 0.0);
+  for (std::size_t f = 0; f < cout_; ++f) {
+    const double *wf = w_.value.row(f).data();
+    for (std::size_t oy = 0; oy < h; ++oy) {
+      for (std::size_t ox = 0; ox < w; ++ox) {
+        double s = b_.value(0, f);
+        std::size_t wi = 0;
+        for (std::size_t c = 0; c < cin_; ++c) {
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy + ky) - pad;
+            for (std::size_t kx = 0; kx < k_; ++kx, ++wi) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox + kx) - pad;
+              if (iy < 0 || ix < 0 ||
+                  iy >= static_cast<std::ptrdiff_t>(h) ||
+                  ix >= static_cast<std::ptrdiff_t>(w)) {
+                continue;  // zero padding
+              }
+              s += x(c, static_cast<std::size_t>(iy),
+                     static_cast<std::size_t>(ix)) *
+                   wf[wi];
+            }
+          }
+        }
+        y(f, oy, ox) = s;
+      }
+    }
+  }
+  return y;
+}
+
+tensor::Tensor3 Conv2d3::backward(const tensor::Tensor3 &grad_out) {
+  const std::size_t h = input_.height(), w = input_.width();
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
+  tensor::Tensor3 dx(cin_, h, w, 0.0);
+  for (std::size_t f = 0; f < cout_; ++f) {
+    const double *wf = w_.value.row(f).data();
+    double *dwf = w_.grad.row(f).data();
+    double db = 0.0;
+    for (std::size_t oy = 0; oy < h; ++oy) {
+      for (std::size_t ox = 0; ox < w; ++ox) {
+        const double g = grad_out(f, oy, ox);
+        if (g == 0.0) continue;
+        db += g;
+        std::size_t wi = 0;
+        for (std::size_t c = 0; c < cin_; ++c) {
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy + ky) - pad;
+            for (std::size_t kx = 0; kx < k_; ++kx, ++wi) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox + kx) - pad;
+              if (iy < 0 || ix < 0 ||
+                  iy >= static_cast<std::ptrdiff_t>(h) ||
+                  ix >= static_cast<std::ptrdiff_t>(w)) {
+                continue;
+              }
+              const auto uy = static_cast<std::size_t>(iy);
+              const auto ux = static_cast<std::size_t>(ix);
+              dwf[wi] += g * input_(c, uy, ux);
+              dx(c, uy, ux) += g * wf[wi];
+            }
+          }
+        }
+      }
+    }
+    b_.grad(0, f) += db;
+  }
+  return dx;
+}
+
+tensor::Tensor3 MaxPool2x2::forward(const tensor::Tensor3 &x) {
+  in_h_ = x.height();
+  in_w_ = x.width();
+  const std::size_t oh = in_h_ / 2, ow = in_w_ / 2;
+  tensor::Tensor3 y(x.channels(), oh, ow, 0.0);
+  argmax_.assign(x.channels() * oh * ow, 0);
+  std::size_t out_i = 0;
+  for (std::size_t c = 0; c < x.channels(); ++c) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox, ++out_i) {
+        double best = -std::numeric_limits<double>::infinity();
+        std::size_t best_flat = 0;
+        for (std::size_t dy = 0; dy < 2; ++dy) {
+          for (std::size_t dx = 0; dx < 2; ++dx) {
+            const std::size_t iy = 2 * oy + dy;
+            const std::size_t ix = 2 * ox + dx;
+            const double v = x(c, iy, ix);
+            if (v > best) {
+              best = v;
+              best_flat = (c * in_h_ + iy) * in_w_ + ix;
+            }
+          }
+        }
+        y(c, oy, ox) = best;
+        argmax_[out_i] = best_flat;
+      }
+    }
+  }
+  return y;
+}
+
+tensor::Tensor3 MaxPool2x2::backward(const tensor::Tensor3 &grad_out) {
+  tensor::Tensor3 dx(grad_out.channels(), in_h_, in_w_, 0.0);
+  std::size_t out_i = 0;
+  for (std::size_t c = 0; c < grad_out.channels(); ++c) {
+    for (std::size_t oy = 0; oy < grad_out.height(); ++oy) {
+      for (std::size_t ox = 0; ox < grad_out.width(); ++ox, ++out_i) {
+        dx.flat()[argmax_[out_i]] += grad_out(c, oy, ox);
+      }
+    }
+  }
+  return dx;
+}
+
+tensor::Tensor3 Upsample2x::forward(const tensor::Tensor3 &x) {
+  in_h_ = x.height();
+  in_w_ = x.width();
+  tensor::Tensor3 y(x.channels(), in_h_ * 2, in_w_ * 2, 0.0);
+  for (std::size_t c = 0; c < x.channels(); ++c) {
+    for (std::size_t iy = 0; iy < in_h_; ++iy) {
+      for (std::size_t ix = 0; ix < in_w_; ++ix) {
+        const double v = x(c, iy, ix);
+        y(c, 2 * iy, 2 * ix) = v;
+        y(c, 2 * iy, 2 * ix + 1) = v;
+        y(c, 2 * iy + 1, 2 * ix) = v;
+        y(c, 2 * iy + 1, 2 * ix + 1) = v;
+      }
+    }
+  }
+  return y;
+}
+
+tensor::Tensor3 Upsample2x::backward(const tensor::Tensor3 &grad_out) {
+  tensor::Tensor3 dx(grad_out.channels(), in_h_, in_w_, 0.0);
+  for (std::size_t c = 0; c < grad_out.channels(); ++c) {
+    for (std::size_t iy = 0; iy < in_h_; ++iy) {
+      for (std::size_t ix = 0; ix < in_w_; ++ix) {
+        dx(c, iy, ix) = grad_out(c, 2 * iy, 2 * ix) +
+                        grad_out(c, 2 * iy, 2 * ix + 1) +
+                        grad_out(c, 2 * iy + 1, 2 * ix) +
+                        grad_out(c, 2 * iy + 1, 2 * ix + 1);
+      }
+    }
+  }
+  return dx;
+}
+
+tensor::Tensor3 ReLU3::forward(const tensor::Tensor3 &x) {
+  input_ = x;
+  tensor::Tensor3 y = x;
+  for (auto &v : y.flat()) v = v > 0.0 ? v : 0.0;
+  return y;
+}
+
+tensor::Tensor3 ReLU3::backward(const tensor::Tensor3 &grad_out) {
+  tensor::Tensor3 g = grad_out;
+  auto gi = g.flat();
+  const auto xi = input_.flat();
+  for (std::size_t i = 0; i < gi.size(); ++i) {
+    if (xi[i] <= 0.0) gi[i] = 0.0;
+  }
+  return g;
+}
+
+tensor::Tensor3 Sigmoid3::forward(const tensor::Tensor3 &x) {
+  output_ = x;
+  for (auto &v : output_.flat()) v = 1.0 / (1.0 + std::exp(-v));
+  return output_;
+}
+
+tensor::Tensor3 Sigmoid3::backward(const tensor::Tensor3 &grad_out) {
+  tensor::Tensor3 g = grad_out;
+  auto gi = g.flat();
+  const auto yi = output_.flat();
+  for (std::size_t i = 0; i < gi.size(); ++i) gi[i] *= yi[i] * (1.0 - yi[i]);
+  return g;
+}
+
+}  // namespace treu::nn

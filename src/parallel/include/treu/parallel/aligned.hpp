@@ -1,0 +1,37 @@
+#pragma once
+
+// Cache-line utilities shared by the parallel runtime.
+//
+// False sharing between per-thread accumulators is the classic silent
+// performance bug in reduction code; `CacheAligned<T>` pads each slot to a
+// full destructive-interference span so neighbouring slots never share a
+// line.
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace treu::parallel {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t kCacheLine = std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kCacheLine = 64;
+#endif
+
+/// Value wrapper padded to a cache line. Use for per-thread slots in shared
+/// arrays (partial sums, counters) to avoid false sharing.
+template <typename T>
+struct alignas(kCacheLine) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(T v) : value(std::move(v)) {}
+
+  T &operator*() noexcept { return value; }
+  const T &operator*() const noexcept { return value; }
+  T *operator->() noexcept { return &value; }
+  const T *operator->() const noexcept { return &value; }
+};
+
+}  // namespace treu::parallel

@@ -1,0 +1,49 @@
+#pragma once
+
+// Range-partitioning strategies for loop parallelism.
+//
+// A partition is a deterministic function of (range size, chunking policy)
+// only — never of the number of worker threads. Keeping the decomposition
+// independent of the executor is what makes deterministic reductions
+// (treu/parallel/reduce.hpp) possible: the same chunks combine in the same
+// order no matter how many threads carried them out.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace treu::parallel {
+
+/// Half-open index range [begin, end).
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return begin >= end; }
+  friend bool operator==(const Range &, const Range &) = default;
+};
+
+/// Split [0, n) into `parts` nearly equal contiguous ranges.
+/// The first `n % parts` ranges are one element longer, matching the classic
+/// block decomposition used by MPI codes. Returns fewer than `parts` ranges
+/// when n < parts (never returns empty ranges).
+[[nodiscard]] std::vector<Range> split_even(std::size_t n, std::size_t parts);
+
+/// Split [0, n) into fixed-size chunks of `chunk` (last chunk may be short).
+[[nodiscard]] std::vector<Range> split_fixed(std::size_t n, std::size_t chunk);
+
+/// Guided decomposition: chunk sizes decay geometrically from n/parts down
+/// to `min_chunk`, which gives better load balance for loops whose per-
+/// iteration cost is skewed. Deterministic; used by the autotuner's
+/// measurement loops.
+[[nodiscard]] std::vector<Range> split_guided(std::size_t n, std::size_t parts,
+                                              std::size_t min_chunk = 1);
+
+/// Pick a chunk size that yields roughly `target_chunks` chunks over n
+/// elements but never less than `min_chunk` elements each.
+[[nodiscard]] std::size_t choose_chunk(std::size_t n, std::size_t target_chunks,
+                                       std::size_t min_chunk = 1);
+
+}  // namespace treu::parallel

@@ -1,0 +1,107 @@
+#pragma once
+
+// Reproducible floating-point reductions.
+//
+// Floating-point addition is not associative, so a reduction whose
+// combination order depends on thread count (or on scheduling luck) returns
+// different bits run to run. That breaks the core promise of this toolkit —
+// byte-identical re-runs — so the reductions here fix the combination tree
+// *a priori*:
+//
+//   1. the input is cut into fixed-size chunks (a function of n and the
+//      chunk parameter only, never of thread count: see partition.hpp);
+//   2. each chunk is folded left-to-right (optionally compensated);
+//   3. the per-chunk partials are combined by pairwise (balanced-tree)
+//      summation in chunk order.
+//
+// Any number of threads may execute step 2; steps 1 and 3 are deterministic,
+// so the final bits are identical for 1 thread or 64. The same scheme powers
+// deterministic dot products used by treu::tensor.
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "treu/parallel/thread_pool.hpp"
+
+namespace treu::parallel {
+
+/// Plain left-to-right sum; the baseline the ablation bench compares against.
+[[nodiscard]] double sum_naive(std::span<const double> xs) noexcept;
+
+/// Kahan (compensated) summation: O(1) error growth in n.
+[[nodiscard]] double sum_kahan(std::span<const double> xs) noexcept;
+
+/// Pairwise (cascade) summation: O(log n) error growth, branch-light.
+[[nodiscard]] double sum_pairwise(std::span<const double> xs) noexcept;
+
+/// Neumaier's improvement to Kahan: also safe when |x_i| exceeds the
+/// running sum.
+[[nodiscard]] double sum_neumaier(std::span<const double> xs) noexcept;
+
+/// Deterministic parallel sum: identical bits for any worker count.
+/// `chunk == 0` selects a default chunk that balances determinism bookkeeping
+/// against parallel grain (4096 elements).
+[[nodiscard]] double deterministic_sum(std::span<const double> xs,
+                                       ThreadPool &pool, std::size_t chunk = 0);
+
+/// Deterministic parallel sum on the global pool.
+[[nodiscard]] double deterministic_sum(std::span<const double> xs,
+                                       std::size_t chunk = 0);
+
+/// Deterministic parallel dot product (same chunking contract as
+/// deterministic_sum). Requires xs.size() == ys.size().
+[[nodiscard]] double deterministic_dot(std::span<const double> xs,
+                                       std::span<const double> ys,
+                                       ThreadPool &pool, std::size_t chunk = 0);
+[[nodiscard]] double deterministic_dot(std::span<const double> xs,
+                                       std::span<const double> ys,
+                                       std::size_t chunk = 0);
+
+/// Generic deterministic map-reduce over [0, n).
+///
+/// `map(range)` folds one chunk and returns its partial value; `combine`
+/// merges two partials. Chunks are fixed by (n, chunk); partials combine
+/// pairwise in chunk order, so the result is independent of thread count
+/// whenever `combine` is deterministic (it need not be associative-exact —
+/// the tree shape is fixed).
+template <typename T>
+[[nodiscard]] T deterministic_map_reduce(
+    std::size_t n, T identity, const std::function<T(Range)> &map,
+    const std::function<T(const T &, const T &)> &combine, ThreadPool &pool,
+    std::size_t chunk = 0) {
+  if (n == 0) return identity;
+  if (chunk == 0) chunk = 4096;
+  const std::vector<Range> chunks = split_fixed(n, chunk);
+  std::vector<T> partials(chunks.size(), identity);
+  pool.parallel_for(
+      0, chunks.size(),
+      [&](std::size_t c) { partials[c] = map(chunks[c]); }, 1);
+  // Balanced pairwise combine, fixed order.
+  std::size_t width = partials.size();
+  while (width > 1) {
+    const std::size_t half = width / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      partials[i] = combine(partials[2 * i], partials[2 * i + 1]);
+    }
+    if (width % 2 == 1) partials[half] = partials[width - 1];
+    width = half + width % 2;
+  }
+  return partials.empty() ? identity : partials[0];
+}
+
+/// Error statistics of a summation method against a high-precision
+/// reference (long double Neumaier); used by the reduction ablation bench.
+struct SumError {
+  double value = 0.0;
+  double reference = 0.0;
+  double abs_error = 0.0;
+  double rel_error = 0.0;
+};
+
+[[nodiscard]] SumError evaluate_sum(std::span<const double> xs,
+                                    const std::function<double(std::span<const double>)> &method);
+
+}  // namespace treu::parallel

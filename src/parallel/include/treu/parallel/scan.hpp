@@ -1,0 +1,40 @@
+#pragma once
+
+// Deterministic parallel prefix sums (scans).
+//
+// Same contract as the reductions in reduce.hpp: the chunk decomposition is
+// a function of (n, chunk) only, chunk offsets combine in fixed order, so
+// the output bits never depend on the worker count. The classic
+// three-phase algorithm: per-chunk local scan, exclusive scan of chunk
+// totals (serial — the chunk count is small), then a parallel offset fixup.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "treu/parallel/thread_pool.hpp"
+
+namespace treu::parallel {
+
+/// Inclusive prefix sum: out[i] = xs[0] + ... + xs[i]. Deterministic for
+/// any worker count. `chunk == 0` selects a default of 4096.
+[[nodiscard]] std::vector<double> inclusive_scan(std::span<const double> xs,
+                                                 ThreadPool &pool,
+                                                 std::size_t chunk = 0);
+[[nodiscard]] std::vector<double> inclusive_scan(std::span<const double> xs,
+                                                 std::size_t chunk = 0);
+
+/// Exclusive prefix sum: out[i] = xs[0] + ... + xs[i-1], out[0] = 0.
+[[nodiscard]] std::vector<double> exclusive_scan(std::span<const double> xs,
+                                                 ThreadPool &pool,
+                                                 std::size_t chunk = 0);
+[[nodiscard]] std::vector<double> exclusive_scan(std::span<const double> xs,
+                                                 std::size_t chunk = 0);
+
+/// Parallel elementwise transform: out[i] = f(xs[i]). Deterministic
+/// trivially; provided for symmetry and used by the experiment drivers.
+[[nodiscard]] std::vector<double> parallel_transform(
+    std::span<const double> xs, const std::function<double(double)> &f,
+    ThreadPool &pool, std::size_t chunk = 0);
+
+}  // namespace treu::parallel

@@ -1,0 +1,108 @@
+#pragma once
+
+// Fixed-size worker pool with a shared FIFO task queue.
+//
+// Design notes
+//  - Tasks are type-erased `std::function<void()>`; callers who need results
+//    use `submit`, which packages the callable in a `std::packaged_task` and
+//    returns the future.
+//  - `parallel_for` is a *blocking* bulk operation: the calling thread also
+//    participates in the loop (it executes chunks taken from the same atomic
+//    cursor), so a pool of size 0 degrades gracefully to serial execution —
+//    important on single-core CI hosts.
+//  - Worker count is fixed at construction. The pool joins its workers in
+//    the destructor (RAII; no detached threads).
+//
+// Exception policy: an exception thrown by a `parallel_for` body is captured
+// and rethrown on the calling thread after all chunks finish or are drained
+// (first exception wins). Exceptions from `submit` travel via the future.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "treu/parallel/partition.hpp"
+
+namespace treu::parallel {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `workers` background threads. `workers == 0` is a
+  /// valid degenerate pool: all bulk work runs on the calling thread.
+  explicit ThreadPool(std::size_t workers);
+  ThreadPool() : ThreadPool(default_concurrency()) {}
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Hardware concurrency minus one (the caller participates in bulk ops),
+  /// clamped to at least 0.
+  [[nodiscard]] static std::size_t default_concurrency();
+
+  /// Enqueue a single task and get its result via future.
+  template <typename F, typename... Args>
+  auto submit(F &&f, Args &&...args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f),
+         ... as = std::forward<Args>(args)]() mutable -> R {
+          return std::invoke(std::move(fn), std::move(as)...);
+        });
+    std::future<R> fut = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Run `body(i)` for every i in [begin, end). Blocking. The chunk
+  /// decomposition is `split_fixed(n, chunk)`; chunk defaults to an even
+  /// split across (workers + 1) executors.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)> &body,
+                    std::size_t chunk = 0);
+
+  /// Run `body(range)` for every chunk of [begin, end). Blocking. Chunked
+  /// variant for bodies that want to amortise per-chunk setup.
+  void parallel_for_chunks(std::size_t begin, std::size_t end,
+                           const std::function<void(Range)> &body,
+                           std::size_t chunk = 0);
+
+  /// Process-wide shared pool (lazily constructed, sized by
+  /// default_concurrency, overridable once via TREU_THREADS env var).
+  static ThreadPool &global();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+/// Convenience: parallel_for on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)> &body,
+                  std::size_t chunk = 0);
+
+/// Convenience: chunked parallel_for on the global pool.
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(Range)> &body,
+                         std::size_t chunk = 0);
+
+}  // namespace treu::parallel

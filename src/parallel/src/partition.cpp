@@ -1,0 +1,57 @@
+#include "treu/parallel/partition.hpp"
+
+namespace treu::parallel {
+
+std::vector<Range> split_even(std::size_t n, std::size_t parts) {
+  std::vector<Range> out;
+  if (n == 0 || parts == 0) return out;
+  parts = std::min(parts, n);
+  out.reserve(parts);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = base + (p < extra ? 1 : 0);
+    out.push_back({begin, begin + len});
+    begin += len;
+  }
+  return out;
+}
+
+std::vector<Range> split_fixed(std::size_t n, std::size_t chunk) {
+  std::vector<Range> out;
+  if (n == 0) return out;
+  chunk = std::max<std::size_t>(chunk, 1);
+  out.reserve((n + chunk - 1) / chunk);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    out.push_back({begin, std::min(begin + chunk, n)});
+  }
+  return out;
+}
+
+std::vector<Range> split_guided(std::size_t n, std::size_t parts,
+                                std::size_t min_chunk) {
+  std::vector<Range> out;
+  if (n == 0) return out;
+  parts = std::max<std::size_t>(parts, 1);
+  min_chunk = std::max<std::size_t>(min_chunk, 1);
+  std::size_t begin = 0;
+  while (begin < n) {
+    const std::size_t remaining = n - begin;
+    std::size_t len = std::max(remaining / parts, min_chunk);
+    len = std::min(len, remaining);
+    out.push_back({begin, begin + len});
+    begin += len;
+  }
+  return out;
+}
+
+std::size_t choose_chunk(std::size_t n, std::size_t target_chunks,
+                         std::size_t min_chunk) {
+  if (n == 0) return std::max<std::size_t>(min_chunk, 1);
+  target_chunks = std::max<std::size_t>(target_chunks, 1);
+  const std::size_t chunk = (n + target_chunks - 1) / target_chunks;
+  return std::max(chunk, std::max<std::size_t>(min_chunk, 1));
+}
+
+}  // namespace treu::parallel

@@ -1,0 +1,150 @@
+#include "treu/parallel/reduce.hpp"
+
+#include <stdexcept>
+
+namespace treu::parallel {
+namespace {
+
+constexpr std::size_t kDefaultChunk = 4096;
+constexpr std::size_t kPairwiseBase = 128;
+
+double pairwise_rec(const double *xs, std::size_t n) noexcept {
+  if (n <= kPairwiseBase) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += xs[i];
+    return s;
+  }
+  const std::size_t half = n / 2;
+  return pairwise_rec(xs, half) + pairwise_rec(xs + half, n - half);
+}
+
+// Combine partials pairwise in fixed (chunk) order.
+double combine_pairwise(std::vector<double> partials) noexcept {
+  std::size_t width = partials.size();
+  if (width == 0) return 0.0;
+  while (width > 1) {
+    const std::size_t half = width / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      partials[i] = partials[2 * i] + partials[2 * i + 1];
+    }
+    if (width % 2 == 1) partials[half] = partials[width - 1];
+    width = half + width % 2;
+  }
+  return partials[0];
+}
+
+}  // namespace
+
+double sum_naive(std::span<const double> xs) noexcept {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double sum_kahan(std::span<const double> xs) noexcept {
+  double s = 0.0;
+  double c = 0.0;
+  for (double x : xs) {
+    const double y = x - c;
+    const double t = s + y;
+    c = (t - s) - y;
+    s = t;
+  }
+  return s;
+}
+
+double sum_neumaier(std::span<const double> xs) noexcept {
+  double s = 0.0;
+  double c = 0.0;
+  for (double x : xs) {
+    const double t = s + x;
+    if (std::fabs(s) >= std::fabs(x)) {
+      c += (s - t) + x;
+    } else {
+      c += (x - t) + s;
+    }
+    s = t;
+  }
+  return s + c;
+}
+
+double sum_pairwise(std::span<const double> xs) noexcept {
+  return pairwise_rec(xs.data(), xs.size());
+}
+
+double deterministic_sum(std::span<const double> xs, ThreadPool &pool,
+                         std::size_t chunk) {
+  if (xs.empty()) return 0.0;
+  if (chunk == 0) chunk = kDefaultChunk;
+  const std::vector<Range> chunks = split_fixed(xs.size(), chunk);
+  std::vector<double> partials(chunks.size(), 0.0);
+  pool.parallel_for(
+      0, chunks.size(),
+      [&](std::size_t c) {
+        partials[c] = sum_kahan(xs.subspan(chunks[c].begin, chunks[c].size()));
+      },
+      1);
+  return combine_pairwise(std::move(partials));
+}
+
+double deterministic_sum(std::span<const double> xs, std::size_t chunk) {
+  return deterministic_sum(xs, ThreadPool::global(), chunk);
+}
+
+double deterministic_dot(std::span<const double> xs,
+                         std::span<const double> ys, ThreadPool &pool,
+                         std::size_t chunk) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("deterministic_dot: size mismatch");
+  }
+  if (xs.empty()) return 0.0;
+  if (chunk == 0) chunk = kDefaultChunk;
+  const std::vector<Range> chunks = split_fixed(xs.size(), chunk);
+  std::vector<double> partials(chunks.size(), 0.0);
+  pool.parallel_for(
+      0, chunks.size(),
+      [&](std::size_t c) {
+        // Compensated fused loop per chunk.
+        double s = 0.0;
+        double comp = 0.0;
+        for (std::size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
+          const double y = xs[i] * ys[i] - comp;
+          const double t = s + y;
+          comp = (t - s) - y;
+          s = t;
+        }
+        partials[c] = s;
+      },
+      1);
+  return combine_pairwise(std::move(partials));
+}
+
+double deterministic_dot(std::span<const double> xs,
+                         std::span<const double> ys, std::size_t chunk) {
+  return deterministic_dot(xs, ys, ThreadPool::global(), chunk);
+}
+
+SumError evaluate_sum(
+    std::span<const double> xs,
+    const std::function<double(std::span<const double>)> &method) {
+  long double ref = 0.0L;
+  long double comp = 0.0L;
+  for (double x : xs) {  // Neumaier in extended precision as ground truth
+    const long double t = ref + x;
+    if (std::fabs(static_cast<double>(ref)) >= std::fabs(x)) {
+      comp += (ref - t) + x;
+    } else {
+      comp += (x - t) + ref;
+    }
+    ref = t;
+  }
+  SumError e;
+  e.reference = static_cast<double>(ref + comp);
+  e.value = method(xs);
+  e.abs_error = std::fabs(e.value - e.reference);
+  e.rel_error =
+      e.reference == 0.0 ? e.abs_error : e.abs_error / std::fabs(e.reference);
+  return e;
+}
+
+}  // namespace treu::parallel

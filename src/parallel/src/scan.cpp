@@ -1,0 +1,98 @@
+#include "treu/parallel/scan.hpp"
+
+#include "treu/parallel/partition.hpp"
+
+namespace treu::parallel {
+namespace {
+
+constexpr std::size_t kDefaultChunk = 4096;
+
+std::vector<double> scan_impl(std::span<const double> xs, ThreadPool &pool,
+                              std::size_t chunk, bool inclusive) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty()) return out;
+  if (chunk == 0) chunk = kDefaultChunk;
+  const std::vector<Range> chunks = split_fixed(xs.size(), chunk);
+
+  // Phase 1: local inclusive scans per chunk.
+  std::vector<double> totals(chunks.size(), 0.0);
+  pool.parallel_for(
+      0, chunks.size(),
+      [&](std::size_t c) {
+        double acc = 0.0;
+        for (std::size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
+          acc += xs[i];
+          out[i] = acc;
+        }
+        totals[c] = acc;
+      },
+      1);
+
+  // Phase 2: serial exclusive scan of chunk totals (fixed order =>
+  // deterministic bits).
+  std::vector<double> offsets(chunks.size(), 0.0);
+  double running = 0.0;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    offsets[c] = running;
+    running += totals[c];
+  }
+
+  // Phase 3: apply offsets (and shift for the exclusive variant).
+  pool.parallel_for(
+      0, chunks.size(),
+      [&](std::size_t c) {
+        const double offset = offsets[c];
+        if (inclusive) {
+          for (std::size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
+            out[i] += offset;
+          }
+        } else {
+          // Exclusive: out[i] = inclusive[i-1]; within a chunk walk
+          // backwards so values are consumed before being overwritten.
+          for (std::size_t i = chunks[c].end; i-- > chunks[c].begin;) {
+            const double inclusive_value = out[i] + offset;
+            out[i] = inclusive_value - xs[i];
+          }
+        }
+      },
+      1);
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> inclusive_scan(std::span<const double> xs, ThreadPool &pool,
+                                   std::size_t chunk) {
+  return scan_impl(xs, pool, chunk, true);
+}
+
+std::vector<double> inclusive_scan(std::span<const double> xs,
+                                   std::size_t chunk) {
+  return inclusive_scan(xs, ThreadPool::global(), chunk);
+}
+
+std::vector<double> exclusive_scan(std::span<const double> xs, ThreadPool &pool,
+                                   std::size_t chunk) {
+  return scan_impl(xs, pool, chunk, false);
+}
+
+std::vector<double> exclusive_scan(std::span<const double> xs,
+                                   std::size_t chunk) {
+  return exclusive_scan(xs, ThreadPool::global(), chunk);
+}
+
+std::vector<double> parallel_transform(std::span<const double> xs,
+                                       const std::function<double(double)> &f,
+                                       ThreadPool &pool, std::size_t chunk) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (chunk == 0) chunk = kDefaultChunk;
+  pool.parallel_for_chunks(
+      0, xs.size(),
+      [&](Range r) {
+        for (std::size_t i = r.begin; i < r.end; ++i) out[i] = f(xs[i]);
+      },
+      chunk);
+  return out;
+}
+
+}  // namespace treu::parallel

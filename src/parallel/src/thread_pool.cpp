@@ -1,0 +1,158 @@
+#include "treu/parallel/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace treu::parallel {
+namespace {
+
+// Shared state for one blocking bulk operation. Executors (workers and the
+// caller) pull chunk indices from `cursor` until exhausted.
+struct BulkState {
+  std::vector<Range> chunks;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // guarded by mu; first exception wins
+
+  void run(const std::function<void(Range)> &body) {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= chunks.size()) break;
+      try {
+        body(chunks[i]);
+      } catch (...) {
+        std::lock_guard lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks.size()) {
+        std::lock_guard lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto &t : threads_) t.join();
+}
+
+std::size_t ThreadPool::default_concurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  if (threads_.empty()) {
+    // Degenerate pool: run inline so futures are always satisfied.
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)> &body,
+                              std::size_t chunk) {
+  parallel_for_chunks(
+      begin, end,
+      [&body](Range r) {
+        for (std::size_t i = r.begin; i < r.end; ++i) body(i);
+      },
+      chunk);
+}
+
+void ThreadPool::parallel_for_chunks(std::size_t begin, std::size_t end,
+                                     const std::function<void(Range)> &body,
+                                     std::size_t chunk) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t executors = worker_count() + 1;
+  if (chunk == 0) chunk = choose_chunk(n, executors * 4);
+
+  auto state = std::make_shared<BulkState>();
+  state->chunks = split_fixed(n, chunk);
+  for (auto &r : state->chunks) {  // shift from [0,n) to [begin,end)
+    r.begin += begin;
+    r.end += begin;
+  }
+
+  // Wake at most one helper per chunk beyond what the caller will chew
+  // through; extra helpers would find the cursor exhausted and return.
+  const std::size_t helpers =
+      std::min(worker_count(), state->chunks.size() > 0 ? state->chunks.size() - 1 : 0);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // Copy `body`: a late-scheduled helper may run after the caller has
+    // already returned (it will find the cursor exhausted, but must not
+    // touch a dangling reference).
+    enqueue([state, body] { state->run(body); });
+  }
+  state->run(body);
+
+  {
+    std::unique_lock lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->chunks.size();
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool pool = [] {
+    std::size_t workers = default_concurrency();
+    if (const char *env = std::getenv("TREU_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) workers = static_cast<std::size_t>(v - 1);
+    }
+    return ThreadPool(workers);
+  }();
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)> &body,
+                  std::size_t chunk) {
+  ThreadPool::global().parallel_for(begin, end, body, chunk);
+}
+
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(Range)> &body,
+                         std::size_t chunk) {
+  ThreadPool::global().parallel_for_chunks(begin, end, body, chunk);
+}
+
+}  // namespace treu::parallel

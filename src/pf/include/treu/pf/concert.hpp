@@ -1,0 +1,68 @@
+#pragma once
+
+// The concert case study (§2.2): a schedule of distinct, non-repeating
+// events with expected start times, a ground-truth performance that drifts
+// around the schedule, and a noisy scalar feature observed at a fixed rate.
+//
+// "Usual implementations of particle filters require environment features to
+// be repeatedly observable" — here each event happens once, so localization
+// must lean on the *schedule* (the map) plus the instantaneous feature.
+
+#include <cstddef>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+
+namespace treu::pf {
+
+struct Event {
+  double start = 0.0;     // scheduled start time (s)
+  double duration = 0.0;  // scheduled duration (s)
+  double feature = 0.0;   // distinct scalar signature (e.g. spectral centroid)
+};
+
+class ConcertSchedule {
+ public:
+  explicit ConcertSchedule(std::vector<Event> events);
+
+  /// Random schedule: k events, durations U(min,max), features distinct and
+  /// well separated.
+  static ConcertSchedule random(std::size_t k, core::Rng &rng,
+                                double min_duration = 20.0,
+                                double max_duration = 60.0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] const Event &event(std::size_t i) const { return events_.at(i); }
+  [[nodiscard]] double total_duration() const noexcept { return total_; }
+
+  /// Index of the event scheduled at position t (clamped to [0, size-1]).
+  [[nodiscard]] std::size_t event_at(double t) const noexcept;
+
+  /// Feature signature at schedule position t.
+  [[nodiscard]] double feature_at(double t) const noexcept;
+
+ private:
+  std::vector<Event> events_;
+  double total_ = 0.0;
+};
+
+/// One simulated performance: the true position advances with a random
+/// tempo (rate) drift and the observed feature carries Gaussian noise.
+struct Trace {
+  std::vector<double> truth;         // true schedule position per step
+  std::vector<double> observations;  // noisy feature per step
+  double dt = 1.0;
+};
+
+struct SimulatorConfig {
+  double dt = 1.0;           // seconds between observations
+  double rate_mean = 1.0;    // expected tempo (schedule seconds per real second)
+  double rate_sigma = 0.05;  // random-walk tempo drift per step
+  double obs_sigma = 0.5;    // feature observation noise
+};
+
+[[nodiscard]] Trace simulate_performance(const ConcertSchedule &schedule,
+                                         const SimulatorConfig &config,
+                                         core::Rng &rng);
+
+}  // namespace treu::pf

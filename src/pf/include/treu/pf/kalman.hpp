@@ -1,0 +1,55 @@
+#pragma once
+
+// Extended-Kalman-filter baseline for the event-location problem (§2.2).
+//
+// The §2.2 project's premise is that *usual* tracking machinery struggles
+// when environment features are not repeatedly observable. The EKF makes
+// that concrete: the concert's feature map is piecewise constant in the
+// schedule position, so its derivative is zero almost everywhere, the
+// Kalman gain collapses, and the filter degenerates to dead reckoning with
+// ever-growing variance. We implement the EKF honestly (numerical Jacobian
+// of the feature map, full covariance propagation) and let the experiment
+// show the particle filter's advantage — the quantitative version of the
+// project's motivation.
+
+#include <array>
+
+#include "treu/pf/concert.hpp"
+#include "treu/pf/particle_filter.hpp"  // TrackingResult
+
+namespace treu::pf {
+
+struct EkfConfig {
+  double rate_mean = 1.0;
+  double rate_sigma = 0.05;        // process noise on the tempo
+  double position_jitter = 0.05;   // process noise on the position
+  double obs_sigma = 0.5;          // observation noise
+  double jacobian_step = 0.5;      // central-difference step (s)
+};
+
+/// EKF over the state [position, rate].
+class EkfLocator {
+ public:
+  EkfLocator(const ConcertSchedule &schedule, const EkfConfig &config);
+
+  /// Assimilate one observation taken `dt` seconds after the previous one.
+  void step(double observation, double dt);
+
+  [[nodiscard]] double estimate_position() const noexcept { return x_[0]; }
+  [[nodiscard]] double estimate_rate() const noexcept { return x_[1]; }
+  /// Position variance (P[0][0]): watch it grow when the Jacobian is zero.
+  [[nodiscard]] double position_variance() const noexcept { return p_[0][0]; }
+
+ private:
+  const ConcertSchedule &schedule_;
+  EkfConfig config_;
+  std::array<double, 2> x_{0.0, 1.0};              // [position, rate]
+  std::array<std::array<double, 2>, 2> p_{{{4.0, 0.0}, {0.0, 0.01}}};
+};
+
+/// Track a trace with the EKF and report the same metrics as pf::track.
+[[nodiscard]] TrackingResult track_ekf(const ConcertSchedule &schedule,
+                                       const Trace &trace,
+                                       const EkfConfig &config = {});
+
+}  // namespace treu::pf

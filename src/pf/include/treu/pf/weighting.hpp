@@ -1,0 +1,38 @@
+#pragma once
+
+// Particle weighting functions (§2.2).
+//
+// The student project's headline result: a "fast weighting function that is
+// much faster and almost as accurate as the typical Gaussian weighting
+// function". The Gaussian kernel costs an exp() per particle per step; the
+// fast kernel is a rational approximation with the same qualitative shape
+// (maximum 1 at zero residual, monotone decreasing, heavier tails) built
+// from two multiplies and one divide. Both are exposed as plain functions
+// (hot loop) and as an enum-dispatched functor for configuration.
+
+#include <cstdint>
+
+namespace treu::pf {
+
+enum class WeightKind : std::uint8_t { Gaussian, FastRational, Epanechnikov };
+
+[[nodiscard]] const char *to_string(WeightKind kind) noexcept;
+
+/// exp(-r^2 / (2 sigma^2)) — the classical likelihood kernel.
+[[nodiscard]] double gaussian_weight(double residual, double sigma) noexcept;
+
+/// 1 / (1 + r^2 / (4 sigma^2))^2 — transcendental-free Gaussian stand-in.
+/// Second-order Taylor match at 0; heavier tails (more forgiving of outlier
+/// observations, which in practice is part of why it tracks almost as well).
+[[nodiscard]] double fast_weight(double residual, double sigma) noexcept;
+
+/// max(0, 1 - r^2 / (6 sigma^2)) — compact-support kernel (variance-matched
+/// Epanechnikov); cheapest of all but zero weight outside +-sqrt(6) sigma,
+/// which can starve the filter. Included as the ablation's third point.
+[[nodiscard]] double epanechnikov_weight(double residual, double sigma) noexcept;
+
+/// Dispatch on kind.
+[[nodiscard]] double weight(WeightKind kind, double residual,
+                            double sigma) noexcept;
+
+}  // namespace treu::pf

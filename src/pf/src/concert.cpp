@@ -1,0 +1,68 @@
+#include "treu/pf/concert.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace treu::pf {
+
+ConcertSchedule::ConcertSchedule(std::vector<Event> events)
+    : events_(std::move(events)) {
+  if (events_.empty()) {
+    throw std::invalid_argument("ConcertSchedule: empty schedule");
+  }
+  double t = 0.0;
+  for (auto &e : events_) {
+    e.start = t;
+    t += e.duration;
+  }
+  total_ = t;
+}
+
+ConcertSchedule ConcertSchedule::random(std::size_t k, core::Rng &rng,
+                                        double min_duration,
+                                        double max_duration) {
+  if (k == 0) throw std::invalid_argument("ConcertSchedule::random: k == 0");
+  std::vector<Event> events(k);
+  // Features: a shuffled, spaced grid so adjacent events never share a
+  // signature (distinct events, per the project description).
+  std::vector<double> features(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    features[i] = static_cast<double>(i) * 10.0;
+  }
+  rng.shuffle(features);
+  for (std::size_t i = 0; i < k; ++i) {
+    events[i].duration = rng.uniform(min_duration, max_duration);
+    events[i].feature = features[i];
+  }
+  return ConcertSchedule(std::move(events));
+}
+
+std::size_t ConcertSchedule::event_at(double t) const noexcept {
+  if (t <= 0.0) return 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (t < events_[i].start + events_[i].duration) return i;
+  }
+  return events_.size() - 1;
+}
+
+double ConcertSchedule::feature_at(double t) const noexcept {
+  return events_[event_at(t)].feature;
+}
+
+Trace simulate_performance(const ConcertSchedule &schedule,
+                           const SimulatorConfig &config, core::Rng &rng) {
+  Trace trace;
+  trace.dt = config.dt;
+  double position = 0.0;
+  double rate = config.rate_mean;
+  while (position < schedule.total_duration()) {
+    trace.truth.push_back(position);
+    trace.observations.push_back(schedule.feature_at(position) +
+                                 rng.normal(0.0, config.obs_sigma));
+    rate = std::max(0.1, rate + rng.normal(0.0, config.rate_sigma));
+    position += rate * config.dt;
+  }
+  return trace;
+}
+
+}  // namespace treu::pf

@@ -1,0 +1,86 @@
+#include "treu/pf/kalman.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "treu/core/timer.hpp"
+
+namespace treu::pf {
+
+EkfLocator::EkfLocator(const ConcertSchedule &schedule, const EkfConfig &config)
+    : schedule_(schedule), config_(config) {
+  x_[1] = config.rate_mean;
+}
+
+void EkfLocator::step(double observation, double dt) {
+  // Predict: x <- F x with F = [[1, dt], [0, 1]]; P <- F P F^T + Q.
+  x_[0] += x_[1] * dt;
+  x_[0] = std::clamp(x_[0], 0.0, schedule_.total_duration());
+  const double q_pos = config_.position_jitter * config_.position_jitter;
+  const double q_rate = config_.rate_sigma * config_.rate_sigma;
+  const double p00 = p_[0][0], p01 = p_[0][1], p10 = p_[1][0], p11 = p_[1][1];
+  p_[0][0] = p00 + dt * (p10 + p01) + dt * dt * p11 + q_pos;
+  p_[0][1] = p01 + dt * p11;
+  p_[1][0] = p10 + dt * p11;
+  p_[1][1] = p11 + q_rate;
+
+  // Update through the feature map h(pos) with a numerical Jacobian. The
+  // map is piecewise constant, so H is zero except when the differencing
+  // stencil straddles an event boundary.
+  const double pos = x_[0];
+  const double step_size = config_.jacobian_step;
+  const double h_plus = schedule_.feature_at(pos + step_size);
+  const double h_minus = schedule_.feature_at(pos - step_size);
+  const double h = schedule_.feature_at(pos);
+  const double H = (h_plus - h_minus) / (2.0 * step_size);
+
+  const double r = config_.obs_sigma * config_.obs_sigma;
+  const double s = H * p_[0][0] * H + r;
+  if (std::fabs(H) < 1e-12 || s <= 0.0) {
+    return;  // no usable gradient: the update degenerates (the point!)
+  }
+  const double k0 = p_[0][0] * H / s;
+  const double k1 = p_[1][0] * H / s;
+  const double innovation = observation - h;
+  x_[0] += k0 * innovation;
+  x_[1] += k1 * innovation;
+  x_[0] = std::clamp(x_[0], 0.0, schedule_.total_duration());
+  // Joseph-free covariance update: P <- (I - K H) P.
+  const double new_p00 = (1.0 - k0 * H) * p_[0][0];
+  const double new_p01 = (1.0 - k0 * H) * p_[0][1];
+  const double new_p10 = p_[1][0] - k1 * H * p_[0][0];
+  const double new_p11 = p_[1][1] - k1 * H * p_[0][1];
+  p_[0][0] = new_p00;
+  p_[0][1] = new_p01;
+  p_[1][0] = new_p10;
+  p_[1][1] = new_p11;
+}
+
+TrackingResult track_ekf(const ConcertSchedule &schedule, const Trace &trace,
+                         const EkfConfig &config) {
+  TrackingResult result;
+  EkfLocator locator(schedule, config);
+  double sq_sum = 0.0;
+  double abs_sum = 0.0;
+  std::size_t correct = 0;
+  core::WallTimer timer;
+  for (std::size_t t = 0; t < trace.observations.size(); ++t) {
+    locator.step(trace.observations[t], trace.dt);
+    const double est = locator.estimate_position();
+    const double err = est - trace.truth[t];
+    sq_sum += err * err;
+    abs_sum += std::fabs(err);
+    if (schedule.event_at(est) == schedule.event_at(trace.truth[t])) {
+      ++correct;
+    }
+  }
+  result.seconds = timer.elapsed_seconds();
+  const double n =
+      static_cast<double>(std::max<std::size_t>(trace.observations.size(), 1));
+  result.rmse = std::sqrt(sq_sum / n);
+  result.mean_abs_error = abs_sum / n;
+  result.event_accuracy = static_cast<double>(correct) / n;
+  return result;
+}
+
+}  // namespace treu::pf

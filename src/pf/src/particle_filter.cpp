@@ -1,0 +1,153 @@
+#include "treu/pf/particle_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "treu/core/timer.hpp"
+
+namespace treu::pf {
+
+double effective_sample_size(std::span<const double> weights) noexcept {
+  double sum_sq = 0.0;
+  for (double w : weights) sum_sq += w * w;
+  return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
+}
+
+std::vector<std::size_t> systematic_resample(std::span<const double> weights,
+                                             std::size_t n, core::Rng &rng) {
+  std::vector<std::size_t> parents(n, 0);
+  if (weights.empty() || n == 0) return parents;
+  const double step = 1.0 / static_cast<double>(n);
+  double u = rng.uniform() * step;
+  double cum = weights[0];
+  std::size_t i = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    while (u > cum && i + 1 < weights.size()) {
+      ++i;
+      cum += weights[i];
+    }
+    parents[j] = i;
+    u += step;
+  }
+  return parents;
+}
+
+std::vector<std::size_t> multinomial_resample(std::span<const double> weights,
+                                              std::size_t n, core::Rng &rng) {
+  std::vector<std::size_t> parents(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t pick = rng.categorical(weights);
+    parents[j] = pick >= weights.size() ? 0 : pick;
+  }
+  return parents;
+}
+
+EventLocator::EventLocator(const ConcertSchedule &schedule,
+                           const PfConfig &config, core::Rng &rng)
+    : schedule_(schedule), config_(config), rng_(rng.split(0x9F)) {
+  if (config.n_particles == 0) {
+    throw std::invalid_argument("EventLocator: need at least one particle");
+  }
+  positions_.resize(config.n_particles);
+  rates_.resize(config.n_particles);
+  weights_.assign(config.n_particles,
+                  1.0 / static_cast<double>(config.n_particles));
+  // Initialize near the start of the schedule with mild spread.
+  for (std::size_t i = 0; i < config.n_particles; ++i) {
+    positions_[i] = std::fabs(rng_.normal(0.0, 2.0));
+    rates_[i] = std::max(0.1, rng_.normal(config.rate_mean, config.rate_sigma * 5.0));
+  }
+}
+
+void EventLocator::step(double observation, double dt) {
+  elapsed_ += dt;
+  const std::size_t n = positions_.size();
+
+  // Predict.
+  for (std::size_t i = 0; i < n; ++i) {
+    rates_[i] = std::max(0.1, rates_[i] + rng_.normal(0.0, config_.rate_sigma));
+    positions_[i] += rates_[i] * dt + rng_.normal(0.0, config_.position_jitter);
+    positions_[i] = std::clamp(positions_[i], 0.0, schedule_.total_duration());
+  }
+
+  // Update.
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double residual =
+        observation - schedule_.feature_at(positions_[i]);
+    double w = weights_[i] * weight(config_.kind, residual, config_.obs_sigma);
+    if (config_.use_schedule_prior) {
+      // Soft attention toward where the schedule says we should be by now.
+      const double expected = elapsed_ * config_.rate_mean;
+      w *= fast_weight(positions_[i] - expected, config_.prior_sigma);
+    }
+    weights_[i] = w;
+    total += w;
+  }
+  if (total <= 0.0 || !std::isfinite(total)) {
+    // Degenerate update (all kernels zero): reset to uniform rather than
+    // dividing by zero — the filter recovers on the next informative step.
+    const double uniform = 1.0 / static_cast<double>(n);
+    for (auto &w : weights_) w = uniform;
+  } else {
+    for (auto &w : weights_) w /= total;
+  }
+
+  last_ess_ = effective_sample_size(weights_);
+  if (last_ess_ <
+      config_.resample_threshold * static_cast<double>(n)) {
+    const auto parents = systematic_resample(weights_, n, rng_);
+    std::vector<double> new_pos(n), new_rate(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      new_pos[j] = positions_[parents[j]];
+      new_rate[j] = rates_[parents[j]];
+    }
+    positions_ = std::move(new_pos);
+    rates_ = std::move(new_rate);
+    const double uniform = 1.0 / static_cast<double>(n);
+    for (auto &w : weights_) w = uniform;
+    ++resamples_;
+  }
+}
+
+double EventLocator::estimate_position() const noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    s += weights_[i] * positions_[i];
+  }
+  return s;
+}
+
+std::size_t EventLocator::estimate_event() const noexcept {
+  return schedule_.event_at(estimate_position());
+}
+
+TrackingResult track(const ConcertSchedule &schedule, const Trace &trace,
+                     const PfConfig &config, core::Rng &rng) {
+  TrackingResult result;
+  EventLocator locator(schedule, config, rng);
+  double sq_sum = 0.0;
+  double abs_sum = 0.0;
+  std::size_t correct_events = 0;
+  core::WallTimer timer;
+  for (std::size_t t = 0; t < trace.observations.size(); ++t) {
+    locator.step(trace.observations[t], trace.dt);
+    const double est = locator.estimate_position();
+    const double err = est - trace.truth[t];
+    sq_sum += err * err;
+    abs_sum += std::fabs(err);
+    if (schedule.event_at(est) == schedule.event_at(trace.truth[t])) {
+      ++correct_events;
+    }
+  }
+  result.seconds = timer.elapsed_seconds();
+  const double n = static_cast<double>(std::max<std::size_t>(trace.observations.size(), 1));
+  result.rmse = std::sqrt(sq_sum / n);
+  result.mean_abs_error = abs_sum / n;
+  result.event_accuracy = static_cast<double>(correct_events) / n;
+  result.resamples = locator.resample_count();
+  return result;
+}
+
+}  // namespace treu::pf

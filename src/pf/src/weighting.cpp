@@ -1,0 +1,43 @@
+#include "treu/pf/weighting.hpp"
+
+#include <cmath>
+
+namespace treu::pf {
+
+const char *to_string(WeightKind kind) noexcept {
+  switch (kind) {
+    case WeightKind::Gaussian: return "gaussian";
+    case WeightKind::FastRational: return "fast_rational";
+    case WeightKind::Epanechnikov: return "epanechnikov";
+  }
+  return "?";
+}
+
+double gaussian_weight(double residual, double sigma) noexcept {
+  const double z = residual / sigma;
+  return std::exp(-0.5 * z * z);
+}
+
+double fast_weight(double residual, double sigma) noexcept {
+  // 1/(1 + r^2/(4 sigma^2))^2 = 1 - r^2/(2 sigma^2) + O(r^4): matches the
+  // Gaussian kernel to second order at r = 0.
+  const double z2 = residual * residual / (4.0 * sigma * sigma);
+  const double d = 1.0 + z2;
+  return 1.0 / (d * d);
+}
+
+double epanechnikov_weight(double residual, double sigma) noexcept {
+  const double z2 = residual * residual / (6.0 * sigma * sigma);
+  return z2 >= 1.0 ? 0.0 : 1.0 - z2;
+}
+
+double weight(WeightKind kind, double residual, double sigma) noexcept {
+  switch (kind) {
+    case WeightKind::Gaussian: return gaussian_weight(residual, sigma);
+    case WeightKind::FastRational: return fast_weight(residual, sigma);
+    case WeightKind::Epanechnikov: return epanechnikov_weight(residual, sigma);
+  }
+  return 0.0;
+}
+
+}  // namespace treu::pf

@@ -1,0 +1,96 @@
+#pragma once
+
+// Deep Q-learning (Mnih et al.) with replay buffer, epsilon-greedy
+// exploration, and a periodically synced target network — the §2.8 training
+// harness shared by both Q-estimator families, plus the reliability
+// analysis across seeds the project was designed around.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/rl/env.hpp"
+#include "treu/rl/qnet.hpp"
+
+namespace treu::rl {
+
+struct Transition {
+  std::vector<double> state;
+  std::size_t action = 0;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  bool done = false;
+};
+
+/// Fixed-capacity ring buffer with uniform sampling.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void push(Transition t);
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const Transition &sample(core::Rng &rng) const;
+
+ private:
+  std::vector<Transition> storage_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+};
+
+struct DqnConfig {
+  std::size_t episodes = 80;
+  std::size_t replay_capacity = 4096;
+  std::size_t batch_size = 16;        // updates per environment step
+  std::size_t warmup = 64;            // transitions before learning starts
+  std::size_t target_sync_interval = 100;  // env steps between target syncs
+  double gamma = 0.98;
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.1;
+  double epsilon_decay_steps = 1000;
+  double lr = 1e-3;
+  /// Double DQN (van Hasselt et al.): the online net picks the next action,
+  /// the target net scores it. Curbs the max-operator overestimation that
+  /// otherwise traps greedy policies in self-consistent loops.
+  bool double_dqn = true;
+};
+
+struct TrainOutcome {
+  std::vector<double> episode_returns;
+  double final_eval_return = 0.0;   // greedy policy, mean over eval episodes
+  double seconds = 0.0;
+};
+
+/// Train a fresh Q network of `family` on `env`; deterministic per seed.
+[[nodiscard]] TrainOutcome train_dqn(Environment &env,
+                                     const std::string &family,
+                                     const DqnConfig &config,
+                                     std::uint64_t seed);
+
+/// Policy evaluation over `episodes`. `epsilon` adds the small exploration
+/// noise standard in DQN evaluation (Mnih et al. use 0.05): it breaks the
+/// action-tie loops a purely greedy policy can fall into.
+[[nodiscard]] double evaluate_policy(Environment &env, QNetwork &net,
+                                     std::size_t episodes, core::Rng &rng,
+                                     double epsilon = 0.05);
+
+/// Reliability summary across seeds (the §2.8 deliverable): mean, stddev,
+/// and lower-tail CVaR of final evaluation returns.
+struct ReliabilityRow {
+  std::string environment;
+  std::string family;
+  double mean_return = 0.0;
+  double stddev_return = 0.0;
+  double cvar25 = 0.0;       // mean of the worst 25% of seeds
+  double min_return = 0.0;
+  std::size_t seeds = 0;
+};
+
+[[nodiscard]] ReliabilityRow reliability_study(const std::string &env_name,
+                                               const std::string &family,
+                                               std::size_t n_seeds,
+                                               const DqnConfig &config);
+
+}  // namespace treu::rl

@@ -1,0 +1,107 @@
+#pragma once
+
+// Reinforcement-learning environments (§2.8).
+//
+// Stand-ins for the Gymnasium Atari suite the students used, chosen so the
+// reliability question transfers: episodic tasks with dense-enough reward,
+// controllable stochasticity, and a seedable reset. `Frogger` is named
+// after the environment where the paper observed "a slightly better sum of
+// average rewards ... than in other environments".
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+
+namespace treu::rl {
+
+struct StepResult {
+  std::vector<double> state;
+  double reward = 0.0;
+  bool done = false;
+};
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  [[nodiscard]] virtual std::size_t state_dim() const = 0;
+  [[nodiscard]] virtual std::size_t n_actions() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Reset to a (seeded) start state.
+  virtual std::vector<double> reset(core::Rng &rng) = 0;
+
+  /// Apply an action.
+  virtual StepResult step(std::size_t action) = 0;
+
+  /// Hard cap on episode length (environments self-terminate at this).
+  [[nodiscard]] virtual std::size_t max_steps() const { return 200; }
+};
+
+/// 5x5 grid with a goal, a pit, and slip noise. Actions: up/down/left/right.
+class GridWorld final : public Environment {
+ public:
+  explicit GridWorld(double slip_probability = 0.1);
+
+  [[nodiscard]] std::size_t state_dim() const override { return 2; }
+  [[nodiscard]] std::size_t n_actions() const override { return 4; }
+  [[nodiscard]] std::string name() const override { return "gridworld"; }
+  std::vector<double> reset(core::Rng &rng) override;
+  StepResult step(std::size_t action) override;
+  [[nodiscard]] std::size_t max_steps() const override { return 60; }
+
+ private:
+  [[nodiscard]] std::vector<double> observe() const;
+  int x_ = 0, y_ = 0;
+  std::size_t steps_ = 0;
+  double slip_;
+  core::Rng rng_{0};
+};
+
+/// Classic cart-pole balancing (Barto/Sutton physics, Euler integration).
+/// Actions: push left / push right. Reward +1 per step upright.
+class CartPole final : public Environment {
+ public:
+  [[nodiscard]] std::size_t state_dim() const override { return 4; }
+  [[nodiscard]] std::size_t n_actions() const override { return 2; }
+  [[nodiscard]] std::string name() const override { return "cartpole"; }
+  std::vector<double> reset(core::Rng &rng) override;
+  StepResult step(std::size_t action) override;
+  [[nodiscard]] std::size_t max_steps() const override { return 200; }
+
+ private:
+  double x_ = 0, x_dot_ = 0, theta_ = 0, theta_dot_ = 0;
+  std::size_t steps_ = 0;
+};
+
+/// Lane-crossing game: the frog advances through `lanes` lanes of moving
+/// cars. Actions: wait / advance / retreat. Reaching the far side pays +10,
+/// collision pays -5 and ends the episode, each step costs -0.05.
+class Frogger final : public Environment {
+ public:
+  explicit Frogger(std::size_t lanes = 3, std::size_t width = 10);
+
+  [[nodiscard]] std::size_t state_dim() const override;
+  [[nodiscard]] std::size_t n_actions() const override { return 3; }
+  [[nodiscard]] std::string name() const override { return "frogger"; }
+  std::vector<double> reset(core::Rng &rng) override;
+  StepResult step(std::size_t action) override;
+  [[nodiscard]] std::size_t max_steps() const override { return 120; }
+
+ private:
+  [[nodiscard]] std::vector<double> observe() const;
+  [[nodiscard]] bool collided() const;
+  std::size_t lanes_, width_;
+  std::size_t frog_lane_ = 0;        // 0 = start bank, lanes_+1 = far bank
+  std::vector<double> car_pos_;      // one car per lane, fractional position
+  std::vector<double> car_speed_;    // signed lanes/step
+  std::size_t steps_ = 0;
+};
+
+/// Factory by name ("gridworld" | "cartpole" | "frogger").
+[[nodiscard]] std::unique_ptr<Environment> make_environment(const std::string &name);
+
+}  // namespace treu::rl

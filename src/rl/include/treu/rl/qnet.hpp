@@ -1,0 +1,97 @@
+#pragma once
+
+// Q-value estimators (§2.8): the experiment swaps the network family that
+// estimates Q values inside an otherwise identical DQN. `MlpQNet` stands in
+// for the CNN families (EfficientNetV2) and `AttentionQNet` for the vision
+// transformers (Swin) — on vector states the architectural contrast that
+// matters is feed-forward versus attention-based token mixing.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/nn/attention.hpp"
+#include "treu/nn/layer.hpp"
+#include "treu/nn/layers.hpp"
+#include "treu/nn/optimizer.hpp"
+
+namespace treu::rl {
+
+class QNetwork {
+ public:
+  virtual ~QNetwork() = default;
+
+  /// Q values for one state.
+  [[nodiscard]] virtual std::vector<double> q_values(
+      std::span<const double> state) = 0;
+
+  /// One SGD step pulling Q(state, action) toward target; returns TD error^2.
+  virtual double update(std::span<const double> state, std::size_t action,
+                        double target) = 0;
+
+  [[nodiscard]] virtual std::vector<nn::Param *> params() = 0;
+  [[nodiscard]] virtual std::string family() const = 0;
+
+  /// Copy another network's weights into this one (target-network sync).
+  void sync_from(QNetwork &other);
+
+  [[nodiscard]] std::size_t argmax_action(std::span<const double> state);
+};
+
+/// Feed-forward Q estimator.
+class MlpQNet final : public QNetwork {
+ public:
+  MlpQNet(std::size_t state_dim, std::size_t hidden, std::size_t actions,
+          core::Rng &rng, double lr);
+
+  std::vector<double> q_values(std::span<const double> state) override;
+  double update(std::span<const double> state, std::size_t action,
+                double target) override;
+  std::vector<nn::Param *> params() override { return net_.params(); }
+  [[nodiscard]] std::string family() const override { return "mlp"; }
+
+ private:
+  nn::Sequential net_;
+  std::size_t actions_;
+  nn::Adam opt_;
+};
+
+/// Attention-based Q estimator: the state vector is chunked into tokens,
+/// projected, mixed by a transformer block, mean-pooled, and decoded.
+class AttentionQNet final : public QNetwork {
+ public:
+  AttentionQNet(std::size_t state_dim, std::size_t token_size,
+                std::size_t model_dim, std::size_t heads, std::size_t actions,
+                core::Rng &rng, double lr);
+
+  std::vector<double> q_values(std::span<const double> state) override;
+  double update(std::span<const double> state, std::size_t action,
+                double target) override;
+  std::vector<nn::Param *> params() override;
+  [[nodiscard]] std::string family() const override { return "attention"; }
+
+ private:
+  [[nodiscard]] tensor::Matrix tokenize(std::span<const double> state) const;
+  tensor::Matrix forward_internal(std::span<const double> state);
+
+  std::size_t token_size_;
+  std::size_t n_tokens_;
+  std::size_t actions_;
+  nn::Dense proj_;
+  nn::PositionalEncoding posenc_;
+  nn::TransformerBlock block_;
+  nn::MeanPool pool_;
+  nn::Dense head_;
+  nn::Adam opt_;
+};
+
+/// Factory: family is "mlp" or "attention".
+[[nodiscard]] std::unique_ptr<QNetwork> make_qnet(const std::string &family,
+                                                  std::size_t state_dim,
+                                                  std::size_t actions,
+                                                  core::Rng &rng, double lr);
+
+}  // namespace treu::rl

@@ -1,0 +1,142 @@
+#include "treu/rl/dqn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "treu/core/stats.hpp"
+#include "treu/core/timer.hpp"
+
+namespace treu::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  storage_.resize(capacity_);
+}
+
+void ReplayBuffer::push(Transition t) {
+  storage_[next_] = std::move(t);
+  next_ = (next_ + 1) % capacity_;
+  size_ = std::min(size_ + 1, capacity_);
+}
+
+const Transition &ReplayBuffer::sample(core::Rng &rng) const {
+  if (size_ == 0) throw std::logic_error("ReplayBuffer::sample: empty");
+  return storage_[static_cast<std::size_t>(rng.uniform_index(size_))];
+}
+
+double evaluate_policy(Environment &env, QNetwork &net, std::size_t episodes,
+                       core::Rng &rng, double epsilon) {
+  double total = 0.0;
+  core::Rng explore = rng.split(0xE5);
+  for (std::size_t e = 0; e < episodes; ++e) {
+    core::Rng episode_rng = rng.split(e);
+    std::vector<double> state = env.reset(episode_rng);
+    for (;;) {
+      const std::size_t action =
+          epsilon > 0.0 && explore.bernoulli(epsilon)
+              ? static_cast<std::size_t>(explore.uniform_index(env.n_actions()))
+              : net.argmax_action(state);
+      const StepResult r = env.step(action);
+      total += r.reward;
+      if (r.done) break;
+      state = r.state;
+    }
+  }
+  return episodes > 0 ? total / static_cast<double>(episodes) : 0.0;
+}
+
+TrainOutcome train_dqn(Environment &env, const std::string &family,
+                       const DqnConfig &config, std::uint64_t seed) {
+  TrainOutcome outcome;
+  core::WallTimer timer;
+  core::Rng rng(seed, 0xD09);
+  core::Rng init_rng = rng.split(1);
+  core::Rng target_init = rng.split(1);  // same lane => identical init
+  std::unique_ptr<QNetwork> online = make_qnet(
+      family, env.state_dim(), env.n_actions(), init_rng, config.lr);
+  std::unique_ptr<QNetwork> target = make_qnet(
+      family, env.state_dim(), env.n_actions(), target_init, config.lr);
+  target->sync_from(*online);
+
+  ReplayBuffer buffer(config.replay_capacity);
+  core::Rng explore_rng = rng.split(2);
+  core::Rng sample_rng = rng.split(3);
+  std::size_t global_step = 0;
+
+  for (std::size_t episode = 0; episode < config.episodes; ++episode) {
+    core::Rng episode_rng = rng.split(100 + episode);
+    std::vector<double> state = env.reset(episode_rng);
+    double episode_return = 0.0;
+    for (;;) {
+      const double epsilon =
+          config.epsilon_end +
+          (config.epsilon_start - config.epsilon_end) *
+              std::max(0.0, 1.0 - static_cast<double>(global_step) /
+                                      config.epsilon_decay_steps);
+      std::size_t action;
+      if (explore_rng.bernoulli(epsilon)) {
+        action = static_cast<std::size_t>(
+            explore_rng.uniform_index(env.n_actions()));
+      } else {
+        action = online->argmax_action(state);
+      }
+      const StepResult r = env.step(action);
+      episode_return += r.reward;
+      buffer.push({state, action, r.reward, r.state, r.done});
+      ++global_step;
+
+      if (buffer.size() >= config.warmup) {
+        for (std::size_t u = 0; u < config.batch_size; ++u) {
+          const Transition &t = buffer.sample(sample_rng);
+          double target_q = t.reward;
+          if (!t.done) {
+            const auto next_q = target->q_values(t.next_state);
+            if (config.double_dqn) {
+              const std::size_t best = online->argmax_action(t.next_state);
+              target_q += config.gamma * next_q[best];
+            } else {
+              target_q += config.gamma *
+                          *std::max_element(next_q.begin(), next_q.end());
+            }
+          }
+          online->update(t.state, t.action, target_q);
+        }
+      }
+      if (global_step % config.target_sync_interval == 0) {
+        target->sync_from(*online);
+      }
+      if (r.done) break;
+      state = r.state;
+    }
+    outcome.episode_returns.push_back(episode_return);
+  }
+
+  core::Rng eval_rng = rng.split(4);
+  outcome.final_eval_return = evaluate_policy(env, *online, 10, eval_rng);
+  outcome.seconds = timer.elapsed_seconds();
+  return outcome;
+}
+
+ReliabilityRow reliability_study(const std::string &env_name,
+                                 const std::string &family,
+                                 std::size_t n_seeds,
+                                 const DqnConfig &config) {
+  ReliabilityRow row;
+  row.environment = env_name;
+  row.family = family;
+  row.seeds = n_seeds;
+  std::vector<double> finals;
+  finals.reserve(n_seeds);
+  for (std::size_t s = 0; s < n_seeds; ++s) {
+    const auto env = make_environment(env_name);
+    const TrainOutcome out = train_dqn(*env, family, config, 1000 + s);
+    finals.push_back(out.final_eval_return);
+  }
+  row.mean_return = core::mean(finals);
+  row.stddev_return = core::stddev(finals);
+  row.cvar25 = core::cvar_lower(finals, 0.25);
+  row.min_return = core::min_of(finals);
+  return row;
+}
+
+}  // namespace treu::rl

@@ -1,0 +1,181 @@
+#include "treu/rl/env.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace treu::rl {
+
+GridWorld::GridWorld(double slip_probability) : slip_(slip_probability) {}
+
+std::vector<double> GridWorld::reset(core::Rng &rng) {
+  rng_ = rng.split(0x6D);
+  x_ = 0;
+  y_ = 0;
+  steps_ = 0;
+  return observe();
+}
+
+std::vector<double> GridWorld::observe() const {
+  return {static_cast<double>(x_) / 4.0, static_cast<double>(y_) / 4.0};
+}
+
+StepResult GridWorld::step(std::size_t action) {
+  ++steps_;
+  std::size_t effective = action;
+  if (rng_.bernoulli(slip_)) {
+    effective = static_cast<std::size_t>(rng_.uniform_index(4));
+  }
+  switch (effective) {
+    case 0: y_ = std::min(y_ + 1, 4); break;  // up
+    case 1: y_ = std::max(y_ - 1, 0); break;  // down
+    case 2: x_ = std::max(x_ - 1, 0); break;  // left
+    case 3: x_ = std::min(x_ + 1, 4); break;  // right
+    default: throw std::invalid_argument("GridWorld::step: bad action");
+  }
+  StepResult r;
+  r.state = observe();
+  r.reward = -0.05;
+  // Goal at (4,4); pit at (2,2).
+  if (x_ == 4 && y_ == 4) {
+    r.reward = 10.0;
+    r.done = true;
+  } else if (x_ == 2 && y_ == 2) {
+    r.reward = -5.0;
+    r.done = true;
+  } else if (steps_ >= max_steps()) {
+    r.done = true;
+  }
+  return r;
+}
+
+std::vector<double> CartPole::reset(core::Rng &rng) {
+  core::Rng local = rng.split(0xC9);
+  x_ = local.uniform(-0.05, 0.05);
+  x_dot_ = local.uniform(-0.05, 0.05);
+  theta_ = local.uniform(-0.05, 0.05);
+  theta_dot_ = local.uniform(-0.05, 0.05);
+  steps_ = 0;
+  return {x_, x_dot_, theta_, theta_dot_};
+}
+
+StepResult CartPole::step(std::size_t action) {
+  if (action > 1) throw std::invalid_argument("CartPole::step: bad action");
+  ++steps_;
+  constexpr double gravity = 9.8;
+  constexpr double mass_cart = 1.0;
+  constexpr double mass_pole = 0.1;
+  constexpr double total_mass = mass_cart + mass_pole;
+  constexpr double length = 0.5;  // half pole length
+  constexpr double pole_mass_length = mass_pole * length;
+  constexpr double force_mag = 10.0;
+  constexpr double tau = 0.02;
+
+  const double force = action == 1 ? force_mag : -force_mag;
+  const double cos_t = std::cos(theta_);
+  const double sin_t = std::sin(theta_);
+  const double temp =
+      (force + pole_mass_length * theta_dot_ * theta_dot_ * sin_t) / total_mass;
+  const double theta_acc =
+      (gravity * sin_t - cos_t * temp) /
+      (length * (4.0 / 3.0 - mass_pole * cos_t * cos_t / total_mass));
+  const double x_acc = temp - pole_mass_length * theta_acc * cos_t / total_mass;
+
+  x_ += tau * x_dot_;
+  x_dot_ += tau * x_acc;
+  theta_ += tau * theta_dot_;
+  theta_dot_ += tau * theta_acc;
+
+  StepResult r;
+  r.state = {x_, x_dot_, theta_, theta_dot_};
+  const bool failed =
+      std::fabs(x_) > 2.4 || std::fabs(theta_) > 12.0 * 3.14159265 / 180.0;
+  r.done = failed || steps_ >= max_steps();
+  r.reward = failed ? 0.0 : 1.0;
+  return r;
+}
+
+Frogger::Frogger(std::size_t lanes, std::size_t width)
+    : lanes_(lanes), width_(width) {
+  if (lanes_ == 0 || width_ < 2) {
+    throw std::invalid_argument("Frogger: degenerate configuration");
+  }
+}
+
+std::size_t Frogger::state_dim() const {
+  // Frog progress + per lane: relative car position and speed.
+  return 1 + 2 * lanes_;
+}
+
+std::vector<double> Frogger::reset(core::Rng &rng) {
+  core::Rng local = rng.split(0xF6);
+  frog_lane_ = 0;
+  steps_ = 0;
+  car_pos_.assign(lanes_, 0.0);
+  car_speed_.assign(lanes_, 0.0);
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    car_pos_[l] = local.uniform(0.0, static_cast<double>(width_));
+    const double speed = local.uniform(0.4, 1.2);
+    car_speed_[l] = (l % 2 == 0) ? speed : -speed;
+  }
+  return observe();
+}
+
+std::vector<double> Frogger::observe() const {
+  std::vector<double> s;
+  s.reserve(state_dim());
+  s.push_back(static_cast<double>(frog_lane_) /
+              static_cast<double>(lanes_ + 1));
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    // Signed distance from the crossing column (width/2), normalized.
+    const double rel =
+        (car_pos_[l] - static_cast<double>(width_) / 2.0) /
+        static_cast<double>(width_);
+    s.push_back(rel);
+    s.push_back(car_speed_[l]);
+  }
+  return s;
+}
+
+bool Frogger::collided() const {
+  if (frog_lane_ == 0 || frog_lane_ > lanes_) return false;  // on a bank
+  const std::size_t lane = frog_lane_ - 1;
+  const double crossing = static_cast<double>(width_) / 2.0;
+  return std::fabs(car_pos_[lane] - crossing) < 0.75;
+}
+
+StepResult Frogger::step(std::size_t action) {
+  if (action > 2) throw std::invalid_argument("Frogger::step: bad action");
+  ++steps_;
+  // Cars move (wrap around the lane).
+  for (std::size_t l = 0; l < lanes_; ++l) {
+    car_pos_[l] += car_speed_[l];
+    const double w = static_cast<double>(width_);
+    while (car_pos_[l] < 0.0) car_pos_[l] += w;
+    while (car_pos_[l] >= w) car_pos_[l] -= w;
+  }
+  if (action == 1 && frog_lane_ <= lanes_) ++frog_lane_;
+  if (action == 2 && frog_lane_ > 0) --frog_lane_;
+
+  StepResult r;
+  r.reward = -0.05;
+  if (collided()) {
+    r.reward = -5.0;
+    r.done = true;
+  } else if (frog_lane_ == lanes_ + 1) {
+    r.reward = 10.0;
+    r.done = true;
+  } else if (steps_ >= max_steps()) {
+    r.done = true;
+  }
+  r.state = observe();
+  return r;
+}
+
+std::unique_ptr<Environment> make_environment(const std::string &name) {
+  if (name == "gridworld") return std::make_unique<GridWorld>();
+  if (name == "cartpole") return std::make_unique<CartPole>();
+  if (name == "frogger") return std::make_unique<Frogger>();
+  throw std::invalid_argument("make_environment: unknown environment " + name);
+}
+
+}  // namespace treu::rl

@@ -1,0 +1,135 @@
+#include "treu/rl/qnet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "treu/nn/param.hpp"
+
+namespace treu::rl {
+namespace {
+
+tensor::Matrix row_from(std::span<const double> state) {
+  tensor::Matrix m(1, state.size());
+  for (std::size_t i = 0; i < state.size(); ++i) m(0, i) = state[i];
+  return m;
+}
+
+}  // namespace
+
+void QNetwork::sync_from(QNetwork &other) {
+  const auto src = other.params();
+  const auto dst = params();
+  const std::vector<double> flat =
+      nn::save_weights(std::span<nn::Param *const>(src.data(), src.size()));
+  nn::load_weights(std::span<nn::Param *const>(dst.data(), dst.size()), flat);
+}
+
+std::size_t QNetwork::argmax_action(std::span<const double> state) {
+  const auto q = q_values(state);
+  return static_cast<std::size_t>(
+      std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+MlpQNet::MlpQNet(std::size_t state_dim, std::size_t hidden,
+                 std::size_t actions, core::Rng &rng, double lr)
+    : actions_(actions), opt_(lr) {
+  net_.emplace<nn::Dense>(state_dim, hidden, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Dense>(hidden, hidden, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Dense>(hidden, actions, rng);
+}
+
+std::vector<double> MlpQNet::q_values(std::span<const double> state) {
+  const tensor::Matrix out = net_.forward(row_from(state));
+  return {out.flat().begin(), out.flat().end()};
+}
+
+double MlpQNet::update(std::span<const double> state, std::size_t action,
+                       double target) {
+  const tensor::Matrix out = net_.forward(row_from(state));
+  if (action >= actions_) throw std::out_of_range("MlpQNet::update: action");
+  const double td = out(0, action) - target;
+  tensor::Matrix grad(1, actions_, 0.0);
+  grad(0, action) = 2.0 * td;
+  net_.backward(grad);
+  const auto p = net_.params();
+  nn::clip_grad_norm(std::span<nn::Param *const>(p.data(), p.size()), 10.0);
+  opt_.step(p);
+  return td * td;
+}
+
+AttentionQNet::AttentionQNet(std::size_t state_dim, std::size_t token_size,
+                             std::size_t model_dim, std::size_t heads,
+                             std::size_t actions, core::Rng &rng, double lr)
+    : token_size_(token_size),
+      n_tokens_((state_dim + token_size - 1) / token_size),
+      actions_(actions),
+      proj_(token_size, model_dim, rng),
+      posenc_(n_tokens_, model_dim),
+      block_(model_dim, heads, model_dim * 2, rng),
+      head_(model_dim, actions, rng),
+      opt_(lr) {
+  if (token_size == 0) {
+    throw std::invalid_argument("AttentionQNet: token size 0");
+  }
+}
+
+tensor::Matrix AttentionQNet::tokenize(std::span<const double> state) const {
+  tensor::Matrix tokens(n_tokens_, token_size_, 0.0);
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    tokens(i / token_size_, i % token_size_) = state[i];
+  }
+  return tokens;
+}
+
+tensor::Matrix AttentionQNet::forward_internal(std::span<const double> state) {
+  const tensor::Matrix projected = proj_.forward(tokenize(state));
+  const tensor::Matrix mixed = block_.forward(posenc_.forward(projected));
+  return head_.forward(pool_.forward(mixed));
+}
+
+std::vector<double> AttentionQNet::q_values(std::span<const double> state) {
+  const tensor::Matrix out = forward_internal(state);
+  return {out.flat().begin(), out.flat().end()};
+}
+
+double AttentionQNet::update(std::span<const double> state, std::size_t action,
+                             double target) {
+  const tensor::Matrix out = forward_internal(state);
+  if (action >= actions_) {
+    throw std::out_of_range("AttentionQNet::update: action");
+  }
+  const double td = out(0, action) - target;
+  tensor::Matrix grad(1, actions_, 0.0);
+  grad(0, action) = 2.0 * td;
+  proj_.backward(posenc_.backward(
+      block_.backward(pool_.backward(head_.backward(grad)))));
+  const auto p = params();
+  nn::clip_grad_norm(std::span<nn::Param *const>(p.data(), p.size()), 10.0);
+  opt_.step(p);
+  return td * td;
+}
+
+std::vector<nn::Param *> AttentionQNet::params() {
+  std::vector<nn::Param *> out;
+  for (nn::Param *p : proj_.params()) out.push_back(p);
+  for (nn::Param *p : block_.params()) out.push_back(p);
+  for (nn::Param *p : head_.params()) out.push_back(p);
+  return out;
+}
+
+std::unique_ptr<QNetwork> make_qnet(const std::string &family,
+                                    std::size_t state_dim, std::size_t actions,
+                                    core::Rng &rng, double lr) {
+  if (family == "mlp") {
+    return std::make_unique<MlpQNet>(state_dim, 32, actions, rng, lr);
+  }
+  if (family == "attention") {
+    return std::make_unique<AttentionQNet>(state_dim, 3, 16, 2, actions, rng,
+                                           lr);
+  }
+  throw std::invalid_argument("make_qnet: unknown family " + family);
+}
+
+}  // namespace treu::rl

@@ -1,0 +1,204 @@
+#include "treu/robust/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "treu/core/stats.hpp"
+#include "treu/tensor/linalg.hpp"
+
+namespace treu::robust {
+
+std::vector<double> empirical_mean(const tensor::Matrix &x) {
+  const std::size_t n = x.rows(), d = x.cols();
+  std::vector<double> mean(d, 0.0);
+  if (n == 0) return mean;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (auto &m : mean) m /= static_cast<double>(n);
+  return mean;
+}
+
+std::vector<double> coordinatewise_median(const tensor::Matrix &x) {
+  const std::size_t d = x.cols();
+  std::vector<double> out(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    const std::vector<double> col = x.column(j);
+    out[j] = core::median(col);
+  }
+  return out;
+}
+
+std::vector<double> coordinatewise_trimmed_mean(const tensor::Matrix &x,
+                                                double trim) {
+  const std::size_t d = x.cols();
+  std::vector<double> out(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    const std::vector<double> col = x.column(j);
+    out[j] = core::trimmed_mean(col, trim);
+  }
+  return out;
+}
+
+WeiszfeldResult geometric_median(const tensor::Matrix &x, double tol,
+                                 std::size_t max_iter) {
+  WeiszfeldResult result;
+  const std::size_t n = x.rows(), d = x.cols();
+  if (n == 0) throw std::invalid_argument("geometric_median: empty sample");
+  result.point = empirical_mean(x);
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    result.iterations = it + 1;
+    std::vector<double> next(d, 0.0);
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = x.row(i);
+      double dist = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        dist += (row[j] - result.point[j]) * (row[j] - result.point[j]);
+      }
+      dist = std::sqrt(dist);
+      const double w = 1.0 / std::max(dist, 1e-12);
+      weight_sum += w;
+      for (std::size_t j = 0; j < d; ++j) next[j] += w * row[j];
+    }
+    for (auto &v : next) v /= weight_sum;
+    double delta = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      delta += (next[j] - result.point[j]) * (next[j] - result.point[j]);
+    }
+    result.point = std::move(next);
+    if (std::sqrt(delta) < tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+FilterResult filter_mean(const tensor::Matrix &x, const FilterConfig &config) {
+  const std::size_t n0 = x.rows(), d = x.cols();
+  if (n0 == 0) throw std::invalid_argument("filter_mean: empty sample");
+  // Active-set filtering: indices still considered inliers.
+  std::vector<std::size_t> active(n0);
+  std::iota(active.begin(), active.end(), 0);
+  FilterResult result;
+
+  const double eps = std::clamp(config.eps, 1e-4, 0.49);
+  const double certify =
+      1.0 + config.threshold_slack * eps * std::log(1.0 / eps);
+
+  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    result.rounds = round + 1;
+    // Mean and covariance of the active set.
+    tensor::Matrix sub(active.size(), d);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const auto row = x.row(active[i]);
+      for (std::size_t j = 0; j < d; ++j) sub(i, j) = row[j];
+    }
+    auto [cov, mean] = tensor::covariance(sub);
+    const tensor::TopEigen top = tensor::power_iteration(cov);
+    result.mean = mean;
+    result.final_top_eigenvalue = top.value;
+
+    // Certification: for identity-covariance inliers the corrupted
+    // covariance has a large spectral direction iff the outliers still
+    // shift the mean.
+    if (top.value <= certify) break;
+    if (active.size() <= d + 2) break;  // too small to keep filtering
+
+    // Score points by squared deviation along the top eigenvector.
+    std::vector<std::pair<double, std::size_t>> scores(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      double proj = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        proj += (sub(i, j) - mean[j]) * top.vector[j];
+      }
+      scores[i] = {proj * proj, active[i]};
+    }
+    std::stable_sort(scores.begin(), scores.end(),
+                     [](const auto &a, const auto &b) { return a.first > b.first; });
+    // Remove the worst removal_fraction * eps * n0 points this round.
+    std::size_t remove = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config.removal_fraction * eps *
+                                    static_cast<double>(n0)));
+    remove = std::min(remove, active.size() - (d + 2));
+    std::vector<std::size_t> removed_idx;
+    removed_idx.reserve(remove);
+    for (std::size_t i = 0; i < remove; ++i) {
+      removed_idx.push_back(scores[i].second);
+    }
+    std::sort(removed_idx.begin(), removed_idx.end());
+    std::vector<std::size_t> next_active;
+    next_active.reserve(active.size() - remove);
+    std::set_difference(active.begin(), active.end(), removed_idx.begin(),
+                        removed_idx.end(), std::back_inserter(next_active));
+    active = std::move(next_active);
+    result.removed += remove;
+  }
+  return result;
+}
+
+tensor::Matrix gaussian_sample(std::size_t n, std::span<const double> true_mean,
+                               core::Rng &rng) {
+  const std::size_t d = true_mean.size();
+  tensor::Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) row[j] = true_mean[j] + rng.normal();
+  }
+  return x;
+}
+
+void corrupt_cluster(tensor::Matrix &x, double eps,
+                     std::span<const double> true_mean, double magnitude,
+                     core::Rng &rng) {
+  const std::size_t n = x.rows(), d = x.cols();
+  const std::size_t k = static_cast<std::size_t>(eps * static_cast<double>(n));
+  if (k == 0 || d == 0) return;
+  // Random unit direction for the colluding cluster.
+  std::vector<double> dir = rng.normal_vector(d);
+  double norm = 0.0;
+  for (double v : dir) norm += v * v;
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (auto &v : dir) v /= norm;
+  const auto victims = rng.sample_without_replacement(n, k);
+  for (std::size_t idx : victims) {
+    auto row = x.row(idx);
+    for (std::size_t j = 0; j < d; ++j) {
+      row[j] = true_mean[j] + magnitude * dir[j] + 0.1 * rng.normal();
+    }
+  }
+}
+
+void corrupt_spread(tensor::Matrix &x, double eps,
+                    std::span<const double> true_mean, double magnitude,
+                    core::Rng &rng) {
+  const std::size_t n = x.rows(), d = x.cols();
+  const std::size_t k = static_cast<std::size_t>(eps * static_cast<double>(n));
+  if (k == 0 || d == 0) return;
+  const auto victims = rng.sample_without_replacement(n, k);
+  for (std::size_t idx : victims) {
+    auto row = x.row(idx);
+    const std::size_t axis = static_cast<std::size_t>(rng.uniform_index(d));
+    const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    for (std::size_t j = 0; j < d; ++j) row[j] = true_mean[j] + rng.normal();
+    row[axis] += sign * magnitude;
+  }
+}
+
+double estimation_error(std::span<const double> estimate,
+                        std::span<const double> true_mean) {
+  if (estimate.size() != true_mean.size()) {
+    throw std::invalid_argument("estimation_error: dimension mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t j = 0; j < estimate.size(); ++j) {
+    s += (estimate[j] - true_mean[j]) * (estimate[j] - true_mean[j]);
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace treu::robust

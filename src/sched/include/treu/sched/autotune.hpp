@@ -1,0 +1,71 @@
+#pragma once
+
+// Schedule autotuners.
+//
+// `genetic_autotune` is the Ansor stand-in: a (mu + lambda)-style genetic
+// algorithm over the schedule space with elitism, knob mutation, and uniform
+// crossover. `random_search` is the budget-matched baseline the ablation
+// bench compares against. Both are fully deterministic given the seed, and
+// both *verify* every candidate's output against the naive reference —
+// candidates that miscompute are discarded with infinite cost rather than
+// silently winning on speed.
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "treu/parallel/thread_pool.hpp"
+#include "treu/sched/problem.hpp"
+#include "treu/sched/schedule.hpp"
+
+namespace treu::sched {
+
+struct TuneConfig {
+  std::size_t population = 16;
+  std::size_t generations = 8;
+  std::size_t elites = 2;
+  double mutation_rate = 0.5;   // probability a child is mutated after crossover
+  std::size_t repeats = 3;      // timing repeats per candidate
+  std::uint64_t seed = 0;
+  ScheduleSpace space;
+};
+
+/// One evaluated candidate.
+struct Evaluated {
+  Schedule schedule;
+  Measurement measurement;
+  [[nodiscard]] double cost() const noexcept {
+    return measurement.output_matches_reference
+               ? measurement.seconds
+               : std::numeric_limits<double>::infinity();
+  }
+};
+
+struct TuneResult {
+  Evaluated best;
+  std::vector<double> best_cost_per_generation;  // for convergence plots
+  std::size_t evaluations = 0;
+  std::size_t rejected_incorrect = 0;            // candidates that miscomputed
+};
+
+/// Genetic-algorithm tuner (Ansor stand-in).
+[[nodiscard]] TuneResult genetic_autotune(const Problem &problem,
+                                          const TuneConfig &config,
+                                          parallel::ThreadPool &pool);
+
+/// Pure random search with the same evaluation budget
+/// (population * generations candidates).
+[[nodiscard]] TuneResult random_search(const Problem &problem,
+                                       const TuneConfig &config,
+                                       parallel::ThreadPool &pool);
+
+/// Replay: measure a specific schedule (e.g. one exported from the GA run
+/// into "another compiler" — our loop-interchange-only path) on a problem.
+/// This is the §2.5 cross-framework experiment in miniature.
+[[nodiscard]] Evaluated replay(const Problem &problem, const Schedule &schedule,
+                               parallel::ThreadPool &pool,
+                               std::size_t repeats = 3);
+
+}  // namespace treu::sched

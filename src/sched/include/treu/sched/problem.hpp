@@ -1,0 +1,76 @@
+#pragma once
+
+// Workload instances and the measurement harness for schedule tuning.
+//
+// A `Problem` owns concrete random inputs for one kernel at one size; it can
+// execute any schedule on them and report wall time, GFLOP/s, and a digest
+// of the output (so the tuner can assert that every candidate it timed
+// computed the same function — measurement without trust is how silent
+// mis-schedules survive).
+
+#include <cstddef>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/core/sha256.hpp"
+#include "treu/parallel/thread_pool.hpp"
+#include "treu/sched/schedule.hpp"
+#include "treu/tensor/matrix.hpp"
+
+namespace treu::sched {
+
+/// Timing result of running one schedule on one problem.
+struct Measurement {
+  double seconds = 0.0;       // best (min) over repeats
+  double gflops = 0.0;        // flops / seconds / 1e9
+  core::Digest output_digest; // fingerprint of the produced values
+  bool output_matches_reference = false;
+};
+
+class Problem {
+ public:
+  /// Create a problem with iid U(-1,1) inputs drawn from `rng`.
+  Problem(KernelKind kind, ProblemSize size, core::Rng &rng);
+
+  [[nodiscard]] KernelKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const ProblemSize &size() const noexcept { return size_; }
+
+  /// Total floating point operations of one kernel execution.
+  [[nodiscard]] double flops() const noexcept;
+
+  /// Compulsory memory traffic in bytes (for arithmetic intensity).
+  [[nodiscard]] double bytes() const noexcept;
+
+  /// Arithmetic intensity: flops / bytes.
+  [[nodiscard]] double intensity() const noexcept;
+
+  /// Execute `schedule` once and return the raw output values (flattened).
+  /// Throws std::invalid_argument when the schedule targets another kernel.
+  [[nodiscard]] std::vector<double> execute(const Schedule &schedule,
+                                            parallel::ThreadPool &pool) const;
+
+  /// Time `schedule` (min over `repeats` executions) and compare the output
+  /// against the naive-kernel reference.
+  [[nodiscard]] Measurement measure(const Schedule &schedule,
+                                    parallel::ThreadPool &pool,
+                                    std::size_t repeats = 3) const;
+
+  /// The reference output (naive kernel), computed once lazily.
+  [[nodiscard]] const std::vector<double> &reference() const;
+
+ private:
+  KernelKind kind_;
+  ProblemSize size_;
+  tensor::Matrix a_;                 // matrix operand (or conv2d input)
+  tensor::Matrix b_;                 // second matrix operand (or conv2d kernel)
+  std::vector<double> x_;            // vector operand (matvec / conv1d)
+  std::vector<double> w_;            // conv1d taps
+  mutable std::vector<double> reference_;
+  mutable bool reference_ready_ = false;
+};
+
+/// Standard evaluation sizes used by the §2.5 benchmark (one per kernel,
+/// sized to run in milliseconds on a laptop core).
+[[nodiscard]] ProblemSize default_size(KernelKind kind) noexcept;
+
+}  // namespace treu::sched

@@ -1,0 +1,49 @@
+#pragma once
+
+// Roofline performance model (§2.5 lesson).
+//
+// The model needs two machine numbers: peak floating-point throughput and
+// peak memory bandwidth. We *measure* both with micro-kernels rather than
+// trusting spec sheets (the whole point of the REU lesson was measuring).
+// Given a kernel's arithmetic intensity I (flops/byte), the attainable
+// performance is min(peak_flops, I * bandwidth); the ridge point
+// peak_flops / bandwidth separates memory-bound from compute-bound kernels.
+
+#include <cstddef>
+#include <string>
+
+namespace treu::sched {
+
+struct RooflineModel {
+  double peak_gflops = 0.0;       // measured compute ceiling
+  double peak_bandwidth_gbs = 0.0;  // measured memory ceiling (GB/s)
+
+  /// Attainable GFLOP/s at arithmetic intensity `flops_per_byte`.
+  [[nodiscard]] double attainable_gflops(double flops_per_byte) const noexcept;
+
+  /// Intensity at which the two ceilings cross.
+  [[nodiscard]] double ridge_intensity() const noexcept;
+
+  [[nodiscard]] bool memory_bound(double flops_per_byte) const noexcept;
+
+  /// Fraction of the attainable roof achieved by a measured rate.
+  [[nodiscard]] double efficiency(double flops_per_byte,
+                                  double measured_gflops) const noexcept;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Measure the compute ceiling with an unrolled independent-FMA loop
+/// (`work_flops` total flops; repeats pick the best trial).
+[[nodiscard]] double measure_peak_gflops(std::size_t work_flops = std::size_t{1} << 27,
+                                         std::size_t repeats = 3);
+
+/// Measure the streaming-bandwidth ceiling with a STREAM-triad style loop
+/// over `bytes` of working set.
+[[nodiscard]] double measure_peak_bandwidth_gbs(std::size_t bytes = std::size_t{1} << 26,
+                                                std::size_t repeats = 3);
+
+/// Measure both ceilings.
+[[nodiscard]] RooflineModel measure_roofline();
+
+}  // namespace treu::sched

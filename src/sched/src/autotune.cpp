@@ -1,0 +1,112 @@
+#include "treu/sched/autotune.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace treu::sched {
+namespace {
+
+Evaluated evaluate(const Problem &problem, const Schedule &schedule,
+                   parallel::ThreadPool &pool, std::size_t repeats,
+                   TuneResult &accounting) {
+  Evaluated e;
+  e.schedule = schedule;
+  e.measurement = problem.measure(schedule, pool, repeats);
+  ++accounting.evaluations;
+  if (!e.measurement.output_matches_reference) ++accounting.rejected_incorrect;
+  return e;
+}
+
+void sort_by_cost(std::vector<Evaluated> &pop) {
+  std::stable_sort(pop.begin(), pop.end(),
+                   [](const Evaluated &a, const Evaluated &b) {
+                     return a.cost() < b.cost();
+                   });
+}
+
+}  // namespace
+
+TuneResult genetic_autotune(const Problem &problem, const TuneConfig &config,
+                            parallel::ThreadPool &pool) {
+  TuneResult result;
+  core::Rng rng(config.seed, 0x6174756e65ull);  // "atune"
+  const std::size_t pop_size = std::max<std::size_t>(config.population, 2);
+
+  std::vector<Evaluated> population;
+  population.reserve(pop_size);
+  // Seed the population with the baseline (never start worse than naive)
+  // plus random schedules.
+  population.push_back(evaluate(problem, ScheduleSpace::baseline(problem.kind()),
+                                pool, config.repeats, result));
+  while (population.size() < pop_size) {
+    population.push_back(
+        evaluate(problem, config.space.random_schedule(problem.kind(), rng),
+                 pool, config.repeats, result));
+  }
+  sort_by_cost(population);
+  result.best_cost_per_generation.push_back(population.front().cost());
+
+  for (std::size_t gen = 1; gen < std::max<std::size_t>(config.generations, 1);
+       ++gen) {
+    std::vector<Evaluated> next;
+    next.reserve(pop_size);
+    const std::size_t elites = std::min(config.elites, population.size());
+    for (std::size_t e = 0; e < elites; ++e) next.push_back(population[e]);
+
+    while (next.size() < pop_size) {
+      // Tournament selection (size 2) among current population.
+      const auto pick = [&]() -> const Evaluated & {
+        const std::size_t a = rng.uniform_index(population.size());
+        const std::size_t b = rng.uniform_index(population.size());
+        return population[a].cost() <= population[b].cost() ? population[a]
+                                                            : population[b];
+      };
+      Schedule child = config.space.crossover(pick().schedule, pick().schedule, rng);
+      if (rng.bernoulli(config.mutation_rate)) {
+        child = config.space.mutate(child, rng);
+      }
+      next.push_back(evaluate(problem, child, pool, config.repeats, result));
+    }
+    population = std::move(next);
+    sort_by_cost(population);
+    result.best_cost_per_generation.push_back(population.front().cost());
+  }
+
+  result.best = population.front();
+  return result;
+}
+
+TuneResult random_search(const Problem &problem, const TuneConfig &config,
+                         parallel::ThreadPool &pool) {
+  TuneResult result;
+  core::Rng rng(config.seed, 0x72616e64ull);  // "rand"
+  const std::size_t budget =
+      std::max<std::size_t>(config.population, 2) *
+      std::max<std::size_t>(config.generations, 1);
+
+  Evaluated best = evaluate(problem, ScheduleSpace::baseline(problem.kind()),
+                            pool, config.repeats, result);
+  result.best_cost_per_generation.push_back(best.cost());
+  for (std::size_t i = 1; i < budget; ++i) {
+    Evaluated cand =
+        evaluate(problem, config.space.random_schedule(problem.kind(), rng),
+                 pool, config.repeats, result);
+    if (cand.cost() < best.cost()) best = cand;
+    // Record at generation granularity to align with the GA's curve.
+    if (i % std::max<std::size_t>(config.population, 2) == 0) {
+      result.best_cost_per_generation.push_back(best.cost());
+    }
+  }
+  result.best = std::move(best);
+  return result;
+}
+
+Evaluated replay(const Problem &problem, const Schedule &schedule,
+                 parallel::ThreadPool &pool, std::size_t repeats) {
+  Evaluated e;
+  e.schedule = schedule;
+  e.measurement = problem.measure(schedule, pool, repeats);
+  return e;
+}
+
+}  // namespace treu::sched

@@ -1,0 +1,235 @@
+#include "treu/sched/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace treu::sched {
+namespace {
+
+bool is_matmul_family(KernelKind kind) noexcept {
+  return kind == KernelKind::MatMul || kind == KernelKind::MatMulTransposed;
+}
+
+template <typename T>
+bool contains(const std::vector<T> &v, const T &x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+const char *to_string(KernelKind kind) noexcept {
+  switch (kind) {
+    case KernelKind::MatVec: return "matvec";
+    case KernelKind::Conv1D: return "conv1d";
+    case KernelKind::Conv2D: return "conv2d";
+    case KernelKind::MatMul: return "matmul";
+    case KernelKind::MatMulTransposed: return "matmul_t";
+  }
+  return "?";
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream os;
+  os << sched::to_string(kernel) << ": ";
+  if (is_matmul_family(kernel)) {
+    os << "order(" << tensor::to_string(params.order) << ").";
+  }
+  os << "tile(i=" << params.tile_i << ",j=" << params.tile_j;
+  if (is_matmul_family(kernel)) os << ",k=" << params.tile_k;
+  os << ").unroll(" << params.unroll << ")";
+  if (params.parallel) os << ".parallel";
+  return os.str();
+}
+
+bool Schedule::valid() const noexcept {
+  const std::size_t u = params.unroll;
+  if (u != 1 && u != 2 && u != 4 && u != 8) return false;
+  return true;
+}
+
+std::optional<Schedule> Schedule::parse(std::string_view text) {
+  // Grammar: "<kernel>: [order(<o>).]tile(i=N,j=N[,k=N]).unroll(N)[.parallel]"
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const std::string_view kernel_name = text.substr(0, colon);
+
+  Schedule s;
+  if (kernel_name == "matvec") {
+    s.kernel = KernelKind::MatVec;
+  } else if (kernel_name == "conv1d") {
+    s.kernel = KernelKind::Conv1D;
+  } else if (kernel_name == "conv2d") {
+    s.kernel = KernelKind::Conv2D;
+  } else if (kernel_name == "matmul") {
+    s.kernel = KernelKind::MatMul;
+  } else if (kernel_name == "matmul_t") {
+    s.kernel = KernelKind::MatMulTransposed;
+  } else {
+    return std::nullopt;
+  }
+
+  std::string_view rest = text.substr(colon + 1);
+  const auto skip_spaces = [&] {
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  };
+  const auto consume = [&](std::string_view token) {
+    if (rest.substr(0, token.size()) != token) return false;
+    rest.remove_prefix(token.size());
+    return true;
+  };
+  const auto parse_number = [&]() -> std::optional<std::size_t> {
+    std::size_t value = 0;
+    bool any = false;
+    while (!rest.empty() && rest.front() >= '0' && rest.front() <= '9') {
+      value = value * 10 + static_cast<std::size_t>(rest.front() - '0');
+      rest.remove_prefix(1);
+      any = true;
+    }
+    if (!any) return std::nullopt;
+    return value;
+  };
+  skip_spaces();
+
+  if (consume("order(")) {
+    bool found = false;
+    for (const auto order :
+         {tensor::LoopOrder::IJK, tensor::LoopOrder::IKJ,
+          tensor::LoopOrder::JIK, tensor::LoopOrder::JKI,
+          tensor::LoopOrder::KIJ, tensor::LoopOrder::KJI}) {
+      if (consume(tensor::to_string(order))) {
+        s.params.order = order;
+        found = true;
+        break;
+      }
+    }
+    if (!found || !consume(").")) return std::nullopt;
+  }
+
+  if (!consume("tile(i=")) return std::nullopt;
+  const auto ti = parse_number();
+  if (!ti || !consume(",j=")) return std::nullopt;
+  const auto tj = parse_number();
+  if (!tj) return std::nullopt;
+  s.params.tile_i = *ti;
+  s.params.tile_j = *tj;
+  if (consume(",k=")) {
+    const auto tk = parse_number();
+    if (!tk) return std::nullopt;
+    s.params.tile_k = *tk;
+  }
+  if (!consume(").unroll(")) return std::nullopt;
+  const auto unroll = parse_number();
+  if (!unroll || !consume(")")) return std::nullopt;
+  s.params.unroll = *unroll;
+  if (consume(".parallel")) s.params.parallel = true;
+  if (!rest.empty()) return std::nullopt;
+  if (!s.valid()) return std::nullopt;
+  return s;
+}
+
+std::size_t ScheduleSpace::cardinality(KernelKind kind) const noexcept {
+  const std::size_t t = tile_candidates.size();
+  const std::size_t u = unroll_candidates.size();
+  const std::size_t p = allow_parallel ? 2 : 1;
+  switch (kind) {
+    case KernelKind::MatVec:
+    case KernelKind::Conv1D:
+      return t * u * p;  // tile_i, unroll, parallel
+    case KernelKind::Conv2D:
+      return t * t * u * p;  // tile_i, tile_j
+    case KernelKind::MatMul:
+      return order_candidates.size() * t * t * t * u * p;
+    case KernelKind::MatMulTransposed:
+      return t * t * u * p;  // tile_i, tile_j
+  }
+  return 0;
+}
+
+Schedule ScheduleSpace::random_schedule(KernelKind kind, core::Rng &rng) const {
+  const auto pick_tile = [&] {
+    return tile_candidates[rng.uniform_index(tile_candidates.size())];
+  };
+  Schedule s;
+  s.kernel = kind;
+  s.params.unroll = unroll_candidates[rng.uniform_index(unroll_candidates.size())];
+  s.params.parallel = allow_parallel ? rng.bernoulli(0.5) : false;
+  s.params.tile_i = pick_tile();
+  switch (kind) {
+    case KernelKind::MatVec:
+    case KernelKind::Conv1D:
+      break;
+    case KernelKind::Conv2D:
+    case KernelKind::MatMulTransposed:
+      s.params.tile_j = pick_tile();
+      break;
+    case KernelKind::MatMul:
+      s.params.tile_j = pick_tile();
+      s.params.tile_k = pick_tile();
+      s.params.order =
+          order_candidates[rng.uniform_index(order_candidates.size())];
+      break;
+  }
+  return s;
+}
+
+Schedule ScheduleSpace::mutate(const Schedule &s, core::Rng &rng) const {
+  Schedule out = s;
+  const auto pick_tile = [&] {
+    return tile_candidates[rng.uniform_index(tile_candidates.size())];
+  };
+  // Knob indices: 0 tile_i, 1 tile_j, 2 tile_k, 3 unroll, 4 parallel,
+  // 5 order — restricted to knobs meaningful for the kernel.
+  std::vector<int> knobs = {0, 3};
+  if (allow_parallel) knobs.push_back(4);
+  if (s.kernel == KernelKind::Conv2D ||
+      s.kernel == KernelKind::MatMulTransposed) {
+    knobs.push_back(1);
+  }
+  if (s.kernel == KernelKind::MatMul) {
+    knobs.push_back(1);
+    knobs.push_back(2);
+    knobs.push_back(5);
+  }
+  switch (knobs[rng.uniform_index(knobs.size())]) {
+    case 0: out.params.tile_i = pick_tile(); break;
+    case 1: out.params.tile_j = pick_tile(); break;
+    case 2: out.params.tile_k = pick_tile(); break;
+    case 3:
+      out.params.unroll =
+          unroll_candidates[rng.uniform_index(unroll_candidates.size())];
+      break;
+    case 4: out.params.parallel = !out.params.parallel; break;
+    case 5:
+      out.params.order =
+          order_candidates[rng.uniform_index(order_candidates.size())];
+      break;
+    default: break;
+  }
+  return out;
+}
+
+Schedule ScheduleSpace::crossover(const Schedule &a, const Schedule &b,
+                                  core::Rng &rng) const {
+  Schedule out = a;
+  if (rng.bernoulli(0.5)) out.params.tile_i = b.params.tile_i;
+  if (rng.bernoulli(0.5)) out.params.tile_j = b.params.tile_j;
+  if (rng.bernoulli(0.5)) out.params.tile_k = b.params.tile_k;
+  if (rng.bernoulli(0.5)) out.params.unroll = b.params.unroll;
+  if (rng.bernoulli(0.5)) out.params.parallel = b.params.parallel;
+  if (rng.bernoulli(0.5)) out.params.order = b.params.order;
+  return out;
+}
+
+Schedule ScheduleSpace::baseline(KernelKind kind) noexcept {
+  Schedule s;
+  s.kernel = kind;
+  s.params.order = tensor::LoopOrder::IJK;
+  s.params.tile_i = 0;
+  s.params.tile_j = 0;
+  s.params.tile_k = 0;
+  s.params.unroll = 1;
+  s.params.parallel = false;
+  return s;
+}
+
+}  // namespace treu::sched

@@ -1,0 +1,100 @@
+#pragma once
+
+// Statistical shape atlas: Procrustes alignment + PCA modes (§2.11).
+//
+// Mirrors the ShapeWorks analysis the student ran: align the corresponding
+// particle sets (translation, optional scale, rotation via Kabsch against
+// the evolving mean), run PCA on the flattened coordinates, then report the
+// standard shape-model quality metrics — compactness (variance captured per
+// mode), generalization (leave-one-out reconstruction error) and
+// specificity (distance of model-sampled shapes to the training set).
+
+#include <cstddef>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/shape/families.hpp"
+#include "treu/tensor/matrix.hpp"
+#include "treu/tensor/pca.hpp"
+
+namespace treu::shape {
+
+struct ProcrustesOptions {
+  bool with_translation = true;
+  bool with_scale = true;
+  bool with_rotation = true;
+  std::size_t iterations = 3;  // generalized Procrustes rounds
+};
+
+/// Flatten a particle set to (x0,y0,z0,x1,...) row form.
+[[nodiscard]] std::vector<double> flatten(const std::vector<Vec3> &shape);
+[[nodiscard]] std::vector<Vec3> unflatten(std::span<const double> row);
+
+/// Generalized Procrustes alignment of a population; returns the aligned
+/// observation matrix (one shape per row).
+[[nodiscard]] tensor::Matrix procrustes_align(
+    const std::vector<std::vector<Vec3>> &shapes,
+    const ProcrustesOptions &options = {});
+
+/// The fitted atlas.
+class ShapeAtlas {
+ public:
+  /// Build from a population (aligns, then fits PCA keeping modes that
+  /// explain up to `variance_keep` of the variance, at most max_modes).
+  static ShapeAtlas build(const Population &population,
+                          const ProcrustesOptions &options = {},
+                          double variance_keep = 0.99,
+                          std::size_t max_modes = 16);
+
+  [[nodiscard]] const tensor::Pca &pca() const noexcept { return pca_; }
+  [[nodiscard]] std::size_t n_modes() const noexcept { return pca_.n_components(); }
+
+  /// Modes needed to reach `fraction` of variance (compactness).
+  [[nodiscard]] std::size_t compact_modes(double fraction) const {
+    return pca_.modes_for_variance(fraction);
+  }
+
+  /// Mean shape as particles.
+  [[nodiscard]] std::vector<Vec3> mean_shape() const;
+
+  /// Walk along mode k by `stddevs` standard deviations.
+  [[nodiscard]] std::vector<Vec3> mode_shape(std::size_t k, double stddevs) const;
+
+  /// RMS particle distance between two corresponding shapes.
+  [[nodiscard]] static double shape_distance(const std::vector<Vec3> &a,
+                                             const std::vector<Vec3> &b);
+
+  [[nodiscard]] const tensor::Matrix &aligned() const noexcept { return aligned_; }
+
+ private:
+  tensor::Pca pca_;
+  tensor::Matrix aligned_;
+};
+
+/// Leave-one-out generalization error with `modes` retained: mean RMS
+/// reconstruction error over held-out shapes.
+[[nodiscard]] double generalization_error(const Population &population,
+                                          std::size_t modes,
+                                          const ProcrustesOptions &options = {});
+
+/// Specificity: mean distance from `samples` random atlas-sampled shapes to
+/// their nearest training shape.
+[[nodiscard]] double specificity(const ShapeAtlas &atlas,
+                                 const Population &population,
+                                 std::size_t samples, core::Rng &rng);
+
+/// Particle-count ablation (the student's final study): rebuild the atlas
+/// of the same family at several particle counts and report the variance
+/// profile stability.
+struct AblationRow {
+  std::size_t particles = 0;
+  std::size_t modes_for_95 = 0;
+  double top_mode_ratio = 0.0;  // eigenvalue_0 / total
+  double generalization = 0.0;  // LOO error at n_modes(true)
+};
+
+[[nodiscard]] std::vector<AblationRow> particle_count_ablation(
+    const ShapeFamily &family, std::size_t n_shapes,
+    const std::vector<std::size_t> &particle_counts, core::Rng &rng);
+
+}  // namespace treu::shape

@@ -1,0 +1,38 @@
+#pragma once
+
+// 3D geometry primitives for statistical shape modeling (§2.11).
+
+#include <cstddef>
+#include <vector>
+
+namespace treu::shape {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3 operator+(const Vec3 &o) const noexcept { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3 &o) const noexcept { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const noexcept { return {x * s, y * s, z * s}; }
+  friend bool operator==(const Vec3 &, const Vec3 &) = default;
+};
+
+[[nodiscard]] double dot(const Vec3 &a, const Vec3 &b) noexcept;
+[[nodiscard]] double norm(const Vec3 &v) noexcept;
+[[nodiscard]] Vec3 normalized(const Vec3 &v) noexcept;
+
+/// n nearly uniform unit directions via the Fibonacci sphere lattice — the
+/// deterministic initialization for particle systems.
+[[nodiscard]] std::vector<Vec3> fibonacci_sphere(std::size_t n);
+
+/// Coulomb-style repulsion energy sum_{i<j} 1/|p_i - p_j| of unit vectors.
+[[nodiscard]] double repulsion_energy(const std::vector<Vec3> &dirs);
+
+/// Relax unit directions by projected gradient descent on the repulsion
+/// energy (the ShapeWorks-style particle spread optimization). Returns the
+/// energy after each iteration (monotonically non-increasing thanks to
+/// backtracking).
+std::vector<double> repulsion_relax(std::vector<Vec3> &dirs,
+                                    std::size_t iterations,
+                                    double step = 1e-2);
+
+}  // namespace treu::shape

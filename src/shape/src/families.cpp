@@ -1,0 +1,79 @@
+#include "treu/shape/families.hpp"
+
+#include <cmath>
+
+namespace treu::shape {
+
+std::vector<Vec3> ShapeFamily::particles(const std::vector<Vec3> &directions,
+                                         std::span<const double> params) const {
+  std::vector<Vec3> out(directions.size());
+  for (std::size_t i = 0; i < directions.size(); ++i) {
+    out[i] = directions[i] * radius(directions[i], params);
+  }
+  return out;
+}
+
+std::vector<double> SphereFamily::sample_params(core::Rng &rng) const {
+  return {rng.normal()};
+}
+
+double SphereFamily::radius(const Vec3 &, std::span<const double> p) const {
+  return base_ * (1.0 + amp_ * p[0]);
+}
+
+std::vector<double> EllipsoidFamily::sample_params(core::Rng &rng) const {
+  return {rng.normal(), rng.normal(), rng.normal()};
+}
+
+double EllipsoidFamily::radius(const Vec3 &d, std::span<const double> p) const {
+  const double ax = base_ * (1.0 + amp_ * p[0]);
+  const double ay = base_ * (1.0 + amp_ * p[1]);
+  const double az = base_ * (1.0 + amp_ * p[2]);
+  // Radial function of an ellipsoid along unit direction d.
+  const double inv =
+      d.x * d.x / (ax * ax) + d.y * d.y / (ay * ay) + d.z * d.z / (az * az);
+  return 1.0 / std::sqrt(inv);
+}
+
+std::vector<double> TwoLobeFamily::sample_params(core::Rng &rng) const {
+  return {rng.normal(), rng.normal()};
+}
+
+double TwoLobeFamily::radius(const Vec3 &d, std::span<const double> p) const {
+  // Body: near-sphere with radius mode p0. Appendage: Gaussian bump around
+  // a fixed axis whose amplitude is mode p1 (amplitude kept positive).
+  const double body = base_ * (1.0 + body_amp_ * p[0]);
+  const Vec3 lobe_axis = normalized(Vec3{1.0, 0.6, 0.3});
+  const double cosang = dot(normalized(d), lobe_axis);
+  const double bump = std::exp(-(1.0 - cosang) * 8.0);
+  const double lobe = base_ * lobe_amp_ * (1.0 + 0.5 * p[1]) * bump;
+  return body + std::max(lobe, 0.0);
+}
+
+Population sample_population(const ShapeFamily &family, std::size_t n_shapes,
+                             std::size_t n_particles, core::Rng &rng,
+                             std::size_t relax_iterations,
+                             double particle_noise) {
+  Population pop;
+  pop.particles_per_shape = n_particles;
+  std::vector<Vec3> dirs = fibonacci_sphere(n_particles);
+  if (relax_iterations > 0) repulsion_relax(dirs, relax_iterations);
+  pop.shapes.reserve(n_shapes);
+  pop.params.reserve(n_shapes);
+  for (std::size_t i = 0; i < n_shapes; ++i) {
+    std::vector<double> p = family.sample_params(rng);
+    std::vector<Vec3> particles = family.particles(dirs, p);
+    if (particle_noise > 0.0) {
+      for (auto &pt : particles) {
+        pt.x += rng.normal(0.0, particle_noise);
+        pt.y += rng.normal(0.0, particle_noise);
+        pt.z += rng.normal(0.0, particle_noise);
+      }
+    }
+    pop.shapes.push_back(std::move(particles));
+    pop.params.push_back(std::move(p));
+  }
+  return pop;
+}
+
+}  // namespace treu::shape

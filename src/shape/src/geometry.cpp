@@ -1,0 +1,78 @@
+#include "treu/shape/geometry.hpp"
+
+#include <cmath>
+
+namespace treu::shape {
+
+double dot(const Vec3 &a, const Vec3 &b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+double norm(const Vec3 &v) noexcept { return std::sqrt(dot(v, v)); }
+
+Vec3 normalized(const Vec3 &v) noexcept {
+  const double n = norm(v);
+  return n > 0.0 ? v * (1.0 / n) : Vec3{1.0, 0.0, 0.0};
+}
+
+std::vector<Vec3> fibonacci_sphere(std::size_t n) {
+  std::vector<Vec3> dirs(n);
+  const double golden = (1.0 + std::sqrt(5.0)) / 2.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    const double z = 1.0 - 2.0 * t;
+    const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+    const double phi = 2.0 * 3.14159265358979323846 * static_cast<double>(i) /
+                       golden;
+    dirs[i] = {r * std::cos(phi), r * std::sin(phi), z};
+  }
+  return dirs;
+}
+
+double repulsion_energy(const std::vector<Vec3> &dirs) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    for (std::size_t j = i + 1; j < dirs.size(); ++j) {
+      e += 1.0 / std::max(norm(dirs[i] - dirs[j]), 1e-9);
+    }
+  }
+  return e;
+}
+
+std::vector<double> repulsion_relax(std::vector<Vec3> &dirs,
+                                    std::size_t iterations, double step) {
+  std::vector<double> energies;
+  energies.reserve(iterations);
+  double current = repulsion_energy(dirs);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // Gradient of sum 1/|d_ij| w.r.t. p_i is sum_j -(p_i - p_j)/|d_ij|^3.
+    std::vector<Vec3> grad(dirs.size());
+    for (std::size_t i = 0; i < dirs.size(); ++i) {
+      for (std::size_t j = 0; j < dirs.size(); ++j) {
+        if (i == j) continue;
+        const Vec3 d = dirs[i] - dirs[j];
+        const double len = std::max(norm(d), 1e-9);
+        grad[i] = grad[i] + d * (-1.0 / (len * len * len));
+      }
+    }
+    // Backtracking line search on the projected step.
+    double s = step;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      std::vector<Vec3> trial(dirs.size());
+      for (std::size_t i = 0; i < dirs.size(); ++i) {
+        trial[i] = normalized(dirs[i] - grad[i] * s);
+      }
+      const double e = repulsion_energy(trial);
+      if (e <= current) {
+        dirs = std::move(trial);
+        current = e;
+        break;
+      }
+      s *= 0.5;
+    }
+    energies.push_back(current);
+  }
+  return energies;
+}
+
+}  // namespace treu::shape

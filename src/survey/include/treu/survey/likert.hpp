@@ -1,0 +1,83 @@
+#pragma once
+
+// Likert-scale response modeling and reconstruction (§3, Tables 1-3).
+//
+// The paper reports only aggregates (means to one decimal, modes, ranges,
+// counts). To *regenerate* the tables rather than restate them, we
+// reconstruct minimal per-respondent response sets that are consistent with
+// every published aggregate, then recompute the tables from those
+// responses. Reconstruction is a small deterministic search: find an
+// integer response multiset on the 1..5 scale whose statistics round to the
+// published values; infeasible targets throw (so a typo in the paper's
+// numbers would be caught by the test suite rather than silently absorbed).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace treu::survey {
+
+/// One survey item's responses on an integer scale [lo, hi].
+struct Responses {
+  std::vector<int> values;
+  int lo = 1;
+  int hi = 5;
+
+  [[nodiscard]] double mean() const noexcept;
+  /// Smallest most frequent value.
+  [[nodiscard]] int mode() const;
+  [[nodiscard]] int min() const;
+  [[nodiscard]] int max() const;
+  [[nodiscard]] std::size_t size() const noexcept { return values.size(); }
+};
+
+/// Round to one decimal, matching the paper's table formatting.
+[[nodiscard]] double round1(double x) noexcept;
+
+/// Does `x` round (to 1 decimal) to `target`?
+[[nodiscard]] bool rounds_to(double x, double target) noexcept;
+
+/// Reconstruct n responses on [lo, hi] whose mean rounds to `target_mean`.
+/// Deterministic. Throws std::invalid_argument when impossible.
+[[nodiscard]] Responses reconstruct_mean(double target_mean, std::size_t n,
+                                         int lo = 1, int hi = 5);
+
+/// Reconstruct n responses with a given mean (1 dp), exact mode, and exact
+/// min/max range. Throws when infeasible.
+[[nodiscard]] Responses reconstruct_mean_mode_range(double target_mean,
+                                                    int target_mode,
+                                                    int target_min,
+                                                    int target_max,
+                                                    std::size_t n, int lo = 1,
+                                                    int hi = 5);
+
+/// Reconstruct n responses with a given mean (1 dp) and exact mode, range
+/// unconstrained.
+[[nodiscard]] Responses reconstruct_mean_mode(double target_mean,
+                                              int target_mode, std::size_t n,
+                                              int lo = 1, int hi = 5);
+
+/// Reconstruct n responses with a given mode and min/max but no mean
+/// constraint (the paper sometimes reports only mode and range).
+[[nodiscard]] Responses reconstruct_mode_range(int target_mode, int target_min,
+                                               int target_max, std::size_t n,
+                                               int lo = 0, int hi = 5);
+
+/// Paired pre/post reconstruction: pre has n_pre responses whose mean
+/// rounds to pre_mean; post has n_post responses such that
+/// round1(post_mean - pre_mean_exact) == boost, and, when provided,
+/// round1(post_mean) == post_mean_target (the §3 prose cites a few post
+/// means directly, computed from unrounded pre means — this triple
+/// constraint pins them down).
+struct PrePost {
+  Responses pre;
+  Responses post;
+  double exact_boost = 0.0;
+};
+[[nodiscard]] PrePost reconstruct_pre_post(
+    double pre_mean, double boost, std::size_t n_pre, std::size_t n_post,
+    std::optional<double> post_mean_target = std::nullopt, int lo = 1,
+    int hi = 5);
+
+}  // namespace treu::survey

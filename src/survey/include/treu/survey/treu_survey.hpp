@@ -1,0 +1,122 @@
+#pragma once
+
+// The TREU REU site's assessment surveys (§3): instruments, reconstructed
+// response data, and the generators for Tables 1, 2, and 3 plus the §3
+// networking/PhD-intent statistics.
+//
+// Published facts encoded here (the "reference" side every regenerated
+// table is compared against):
+//  - a-priori survey: 15 respondents; post-hoc survey: 10, one of whom
+//    "did not respond to all items" (the goal and confidence items have 9
+//    post-hoc respondents);
+//  - Table 1: 19 student-set goals with accomplishment counts out of 9;
+//  - Table 2: 18 research skills with a-priori mean confidence and boost;
+//    §3 prose additionally cites five post-hoc means (poster 4.4,
+//    presenting 4.4, tools 3.9, report 3.8, designing 3.4), which pins the
+//    unrounded reconstruction;
+//  - Table 3: 5 knowledge areas with a-priori means and increases (trust
+//    and reproducibility post-hoc means 3.6 / 3.9 cited in prose);
+//  - PhD intent a-priori mean 3.2 / mode 3, post-hoc mean 3.6 / mode 4;
+//  - potential recommenders: REU mode 2 (range 2-4), home institution mode
+//    2 (range 1-5), outside mode 1 (range 0-5).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "treu/survey/likert.hpp"
+
+namespace treu::survey {
+
+inline constexpr std::size_t kAprioriRespondents = 15;
+inline constexpr std::size_t kPostHocRespondents = 10;
+inline constexpr std::size_t kPostHocComplete = 9;
+
+// --- Table 1: student-set goals ---------------------------------------------
+
+struct GoalSpec {
+  std::string name;
+  std::size_t accomplished = 0;  // out of kPostHocComplete
+};
+
+/// The 19 goals with the published counts.
+[[nodiscard]] const std::vector<GoalSpec> &goal_specs();
+
+/// Reconstructed 9 x 19 accomplishment matrix whose column sums equal the
+/// published counts (respondent assignment is a deterministic rotation).
+[[nodiscard]] std::vector<std::vector<bool>> goal_matrix();
+
+struct Table1Row {
+  std::string goal;
+  std::size_t accomplished = 0;
+};
+
+/// Regenerate Table 1 from the reconstructed matrix.
+[[nodiscard]] std::vector<Table1Row> table1();
+[[nodiscard]] std::string render_table1();
+
+// --- Table 2: research-skill confidence --------------------------------------
+
+struct SkillSpec {
+  std::string name;
+  double apriori_mean = 0.0;
+  double boost = 0.0;
+  std::optional<double> posthoc_mean_cited;  // only the five §3 citations
+};
+
+[[nodiscard]] const std::vector<SkillSpec> &skill_specs();
+
+/// Reconstructed pre (n=15) / post (n=9) responses per skill.
+[[nodiscard]] std::vector<PrePost> confidence_data();
+
+struct Table2Row {
+  std::string skill;
+  double apriori_mean = 0.0;
+  double boost = 0.0;
+  double posthoc_mean = 0.0;  // derived, matches §3 citations where given
+};
+
+[[nodiscard]] std::vector<Table2Row> table2();
+[[nodiscard]] std::string render_table2();
+
+// --- Table 3: knowledge areas -------------------------------------------------
+
+struct KnowledgeSpec {
+  std::string name;
+  double apriori_mean = 0.0;
+  double increase = 0.0;
+  std::optional<double> posthoc_mean_cited;
+};
+
+[[nodiscard]] const std::vector<KnowledgeSpec> &knowledge_specs();
+[[nodiscard]] std::vector<PrePost> knowledge_data();
+
+struct Table3Row {
+  std::string area;
+  double apriori_mean = 0.0;
+  double increase = 0.0;
+};
+
+[[nodiscard]] std::vector<Table3Row> table3();
+[[nodiscard]] std::string render_table3();
+
+// --- §3 networking / PhD intent ----------------------------------------------
+
+struct NetworkingStats {
+  Responses phd_intent_pre;      // mean 3.2, mode 3, n=15
+  Responses phd_intent_post;     // mean 3.6, mode 4, n=10
+  Responses recommenders_reu;    // mode 2, range 2-4, n=10
+  Responses recommenders_home;   // mode 2, range 1-5, n=10
+  Responses recommenders_outside;  // mode 1, range 0-5, n=10
+};
+
+[[nodiscard]] NetworkingStats networking_stats();
+[[nodiscard]] std::string render_networking();
+
+/// Pearson correlation between a-priori confidence means and boosts across
+/// the 18 skills. §3: "students tended to gain the most confidence in areas
+/// where they were previously unsure of themselves" — i.e. strongly
+/// negative.
+[[nodiscard]] double confidence_boost_correlation();
+
+}  // namespace treu::survey

@@ -1,0 +1,279 @@
+#include "treu/survey/likert.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace treu::survey {
+
+double Responses::mean() const noexcept {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (int v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+int Responses::mode() const {
+  if (values.empty()) throw std::logic_error("Responses::mode: empty");
+  std::map<int, std::size_t> counts;
+  for (int v : values) ++counts[v];
+  int best = values.front();
+  std::size_t best_count = 0;
+  for (const auto &[value, count] : counts) {
+    if (count > best_count) {
+      best = value;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+int Responses::min() const {
+  if (values.empty()) throw std::logic_error("Responses::min: empty");
+  return *std::min_element(values.begin(), values.end());
+}
+
+int Responses::max() const {
+  if (values.empty()) throw std::logic_error("Responses::max: empty");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double round1(double x) noexcept { return std::round(x * 10.0) / 10.0; }
+
+bool rounds_to(double x, double target) noexcept {
+  return std::fabs(round1(x) - round1(target)) < 1e-9;
+}
+
+namespace {
+
+// All response multisets are represented as count vectors over [lo, hi].
+struct CountVector {
+  std::vector<std::size_t> counts;  // index i => value lo + i
+  int lo = 1;
+
+  [[nodiscard]] Responses expand(int hi) const {
+    Responses r;
+    r.lo = lo;
+    r.hi = hi;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      for (std::size_t c = 0; c < counts[i]; ++c) {
+        r.values.push_back(lo + static_cast<int>(i));
+      }
+    }
+    return r;
+  }
+};
+
+// Enumerate all count vectors of total n over k bins, invoking visit; stop
+// early when visit returns true. Lexicographic over (c_0, c_1, ...), so the
+// accepted reconstruction is deterministic.
+bool enumerate(std::size_t n, std::size_t k,
+               std::vector<std::size_t> &counts, std::size_t bin,
+               const std::function<bool(const std::vector<std::size_t> &)> &visit) {
+  if (bin + 1 == k) {
+    counts[bin] = n;
+    const bool done = visit(counts);
+    counts[bin] = 0;
+    return done;
+  }
+  for (std::size_t c = 0; c <= n; ++c) {
+    counts[bin] = c;
+    if (enumerate(n - c, k, counts, bin + 1, visit)) {
+      counts[bin] = 0;
+      return true;
+    }
+  }
+  counts[bin] = 0;
+  return false;
+}
+
+int mode_of_counts(const std::vector<std::size_t> &counts, int lo) {
+  std::size_t best_count = 0;
+  int best = lo;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > best_count) {
+      best_count = counts[i];
+      best = lo + static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Responses reconstruct_mean(double target_mean, std::size_t n, int lo, int hi) {
+  if (n == 0 || hi < lo) {
+    throw std::invalid_argument("reconstruct_mean: bad arguments");
+  }
+  const long min_sum = static_cast<long>(n) * lo;
+  const long max_sum = static_cast<long>(n) * hi;
+  long best_sum = std::numeric_limits<long>::min();
+  double best_err = std::numeric_limits<double>::infinity();
+  for (long s = min_sum; s <= max_sum; ++s) {
+    const double m = static_cast<double>(s) / static_cast<double>(n);
+    if (!rounds_to(m, target_mean)) continue;
+    const double err = std::fabs(m - target_mean);
+    if (err < best_err) {
+      best_err = err;
+      best_sum = s;
+    }
+  }
+  if (best_sum == std::numeric_limits<long>::min()) {
+    throw std::invalid_argument("reconstruct_mean: infeasible target");
+  }
+  // Distribute: base value everywhere, +1 for the remainder.
+  const long excess = best_sum - min_sum;
+  const long base = excess / static_cast<long>(n);
+  const long rem = excess % static_cast<long>(n);
+  Responses r;
+  r.lo = lo;
+  r.hi = hi;
+  r.values.assign(n, lo + static_cast<int>(base));
+  for (long i = 0; i < rem; ++i) r.values[i] += 1;
+  return r;
+}
+
+Responses reconstruct_mean_mode_range(double target_mean, int target_mode,
+                                      int target_min, int target_max,
+                                      std::size_t n, int lo, int hi) {
+  if (n == 0 || target_min > target_max || target_min < lo || target_max > hi ||
+      target_mode < target_min || target_mode > target_max) {
+    throw std::invalid_argument("reconstruct_mean_mode_range: bad targets");
+  }
+  const std::size_t k = static_cast<std::size_t>(hi - lo + 1);
+  std::vector<std::size_t> counts(k, 0);
+  Responses result;
+  bool found = false;
+  enumerate(n, k, counts, 0, [&](const std::vector<std::size_t> &c) {
+    // Range check.
+    const std::size_t imin = static_cast<std::size_t>(target_min - lo);
+    const std::size_t imax = static_cast<std::size_t>(target_max - lo);
+    if (c[imin] == 0 || c[imax] == 0) return false;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (c[i] > 0 && (i < imin || i > imax)) return false;
+    }
+    if (mode_of_counts(c, lo) != target_mode) return false;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      sum += static_cast<double>(c[i]) * static_cast<double>(lo + static_cast<int>(i));
+    }
+    if (!rounds_to(sum / static_cast<double>(n), target_mean)) return false;
+    result = CountVector{c, lo}.expand(hi);
+    found = true;
+    return true;
+  });
+  if (!found) {
+    throw std::invalid_argument("reconstruct_mean_mode_range: infeasible");
+  }
+  return result;
+}
+
+Responses reconstruct_mean_mode(double target_mean, int target_mode,
+                                std::size_t n, int lo, int hi) {
+  if (n == 0 || target_mode < lo || target_mode > hi) {
+    throw std::invalid_argument("reconstruct_mean_mode: bad targets");
+  }
+  const std::size_t k = static_cast<std::size_t>(hi - lo + 1);
+  std::vector<std::size_t> counts(k, 0);
+  Responses result;
+  bool found = false;
+  enumerate(n, k, counts, 0, [&](const std::vector<std::size_t> &c) {
+    if (mode_of_counts(c, lo) != target_mode) return false;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      sum += static_cast<double>(c[i]) *
+             static_cast<double>(lo + static_cast<int>(i));
+    }
+    if (!rounds_to(sum / static_cast<double>(n), target_mean)) return false;
+    result = CountVector{c, lo}.expand(hi);
+    found = true;
+    return true;
+  });
+  if (!found) {
+    throw std::invalid_argument("reconstruct_mean_mode: infeasible");
+  }
+  return result;
+}
+
+Responses reconstruct_mode_range(int target_mode, int target_min,
+                                 int target_max, std::size_t n, int lo,
+                                 int hi) {
+  if (n == 0 || target_min > target_max || target_min < lo || target_max > hi ||
+      target_mode < target_min || target_mode > target_max) {
+    throw std::invalid_argument("reconstruct_mode_range: bad targets");
+  }
+  const std::size_t k = static_cast<std::size_t>(hi - lo + 1);
+  std::vector<std::size_t> counts(k, 0);
+  Responses result;
+  bool found = false;
+  enumerate(n, k, counts, 0, [&](const std::vector<std::size_t> &c) {
+    const std::size_t imin = static_cast<std::size_t>(target_min - lo);
+    const std::size_t imax = static_cast<std::size_t>(target_max - lo);
+    if (c[imin] == 0 || c[imax] == 0) return false;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (c[i] > 0 && (i < imin || i > imax)) return false;
+    }
+    if (mode_of_counts(c, lo) != target_mode) return false;
+    result = CountVector{c, lo}.expand(hi);
+    found = true;
+    return true;
+  });
+  if (!found) {
+    throw std::invalid_argument("reconstruct_mode_range: infeasible");
+  }
+  return result;
+}
+
+PrePost reconstruct_pre_post(double pre_mean, double boost, std::size_t n_pre,
+                             std::size_t n_post,
+                             std::optional<double> post_mean_target, int lo,
+                             int hi) {
+  if (n_pre == 0 || n_post == 0) {
+    throw std::invalid_argument("reconstruct_pre_post: empty groups");
+  }
+  double best_err = std::numeric_limits<double>::infinity();
+  long best_pre = -1, best_post = -1;
+  for (long ps = static_cast<long>(n_pre) * lo;
+       ps <= static_cast<long>(n_pre) * hi; ++ps) {
+    const double pm = static_cast<double>(ps) / static_cast<double>(n_pre);
+    if (!rounds_to(pm, pre_mean)) continue;
+    for (long qs = static_cast<long>(n_post) * lo;
+         qs <= static_cast<long>(n_post) * hi; ++qs) {
+      const double qm = static_cast<double>(qs) / static_cast<double>(n_post);
+      if (!rounds_to(qm - pm, boost)) continue;
+      if (post_mean_target && !rounds_to(qm, *post_mean_target)) continue;
+      const double err = std::fabs(pm - pre_mean) +
+                         std::fabs((qm - pm) - boost);
+      if (err < best_err) {
+        best_err = err;
+        best_pre = ps;
+        best_post = qs;
+      }
+    }
+  }
+  if (best_pre < 0) {
+    throw std::invalid_argument("reconstruct_pre_post: infeasible targets");
+  }
+  const auto build = [&](long sum, std::size_t n) {
+    const long min_sum = static_cast<long>(n) * lo;
+    const long excess = sum - min_sum;
+    const long base = excess / static_cast<long>(n);
+    const long rem = excess % static_cast<long>(n);
+    Responses r;
+    r.lo = lo;
+    r.hi = hi;
+    r.values.assign(n, lo + static_cast<int>(base));
+    for (long i = 0; i < rem; ++i) r.values[i] += 1;
+    return r;
+  };
+  PrePost out;
+  out.pre = build(best_pre, n_pre);
+  out.post = build(best_post, n_post);
+  out.exact_boost = out.post.mean() - out.pre.mean();
+  return out;
+}
+
+}  // namespace treu::survey

@@ -1,0 +1,222 @@
+#include "treu/survey/treu_survey.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "treu/core/stats.hpp"
+
+namespace treu::survey {
+
+const std::vector<GoalSpec> &goal_specs() {
+  static const std::vector<GoalSpec> specs = {
+      {"Collaborate with peers", 9},
+      {"Create a research poster", 8},
+      {"Create or work with ML models", 9},
+      {"Develop professional relationships", 9},
+      {"Work on paper-yielding research projects", 5},
+      {"Identify engrossing research areas", 7},
+      {"Improve (social) networking skills", 6},
+      {"Improve ability to grasp research papers", 8},
+      {"Improve time management skills", 4},
+      {"Improve writing skills", 4},
+      {"Increase awareness of CS research areas", 9},
+      {"Increase knowledge of career options", 7},
+      {"Increase knowledge of cybersecurity", 6},
+      {"Increase knowledge of HPC", 8},
+      {"Increase knowledge of ML and AI", 9},
+      {"Learn a new programming language", 2},
+      {"Make a decision about pursuing a PhD", 4},
+      {"Meet researchers at different career stages", 8},
+      {"Produce demonstrable research artifacts", 8},
+  };
+  return specs;
+}
+
+std::vector<std::vector<bool>> goal_matrix() {
+  const auto &specs = goal_specs();
+  std::vector<std::vector<bool>> matrix(
+      kPostHocComplete, std::vector<bool>(specs.size(), false));
+  // Deterministic rotation: goal g is accomplished by respondents
+  // (g, g+1, ..., g+count-1) mod 9 — column sums are exact, and no single
+  // respondent trivially accomplishes everything unless counts force it.
+  for (std::size_t g = 0; g < specs.size(); ++g) {
+    for (std::size_t i = 0; i < specs[g].accomplished; ++i) {
+      matrix[(g + i) % kPostHocComplete][g] = true;
+    }
+  }
+  return matrix;
+}
+
+std::vector<Table1Row> table1() {
+  const auto matrix = goal_matrix();
+  const auto &specs = goal_specs();
+  std::vector<Table1Row> rows(specs.size());
+  for (std::size_t g = 0; g < specs.size(); ++g) {
+    rows[g].goal = specs[g].name;
+    std::size_t count = 0;
+    for (const auto &respondent : matrix) {
+      if (respondent[g]) ++count;
+    }
+    rows[g].accomplished = count;
+  }
+  return rows;
+}
+
+std::string render_table1() {
+  std::ostringstream os;
+  os << "Table 1: goals accomplished (out of " << kPostHocComplete
+     << " post-hoc respondents)\n";
+  for (const auto &row : table1()) {
+    os << "  " << std::left << std::setw(46) << row.goal << " "
+       << row.accomplished << "\n";
+  }
+  return os.str();
+}
+
+const std::vector<SkillSpec> &skill_specs() {
+  static const std::vector<SkillSpec> specs = {
+      {"Designing own research", 2.5, 1.0, 3.4},
+      {"Writing a scientific report", 2.5, 1.2, 3.8},
+      {"Using tools in the lab", 2.7, 1.2, 3.9},
+      {"Preparing a scientific poster", 2.9, 1.6, 4.4},
+      {"Presenting results of my data", 3.1, 1.3, 4.4},
+      {"Using statistics to analyze data", 3.2, 0.5, std::nullopt},
+      {"Analyzing data", 3.3, 0.7, std::nullopt},
+      {"Collecting data", 3.3, 0.7, std::nullopt},
+      {"Managing my time", 3.5, 0.6, std::nullopt},
+      {"Problem solving in the lab", 3.6, 0.4, std::nullopt},
+      {"Understanding scientific articles", 3.7, 0.3, std::nullopt},
+      {"Observing research in the lab", 3.7, 0.4, std::nullopt},
+      {"Reading scholarly research", 3.7, 0.6, std::nullopt},
+      {"Understanding guest lectures", 3.8, 0.2, std::nullopt},
+      {"Research team experience", 3.8, 0.6, std::nullopt},
+      {"Speaking to/with professors", 3.9, 0.4, std::nullopt},
+      {"Research relevance recognition", 3.9, 0.7, std::nullopt},
+      {"Grasping summer research basics", 3.9, 0.7, std::nullopt},
+  };
+  return specs;
+}
+
+std::vector<PrePost> confidence_data() {
+  std::vector<PrePost> out;
+  out.reserve(skill_specs().size());
+  for (const auto &spec : skill_specs()) {
+    out.push_back(reconstruct_pre_post(spec.apriori_mean, spec.boost,
+                                       kAprioriRespondents, kPostHocComplete,
+                                       spec.posthoc_mean_cited));
+  }
+  return out;
+}
+
+std::vector<Table2Row> table2() {
+  const auto data = confidence_data();
+  const auto &specs = skill_specs();
+  std::vector<Table2Row> rows(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    rows[i].skill = specs[i].name;
+    rows[i].apriori_mean = round1(data[i].pre.mean());
+    rows[i].boost = round1(data[i].post.mean() - data[i].pre.mean());
+    rows[i].posthoc_mean = round1(data[i].post.mean());
+  }
+  return rows;
+}
+
+std::string render_table2() {
+  std::ostringstream os;
+  os << "Table 2: research-skill confidence (a-priori mean, boost)\n";
+  os << std::fixed << std::setprecision(1);
+  for (const auto &row : table2()) {
+    os << "  " << std::left << std::setw(36) << row.skill << " "
+       << row.apriori_mean << "  +" << row.boost << "\n";
+  }
+  return os.str();
+}
+
+const std::vector<KnowledgeSpec> &knowledge_specs() {
+  static const std::vector<KnowledgeSpec> specs = {
+      {"Trust in the context of computational research", 2.0, 1.6, 3.6},
+      {"Reproducibility of computational research", 2.3, 1.6, 3.9},
+      {"Research careers", 2.4, 0.8, std::nullopt},
+      {"Ethics in research", 2.7, 0.9, std::nullopt},
+      {"Engineering careers", 2.9, 0.5, std::nullopt},
+  };
+  return specs;
+}
+
+std::vector<PrePost> knowledge_data() {
+  std::vector<PrePost> out;
+  out.reserve(knowledge_specs().size());
+  for (const auto &spec : knowledge_specs()) {
+    out.push_back(reconstruct_pre_post(spec.apriori_mean, spec.increase,
+                                       kAprioriRespondents, kPostHocComplete,
+                                       spec.posthoc_mean_cited));
+  }
+  return out;
+}
+
+std::vector<Table3Row> table3() {
+  const auto data = knowledge_data();
+  const auto &specs = knowledge_specs();
+  std::vector<Table3Row> rows(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    rows[i].area = specs[i].name;
+    rows[i].apriori_mean = round1(data[i].pre.mean());
+    rows[i].increase = round1(data[i].post.mean() - data[i].pre.mean());
+  }
+  return rows;
+}
+
+std::string render_table3() {
+  std::ostringstream os;
+  os << "Table 3: self-reported knowledge (a-priori mean, increase)\n";
+  os << std::fixed << std::setprecision(1);
+  for (const auto &row : table3()) {
+    os << "  " << std::left << std::setw(48) << row.area << " "
+       << row.apriori_mean << "  +" << row.increase << "\n";
+  }
+  return os.str();
+}
+
+NetworkingStats networking_stats() {
+  NetworkingStats s;
+  s.phd_intent_pre = reconstruct_mean_mode(3.2, 3, kAprioriRespondents);
+  s.phd_intent_post = reconstruct_mean_mode(3.6, 4, kPostHocRespondents);
+  s.recommenders_reu = reconstruct_mode_range(2, 2, 4, kPostHocRespondents, 0, 6);
+  s.recommenders_home = reconstruct_mode_range(2, 1, 5, kPostHocRespondents, 0, 6);
+  s.recommenders_outside =
+      reconstruct_mode_range(1, 0, 5, kPostHocRespondents, 0, 6);
+  return s;
+}
+
+std::string render_networking() {
+  const NetworkingStats s = networking_stats();
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << "PhD intent: a-priori mean " << round1(s.phd_intent_pre.mean())
+     << " (mode " << s.phd_intent_pre.mode() << "), post-hoc mean "
+     << round1(s.phd_intent_post.mean()) << " (mode "
+     << s.phd_intent_post.mode() << ")\n";
+  os << "Recommenders from REU: mode " << s.recommenders_reu.mode()
+     << " (range " << s.recommenders_reu.min() << "-"
+     << s.recommenders_reu.max() << ")\n";
+  os << "Recommenders from home institution: mode "
+     << s.recommenders_home.mode() << " (range " << s.recommenders_home.min()
+     << "-" << s.recommenders_home.max() << ")\n";
+  os << "Recommenders outside home & REU: mode "
+     << s.recommenders_outside.mode() << " (range "
+     << s.recommenders_outside.min() << "-" << s.recommenders_outside.max()
+     << ")\n";
+  return os.str();
+}
+
+double confidence_boost_correlation() {
+  const auto data = confidence_data();
+  std::vector<double> pre(data.size()), boost(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    pre[i] = data[i].pre.mean();
+    boost[i] = data[i].post.mean() - data[i].pre.mean();
+  }
+  return core::pearson(pre, boost);
+}
+
+}  // namespace treu::survey

@@ -1,0 +1,118 @@
+#pragma once
+
+// The five kernels from the compiler-optimization project (§2.5): matrix-
+// vector multiply, 1D convolution, 2D convolution, matrix-matrix multiply,
+// and transposed matrix-matrix multiply.
+//
+// Every kernel has a naive reference implementation (the semantic oracle:
+// schedule correctness tests compare against it) and a parameterised
+// optimized implementation whose knobs — loop order, tile sizes, unroll
+// factor, parallelization — are exactly the scheduling-language primitives
+// exposed by treu::sched. This mirrors the TVM/MLIR structure the students
+// worked with: the *schedule* is data, the kernel semantics never change.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "treu/parallel/thread_pool.hpp"
+#include "treu/tensor/matrix.hpp"
+
+namespace treu::tensor {
+
+/// Loop order for the matmul triple loop.
+enum class LoopOrder { IJK, IKJ, JIK, JKI, KIJ, KJI };
+
+[[nodiscard]] const char *to_string(LoopOrder order) noexcept;
+
+/// Knobs shared by the optimized kernel variants. A default-constructed
+/// value reproduces a reasonable blocked implementation; tile values of 0
+/// mean "no tiling in that dimension".
+struct KernelParams {
+  LoopOrder order = LoopOrder::IKJ;
+  std::size_t tile_i = 0;
+  std::size_t tile_j = 0;
+  std::size_t tile_k = 0;
+  std::size_t unroll = 1;   // inner-loop unroll factor: 1, 2, 4 or 8
+  bool parallel = false;    // parallelize the outermost loop on the pool
+
+  friend bool operator==(const KernelParams &, const KernelParams &) = default;
+};
+
+// --- Matrix-vector multiply: y = A x ---------------------------------------
+
+[[nodiscard]] std::vector<double> matvec(const Matrix &a,
+                                         std::span<const double> x);
+
+[[nodiscard]] std::vector<double> matvec_opt(const Matrix &a,
+                                             std::span<const double> x,
+                                             const KernelParams &params,
+                                             parallel::ThreadPool &pool);
+
+// --- Matrix-matrix multiply: C = A B ----------------------------------------
+
+[[nodiscard]] Matrix matmul(const Matrix &a, const Matrix &b);
+
+/// Triple loop in an arbitrary order, untiled: exposes the effect of loop
+/// interchange alone.
+[[nodiscard]] Matrix matmul_ordered(const Matrix &a, const Matrix &b,
+                                    LoopOrder order);
+
+/// Fully parameterized: interchange + tiling + unroll + parallel outer loop.
+[[nodiscard]] Matrix matmul_opt(const Matrix &a, const Matrix &b,
+                                const KernelParams &params,
+                                parallel::ThreadPool &pool);
+
+// --- Gram-style matmul: C = A^T B (no transpose materialized) ---------------
+//
+// The backward pass of every dense layer computes dW = X^T G; materializing
+// X^T copies the (often huge) activation matrix on every step. This kernel
+// walks A and B row-by-row (both row-major friendly) and accumulates the
+// outer products directly.
+
+[[nodiscard]] Matrix matmul_atb(const Matrix &a, const Matrix &b);
+
+// --- Transposed matmul: C = A B^T (B supplied row-major, used row-wise) ----
+
+[[nodiscard]] Matrix matmul_transposed(const Matrix &a, const Matrix &b);
+
+[[nodiscard]] Matrix matmul_transposed_opt(const Matrix &a, const Matrix &b,
+                                           const KernelParams &params,
+                                           parallel::ThreadPool &pool);
+
+// --- 1D convolution (valid mode): out[i] = sum_k in[i+k] w[k] --------------
+
+[[nodiscard]] std::vector<double> conv1d(std::span<const double> input,
+                                         std::span<const double> weights);
+
+[[nodiscard]] std::vector<double> conv1d_opt(std::span<const double> input,
+                                             std::span<const double> weights,
+                                             const KernelParams &params,
+                                             parallel::ThreadPool &pool);
+
+// --- 2D convolution (valid mode) --------------------------------------------
+
+[[nodiscard]] Matrix conv2d(const Matrix &input, const Matrix &kernel);
+
+[[nodiscard]] Matrix conv2d_opt(const Matrix &input, const Matrix &kernel,
+                                const KernelParams &params,
+                                parallel::ThreadPool &pool);
+
+/// FLOP counts for the roofline model (multiply-add counted as 2 flops).
+[[nodiscard]] double matvec_flops(std::size_t m, std::size_t n) noexcept;
+[[nodiscard]] double matmul_flops(std::size_t m, std::size_t n,
+                                  std::size_t k) noexcept;
+[[nodiscard]] double conv1d_flops(std::size_t n, std::size_t k) noexcept;
+[[nodiscard]] double conv2d_flops(std::size_t h, std::size_t w, std::size_t kh,
+                                  std::size_t kw) noexcept;
+
+/// Minimum bytes moved (compulsory traffic): inputs read once + output
+/// written once. Used for arithmetic-intensity estimates.
+[[nodiscard]] double matvec_bytes(std::size_t m, std::size_t n) noexcept;
+[[nodiscard]] double matmul_bytes(std::size_t m, std::size_t n,
+                                  std::size_t k) noexcept;
+[[nodiscard]] double conv1d_bytes(std::size_t n, std::size_t k) noexcept;
+[[nodiscard]] double conv2d_bytes(std::size_t h, std::size_t w, std::size_t kh,
+                                  std::size_t kw) noexcept;
+
+}  // namespace treu::tensor

@@ -1,0 +1,81 @@
+#pragma once
+
+// Dense linear algebra used by PCA (shape atlases, survey factor analysis),
+// the robust-statistics filter (top eigenvector of the corrupted covariance)
+// and trajectory embeddings.
+//
+// Algorithms chosen for determinism and robustness over raw speed:
+//  - cyclic Jacobi for symmetric eigendecomposition (quadratic convergence,
+//    bit-stable across runs),
+//  - one-sided Jacobi for the SVD (accurate small singular values, which the
+//    robust filter relies on),
+//  - Cholesky for SPD solves/sampling.
+
+#include <cstddef>
+#include <vector>
+
+#include "treu/tensor/matrix.hpp"
+
+namespace treu::tensor {
+
+/// Eigendecomposition of a symmetric matrix: A = V diag(values) V^T.
+/// `values` sorted descending; columns of `vectors` are the matching
+/// unit eigenvectors.
+struct EigenResult {
+  std::vector<double> values;
+  Matrix vectors;  // n x n, eigenvectors in columns
+  std::size_t sweeps = 0;
+};
+
+/// Cyclic Jacobi. Throws std::invalid_argument if `a` is not square or not
+/// symmetric to within `symmetry_tol`.
+[[nodiscard]] EigenResult eigen_symmetric(const Matrix &a,
+                                          double tol = 1e-12,
+                                          std::size_t max_sweeps = 64,
+                                          double symmetry_tol = 1e-9);
+
+/// Thin SVD: A (m x n, m >= n after implicit transpose handling) =
+/// U diag(singular) V^T, singular values sorted descending.
+struct SvdResult {
+  Matrix u;                      // m x r
+  std::vector<double> singular;  // r, descending
+  Matrix v;                      // n x r
+  std::size_t sweeps = 0;
+};
+
+/// One-sided Jacobi SVD. Handles m < n by transposing internally.
+[[nodiscard]] SvdResult svd(const Matrix &a, double tol = 1e-12,
+                            std::size_t max_sweeps = 64);
+
+/// Cholesky factor L (lower triangular) of an SPD matrix: A = L L^T.
+/// Throws std::invalid_argument if A is not SPD (to tolerance).
+[[nodiscard]] Matrix cholesky(const Matrix &a);
+
+/// Solve A x = b for SPD A via Cholesky.
+[[nodiscard]] std::vector<double> solve_spd(const Matrix &a,
+                                            std::vector<double> b);
+
+/// Solve a general square system by Gaussian elimination with partial
+/// pivoting. Throws std::invalid_argument on (numerically) singular A.
+[[nodiscard]] std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/// Sample covariance matrix of row-observations (n-1 denominator);
+/// also returns the column means.
+struct CovarianceResult {
+  Matrix covariance;
+  std::vector<double> means;
+};
+[[nodiscard]] CovarianceResult covariance(const Matrix &observations);
+
+/// Largest eigenvalue/eigenvector by power iteration with deterministic
+/// start vector; faster than full Jacobi when only the top pair is needed
+/// (the robust filter's inner loop).
+struct TopEigen {
+  double value = 0.0;
+  std::vector<double> vector;
+  std::size_t iterations = 0;
+};
+[[nodiscard]] TopEigen power_iteration(const Matrix &a, double tol = 1e-10,
+                                       std::size_t max_iter = 1000);
+
+}  // namespace treu::tensor

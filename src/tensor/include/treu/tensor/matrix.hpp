@@ -1,0 +1,142 @@
+#pragma once
+
+// Dense row-major matrix of doubles.
+//
+// This is the numeric workhorse under every other module: NN layers, PCA,
+// robust statistics, the kernel/autotuner experiments. Storage is a single
+// contiguous vector (row-major), and rows are exposed as std::span so
+// callers can iterate without index arithmetic. Heavyweight operations
+// (matmul variants, conv) live in kernels.hpp; this header is shapes,
+// element access, and cheap elementwise algebra.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/core/sha256.hpp"
+
+namespace treu::tensor {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer list (row-major); ragged input throws.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double &operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access.
+  double &at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+  [[nodiscard]] double *data() noexcept { return data_.data(); }
+  [[nodiscard]] const double *data() const noexcept { return data_.data(); }
+
+  void fill(double v) noexcept;
+
+  /// Elementwise algebra (shape-checked).
+  Matrix &operator+=(const Matrix &other);
+  Matrix &operator-=(const Matrix &other);
+  Matrix &operator*=(double s) noexcept;
+  [[nodiscard]] friend Matrix operator+(Matrix a, const Matrix &b) {
+    a += b;
+    return a;
+  }
+  [[nodiscard]] friend Matrix operator-(Matrix a, const Matrix &b) {
+    a -= b;
+    return a;
+  }
+  [[nodiscard]] friend Matrix operator*(Matrix a, double s) noexcept {
+    a *= s;
+    return a;
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Extract column c as a vector.
+  [[nodiscard]] std::vector<double> column(std::size_t c) const;
+
+  [[nodiscard]] double frobenius_norm() const noexcept;
+
+  /// Max |a_ij - b_ij|; infinity on shape mismatch.
+  [[nodiscard]] double max_abs_diff(const Matrix &other) const noexcept;
+
+  /// Bit-exact content fingerprint (shape + raw doubles).
+  [[nodiscard]] core::Digest digest() const;
+
+  /// iid U(lo, hi) entries from `rng`.
+  [[nodiscard]] static Matrix random_uniform(std::size_t rows, std::size_t cols,
+                                             core::Rng &rng, double lo = 0.0,
+                                             double hi = 1.0);
+  /// iid N(0, stddev^2) entries from `rng`.
+  [[nodiscard]] static Matrix random_normal(std::size_t rows, std::size_t cols,
+                                            core::Rng &rng,
+                                            double stddev = 1.0);
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  friend bool operator==(const Matrix &, const Matrix &) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// 3D tensor (channels x height x width), used by conv2d stacks.
+class Tensor3 {
+ public:
+  Tensor3() = default;
+  Tensor3(std::size_t channels, std::size_t height, std::size_t width,
+          double fill = 0.0)
+      : c_(channels), h_(height), w_(width), data_(channels * height * width, fill) {}
+
+  [[nodiscard]] std::size_t channels() const noexcept { return c_; }
+  [[nodiscard]] std::size_t height() const noexcept { return h_; }
+  [[nodiscard]] std::size_t width() const noexcept { return w_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  double &operator()(std::size_t c, std::size_t y, std::size_t x) noexcept {
+    return data_[(c * h_ + y) * w_ + x];
+  }
+  double operator()(std::size_t c, std::size_t y, std::size_t x) const noexcept {
+    return data_[(c * h_ + y) * w_ + x];
+  }
+
+  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+
+  /// View channel c as spans per row is awkward; copy out instead.
+  [[nodiscard]] Matrix channel(std::size_t c) const;
+
+  friend bool operator==(const Tensor3 &, const Tensor3 &) = default;
+
+ private:
+  std::size_t c_ = 0, h_ = 0, w_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace treu::tensor

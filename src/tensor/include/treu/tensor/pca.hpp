@@ -1,0 +1,68 @@
+#pragma once
+
+// Principal component analysis over row-observation matrices.
+//
+// Used by the shape-atlas module (§2.11: modes of variation of anatomy
+// populations) and exposed publicly for any embedding work. Components are
+// sign-normalized (largest-|entry| coordinate is positive) so that repeated
+// runs and different eigen backends agree on direction.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "treu/tensor/matrix.hpp"
+
+namespace treu::tensor {
+
+class Pca {
+ public:
+  /// Fit on `observations` (one row per sample), keeping at most
+  /// `max_components` components (0 = all).
+  static Pca fit(const Matrix &observations, std::size_t max_components = 0);
+
+  [[nodiscard]] std::size_t n_components() const noexcept {
+    return eigenvalues_.size();
+  }
+  [[nodiscard]] const std::vector<double> &mean() const noexcept { return mean_; }
+
+  /// Eigenvalues of the covariance, descending (the "modes of variation"
+  /// energies).
+  [[nodiscard]] const std::vector<double> &eigenvalues() const noexcept {
+    return eigenvalues_;
+  }
+
+  /// Component k as a row vector in input space.
+  [[nodiscard]] std::span<const double> component(std::size_t k) const {
+    return components_.row(k);
+  }
+
+  /// Fraction of total variance captured by the first k components
+  /// ("compactness curve" in shape-modeling terms).
+  [[nodiscard]] double explained_variance_ratio(std::size_t k) const;
+
+  /// Number of modes needed to reach `fraction` of the variance.
+  [[nodiscard]] std::size_t modes_for_variance(double fraction) const;
+
+  /// Project one observation into component scores.
+  [[nodiscard]] std::vector<double> transform(std::span<const double> x) const;
+
+  /// Project all rows.
+  [[nodiscard]] Matrix transform(const Matrix &observations) const;
+
+  /// Reconstruct an observation from (possibly truncated) scores.
+  [[nodiscard]] std::vector<double> inverse_transform(
+      std::span<const double> scores) const;
+
+  /// Mean + stddevs * sqrt(eigenvalue_k) * component_k: walk along mode k
+  /// (the standard shape-model visualization).
+  [[nodiscard]] std::vector<double> mode_sample(std::size_t k,
+                                                double stddevs) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> eigenvalues_;
+  Matrix components_;  // n_components x dim, rows are components
+};
+
+}  // namespace treu::tensor

@@ -1,0 +1,340 @@
+#include "treu/tensor/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace treu::tensor {
+namespace {
+
+// Sort (value, column) pairs descending by value and permute columns of V.
+void sort_descending(std::vector<double> &values, Matrix &vectors) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return values[a] > values[b]; });
+  std::vector<double> sorted_values(n);
+  Matrix sorted_vectors(vectors.rows(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = values[idx[j]];
+    for (std::size_t i = 0; i < vectors.rows(); ++i) {
+      sorted_vectors(i, j) = vectors(i, idx[j]);
+    }
+  }
+  values = std::move(sorted_values);
+  vectors = std::move(sorted_vectors);
+}
+
+}  // namespace
+
+EigenResult eigen_symmetric(const Matrix &a, double tol,
+                            std::size_t max_sweeps, double symmetry_tol) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("eigen_symmetric: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(a(i, j) - a(j, i)) > symmetry_tol) {
+        throw std::invalid_argument("eigen_symmetric: matrix not symmetric");
+      }
+    }
+  }
+
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+  EigenResult result;
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += d(i, j) * d(i, j);
+    }
+    result.sweeps = sweep;
+    if (std::sqrt(off) <= tol * std::max(1.0, d.frobenius_norm())) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Apply the rotation G(p, q, theta) on both sides of D and
+        // accumulate it into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  result.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.values[i] = d(i, i);
+  result.vectors = std::move(v);
+  sort_descending(result.values, result.vectors);
+  return result;
+}
+
+SvdResult svd(const Matrix &a, double tol, std::size_t max_sweeps) {
+  // One-sided Jacobi works on columns; ensure m >= n by transposing.
+  if (a.rows() < a.cols()) {
+    SvdResult t = svd(a.transposed(), tol, max_sweeps);
+    return SvdResult{std::move(t.v), std::move(t.singular), std::move(t.u),
+                     t.sweeps};
+  }
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix u = a;                       // becomes U * diag(sigma) column-wise
+  Matrix v = Matrix::identity(n);
+  SvdResult result;
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    result.sweeps = sweep + 1;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          alpha += u(i, p) * u(i, p);
+          beta += u(i, q) * u(i, q);
+          gamma += u(i, p) * u(i, q);
+        }
+        if (std::fabs(gamma) > tol * std::sqrt(alpha * beta) &&
+            std::fabs(gamma) > 1e-300) {
+          converged = false;
+          const double zeta = (beta - alpha) / (2.0 * gamma);
+          const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                           (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+          const double c = 1.0 / std::sqrt(1.0 + t * t);
+          const double s = c * t;
+          for (std::size_t i = 0; i < m; ++i) {
+            const double uip = u(i, p);
+            const double uiq = u(i, q);
+            u(i, p) = c * uip - s * uiq;
+            u(i, q) = s * uip + c * uiq;
+          }
+          for (std::size_t i = 0; i < n; ++i) {
+            const double vip = v(i, p);
+            const double viq = v(i, q);
+            v(i, p) = c * vip - s * viq;
+            v(i, q) = s * vip + c * viq;
+          }
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  result.singular.resize(n);
+  result.u = Matrix(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += u(i, j) * u(i, j);
+    norm = std::sqrt(norm);
+    result.singular[j] = norm;
+    if (norm > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) result.u(i, j) = u(i, j) / norm;
+    }
+  }
+  result.v = std::move(v);
+  // Sort descending, permuting U and V columns together.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t x, std::size_t y) {
+    return result.singular[x] > result.singular[y];
+  });
+  SvdResult sorted;
+  sorted.sweeps = result.sweeps;
+  sorted.singular.resize(n);
+  sorted.u = Matrix(m, n);
+  sorted.v = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted.singular[j] = result.singular[idx[j]];
+    for (std::size_t i = 0; i < m; ++i) sorted.u(i, j) = result.u(i, idx[j]);
+    for (std::size_t i = 0; i < n; ++i) sorted.v(i, j) = result.v(i, idx[j]);
+  }
+  return sorted;
+}
+
+Matrix cholesky(const Matrix &a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0) {
+          throw std::invalid_argument("cholesky: matrix not SPD");
+        }
+        l(i, j) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_spd(const Matrix &a, std::vector<double> b) {
+  const Matrix l = cholesky(a);
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("solve_spd: size mismatch");
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * b[k];
+    b[i] = s / l(i, i);
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * b[k];
+    b[ii] = s / l(ii, ii);
+  }
+  return b;
+}
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+  if (a.rows() != a.cols() || b.size() != a.rows()) {
+    throw std::invalid_argument("solve: shape mismatch");
+  }
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a(pivot, col)) < 1e-300) {
+      throw std::invalid_argument("solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) s -= a(ii, c) * b[c];
+    b[ii] = s / a(ii, ii);
+  }
+  return b;
+}
+
+CovarianceResult covariance(const Matrix &observations) {
+  const std::size_t n = observations.rows();
+  const std::size_t d = observations.cols();
+  CovarianceResult out;
+  out.means.assign(d, 0.0);
+  out.covariance = Matrix(d, d, 0.0);
+  if (n == 0) return out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = observations.row(i);
+    for (std::size_t j = 0; j < d; ++j) out.means[j] += row[j];
+  }
+  for (auto &m : out.means) m /= static_cast<double>(n);
+  if (n < 2) return out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = observations.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dj = row[j] - out.means[j];
+      for (std::size_t k = j; k < d; ++k) {
+        out.covariance(j, k) += dj * (row[k] - out.means[k]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t k = j; k < d; ++k) {
+      out.covariance(j, k) /= denom;
+      out.covariance(k, j) = out.covariance(j, k);
+    }
+  }
+  return out;
+}
+
+TopEigen power_iteration(const Matrix &a, double tol, std::size_t max_iter) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("power_iteration: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  TopEigen out;
+  if (n == 0) return out;
+  // Deterministic start: normalized ramp (never orthogonal to the top
+  // eigenvector of a generic matrix; restarts below handle the pathological
+  // case).
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = 1.0 + static_cast<double>(i % 7);
+  double norm = 0.0;
+  for (double v : x) norm += v * v;
+  norm = std::sqrt(norm);
+  for (auto &v : x) v /= norm;
+
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    out.iterations = it + 1;
+    std::vector<double> y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = a.row(i);
+      double s = 0.0;
+      for (std::size_t j = 0; j < n; ++j) s += row[j] * x[j];
+      y[i] = s;
+    }
+    double ynorm = 0.0;
+    for (double v : y) ynorm += v * v;
+    ynorm = std::sqrt(ynorm);
+    if (ynorm < 1e-300) break;  // a ~ 0
+    for (auto &v : y) v /= ynorm;
+    double new_lambda = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = a.row(i);
+      double s = 0.0;
+      for (std::size_t j = 0; j < n; ++j) s += row[j] * y[j];
+      new_lambda += y[i] * s;
+    }
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) delta += (y[i] - x[i]) * (y[i] - x[i]);
+    x = std::move(y);
+    const bool done = std::sqrt(delta) < tol || std::fabs(new_lambda - lambda) <
+                                                    tol * std::max(1.0, std::fabs(new_lambda));
+    lambda = new_lambda;
+    if (done) break;
+  }
+  out.value = lambda;
+  out.vector = std::move(x);
+  return out;
+}
+
+}  // namespace treu::tensor

@@ -1,0 +1,125 @@
+#include "treu/tensor/matrix.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace treu::tensor {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto &r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+double &Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+void Matrix::fill(double v) noexcept {
+  for (auto &x : data_) x = v;
+}
+
+Matrix &Matrix::operator+=(const Matrix &other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix += shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix &Matrix::operator-=(const Matrix &other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix -= shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix &Matrix::operator*=(double s) noexcept {
+  for (auto &x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+std::vector<double> Matrix::column(std::size_t c) const {
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs_diff(const Matrix &other) const noexcept {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+core::Digest Matrix::digest() const {
+  core::Sha256 h;
+  h.update("matrix-v1");
+  h.update_value(rows_);
+  h.update_value(cols_);
+  h.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t *>(data_.data()),
+      data_.size() * sizeof(double)));
+  return h.finish();
+}
+
+Matrix Matrix::random_uniform(std::size_t rows, std::size_t cols,
+                              core::Rng &rng, double lo, double hi) {
+  Matrix m(rows, cols);
+  for (auto &x : m.data_) x = rng.uniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::random_normal(std::size_t rows, std::size_t cols,
+                             core::Rng &rng, double stddev) {
+  Matrix m(rows, cols);
+  for (auto &x : m.data_) x = rng.normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Tensor3::channel(std::size_t c) const {
+  Matrix m(h_, w_);
+  for (std::size_t y = 0; y < h_; ++y) {
+    for (std::size_t x = 0; x < w_; ++x) m(y, x) = (*this)(c, y, x);
+  }
+  return m;
+}
+
+}  // namespace treu::tensor

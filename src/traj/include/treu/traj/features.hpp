@@ -1,0 +1,70 @@
+#pragma once
+
+// Feature embeddings for trajectory classification (§2.4).
+//
+// Shape features follow the landmark-distance framework the student
+// reproduced: fix a set of landmark points; a trajectory embeds as the
+// vector of (soft-min) distances from each landmark to the trajectory.
+// That turns variable-length curves into fixed-dimension vectors a linear
+// model can classify — but it is blind to *what* the trajectory visits.
+//
+// The semantic extension adds a points-of-interest (POI) map: each POI has
+// a category, and the semantic feature block is the visit intensity per
+// category (how much of the trajectory passes within `radius` of POIs of
+// that category). The §2.4 experiment shows classes that share shape but
+// differ in POI usage are only separable with the semantic block.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/traj/trajectory.hpp"
+
+namespace treu::traj {
+
+/// A categorized point of interest.
+struct Poi {
+  Point location;
+  std::size_t category = 0;
+};
+
+struct PoiMap {
+  std::vector<Poi> pois;
+  std::size_t n_categories = 0;
+
+  /// Uniform random POIs in [0, extent]^2.
+  static PoiMap random(std::size_t n_pois, std::size_t n_categories,
+                       double extent, core::Rng &rng);
+};
+
+/// Landmark set for shape embeddings.
+struct Landmarks {
+  std::vector<Point> points;
+
+  static Landmarks grid(std::size_t per_side, double extent);
+  static Landmarks random(std::size_t n, double extent, core::Rng &rng);
+};
+
+/// Shape block: distance from each landmark to the trajectory, passed
+/// through exp(-d / scale) so features live in (0, 1] and near landmarks
+/// dominate (the soft-min used by the landmark framework).
+[[nodiscard]] std::vector<double> landmark_features(const Trajectory &t,
+                                                    const Landmarks &landmarks,
+                                                    double scale);
+
+/// Semantic block: per-category visit intensity. For each POI within
+/// `radius` of the trajectory, add (1 - d/radius) to its category bin;
+/// bins are normalized by trajectory arc length + 1.
+[[nodiscard]] std::vector<double> semantic_features(const Trajectory &t,
+                                                    const PoiMap &map,
+                                                    double radius);
+
+/// Concatenated shape + semantic embedding.
+[[nodiscard]] std::vector<double> combined_features(const Trajectory &t,
+                                                    const Landmarks &landmarks,
+                                                    double scale,
+                                                    const PoiMap &map,
+                                                    double radius);
+
+}  // namespace treu::traj

@@ -1,0 +1,52 @@
+#pragma once
+
+// Spatial trajectories and classical trajectory distances (§2.4).
+//
+// A trajectory is an ordered sequence of GPS-like waypoints. The student
+// project first reproduced a shape-based classification framework
+// (landmark-distance feature embeddings; see features.hpp) and then
+// extended it with semantic information about points of interest. The
+// distances here (Hausdorff, discrete Fréchet, DTW) are the classical
+// shape measures used as k-NN baselines.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace treu::traj {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point &, const Point &) = default;
+};
+
+[[nodiscard]] double distance(const Point &a, const Point &b) noexcept;
+
+using Trajectory = std::vector<Point>;
+
+/// Length of the polyline.
+[[nodiscard]] double arc_length(const Trajectory &t) noexcept;
+
+/// Distance from a point to the polyline (segment-accurate).
+[[nodiscard]] double point_to_trajectory(const Point &p, const Trajectory &t);
+
+/// Directed Hausdorff: max over a's points of distance to b.
+[[nodiscard]] double directed_hausdorff(const Trajectory &a,
+                                        const Trajectory &b);
+
+/// Symmetric Hausdorff distance.
+[[nodiscard]] double hausdorff(const Trajectory &a, const Trajectory &b);
+
+/// Discrete Fréchet distance (dynamic program over waypoint pairs).
+[[nodiscard]] double discrete_frechet(const Trajectory &a,
+                                      const Trajectory &b);
+
+/// Dynamic time warping distance with Euclidean ground cost.
+[[nodiscard]] double dtw(const Trajectory &a, const Trajectory &b);
+
+/// Resample a trajectory to `n` equally spaced (by arc length) waypoints.
+[[nodiscard]] Trajectory resample(const Trajectory &t, std::size_t n);
+
+}  // namespace treu::traj

@@ -1,0 +1,223 @@
+#include "treu/traj/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace treu::traj {
+namespace {
+
+// Deterministic anchor route for a family: a gentle arc across the world
+// whose curvature and endpoints depend on the family index.
+Trajectory family_route(std::size_t family, double extent,
+                        std::size_t control_points) {
+  Trajectory route;
+  route.reserve(control_points);
+  const double phase = static_cast<double>(family) * 0.9;
+  const double amp = extent * (0.12 + 0.05 * static_cast<double>(family % 3));
+  for (std::size_t i = 0; i < control_points; ++i) {
+    const double s =
+        static_cast<double>(i) / static_cast<double>(control_points - 1);
+    const double x = extent * s;
+    const double y = extent * 0.5 +
+                     amp * std::sin(2.0 * 3.14159265358979 * s + phase) +
+                     extent * 0.08 * static_cast<double>(family % 5) *
+                         (s - 0.5);
+    route.push_back({x, y});
+  }
+  return route;
+}
+
+// Insert detours toward the nearest POIs of the preferred category.
+void apply_detours(Trajectory &t, const PoiMap &map, std::size_t preference,
+                   std::size_t detours, double strength, core::Rng &rng) {
+  std::vector<const Poi *> candidates;
+  for (const Poi &p : map.pois) {
+    if (p.category == preference) candidates.push_back(&p);
+  }
+  if (candidates.empty() || t.size() < 3) return;
+  for (std::size_t d = 0; d < detours; ++d) {
+    // Pick a random interior waypoint and pull it (and neighbours) toward
+    // the nearest preferred POI.
+    const std::size_t idx =
+        1 + static_cast<std::size_t>(rng.uniform_index(t.size() - 2));
+    const Poi *nearest = candidates[0];
+    double best = std::numeric_limits<double>::infinity();
+    for (const Poi *p : candidates) {
+      const double dist = distance(t[idx], p->location);
+      if (dist < best) {
+        best = dist;
+        nearest = p;
+      }
+    }
+    const double denom = std::max(best, 1e-9);
+    const double pull = std::min(1.0, strength / denom);
+    const auto move = [&](std::size_t i, double f) {
+      t[i].x += f * (nearest->location.x - t[i].x);
+      t[i].y += f * (nearest->location.y - t[i].y);
+    };
+    move(idx, pull);
+    if (idx > 0) move(idx - 1, pull * 0.5);
+    if (idx + 1 < t.size()) move(idx + 1, pull * 0.5);
+  }
+}
+
+}  // namespace
+
+std::vector<LabeledTrajectory> make_corpus(const std::vector<ClassSpec> &classes,
+                                           std::size_t per_class,
+                                           const PoiMap &map,
+                                           const CorpusConfig &config,
+                                           core::Rng &rng) {
+  std::vector<LabeledTrajectory> corpus;
+  corpus.reserve(classes.size() * per_class);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const Trajectory route =
+        family_route(classes[c].route_family, config.extent, 12);
+    for (std::size_t s = 0; s < per_class; ++s) {
+      Trajectory t = route;
+      for (auto &p : t) {
+        p.x += rng.normal(0.0, config.shape_noise);
+        p.y += rng.normal(0.0, config.shape_noise);
+      }
+      apply_detours(t, map, classes[c].poi_preference, config.detours,
+                    config.detour_strength, rng);
+      corpus.push_back({resample(t, config.waypoints), c});
+    }
+  }
+  return corpus;
+}
+
+namespace {
+
+double l2(const std::vector<double> &a, const std::vector<double> &b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(s);
+}
+
+std::size_t knn_vote(std::vector<std::pair<double, std::size_t>> &dists,
+                     std::size_t k) {
+  std::partial_sort(dists.begin(),
+                    dists.begin() + std::min(k, dists.size()), dists.end());
+  std::vector<std::size_t> counts;
+  for (std::size_t i = 0; i < std::min(k, dists.size()); ++i) {
+    const std::size_t label = dists[i].second;
+    if (label >= counts.size()) counts.resize(label + 1, 0);
+    ++counts[label];
+  }
+  return static_cast<std::size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace
+
+double knn_accuracy(const std::vector<std::vector<double>> &train_x,
+                    const std::vector<std::size_t> &train_y,
+                    const std::vector<std::vector<double>> &test_x,
+                    const std::vector<std::size_t> &test_y, std::size_t k) {
+  if (train_x.size() != train_y.size() || test_x.size() != test_y.size()) {
+    throw std::invalid_argument("knn_accuracy: size mismatch");
+  }
+  if (test_x.empty() || train_x.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t q = 0; q < test_x.size(); ++q) {
+    std::vector<std::pair<double, std::size_t>> dists(train_x.size());
+    for (std::size_t i = 0; i < train_x.size(); ++i) {
+      dists[i] = {l2(test_x[q], train_x[i]), train_y[i]};
+    }
+    if (knn_vote(dists, k) == test_y[q]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test_x.size());
+}
+
+double knn_accuracy_metric(const std::vector<LabeledTrajectory> &train,
+                           const std::vector<LabeledTrajectory> &test,
+                           TrajectoryMetric metric, std::size_t k) {
+  if (test.empty() || train.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto &q : test) {
+    std::vector<std::pair<double, std::size_t>> dists(train.size());
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      dists[i] = {metric(q.trajectory, train[i].trajectory), train[i].label};
+    }
+    if (knn_vote(dists, k) == q.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+SemanticExperimentResult run_semantic_experiment(
+    const SemanticExperimentConfig &config, core::Rng &rng) {
+  // Four classes over two route families x two POI preferences: the pairs
+  // (0,0)/(0,1) and (1,0)/(1,1) share shape within the pair.
+  const std::vector<ClassSpec> classes = {
+      {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const PoiMap map = PoiMap::random(120, 2, config.corpus.extent, rng);
+  std::vector<LabeledTrajectory> corpus =
+      make_corpus(classes, config.per_class, map, config.corpus, rng);
+
+  // Shuffled split.
+  std::vector<std::size_t> idx(corpus.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  const std::size_t n_train = static_cast<std::size_t>(
+      config.train_fraction * static_cast<double>(corpus.size()));
+  std::vector<LabeledTrajectory> train, test;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    (i < n_train ? train : test).push_back(corpus[idx[i]]);
+  }
+
+  const Landmarks landmarks =
+      Landmarks::grid(config.landmarks_per_side, config.corpus.extent);
+
+  const auto featurize = [&](const std::vector<LabeledTrajectory> &set,
+                             int mode) {
+    std::vector<std::vector<double>> xs;
+    std::vector<std::size_t> ys;
+    xs.reserve(set.size());
+    ys.reserve(set.size());
+    for (const auto &lt : set) {
+      std::vector<double> f;
+      if (mode == 0) {
+        f = landmark_features(lt.trajectory, landmarks, config.landmark_scale);
+      } else if (mode == 1) {
+        f = semantic_features(lt.trajectory, map, config.poi_radius);
+      } else {
+        f = combined_features(lt.trajectory, landmarks, config.landmark_scale,
+                              map, config.poi_radius);
+      }
+      xs.push_back(std::move(f));
+      ys.push_back(lt.label);
+    }
+    return std::pair{std::move(xs), std::move(ys)};
+  };
+
+  SemanticExperimentResult result;
+  result.n_train = train.size();
+  result.n_test = test.size();
+  {
+    auto [trx, tr_y] = featurize(train, 0);
+    auto [tex, te_y] = featurize(test, 0);
+    result.shape_only_accuracy =
+        knn_accuracy(trx, tr_y, tex, te_y, config.knn_k);
+  }
+  {
+    auto [trx, tr_y] = featurize(train, 1);
+    auto [tex, te_y] = featurize(test, 1);
+    result.semantic_only_accuracy =
+        knn_accuracy(trx, tr_y, tex, te_y, config.knn_k);
+  }
+  {
+    auto [trx, tr_y] = featurize(train, 2);
+    auto [tex, te_y] = featurize(test, 2);
+    result.combined_accuracy =
+        knn_accuracy(trx, tr_y, tex, te_y, config.knn_k);
+  }
+  result.frechet_knn_accuracy =
+      knn_accuracy_metric(train, test, &discrete_frechet, config.knn_k);
+  return result;
+}
+
+}  // namespace treu::traj

@@ -1,0 +1,82 @@
+#include "treu/traj/features.hpp"
+
+#include <cmath>
+
+namespace treu::traj {
+
+PoiMap PoiMap::random(std::size_t n_pois, std::size_t n_categories,
+                      double extent, core::Rng &rng) {
+  PoiMap map;
+  map.n_categories = n_categories;
+  map.pois.resize(n_pois);
+  for (auto &p : map.pois) {
+    p.location = {rng.uniform(0.0, extent), rng.uniform(0.0, extent)};
+    p.category = static_cast<std::size_t>(rng.uniform_index(n_categories));
+  }
+  return map;
+}
+
+Landmarks Landmarks::grid(std::size_t per_side, double extent) {
+  Landmarks lm;
+  lm.points.reserve(per_side * per_side);
+  const double step =
+      per_side > 1 ? extent / static_cast<double>(per_side - 1) : 0.0;
+  for (std::size_t i = 0; i < per_side; ++i) {
+    for (std::size_t j = 0; j < per_side; ++j) {
+      lm.points.push_back(
+          {static_cast<double>(i) * step, static_cast<double>(j) * step});
+    }
+  }
+  return lm;
+}
+
+Landmarks Landmarks::random(std::size_t n, double extent, core::Rng &rng) {
+  Landmarks lm;
+  lm.points.resize(n);
+  for (auto &p : lm.points) {
+    p = {rng.uniform(0.0, extent), rng.uniform(0.0, extent)};
+  }
+  return lm;
+}
+
+std::vector<double> landmark_features(const Trajectory &t,
+                                      const Landmarks &landmarks,
+                                      double scale) {
+  std::vector<double> out(landmarks.points.size(), 0.0);
+  for (std::size_t i = 0; i < landmarks.points.size(); ++i) {
+    const double d = point_to_trajectory(landmarks.points[i], t);
+    out[i] = std::exp(-d / scale);
+  }
+  return out;
+}
+
+std::vector<double> semantic_features(const Trajectory &t, const PoiMap &map,
+                                      double radius) {
+  std::vector<double> out(map.n_categories, 0.0);
+  std::vector<double> category_counts(map.n_categories, 0.0);
+  for (const Poi &poi : map.pois) {
+    if (poi.category >= map.n_categories) continue;
+    category_counts[poi.category] += 1.0;
+    const double d = point_to_trajectory(poi.location, t);
+    if (d < radius) {
+      out[poi.category] += 1.0 - d / radius;
+    }
+  }
+  // Normalize per category so the block lives on the same O(1) scale as the
+  // landmark block regardless of how many POIs the map has.
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    if (category_counts[c] > 0.0) out[c] /= std::sqrt(category_counts[c]);
+  }
+  return out;
+}
+
+std::vector<double> combined_features(const Trajectory &t,
+                                      const Landmarks &landmarks, double scale,
+                                      const PoiMap &map, double radius) {
+  std::vector<double> out = landmark_features(t, landmarks, scale);
+  const std::vector<double> sem = semantic_features(t, map, radius);
+  out.insert(out.end(), sem.begin(), sem.end());
+  return out;
+}
+
+}  // namespace treu::traj

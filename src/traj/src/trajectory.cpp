@@ -1,0 +1,133 @@
+#include "treu/traj/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace treu::traj {
+
+double distance(const Point &a, const Point &b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double arc_length(const Trajectory &t) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) s += distance(t[i - 1], t[i]);
+  return s;
+}
+
+namespace {
+
+double point_to_segment(const Point &p, const Point &a, const Point &b) noexcept {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len2 = abx * abx + aby * aby;
+  if (len2 <= 0.0) return distance(p, a);
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return distance(p, Point{a.x + t * abx, a.y + t * aby});
+}
+
+}  // namespace
+
+double point_to_trajectory(const Point &p, const Trajectory &t) {
+  if (t.empty()) throw std::invalid_argument("point_to_trajectory: empty");
+  if (t.size() == 1) return distance(p, t[0]);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    best = std::min(best, point_to_segment(p, t[i - 1], t[i]));
+  }
+  return best;
+}
+
+double directed_hausdorff(const Trajectory &a, const Trajectory &b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("directed_hausdorff: empty trajectory");
+  }
+  double worst = 0.0;
+  for (const Point &p : a) worst = std::max(worst, point_to_trajectory(p, b));
+  return worst;
+}
+
+double hausdorff(const Trajectory &a, const Trajectory &b) {
+  return std::max(directed_hausdorff(a, b), directed_hausdorff(b, a));
+}
+
+double discrete_frechet(const Trajectory &a, const Trajectory &b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("discrete_frechet: empty trajectory");
+  }
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<double> prev(m), cur(m);
+  prev[0] = distance(a[0], b[0]);
+  for (std::size_t j = 1; j < m; ++j) {
+    prev[j] = std::max(prev[j - 1], distance(a[0], b[j]));
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    cur[0] = std::max(prev[0], distance(a[i], b[0]));
+    for (std::size_t j = 1; j < m; ++j) {
+      const double reach = std::min({prev[j], prev[j - 1], cur[j - 1]});
+      cur[j] = std::max(reach, distance(a[i], b[j]));
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m - 1];
+}
+
+double dtw(const Trajectory &a, const Trajectory &b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("dtw: empty trajectory");
+  }
+  const std::size_t n = a.size(), m = b.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = kInf;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double cost = distance(a[i - 1], b[j - 1]);
+      cur[j] = cost + std::min({prev[j], prev[j - 1], cur[j - 1]});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+Trajectory resample(const Trajectory &t, std::size_t n) {
+  if (t.empty() || n == 0) return {};
+  if (t.size() == 1 || n == 1) return Trajectory(n, t[0]);
+  const double total = arc_length(t);
+  Trajectory out;
+  out.reserve(n);
+  if (total <= 0.0) {
+    out.assign(n, t[0]);
+    return out;
+  }
+  const double step = total / static_cast<double>(n - 1);
+  out.push_back(t.front());
+  std::size_t seg = 1;
+  double seg_start = 0.0;  // arc length at t[seg-1]
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double target = step * static_cast<double>(i);
+    while (seg < t.size() &&
+           seg_start + distance(t[seg - 1], t[seg]) < target) {
+      seg_start += distance(t[seg - 1], t[seg]);
+      ++seg;
+    }
+    if (seg >= t.size()) {
+      out.push_back(t.back());
+      continue;
+    }
+    const double seg_len = distance(t[seg - 1], t[seg]);
+    const double frac = seg_len > 0.0 ? (target - seg_start) / seg_len : 0.0;
+    out.push_back(Point{t[seg - 1].x + frac * (t[seg].x - t[seg - 1].x),
+                        t[seg - 1].y + frac * (t[seg].y - t[seg - 1].y)});
+  }
+  out.push_back(t.back());
+  return out;
+}
+
+}  // namespace treu::traj

@@ -1,0 +1,42 @@
+#pragma once
+
+// Umbrella header for the TREU toolkit: Trust & Reproducibility of
+// Intelligent Computation. Include individual module headers in
+// production code; this header is a convenience for examples and quick
+// experiments.
+
+#include "treu/artifact/review.hpp"   // IWYU pragma: export
+#include "treu/artifact/study.hpp"    // IWYU pragma: export
+#include "treu/artifact/trace.hpp"    // IWYU pragma: export
+#include "treu/artifact/triangulate.hpp"  // IWYU pragma: export
+#include "treu/core/compare.hpp"      // IWYU pragma: export
+#include "treu/core/journal_io.hpp"   // IWYU pragma: export
+#include "treu/core/env.hpp"          // IWYU pragma: export
+#include "treu/core/manifest.hpp"     // IWYU pragma: export
+#include "treu/core/provenance.hpp"   // IWYU pragma: export
+#include "treu/core/rng.hpp"          // IWYU pragma: export
+#include "treu/core/sha256.hpp"       // IWYU pragma: export
+#include "treu/core/stats.hpp"        // IWYU pragma: export
+#include "treu/core/timer.hpp"        // IWYU pragma: export
+#include "treu/histo/segnet.hpp"      // IWYU pragma: export
+#include "treu/malware/classifiers.hpp"  // IWYU pragma: export
+#include "treu/malware/ngram.hpp"     // IWYU pragma: export
+#include "treu/nn/mlp.hpp"            // IWYU pragma: export
+#include "treu/parallel/reduce.hpp"   // IWYU pragma: export
+#include "treu/parallel/scan.hpp"     // IWYU pragma: export
+#include "treu/parallel/thread_pool.hpp"  // IWYU pragma: export
+#include "treu/pf/kalman.hpp"         // IWYU pragma: export
+#include "treu/pf/particle_filter.hpp"    // IWYU pragma: export
+#include "treu/rl/dqn.hpp"            // IWYU pragma: export
+#include "treu/robust/estimators.hpp" // IWYU pragma: export
+#include "treu/sched/autotune.hpp"    // IWYU pragma: export
+#include "treu/sched/gpu_sim.hpp"     // IWYU pragma: export
+#include "treu/sched/roofline.hpp"    // IWYU pragma: export
+#include "treu/shape/atlas.hpp"       // IWYU pragma: export
+#include "treu/survey/treu_survey.hpp"  // IWYU pragma: export
+#include "treu/tensor/kernels.hpp"    // IWYU pragma: export
+#include "treu/tensor/linalg.hpp"     // IWYU pragma: export
+#include "treu/tensor/pca.hpp"        // IWYU pragma: export
+#include "treu/traj/dataset.hpp"      // IWYU pragma: export
+#include "treu/unlearn/unlearn.hpp"   // IWYU pragma: export
+#include "treu/vision/detector.hpp"   // IWYU pragma: export

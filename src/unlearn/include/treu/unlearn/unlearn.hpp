@@ -1,0 +1,125 @@
+#pragma once
+
+// Machine unlearning (§2.3).
+//
+// Goal as stated by the project: make a model "behave as if it had never
+// been trained on certain data" — here, an entire class — without the cost
+// of full retraining. Two techniques:
+//
+//  1. `unlearn_class`: targeted forgetting — a few epochs of gradient
+//     *ascent* on the forget set (pushing its probability down) followed by
+//     a short *repair* fine-tune on the retain set to recover collateral
+//     damage. This is the project's "technique that avoids complete
+//     retraining", compared against the `retrain_from_scratch` oracle.
+//
+//  2. `SisaEnsemble`: sharded training (SISA-style). Data is split into S
+//     shards with one model each; prediction is the vote/mean. Deleting
+//     specific samples only retrains the shards that contained them, which
+//     bounds unlearning cost to n/S samples per deletion — exact
+//     unlearning, at an accuracy price.
+//
+// Verification uses the mean probability the model assigns to the
+// forgotten class on held-out forget-class inputs (a membership-style
+// probe): after unlearning it should drop to the vicinity of what a
+// never-trained-on-that-class model produces.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/nn/mlp.hpp"
+
+namespace treu::unlearn {
+
+/// Gaussian-blob classification data: `classes` clusters in `dim`
+/// dimensions, `per_class` samples each, cluster spread `sigma`.
+[[nodiscard]] nn::Dataset make_blobs(std::size_t classes, std::size_t per_class,
+                                     std::size_t dim, double sigma,
+                                     core::Rng &rng);
+
+struct UnlearnConfig {
+  std::size_t ascent_steps = 40;   // gradient-ascent batches on the forget set
+  double ascent_lr = 1e-2;
+  std::size_t repair_epochs = 5;   // fine-tune on the retain set
+  double repair_lr = 2e-3;
+  std::size_t batch_size = 32;
+};
+
+struct UnlearnOutcome {
+  double seconds = 0.0;
+  double retain_accuracy = 0.0;   // on held-out retain-class data
+  double forget_probability = 0.0;  // mean prob of the forgotten class
+  double forget_accuracy = 0.0;   // fraction of forget inputs still predicted as it
+};
+
+/// Apply class-forgetting in place.
+UnlearnOutcome unlearn_class(nn::MlpClassifier &model,
+                             const nn::Dataset &forget_set,
+                             const nn::Dataset &retain_set,
+                             const nn::Dataset &retain_eval,
+                             std::size_t forget_class,
+                             const UnlearnConfig &config, core::Rng &rng);
+
+/// SISA sharded ensemble over MlpClassifier members.
+class SisaEnsemble {
+ public:
+  SisaEnsemble(std::size_t shards, std::size_t input_dim,
+               std::vector<std::size_t> hidden, std::size_t classes,
+               core::Rng &rng);
+
+  /// Train every shard on its slice of `data`.
+  void fit(const nn::Dataset &data, const nn::TrainConfig &config,
+           core::Rng &rng);
+
+  /// Remove samples by index (into the dataset given to fit) and retrain
+  /// only the affected shards. Returns how many shards were retrained.
+  std::size_t forget_samples(const std::vector<std::size_t> &indices,
+                             const nn::TrainConfig &config, core::Rng &rng);
+
+  [[nodiscard]] std::vector<std::size_t> predict(const tensor::Matrix &x);
+  [[nodiscard]] double evaluate(const nn::Dataset &data);
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return members_.size();
+  }
+
+ private:
+  struct Shard {
+    std::unique_ptr<nn::MlpClassifier> model;
+    std::vector<std::size_t> sample_indices;  // into the fitted dataset
+  };
+  std::vector<Shard> members_;
+  std::size_t input_dim_;
+  std::vector<std::size_t> hidden_;
+  std::size_t classes_;
+  nn::Dataset train_data_;
+  core::Rng member_seed_rng_;
+};
+
+/// Full comparison driver for the §2.3 experiment.
+struct ExperimentResult {
+  double original_retain_acc = 0.0;
+  double original_forget_prob = 0.0;
+  double retrain_seconds = 0.0;
+  double retrain_retain_acc = 0.0;
+  double retrain_forget_prob = 0.0;
+  double unlearn_seconds = 0.0;
+  double unlearn_retain_acc = 0.0;
+  double unlearn_forget_prob = 0.0;
+};
+
+struct ExperimentConfig {
+  std::size_t classes = 5;
+  std::size_t per_class = 120;
+  std::size_t dim = 16;
+  double sigma = 1.1;
+  std::size_t forget_class = 0;
+  std::vector<std::size_t> hidden = {32};
+  nn::TrainConfig train;
+  UnlearnConfig unlearn;
+};
+
+[[nodiscard]] ExperimentResult run_unlearning_experiment(
+    const ExperimentConfig &config, core::Rng &rng);
+
+}  // namespace treu::unlearn

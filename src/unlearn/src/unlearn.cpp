@@ -1,0 +1,225 @@
+#include "treu/unlearn/unlearn.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "treu/core/timer.hpp"
+#include "treu/nn/optimizer.hpp"
+
+namespace treu::unlearn {
+
+nn::Dataset make_blobs(std::size_t classes, std::size_t per_class,
+                       std::size_t dim, double sigma, core::Rng &rng) {
+  nn::Dataset data;
+  data.x = tensor::Matrix(classes * per_class, dim);
+  data.y.resize(classes * per_class);
+  // Well-separated deterministic centers + per-class RNG lanes.
+  std::vector<std::vector<double>> centers(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    core::Rng center_rng = rng.split(1000 + c);
+    centers[c].resize(dim);
+    for (auto &v : centers[c]) v = center_rng.normal(0.0, 3.0);
+  }
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t s = 0; s < per_class; ++s, ++row) {
+      auto dst = data.x.row(row);
+      for (std::size_t j = 0; j < dim; ++j) {
+        dst[j] = centers[c][j] + rng.normal(0.0, sigma);
+      }
+      data.y[row] = c;
+    }
+  }
+  return data;
+}
+
+UnlearnOutcome unlearn_class(nn::MlpClassifier &model,
+                             const nn::Dataset &forget_set,
+                             const nn::Dataset &retain_set,
+                             const nn::Dataset &retain_eval,
+                             std::size_t forget_class,
+                             const UnlearnConfig &config, core::Rng &rng) {
+  UnlearnOutcome out;
+  core::WallTimer timer;
+
+  // Phase 1: retarget the forget set to the uniform distribution over the
+  // *other* classes. Unlike raw gradient ascent this loss is bounded below,
+  // so the optimizer cannot blow up the shared representation.
+  {
+    nn::Adam retarget(config.ascent_lr);
+    const std::size_t classes = model.classes();
+    const double uniform = classes > 1
+                               ? 1.0 / static_cast<double>(classes - 1)
+                               : 1.0;
+    std::vector<std::size_t> order(forget_set.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::size_t cursor = 0;
+    for (std::size_t step = 0; step < config.ascent_steps; ++step) {
+      if (cursor >= order.size()) {
+        cursor = 0;
+        rng.shuffle(order);
+      }
+      const std::size_t take =
+          std::min(config.batch_size, order.size() - cursor);
+      const std::span<const std::size_t> idx(order.data() + cursor, take);
+      cursor += take;
+      const nn::Dataset batch = forget_set.subset(idx);
+      tensor::Matrix target(batch.x.rows(), classes, uniform);
+      for (std::size_t r = 0; r < target.rows(); ++r) {
+        target(r, forget_class) = 0.0;
+      }
+      model.step_toward_distribution(batch.x, target, retarget);
+    }
+  }
+
+  // Phase 2: repair fine-tune on the retain set.
+  {
+    nn::TrainConfig repair;
+    repair.epochs = config.repair_epochs;
+    repair.batch_size = config.batch_size;
+    repair.lr = config.repair_lr;
+    model.train(retain_set, repair, rng);
+  }
+
+  out.seconds = timer.elapsed_seconds();
+  out.retain_accuracy = model.evaluate(retain_eval);
+  out.forget_probability =
+      model.mean_class_probability(forget_set.x, forget_class);
+  const auto preds = model.predict(forget_set.x);
+  std::size_t still = 0;
+  for (std::size_t p : preds) {
+    if (p == forget_class) ++still;
+  }
+  out.forget_accuracy = forget_set.size() > 0
+                            ? static_cast<double>(still) /
+                                  static_cast<double>(forget_set.size())
+                            : 0.0;
+  return out;
+}
+
+SisaEnsemble::SisaEnsemble(std::size_t shards, std::size_t input_dim,
+                           std::vector<std::size_t> hidden,
+                           std::size_t classes, core::Rng &rng)
+    : input_dim_(input_dim),
+      hidden_(std::move(hidden)),
+      classes_(classes),
+      member_seed_rng_(rng.split(0x515A)) {
+  members_.resize(std::max<std::size_t>(shards, 1));
+  for (std::size_t s = 0; s < members_.size(); ++s) {
+    core::Rng init = member_seed_rng_.split(s);
+    members_[s].model = std::make_unique<nn::MlpClassifier>(
+        input_dim_, hidden_, classes_, init);
+  }
+}
+
+void SisaEnsemble::fit(const nn::Dataset &data, const nn::TrainConfig &config,
+                       core::Rng &rng) {
+  train_data_ = data;
+  // Round-robin shard assignment (deterministic).
+  for (auto &m : members_) m.sample_indices.clear();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    members_[i % members_.size()].sample_indices.push_back(i);
+  }
+  for (std::size_t s = 0; s < members_.size(); ++s) {
+    const nn::Dataset shard_data = data.subset(members_[s].sample_indices);
+    core::Rng train_rng = rng.split(s);
+    members_[s].model->train(shard_data, config, train_rng);
+  }
+}
+
+std::size_t SisaEnsemble::forget_samples(const std::vector<std::size_t> &indices,
+                                         const nn::TrainConfig &config,
+                                         core::Rng &rng) {
+  std::vector<bool> deleted(train_data_.size(), false);
+  for (std::size_t i : indices) {
+    if (i < deleted.size()) deleted[i] = true;
+  }
+  std::size_t retrained = 0;
+  for (std::size_t s = 0; s < members_.size(); ++s) {
+    auto &shard = members_[s];
+    const std::size_t before = shard.sample_indices.size();
+    std::erase_if(shard.sample_indices,
+                  [&](std::size_t i) { return deleted[i]; });
+    if (shard.sample_indices.size() == before) continue;  // untouched shard
+    // Exact unlearning: reinitialize and retrain this shard only.
+    core::Rng init = member_seed_rng_.split(1000 + s);
+    shard.model = std::make_unique<nn::MlpClassifier>(input_dim_, hidden_,
+                                                      classes_, init);
+    const nn::Dataset shard_data = train_data_.subset(shard.sample_indices);
+    core::Rng train_rng = rng.split(5000 + s);
+    shard.model->train(shard_data, config, train_rng);
+    ++retrained;
+  }
+  return retrained;
+}
+
+std::vector<std::size_t> SisaEnsemble::predict(const tensor::Matrix &x) {
+  // Mean of softmax probabilities across shards.
+  tensor::Matrix total(x.rows(), classes_, 0.0);
+  for (auto &m : members_) {
+    const tensor::Matrix p = nn::softmax(m.model->logits(x));
+    total += p;
+  }
+  return nn::argmax_rows(total);
+}
+
+double SisaEnsemble::evaluate(const nn::Dataset &data) {
+  if (data.size() == 0) return 0.0;
+  const auto preds = predict(data.x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == data.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+ExperimentResult run_unlearning_experiment(const ExperimentConfig &config,
+                                           core::Rng &rng) {
+  ExperimentResult result;
+  core::Rng data_rng = rng.split(1);
+  nn::Dataset all = make_blobs(config.classes, config.per_class, config.dim,
+                               config.sigma, data_rng);
+  core::Rng split_rng = rng.split(2);
+  auto [train, test] = all.split(0.75, split_rng);
+  auto [train_retain, train_forget] = train.without_class(config.forget_class);
+  auto [test_retain, test_forget] = test.without_class(config.forget_class);
+
+  // Original model trained on everything.
+  core::Rng init_rng = rng.split(3);
+  nn::MlpClassifier original(config.dim, config.hidden, config.classes,
+                             init_rng);
+  core::Rng train_rng = rng.split(4);
+  original.train(train, config.train, train_rng);
+  result.original_retain_acc = original.evaluate(test_retain);
+  result.original_forget_prob =
+      original.mean_class_probability(test_forget.x, config.forget_class);
+
+  // Oracle: retrain from scratch without the forgotten class.
+  {
+    core::WallTimer timer;
+    core::Rng retrain_init = rng.split(5);
+    nn::MlpClassifier retrained(config.dim, config.hidden, config.classes,
+                                retrain_init);
+    core::Rng retrain_rng = rng.split(6);
+    retrained.train(train_retain, config.train, retrain_rng);
+    result.retrain_seconds = timer.elapsed_seconds();
+    result.retrain_retain_acc = retrained.evaluate(test_retain);
+    result.retrain_forget_prob =
+        retrained.mean_class_probability(test_forget.x, config.forget_class);
+  }
+
+  // Our technique applied to the original model.
+  {
+    core::Rng unlearn_rng = rng.split(7);
+    UnlearnOutcome outcome =
+        unlearn_class(original, train_forget, train_retain, test_retain,
+                      config.forget_class, config.unlearn, unlearn_rng);
+    result.unlearn_seconds = outcome.seconds;
+    result.unlearn_retain_acc = outcome.retain_accuracy;
+    result.unlearn_forget_prob =
+        original.mean_class_probability(test_forget.x, config.forget_class);
+  }
+  return result;
+}
+
+}  // namespace treu::unlearn

@@ -1,0 +1,97 @@
+#pragma once
+
+// Sliding-window detector and evaluation (§2.6).
+//
+// A deliberately simple detector (the study's point is about the *dataset*,
+// not the architecture): 12x12 windows at stride 4 are classified
+// {background, lettuce, weed} by an MLP over 2x2-mean-pooled pixels;
+// detections above a confidence threshold go through non-maximum
+// suppression and are scored against ground truth with average precision
+// at an IoU threshold.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/nn/mlp.hpp"
+#include "treu/vision/scene.hpp"
+
+namespace treu::vision {
+
+struct Detection {
+  Box box;
+  double score = 0.0;
+};
+
+struct DetectorConfig {
+  std::size_t window = 12;
+  std::size_t stride = 4;
+  double train_iou = 0.3;       // window labeled positive above this IoU
+  double nms_iou = 0.3;
+  double score_threshold = 0.6;
+  double match_iou = 0.3;       // detection-to-truth matching for AP
+  double background_keep = 0.25;  // subsample background windows
+  std::vector<std::size_t> hidden = {32};
+  nn::TrainConfig train;
+};
+
+/// Window feature: 2x2 mean-pooled pixels of the window, flattened.
+[[nodiscard]] std::vector<double> window_features(const tensor::Matrix &image,
+                                                  std::size_t x0, std::size_t y0,
+                                                  std::size_t window);
+
+/// Greedy non-maximum suppression (per class).
+[[nodiscard]] std::vector<Detection> nms(std::vector<Detection> detections,
+                                         double iou_threshold);
+
+class SlidingWindowDetector {
+ public:
+  SlidingWindowDetector(const DetectorConfig &config, core::Rng &rng);
+
+  /// Build window-level training data from frames and train the classifier.
+  void fit(const std::vector<Frame> &frames, core::Rng &rng);
+
+  /// Detect objects in one frame.
+  [[nodiscard]] std::vector<Detection> detect(const Frame &frame);
+
+  [[nodiscard]] const DetectorConfig &config() const noexcept { return config_; }
+
+ private:
+  DetectorConfig config_;
+  std::unique_ptr<nn::MlpClassifier> classifier_;
+  std::size_t feature_dim_ = 0;
+};
+
+/// All-point-interpolated average precision for one class.
+[[nodiscard]] double average_precision(
+    const std::vector<std::vector<Detection>> &detections_per_frame,
+    const std::vector<Frame> &frames, std::size_t cls, double match_iou);
+
+/// Mean AP over classes.
+[[nodiscard]] double mean_average_precision(
+    const std::vector<std::vector<Detection>> &detections_per_frame,
+    const std::vector<Frame> &frames, double match_iou);
+
+/// §2.6 experiment: same scene, same 24-frame budget; original
+/// (consecutive) vs deaugmented (strided) training sets, validated on a
+/// disjoint segment of the video.
+struct DeaugExperimentConfig {
+  SceneConfig scene;
+  DetectorConfig detector;
+  std::size_t frames_budget = 24;
+  std::size_t stride = 24;         // deaugmentation factor (paper: 24x)
+  std::size_t validation_frames = 12;
+};
+
+struct DeaugExperimentResult {
+  double original_map = 0.0;
+  double deaug_map = 0.0;
+  double original_overlap = 0.0;   // redundancy diagnostic
+  double deaug_overlap = 0.0;
+};
+
+[[nodiscard]] DeaugExperimentResult run_deaug_experiment(
+    const DeaugExperimentConfig &config, core::Rng &rng);
+
+}  // namespace treu::vision

@@ -1,0 +1,98 @@
+#pragma once
+
+// Synthetic field-video generator (§2.6).
+//
+// The original study trained YOLOv8 on video frames of lettuce and weeds.
+// Consecutive video frames have heavily overlapping content (the camera and
+// plants barely move between frames); the deaugmented dataset resampled the
+// video at a lower frame frequency so every frame shows distinct content —
+// covering 24x the video length with the same 24-frame budget. The
+// generator reproduces exactly that structure: a long scene of drifting
+// plants rendered to small grayscale frames, from which `consecutive_frames`
+// (the original set) or `strided_frames` (the deaugmented set) are drawn.
+
+#include <cstddef>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/tensor/matrix.hpp"
+
+namespace treu::vision {
+
+inline constexpr std::size_t kLettuce = 0;
+inline constexpr std::size_t kWeed = 1;
+inline constexpr std::size_t kNumClasses = 2;
+
+struct Box {
+  double x = 0.0;  // center
+  double y = 0.0;
+  double size = 0.0;  // square half-extent
+  std::size_t cls = kLettuce;
+};
+
+[[nodiscard]] double iou(const Box &a, const Box &b) noexcept;
+
+struct Frame {
+  tensor::Matrix image;     // grayscale in [0, 1]
+  std::vector<Box> truth;   // ground-truth boxes
+  std::size_t time = 0;     // frame index in the source video
+};
+
+struct SceneConfig {
+  std::size_t image_size = 48;
+  double min_size = 3.0;
+  double max_size = 5.5;
+  double camera_speed = 0.4;   // world pixels the camera advances per frame
+  double plant_density = 0.7;  // probability a world cell contains a plant
+  double cell_width = 11.0;    // world pixels per plant cell
+  double noise = 0.05;         // pixel noise stddev
+};
+
+/// A camera panning along an endless crop row. Plants are fixed in *world*
+/// coordinates (their identity, size, and class are deterministic hashes of
+/// their world cell), and the camera advances `camera_speed` pixels per
+/// frame. Consecutive frames therefore show the same plants barely shifted
+/// (the redundancy of video), while frames taken far apart show entirely
+/// new plants — the content-coverage axis the §2.6 deaugmentation result
+/// turns on.
+class Scene {
+ public:
+  Scene(const SceneConfig &config, core::Rng &rng);
+
+  /// Render the frame at time t; any t renders independently.
+  [[nodiscard]] Frame render(std::size_t t, core::Rng &rng) const;
+
+  [[nodiscard]] const SceneConfig &config() const noexcept { return config_; }
+
+ private:
+  struct Plant {
+    double world_x, y;
+    double size;
+    std::size_t cls;
+    bool present;
+  };
+  [[nodiscard]] Plant plant_in_cell(long cell) const;
+
+  SceneConfig config_;
+  std::uint64_t world_seed_ = 0;
+};
+
+/// `n` consecutive frames starting at `start` — the paper's original set.
+[[nodiscard]] std::vector<Frame> consecutive_frames(const Scene &scene,
+                                                    std::size_t start,
+                                                    std::size_t n,
+                                                    core::Rng &rng);
+
+/// `n` frames sampled every `stride` frames — the deaugmented set (covers
+/// stride x the video length of the consecutive set).
+[[nodiscard]] std::vector<Frame> strided_frames(const Scene &scene,
+                                                std::size_t start,
+                                                std::size_t n,
+                                                std::size_t stride,
+                                                core::Rng &rng);
+
+/// Mean per-pixel absolute difference between consecutive frames of a set
+/// (the redundancy diagnostic: near zero for the original set).
+[[nodiscard]] double frame_overlap(const std::vector<Frame> &frames);
+
+}  // namespace treu::vision

@@ -1,0 +1,239 @@
+#include "treu/vision/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace treu::vision {
+
+std::vector<double> window_features(const tensor::Matrix &image,
+                                    std::size_t x0, std::size_t y0,
+                                    std::size_t window) {
+  const std::size_t pooled = window / 2;
+  std::vector<double> f(pooled * pooled, 0.0);
+  for (std::size_t py = 0; py < pooled; ++py) {
+    for (std::size_t px = 0; px < pooled; ++px) {
+      double s = 0.0;
+      for (std::size_t dy = 0; dy < 2; ++dy) {
+        for (std::size_t dx = 0; dx < 2; ++dx) {
+          s += image(y0 + 2 * py + dy, x0 + 2 * px + dx);
+        }
+      }
+      f[py * pooled + px] = s / 4.0;
+    }
+  }
+  return f;
+}
+
+std::vector<Detection> nms(std::vector<Detection> detections,
+                           double iou_threshold) {
+  std::stable_sort(detections.begin(), detections.end(),
+                   [](const Detection &a, const Detection &b) {
+                     return a.score > b.score;
+                   });
+  std::vector<Detection> kept;
+  for (const Detection &d : detections) {
+    bool suppressed = false;
+    for (const Detection &k : kept) {
+      if (k.box.cls == d.box.cls && iou(k.box, d.box) > iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+SlidingWindowDetector::SlidingWindowDetector(const DetectorConfig &config,
+                                             core::Rng &rng)
+    : config_(config) {
+  const std::size_t pooled = config_.window / 2;
+  feature_dim_ = pooled * pooled;
+  core::Rng init = rng.split(0xDE7);
+  classifier_ = std::make_unique<nn::MlpClassifier>(
+      feature_dim_, config_.hidden, kNumClasses + 1, init);
+}
+
+void SlidingWindowDetector::fit(const std::vector<Frame> &frames,
+                                core::Rng &rng) {
+  std::vector<std::vector<double>> feats;
+  std::vector<std::size_t> labels;
+  core::Rng keep_rng = rng.split(0xBA1);
+  for (const Frame &frame : frames) {
+    const std::size_t s = frame.image.rows();
+    for (std::size_t y0 = 0; y0 + config_.window <= s; y0 += config_.stride) {
+      for (std::size_t x0 = 0; x0 + config_.window <= s;
+           x0 += config_.stride) {
+        const Box wbox{static_cast<double>(x0) + config_.window / 2.0,
+                       static_cast<double>(y0) + config_.window / 2.0,
+                       config_.window / 2.0, 0};
+        // Label = class of the best-overlapping truth box, else background.
+        std::size_t label = kNumClasses;  // background index
+        double best = config_.train_iou;
+        for (const Box &t : frame.truth) {
+          Box cmp = wbox;
+          cmp.cls = t.cls;
+          const double overlap = iou(cmp, t);
+          if (overlap > best) {
+            best = overlap;
+            label = t.cls;
+          }
+        }
+        if (label == kNumClasses &&
+            !keep_rng.bernoulli(config_.background_keep)) {
+          continue;  // subsample the dominant background class
+        }
+        feats.push_back(window_features(frame.image, x0, y0, config_.window));
+        labels.push_back(label);
+      }
+    }
+  }
+  nn::Dataset data;
+  data.x = tensor::Matrix(feats.size(), feature_dim_);
+  data.y = labels;
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    auto row = data.x.row(i);
+    for (std::size_t j = 0; j < feature_dim_; ++j) row[j] = feats[i][j];
+  }
+  core::Rng train_rng = rng.split(0x7E1);
+  classifier_->train(data, config_.train, train_rng);
+}
+
+std::vector<Detection> SlidingWindowDetector::detect(const Frame &frame) {
+  std::vector<Detection> raw;
+  const std::size_t s = frame.image.rows();
+  for (std::size_t y0 = 0; y0 + config_.window <= s; y0 += config_.stride) {
+    for (std::size_t x0 = 0; x0 + config_.window <= s; x0 += config_.stride) {
+      tensor::Matrix x(1, feature_dim_);
+      const auto f = window_features(frame.image, x0, y0, config_.window);
+      for (std::size_t j = 0; j < feature_dim_; ++j) x(0, j) = f[j];
+      const tensor::Matrix probs = nn::softmax(classifier_->logits(x));
+      for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+        if (probs(0, cls) >= config_.score_threshold) {
+          Detection d;
+          d.box = {static_cast<double>(x0) + config_.window / 2.0,
+                   static_cast<double>(y0) + config_.window / 2.0,
+                   config_.window / 2.0, cls};
+          d.score = probs(0, cls);
+          raw.push_back(d);
+        }
+      }
+    }
+  }
+  return nms(std::move(raw), config_.nms_iou);
+}
+
+double average_precision(
+    const std::vector<std::vector<Detection>> &detections_per_frame,
+    const std::vector<Frame> &frames, std::size_t cls, double match_iou) {
+  // Gather detections of this class with frame ids, sort by score.
+  struct Entry {
+    double score;
+    std::size_t frame;
+    Box box;
+  };
+  std::vector<Entry> entries;
+  std::size_t total_truth = 0;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    for (const Box &t : frames[f].truth) {
+      if (t.cls == cls) ++total_truth;
+    }
+    if (f < detections_per_frame.size()) {
+      for (const Detection &d : detections_per_frame[f]) {
+        if (d.box.cls == cls) entries.push_back({d.score, f, d.box});
+      }
+    }
+  }
+  if (total_truth == 0) return 0.0;
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry &a, const Entry &b) { return a.score > b.score; });
+
+  std::vector<std::vector<bool>> used(frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    used[f].assign(frames[f].truth.size(), false);
+  }
+  std::size_t tp = 0, fp = 0;
+  std::vector<double> precision, recall;
+  for (const Entry &e : entries) {
+    double best = match_iou;
+    std::size_t best_t = frames[e.frame].truth.size();
+    for (std::size_t t = 0; t < frames[e.frame].truth.size(); ++t) {
+      const Box &truth = frames[e.frame].truth[t];
+      if (truth.cls != cls || used[e.frame][t]) continue;
+      const double overlap = iou(e.box, truth);
+      if (overlap >= best) {
+        best = overlap;
+        best_t = t;
+      }
+    }
+    if (best_t < frames[e.frame].truth.size()) {
+      used[e.frame][best_t] = true;
+      ++tp;
+    } else {
+      ++fp;
+    }
+    precision.push_back(static_cast<double>(tp) / static_cast<double>(tp + fp));
+    recall.push_back(static_cast<double>(tp) / static_cast<double>(total_truth));
+  }
+  // All-point interpolation.
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (std::size_t i = 0; i < precision.size(); ++i) {
+    double max_prec = 0.0;
+    for (std::size_t j = i; j < precision.size(); ++j) {
+      max_prec = std::max(max_prec, precision[j]);
+    }
+    ap += (recall[i] - prev_recall) * max_prec;
+    prev_recall = recall[i];
+  }
+  return ap;
+}
+
+double mean_average_precision(
+    const std::vector<std::vector<Detection>> &detections_per_frame,
+    const std::vector<Frame> &frames, double match_iou) {
+  double s = 0.0;
+  for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+    s += average_precision(detections_per_frame, frames, cls, match_iou);
+  }
+  return s / static_cast<double>(kNumClasses);
+}
+
+DeaugExperimentResult run_deaug_experiment(const DeaugExperimentConfig &config,
+                                           core::Rng &rng) {
+  DeaugExperimentResult result;
+  core::Rng scene_rng = rng.split(1);
+  const Scene scene(config.scene, scene_rng);
+
+  core::Rng frames_rng = rng.split(2);
+  const std::vector<Frame> original =
+      consecutive_frames(scene, 0, config.frames_budget, frames_rng);
+  const std::vector<Frame> deaug = strided_frames(
+      scene, 0, config.frames_budget, config.stride, frames_rng);
+  // Validation: frames from far beyond both training windows.
+  const std::size_t val_start =
+      config.frames_budget * config.stride + 1000;
+  const std::vector<Frame> validation = strided_frames(
+      scene, val_start, config.validation_frames, 37, frames_rng);
+
+  result.original_overlap = frame_overlap(original);
+  result.deaug_overlap = frame_overlap(deaug);
+
+  const auto evaluate = [&](const std::vector<Frame> &train_set,
+                            std::uint64_t lane) {
+    core::Rng det_rng = rng.split(lane);
+    SlidingWindowDetector detector(config.detector, det_rng);
+    core::Rng fit_rng = rng.split(lane + 1);
+    detector.fit(train_set, fit_rng);
+    std::vector<std::vector<Detection>> dets;
+    dets.reserve(validation.size());
+    for (const Frame &f : validation) dets.push_back(detector.detect(f));
+    return mean_average_precision(dets, validation,
+                                  config.detector.match_iou);
+  };
+  result.original_map = evaluate(original, 10);
+  result.deaug_map = evaluate(deaug, 20);
+  return result;
+}
+
+}  // namespace treu::vision

@@ -1,0 +1,136 @@
+#include "treu/vision/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace treu::vision {
+
+double iou(const Box &a, const Box &b) noexcept {
+  const double ax0 = a.x - a.size, ax1 = a.x + a.size;
+  const double ay0 = a.y - a.size, ay1 = a.y + a.size;
+  const double bx0 = b.x - b.size, bx1 = b.x + b.size;
+  const double by0 = b.y - b.size, by1 = b.y + b.size;
+  const double ix = std::max(0.0, std::min(ax1, bx1) - std::max(ax0, bx0));
+  const double iy = std::max(0.0, std::min(ay1, by1) - std::max(ay0, by0));
+  const double inter = ix * iy;
+  const double area_a = (ax1 - ax0) * (ay1 - ay0);
+  const double area_b = (bx1 - bx0) * (by1 - by0);
+  const double uni = area_a + area_b - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+Scene::Scene(const SceneConfig &config, core::Rng &rng)
+    : config_(config), world_seed_(rng.next_u64()) {}
+
+Scene::Plant Scene::plant_in_cell(long cell) const {
+  // Deterministic per-cell stream: the world never changes between renders.
+  core::Rng cell_rng(world_seed_, static_cast<std::uint64_t>(cell) * 2 + 1);
+  Plant plant;
+  plant.present = cell_rng.bernoulli(config_.plant_density);
+  const double s = static_cast<double>(config_.image_size);
+  plant.world_x = static_cast<double>(cell) * config_.cell_width +
+                  cell_rng.uniform(0.25, 0.75) * config_.cell_width;
+  plant.y = cell_rng.uniform(config_.max_size, s - config_.max_size);
+  plant.size = cell_rng.uniform(config_.min_size, config_.max_size);
+  plant.cls = cell_rng.bernoulli(0.5) ? kLettuce : kWeed;
+  return plant;
+}
+
+Frame Scene::render(std::size_t t, core::Rng &rng) const {
+  const std::size_t s = config_.image_size;
+  Frame frame;
+  frame.time = t;
+  frame.image = tensor::Matrix(s, s, 0.1);  // soil background
+  core::Rng noise_rng = rng.split(0xF0000 + t);
+
+  const double camera_x = static_cast<double>(t) * config_.camera_speed;
+  const long first_cell = static_cast<long>(
+      std::floor((camera_x - config_.max_size) / config_.cell_width));
+  const long last_cell = static_cast<long>(
+      std::ceil((camera_x + static_cast<double>(s) + config_.max_size) /
+                config_.cell_width));
+
+  for (long cell = first_cell; cell <= last_cell; ++cell) {
+    const Plant plant = plant_in_cell(cell);
+    if (!plant.present) continue;
+    const double cx = plant.world_x - camera_x;
+    const double cy = plant.y;
+    if (cx < -config_.max_size ||
+        cx > static_cast<double>(s) + config_.max_size) {
+      continue;
+    }
+    // Only plants whose center is on screen become ground truth (partially
+    // visible edge plants would make the AP matching ambiguous).
+    if (cx >= 0.0 && cx < static_cast<double>(s)) {
+      frame.truth.push_back(Box{cx, cy, plant.size, plant.cls});
+    }
+    // Lettuce: bright filled disk. Weed: darker ring (hollow center).
+    const int r = static_cast<int>(std::ceil(plant.size));
+    for (int dy = -r; dy <= r; ++dy) {
+      for (int dx = -r; dx <= r; ++dx) {
+        const int px = static_cast<int>(std::floor(cx)) + dx;
+        const int py = static_cast<int>(std::floor(cy)) + dy;
+        if (px < 0 || py < 0 || px >= static_cast<int>(s) ||
+            py >= static_cast<int>(s)) {
+          continue;
+        }
+        const double dist = std::sqrt(static_cast<double>(dx * dx + dy * dy));
+        if (dist > plant.size) continue;
+        double value;
+        if (plant.cls == kLettuce) {
+          value = 0.9 - 0.1 * dist / plant.size;
+        } else {
+          // Ring: bright at the rim, dark center.
+          value = dist > plant.size * 0.5 ? 0.7 : 0.2;
+        }
+        frame.image(static_cast<std::size_t>(py),
+                    static_cast<std::size_t>(px)) = value;
+      }
+    }
+  }
+  for (auto &p : frame.image.flat()) {
+    p = std::clamp(p + noise_rng.normal(0.0, config_.noise), 0.0, 1.0);
+  }
+  return frame;
+}
+
+std::vector<Frame> consecutive_frames(const Scene &scene, std::size_t start,
+                                      std::size_t n, core::Rng &rng) {
+  std::vector<Frame> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(scene.render(start + i, rng));
+  }
+  return out;
+}
+
+std::vector<Frame> strided_frames(const Scene &scene, std::size_t start,
+                                  std::size_t n, std::size_t stride,
+                                  core::Rng &rng) {
+  std::vector<Frame> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(scene.render(start + i * stride, rng));
+  }
+  return out;
+}
+
+double frame_overlap(const std::vector<Frame> &frames) {
+  if (frames.size() < 2) return 0.0;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    const auto &a = frames[i - 1].image;
+    const auto &b = frames[i].image;
+    if (a.size() != b.size()) continue;
+    double diff = 0.0;
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      diff += std::fabs(a.flat()[j] - b.flat()[j]);
+    }
+    total += diff / static_cast<double>(a.size());
+    ++pairs;
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace treu::vision

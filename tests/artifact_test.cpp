@@ -1,0 +1,277 @@
+// Tests for the artifact-evaluation study model (§2.1): instrument
+// piloting, reviewer panels / Cohen's kappa, and trace-collection failure
+// accounting.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "treu/artifact/review.hpp"
+#include "treu/artifact/study.hpp"
+#include "treu/artifact/trace.hpp"
+#include "treu/artifact/triangulate.hpp"
+#include "treu/core/rng.hpp"
+
+namespace ar = treu::artifact;
+
+TEST(Instrument, DraftHasRequestedComposition) {
+  treu::core::Rng rng(1);
+  const ar::Instrument inst = ar::Instrument::draft("pilot", 6, 4, rng);
+  EXPECT_EQ(inst.size(), 10u);
+  std::size_t diary = 0;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    if (inst.question(i).kind == ar::QuestionKind::Diary) ++diary;
+    EXPECT_GT(inst.question(i).clarity, 0.0);
+    EXPECT_LE(inst.question(i).clarity, 1.0);
+  }
+  EXPECT_EQ(diary, 6u);
+}
+
+TEST(Instrument, ValidityIsMeanClarity) {
+  ar::Instrument inst("x", {{"q1", ar::QuestionKind::Diary, 0.4, 0},
+                            {"q2", ar::QuestionKind::Diary, 0.8, 0}});
+  EXPECT_DOUBLE_EQ(inst.validity(), 0.6);
+  EXPECT_DOUBLE_EQ(inst.utility(0.7), 0.5);
+}
+
+TEST(Instrument, RejectsEmptyOrBadClarity) {
+  EXPECT_THROW(ar::Instrument("x", {}), std::invalid_argument);
+  EXPECT_THROW(
+      ar::Instrument("x", {{"q", ar::QuestionKind::Diary, 1.5, 0}}),
+      std::invalid_argument);
+}
+
+TEST(Pilots, ValidityNeverDecreases) {
+  treu::core::Rng rng(2);
+  ar::Instrument inst = ar::Instrument::draft("pilot", 8, 4, rng);
+  const auto outcomes = ar::run_pilot_study(inst, 4, {}, rng);
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (const auto &o : outcomes) {
+    EXPECT_GE(o.validity_after, o.validity_before);
+  }
+  EXPECT_GT(outcomes.back().validity_after, outcomes.front().validity_before);
+}
+
+TEST(Pilots, FourSessionsSubstantiallyImprove) {
+  // The paper: students "substantially revised the materials, improving
+  // their validity and utility" over four pilot sessions.
+  treu::core::Rng rng(3);
+  ar::Instrument inst = ar::Instrument::draft("pilot", 10, 5, rng);
+  const double validity_before = inst.validity();
+  const double utility_before = inst.utility();
+  (void)ar::run_pilot_study(inst, 4, {}, rng);
+  EXPECT_GT(inst.validity(), validity_before + 0.1);
+  EXPECT_GE(inst.utility(), utility_before);
+}
+
+TEST(Pilots, EarlySessionsFlagMore) {
+  treu::core::Rng rng(4);
+  ar::Instrument inst = ar::Instrument::draft("pilot", 20, 10, rng);
+  const auto outcomes = ar::run_pilot_study(inst, 6, {}, rng);
+  // Flags should trend downward as clarity rises (compare halves).
+  const std::size_t early = outcomes[0].flagged + outcomes[1].flagged +
+                            outcomes[2].flagged;
+  const std::size_t late = outcomes[3].flagged + outcomes[4].flagged +
+                           outcomes[5].flagged;
+  EXPECT_GE(early, late);
+}
+
+TEST(Kappa, PerfectAgreementIsOne) {
+  const std::vector<int> a{0, 1, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(ar::cohen_kappa(a, a), 1.0);
+}
+
+TEST(Kappa, IndependentRatersNearZero) {
+  treu::core::Rng rng(5);
+  std::vector<int> a(5000), b(5000);
+  for (auto &v : a) v = static_cast<int>(rng.uniform_index(3));
+  for (auto &v : b) v = static_cast<int>(rng.uniform_index(3));
+  EXPECT_NEAR(ar::cohen_kappa(a, b), 0.0, 0.05);
+}
+
+TEST(Kappa, SystematicDisagreementNegative) {
+  const std::vector<int> a{0, 0, 1, 1};
+  const std::vector<int> b{1, 1, 0, 0};
+  EXPECT_LT(ar::cohen_kappa(a, b), 0.0);
+}
+
+TEST(Kappa, LengthMismatchThrows) {
+  const std::vector<int> a{0, 1};
+  const std::vector<int> b{0};
+  EXPECT_THROW((void)ar::cohen_kappa(a, b), std::invalid_argument);
+}
+
+TEST(Review, ReproductionProbabilityRespectsGates) {
+  ar::Artifact good;
+  good.code_completeness = 0.9;
+  good.documentation = 0.9;
+  good.compute_hours = 1.0;
+  good.truly_reproducible = true;
+  ar::Reviewer reviewer{0.7, 8.0};
+  EXPECT_GT(ar::reproduction_probability(good, reviewer, 0.8), 0.5);
+
+  ar::Artifact fake = good;
+  fake.truly_reproducible = false;
+  EXPECT_LT(ar::reproduction_probability(fake, reviewer, 0.8), 0.05);
+
+  ar::Artifact heavy = good;
+  heavy.compute_hours = 100.0;  // exceeds the reviewer's budget
+  EXPECT_LT(ar::reproduction_probability(heavy, reviewer, 0.8), 0.1);
+}
+
+TEST(Review, GuidanceImprovesReproductionProbability) {
+  ar::Artifact a;
+  a.code_completeness = 0.7;
+  a.documentation = 0.5;
+  a.truly_reproducible = true;
+  ar::Reviewer r{0.5, 8.0};
+  EXPECT_GT(ar::reproduction_probability(a, r, 1.0),
+            ar::reproduction_probability(a, r, 0.0));
+}
+
+TEST(Panel, BetterGuidanceRaisesAgreement) {
+  treu::core::Rng rng(6);
+  const auto pool = ar::random_pool(60, 0.5, rng);
+  std::vector<ar::Reviewer> panel{{0.5, 8.0}, {0.6, 8.0}, {0.7, 8.0}};
+  treu::core::Rng r1(7), r2(7);
+  const auto poor = ar::run_panel(pool, panel, 0.1, r1);
+  const auto good = ar::run_panel(pool, panel, 0.95, r2);
+  EXPECT_GT(good.decision_accuracy, poor.decision_accuracy - 0.02);
+  EXPECT_GE(good.kappa, -1.0);
+  EXPECT_LE(good.kappa, 1.0);
+}
+
+TEST(Panel, EmptyInputsThrow) {
+  treu::core::Rng rng(8);
+  const auto pool = ar::random_pool(5, 0.5, rng);
+  EXPECT_THROW((void)ar::run_panel({}, {{0.5, 8.0}}, 0.5, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)ar::run_panel(pool, {}, 0.5, rng), std::invalid_argument);
+}
+
+TEST(Trace, HighFailureRateMatchesPaperExperience) {
+  // Default config: most first attempts fail ("attempts ... were
+  // unsuccessful"), but troubleshooting recovers some.
+  treu::core::Rng rng(9);
+  const auto repos = ar::random_repositories(200, rng);
+  ar::CollectorConfig config;
+  config.max_retries = 0;  // no troubleshooting
+  const ar::TraceCollector collector(config);
+  const auto results = collector.collect_all(repos, rng);
+  const double rate = ar::TraceCollector::success_rate(results);
+  EXPECT_LT(rate, 0.45);
+}
+
+TEST(Trace, TroubleshootingImprovesSuccessRate) {
+  treu::core::Rng rng(10);
+  const auto repos = ar::random_repositories(300, rng);
+  ar::CollectorConfig no_retries;
+  no_retries.max_retries = 0;
+  ar::CollectorConfig with_retries;
+  with_retries.max_retries = 5;
+  treu::core::Rng r1(11), r2(11);
+  const double base = ar::TraceCollector::success_rate(
+      ar::TraceCollector(no_retries).collect_all(repos, r1));
+  const double improved = ar::TraceCollector::success_rate(
+      ar::TraceCollector(with_retries).collect_all(repos, r2));
+  EXPECT_GT(improved, base);
+}
+
+TEST(Trace, FailureCarriesErrorAndAttempts) {
+  treu::core::Rng rng(12);
+  ar::CollectorConfig config;
+  config.base_failure_rate = 1.0;  // guaranteed failure
+  config.retry_fix_probability = 0.0;
+  config.escalate_to_developer = false;
+  config.max_retries = 2;
+  const ar::TraceCollector collector(config);
+  const ar::Repository repo{"r", ar::RepoKind::GitForge, 100};
+  const auto result = collector.collect(repo, rng);
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.error, ar::CollectError::None);
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_EQ(result.events_collected, 0u);
+}
+
+TEST(Trace, SuccessCollectsAllEvents) {
+  treu::core::Rng rng(13);
+  ar::CollectorConfig config;
+  config.base_failure_rate = 0.0;
+  const ar::TraceCollector collector(config);
+  const ar::Repository repo{"r", ar::RepoKind::PackageRegistry, 321};
+  const auto result = collector.collect(repo, rng);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.events_collected, 321u);
+  EXPECT_EQ(result.attempts, 1u);
+}
+
+TEST(Trace, DeveloperEscalationCountsContacts) {
+  treu::core::Rng rng(14);
+  ar::CollectorConfig config;
+  config.base_failure_rate = 0.95;
+  config.max_retries = 10;
+  const ar::TraceCollector collector(config);
+  const auto repos = ar::random_repositories(50, rng);
+  const auto results = collector.collect_all(repos, rng);
+  std::size_t contacts = 0;
+  for (const auto &r : results) contacts += r.developer_contacts;
+  EXPECT_GT(contacts, 0u);  // students did talk to package developers
+}
+
+// --- Triangulation -------------------------------------------------------------
+
+TEST(Triangulate, UnanimousEvidenceIsConfident) {
+  const std::vector<ar::Evidence> evidence{
+      {ar::Source::Diary, true, 0.75},
+      {ar::Source::Interview, true, 0.8},
+      {ar::Source::Trace, true, 0.95},
+  };
+  const auto r = ar::triangulate(evidence);
+  EXPECT_TRUE(r.consensus);
+  EXPECT_EQ(r.agreeing, 3u);
+  EXPECT_GT(r.confidence, 0.98);
+}
+
+TEST(Triangulate, StrongSourceOutvotesTwoWeakOnes) {
+  // A 0.95-reliable trace against two 0.6 witnesses: log-odds favor the
+  // trace.
+  const std::vector<ar::Evidence> evidence{
+      {ar::Source::Diary, false, 0.6},
+      {ar::Source::Interview, false, 0.6},
+      {ar::Source::Trace, true, 0.95},
+  };
+  const auto r = ar::triangulate(evidence);
+  EXPECT_TRUE(r.consensus);
+  EXPECT_EQ(r.agreeing, 1u);
+}
+
+TEST(Triangulate, ValidatesInput) {
+  EXPECT_THROW((void)ar::triangulate({}), std::invalid_argument);
+  const std::vector<ar::Evidence> bad{{ar::Source::Diary, true, 0.4}};
+  EXPECT_THROW((void)ar::triangulate(bad), std::invalid_argument);
+  const std::vector<ar::Evidence> certain{{ar::Source::Diary, true, 1.0}};
+  EXPECT_THROW((void)ar::triangulate(certain), std::invalid_argument);
+}
+
+TEST(Triangulate, ConfidenceIsCalibratedForSingleSource) {
+  const std::vector<ar::Evidence> one{{ar::Source::Interview, true, 0.8}};
+  const auto r = ar::triangulate(one);
+  EXPECT_TRUE(r.consensus);
+  EXPECT_NEAR(r.confidence, 0.8, 1e-12);
+}
+
+TEST(Triangulate, StudyShowsFusionBeatsEverySingleSource) {
+  ar::TriangulationConfig config;
+  config.n_questions = 2000;
+  treu::core::Rng rng(42);
+  const auto study = ar::run_triangulation_study(config, rng);
+  EXPECT_GT(study.triangulated_accuracy, study.diary_accuracy);
+  EXPECT_GT(study.triangulated_accuracy, study.interview_accuracy);
+  // Trace evidence is accurate but scarce: coverage reflects the §2.1
+  // collector failures.
+  EXPECT_NEAR(study.trace_coverage, 0.3, 0.05);
+  EXPECT_GT(study.trace_accuracy, 0.9);
+  // Sanity: each source lands near its configured reliability.
+  EXPECT_NEAR(study.diary_accuracy, 0.75, 0.05);
+  EXPECT_NEAR(study.interview_accuracy, 0.8, 0.05);
+}

@@ -1,0 +1,152 @@
+// Tests for the GPU-contention simulator (§3 resource issues) and the
+// roofline model.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "treu/core/rng.hpp"
+#include "treu/sched/gpu_sim.hpp"
+#include "treu/sched/roofline.hpp"
+
+namespace ts = treu::sched;
+
+TEST(GpuSim, SingleJobStartsImmediately) {
+  const ts::SimResult r = ts::simulate_fifo({{0, 1.0, 2.0, 1}}, 4);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].start_time, 1.0);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].wait, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+}
+
+TEST(GpuSim, JobsQueueWhenClusterFull) {
+  // Two 1-GPU jobs on a 1-GPU cluster, submitted together.
+  const ts::SimResult r =
+      ts::simulate_fifo({{0, 0.0, 5.0, 1}, {1, 0.0, 5.0, 1}}, 1);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].wait, 0.0);
+  EXPECT_DOUBLE_EQ(r.outcomes[1].wait, 5.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+}
+
+TEST(GpuSim, SlightlyLateJobIsStuck) {
+  // The paper's anecdote: a huge job grabs everything; a slightly later job
+  // waits the full duration.
+  const ts::SimResult r =
+      ts::simulate_fifo({{0, 0.0, 24.0, 4}, {1, 0.1, 0.5, 1}}, 4);
+  EXPECT_NEAR(r.outcomes[1].wait, 23.9, 1e-9);
+}
+
+TEST(GpuSim, FifoHeadOfLineBlocking) {
+  // A big job at the head blocks a small job even though GPUs are free
+  // (no backfill, by design).
+  const ts::SimResult r = ts::simulate_fifo(
+      {{0, 0.0, 2.0, 3}, {1, 0.5, 10.0, 4}, {2, 0.6, 1.0, 1}}, 4);
+  // Job 2 must wait for job 1 (head of queue) to start and finish region.
+  EXPECT_GT(r.outcomes[2].wait, 1.0);
+}
+
+TEST(GpuSim, InfeasibleJobThrows) {
+  EXPECT_THROW((void)ts::simulate_fifo({{0, 0.0, 1.0, 8}}, 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)ts::simulate_fifo({{0, 0.0, 1.0, 0}}, 4),
+               std::invalid_argument);
+}
+
+TEST(GpuSim, UtilizationBounded) {
+  treu::core::Rng rng(1);
+  const auto jobs = ts::deadline_rush_workload(30, 24.0, 3.0, 2, rng);
+  const ts::SimResult r = ts::simulate_fifo(jobs, 4);
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+}
+
+TEST(GpuSim, DeadlineRushPilesUpLate) {
+  treu::core::Rng rng(2);
+  const auto jobs = ts::deadline_rush_workload(200, 24.0, 3.0, 2, rng);
+  std::size_t late = 0;
+  for (const auto &j : jobs) {
+    EXPECT_GE(j.submit_time, 0.0);
+    EXPECT_LE(j.submit_time, 24.0);
+    EXPECT_GE(j.gpus, 1u);
+    EXPECT_LE(j.gpus, 2u);
+    if (j.submit_time > 12.0) ++late;
+  }
+  // sqrt sampling: ~75% of submissions land in the later half.
+  EXPECT_GT(late, 120u);
+}
+
+TEST(GpuSim, StagingReducesPeakContention) {
+  treu::core::Rng rng(3);
+  const auto jobs = ts::deadline_rush_workload(40, 4.0, 4.0, 2, rng);
+  const ts::SimResult rush = ts::simulate_fifo(jobs, 4);
+  const ts::SimResult staged = ts::simulate_staged(jobs, 4, 4);
+  // Staging reshapes the wait distribution: the *maximum* wait should not
+  // explode beyond the rush's, and both process the same jobs.
+  EXPECT_EQ(rush.outcomes.size(), staged.outcomes.size());
+  EXPECT_GT(staged.makespan, 0.0);
+}
+
+TEST(GpuSim, StagedBatchesDoNotOverlap) {
+  // With 2 batches, every batch-2 job starts at or after batch 1's makespan.
+  std::vector<ts::GpuJob> jobs;
+  for (std::size_t i = 0; i < 8; ++i) jobs.push_back({i, 0.0, 1.0, 1});
+  const ts::SimResult staged = ts::simulate_staged(jobs, 2, 2);
+  // Round-robin: batch 1 holds even-sorted indices. All 8 jobs, 2 GPUs,
+  // 1h each -> batch makespan 2h, second batch finishes by 4h.
+  EXPECT_DOUBLE_EQ(staged.makespan, 4.0);
+}
+
+TEST(GpuSim, SummaryMentionsKeyNumbers) {
+  const ts::SimResult r = ts::simulate_fifo({{0, 0.0, 1.0, 1}}, 1);
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("makespan"), std::string::npos);
+  EXPECT_NE(s.find("utilization"), std::string::npos);
+}
+
+TEST(Roofline, AttainableIsMinOfCeilings) {
+  ts::RooflineModel model;
+  model.peak_gflops = 10.0;
+  model.peak_bandwidth_gbs = 2.0;
+  EXPECT_DOUBLE_EQ(model.ridge_intensity(), 5.0);
+  EXPECT_DOUBLE_EQ(model.attainable_gflops(1.0), 2.0);   // memory bound
+  EXPECT_DOUBLE_EQ(model.attainable_gflops(100.0), 10.0);  // compute bound
+  EXPECT_TRUE(model.memory_bound(1.0));
+  EXPECT_FALSE(model.memory_bound(100.0));
+}
+
+TEST(Roofline, EfficiencyAgainstRoof) {
+  ts::RooflineModel model;
+  model.peak_gflops = 10.0;
+  model.peak_bandwidth_gbs = 2.0;
+  EXPECT_DOUBLE_EQ(model.efficiency(100.0, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(model.efficiency(1.0, 1.0), 0.5);
+}
+
+TEST(Roofline, MeasurementsArePositive) {
+  const double gflops = ts::measure_peak_gflops(std::size_t{1} << 22, 1);
+  const double bw = ts::measure_peak_bandwidth_gbs(std::size_t{1} << 20, 1);
+  EXPECT_GT(gflops, 0.0);
+  EXPECT_GT(bw, 0.0);
+}
+
+TEST(Roofline, DescribeMentionsRidge) {
+  ts::RooflineModel model;
+  model.peak_gflops = 4.0;
+  model.peak_bandwidth_gbs = 8.0;
+  EXPECT_NE(model.describe().find("ridge"), std::string::npos);
+}
+
+TEST(GpuSim, StagingShrinksUnplannedQueueing) {
+  // The §3 conclusion's proposal, quantified: staging converts unpredictable
+  // queueing (being "stuck") into planned deferral.
+  treu::core::Rng rng(21);
+  const auto jobs = ts::deadline_rush_workload(40, 4.0, 4.0, 2, rng);
+  const ts::SimResult rush = ts::simulate_fifo(jobs, 4);
+  const ts::SimResult staged = ts::simulate_staged(jobs, 4, 3);
+  EXPECT_LT(staged.mean_queueing_wait, rush.mean_queueing_wait);
+  // FIFO's queueing equals its total wait (no planned deferral).
+  EXPECT_DOUBLE_EQ(rush.mean_queueing_wait, rush.mean_wait);
+  // Staging's total delay includes the deferral, so it exceeds its own
+  // queueing component.
+  EXPECT_GE(staged.mean_wait, staged.mean_queueing_wait);
+}

@@ -1,0 +1,291 @@
+// Tests for the five §2.5 kernels: reference semantics and the central
+// schedule-correctness property — every (order, tile, unroll, parallel)
+// combination computes the same function as the naive kernel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+#include "treu/core/rng.hpp"
+#include "treu/parallel/thread_pool.hpp"
+#include "treu/tensor/kernels.hpp"
+
+namespace tt = treu::tensor;
+using treu::parallel::ThreadPool;
+
+namespace {
+
+ThreadPool &pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+}  // namespace
+
+TEST(MatVec, HandComputed) {
+  const tt::Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const std::vector<double> x{10.0, 1.0};
+  const auto y = tt::matvec(a, x);
+  EXPECT_EQ(y, (std::vector<double>{12.0, 34.0, 56.0}));
+}
+
+TEST(MatVec, DimensionMismatchThrows) {
+  const tt::Matrix a(2, 3);
+  const std::vector<double> x(4, 0.0);
+  EXPECT_THROW((void)tt::matvec(a, x), std::invalid_argument);
+}
+
+TEST(MatMul, HandComputed) {
+  const tt::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const tt::Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const tt::Matrix c = tt::matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatMul, InnerDimensionMismatchThrows) {
+  EXPECT_THROW((void)tt::matmul(tt::Matrix(2, 3), tt::Matrix(4, 2)),
+               std::invalid_argument);
+}
+
+TEST(MatMul, IdentityIsNeutral) {
+  treu::core::Rng rng(1);
+  const tt::Matrix a = tt::Matrix::random_normal(5, 5, rng);
+  EXPECT_LT(tt::matmul(a, tt::Matrix::identity(5)).max_abs_diff(a), 1e-12);
+  EXPECT_LT(tt::matmul(tt::Matrix::identity(5), a).max_abs_diff(a), 1e-12);
+}
+
+TEST(MatMulOrdered, AllSixOrdersAgree) {
+  treu::core::Rng rng(2);
+  const tt::Matrix a = tt::Matrix::random_normal(13, 9, rng);
+  const tt::Matrix b = tt::Matrix::random_normal(9, 11, rng);
+  const tt::Matrix ref = tt::matmul_ordered(a, b, tt::LoopOrder::IJK);
+  for (const auto order :
+       {tt::LoopOrder::IKJ, tt::LoopOrder::JIK, tt::LoopOrder::JKI,
+        tt::LoopOrder::KIJ, tt::LoopOrder::KJI}) {
+    const tt::Matrix c = tt::matmul_ordered(a, b, order);
+    EXPECT_LT(c.max_abs_diff(ref), 1e-10) << tt::to_string(order);
+  }
+}
+
+TEST(MatMulTransposed, MatchesMatmulOfTranspose) {
+  treu::core::Rng rng(3);
+  const tt::Matrix a = tt::Matrix::random_normal(6, 4, rng);
+  const tt::Matrix b = tt::Matrix::random_normal(5, 4, rng);  // B^T is 4x5
+  const tt::Matrix direct = tt::matmul_transposed(a, b);
+  const tt::Matrix viaT = tt::matmul(a, b.transposed());
+  EXPECT_LT(direct.max_abs_diff(viaT), 1e-12);
+}
+
+TEST(Conv1d, HandComputed) {
+  const std::vector<double> input{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> w{1.0, -1.0};
+  const auto out = tt::conv1d(input, w);
+  EXPECT_EQ(out, (std::vector<double>{-1.0, -1.0, -1.0}));
+}
+
+TEST(Conv1d, KernelLongerThanInputIsEmpty) {
+  const std::vector<double> input{1.0};
+  const std::vector<double> w{1.0, 2.0};
+  EXPECT_TRUE(tt::conv1d(input, w).empty());
+}
+
+TEST(Conv2d, HandComputed) {
+  const tt::Matrix input{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  const tt::Matrix kernel{{1.0, 0.0}, {0.0, 1.0}};
+  const tt::Matrix out = tt::conv2d(input, kernel);
+  ASSERT_EQ(out.rows(), 2u);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_DOUBLE_EQ(out(0, 0), 6.0);   // 1 + 5
+  EXPECT_DOUBLE_EQ(out(1, 1), 14.0);  // 5 + 9
+}
+
+TEST(Conv2d, EmptyWhenKernelTooBig) {
+  EXPECT_TRUE(tt::conv2d(tt::Matrix(2, 2, 1.0), tt::Matrix(3, 3, 1.0)).empty());
+}
+
+// --- Schedule-correctness property sweeps ------------------------------------
+
+struct OptCase {
+  std::size_t tile_i, tile_j, tile_k, unroll;
+  bool parallel;
+};
+
+class MatmulOptCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t, std::size_t, bool>> {};
+
+TEST_P(MatmulOptCorrectness, MatchesNaive) {
+  const auto [ti, tj, tk, unroll, par] = GetParam();
+  treu::core::Rng rng(17);
+  const tt::Matrix a = tt::Matrix::random_uniform(33, 29, rng, -1.0, 1.0);
+  const tt::Matrix b = tt::Matrix::random_uniform(29, 31, rng, -1.0, 1.0);
+  const tt::Matrix ref = tt::matmul(a, b);
+
+  tt::KernelParams params;
+  params.tile_i = ti;
+  params.tile_j = tj;
+  params.tile_k = tk;
+  params.unroll = unroll;
+  params.parallel = par;
+  const tt::Matrix c = tt::matmul_opt(a, b, params, pool());
+  EXPECT_LT(c.max_abs_diff(ref), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileUnrollSweep, MatmulOptCorrectness,
+    ::testing::Combine(::testing::Values(0, 8, 16),  // tile_i
+                       ::testing::Values(0, 8),      // tile_j
+                       ::testing::Values(0, 16),     // tile_k
+                       ::testing::Values(1, 2, 4),   // unroll
+                       ::testing::Bool()));          // parallel
+
+class MatvecOptCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, bool>> {};
+
+TEST_P(MatvecOptCorrectness, MatchesNaive) {
+  const auto [tile, unroll, par] = GetParam();
+  treu::core::Rng rng(18);
+  const tt::Matrix a = tt::Matrix::random_uniform(41, 37, rng, -1.0, 1.0);
+  std::vector<double> x(37);
+  for (auto &v : x) v = rng.uniform(-1.0, 1.0);
+  const auto ref = tt::matvec(a, x);
+
+  tt::KernelParams params;
+  params.tile_i = tile;
+  params.unroll = unroll;
+  params.parallel = par;
+  const auto y = tt::matvec_opt(a, x, params, pool());
+  ASSERT_EQ(y.size(), ref.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], ref[i], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileUnrollSweep, MatvecOptCorrectness,
+                         ::testing::Combine(::testing::Values(0, 8, 64),
+                                            ::testing::Values(1, 2, 4, 8),
+                                            ::testing::Bool()));
+
+class Conv1dOptCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, bool>> {};
+
+TEST_P(Conv1dOptCorrectness, MatchesNaive) {
+  const auto [tile, unroll, par] = GetParam();
+  treu::core::Rng rng(19);
+  std::vector<double> input(257), w(17);
+  for (auto &v : input) v = rng.uniform(-1.0, 1.0);
+  for (auto &v : w) v = rng.uniform(-1.0, 1.0);
+  const auto ref = tt::conv1d(input, w);
+
+  tt::KernelParams params;
+  params.tile_i = tile;
+  params.unroll = unroll;
+  params.parallel = par;
+  const auto out = tt::conv1d_opt(input, w, params, pool());
+  ASSERT_EQ(out.size(), ref.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], ref[i], 1e-11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileUnrollSweep, Conv1dOptCorrectness,
+                         ::testing::Combine(::testing::Values(0, 16, 64),
+                                            ::testing::Values(1, 4),
+                                            ::testing::Bool()));
+
+class Conv2dOptCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t, bool>> {};
+
+TEST_P(Conv2dOptCorrectness, MatchesNaive) {
+  const auto [ti, tj, unroll, par] = GetParam();
+  treu::core::Rng rng(20);
+  const tt::Matrix input = tt::Matrix::random_uniform(25, 27, rng, -1.0, 1.0);
+  const tt::Matrix kernel = tt::Matrix::random_uniform(5, 5, rng, -1.0, 1.0);
+  const tt::Matrix ref = tt::conv2d(input, kernel);
+
+  tt::KernelParams params;
+  params.tile_i = ti;
+  params.tile_j = tj;
+  params.unroll = unroll;
+  params.parallel = par;
+  const tt::Matrix out = tt::conv2d_opt(input, kernel, params, pool());
+  EXPECT_LT(out.max_abs_diff(ref), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileUnrollSweep, Conv2dOptCorrectness,
+                         ::testing::Combine(::testing::Values(0, 8),
+                                            ::testing::Values(0, 8),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Bool()));
+
+class MatmulTransposedOptCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t, bool>> {};
+
+TEST_P(MatmulTransposedOptCorrectness, MatchesNaive) {
+  const auto [ti, tj, unroll, par] = GetParam();
+  treu::core::Rng rng(21);
+  const tt::Matrix a = tt::Matrix::random_uniform(19, 23, rng, -1.0, 1.0);
+  const tt::Matrix b = tt::Matrix::random_uniform(17, 23, rng, -1.0, 1.0);
+  const tt::Matrix ref = tt::matmul_transposed(a, b);
+
+  tt::KernelParams params;
+  params.tile_i = ti;
+  params.tile_j = tj;
+  params.unroll = unroll;
+  params.parallel = par;
+  const tt::Matrix out = tt::matmul_transposed_opt(a, b, params, pool());
+  EXPECT_LT(out.max_abs_diff(ref), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileUnrollSweep, MatmulTransposedOptCorrectness,
+                         ::testing::Combine(::testing::Values(0, 8),
+                                            ::testing::Values(0, 16),
+                                            ::testing::Values(1, 4, 8),
+                                            ::testing::Bool()));
+
+TEST(KernelAccounting, FlopFormulas) {
+  EXPECT_DOUBLE_EQ(tt::matvec_flops(10, 20), 400.0);
+  EXPECT_DOUBLE_EQ(tt::matmul_flops(2, 3, 4), 48.0);
+  EXPECT_DOUBLE_EQ(tt::conv1d_flops(10, 3), 48.0);  // 8 outputs * 3 taps * 2
+  EXPECT_DOUBLE_EQ(tt::conv2d_flops(4, 4, 3, 3), 2.0 * 4.0 * 9.0);
+  EXPECT_DOUBLE_EQ(tt::conv1d_flops(2, 5), 0.0);  // degenerate
+}
+
+TEST(KernelAccounting, ByteFormulasArePositive) {
+  EXPECT_GT(tt::matvec_bytes(16, 16), 0.0);
+  EXPECT_GT(tt::matmul_bytes(16, 16, 16), 0.0);
+  EXPECT_GT(tt::conv1d_bytes(128, 8), 0.0);
+  EXPECT_GT(tt::conv2d_bytes(32, 32, 3, 3), 0.0);
+}
+
+TEST(MatmulAtb, MatchesTransposeThenMultiply) {
+  treu::core::Rng rng(30);
+  const tt::Matrix a = tt::Matrix::random_normal(13, 7, rng);
+  const tt::Matrix b = tt::Matrix::random_normal(13, 5, rng);
+  const tt::Matrix direct = tt::matmul_atb(a, b);
+  const tt::Matrix reference = tt::matmul(a.transposed(), b);
+  EXPECT_LT(direct.max_abs_diff(reference), 1e-12);
+}
+
+TEST(MatmulAtb, RowMismatchThrows) {
+  EXPECT_THROW((void)tt::matmul_atb(tt::Matrix(3, 2), tt::Matrix(4, 2)),
+               std::invalid_argument);
+}
+
+TEST(MatmulAtb, SparseInputFastPathIsExact) {
+  treu::core::Rng rng(31);
+  tt::Matrix a = tt::Matrix::random_normal(20, 9, rng);
+  for (auto &v : a.flat()) {
+    if (rng.bernoulli(0.7)) v = 0.0;  // mostly zeros: exercises the skip
+  }
+  const tt::Matrix b = tt::Matrix::random_normal(20, 4, rng);
+  EXPECT_LT(tt::matmul_atb(a, b).max_abs_diff(tt::matmul(a.transposed(), b)),
+            1e-12);
+}

@@ -1,0 +1,299 @@
+// Behavioural tests for nn layers: shapes, caching semantics, dropout,
+// positional-encoding structure, weight fingerprinting, optimizers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "treu/core/rng.hpp"
+#include "treu/nn/attention.hpp"
+#include "treu/nn/conv.hpp"
+#include "treu/nn/embedding.hpp"
+#include "treu/nn/layers.hpp"
+#include "treu/nn/loss.hpp"
+#include "treu/nn/optimizer.hpp"
+#include "treu/nn/param.hpp"
+
+namespace nn = treu::nn;
+namespace tt = treu::tensor;
+
+TEST(Dense, OutputShapeAndBias) {
+  treu::core::Rng rng(1);
+  nn::Dense layer(3, 5, rng);
+  layer.weight().value.fill(0.0);
+  layer.bias().value.fill(2.5);
+  const tt::Matrix out = layer.forward(tt::Matrix(4, 3, 1.0));
+  EXPECT_EQ(out.rows(), 4u);
+  EXPECT_EQ(out.cols(), 5u);
+  for (double v : out.flat()) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(Dense, RejectsWrongInputDim) {
+  treu::core::Rng rng(2);
+  nn::Dense layer(3, 5, rng);
+  EXPECT_THROW((void)layer.forward(tt::Matrix(2, 4)), std::invalid_argument);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  nn::ReLU relu;
+  const tt::Matrix out = relu.forward({{-1.0, 0.0, 2.0}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 2), 2.0);
+}
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  const tt::Matrix p = nn::softmax({{1.0, 2.0, 3.0}, {-5.0, 0.0, 5.0}});
+  for (std::size_t r = 0; r < 2; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) s += p(r, c);
+    EXPECT_NEAR(s, 1.0, 1e-12);
+    EXPECT_LT(p(r, 0), p(r, 2));
+  }
+}
+
+TEST(Softmax, NumericallyStableOnHugeLogits) {
+  const tt::Matrix p = nn::softmax({{1000.0, 1001.0}});
+  EXPECT_FALSE(std::isnan(p(0, 0)));
+  EXPECT_NEAR(p(0, 0) + p(0, 1), 1.0, 1e-12);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  treu::core::Rng rng(3);
+  nn::Dropout drop(0.5, rng);
+  drop.set_training(false);
+  const tt::Matrix x(3, 3, 1.0);
+  EXPECT_EQ(drop.forward(x), x);
+}
+
+TEST(Dropout, TrainingPreservesExpectation) {
+  treu::core::Rng rng(4);
+  nn::Dropout drop(0.4, rng);
+  const tt::Matrix x(100, 100, 1.0);
+  const tt::Matrix y = drop.forward(x);
+  double sum = 0.0;
+  for (double v : y.flat()) sum += v;
+  // Inverted dropout: E[y] == x.
+  EXPECT_NEAR(sum / static_cast<double>(y.size()), 1.0, 0.05);
+}
+
+TEST(Dropout, RejectsInvalidRate) {
+  treu::core::Rng rng(5);
+  EXPECT_THROW(nn::Dropout(1.0, rng), std::invalid_argument);
+  EXPECT_THROW(nn::Dropout(-0.1, rng), std::invalid_argument);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  nn::LayerNorm ln(4);
+  const tt::Matrix out = ln.forward({{1.0, 2.0, 3.0, 4.0}});
+  double mean = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) mean += out(0, c);
+  mean /= 4.0;
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  double var = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) var += out(0, c) * out(0, c);
+  EXPECT_NEAR(var / 4.0, 1.0, 1e-4);
+}
+
+TEST(PositionalEncoding, FirstRowIsSinCosOfZero) {
+  nn::PositionalEncoding pe(4, 6);
+  // pos 0: sin(0)=0 for even dims, cos(0)=1 for odd dims.
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(pe.table()(0, i), i % 2 == 0 ? 0.0 : 1.0);
+  }
+}
+
+TEST(PositionalEncoding, DistinctPositionsDistinctCodes) {
+  nn::PositionalEncoding pe(16, 8);
+  for (std::size_t p = 1; p < 16; ++p) {
+    double diff = 0.0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      diff += std::fabs(pe.table()(p, i) - pe.table()(p - 1, i));
+    }
+    EXPECT_GT(diff, 1e-6);
+  }
+}
+
+TEST(PositionalEncoding, RejectsOversizedSequence) {
+  nn::PositionalEncoding pe(4, 6);
+  EXPECT_THROW((void)pe.forward(tt::Matrix(5, 6)), std::invalid_argument);
+}
+
+TEST(Mha, OutputShapeMatchesInput) {
+  treu::core::Rng rng(6);
+  nn::MultiHeadAttention mha(8, 2, rng);
+  const tt::Matrix out = mha.forward(tt::Matrix(5, 8, 0.3));
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(out.cols(), 8u);
+}
+
+TEST(Mha, AttentionRowsAreDistributions) {
+  treu::core::Rng rng(7);
+  nn::MultiHeadAttention mha(8, 2, rng);
+  (void)mha.forward(tt::Matrix::random_normal(6, 8, rng));
+  for (std::size_t h = 0; h < mha.heads(); ++h) {
+    const tt::Matrix &a = mha.attention(h);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      double s = 0.0;
+      for (std::size_t c = 0; c < a.cols(); ++c) {
+        EXPECT_GE(a(r, c), 0.0);
+        s += a(r, c);
+      }
+      EXPECT_NEAR(s, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(Mha, HeadsMustDivideDim) {
+  treu::core::Rng rng(8);
+  EXPECT_THROW(nn::MultiHeadAttention(7, 2, rng), std::invalid_argument);
+}
+
+TEST(Conv1dSeq, ValidModeOutputLength) {
+  treu::core::Rng rng(9);
+  nn::Conv1dSeq conv(4, 6, 3, rng);
+  const tt::Matrix out = conv.forward(tt::Matrix(10, 4, 0.1));
+  EXPECT_EQ(out.rows(), 8u);
+  EXPECT_EQ(out.cols(), 6u);
+  EXPECT_THROW((void)conv.forward(tt::Matrix(2, 4)), std::invalid_argument);
+}
+
+TEST(GlobalMaxPool, PicksColumnMaxima) {
+  nn::GlobalMaxPool pool;
+  const tt::Matrix out = pool.forward({{1.0, 5.0}, {3.0, 2.0}, {2.0, 4.0}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 5.0);
+}
+
+TEST(Embedding, LookupAndRangeCheck) {
+  treu::core::Rng rng(10);
+  nn::Embedding emb(5, 3, rng);
+  const std::vector<std::uint32_t> tokens{0, 4};
+  const tt::Matrix out = emb.forward(tokens);
+  EXPECT_EQ(out.rows(), 2u);
+  const std::vector<std::uint32_t> bad{5};
+  EXPECT_THROW((void)emb.forward(bad), std::out_of_range);
+}
+
+TEST(Params, WeightDigestDetectsAnyChange) {
+  treu::core::Rng rng(11);
+  nn::Dense layer(4, 4, rng);
+  const auto params = layer.params();
+  const auto d1 = nn::weight_digest(
+      std::span<nn::Param *const>(params.data(), params.size()));
+  layer.weight().value(2, 2) += 1e-12;
+  const auto d2 = nn::weight_digest(
+      std::span<nn::Param *const>(params.data(), params.size()));
+  EXPECT_NE(d1, d2);
+}
+
+TEST(Params, SaveLoadRoundTrip) {
+  treu::core::Rng rng(12);
+  nn::Dense a(3, 4, rng);
+  nn::Dense b(3, 4, rng);
+  const auto pa = a.params();
+  const auto pb = b.params();
+  const auto flat =
+      nn::save_weights(std::span<nn::Param *const>(pa.data(), pa.size()));
+  nn::load_weights(std::span<nn::Param *const>(pb.data(), pb.size()), flat);
+  EXPECT_EQ(nn::weight_digest(std::span<nn::Param *const>(pa.data(), pa.size())),
+            nn::weight_digest(std::span<nn::Param *const>(pb.data(), pb.size())));
+  std::vector<double> wrong(flat.size() + 1, 0.0);
+  EXPECT_THROW(
+      nn::load_weights(std::span<nn::Param *const>(pb.data(), pb.size()), wrong),
+      std::invalid_argument);
+}
+
+TEST(Sgd, GradientDescentStepAndZeroing) {
+  nn::Param p(tt::Matrix(1, 2, 1.0));
+  p.grad(0, 0) = 0.5;
+  p.grad(0, 1) = -0.5;
+  nn::Sgd sgd(0.1);
+  nn::Param *list[] = {&p};
+  sgd.step(list);
+  EXPECT_DOUBLE_EQ(p.value(0, 0), 0.95);
+  EXPECT_DOUBLE_EQ(p.value(0, 1), 1.05);
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.0);  // zeroed after step
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  nn::Param p(tt::Matrix(1, 1, 0.0));
+  nn::Sgd sgd(1.0, 0.9);
+  nn::Param *list[] = {&p};
+  p.grad(0, 0) = 1.0;
+  sgd.step(list);
+  EXPECT_DOUBLE_EQ(p.value(0, 0), -1.0);
+  p.grad(0, 0) = 1.0;
+  sgd.step(list);  // velocity = 0.9 * 1 + 1 = 1.9
+  EXPECT_DOUBLE_EQ(p.value(0, 0), -2.9);
+}
+
+TEST(Adam, MovesAgainstGradient) {
+  nn::Param p(tt::Matrix(1, 1, 1.0));
+  nn::Adam adam(0.1);
+  nn::Param *list[] = {&p};
+  for (int i = 0; i < 10; ++i) {
+    p.grad(0, 0) = 2.0 * p.value(0, 0);  // d/dx x^2
+    adam.step(list);
+  }
+  EXPECT_LT(p.value(0, 0), 1.0);
+  EXPECT_EQ(adam.steps_taken(), 10u);
+}
+
+TEST(Adam, RejectsChangedParameterList) {
+  nn::Param p(tt::Matrix(1, 1, 1.0)), q(tt::Matrix(1, 1, 1.0));
+  nn::Adam adam(0.1);
+  nn::Param *one[] = {&p};
+  adam.step(one);
+  nn::Param *two[] = {&p, &q};
+  EXPECT_THROW(adam.step(two), std::invalid_argument);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  nn::Param p(tt::Matrix(1, 2, 0.0));
+  p.grad(0, 0) = 3.0;
+  p.grad(0, 1) = 4.0;  // norm 5
+  nn::Param *list[] = {&p};
+  const double norm = nn::clip_grad_norm(list, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(p.grad(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(p.grad(0, 1), 0.8, 1e-12);
+  // Small gradients untouched.
+  nn::clip_grad_norm(list, 10.0);
+  EXPECT_NEAR(p.grad(0, 0), 0.6, 1e-12);
+}
+
+TEST(Sequential, ParamAggregationAndDepth) {
+  treu::core::Rng rng(13);
+  nn::Sequential net;
+  net.emplace<nn::Dense>(2, 3, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Dense>(3, 2, rng);
+  EXPECT_EQ(net.depth(), 3u);
+  EXPECT_EQ(net.params().size(), 4u);  // two Dense layers x (W, b)
+}
+
+TEST(Loss, AccuracyAndArgmax) {
+  const tt::Matrix logits{{0.1, 0.9}, {0.8, 0.2}, {0.4, 0.6}};
+  const std::vector<std::size_t> labels{1, 0, 0};
+  EXPECT_EQ(nn::argmax_rows(logits), (std::vector<std::size_t>{1, 0, 1}));
+  EXPECT_NEAR(nn::accuracy(logits, labels), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Loss, CrossEntropyValidatesInput) {
+  const tt::Matrix logits(2, 3);
+  const std::vector<std::size_t> wrong_size{0};
+  EXPECT_THROW((void)nn::softmax_cross_entropy(logits, wrong_size),
+               std::invalid_argument);
+  const std::vector<std::size_t> bad_label{0, 9};
+  EXPECT_THROW((void)nn::softmax_cross_entropy(logits, bad_label),
+               std::out_of_range);
+}
+
+TEST(Loss, BinaryCrossEntropyPerfectPrediction) {
+  const tt::Matrix probs{{0.999999, 0.000001}};
+  const tt::Matrix targets{{1.0, 0.0}};
+  const auto res = nn::binary_cross_entropy(probs, targets);
+  EXPECT_LT(res.loss, 1e-4);
+}

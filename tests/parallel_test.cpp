@@ -1,0 +1,327 @@
+// Tests for treu::parallel: partitioning, thread pool semantics, and the
+// deterministic-reduction guarantees the reproducibility story rests on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "treu/core/rng.hpp"
+#include "treu/parallel/partition.hpp"
+#include "treu/parallel/reduce.hpp"
+#include "treu/parallel/scan.hpp"
+#include "treu/parallel/thread_pool.hpp"
+
+namespace tp = treu::parallel;
+
+TEST(Partition, SplitEvenCoversRangeExactly) {
+  const auto ranges = tp::split_even(100, 7);
+  ASSERT_EQ(ranges.size(), 7u);
+  std::size_t covered = 0;
+  std::size_t expected_begin = 0;
+  for (const auto &r : ranges) {
+    EXPECT_EQ(r.begin, expected_begin);
+    EXPECT_FALSE(r.empty());
+    covered += r.size();
+    expected_begin = r.end;
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(Partition, SplitEvenBalancesWithinOne) {
+  const auto ranges = tp::split_even(103, 10);
+  std::size_t min_size = 1000, max_size = 0;
+  for (const auto &r : ranges) {
+    min_size = std::min(min_size, r.size());
+    max_size = std::max(max_size, r.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(Partition, SplitEvenFewerElementsThanParts) {
+  const auto ranges = tp::split_even(3, 10);
+  EXPECT_EQ(ranges.size(), 3u);  // never returns empty ranges
+}
+
+TEST(Partition, SplitEvenEmpty) {
+  EXPECT_TRUE(tp::split_even(0, 4).empty());
+  EXPECT_TRUE(tp::split_even(10, 0).empty());
+}
+
+TEST(Partition, SplitFixedLastChunkShort) {
+  const auto ranges = tp::split_fixed(10, 4);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[2].size(), 2u);
+}
+
+TEST(Partition, SplitFixedChunkLargerThanRange) {
+  const auto ranges = tp::split_fixed(5, 100);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].size(), 5u);
+}
+
+TEST(Partition, SplitGuidedDecaysAndCovers) {
+  const auto ranges = tp::split_guided(1000, 4, 16);
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    covered += ranges[i].size();
+    if (i > 0) {
+      EXPECT_LE(ranges[i].size(), ranges[i - 1].size());
+    }
+  }
+  EXPECT_EQ(covered, 1000u);
+}
+
+TEST(Partition, ChooseChunkRespectsMinimum) {
+  EXPECT_GE(tp::choose_chunk(100, 1000, 8), 8u);
+  EXPECT_GE(tp::choose_chunk(0, 4), 1u);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  tp::ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  auto fut = pool.submit([] { return 42; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  tp::ThreadPool pool(2);
+  auto a = pool.submit([](int x) { return x * 2; }, 21);
+  auto b = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(a.get(), 42);
+  EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  tp::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto &h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRangeOffset) {
+  tp::ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  tp::ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  tp::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ChunkedVariantSeesContiguousRanges) {
+  tp::ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for_chunks(0, 100,
+                           [&](tp::Range r) {
+                             EXPECT_LT(r.begin, r.end);
+                             total += r.size();
+                           },
+                           7);
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  tp::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    tp::ThreadPool::global().parallel_for(0, 10,
+                                          [&](std::size_t) { count++; });
+  });
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(Summation, KahanBeatsNaiveOnIllConditionedInput) {
+  // 1 followed by many tiny values that naive summation drops.
+  std::vector<double> xs{1e16};
+  for (int i = 0; i < 10000; ++i) xs.push_back(1.0);
+  const auto naive = tp::evaluate_sum(xs, tp::sum_naive);
+  const auto kahan = tp::evaluate_sum(xs, tp::sum_kahan);
+  EXPECT_LE(kahan.abs_error, naive.abs_error);
+  EXPECT_LT(kahan.rel_error, 1e-12);
+}
+
+TEST(Summation, PairwiseMatchesReferenceClosely) {
+  treu::core::Rng rng(7);
+  std::vector<double> xs(100000);
+  for (auto &x : xs) x = rng.uniform(-1.0, 1.0);
+  const auto pairwise = tp::evaluate_sum(xs, tp::sum_pairwise);
+  EXPECT_LT(pairwise.rel_error, 1e-12);
+}
+
+TEST(Summation, NeumaierHandlesLargeFollowedBySmall) {
+  const std::vector<double> xs{1.0, 1e100, 1.0, -1e100};
+  EXPECT_EQ(tp::sum_neumaier(xs), 2.0);
+  // Plain Kahan famously returns 0 here.
+  EXPECT_EQ(tp::sum_kahan(xs), 0.0);
+}
+
+TEST(Summation, EmptyInputsAreZero) {
+  const std::vector<double> empty;
+  EXPECT_EQ(tp::sum_naive(empty), 0.0);
+  EXPECT_EQ(tp::sum_kahan(empty), 0.0);
+  EXPECT_EQ(tp::sum_pairwise(empty), 0.0);
+  EXPECT_EQ(tp::sum_neumaier(empty), 0.0);
+}
+
+// The core determinism property: the reduction result is bit-identical for
+// every worker count.
+class DeterministicReduction : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DeterministicReduction, SumBitsIndependentOfThreadCount) {
+  treu::core::Rng rng(123);
+  std::vector<double> xs(50000);
+  for (auto &x : xs) x = rng.normal() * std::exp(rng.uniform(-20.0, 20.0));
+
+  tp::ThreadPool reference_pool(0);
+  const double reference = tp::deterministic_sum(xs, reference_pool);
+
+  tp::ThreadPool pool(GetParam());
+  const double result = tp::deterministic_sum(xs, pool);
+  EXPECT_EQ(result, reference);  // exact bit equality
+}
+
+TEST_P(DeterministicReduction, DotBitsIndependentOfThreadCount) {
+  treu::core::Rng rng(321);
+  std::vector<double> xs(20000), ys(20000);
+  for (auto &x : xs) x = rng.normal();
+  for (auto &y : ys) y = rng.normal();
+
+  tp::ThreadPool reference_pool(0);
+  const double reference = tp::deterministic_dot(xs, ys, reference_pool);
+  tp::ThreadPool pool(GetParam());
+  EXPECT_EQ(tp::deterministic_dot(xs, ys, pool), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, DeterministicReduction,
+                         ::testing::Values(0, 1, 2, 3, 4, 7, 8));
+
+TEST(DeterministicSum, AccuracyNearReference) {
+  treu::core::Rng rng(5);
+  std::vector<double> xs(100000);
+  for (auto &x : xs) x = rng.uniform(-1000.0, 1000.0);
+  tp::ThreadPool pool(2);
+  const auto e = tp::evaluate_sum(
+      xs, [&](std::span<const double> v) { return tp::deterministic_sum(v, pool); });
+  EXPECT_LT(e.rel_error, 1e-13);
+}
+
+TEST(DeterministicSum, ChunkSizeChangesResultDeterministically) {
+  // Different chunk sizes are *different* reductions (documented); but each
+  // is stable across repeats.
+  treu::core::Rng rng(9);
+  std::vector<double> xs(10000);
+  for (auto &x : xs) x = rng.normal();
+  tp::ThreadPool pool(3);
+  const double a1 = tp::deterministic_sum(xs, pool, 128);
+  const double a2 = tp::deterministic_sum(xs, pool, 128);
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(DeterministicDot, SizeMismatchThrows) {
+  std::vector<double> a(4, 1.0), b(5, 1.0);
+  tp::ThreadPool pool(1);
+  EXPECT_THROW((void)tp::deterministic_dot(a, b, pool), std::invalid_argument);
+}
+
+TEST(DeterministicMapReduce, CountsElements) {
+  tp::ThreadPool pool(2);
+  const auto count = tp::deterministic_map_reduce<std::size_t>(
+      12345, 0, [](tp::Range r) { return r.size(); },
+      [](const std::size_t &a, const std::size_t &b) { return a + b; }, pool);
+  EXPECT_EQ(count, 12345u);
+}
+
+TEST(DeterministicMapReduce, MaxReduction) {
+  tp::ThreadPool pool(2);
+  std::vector<double> xs(1000);
+  treu::core::Rng rng(1);
+  for (auto &x : xs) x = rng.uniform();
+  xs[777] = 10.0;
+  const double mx = tp::deterministic_map_reduce<double>(
+      xs.size(), -1e300,
+      [&](tp::Range r) {
+        double m = -1e300;
+        for (std::size_t i = r.begin; i < r.end; ++i) m = std::max(m, xs[i]);
+        return m;
+      },
+      [](const double &a, const double &b) { return std::max(a, b); }, pool);
+  EXPECT_EQ(mx, 10.0);
+}
+
+// --- Deterministic scans ------------------------------------------------------
+
+TEST(Scan, InclusiveMatchesSerialReference) {
+  treu::core::Rng rng(31);
+  std::vector<double> xs(10000);
+  for (auto &x : xs) x = rng.uniform(-1.0, 1.0);
+  tp::ThreadPool pool(3);
+  const auto scanned = tp::inclusive_scan(xs, pool, 512);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+    ASSERT_NEAR(scanned[i], acc, 1e-9);
+  }
+}
+
+TEST(Scan, ExclusiveShiftsByOne) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  tp::ThreadPool pool(2);
+  const auto ex = tp::exclusive_scan(xs, pool, 2);
+  EXPECT_DOUBLE_EQ(ex[0], 0.0);
+  EXPECT_DOUBLE_EQ(ex[1], 1.0);
+  EXPECT_DOUBLE_EQ(ex[2], 3.0);
+  EXPECT_DOUBLE_EQ(ex[3], 6.0);
+}
+
+class DeterministicScan : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DeterministicScan, BitsIndependentOfThreadCount) {
+  treu::core::Rng rng(32);
+  std::vector<double> xs(20000);
+  for (auto &x : xs) x = rng.normal() * std::exp(rng.uniform(-15.0, 15.0));
+  tp::ThreadPool reference_pool(0);
+  const auto reference = tp::inclusive_scan(xs, reference_pool, 1024);
+  tp::ThreadPool pool(GetParam());
+  const auto result = tp::inclusive_scan(xs, pool, 1024);
+  ASSERT_EQ(result.size(), reference.size());
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    ASSERT_EQ(result[i], reference[i]);  // exact bit equality
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, DeterministicScan,
+                         ::testing::Values(0, 1, 3, 8));
+
+TEST(Scan, EmptyInput) {
+  tp::ThreadPool pool(1);
+  EXPECT_TRUE(tp::inclusive_scan(std::vector<double>{}, pool).empty());
+  EXPECT_TRUE(tp::exclusive_scan(std::vector<double>{}, pool).empty());
+}
+
+TEST(ParallelTransform, AppliesElementwise) {
+  std::vector<double> xs(1000);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  tp::ThreadPool pool(2);
+  const auto out =
+      tp::parallel_transform(xs, [](double v) { return v * 2.0; }, pool, 64);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_DOUBLE_EQ(out[i], 2.0 * static_cast<double>(i));
+  }
+}

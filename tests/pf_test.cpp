@@ -1,0 +1,306 @@
+// Tests for the particle filter (§2.2): weighting-kernel properties,
+// resampling invariants, the concert simulator, and end-to-end tracking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "treu/core/rng.hpp"
+#include "treu/pf/concert.hpp"
+#include "treu/pf/kalman.hpp"
+#include "treu/pf/particle_filter.hpp"
+#include "treu/pf/weighting.hpp"
+
+namespace pf = treu::pf;
+
+// --- Weighting kernels -------------------------------------------------------
+
+class WeightKernelProperties : public ::testing::TestWithParam<pf::WeightKind> {};
+
+TEST_P(WeightKernelProperties, MaximalAtZeroResidual) {
+  const auto kind = GetParam();
+  EXPECT_DOUBLE_EQ(pf::weight(kind, 0.0, 1.0), 1.0);
+}
+
+TEST_P(WeightKernelProperties, SymmetricInResidual) {
+  const auto kind = GetParam();
+  for (double r : {0.1, 0.7, 2.0, 5.0}) {
+    EXPECT_DOUBLE_EQ(pf::weight(kind, r, 1.3), pf::weight(kind, -r, 1.3));
+  }
+}
+
+TEST_P(WeightKernelProperties, MonotoneDecreasingInAbsResidual) {
+  const auto kind = GetParam();
+  double prev = pf::weight(kind, 0.0, 1.0);
+  for (double r = 0.25; r <= 4.0; r += 0.25) {
+    const double w = pf::weight(kind, r, 1.0);
+    EXPECT_LE(w, prev + 1e-12);
+    EXPECT_GE(w, 0.0);
+    prev = w;
+  }
+}
+
+TEST_P(WeightKernelProperties, WiderSigmaIsMoreForgiving) {
+  const auto kind = GetParam();
+  EXPECT_GE(pf::weight(kind, 1.0, 2.0), pf::weight(kind, 1.0, 0.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, WeightKernelProperties,
+                         ::testing::Values(pf::WeightKind::Gaussian,
+                                           pf::WeightKind::FastRational,
+                                           pf::WeightKind::Epanechnikov));
+
+TEST(WeightKernels, FastMatchesGaussianNearZero) {
+  // Second-order Taylor agreement: both ~ 1 - r^2/(2 sigma^2) near 0.
+  for (double r : {0.01, 0.05, 0.1}) {
+    EXPECT_NEAR(pf::fast_weight(r, 1.0), pf::gaussian_weight(r, 1.0), 1e-4);
+  }
+}
+
+TEST(WeightKernels, FastHasHeavierTails) {
+  for (double r : {3.0, 5.0, 8.0}) {
+    EXPECT_GT(pf::fast_weight(r, 1.0), pf::gaussian_weight(r, 1.0));
+  }
+}
+
+TEST(WeightKernels, EpanechnikovCompactSupport) {
+  EXPECT_DOUBLE_EQ(pf::epanechnikov_weight(10.0, 1.0), 0.0);
+  EXPECT_GT(pf::epanechnikov_weight(1.0, 1.0), 0.0);
+}
+
+TEST(WeightKernels, Names) {
+  EXPECT_STREQ(pf::to_string(pf::WeightKind::Gaussian), "gaussian");
+  EXPECT_STREQ(pf::to_string(pf::WeightKind::FastRational), "fast_rational");
+}
+
+// --- Resampling ---------------------------------------------------------------
+
+TEST(Resampling, EffectiveSampleSizeExtremes) {
+  const std::vector<double> uniform(10, 0.1);
+  EXPECT_NEAR(pf::effective_sample_size(uniform), 10.0, 1e-9);
+  std::vector<double> degenerate(10, 0.0);
+  degenerate[3] = 1.0;
+  EXPECT_NEAR(pf::effective_sample_size(degenerate), 1.0, 1e-9);
+}
+
+TEST(Resampling, SystematicProportionalAllocation) {
+  // Weight 0.5 on index 0, 0.25 on 1 and 3.
+  const std::vector<double> w{0.5, 0.25, 0.0, 0.25};
+  treu::core::Rng rng(1);
+  const auto parents = pf::systematic_resample(w, 1000, rng);
+  std::vector<int> counts(4, 0);
+  for (auto p : parents) counts[p]++;
+  EXPECT_EQ(counts[2], 0);  // zero-weight parent never drawn
+  EXPECT_NEAR(counts[0], 500, 1);  // systematic: variance below 1 slot
+  EXPECT_NEAR(counts[1], 250, 1);
+  EXPECT_NEAR(counts[3], 250, 1);
+}
+
+TEST(Resampling, MultinomialRoughlyProportional) {
+  const std::vector<double> w{0.7, 0.3};
+  treu::core::Rng rng(2);
+  const auto parents = pf::multinomial_resample(w, 10000, rng);
+  const auto zeros = std::count(parents.begin(), parents.end(), 0u);
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.7, 0.02);
+}
+
+// --- Concert simulator ---------------------------------------------------------
+
+TEST(Concert, ScheduleLayoutIsContiguous) {
+  treu::core::Rng rng(3);
+  const pf::ConcertSchedule schedule = pf::ConcertSchedule::random(5, rng);
+  EXPECT_EQ(schedule.size(), 5u);
+  double t = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(schedule.event(i).start, t);
+    t += schedule.event(i).duration;
+  }
+  EXPECT_DOUBLE_EQ(schedule.total_duration(), t);
+}
+
+TEST(Concert, EventLookupMatchesBoundaries) {
+  const pf::ConcertSchedule schedule(
+      {{0, 10.0, 1.0}, {0, 20.0, 2.0}, {0, 30.0, 3.0}});
+  EXPECT_EQ(schedule.event_at(-1.0), 0u);
+  EXPECT_EQ(schedule.event_at(5.0), 0u);
+  EXPECT_EQ(schedule.event_at(10.0), 1u);
+  EXPECT_EQ(schedule.event_at(29.9), 1u);
+  EXPECT_EQ(schedule.event_at(30.0), 2u);
+  EXPECT_EQ(schedule.event_at(1000.0), 2u);
+  EXPECT_DOUBLE_EQ(schedule.feature_at(15.0), 2.0);
+}
+
+TEST(Concert, FeaturesAreDistinct) {
+  treu::core::Rng rng(4);
+  const pf::ConcertSchedule schedule = pf::ConcertSchedule::random(8, rng);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      EXPECT_NE(schedule.event(i).feature, schedule.event(j).feature);
+    }
+  }
+}
+
+TEST(Concert, SimulatedTraceCoversSchedule) {
+  treu::core::Rng rng(5);
+  const pf::ConcertSchedule schedule = pf::ConcertSchedule::random(4, rng);
+  pf::SimulatorConfig config;
+  const pf::Trace trace = pf::simulate_performance(schedule, config, rng);
+  ASSERT_FALSE(trace.truth.empty());
+  EXPECT_EQ(trace.truth.size(), trace.observations.size());
+  EXPECT_DOUBLE_EQ(trace.truth.front(), 0.0);
+  // Truth is nondecreasing (rate clamps at 0.1).
+  for (std::size_t i = 1; i < trace.truth.size(); ++i) {
+    EXPECT_GE(trace.truth[i], trace.truth[i - 1]);
+  }
+}
+
+// --- Event locator -------------------------------------------------------------
+
+TEST(EventLocator, WeightsStayNormalized) {
+  treu::core::Rng rng(6);
+  const pf::ConcertSchedule schedule = pf::ConcertSchedule::random(4, rng);
+  pf::PfConfig config;
+  config.n_particles = 128;
+  pf::EventLocator locator(schedule, config, rng);
+  locator.step(schedule.event(0).feature, 1.0);
+  double sum = 0.0;
+  for (double w : locator.weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(locator.last_ess(), 0.0);
+}
+
+TEST(EventLocator, SurvivesUninformativeObservation) {
+  treu::core::Rng rng(7);
+  const pf::ConcertSchedule schedule = pf::ConcertSchedule::random(4, rng);
+  pf::PfConfig config;
+  config.n_particles = 64;
+  config.kind = pf::WeightKind::Epanechnikov;  // compact support -> can zero out
+  config.obs_sigma = 0.01;
+  pf::EventLocator locator(schedule, config, rng);
+  locator.step(1e9, 1.0);  // feature value no particle can explain
+  double sum = 0.0;
+  for (double w : locator.weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);  // degenerate update recovered to uniform
+}
+
+class TrackingByKernel : public ::testing::TestWithParam<pf::WeightKind> {};
+
+TEST_P(TrackingByKernel, TracksWellOnModerateNoise) {
+  treu::core::Rng rng(8);
+  const pf::ConcertSchedule schedule = pf::ConcertSchedule::random(6, rng);
+  pf::SimulatorConfig sim;
+  sim.obs_sigma = 0.5;
+  const pf::Trace trace = pf::simulate_performance(schedule, sim, rng);
+
+  pf::PfConfig config;
+  config.kind = GetParam();
+  config.n_particles = 256;
+  const pf::TrackingResult result = pf::track(schedule, trace, config, rng);
+  // Tracking error well under one mean event duration (~40 s).
+  EXPECT_LT(result.rmse, 20.0);
+  EXPECT_GT(result.event_accuracy, 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, TrackingByKernel,
+                         ::testing::Values(pf::WeightKind::Gaussian,
+                                           pf::WeightKind::FastRational));
+
+TEST(Tracking, MoreParticlesNoWorse) {
+  treu::core::Rng rng(9);
+  const pf::ConcertSchedule schedule = pf::ConcertSchedule::random(6, rng);
+  pf::SimulatorConfig sim;
+  const pf::Trace trace = pf::simulate_performance(schedule, sim, rng);
+  pf::PfConfig small;
+  small.n_particles = 16;
+  pf::PfConfig large;
+  large.n_particles = 512;
+  treu::core::Rng r1(10), r2(10);
+  const auto rs = pf::track(schedule, trace, small, r1);
+  const auto rl = pf::track(schedule, trace, large, r2);
+  EXPECT_LE(rl.rmse, rs.rmse * 1.5 + 5.0);  // allow noise, forbid blowup
+}
+
+TEST(Tracking, SchedulePriorHelpsWithAmbiguousFeatures) {
+  // Two events share a feature value: without the schedule prior the filter
+  // can lock onto the wrong one.
+  std::vector<pf::Event> events(4);
+  for (auto &e : events) e.duration = 30.0;
+  events[0].feature = 0.0;
+  events[1].feature = 10.0;
+  events[2].feature = 0.0;  // same signature as event 0
+  events[3].feature = 20.0;
+  const pf::ConcertSchedule schedule(std::move(events));
+  treu::core::Rng rng(11);
+  pf::SimulatorConfig sim;
+  sim.obs_sigma = 0.3;
+  const pf::Trace trace = pf::simulate_performance(schedule, sim, rng);
+
+  pf::PfConfig with_prior;
+  with_prior.use_schedule_prior = true;
+  pf::PfConfig without_prior = with_prior;
+  without_prior.use_schedule_prior = false;
+  treu::core::Rng r1(12), r2(12);
+  const auto yes = pf::track(schedule, trace, with_prior, r1);
+  const auto no = pf::track(schedule, trace, without_prior, r2);
+  EXPECT_LE(yes.rmse, no.rmse + 2.0);
+  EXPECT_LT(yes.rmse, 15.0);
+}
+
+TEST(Tracking, ZeroParticlesRejected) {
+  treu::core::Rng rng(13);
+  const pf::ConcertSchedule schedule = pf::ConcertSchedule::random(3, rng);
+  pf::PfConfig config;
+  config.n_particles = 0;
+  EXPECT_THROW(pf::EventLocator(schedule, config, rng), std::invalid_argument);
+}
+
+// --- EKF baseline (why particle filters were needed, §2.2) -------------------
+
+TEST(Ekf, PositionVarianceGrowsWithoutUsableGradient) {
+  // In the interior of an event the feature map is flat, the Jacobian is
+  // zero, and the EKF cannot contract its uncertainty.
+  std::vector<pf::Event> events(2);
+  events[0].duration = 1000.0;  // one huge flat region
+  events[0].feature = 5.0;
+  events[1].duration = 1000.0;
+  events[1].feature = 15.0;
+  const pf::ConcertSchedule schedule(std::move(events));
+  pf::EkfConfig config;
+  pf::EkfLocator ekf(schedule, config);
+  const double var_start = ekf.position_variance();
+  for (int t = 0; t < 100; ++t) {
+    ekf.step(5.0, 1.0);  // perfectly consistent observation, zero gradient
+  }
+  EXPECT_GT(ekf.position_variance(), var_start);
+}
+
+TEST(Ekf, TracksRateThroughDeadReckoning) {
+  treu::core::Rng rng(21);
+  const pf::ConcertSchedule schedule = pf::ConcertSchedule::random(4, rng);
+  pf::EkfConfig config;
+  pf::EkfLocator ekf(schedule, config);
+  for (int t = 0; t < 50; ++t) {
+    ekf.step(schedule.feature_at(static_cast<double>(t)), 1.0);
+  }
+  // Dead reckoning at the prior rate: position ~ elapsed time.
+  EXPECT_NEAR(ekf.estimate_position(), 50.0, 15.0);
+}
+
+TEST(Ekf, ParticleFilterBeatsEkfOnDriftingTempo) {
+  // The §2.2 motivation quantified: with tempo drift, dead reckoning
+  // accumulates error that the PF corrects from the features.
+  treu::core::Rng rng(22);
+  const pf::ConcertSchedule schedule = pf::ConcertSchedule::random(6, rng);
+  pf::SimulatorConfig sim;
+  sim.rate_sigma = 0.08;  // pronounced drift
+  const pf::Trace trace = pf::simulate_performance(schedule, sim, rng);
+
+  const pf::TrackingResult ekf = pf::track_ekf(schedule, trace);
+  pf::PfConfig config;
+  config.n_particles = 256;
+  treu::core::Rng track_rng(23);
+  const pf::TrackingResult particle = pf::track(schedule, trace, config, track_rng);
+  EXPECT_LT(particle.rmse, ekf.rmse);
+  EXPECT_GE(particle.event_accuracy, ekf.event_accuracy - 0.05);
+}

@@ -1,0 +1,158 @@
+// Tests for robust high-dimensional statistics (§2.10): estimator
+// correctness without corruption, robustness under the two adversaries, and
+// the dimension-independence shape of the filter's error.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "treu/core/rng.hpp"
+#include "treu/robust/estimators.hpp"
+
+namespace rb = treu::robust;
+
+namespace {
+
+std::vector<double> shifted_mean(std::size_t d, double value) {
+  return std::vector<double>(d, value);
+}
+
+}  // namespace
+
+TEST(Estimators, AllAgreeOnCleanData) {
+  treu::core::Rng rng(1);
+  const auto mu = shifted_mean(10, 2.0);
+  const auto x = rb::gaussian_sample(2000, mu, rng);
+  const double tol = 0.25;  // sampling noise at n=2000, d=10
+  EXPECT_LT(rb::estimation_error(rb::empirical_mean(x), mu), tol);
+  EXPECT_LT(rb::estimation_error(rb::coordinatewise_median(x), mu), tol);
+  EXPECT_LT(rb::estimation_error(rb::coordinatewise_trimmed_mean(x, 0.1), mu),
+            tol);
+  EXPECT_LT(rb::estimation_error(rb::geometric_median(x).point, mu), tol);
+  EXPECT_LT(rb::estimation_error(rb::filter_mean(x).mean, mu), tol * 2);
+}
+
+TEST(Estimators, EmpiricalMeanHandValues) {
+  treu::tensor::Matrix x{{1.0, 10.0}, {3.0, 20.0}};
+  const auto m = rb::empirical_mean(x);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 15.0);
+}
+
+TEST(Estimators, CoordinatewiseMedianIgnoresOneOutlier) {
+  treu::tensor::Matrix x{{0.0}, {1.0}, {2.0}, {1e9}, {1.0}};
+  EXPECT_DOUBLE_EQ(rb::coordinatewise_median(x)[0], 1.0);
+}
+
+TEST(GeometricMedian, ConvergesAndResistsOutlier) {
+  treu::core::Rng rng(2);
+  const auto mu = shifted_mean(5, 0.0);
+  auto x = rb::gaussian_sample(500, mu, rng);
+  // Smash 10 points to a far location.
+  for (std::size_t i = 0; i < 10; ++i) {
+    auto row = x.row(i);
+    for (auto &v : row) v = 1e6;
+  }
+  const auto result = rb::geometric_median(x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(rb::estimation_error(result.point, mu), 0.5);
+}
+
+TEST(GeometricMedian, EmptyThrows) {
+  EXPECT_THROW((void)rb::geometric_median(treu::tensor::Matrix()),
+               std::invalid_argument);
+}
+
+TEST(Corruption, ClusterReplacesEpsFraction) {
+  treu::core::Rng rng(3);
+  const auto mu = shifted_mean(6, 0.0);
+  auto x = rb::gaussian_sample(1000, mu, rng);
+  const auto before = x;
+  rb::corrupt_cluster(x, 0.1, mu, 50.0, rng);
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    if (x.row(i)[0] != before.row(i)[0]) ++changed;
+  }
+  EXPECT_EQ(changed, 100u);
+}
+
+TEST(Corruption, ShiftsEmpiricalMeanAsTheoryPredicts) {
+  treu::core::Rng rng(4);
+  const auto mu = shifted_mean(20, 0.0);
+  auto x = rb::gaussian_sample(3000, mu, rng);
+  const double magnitude = 30.0;
+  rb::corrupt_cluster(x, 0.1, mu, magnitude, rng);
+  // eps fraction at distance m shifts the mean by ~ eps * m = 3.
+  const double err = rb::estimation_error(rb::empirical_mean(x), mu);
+  EXPECT_NEAR(err, 3.0, 0.5);
+}
+
+TEST(FilterMean, SurvivesClusterAdversary) {
+  treu::core::Rng rng(5);
+  const auto mu = shifted_mean(20, 1.0);
+  auto x = rb::gaussian_sample(3000, mu, rng);
+  rb::corrupt_cluster(x, 0.1, mu, 30.0, rng);
+  rb::FilterConfig config;
+  config.eps = 0.1;
+  const auto result = rb::filter_mean(x, config);
+  const double filter_err = rb::estimation_error(result.mean, mu);
+  const double empirical_err =
+      rb::estimation_error(rb::empirical_mean(x), mu);
+  EXPECT_LT(filter_err, empirical_err / 3.0);  // order-of-magnitude win
+  EXPECT_LT(filter_err, 0.8);
+  EXPECT_GT(result.removed, 0u);
+}
+
+TEST(FilterMean, SurvivesSpreadAdversary) {
+  treu::core::Rng rng(6);
+  const auto mu = shifted_mean(15, 0.0);
+  auto x = rb::gaussian_sample(3000, mu, rng);
+  rb::corrupt_spread(x, 0.1, mu, 40.0, rng);
+  const auto result = rb::filter_mean(x, {.eps = 0.1});
+  EXPECT_LT(rb::estimation_error(result.mean, mu), 1.0);
+}
+
+TEST(FilterMean, CleanDataBarelyTouched) {
+  treu::core::Rng rng(7);
+  const auto mu = shifted_mean(10, 0.0);
+  const auto x = rb::gaussian_sample(2000, mu, rng);
+  const auto result = rb::filter_mean(x, {.eps = 0.05});
+  // Certification should fire early; at most a couple of rounds of removal.
+  EXPECT_LE(result.removed, x.rows() / 10);
+  EXPECT_LT(rb::estimation_error(result.mean, mu), 0.3);
+}
+
+TEST(FilterMean, EmptyThrows) {
+  EXPECT_THROW((void)rb::filter_mean(treu::tensor::Matrix()),
+               std::invalid_argument);
+}
+
+TEST(FilterMean, ErrorDoesNotExplodeWithDimension) {
+  // The headline property: coordinate-wise medians degrade ~ sqrt(d) under
+  // a colluding cluster; the filter stays roughly flat.
+  treu::core::Rng rng(8);
+  std::vector<double> filter_errs, median_errs;
+  for (const std::size_t d : {5u, 20u, 60u}) {
+    const auto mu = shifted_mean(d, 0.0);
+    auto x = rb::gaussian_sample(1500, mu, rng);
+    rb::corrupt_cluster(x, 0.1, mu, 4.0 * std::sqrt(static_cast<double>(d)),
+                        rng);
+    filter_errs.push_back(
+        rb::estimation_error(rb::filter_mean(x, {.eps = 0.1}).mean, mu));
+    median_errs.push_back(
+        rb::estimation_error(rb::coordinatewise_median(x), mu));
+  }
+  // Filter error grows far slower than the baseline across the sweep.
+  EXPECT_LT(filter_errs.back(), median_errs.back());
+  EXPECT_LT(filter_errs.back() / std::max(filter_errs.front(), 0.05), 6.0);
+}
+
+TEST(EstimationError, DimensionMismatchThrows) {
+  const std::vector<double> a(3, 0.0), b(4, 0.0);
+  EXPECT_THROW((void)rb::estimation_error(a, b), std::invalid_argument);
+}
+
+TEST(EstimationError, IsEuclidean) {
+  const std::vector<double> a{0.0, 0.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rb::estimation_error(a, b), 5.0);
+}

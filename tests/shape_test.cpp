@@ -1,0 +1,273 @@
+// Tests for the shape-atlas pipeline (§2.11): particle spread, shape
+// families with known generative modes, Procrustes invariances, and the
+// PCA mode recovery the student's study relied on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "treu/core/rng.hpp"
+#include "treu/shape/atlas.hpp"
+#include "treu/shape/families.hpp"
+#include "treu/shape/geometry.hpp"
+
+namespace sh = treu::shape;
+
+TEST(Geometry, FibonacciSphereUnitNorm) {
+  const auto dirs = sh::fibonacci_sphere(64);
+  ASSERT_EQ(dirs.size(), 64u);
+  for (const auto &d : dirs) {
+    EXPECT_NEAR(sh::norm(d), 1.0, 1e-12);
+  }
+}
+
+TEST(Geometry, FibonacciSphereWellSpread) {
+  // Nearest-neighbour distance should not collapse: for 100 points on the
+  // unit sphere the typical spacing is ~ sqrt(4pi/100) ~ 0.35.
+  const auto dirs = sh::fibonacci_sphere(100);
+  double min_dist = 10.0;
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    for (std::size_t j = i + 1; j < dirs.size(); ++j) {
+      min_dist = std::min(min_dist, sh::norm(dirs[i] - dirs[j]));
+    }
+  }
+  EXPECT_GT(min_dist, 0.15);
+}
+
+TEST(Geometry, RepulsionRelaxDecreasesEnergy) {
+  auto dirs = sh::fibonacci_sphere(32);
+  // Perturb to create room for improvement.
+  dirs[0] = sh::normalized(dirs[1] + sh::Vec3{0.01, 0.0, 0.0});
+  const double before = sh::repulsion_energy(dirs);
+  const auto energies = sh::repulsion_relax(dirs, 10);
+  ASSERT_EQ(energies.size(), 10u);
+  EXPECT_LE(energies.back(), before);
+  for (std::size_t i = 1; i < energies.size(); ++i) {
+    EXPECT_LE(energies[i], energies[i - 1] + 1e-9);
+  }
+  for (const auto &d : dirs) EXPECT_NEAR(sh::norm(d), 1.0, 1e-9);
+}
+
+TEST(Families, SphereRadiusIsDirectionIndependent) {
+  const sh::SphereFamily family(10.0, 0.15);
+  const std::vector<double> params{1.0};
+  const auto dirs = sh::fibonacci_sphere(16);
+  const double r0 = family.radius(dirs[0], params);
+  for (const auto &d : dirs) {
+    EXPECT_DOUBLE_EQ(family.radius(d, params), r0);
+  }
+  EXPECT_DOUBLE_EQ(r0, 11.5);
+}
+
+TEST(Families, EllipsoidAxesMatchParams) {
+  const sh::EllipsoidFamily family(10.0, 0.1);
+  const std::vector<double> params{1.0, 0.0, -1.0};
+  EXPECT_NEAR(family.radius({1, 0, 0}, params), 11.0, 1e-12);
+  EXPECT_NEAR(family.radius({0, 1, 0}, params), 10.0, 1e-12);
+  EXPECT_NEAR(family.radius({0, 0, 1}, params), 9.0, 1e-12);
+}
+
+TEST(Families, TwoLobeBumpIsLocalized) {
+  const sh::TwoLobeFamily family;
+  const std::vector<double> params{0.0, 1.0};
+  const sh::Vec3 lobe_axis = sh::normalized({1.0, 0.6, 0.3});
+  const sh::Vec3 opposite = lobe_axis * -1.0;
+  EXPECT_GT(family.radius(lobe_axis, params),
+            family.radius(opposite, params) + 1.0);
+}
+
+TEST(Families, ParticlesLieOnSurface) {
+  const sh::EllipsoidFamily family;
+  treu::core::Rng rng(1);
+  const auto params = family.sample_params(rng);
+  const auto dirs = sh::fibonacci_sphere(32);
+  const auto particles = family.particles(dirs, params);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    EXPECT_NEAR(sh::norm(particles[i]), family.radius(dirs[i], params), 1e-9);
+  }
+}
+
+TEST(Population, ShapesShareParticleCount) {
+  const sh::TwoLobeFamily family;
+  treu::core::Rng rng(2);
+  const auto pop = sh::sample_population(family, 12, 48, rng);
+  EXPECT_EQ(pop.shapes.size(), 12u);
+  EXPECT_EQ(pop.params.size(), 12u);
+  for (const auto &s : pop.shapes) EXPECT_EQ(s.size(), 48u);
+}
+
+TEST(Procrustes, TranslationRemoved) {
+  const sh::SphereFamily family;
+  treu::core::Rng rng(3);
+  auto pop = sh::sample_population(family, 6, 32, rng);
+  // Shift one shape far away; alignment must undo it.
+  for (auto &p : pop.shapes[2]) p = p + sh::Vec3{100.0, -50.0, 25.0};
+  const auto aligned = sh::procrustes_align(pop.shapes);
+  // Every aligned shape is centered: per-row centroid ~ 0.
+  for (std::size_t r = 0; r < aligned.rows(); ++r) {
+    double cx = 0.0;
+    for (std::size_t j = 0; j < aligned.cols(); j += 3) cx += aligned(r, j);
+    EXPECT_NEAR(cx, 0.0, 1e-9);
+  }
+}
+
+TEST(Procrustes, ScaleNormalized) {
+  const sh::SphereFamily family(10.0, 0.3);
+  treu::core::Rng rng(4);
+  const auto pop = sh::sample_population(family, 8, 32, rng);
+  const auto aligned = sh::procrustes_align(pop.shapes);
+  for (std::size_t r = 0; r < aligned.rows(); ++r) {
+    double sq = 0.0;
+    for (std::size_t j = 0; j < aligned.cols(); ++j) {
+      sq += aligned(r, j) * aligned(r, j);
+    }
+    // RMS radius 1 after scale normalization.
+    EXPECT_NEAR(std::sqrt(sq / (aligned.cols() / 3.0)), 1.0, 1e-9);
+  }
+}
+
+TEST(Procrustes, RejectsMismatchedParticleCounts) {
+  std::vector<std::vector<sh::Vec3>> shapes(2);
+  shapes[0].resize(8);
+  shapes[1].resize(9);
+  EXPECT_THROW((void)sh::procrustes_align(shapes), std::invalid_argument);
+}
+
+TEST(FlattenUnflatten, RoundTrip) {
+  const std::vector<sh::Vec3> shape{{1, 2, 3}, {4, 5, 6}};
+  const auto flat = sh::flatten(shape);
+  EXPECT_EQ(flat.size(), 6u);
+  EXPECT_EQ(sh::unflatten(flat), shape);
+  const std::vector<double> bad(4, 0.0);
+  EXPECT_THROW((void)sh::unflatten(bad), std::invalid_argument);
+}
+
+TEST(Atlas, SphereFamilyHasNoModesAfterScaleNormalization) {
+  // A sphere family's single mode is *size*; generalized Procrustes with
+  // scaling removes it, so the atlas should have essentially no variance.
+  const sh::SphereFamily family;
+  treu::core::Rng rng(5);
+  const auto pop = sh::sample_population(family, 10, 64, rng);
+  const auto atlas = sh::ShapeAtlas::build(pop);
+  const auto &eig = atlas.pca().eigenvalues();
+  EXPECT_LT(eig[0], 1e-12);
+}
+
+TEST(Atlas, SphereFamilyOneModeWithoutScaleNormalization) {
+  // Disable scale normalization and the size mode appears — exactly one.
+  const sh::SphereFamily family;
+  treu::core::Rng rng(6);
+  const auto pop = sh::sample_population(family, 14, 64, rng);
+  sh::ProcrustesOptions options;
+  options.with_scale = false;
+  const auto atlas = sh::ShapeAtlas::build(pop, options);
+  EXPECT_EQ(atlas.compact_modes(0.95), 1u);
+}
+
+TEST(Atlas, TwoLobeFamilyHasTwoDominantModes) {
+  const sh::TwoLobeFamily family;
+  treu::core::Rng rng(7);
+  const auto pop = sh::sample_population(family, 20, 96, rng);
+  sh::ProcrustesOptions options;
+  options.with_scale = false;  // keep the size mode observable
+  const auto atlas = sh::ShapeAtlas::build(pop, options);
+  const std::size_t modes95 = atlas.compact_modes(0.95);
+  EXPECT_GE(modes95, 1u);
+  EXPECT_LE(modes95, 3u);  // two generative modes + alignment residue
+}
+
+TEST(Atlas, MeanShapeHasPopulationScale) {
+  const sh::TwoLobeFamily family;
+  treu::core::Rng rng(8);
+  const auto pop = sh::sample_population(family, 10, 48, rng);
+  sh::ProcrustesOptions options;
+  options.with_scale = false;
+  const auto atlas = sh::ShapeAtlas::build(pop, options);
+  const auto mean = atlas.mean_shape();
+  EXPECT_EQ(mean.size(), 48u);
+  double avg_r = 0.0;
+  for (const auto &p : mean) avg_r += sh::norm(p);
+  avg_r /= 48.0;
+  EXPECT_NEAR(avg_r, 10.0, 2.0);  // base radius 10
+}
+
+TEST(Atlas, ModeShapeWalksSymmetrically) {
+  const sh::TwoLobeFamily family;
+  treu::core::Rng rng(9);
+  const auto pop = sh::sample_population(family, 12, 48, rng);
+  sh::ProcrustesOptions options;
+  options.with_scale = false;
+  const auto atlas = sh::ShapeAtlas::build(pop, options);
+  const auto mean = atlas.mean_shape();
+  const auto plus = atlas.mode_shape(0, 2.0);
+  const auto minus = atlas.mode_shape(0, -2.0);
+  const double d_plus = sh::ShapeAtlas::shape_distance(mean, plus);
+  const double d_minus = sh::ShapeAtlas::shape_distance(mean, minus);
+  EXPECT_NEAR(d_plus, d_minus, 1e-9);
+  EXPECT_GT(d_plus, 0.0);
+}
+
+TEST(Atlas, GeneralizationImprovesWithModes) {
+  const sh::EllipsoidFamily family;
+  treu::core::Rng rng(10);
+  const auto pop = sh::sample_population(family, 16, 48, rng);
+  sh::ProcrustesOptions options;
+  options.with_scale = false;
+  const double g1 = sh::generalization_error(pop, 1, options);
+  const double g3 = sh::generalization_error(pop, 3, options);
+  EXPECT_LE(g3, g1 + 1e-9);
+}
+
+TEST(Atlas, SpecificityFiniteAndSmallForTightFamily) {
+  const sh::SphereFamily family;
+  treu::core::Rng rng(11);
+  const auto pop = sh::sample_population(family, 10, 32, rng);
+  const auto atlas = sh::ShapeAtlas::build(pop);
+  treu::core::Rng sample_rng(12);
+  const double spec = sh::specificity(atlas, pop, 20, sample_rng);
+  EXPECT_GE(spec, 0.0);
+  EXPECT_LT(spec, 1.0);  // aligned sphere family is almost a point
+}
+
+TEST(Ablation, MoreParticlesKeepModeStructure) {
+  const sh::TwoLobeFamily family;
+  treu::core::Rng rng(13);
+  const auto rows = sh::particle_count_ablation(family, 12, {16, 32, 64}, rng);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto &row : rows) {
+    EXPECT_GE(row.modes_for_95, 1u);
+    EXPECT_LE(row.modes_for_95, 4u);
+    EXPECT_GT(row.top_mode_ratio, 0.2);
+  }
+}
+
+TEST(Population, ParticleNoiseMakesGeneralizationNonDegenerate) {
+  const sh::TwoLobeFamily family;
+  treu::core::Rng rng(20);
+  const auto clean = sh::sample_population(family, 12, 48, rng, 0, 0.0);
+  treu::core::Rng rng2(20);
+  const auto noisy = sh::sample_population(family, 12, 48, rng2, 0, 0.2);
+  sh::ProcrustesOptions options;
+  options.with_scale = false;
+  const double g_clean = sh::generalization_error(clean, 2, options);
+  const double g_noisy = sh::generalization_error(noisy, 2, options);
+  EXPECT_LT(g_clean, 1e-4);   // analytic families are essentially low-rank
+  EXPECT_GT(g_noisy, 1e-3);   // noise floors the reconstruction error
+  EXPECT_GT(g_noisy, 10.0 * g_clean);
+}
+
+TEST(Population, NoisyAtlasStillRecoversModeCount) {
+  const sh::TwoLobeFamily family;
+  treu::core::Rng rng(21);
+  const auto pop = sh::sample_population(family, 24, 96, rng, 0, 0.1);
+  sh::ProcrustesOptions options;
+  options.with_scale = false;
+  const auto atlas = sh::ShapeAtlas::build(pop, options);
+  // With mild noise the dominant structure is still the two generative
+  // modes (noise spreads thinly over many tiny eigenvalues).
+  const auto &eig = atlas.pca().eigenvalues();
+  double total = 0.0;
+  for (double e : eig) total += e;
+  double top2 = eig.size() > 1 ? eig[0] + eig[1] : eig[0];
+  EXPECT_GT(top2 / total, 0.8);
+}

@@ -1,0 +1,248 @@
+// Tests for the survey module: Likert reconstruction feasibility and —
+// the core reproduction claim — that the regenerated Tables 1/2/3 match
+// every number the paper prints.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "treu/survey/likert.hpp"
+#include "treu/survey/treu_survey.hpp"
+
+namespace sv = treu::survey;
+
+TEST(Likert, Round1Semantics) {
+  EXPECT_DOUBLE_EQ(sv::round1(2.44), 2.4);
+  EXPECT_DOUBLE_EQ(sv::round1(2.45), 2.5);
+  EXPECT_TRUE(sv::rounds_to(2.466667, 2.5));
+  EXPECT_FALSE(sv::rounds_to(2.44, 2.5));
+}
+
+TEST(Likert, ResponsesStats) {
+  sv::Responses r;
+  r.values = {1, 2, 2, 5};
+  EXPECT_DOUBLE_EQ(r.mean(), 2.5);
+  EXPECT_EQ(r.mode(), 2);
+  EXPECT_EQ(r.min(), 1);
+  EXPECT_EQ(r.max(), 5);
+}
+
+TEST(Likert, ReconstructMeanHitsTarget) {
+  for (double target : {1.0, 2.5, 3.2, 3.9, 4.4, 5.0}) {
+    const sv::Responses r = sv::reconstruct_mean(target, 15);
+    EXPECT_TRUE(sv::rounds_to(r.mean(), target)) << target;
+    for (int v : r.values) {
+      EXPECT_GE(v, 1);
+      EXPECT_LE(v, 5);
+    }
+  }
+}
+
+TEST(Likert, ReconstructMeanInfeasibleThrows) {
+  EXPECT_THROW((void)sv::reconstruct_mean(9.0, 10), std::invalid_argument);
+  EXPECT_THROW((void)sv::reconstruct_mean(3.0, 0), std::invalid_argument);
+}
+
+TEST(Likert, ReconstructMeanModeSatisfiesBoth) {
+  const sv::Responses r = sv::reconstruct_mean_mode(3.2, 3, 15);
+  EXPECT_TRUE(sv::rounds_to(r.mean(), 3.2));
+  EXPECT_EQ(r.mode(), 3);
+  const sv::Responses post = sv::reconstruct_mean_mode(3.6, 4, 10);
+  EXPECT_TRUE(sv::rounds_to(post.mean(), 3.6));
+  EXPECT_EQ(post.mode(), 4);
+}
+
+TEST(Likert, ReconstructModeRangeSatisfiesAll) {
+  const sv::Responses r = sv::reconstruct_mode_range(2, 2, 4, 10, 0, 6);
+  EXPECT_EQ(r.mode(), 2);
+  EXPECT_EQ(r.min(), 2);
+  EXPECT_EQ(r.max(), 4);
+  EXPECT_EQ(r.size(), 10u);
+}
+
+TEST(Likert, ReconstructModeRangeInfeasible) {
+  // Mode outside [min, max].
+  EXPECT_THROW((void)sv::reconstruct_mode_range(5, 1, 3, 10), std::invalid_argument);
+}
+
+TEST(Likert, PrePostSatisfiesTripleConstraint) {
+  // The pinned case from §3: poster confidence 2.9 + boost 1.6 with post
+  // mean cited as 4.4 (not 4.5 — rounding composed on unrounded means).
+  const sv::PrePost pp = sv::reconstruct_pre_post(2.9, 1.6, 15, 9, 4.4);
+  EXPECT_TRUE(sv::rounds_to(pp.pre.mean(), 2.9));
+  EXPECT_TRUE(sv::rounds_to(pp.post.mean(), 4.4));
+  EXPECT_TRUE(sv::rounds_to(pp.post.mean() - pp.pre.mean(), 1.6));
+}
+
+TEST(Likert, PrePostWithoutPostTarget) {
+  const sv::PrePost pp = sv::reconstruct_pre_post(3.7, 0.3, 15, 9);
+  EXPECT_TRUE(sv::rounds_to(pp.pre.mean(), 3.7));
+  EXPECT_TRUE(sv::rounds_to(pp.exact_boost, 0.3));
+}
+
+// --- Table 1 -------------------------------------------------------------------
+
+TEST(Table1, HasNineteenGoals) {
+  EXPECT_EQ(sv::goal_specs().size(), 19u);
+}
+
+TEST(Table1, MatrixColumnSumsMatchPaper) {
+  const auto matrix = sv::goal_matrix();
+  ASSERT_EQ(matrix.size(), sv::kPostHocComplete);
+  const auto &specs = sv::goal_specs();
+  for (std::size_t g = 0; g < specs.size(); ++g) {
+    std::size_t count = 0;
+    for (const auto &resp : matrix) count += resp[g] ? 1 : 0;
+    EXPECT_EQ(count, specs[g].accomplished) << specs[g].name;
+  }
+}
+
+TEST(Table1, RegeneratedRowsMatchPaperExactly) {
+  const auto rows = sv::table1();
+  ASSERT_EQ(rows.size(), 19u);
+  // Spot-check the published values.
+  EXPECT_EQ(rows[0].goal, "Collaborate with peers");
+  EXPECT_EQ(rows[0].accomplished, 9u);
+  EXPECT_EQ(rows[4].goal, "Work on paper-yielding research projects");
+  EXPECT_EQ(rows[4].accomplished, 5u);
+  EXPECT_EQ(rows[15].goal, "Learn a new programming language");
+  EXPECT_EQ(rows[15].accomplished, 2u);
+  // And all of them against the spec table.
+  const auto &specs = sv::goal_specs();
+  for (std::size_t g = 0; g < rows.size(); ++g) {
+    EXPECT_EQ(rows[g].accomplished, specs[g].accomplished);
+  }
+}
+
+TEST(Table1, EveryGoalAccomplishedByAtLeastOne) {
+  // §3: "All of the goals students set were accomplished by at least one
+  // person".
+  for (const auto &row : sv::table1()) {
+    EXPECT_GE(row.accomplished, 1u) << row.goal;
+  }
+}
+
+TEST(Table1, FiveGoalsAccomplishedByAllNine) {
+  std::size_t full = 0;
+  for (const auto &row : sv::table1()) {
+    if (row.accomplished == 9u) ++full;
+  }
+  EXPECT_EQ(full, 5u);  // §3 names exactly five such goals
+}
+
+// --- Table 2 -------------------------------------------------------------------
+
+TEST(Table2, HasEighteenSkills) {
+  EXPECT_EQ(sv::skill_specs().size(), 18u);
+}
+
+TEST(Table2, RegeneratedMeansAndBoostsMatchPaper) {
+  const auto rows = sv::table2();
+  const auto &specs = sv::skill_specs();
+  ASSERT_EQ(rows.size(), specs.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rows[i].apriori_mean, specs[i].apriori_mean)
+        << specs[i].name;
+    EXPECT_DOUBLE_EQ(rows[i].boost, specs[i].boost) << specs[i].name;
+  }
+}
+
+TEST(Table2, CitedPostHocMeansMatchProse) {
+  // §3 cites: poster 4.4, presenting 4.4, tools 3.9, report 3.8, design 3.4.
+  const auto rows = sv::table2();
+  const auto find = [&](const std::string &name) {
+    for (const auto &r : rows) {
+      if (r.skill == name) return r.posthoc_mean;
+    }
+    ADD_FAILURE() << "skill not found: " << name;
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(find("Preparing a scientific poster"), 4.4);
+  EXPECT_DOUBLE_EQ(find("Presenting results of my data"), 4.4);
+  EXPECT_DOUBLE_EQ(find("Using tools in the lab"), 3.9);
+  EXPECT_DOUBLE_EQ(find("Writing a scientific report"), 3.8);
+  EXPECT_DOUBLE_EQ(find("Designing own research"), 3.4);
+}
+
+TEST(Table2, BiggestGainsWhereConfidenceWasLowest) {
+  // §3: "students tended to gain the most confidence in areas where they
+  // were previously unsure of themselves" — the five largest boosts all sit
+  // in the five lowest a-priori rows.
+  const auto rows = sv::table2();
+  double low_boost_sum = 0.0, high_boost_sum = 0.0;
+  for (const auto &r : rows) {
+    if (r.apriori_mean <= 3.1) {
+      low_boost_sum += r.boost;
+    } else {
+      high_boost_sum += r.boost;
+    }
+  }
+  EXPECT_GT(low_boost_sum / 5.0, high_boost_sum / 13.0);
+}
+
+TEST(Table2, RenderedTableListsEverySkill) {
+  const std::string text = sv::render_table2();
+  for (const auto &spec : sv::skill_specs()) {
+    EXPECT_NE(text.find(spec.name), std::string::npos) << spec.name;
+  }
+}
+
+// --- Table 3 -------------------------------------------------------------------
+
+TEST(Table3, RegeneratedValuesMatchPaper) {
+  const auto rows = sv::table3();
+  const auto &specs = sv::knowledge_specs();
+  ASSERT_EQ(rows.size(), 5u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rows[i].apriori_mean, specs[i].apriori_mean)
+        << specs[i].name;
+    EXPECT_DOUBLE_EQ(rows[i].increase, specs[i].increase) << specs[i].name;
+  }
+}
+
+TEST(Table3, CoreAreasGainMostKnowledge) {
+  // §3: trust and reproducibility gained an average of 1.6; post-hoc means
+  // 3.6 and 3.9 respectively.
+  const auto data = sv::knowledge_data();
+  EXPECT_DOUBLE_EQ(sv::round1(data[0].post.mean()), 3.6);
+  EXPECT_DOUBLE_EQ(sv::round1(data[1].post.mean()), 3.9);
+  const auto rows = sv::table3();
+  EXPECT_DOUBLE_EQ((rows[0].increase + rows[1].increase) / 2.0, 1.6);
+}
+
+// --- §3 networking --------------------------------------------------------------
+
+TEST(Networking, PhdIntentStatsMatchProse) {
+  const auto stats = sv::networking_stats();
+  EXPECT_EQ(stats.phd_intent_pre.size(), sv::kAprioriRespondents);
+  EXPECT_EQ(stats.phd_intent_post.size(), sv::kPostHocRespondents);
+  EXPECT_DOUBLE_EQ(sv::round1(stats.phd_intent_pre.mean()), 3.2);
+  EXPECT_EQ(stats.phd_intent_pre.mode(), 3);
+  EXPECT_DOUBLE_EQ(sv::round1(stats.phd_intent_post.mean()), 3.6);
+  EXPECT_EQ(stats.phd_intent_post.mode(), 4);
+}
+
+TEST(Networking, RecommenderStatsMatchProse) {
+  const auto stats = sv::networking_stats();
+  EXPECT_EQ(stats.recommenders_reu.mode(), 2);
+  EXPECT_EQ(stats.recommenders_reu.min(), 2);
+  EXPECT_EQ(stats.recommenders_reu.max(), 4);
+  EXPECT_EQ(stats.recommenders_home.mode(), 2);
+  EXPECT_EQ(stats.recommenders_home.min(), 1);
+  EXPECT_EQ(stats.recommenders_home.max(), 5);
+  EXPECT_EQ(stats.recommenders_outside.mode(), 1);
+  EXPECT_EQ(stats.recommenders_outside.min(), 0);
+  EXPECT_EQ(stats.recommenders_outside.max(), 5);
+}
+
+TEST(Rendering, AllTablesRenderNonEmpty) {
+  EXPECT_FALSE(sv::render_table1().empty());
+  EXPECT_FALSE(sv::render_table2().empty());
+  EXPECT_FALSE(sv::render_table3().empty());
+  EXPECT_FALSE(sv::render_networking().empty());
+}
+
+TEST(Table2, ConfidenceBoostCorrelationIsStronglyNegative) {
+  // §3: gains concentrate where a-priori confidence was lowest.
+  EXPECT_LT(sv::confidence_boost_correlation(), -0.5);
+}

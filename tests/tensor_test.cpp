@@ -1,0 +1,235 @@
+// Tests for the Matrix/Tensor3 containers and PCA.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "treu/core/rng.hpp"
+#include "treu/tensor/matrix.hpp"
+#include "treu/tensor/pca.hpp"
+
+namespace tt = treu::tensor;
+
+TEST(Matrix, InitializerListLayout) {
+  const tt::Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((tt::Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  tt::Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  tt::Matrix m(3, 4, 1.0);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(Matrix, ElementwiseAlgebra) {
+  const tt::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const tt::Matrix b{{10.0, 20.0}, {30.0, 40.0}};
+  const tt::Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 44.0);
+  const tt::Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
+  const tt::Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  tt::Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  treu::core::Rng rng(1);
+  const tt::Matrix m = tt::Matrix::random_uniform(5, 7, rng);
+  EXPECT_EQ(m.transposed().transposed(), m);
+  EXPECT_DOUBLE_EQ(m.transposed()(3, 2), m(2, 3));
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const tt::Matrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  const tt::Matrix a{{1.0, 2.0}};
+  const tt::Matrix b{{1.5, 2.0}};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.5);
+  const tt::Matrix c(2, 2);
+  EXPECT_TRUE(std::isinf(a.max_abs_diff(c)));
+}
+
+TEST(Matrix, DigestChangesWithShapeAndContent) {
+  tt::Matrix a(2, 3, 1.0);
+  tt::Matrix b(3, 2, 1.0);
+  EXPECT_NE(a.digest(), b.digest());  // same bytes, different shape
+  tt::Matrix c = a;
+  EXPECT_EQ(c.digest(), a.digest());
+  c(0, 0) = 2.0;
+  EXPECT_NE(c.digest(), a.digest());
+}
+
+TEST(Matrix, IdentityAndColumn) {
+  const tt::Matrix eye = tt::Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  const auto col = eye.column(1);
+  EXPECT_EQ(col, (std::vector<double>{0.0, 1.0, 0.0}));
+}
+
+TEST(Matrix, RandomGeneratorsAreSeedDeterministic) {
+  treu::core::Rng r1(5), r2(5);
+  EXPECT_EQ(tt::Matrix::random_normal(4, 4, r1),
+            tt::Matrix::random_normal(4, 4, r2));
+}
+
+TEST(Tensor3, IndexingAndChannelExtraction) {
+  tt::Tensor3 t(2, 3, 4);
+  t(1, 2, 3) = 7.0;
+  EXPECT_DOUBLE_EQ(t(1, 2, 3), 7.0);
+  EXPECT_DOUBLE_EQ(t(0, 2, 3), 0.0);
+  const tt::Matrix ch = t.channel(1);
+  EXPECT_DOUBLE_EQ(ch(2, 3), 7.0);
+}
+
+TEST(Pca, RecoversSingleDirectionOfVariance) {
+  // Data varies along (1, 1, 0)/sqrt(2) only.
+  treu::core::Rng rng(11);
+  tt::Matrix obs(200, 3);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double t = rng.normal(0.0, 2.0);
+    obs(i, 0) = 5.0 + t;
+    obs(i, 1) = -1.0 + t;
+    obs(i, 2) = 3.0;
+  }
+  const tt::Pca pca = tt::Pca::fit(obs);
+  EXPECT_GT(pca.eigenvalues()[0], 1.0);
+  EXPECT_NEAR(pca.eigenvalues()[1], 0.0, 1e-9);
+  EXPECT_NEAR(pca.explained_variance_ratio(1), 1.0, 1e-9);
+  const auto comp = pca.component(0);
+  EXPECT_NEAR(std::fabs(comp[0]), std::sqrt(0.5), 1e-6);
+  EXPECT_NEAR(std::fabs(comp[1]), std::sqrt(0.5), 1e-6);
+  EXPECT_NEAR(comp[2], 0.0, 1e-9);
+}
+
+TEST(Pca, TransformInverseRoundTrip) {
+  treu::core::Rng rng(12);
+  const tt::Matrix obs = tt::Matrix::random_normal(50, 6, rng);
+  const tt::Pca pca = tt::Pca::fit(obs);  // all components kept
+  const auto scores = pca.transform(obs.row(7));
+  const auto back = pca.inverse_transform(scores);
+  for (std::size_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(back[j], obs(7, j), 1e-8);
+  }
+}
+
+TEST(Pca, TruncatedReconstructionDegradesGracefully) {
+  treu::core::Rng rng(13);
+  tt::Matrix obs(100, 4);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double big = rng.normal(0.0, 10.0);
+    const double small = rng.normal(0.0, 0.1);
+    obs(i, 0) = big;
+    obs(i, 1) = big * 0.5 + small;
+    obs(i, 2) = small;
+    obs(i, 3) = rng.normal(0.0, 0.05);
+  }
+  const tt::Pca pca = tt::Pca::fit(obs, 1);
+  const auto scores = pca.transform(obs.row(0));
+  const auto recon = pca.inverse_transform(scores);
+  double err = 0.0;
+  for (std::size_t j = 0; j < 4; ++j) err += std::fabs(recon[j] - obs(0, j));
+  EXPECT_LT(err, 2.0);
+}
+
+TEST(Pca, ModesForVariance) {
+  treu::core::Rng rng(14);
+  tt::Matrix obs(200, 3);
+  for (std::size_t i = 0; i < 200; ++i) {
+    obs(i, 0) = rng.normal(0.0, 10.0);
+    obs(i, 1) = rng.normal(0.0, 1.0);
+    obs(i, 2) = rng.normal(0.0, 0.01);
+  }
+  const tt::Pca pca = tt::Pca::fit(obs);
+  EXPECT_EQ(pca.modes_for_variance(0.95), 1u);
+  EXPECT_LE(pca.modes_for_variance(0.999), 2u);
+}
+
+TEST(Pca, ModeSampleMovesAlongComponent) {
+  treu::core::Rng rng(15);
+  tt::Matrix obs(100, 2);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double t = rng.normal();
+    obs(i, 0) = t;
+    obs(i, 1) = 0.01 * rng.normal();
+  }
+  const tt::Pca pca = tt::Pca::fit(obs);
+  const auto plus = pca.mode_sample(0, 2.0);
+  const auto minus = pca.mode_sample(0, -2.0);
+  EXPECT_GT(std::fabs(plus[0] - minus[0]), 1.0);
+  EXPECT_LT(std::fabs(plus[1] - minus[1]), 0.5);
+}
+
+TEST(Pca, TransformRejectsWrongDimension) {
+  treu::core::Rng rng(16);
+  const tt::Matrix obs = tt::Matrix::random_normal(20, 3, rng);
+  const tt::Pca pca = tt::Pca::fit(obs);
+  const std::vector<double> wrong(5, 0.0);
+  EXPECT_THROW((void)pca.transform(wrong), std::invalid_argument);
+}
+
+TEST(Pca, DualPathMatchesPrimalOnWideData) {
+  // Wide case (d > n) routes through the Gram-matrix dual; both paths must
+  // agree on spectrum and on the spanned components.
+  treu::core::Rng rng(17);
+  const tt::Matrix obs = tt::Matrix::random_normal(8, 40, rng);
+  const tt::Pca wide = tt::Pca::fit(obs);  // dual path (40 > 8)
+  // Project the data into 8 informative dims via its own scores to compare
+  // reconstruction fidelity instead of raw vectors (bases may differ by
+  // rotation within eigenspaces, but reconstruction is unique).
+  for (std::size_t i = 0; i < obs.rows(); ++i) {
+    const auto scores = wide.transform(obs.row(i));
+    const auto recon = wide.inverse_transform(scores);
+    for (std::size_t j = 0; j < obs.cols(); ++j) {
+      EXPECT_NEAR(recon[j], obs(i, j), 1e-8);
+    }
+  }
+  // Nonzero eigenvalue count is at most n - 1.
+  std::size_t nonzero = 0;
+  for (double v : wide.eigenvalues()) {
+    if (v > 1e-10) ++nonzero;
+  }
+  EXPECT_LE(nonzero, 7u);
+}
+
+TEST(Pca, DualComponentsAreOrthonormal) {
+  treu::core::Rng rng(18);
+  const tt::Matrix obs = tt::Matrix::random_normal(6, 30, rng);
+  const tt::Pca pca = tt::Pca::fit(obs);
+  for (std::size_t a = 0; a < pca.n_components(); ++a) {
+    if (pca.eigenvalues()[a] <= 1e-10) continue;
+    for (std::size_t b = a; b < pca.n_components(); ++b) {
+      if (pca.eigenvalues()[b] <= 1e-10) continue;
+      double dot = 0.0;
+      const auto ca = pca.component(a);
+      const auto cb = pca.component(b);
+      for (std::size_t j = 0; j < ca.size(); ++j) dot += ca[j] * cb[j];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}

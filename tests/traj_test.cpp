@@ -1,0 +1,190 @@
+// Tests for trajectory distances, feature embeddings, and the §2.4
+// semantic-extension experiment.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "treu/core/rng.hpp"
+#include "treu/traj/dataset.hpp"
+#include "treu/traj/features.hpp"
+#include "treu/traj/trajectory.hpp"
+
+namespace tj = treu::traj;
+
+namespace {
+
+tj::Trajectory line(double x0, double y0, double x1, double y1, std::size_t n) {
+  tj::Trajectory t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(n - 1);
+    t[i] = {x0 + f * (x1 - x0), y0 + f * (y1 - y0)};
+  }
+  return t;
+}
+
+}  // namespace
+
+TEST(Distances, ArcLength) {
+  EXPECT_DOUBLE_EQ(tj::arc_length(line(0, 0, 3, 4, 2)), 5.0);
+  EXPECT_DOUBLE_EQ(tj::arc_length({{1.0, 1.0}}), 0.0);
+}
+
+TEST(Distances, PointToTrajectoryUsesSegments) {
+  const tj::Trajectory t = line(0, 0, 10, 0, 2);  // one long segment
+  // Closest point is interior to the segment, not a waypoint.
+  EXPECT_DOUBLE_EQ(tj::point_to_trajectory({5.0, 3.0}, t), 3.0);
+  EXPECT_DOUBLE_EQ(tj::point_to_trajectory({-2.0, 0.0}, t), 2.0);  // clamps
+}
+
+TEST(Distances, MetricAxiomsOnSamples) {
+  treu::core::Rng rng(1);
+  const tj::Trajectory a = line(0, 0, 10, 5, 8);
+  const tj::Trajectory b = line(0, 2, 10, 7, 8);
+  // Identity and symmetry for all three shape distances.
+  EXPECT_NEAR(tj::hausdorff(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(tj::discrete_frechet(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(tj::dtw(a, a), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tj::hausdorff(a, b), tj::hausdorff(b, a));
+  EXPECT_DOUBLE_EQ(tj::discrete_frechet(a, b), tj::discrete_frechet(b, a));
+}
+
+TEST(Distances, ParallelLinesKnownValues) {
+  const tj::Trajectory a = line(0, 0, 10, 0, 11);
+  const tj::Trajectory b = line(0, 2, 10, 2, 11);
+  EXPECT_NEAR(tj::hausdorff(a, b), 2.0, 1e-12);
+  EXPECT_NEAR(tj::discrete_frechet(a, b), 2.0, 1e-12);
+  EXPECT_NEAR(tj::dtw(a, b), 22.0, 1e-9);  // 11 matched pairs * 2
+}
+
+TEST(Distances, FrechetAtLeastHausdorff) {
+  treu::core::Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    tj::Trajectory a(6), b(7);
+    for (auto &p : a) p = {rng.uniform(0, 10), rng.uniform(0, 10)};
+    for (auto &p : b) p = {rng.uniform(0, 10), rng.uniform(0, 10)};
+    EXPECT_GE(tj::discrete_frechet(a, b) + 1e-9, tj::hausdorff(a, b));
+  }
+}
+
+TEST(Distances, DtwHandlesDifferentLengths) {
+  // DTW is an unnormalized sum of matched costs; the invariant worth
+  // testing is *relative*: a finer sampling of the same path is far closer
+  // than a genuinely displaced path of the same length.
+  const tj::Trajectory a = line(0, 0, 10, 0, 5);
+  const tj::Trajectory same_path_finer = line(0, 0, 10, 0, 50);
+  const tj::Trajectory displaced = line(0, 2, 10, 2, 50);
+  EXPECT_LT(tj::dtw(a, same_path_finer), tj::dtw(a, displaced) * 0.5);
+}
+
+TEST(Distances, EmptyThrows) {
+  const tj::Trajectory empty;
+  const tj::Trajectory ok = line(0, 0, 1, 1, 3);
+  EXPECT_THROW((void)tj::hausdorff(empty, ok), std::invalid_argument);
+  EXPECT_THROW((void)tj::discrete_frechet(ok, empty), std::invalid_argument);
+  EXPECT_THROW((void)tj::dtw(empty, empty), std::invalid_argument);
+}
+
+TEST(Resample, PreservesEndpointsAndCount) {
+  const tj::Trajectory t = line(0, 0, 10, 0, 4);
+  const tj::Trajectory r = tj::resample(t, 21);
+  ASSERT_EQ(r.size(), 21u);
+  EXPECT_DOUBLE_EQ(r.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(r.back().x, 10.0);
+  // Evenly spaced along a straight line.
+  for (std::size_t i = 1; i < r.size(); ++i) {
+    EXPECT_NEAR(r[i].x - r[i - 1].x, 0.5, 1e-9);
+  }
+}
+
+TEST(Resample, DegenerateInputs) {
+  EXPECT_TRUE(tj::resample({}, 5).empty());
+  const tj::Trajectory single{{2.0, 3.0}};
+  const auto r = tj::resample(single, 4);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[3], (tj::Point{2.0, 3.0}));
+}
+
+TEST(Features, LandmarkFeaturesInUnitInterval) {
+  treu::core::Rng rng(3);
+  const tj::Landmarks lm = tj::Landmarks::grid(3, 100.0);
+  EXPECT_EQ(lm.points.size(), 9u);
+  const tj::Trajectory t = line(10, 10, 90, 90, 10);
+  const auto f = tj::landmark_features(t, lm, 20.0);
+  ASSERT_EQ(f.size(), 9u);
+  for (double v : f) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Features, NearLandmarkDominates) {
+  tj::Landmarks lm;
+  lm.points = {{0.0, 0.0}, {100.0, 100.0}};
+  const tj::Trajectory t = line(0, 0, 10, 0, 5);  // passes through landmark 0
+  const auto f = tj::landmark_features(t, lm, 10.0);
+  EXPECT_GT(f[0], f[1]);
+  EXPECT_NEAR(f[0], 1.0, 1e-9);
+}
+
+TEST(Features, SemanticCountsOnlyNearbyPois) {
+  tj::PoiMap map;
+  map.n_categories = 2;
+  map.pois = {{{5.0, 0.5}, 0}, {{5.0, 100.0}, 1}};
+  const tj::Trajectory t = line(0, 0, 10, 0, 5);
+  const auto f = tj::semantic_features(t, map, 2.0);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_GT(f[0], 0.0);   // poi 0 within radius
+  EXPECT_DOUBLE_EQ(f[1], 0.0);  // poi 1 far away
+}
+
+TEST(Features, CombinedConcatenates) {
+  treu::core::Rng rng(4);
+  const tj::Landmarks lm = tj::Landmarks::grid(2, 50.0);
+  const tj::PoiMap map = tj::PoiMap::random(10, 3, 50.0, rng);
+  const tj::Trajectory t = line(0, 0, 50, 50, 6);
+  const auto f = tj::combined_features(t, lm, 10.0, map, 5.0);
+  EXPECT_EQ(f.size(), 4u + 3u);
+}
+
+TEST(Knn, PerfectOnSeparatedClusters) {
+  std::vector<std::vector<double>> train_x = {
+      {0.0, 0.0}, {0.1, 0.0}, {5.0, 5.0}, {5.1, 5.0}};
+  std::vector<std::size_t> train_y = {0, 0, 1, 1};
+  std::vector<std::vector<double>> test_x = {{0.05, 0.05}, {5.05, 4.95}};
+  std::vector<std::size_t> test_y = {0, 1};
+  EXPECT_DOUBLE_EQ(tj::knn_accuracy(train_x, train_y, test_x, test_y, 1), 1.0);
+  EXPECT_DOUBLE_EQ(tj::knn_accuracy(train_x, train_y, test_x, test_y, 3), 1.0);
+}
+
+TEST(Knn, SizeMismatchThrows) {
+  EXPECT_THROW((void)tj::knn_accuracy({{0.0}}, {0, 1}, {}, {}, 1),
+               std::invalid_argument);
+}
+
+TEST(Corpus, GeneratesExpectedCounts) {
+  treu::core::Rng rng(5);
+  const tj::PoiMap map = tj::PoiMap::random(40, 2, 100.0, rng);
+  tj::CorpusConfig config;
+  const auto corpus = tj::make_corpus({{0, 0}, {1, 1}}, 7, map, config, rng);
+  EXPECT_EQ(corpus.size(), 14u);
+  for (const auto &lt : corpus) {
+    EXPECT_EQ(lt.trajectory.size(), config.waypoints);
+    EXPECT_LT(lt.label, 2u);
+  }
+}
+
+TEST(SemanticExperiment, SemanticFeaturesSeparateSharedShapeClasses) {
+  // The §2.4 controlled experiment shape: semantic features give a clear
+  // improvement over shape-only features when classes share route families.
+  tj::SemanticExperimentConfig config;
+  config.per_class = 24;
+  treu::core::Rng rng(2);
+  const auto result = tj::run_semantic_experiment(config, rng);
+  EXPECT_GT(result.n_train, 0u);
+  EXPECT_GT(result.n_test, 0u);
+  // Clear improvement: combined beats shape-only by a real margin.
+  EXPECT_GT(result.combined_accuracy, result.shape_only_accuracy + 0.1);
+  // Shape-only cannot fully resolve classes that share a route family.
+  EXPECT_LT(result.shape_only_accuracy, result.combined_accuracy);
+}

@@ -1,0 +1,134 @@
+// Tests for machine unlearning (§2.3): blob data, targeted forgetting, the
+// retrain oracle comparison, and SISA exact unlearning.
+
+#include <gtest/gtest.h>
+
+#include "treu/core/rng.hpp"
+#include "treu/unlearn/unlearn.hpp"
+
+namespace ul = treu::unlearn;
+namespace nn = treu::nn;
+
+TEST(Blobs, ShapesAndLabels) {
+  treu::core::Rng rng(1);
+  const nn::Dataset data = ul::make_blobs(4, 25, 6, 1.0, rng);
+  EXPECT_EQ(data.size(), 100u);
+  EXPECT_EQ(data.x.cols(), 6u);
+  std::vector<std::size_t> counts(4, 0);
+  for (auto y : data.y) counts[y]++;
+  for (auto c : counts) EXPECT_EQ(c, 25u);
+}
+
+TEST(Blobs, ClassesAreLearnable) {
+  treu::core::Rng rng(2);
+  const nn::Dataset data = ul::make_blobs(3, 80, 8, 1.0, rng);
+  nn::MlpClassifier model(8, {16}, 3, rng);
+  nn::TrainConfig config;
+  config.epochs = 30;
+  config.lr = 3e-3;
+  model.train(data, config, rng);
+  EXPECT_GT(model.evaluate(data), 0.95);
+}
+
+TEST(UnlearnClass, ForgetsTargetKeepsRest) {
+  treu::core::Rng rng(3);
+  const nn::Dataset data = ul::make_blobs(4, 100, 8, 1.0, rng);
+  auto [retain, forget] = data.without_class(0);
+
+  nn::MlpClassifier model(8, {24}, 4, rng);
+  nn::TrainConfig train;
+  train.epochs = 20;
+  model.train(data, train, rng);
+  const double forget_prob_before =
+      model.mean_class_probability(forget.x, 0);
+  ASSERT_GT(forget_prob_before, 0.7);  // model initially knows class 0
+
+  ul::UnlearnConfig config;
+  const ul::UnlearnOutcome outcome =
+      ul::unlearn_class(model, forget, retain, retain, 0, config, rng);
+
+  EXPECT_LT(outcome.forget_probability, 0.2);
+  EXPECT_LT(outcome.forget_accuracy, 0.2);
+  EXPECT_GT(outcome.retain_accuracy, 0.85);
+  EXPECT_GT(outcome.seconds, 0.0);
+}
+
+TEST(Experiment, UnlearnComparableToRetrainButFaster) {
+  // The §2.3 headline: comparable performance to a model that never saw the
+  // data, at a fraction of the retraining time.
+  ul::ExperimentConfig config;
+  config.per_class = 80;
+  config.train.epochs = 15;
+  treu::core::Rng rng(4);
+  const ul::ExperimentResult r = ul::run_unlearning_experiment(config, rng);
+
+  // Original model knew the forget class.
+  EXPECT_GT(r.original_forget_prob, 0.5);
+  // Both unlearn and retrain push forget probability way down.
+  EXPECT_LT(r.retrain_forget_prob, 0.15);
+  EXPECT_LT(r.unlearn_forget_prob, 0.25);
+  // Retained accuracy comparable (within 10 points of the oracle).
+  EXPECT_GT(r.unlearn_retain_acc, r.retrain_retain_acc - 0.10);
+  // And cheaper than retraining.
+  EXPECT_LT(r.unlearn_seconds, r.retrain_seconds);
+}
+
+TEST(Sisa, ShardsPartitionData) {
+  treu::core::Rng rng(5);
+  const nn::Dataset data = ul::make_blobs(3, 30, 6, 1.0, rng);
+  ul::SisaEnsemble ensemble(5, 6, {12}, 3, rng);
+  nn::TrainConfig config;
+  config.epochs = 40;
+  config.lr = 5e-3;
+  config.batch_size = 16;
+  ensemble.fit(data, config, rng);
+  EXPECT_EQ(ensemble.shard_count(), 5u);
+  EXPECT_GT(ensemble.evaluate(data), 0.8);
+}
+
+TEST(Sisa, ForgettingRetrainsOnlyAffectedShards) {
+  treu::core::Rng rng(6);
+  const nn::Dataset data = ul::make_blobs(3, 30, 6, 1.0, rng);
+  ul::SisaEnsemble ensemble(5, 6, {12}, 3, rng);
+  nn::TrainConfig config;
+  config.epochs = 20;
+  config.lr = 5e-3;
+  config.batch_size = 16;
+  ensemble.fit(data, config, rng);
+
+  // Indices 0 and 5 land in shards 0 (round robin i % 5).
+  const std::size_t retrained = ensemble.forget_samples({0, 5}, config, rng);
+  EXPECT_EQ(retrained, 1u);
+
+  // Deleting samples across three shards retrains exactly those three.
+  const std::size_t retrained2 =
+      ensemble.forget_samples({1, 2, 3}, config, rng);
+  EXPECT_EQ(retrained2, 3u);
+}
+
+TEST(Sisa, NoopDeletionRetrainsNothing) {
+  treu::core::Rng rng(7);
+  const nn::Dataset data = ul::make_blobs(2, 20, 4, 1.0, rng);
+  ul::SisaEnsemble ensemble(4, 4, {8}, 2, rng);
+  nn::TrainConfig config;
+  config.epochs = 10;
+  config.lr = 5e-3;
+  ensemble.fit(data, config, rng);
+  EXPECT_EQ(ensemble.forget_samples({}, config, rng), 0u);
+  EXPECT_EQ(ensemble.forget_samples({99999}, config, rng), 0u);
+}
+
+TEST(Sisa, StillAccurateAfterForgetting) {
+  treu::core::Rng rng(8);
+  const nn::Dataset data = ul::make_blobs(3, 40, 6, 1.0, rng);
+  ul::SisaEnsemble ensemble(4, 6, {12}, 3, rng);
+  nn::TrainConfig config;
+  config.epochs = 40;
+  config.lr = 5e-3;
+  config.batch_size = 16;
+  ensemble.fit(data, config, rng);
+  std::vector<std::size_t> victims;
+  for (std::size_t i = 0; i < 12; ++i) victims.push_back(i * 7);
+  ensemble.forget_samples(victims, config, rng);
+  EXPECT_GT(ensemble.evaluate(data), 0.75);
+}

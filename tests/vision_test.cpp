@@ -1,0 +1,213 @@
+// Tests for the scene generator, detector plumbing (IoU, NMS, AP), and the
+// deaugmentation experiment (§2.6).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "treu/core/rng.hpp"
+#include "treu/vision/detector.hpp"
+#include "treu/vision/scene.hpp"
+
+namespace vi = treu::vision;
+
+TEST(Iou, IdenticalBoxesIsOne) {
+  const vi::Box b{10, 10, 4, 0};
+  EXPECT_DOUBLE_EQ(vi::iou(b, b), 1.0);
+}
+
+TEST(Iou, DisjointBoxesIsZero) {
+  EXPECT_DOUBLE_EQ(vi::iou({0, 0, 2, 0}, {100, 100, 2, 0}), 0.0);
+}
+
+TEST(Iou, HalfOverlapKnownValue) {
+  // Two 4x4 boxes offset by half their width: inter 8, union 24.
+  const vi::Box a{0, 0, 2, 0};
+  const vi::Box b{2, 0, 2, 0};
+  EXPECT_NEAR(vi::iou(a, b), 8.0 / 24.0, 1e-12);
+}
+
+TEST(Scene, RenderIsDeterministicPerTime) {
+  vi::SceneConfig config;
+  treu::core::Rng rng(1);
+  const vi::Scene scene(config, rng);
+  treu::core::Rng r1(2), r2(2);
+  const vi::Frame a = scene.render(5, r1);
+  const vi::Frame b = scene.render(5, r2);
+  EXPECT_EQ(a.image, b.image);
+  EXPECT_EQ(a.truth.size(), b.truth.size());
+}
+
+TEST(Scene, TruthBoxesAreOnScreenAndTyped) {
+  vi::SceneConfig config;
+  treu::core::Rng rng(3);
+  const vi::Scene scene(config, rng);
+  treu::core::Rng frame_rng(4);
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < 20; ++t) {
+    const vi::Frame f = scene.render(t * 50, frame_rng);
+    EXPECT_EQ(f.image.rows(), config.image_size);
+    for (const auto &b : f.truth) {
+      EXPECT_LT(b.cls, vi::kNumClasses);
+      EXPECT_GE(b.x, 0.0);
+      EXPECT_LT(b.x, static_cast<double>(config.image_size));
+      EXPECT_GE(b.size, config.min_size);
+      EXPECT_LE(b.size, config.max_size);
+    }
+    total += f.truth.size();
+  }
+  EXPECT_GT(total, 20u);  // the crop row is populated
+}
+
+TEST(Scene, DistantFramesShowDifferentPlants) {
+  // The crop-row property: the same world cell renders identically, but
+  // frames far apart share no plants at all.
+  vi::SceneConfig config;
+  treu::core::Rng rng(33);
+  const vi::Scene scene(config, rng);
+  treu::core::Rng frame_rng(34);
+  const vi::Frame near_a = scene.render(0, frame_rng);
+  const vi::Frame near_b = scene.render(1, frame_rng);
+  const vi::Frame far_away = scene.render(5000, frame_rng);
+  // Adjacent frames: almost identical truth (shifted by camera_speed).
+  ASSERT_FALSE(near_a.truth.empty());
+  EXPECT_NEAR(static_cast<double>(near_a.truth.size()),
+              static_cast<double>(near_b.truth.size()), 1.0);
+  // Distant frame: plant layout differs (different sizes at positions).
+  bool identical = far_away.truth.size() == near_a.truth.size();
+  if (identical) {
+    for (std::size_t i = 0; i < near_a.truth.size(); ++i) {
+      if (std::fabs(far_away.truth[i].size - near_a.truth[i].size) > 1e-9) {
+        identical = false;
+      }
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(Scene, PixelsInUnitRange) {
+  vi::SceneConfig config;
+  treu::core::Rng rng(5);
+  const vi::Scene scene(config, rng);
+  treu::core::Rng frame_rng(6);
+  const vi::Frame f = scene.render(10, frame_rng);
+  for (double p : f.image.flat()) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Scene, ConsecutiveFramesOverlapStridedDoNot) {
+  // The §2.6 redundancy structure: consecutive frames are near-duplicates;
+  // strided frames show distinct content.
+  vi::SceneConfig config;
+  config.noise = 0.0;  // isolate object movement
+  treu::core::Rng rng(7);
+  const vi::Scene scene(config, rng);
+  treu::core::Rng frames_rng(8);
+  const auto consecutive = vi::consecutive_frames(scene, 0, 12, frames_rng);
+  const auto strided = vi::strided_frames(scene, 0, 12, 24, frames_rng);
+  const double overlap_consecutive = vi::frame_overlap(consecutive);
+  const double overlap_strided = vi::frame_overlap(strided);
+  EXPECT_LT(overlap_consecutive, overlap_strided);
+  EXPECT_GT(overlap_strided, overlap_consecutive * 2.0);
+}
+
+TEST(Nms, SuppressesOverlappingSameClass) {
+  std::vector<vi::Detection> dets = {
+      {{10, 10, 4, 0}, 0.9},
+      {{11, 10, 4, 0}, 0.8},   // overlaps the first, same class
+      {{30, 30, 4, 0}, 0.7},   // far away
+      {{11, 10, 4, 1}, 0.85},  // overlaps but different class: kept
+  };
+  const auto kept = vi::nms(dets, 0.3);
+  EXPECT_EQ(kept.size(), 3u);
+  EXPECT_DOUBLE_EQ(kept[0].score, 0.9);  // highest kept first
+}
+
+TEST(Nms, EmptyInputOk) {
+  EXPECT_TRUE(vi::nms({}, 0.5).empty());
+}
+
+TEST(WindowFeatures, PooledDimensions) {
+  treu::tensor::Matrix img(16, 16, 0.5);
+  const auto f = vi::window_features(img, 2, 2, 12);
+  EXPECT_EQ(f.size(), 36u);  // (12/2)^2
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(AveragePrecision, PerfectDetectorScoresOne) {
+  vi::SceneConfig config;
+  treu::core::Rng rng(9);
+  const vi::Scene scene(config, rng);
+  treu::core::Rng frame_rng(10);
+  const auto frames = vi::consecutive_frames(scene, 0, 3, frame_rng);
+  // Oracle detections = ground truth with confidence 1.
+  std::vector<std::vector<vi::Detection>> dets(frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    for (const auto &t : frames[f].truth) dets[f].push_back({t, 1.0});
+  }
+  EXPECT_NEAR(vi::mean_average_precision(dets, frames, 0.5), 1.0, 1e-9);
+}
+
+TEST(AveragePrecision, FalsePositivesLowerPrecision) {
+  vi::SceneConfig config;
+  treu::core::Rng rng(11);
+  const vi::Scene scene(config, rng);
+  treu::core::Rng frame_rng(12);
+  const auto frames = vi::consecutive_frames(scene, 0, 2, frame_rng);
+  std::vector<std::vector<vi::Detection>> dets(frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    for (const auto &t : frames[f].truth) dets[f].push_back({t, 0.9});
+    // Junk detections in empty corners.
+    dets[f].push_back({{1.0, 1.0, 1.0, 0}, 0.95});
+  }
+  const double ap = vi::average_precision(dets, frames, 0, 0.5);
+  EXPECT_LT(ap, 1.0);
+  EXPECT_GT(ap, 0.3);
+}
+
+TEST(AveragePrecision, NoTruthMeansZero) {
+  std::vector<vi::Frame> frames(1);
+  frames[0].image = treu::tensor::Matrix(8, 8);
+  std::vector<std::vector<vi::Detection>> dets(1);
+  EXPECT_DOUBLE_EQ(vi::average_precision(dets, frames, 0, 0.5), 0.0);
+}
+
+TEST(Detector, TrainsAndDetectsSomething) {
+  vi::SceneConfig scene_config;
+  scene_config.image_size = 32;
+  treu::core::Rng rng(13);
+  const vi::Scene scene(scene_config, rng);
+  treu::core::Rng frame_rng(14);
+  const auto frames = vi::consecutive_frames(scene, 0, 8, frame_rng);
+
+  vi::DetectorConfig config;
+  config.train.epochs = 8;
+  treu::core::Rng det_rng(15);
+  vi::SlidingWindowDetector detector(config, det_rng);
+  treu::core::Rng fit_rng(16);
+  detector.fit(frames, fit_rng);
+  std::size_t total_dets = 0;
+  for (const auto &f : frames) total_dets += detector.detect(f).size();
+  EXPECT_GT(total_dets, 0u);
+}
+
+TEST(DeaugExperiment, DeaugmentedGeneralizesBetter) {
+  // The §2.6 headline result. Small-but-real configuration.
+  vi::DeaugExperimentConfig config;
+  config.scene.image_size = 32;
+  config.frames_budget = 10;
+  config.stride = 24;
+  config.validation_frames = 8;
+  config.detector.train.epochs = 12;
+  config.detector.background_keep = 0.15;
+  config.detector.score_threshold = 0.5;
+  treu::core::Rng rng(17);
+  const auto result = vi::run_deaug_experiment(config, rng);
+  // Redundancy diagnostic must replicate the dataset structure.
+  EXPECT_LT(result.original_overlap, result.deaug_overlap);
+  // Generalization: deaugmented-trained detector at least matches, and the
+  // experiment exists to show it typically wins.
+  EXPECT_GE(result.deaug_map, result.original_map);
+}
