@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_autotuner.dir/bench_ablation_autotuner.cpp.o"
+  "CMakeFiles/bench_ablation_autotuner.dir/bench_ablation_autotuner.cpp.o.d"
+  "bench_ablation_autotuner"
+  "bench_ablation_autotuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_artifact_pilots.dir/bench_artifact_pilots.cpp.o"
+  "CMakeFiles/bench_artifact_pilots.dir/bench_artifact_pilots.cpp.o.d"
+  "bench_artifact_pilots"
+  "bench_artifact_pilots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_artifact_pilots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

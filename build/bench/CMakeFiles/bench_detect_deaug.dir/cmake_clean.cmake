@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detect_deaug.dir/bench_detect_deaug.cpp.o"
+  "CMakeFiles/bench_detect_deaug.dir/bench_detect_deaug.cpp.o.d"
+  "bench_detect_deaug"
+  "bench_detect_deaug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detect_deaug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

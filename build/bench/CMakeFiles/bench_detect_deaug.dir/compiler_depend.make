@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_detect_deaug.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpu_contention.dir/bench_gpu_contention.cpp.o"
+  "CMakeFiles/bench_gpu_contention.dir/bench_gpu_contention.cpp.o.d"
+  "bench_gpu_contention"
+  "bench_gpu_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpu_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_histo_multitask.cpp" "bench/CMakeFiles/bench_histo_multitask.dir/bench_histo_multitask.cpp.o" "gcc" "bench/CMakeFiles/bench_histo_multitask.dir/bench_histo_multitask.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/treu_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/pf/CMakeFiles/treu_pf.dir/DependInfo.cmake"
+  "/root/repo/build/src/unlearn/CMakeFiles/treu_unlearn.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/treu_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/treu_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/histo/CMakeFiles/treu_histo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/treu_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/treu_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/treu_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/treu_robust.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/treu_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/treu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/treu_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/artifact/CMakeFiles/treu_artifact.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

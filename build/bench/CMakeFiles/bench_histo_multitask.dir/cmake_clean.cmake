@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_histo_multitask.dir/bench_histo_multitask.cpp.o"
+  "CMakeFiles/bench_histo_multitask.dir/bench_histo_multitask.cpp.o.d"
+  "bench_histo_multitask"
+  "bench_histo_multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_histo_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

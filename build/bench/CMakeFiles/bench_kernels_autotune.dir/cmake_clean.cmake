@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernels_autotune.dir/bench_kernels_autotune.cpp.o"
+  "CMakeFiles/bench_kernels_autotune.dir/bench_kernels_autotune.cpp.o.d"
+  "bench_kernels_autotune"
+  "bench_kernels_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernels_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

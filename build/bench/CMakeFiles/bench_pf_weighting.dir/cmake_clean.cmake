@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pf_weighting.dir/bench_pf_weighting.cpp.o"
+  "CMakeFiles/bench_pf_weighting.dir/bench_pf_weighting.cpp.o.d"
+  "bench_pf_weighting"
+  "bench_pf_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pf_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robust_mean.dir/bench_robust_mean.cpp.o"
+  "CMakeFiles/bench_robust_mean.dir/bench_robust_mean.cpp.o.d"
+  "bench_robust_mean"
+  "bench_robust_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robust_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

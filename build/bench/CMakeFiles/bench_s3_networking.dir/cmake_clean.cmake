@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s3_networking.dir/bench_s3_networking.cpp.o"
+  "CMakeFiles/bench_s3_networking.dir/bench_s3_networking.cpp.o.d"
+  "bench_s3_networking"
+  "bench_s3_networking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s3_networking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shape_atlas.dir/bench_shape_atlas.cpp.o"
+  "CMakeFiles/bench_shape_atlas.dir/bench_shape_atlas.cpp.o.d"
+  "bench_shape_atlas"
+  "bench_shape_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shape_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

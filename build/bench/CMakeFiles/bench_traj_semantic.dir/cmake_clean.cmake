@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traj_semantic.dir/bench_traj_semantic.cpp.o"
+  "CMakeFiles/bench_traj_semantic.dir/bench_traj_semantic.cpp.o.d"
+  "bench_traj_semantic"
+  "bench_traj_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traj_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unlearn.dir/bench_unlearn.cpp.o"
+  "CMakeFiles/bench_unlearn.dir/bench_unlearn.cpp.o.d"
+  "bench_unlearn"
+  "bench_unlearn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unlearn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_matmul.dir/autotune_matmul.cpp.o"
+  "CMakeFiles/autotune_matmul.dir/autotune_matmul.cpp.o.d"
+  "autotune_matmul"
+  "autotune_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

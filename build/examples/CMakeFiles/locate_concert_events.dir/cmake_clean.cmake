@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locate_concert_events.dir/locate_concert_events.cpp.o"
+  "CMakeFiles/locate_concert_events.dir/locate_concert_events.cpp.o.d"
+  "locate_concert_events"
+  "locate_concert_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locate_concert_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_mean_demo.dir/robust_mean_demo.cpp.o"
+  "CMakeFiles/robust_mean_demo.dir/robust_mean_demo.cpp.o.d"
+  "robust_mean_demo"
+  "robust_mean_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_mean_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_atlas_demo.dir/shape_atlas_demo.cpp.o"
+  "CMakeFiles/shape_atlas_demo.dir/shape_atlas_demo.cpp.o.d"
+  "shape_atlas_demo"
+  "shape_atlas_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_atlas_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/artifact/src/review.cpp" "src/artifact/CMakeFiles/treu_artifact.dir/src/review.cpp.o" "gcc" "src/artifact/CMakeFiles/treu_artifact.dir/src/review.cpp.o.d"
+  "/root/repo/src/artifact/src/study.cpp" "src/artifact/CMakeFiles/treu_artifact.dir/src/study.cpp.o" "gcc" "src/artifact/CMakeFiles/treu_artifact.dir/src/study.cpp.o.d"
+  "/root/repo/src/artifact/src/trace.cpp" "src/artifact/CMakeFiles/treu_artifact.dir/src/trace.cpp.o" "gcc" "src/artifact/CMakeFiles/treu_artifact.dir/src/trace.cpp.o.d"
+  "/root/repo/src/artifact/src/triangulate.cpp" "src/artifact/CMakeFiles/treu_artifact.dir/src/triangulate.cpp.o" "gcc" "src/artifact/CMakeFiles/treu_artifact.dir/src/triangulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/treu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

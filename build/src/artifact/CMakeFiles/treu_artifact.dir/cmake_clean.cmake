@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_artifact.dir/src/review.cpp.o"
+  "CMakeFiles/treu_artifact.dir/src/review.cpp.o.d"
+  "CMakeFiles/treu_artifact.dir/src/study.cpp.o"
+  "CMakeFiles/treu_artifact.dir/src/study.cpp.o.d"
+  "CMakeFiles/treu_artifact.dir/src/trace.cpp.o"
+  "CMakeFiles/treu_artifact.dir/src/trace.cpp.o.d"
+  "CMakeFiles/treu_artifact.dir/src/triangulate.cpp.o"
+  "CMakeFiles/treu_artifact.dir/src/triangulate.cpp.o.d"
+  "libtreu_artifact.a"
+  "libtreu_artifact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_artifact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtreu_artifact.a"
+)

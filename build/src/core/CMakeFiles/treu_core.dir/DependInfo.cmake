@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/compare.cpp" "src/core/CMakeFiles/treu_core.dir/src/compare.cpp.o" "gcc" "src/core/CMakeFiles/treu_core.dir/src/compare.cpp.o.d"
+  "/root/repo/src/core/src/env.cpp" "src/core/CMakeFiles/treu_core.dir/src/env.cpp.o" "gcc" "src/core/CMakeFiles/treu_core.dir/src/env.cpp.o.d"
+  "/root/repo/src/core/src/journal_io.cpp" "src/core/CMakeFiles/treu_core.dir/src/journal_io.cpp.o" "gcc" "src/core/CMakeFiles/treu_core.dir/src/journal_io.cpp.o.d"
+  "/root/repo/src/core/src/manifest.cpp" "src/core/CMakeFiles/treu_core.dir/src/manifest.cpp.o" "gcc" "src/core/CMakeFiles/treu_core.dir/src/manifest.cpp.o.d"
+  "/root/repo/src/core/src/provenance.cpp" "src/core/CMakeFiles/treu_core.dir/src/provenance.cpp.o" "gcc" "src/core/CMakeFiles/treu_core.dir/src/provenance.cpp.o.d"
+  "/root/repo/src/core/src/rng.cpp" "src/core/CMakeFiles/treu_core.dir/src/rng.cpp.o" "gcc" "src/core/CMakeFiles/treu_core.dir/src/rng.cpp.o.d"
+  "/root/repo/src/core/src/sha256.cpp" "src/core/CMakeFiles/treu_core.dir/src/sha256.cpp.o" "gcc" "src/core/CMakeFiles/treu_core.dir/src/sha256.cpp.o.d"
+  "/root/repo/src/core/src/stats.cpp" "src/core/CMakeFiles/treu_core.dir/src/stats.cpp.o" "gcc" "src/core/CMakeFiles/treu_core.dir/src/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/treu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_core.dir/src/compare.cpp.o"
+  "CMakeFiles/treu_core.dir/src/compare.cpp.o.d"
+  "CMakeFiles/treu_core.dir/src/env.cpp.o"
+  "CMakeFiles/treu_core.dir/src/env.cpp.o.d"
+  "CMakeFiles/treu_core.dir/src/journal_io.cpp.o"
+  "CMakeFiles/treu_core.dir/src/journal_io.cpp.o.d"
+  "CMakeFiles/treu_core.dir/src/manifest.cpp.o"
+  "CMakeFiles/treu_core.dir/src/manifest.cpp.o.d"
+  "CMakeFiles/treu_core.dir/src/provenance.cpp.o"
+  "CMakeFiles/treu_core.dir/src/provenance.cpp.o.d"
+  "CMakeFiles/treu_core.dir/src/rng.cpp.o"
+  "CMakeFiles/treu_core.dir/src/rng.cpp.o.d"
+  "CMakeFiles/treu_core.dir/src/sha256.cpp.o"
+  "CMakeFiles/treu_core.dir/src/sha256.cpp.o.d"
+  "CMakeFiles/treu_core.dir/src/stats.cpp.o"
+  "CMakeFiles/treu_core.dir/src/stats.cpp.o.d"
+  "libtreu_core.a"
+  "libtreu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

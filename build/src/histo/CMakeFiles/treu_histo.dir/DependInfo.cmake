@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/histo/src/data.cpp" "src/histo/CMakeFiles/treu_histo.dir/src/data.cpp.o" "gcc" "src/histo/CMakeFiles/treu_histo.dir/src/data.cpp.o.d"
+  "/root/repo/src/histo/src/segnet.cpp" "src/histo/CMakeFiles/treu_histo.dir/src/segnet.cpp.o" "gcc" "src/histo/CMakeFiles/treu_histo.dir/src/segnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/treu_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/treu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

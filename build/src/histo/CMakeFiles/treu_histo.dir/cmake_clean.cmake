@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_histo.dir/src/data.cpp.o"
+  "CMakeFiles/treu_histo.dir/src/data.cpp.o.d"
+  "CMakeFiles/treu_histo.dir/src/segnet.cpp.o"
+  "CMakeFiles/treu_histo.dir/src/segnet.cpp.o.d"
+  "libtreu_histo.a"
+  "libtreu_histo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_histo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/src/attention.cpp" "src/nn/CMakeFiles/treu_nn.dir/src/attention.cpp.o" "gcc" "src/nn/CMakeFiles/treu_nn.dir/src/attention.cpp.o.d"
+  "/root/repo/src/nn/src/conv.cpp" "src/nn/CMakeFiles/treu_nn.dir/src/conv.cpp.o" "gcc" "src/nn/CMakeFiles/treu_nn.dir/src/conv.cpp.o.d"
+  "/root/repo/src/nn/src/embedding.cpp" "src/nn/CMakeFiles/treu_nn.dir/src/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/treu_nn.dir/src/embedding.cpp.o.d"
+  "/root/repo/src/nn/src/layer.cpp" "src/nn/CMakeFiles/treu_nn.dir/src/layer.cpp.o" "gcc" "src/nn/CMakeFiles/treu_nn.dir/src/layer.cpp.o.d"
+  "/root/repo/src/nn/src/layers.cpp" "src/nn/CMakeFiles/treu_nn.dir/src/layers.cpp.o" "gcc" "src/nn/CMakeFiles/treu_nn.dir/src/layers.cpp.o.d"
+  "/root/repo/src/nn/src/loss.cpp" "src/nn/CMakeFiles/treu_nn.dir/src/loss.cpp.o" "gcc" "src/nn/CMakeFiles/treu_nn.dir/src/loss.cpp.o.d"
+  "/root/repo/src/nn/src/mlp.cpp" "src/nn/CMakeFiles/treu_nn.dir/src/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/treu_nn.dir/src/mlp.cpp.o.d"
+  "/root/repo/src/nn/src/optimizer.cpp" "src/nn/CMakeFiles/treu_nn.dir/src/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/treu_nn.dir/src/optimizer.cpp.o.d"
+  "/root/repo/src/nn/src/param.cpp" "src/nn/CMakeFiles/treu_nn.dir/src/param.cpp.o" "gcc" "src/nn/CMakeFiles/treu_nn.dir/src/param.cpp.o.d"
+  "/root/repo/src/nn/src/spatial.cpp" "src/nn/CMakeFiles/treu_nn.dir/src/spatial.cpp.o" "gcc" "src/nn/CMakeFiles/treu_nn.dir/src/spatial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/treu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

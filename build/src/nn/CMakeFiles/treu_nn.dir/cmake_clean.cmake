@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_nn.dir/src/attention.cpp.o"
+  "CMakeFiles/treu_nn.dir/src/attention.cpp.o.d"
+  "CMakeFiles/treu_nn.dir/src/conv.cpp.o"
+  "CMakeFiles/treu_nn.dir/src/conv.cpp.o.d"
+  "CMakeFiles/treu_nn.dir/src/embedding.cpp.o"
+  "CMakeFiles/treu_nn.dir/src/embedding.cpp.o.d"
+  "CMakeFiles/treu_nn.dir/src/layer.cpp.o"
+  "CMakeFiles/treu_nn.dir/src/layer.cpp.o.d"
+  "CMakeFiles/treu_nn.dir/src/layers.cpp.o"
+  "CMakeFiles/treu_nn.dir/src/layers.cpp.o.d"
+  "CMakeFiles/treu_nn.dir/src/loss.cpp.o"
+  "CMakeFiles/treu_nn.dir/src/loss.cpp.o.d"
+  "CMakeFiles/treu_nn.dir/src/mlp.cpp.o"
+  "CMakeFiles/treu_nn.dir/src/mlp.cpp.o.d"
+  "CMakeFiles/treu_nn.dir/src/optimizer.cpp.o"
+  "CMakeFiles/treu_nn.dir/src/optimizer.cpp.o.d"
+  "CMakeFiles/treu_nn.dir/src/param.cpp.o"
+  "CMakeFiles/treu_nn.dir/src/param.cpp.o.d"
+  "CMakeFiles/treu_nn.dir/src/spatial.cpp.o"
+  "CMakeFiles/treu_nn.dir/src/spatial.cpp.o.d"
+  "libtreu_nn.a"
+  "libtreu_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

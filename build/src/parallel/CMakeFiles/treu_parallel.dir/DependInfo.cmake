@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/src/partition.cpp" "src/parallel/CMakeFiles/treu_parallel.dir/src/partition.cpp.o" "gcc" "src/parallel/CMakeFiles/treu_parallel.dir/src/partition.cpp.o.d"
+  "/root/repo/src/parallel/src/reduce.cpp" "src/parallel/CMakeFiles/treu_parallel.dir/src/reduce.cpp.o" "gcc" "src/parallel/CMakeFiles/treu_parallel.dir/src/reduce.cpp.o.d"
+  "/root/repo/src/parallel/src/scan.cpp" "src/parallel/CMakeFiles/treu_parallel.dir/src/scan.cpp.o" "gcc" "src/parallel/CMakeFiles/treu_parallel.dir/src/scan.cpp.o.d"
+  "/root/repo/src/parallel/src/thread_pool.cpp" "src/parallel/CMakeFiles/treu_parallel.dir/src/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/treu_parallel.dir/src/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_parallel.dir/src/partition.cpp.o"
+  "CMakeFiles/treu_parallel.dir/src/partition.cpp.o.d"
+  "CMakeFiles/treu_parallel.dir/src/reduce.cpp.o"
+  "CMakeFiles/treu_parallel.dir/src/reduce.cpp.o.d"
+  "CMakeFiles/treu_parallel.dir/src/scan.cpp.o"
+  "CMakeFiles/treu_parallel.dir/src/scan.cpp.o.d"
+  "CMakeFiles/treu_parallel.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/treu_parallel.dir/src/thread_pool.cpp.o.d"
+  "libtreu_parallel.a"
+  "libtreu_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

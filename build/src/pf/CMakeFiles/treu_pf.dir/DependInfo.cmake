@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pf/src/concert.cpp" "src/pf/CMakeFiles/treu_pf.dir/src/concert.cpp.o" "gcc" "src/pf/CMakeFiles/treu_pf.dir/src/concert.cpp.o.d"
+  "/root/repo/src/pf/src/kalman.cpp" "src/pf/CMakeFiles/treu_pf.dir/src/kalman.cpp.o" "gcc" "src/pf/CMakeFiles/treu_pf.dir/src/kalman.cpp.o.d"
+  "/root/repo/src/pf/src/particle_filter.cpp" "src/pf/CMakeFiles/treu_pf.dir/src/particle_filter.cpp.o" "gcc" "src/pf/CMakeFiles/treu_pf.dir/src/particle_filter.cpp.o.d"
+  "/root/repo/src/pf/src/weighting.cpp" "src/pf/CMakeFiles/treu_pf.dir/src/weighting.cpp.o" "gcc" "src/pf/CMakeFiles/treu_pf.dir/src/weighting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/treu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

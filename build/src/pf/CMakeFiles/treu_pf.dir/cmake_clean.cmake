@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_pf.dir/src/concert.cpp.o"
+  "CMakeFiles/treu_pf.dir/src/concert.cpp.o.d"
+  "CMakeFiles/treu_pf.dir/src/kalman.cpp.o"
+  "CMakeFiles/treu_pf.dir/src/kalman.cpp.o.d"
+  "CMakeFiles/treu_pf.dir/src/particle_filter.cpp.o"
+  "CMakeFiles/treu_pf.dir/src/particle_filter.cpp.o.d"
+  "CMakeFiles/treu_pf.dir/src/weighting.cpp.o"
+  "CMakeFiles/treu_pf.dir/src/weighting.cpp.o.d"
+  "libtreu_pf.a"
+  "libtreu_pf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_pf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/src/dqn.cpp" "src/rl/CMakeFiles/treu_rl.dir/src/dqn.cpp.o" "gcc" "src/rl/CMakeFiles/treu_rl.dir/src/dqn.cpp.o.d"
+  "/root/repo/src/rl/src/env.cpp" "src/rl/CMakeFiles/treu_rl.dir/src/env.cpp.o" "gcc" "src/rl/CMakeFiles/treu_rl.dir/src/env.cpp.o.d"
+  "/root/repo/src/rl/src/qnet.cpp" "src/rl/CMakeFiles/treu_rl.dir/src/qnet.cpp.o" "gcc" "src/rl/CMakeFiles/treu_rl.dir/src/qnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/treu_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/treu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

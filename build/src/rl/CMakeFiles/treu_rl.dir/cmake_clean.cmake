@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_rl.dir/src/dqn.cpp.o"
+  "CMakeFiles/treu_rl.dir/src/dqn.cpp.o.d"
+  "CMakeFiles/treu_rl.dir/src/env.cpp.o"
+  "CMakeFiles/treu_rl.dir/src/env.cpp.o.d"
+  "CMakeFiles/treu_rl.dir/src/qnet.cpp.o"
+  "CMakeFiles/treu_rl.dir/src/qnet.cpp.o.d"
+  "libtreu_rl.a"
+  "libtreu_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

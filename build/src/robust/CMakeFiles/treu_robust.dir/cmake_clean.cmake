@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_robust.dir/src/estimators.cpp.o"
+  "CMakeFiles/treu_robust.dir/src/estimators.cpp.o.d"
+  "libtreu_robust.a"
+  "libtreu_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

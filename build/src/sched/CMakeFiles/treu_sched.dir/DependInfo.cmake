@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/src/autotune.cpp" "src/sched/CMakeFiles/treu_sched.dir/src/autotune.cpp.o" "gcc" "src/sched/CMakeFiles/treu_sched.dir/src/autotune.cpp.o.d"
+  "/root/repo/src/sched/src/gpu_sim.cpp" "src/sched/CMakeFiles/treu_sched.dir/src/gpu_sim.cpp.o" "gcc" "src/sched/CMakeFiles/treu_sched.dir/src/gpu_sim.cpp.o.d"
+  "/root/repo/src/sched/src/problem.cpp" "src/sched/CMakeFiles/treu_sched.dir/src/problem.cpp.o" "gcc" "src/sched/CMakeFiles/treu_sched.dir/src/problem.cpp.o.d"
+  "/root/repo/src/sched/src/roofline.cpp" "src/sched/CMakeFiles/treu_sched.dir/src/roofline.cpp.o" "gcc" "src/sched/CMakeFiles/treu_sched.dir/src/roofline.cpp.o.d"
+  "/root/repo/src/sched/src/schedule.cpp" "src/sched/CMakeFiles/treu_sched.dir/src/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/treu_sched.dir/src/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/treu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_sched.dir/src/autotune.cpp.o"
+  "CMakeFiles/treu_sched.dir/src/autotune.cpp.o.d"
+  "CMakeFiles/treu_sched.dir/src/gpu_sim.cpp.o"
+  "CMakeFiles/treu_sched.dir/src/gpu_sim.cpp.o.d"
+  "CMakeFiles/treu_sched.dir/src/problem.cpp.o"
+  "CMakeFiles/treu_sched.dir/src/problem.cpp.o.d"
+  "CMakeFiles/treu_sched.dir/src/roofline.cpp.o"
+  "CMakeFiles/treu_sched.dir/src/roofline.cpp.o.d"
+  "CMakeFiles/treu_sched.dir/src/schedule.cpp.o"
+  "CMakeFiles/treu_sched.dir/src/schedule.cpp.o.d"
+  "libtreu_sched.a"
+  "libtreu_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_shape.dir/src/atlas.cpp.o"
+  "CMakeFiles/treu_shape.dir/src/atlas.cpp.o.d"
+  "CMakeFiles/treu_shape.dir/src/families.cpp.o"
+  "CMakeFiles/treu_shape.dir/src/families.cpp.o.d"
+  "CMakeFiles/treu_shape.dir/src/geometry.cpp.o"
+  "CMakeFiles/treu_shape.dir/src/geometry.cpp.o.d"
+  "libtreu_shape.a"
+  "libtreu_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

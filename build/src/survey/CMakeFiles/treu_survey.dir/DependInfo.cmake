@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/survey/src/likert.cpp" "src/survey/CMakeFiles/treu_survey.dir/src/likert.cpp.o" "gcc" "src/survey/CMakeFiles/treu_survey.dir/src/likert.cpp.o.d"
+  "/root/repo/src/survey/src/treu_survey.cpp" "src/survey/CMakeFiles/treu_survey.dir/src/treu_survey.cpp.o" "gcc" "src/survey/CMakeFiles/treu_survey.dir/src/treu_survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/treu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

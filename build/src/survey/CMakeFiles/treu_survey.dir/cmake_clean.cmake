@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_survey.dir/src/likert.cpp.o"
+  "CMakeFiles/treu_survey.dir/src/likert.cpp.o.d"
+  "CMakeFiles/treu_survey.dir/src/treu_survey.cpp.o"
+  "CMakeFiles/treu_survey.dir/src/treu_survey.cpp.o.d"
+  "libtreu_survey.a"
+  "libtreu_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/src/kernels.cpp" "src/tensor/CMakeFiles/treu_tensor.dir/src/kernels.cpp.o" "gcc" "src/tensor/CMakeFiles/treu_tensor.dir/src/kernels.cpp.o.d"
+  "/root/repo/src/tensor/src/linalg.cpp" "src/tensor/CMakeFiles/treu_tensor.dir/src/linalg.cpp.o" "gcc" "src/tensor/CMakeFiles/treu_tensor.dir/src/linalg.cpp.o.d"
+  "/root/repo/src/tensor/src/matrix.cpp" "src/tensor/CMakeFiles/treu_tensor.dir/src/matrix.cpp.o" "gcc" "src/tensor/CMakeFiles/treu_tensor.dir/src/matrix.cpp.o.d"
+  "/root/repo/src/tensor/src/pca.cpp" "src/tensor/CMakeFiles/treu_tensor.dir/src/pca.cpp.o" "gcc" "src/tensor/CMakeFiles/treu_tensor.dir/src/pca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/treu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

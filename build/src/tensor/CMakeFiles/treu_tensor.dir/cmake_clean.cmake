@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_tensor.dir/src/kernels.cpp.o"
+  "CMakeFiles/treu_tensor.dir/src/kernels.cpp.o.d"
+  "CMakeFiles/treu_tensor.dir/src/linalg.cpp.o"
+  "CMakeFiles/treu_tensor.dir/src/linalg.cpp.o.d"
+  "CMakeFiles/treu_tensor.dir/src/matrix.cpp.o"
+  "CMakeFiles/treu_tensor.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/treu_tensor.dir/src/pca.cpp.o"
+  "CMakeFiles/treu_tensor.dir/src/pca.cpp.o.d"
+  "libtreu_tensor.a"
+  "libtreu_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

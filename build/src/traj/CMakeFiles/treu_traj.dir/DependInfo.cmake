@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/src/dataset.cpp" "src/traj/CMakeFiles/treu_traj.dir/src/dataset.cpp.o" "gcc" "src/traj/CMakeFiles/treu_traj.dir/src/dataset.cpp.o.d"
+  "/root/repo/src/traj/src/features.cpp" "src/traj/CMakeFiles/treu_traj.dir/src/features.cpp.o" "gcc" "src/traj/CMakeFiles/treu_traj.dir/src/features.cpp.o.d"
+  "/root/repo/src/traj/src/trajectory.cpp" "src/traj/CMakeFiles/treu_traj.dir/src/trajectory.cpp.o" "gcc" "src/traj/CMakeFiles/treu_traj.dir/src/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/treu_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/treu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_traj.dir/src/dataset.cpp.o"
+  "CMakeFiles/treu_traj.dir/src/dataset.cpp.o.d"
+  "CMakeFiles/treu_traj.dir/src/features.cpp.o"
+  "CMakeFiles/treu_traj.dir/src/features.cpp.o.d"
+  "CMakeFiles/treu_traj.dir/src/trajectory.cpp.o"
+  "CMakeFiles/treu_traj.dir/src/trajectory.cpp.o.d"
+  "libtreu_traj.a"
+  "libtreu_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_unlearn.dir/src/unlearn.cpp.o"
+  "CMakeFiles/treu_unlearn.dir/src/unlearn.cpp.o.d"
+  "libtreu_unlearn.a"
+  "libtreu_unlearn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_unlearn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treu_vision.dir/src/detector.cpp.o"
+  "CMakeFiles/treu_vision.dir/src/detector.cpp.o.d"
+  "CMakeFiles/treu_vision.dir/src/scene.cpp.o"
+  "CMakeFiles/treu_vision.dir/src/scene.cpp.o.d"
+  "libtreu_vision.a"
+  "libtreu_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treu_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

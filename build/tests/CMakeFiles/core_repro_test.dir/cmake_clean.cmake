@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_repro_test.dir/core_repro_test.cpp.o"
+  "CMakeFiles/core_repro_test.dir/core_repro_test.cpp.o.d"
+  "core_repro_test"
+  "core_repro_test.pdb"
+  "core_repro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_repro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_sim_test.dir/gpu_sim_test.cpp.o"
+  "CMakeFiles/gpu_sim_test.dir/gpu_sim_test.cpp.o.d"
+  "gpu_sim_test"
+  "gpu_sim_test.pdb"
+  "gpu_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histo_test.dir/histo_test.cpp.o"
+  "CMakeFiles/histo_test.dir/histo_test.cpp.o.d"
+  "histo_test"
+  "histo_test.pdb"
+  "histo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unlearn_test.dir/unlearn_test.cpp.o"
+  "CMakeFiles/unlearn_test.dir/unlearn_test.cpp.o.d"
+  "unlearn_test"
+  "unlearn_test.pdb"
+  "unlearn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unlearn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/core_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/core_repro_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_layers_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_grad_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_train_test[1]_include.cmake")
+include("/root/repo/build/tests/pf_test[1]_include.cmake")
+include("/root/repo/build/tests/robust_test[1]_include.cmake")
+include("/root/repo/build/tests/traj_test[1]_include.cmake")
+include("/root/repo/build/tests/shape_test[1]_include.cmake")
+include("/root/repo/build/tests/survey_test[1]_include.cmake")
+include("/root/repo/build/tests/artifact_test[1]_include.cmake")
+include("/root/repo/build/tests/unlearn_test[1]_include.cmake")
+include("/root/repo/build/tests/malware_test[1]_include.cmake")
+include("/root/repo/build/tests/rl_test[1]_include.cmake")
+include("/root/repo/build/tests/vision_test[1]_include.cmake")
+include("/root/repo/build/tests/histo_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
