@@ -5,8 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "treu/core/manifest.hpp"
 #include "treu/core/rng.hpp"
+#include "treu/obs/obs.hpp"
+#include "treu/obs/report.hpp"
 #include "treu/parallel/thread_pool.hpp"
 #include "treu/sched/autotune.hpp"
 
@@ -21,17 +25,30 @@ void print_report() {
   std::printf("  %-8s %14s %14s %14s\n", "seed", "baseline GF", "GA best GF",
               "random best GF");
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    TREU_OBS_SPAN(seed_span, "a-tune.seed." + std::to_string(seed));
     treu::core::Rng rng(seed);
     ts::Problem problem(ts::KernelKind::MatMul, {160, 160, 160}, rng);
-    const auto baseline = ts::replay(
-        problem, ts::ScheduleSpace::baseline(ts::KernelKind::MatMul), pool, 2);
+    ts::Evaluated baseline;
+    {
+      TREU_OBS_SPAN(phase, "phase.baseline");
+      baseline = ts::replay(
+          problem, ts::ScheduleSpace::baseline(ts::KernelKind::MatMul), pool, 2);
+    }
     ts::TuneConfig config;
     config.population = 8;
     config.generations = 4;
     config.repeats = 2;
     config.seed = seed;
-    const auto ga = ts::genetic_autotune(problem, config, pool);
-    const auto random = ts::random_search(problem, config, pool);
+    ts::TuneResult ga;
+    {
+      TREU_OBS_SPAN(phase, "phase.genetic");
+      ga = ts::genetic_autotune(problem, config, pool);
+    }
+    ts::TuneResult random;
+    {
+      TREU_OBS_SPAN(phase, "phase.random_search");
+      random = ts::random_search(problem, config, pool);
+    }
     std::printf("  %-8llu %14.2f %14.2f %14.2f\n",
                 static_cast<unsigned long long>(seed),
                 baseline.measurement.gflops, ga.best.measurement.gflops,
@@ -60,8 +77,19 @@ BENCHMARK(BM_GaGeneration)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::obs::TelemetryOptions telemetry =
+      treu::obs::parse_telemetry_flag(argc, argv);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_ablation_autotuner";
+  manifest.description = "A-tune: GA autotuner vs budget-matched random search";
+  manifest.seed = 1;
+  manifest.set("population", std::int64_t{8});
+  manifest.set("generations", std::int64_t{4});
+  manifest.set("seeds", std::int64_t{3});
+  treu::obs::finish_telemetry_run(telemetry, manifest);
   return 0;
 }

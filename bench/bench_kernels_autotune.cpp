@@ -8,8 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "treu/core/manifest.hpp"
 #include "treu/core/rng.hpp"
+#include "treu/obs/obs.hpp"
+#include "treu/obs/report.hpp"
 #include "treu/parallel/thread_pool.hpp"
 #include "treu/sched/autotune.hpp"
 #include "treu/sched/problem.hpp"
@@ -27,17 +31,26 @@ void print_report() {
   for (const auto kind :
        {ts::KernelKind::MatVec, ts::KernelKind::Conv1D, ts::KernelKind::Conv2D,
         ts::KernelKind::MatMul, ts::KernelKind::MatMulTransposed}) {
+    TREU_OBS_SPAN(kernel_span,
+                  std::string("e2.5.kernel.") + ts::to_string(kind));
     treu::core::Rng rng(42);
     ts::Problem problem(kind, ts::default_size(kind), rng);
 
-    const auto baseline =
-        ts::replay(problem, ts::ScheduleSpace::baseline(kind), pool, 3);
+    ts::Evaluated baseline;
+    {
+      TREU_OBS_SPAN(phase, "phase.baseline");
+      baseline = ts::replay(problem, ts::ScheduleSpace::baseline(kind), pool, 3);
+    }
     ts::TuneConfig config;
     config.population = 10;
     config.generations = 5;
     config.repeats = 2;
     config.seed = 7;
-    const auto tuned = ts::genetic_autotune(problem, config, pool);
+    ts::TuneResult tuned;
+    {
+      TREU_OBS_SPAN(phase, "phase.autotune");
+      tuned = ts::genetic_autotune(problem, config, pool);
+    }
 
     // "Replay in the other compiler": the restricted backend honors only
     // loop interchange + unroll (no tiling, no parallel), the situation the
@@ -47,7 +60,11 @@ void print_report() {
     restricted.params.tile_j = 0;
     restricted.params.tile_k = 0;
     restricted.params.parallel = false;
-    const auto replayed = ts::replay(problem, restricted, pool, 3);
+    ts::Evaluated replayed;
+    {
+      TREU_OBS_SPAN(phase, "phase.replay_restricted");
+      replayed = ts::replay(problem, restricted, pool, 3);
+    }
 
     std::printf("  %-10s %9.2f GF %9.2f GF %9.2f GF  %s\n", ts::to_string(kind),
                 baseline.measurement.gflops, tuned.best.measurement.gflops,
@@ -101,8 +118,19 @@ BENCHMARK(BM_LoopOrderSweep)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::obs::TelemetryOptions telemetry =
+      treu::obs::parse_telemetry_flag(argc, argv);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_kernels_autotune";
+  manifest.description = "E2.5: GA autotuning across the five kernels";
+  manifest.seed = 7;
+  manifest.set("population", std::int64_t{10});
+  manifest.set("generations", std::int64_t{5});
+  manifest.set("repeats", std::int64_t{2});
+  treu::obs::finish_telemetry_run(telemetry, manifest);
   return 0;
 }

@@ -6,8 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "treu/core/manifest.hpp"
 #include "treu/core/rng.hpp"
+#include "treu/obs/obs.hpp"
+#include "treu/obs/report.hpp"
 #include "treu/parallel/thread_pool.hpp"
 #include "treu/sched/problem.hpp"
 #include "treu/sched/roofline.hpp"
@@ -16,9 +20,14 @@ namespace ts = treu::sched;
 
 namespace {
 
+ts::RooflineModel measure_model() {
+  TREU_OBS_SPAN(phase, "phase.measure_roofline");
+  return ts::measure_roofline();
+}
+
 void print_report() {
   std::printf("== E2.5b: roofline model of this host (§2.5 lesson) ==\n");
-  const ts::RooflineModel model = ts::measure_roofline();
+  const ts::RooflineModel model = measure_model();
   std::printf("  %s\n", model.describe().c_str());
   std::printf("  %-10s %14s %12s %14s %10s\n", "kernel", "intensity",
               "achieved", "attainable", "efficiency");
@@ -37,7 +46,12 @@ void print_report() {
       schedule.params.tile_j = 64;
       schedule.params.tile_k = 32;
     }
-    const auto m = problem.measure(schedule, pool, 3);
+    ts::Measurement m;
+    {
+      TREU_OBS_SPAN(phase,
+                    std::string("phase.measure.") + ts::to_string(kind));
+      m = problem.measure(schedule, pool, 3);
+    }
     const double intensity = problem.intensity();
     std::printf("  %-10s %8.2f f/B %s %7.2f GF %10.2f GF %9.0f%%\n",
                 ts::to_string(kind), intensity,
@@ -67,8 +81,17 @@ BENCHMARK(BM_BandwidthProbe)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::obs::TelemetryOptions telemetry =
+      treu::obs::parse_telemetry_flag(argc, argv);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_roofline";
+  manifest.description = "E2.5b: measured roofline model + kernel placement";
+  manifest.seed = 11;
+  manifest.set("repeats", std::int64_t{3});
+  treu::obs::finish_telemetry_run(telemetry, manifest);
   return 0;
 }

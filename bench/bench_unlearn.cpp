@@ -5,8 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "treu/core/manifest.hpp"
 #include "treu/core/rng.hpp"
+#include "treu/obs/obs.hpp"
+#include "treu/obs/report.hpp"
 #include "treu/unlearn/unlearn.hpp"
 
 namespace ul = treu::unlearn;
@@ -19,6 +23,7 @@ void print_report() {
       "  %-8s %-26s %-26s %-10s\n", "seed",
       "retrain (acc / forgetP / s)", "unlearn (acc / forgetP / s)", "speedup");
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    TREU_OBS_SPAN(seed_span, "e2.3.seed." + std::to_string(seed));
     ul::ExperimentConfig config;
     config.per_class = 100;
     config.train.epochs = 20;
@@ -99,8 +104,19 @@ BENCHMARK(BM_SisaForgetOneSample)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::obs::TelemetryOptions telemetry =
+      treu::obs::parse_telemetry_flag(argc, argv);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_unlearn";
+  manifest.description = "E2.3: unlearn-by-retargeting vs full retraining";
+  manifest.seed = 1;
+  manifest.set("per_class", std::int64_t{100});
+  manifest.set("epochs", std::int64_t{20});
+  manifest.set("seeds", std::int64_t{5});
+  treu::obs::finish_telemetry_run(telemetry, manifest);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "treu/nn/layers.hpp"
+#include "treu/obs/obs.hpp"
 
 namespace treu::nn {
 
@@ -94,6 +95,8 @@ TrainStats MlpClassifier::train(const Dataset &data, const TrainConfig &config,
   std::iota(order.begin(), order.end(), 0);
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    TREU_OBS_SPAN(epoch_span, "nn.train.epoch");
+    TREU_OBS_SCOPED_LATENCY_US(epoch_timer, "nn.train.epoch_us");
     if (config.shuffle) rng.shuffle(order);
     double epoch_loss = 0.0;
     std::size_t batches = 0;
@@ -112,8 +115,11 @@ TrainStats MlpClassifier::train(const Dataset &data, const TrainConfig &config,
       epoch_loss += lr.loss;
       ++batches;
     }
-    stats.epoch_loss.push_back(batches > 0 ? epoch_loss / static_cast<double>(batches)
-                                           : 0.0);
+    const double mean_loss =
+        batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+    TREU_OBS_COUNTER_ADD("nn.train.epochs", 1);
+    TREU_OBS_COUNTER_EVENT("nn.train.epoch_loss", mean_loss);
+    stats.epoch_loss.push_back(mean_loss);
   }
   stats.final_train_accuracy = evaluate(data);
   return stats;

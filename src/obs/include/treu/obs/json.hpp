@@ -1,0 +1,93 @@
+#pragma once
+
+// Minimal JSON document model for the telemetry pipeline: enough to build
+// Chrome trace-event files deterministically (sorted object keys, integer
+// timestamps kept integral) and to parse them back for round-trip
+// verification in tests. Not a general-purpose JSON library — no comments,
+// no trailing commas, numbers via strtod.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace treu::obs::json {
+
+// Declared before the Array/Object aliases: gcc's -Wshadow flags scoped
+// enumerators that spell the same name as an earlier declaration.
+enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;  // sorted keys => stable dumps
+
+class Value {
+ public:
+  Value() : kind_(Kind::Null) {}
+  Value(std::nullptr_t) : kind_(Kind::Null) {}
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Value(std::int64_t i) : kind_(Kind::Int), int_(i) {}
+  Value(std::uint64_t u) : kind_(Kind::Int), int_(static_cast<std::int64_t>(u)) {}
+  Value(int i) : kind_(Kind::Int), int_(i) {}
+  Value(double d) : kind_(Kind::Double), double_(d) {}
+  Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  Value(const char *s) : kind_(Kind::String), string_(s) {}
+  Value(std::string_view s) : kind_(Kind::String), string_(s) {}
+  Value(Array a) : kind_(Kind::Array), array_(std::move(a)) {}
+  Value(Object o) : kind_(Kind::Object), object_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::Int || kind_ == Kind::Double;
+  }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::Object; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const {
+    return kind_ == Kind::Double ? static_cast<std::int64_t>(double_) : int_;
+  }
+  [[nodiscard]] double as_double() const {
+    return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+  }
+  [[nodiscard]] const std::string &as_string() const { return string_; }
+  [[nodiscard]] const Array &as_array() const { return array_; }
+  [[nodiscard]] Array &as_array() { return array_; }
+  [[nodiscard]] const Object &as_object() const { return object_; }
+  [[nodiscard]] Object &as_object() { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value *find(const std::string &key) const {
+    if (kind_ != Kind::Object) return nullptr;
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+  }
+
+  /// Compact serialization (no whitespace). Strings are escaped per RFC
+  /// 8259; non-finite doubles serialize as null (JSON has no inf/nan).
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict parse of a complete document. nullopt on any syntax error or
+  /// trailing garbage.
+  [[nodiscard]] static std::optional<Value> parse(std::string_view text);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escape a raw string into a quoted JSON string literal.
+[[nodiscard]] std::string escape(std::string_view raw);
+
+}  // namespace treu::obs::json

@@ -1,0 +1,169 @@
+#pragma once
+
+// Low-overhead metrics registry: named counters, gauges, and fixed-bucket
+// histograms.
+//
+// Design notes
+//  - Hot-path writes are a single relaxed atomic RMW on a cache-line-padded
+//    shard picked by the calling thread, so concurrent writers from the
+//    thread pool never contend on one line. Reads merge all shards
+//    ("merge-on-read"): the merged value is exact once writers are quiescent
+//    and monotonically approximate while they are not — the right trade for
+//    telemetry.
+//  - Metric objects are created once through a `Registry` and live for the
+//    registry's lifetime; instrumentation sites cache the returned pointer
+//    (see TREU_OBS_* macros in obs.hpp), so the name lookup mutex is paid
+//    once per call site, not per increment.
+//  - Histograms are Prometheus-style: `upper_bounds` must be strictly
+//    increasing; bucket i counts observations v with bounds[i-1] < v <=
+//    bounds[i], and a final +inf bucket catches the overflow.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace treu::obs {
+
+namespace detail {
+
+/// Number of write shards per metric (power of two).
+inline constexpr std::size_t kShards = 16;
+
+/// Stable small index for the calling thread, used to pick a shard.
+[[nodiscard]] std::size_t this_thread_shard() noexcept;
+
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct alignas(64) PaddedI64 {
+  std::atomic<std::int64_t> v{0};
+};
+
+/// Relaxed add for atomic<double> (fetch_add on double is C++20 but a CAS
+/// loop is portable across the toolchains CI uses).
+void add_relaxed(std::atomic<double> &a, double delta) noexcept;
+
+}  // namespace detail
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::this_thread_shard()].v.fetch_add(n,
+                                                     std::memory_order_relaxed);
+  }
+
+  /// Merge-on-read sum over all shards.
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+ private:
+  std::array<detail::PaddedU64, detail::kShards> shards_;
+};
+
+/// Signed instantaneous quantity (e.g. queue depth). Increments and
+/// decrements may come from different threads; the merged sum stays exact
+/// because the deltas commute.
+class Gauge {
+ public:
+  void add(std::int64_t delta) noexcept {
+    shards_[detail::this_thread_shard()].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t delta) noexcept { add(-delta); }
+
+  [[nodiscard]] std::int64_t value() const noexcept;
+
+ private:
+  std::array<detail::PaddedI64, detail::kShards> shards_;
+};
+
+/// Point-in-time view of one histogram.
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;     // strictly increasing
+  std::vector<std::uint64_t> buckets;   // size upper_bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Fixed-bucket latency/value histogram with sharded bucket counters.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing; throws
+  /// std::invalid_argument otherwise.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double> &upper_bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] std::uint64_t count() const { return snapshot().count; }
+
+  /// Default bucket bounds for microsecond latencies: 1-2-5 decades from
+  /// 1us to 10s.
+  [[nodiscard]] static std::vector<double> default_latency_bounds_us();
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;  // bounds + 1
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::array<Shard, detail::kShards> shards_;
+};
+
+/// Everything a registry knows, merged and ready to serialize.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Named-metric factory and owner. Creation takes a mutex; returned pointers
+/// are stable for the registry's lifetime and lock-free to write through.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry &) = delete;
+  Registry &operator=(const Registry &) = delete;
+
+  /// Find-or-create. A given name always maps to the same object.
+  [[nodiscard]] Counter *counter(const std::string &name);
+  [[nodiscard]] Gauge *gauge(const std::string &name);
+
+  /// Find-or-create. The first call fixes the bucket bounds (empty span =
+  /// default_latency_bounds_us); later calls ignore `upper_bounds`.
+  [[nodiscard]] Histogram *histogram(const std::string &name,
+                                     std::span<const double> upper_bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Process-wide registry used by the TREU_OBS_* instrumentation macros.
+  [[nodiscard]] static Registry &global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace treu::obs

@@ -1,0 +1,97 @@
+#pragma once
+
+// Instrumentation entry points for library code.
+//
+// All hot-path instrumentation in treu goes through these macros so it can
+// be compiled out entirely. The build defines TREU_OBS_ENABLED to 1 or 0
+// (CMake option of the same name, default ON); when 0 every macro expands
+// to `(void)0` / nothing and the instrumented code carries zero overhead —
+// the obs classes still exist (direct API users keep working), only the
+// embedded telemetry sites disappear.
+//
+// Counter/gauge/histogram macros cache the Registry lookup in a
+// function-local static, so the name->object mutex is paid once per call
+// site and every subsequent hit is a single relaxed atomic RMW.
+
+#include <chrono>
+
+#include "treu/obs/metrics.hpp"
+#include "treu/obs/trace.hpp"
+
+#ifndef TREU_OBS_ENABLED
+#define TREU_OBS_ENABLED 1
+#endif
+
+namespace treu::obs {
+
+/// RAII timer that records its scope's duration (in microseconds) into a
+/// histogram. Used via TREU_OBS_SCOPED_LATENCY_US so the clock reads vanish
+/// when instrumentation is compiled out.
+class ScopedLatencyUs {
+ public:
+  explicit ScopedLatencyUs(Histogram *hist) noexcept
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ScopedLatencyUs(const ScopedLatencyUs &) = delete;
+  ScopedLatencyUs &operator=(const ScopedLatencyUs &) = delete;
+  ~ScopedLatencyUs() {
+    hist_->observe(std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+  }
+
+ private:
+  Histogram *hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace treu::obs
+
+#if TREU_OBS_ENABLED
+
+#define TREU_OBS_COUNTER_ADD(name, n)                                     \
+  do {                                                                    \
+    static ::treu::obs::Counter *treu_obs_counter_ =                      \
+        ::treu::obs::Registry::global().counter(name);                    \
+    treu_obs_counter_->add(n);                                            \
+  } while (0)
+
+#define TREU_OBS_GAUGE_ADD(name, delta)                                   \
+  do {                                                                    \
+    static ::treu::obs::Gauge *treu_obs_gauge_ =                          \
+        ::treu::obs::Registry::global().gauge(name);                      \
+    treu_obs_gauge_->add(delta);                                          \
+  } while (0)
+
+#define TREU_OBS_HISTOGRAM_OBSERVE(name, value)                           \
+  do {                                                                    \
+    static ::treu::obs::Histogram *treu_obs_histogram_ =                  \
+        ::treu::obs::Registry::global().histogram(name);                  \
+    treu_obs_histogram_->observe(value);                                  \
+  } while (0)
+
+/// Declares an RAII span named `var` covering the rest of the scope.
+#define TREU_OBS_SPAN(var, name) ::treu::obs::Span var{(name)}
+
+/// Declares an RAII timer `var` that records the scope's duration into the
+/// named histogram at scope exit.
+#define TREU_OBS_SCOPED_LATENCY_US(var, name)                             \
+  static ::treu::obs::Histogram *var##_hist_ =                            \
+      ::treu::obs::Registry::global().histogram(name);                    \
+  ::treu::obs::ScopedLatencyUs var {                                      \
+    var##_hist_                                                           \
+  }
+
+/// Emits one sample on a Chrome counter track (ph "C").
+#define TREU_OBS_COUNTER_EVENT(name, value) \
+  ::treu::obs::TraceCollector::global().counter_event((name), (value))
+
+#else  // TREU_OBS_ENABLED == 0
+
+#define TREU_OBS_COUNTER_ADD(name, n) (void)0
+#define TREU_OBS_GAUGE_ADD(name, delta) (void)0
+#define TREU_OBS_HISTOGRAM_OBSERVE(name, value) (void)0
+#define TREU_OBS_SPAN(var, name) (void)0
+#define TREU_OBS_SCOPED_LATENCY_US(var, name) (void)0
+#define TREU_OBS_COUNTER_EVENT(name, value) (void)0
+
+#endif  // TREU_OBS_ENABLED

@@ -1,0 +1,197 @@
+#pragma once
+
+// Telemetry report sink: serialize a run's metrics + spans into one JSON
+// artifact and register its digest with the reproducibility kernel.
+//
+// This header is the glue between treu::obs and treu::core and is
+// deliberately header-only: treu_obs is a leaf library (treu_parallel links
+// it for hot-path instrumentation, treu_core links treu_parallel), so the
+// obs *library* must not link core. Benchmarks and tests that include this
+// header already link the whole stack.
+//
+// The artifact is a Chrome trace-event "JSON Object Format" document — it
+// loads as-is in chrome://tracing / Perfetto — with the merged metrics
+// snapshot attached under "treuMetrics" and run identity under "otherData".
+// Its SHA-256 digest goes three places: the returned TelemetryArtifact, a
+// ProvenanceGraph node derived from the run manifest, and the RunRecord
+// appended to the hash-chained journal. That makes a benchmark run
+// self-describing evidence: the numbers, the timeline that produced them,
+// and a tamper-evident fingerprint binding the two.
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "treu/core/manifest.hpp"
+#include "treu/core/provenance.hpp"
+#include "treu/core/sha256.hpp"
+#include "treu/obs/json.hpp"
+#include "treu/obs/metrics.hpp"
+#include "treu/obs/trace.hpp"
+
+namespace treu::obs {
+
+struct TelemetryOptions {
+  std::string path;  // empty => telemetry disabled
+
+  [[nodiscard]] bool enabled() const noexcept { return !path.empty(); }
+};
+
+/// Extract `--telemetry <path>` or `--telemetry=<path>` from argv, removing
+/// the consumed arguments so google-benchmark's own flag parsing never sees
+/// them. Unrecognized arguments are left untouched.
+inline TelemetryOptions parse_telemetry_flag(int &argc, char **argv) {
+  TelemetryOptions opts;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--telemetry" && i + 1 < argc) {
+      opts.path = argv[++i];
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      opts.path = arg.substr(std::string("--telemetry=").size());
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return opts;
+}
+
+/// Render the combined telemetry document (metrics + trace) as JSON text.
+inline std::string render_telemetry_json(const std::string &run_name,
+                                         const MetricsSnapshot &metrics,
+                                         const TraceCollector &collector) {
+  auto doc_opt = json::Value::parse(collector.to_chrome_json());
+  json::Value doc = doc_opt ? std::move(*doc_opt) : json::Value(json::Object{});
+
+  json::Object other;
+  other.emplace("run", run_name);
+  other.emplace("producer", "treu::obs");
+  other.emplace("dropped_trace_records",
+                static_cast<std::int64_t>(collector.dropped()));
+  doc.as_object().emplace("otherData", std::move(other));
+
+  json::Object counters;
+  for (const auto &[name, v] : metrics.counters) {
+    counters.emplace(name, static_cast<std::int64_t>(v));
+  }
+  json::Object gauges;
+  for (const auto &[name, v] : metrics.gauges) gauges.emplace(name, v);
+  json::Object histograms;
+  for (const auto &[name, h] : metrics.histograms) {
+    json::Array bounds;
+    for (const double b : h.upper_bounds) bounds.push_back(b);
+    json::Array buckets;
+    for (const std::uint64_t c : h.buckets) {
+      buckets.push_back(static_cast<std::int64_t>(c));
+    }
+    json::Object hist;
+    hist.emplace("upper_bounds", std::move(bounds));
+    hist.emplace("buckets", std::move(buckets));
+    hist.emplace("count", static_cast<std::int64_t>(h.count));
+    hist.emplace("sum", h.sum);
+    histograms.emplace(name, std::move(hist));
+  }
+  json::Object treu_metrics;
+  treu_metrics.emplace("counters", std::move(counters));
+  treu_metrics.emplace("gauges", std::move(gauges));
+  treu_metrics.emplace("histograms", std::move(histograms));
+  doc.as_object().emplace("treuMetrics", std::move(treu_metrics));
+
+  return doc.dump();
+}
+
+struct TelemetryArtifact {
+  std::string path;
+  core::Digest digest;  // SHA-256 of the file's bytes
+  std::size_t bytes = 0;
+  std::size_t span_count = 0;
+};
+
+/// Serialize and write the artifact; throws std::runtime_error when the
+/// file cannot be written.
+inline TelemetryArtifact write_telemetry(
+    const std::string &path, const std::string &run_name,
+    const Registry &registry = Registry::global(),
+    const TraceCollector &collector = TraceCollector::global()) {
+  const std::string body =
+      render_telemetry_json(run_name, registry.snapshot(), collector);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << body) || !out.flush()) {
+    throw std::runtime_error("write_telemetry: cannot write " + path);
+  }
+  TelemetryArtifact artifact;
+  artifact.path = path;
+  artifact.digest = core::sha256(body);
+  artifact.bytes = body.size();
+  artifact.span_count = collector.span_count();
+  return artifact;
+}
+
+/// Bind a telemetry artifact to its run: provenance edge manifest ->
+/// telemetry, plus the digest recorded in the RunRecord's artifact map.
+inline void register_telemetry(const TelemetryArtifact &artifact,
+                               const core::Manifest &manifest,
+                               core::ProvenanceGraph &graph,
+                               core::RunRecord &record) {
+  const std::string manifest_node = "manifest:" + manifest.name;
+  const std::string telemetry_node = "telemetry:" + manifest.name;
+  if (!graph.contains(manifest_node)) {
+    graph.add_artifact(manifest_node, manifest.digest());
+  }
+  graph.add_artifact(telemetry_node, artifact.digest, {manifest_node});
+  record.manifest_digest = manifest.digest();
+  record.artifacts["telemetry"] = artifact.digest;
+}
+
+/// One-call bench epilogue: write the artifact, register it in a provenance
+/// graph and a journaled run record, and print where the evidence went.
+/// Returns nullopt when telemetry was not requested.
+inline std::optional<TelemetryArtifact> finish_telemetry_run(
+    const TelemetryOptions &opts, core::Manifest manifest,
+    const Registry &registry = Registry::global(),
+    const TraceCollector &collector = TraceCollector::global()) {
+  if (!opts.enabled()) return std::nullopt;
+
+  TelemetryArtifact artifact;
+  try {
+    artifact = write_telemetry(opts.path, manifest.name, registry, collector);
+  } catch (const std::runtime_error &e) {
+    // A bad --telemetry path shouldn't abort the bench after the (valid)
+    // measurements already ran; report and drop the artifact.
+    std::fprintf(stderr, "telemetry: ERROR %s\n", e.what());
+    return std::nullopt;
+  }
+
+  core::ProvenanceGraph graph;
+  core::RunRecord record;
+  register_telemetry(artifact, manifest, graph, record);
+
+  // Fold headline counters/gauges into the run record so the journal entry
+  // is meaningful without opening the artifact.
+  const MetricsSnapshot snap = registry.snapshot();
+  for (const auto &[name, v] : snap.counters) {
+    record.metrics[name] = static_cast<double>(v);
+  }
+  for (const auto &[name, v] : snap.gauges) {
+    record.metrics[name] = static_cast<double>(v);
+  }
+  record.notes = "telemetry artifact: " + artifact.path;
+
+  core::Journal journal;
+  const core::Digest head = journal.append(record);
+
+  std::printf("telemetry: wrote %s (%zu bytes, %zu spans)\n",
+              artifact.path.c_str(), artifact.bytes, artifact.span_count);
+  std::printf("telemetry: artifact sha256 %s\n", artifact.digest.hex().c_str());
+  std::printf("telemetry: provenance %s -> %s, journal head %s\n",
+              ("manifest:" + manifest.name).c_str(),
+              ("telemetry:" + manifest.name).c_str(), head.hex().c_str());
+  return artifact;
+}
+
+}  // namespace treu::obs

@@ -1,0 +1,124 @@
+#pragma once
+
+// Scoped tracing spans with Chrome trace-event export.
+//
+// A `Span` is an RAII region: construction stamps the start, destruction
+// stamps the end and hands one record to the owning `TraceCollector`.
+// Nesting is implicit — spans on one thread close in reverse creation order,
+// and a global sequence counter stamped at both endpoints lets the exporter
+// order same-microsecond events exactly as they happened, so the emitted
+// "B"/"E" pairs are always balanced and properly nested per thread.
+//
+// The exported JSON is the Chrome trace-event "JSON Object Format"
+// ({"traceEvents": [...]}) and loads directly in chrome://tracing and
+// Perfetto. `counter_event` adds "C"-phase samples (e.g. the autotuner's
+// best-cost trajectory) that render as counter tracks.
+//
+// The collector caps retained spans (default 65536) so benchmark hot loops
+// cannot grow memory without bound; overflow is counted, not silently
+// ignored.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace treu::obs {
+
+struct SpanRecord {
+  std::string name;
+  std::uint32_t tid = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  std::uint64_t start_seq = 0;  // global order stamp at construction
+  std::uint64_t end_seq = 0;    // global order stamp at destruction
+};
+
+struct CounterEventRecord {
+  std::string name;
+  std::uint32_t tid = 0;
+  std::uint64_t ts_us = 0;
+  std::uint64_t seq = 0;
+  double value = 0.0;
+};
+
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+  TraceCollector(const TraceCollector &) = delete;
+  TraceCollector &operator=(const TraceCollector &) = delete;
+
+  /// Microseconds since this collector was constructed (steady clock).
+  [[nodiscard]] std::uint64_t now_us() const noexcept;
+
+  [[nodiscard]] std::uint64_t next_seq() noexcept {
+    return seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void record_span(SpanRecord record);
+  void counter_event(std::string name, double value);
+
+  [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Retention cap for spans + counter events combined.
+  void set_capacity(std::size_t max_records);
+
+  void clear();
+
+  /// Chrome trace-event JSON object ({"traceEvents": [...]}) with events
+  /// sorted by (timestamp, global sequence): balanced B/E pairs, monotone
+  /// timestamps.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Small dense id for the calling thread (Chrome "tid" field).
+  [[nodiscard]] static std::uint32_t this_thread_tid() noexcept;
+
+  /// Process-wide collector used by Span's default constructor and the
+  /// TREU_OBS_* macros.
+  [[nodiscard]] static TraceCollector &global();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 65536;
+  std::vector<SpanRecord> spans_;
+  std::vector<CounterEventRecord> counter_events_;
+};
+
+/// RAII scoped span. Not copyable or movable: its identity is the scope.
+class Span {
+ public:
+  explicit Span(std::string name,
+                TraceCollector &collector = TraceCollector::global())
+      : collector_(&collector),
+        name_(std::move(name)),
+        start_us_(collector.now_us()),
+        start_seq_(collector.next_seq()) {}
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  ~Span() {
+    collector_->record_span({std::move(name_),
+                             TraceCollector::this_thread_tid(), start_us_,
+                             collector_->now_us(), start_seq_,
+                             collector_->next_seq()});
+  }
+
+ private:
+  TraceCollector *collector_;
+  std::string name_;
+  std::uint64_t start_us_;
+  std::uint64_t start_seq_;
+};
+
+}  // namespace treu::obs

@@ -1,0 +1,306 @@
+#include "treu/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace treu::obs::json {
+
+namespace {
+
+void dump_into(const Value &v, std::string &out);
+
+void dump_double(double d, std::string &out) {
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+void dump_into(const Value &v, std::string &out) {
+  switch (v.kind()) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Kind::Int:
+      out += std::to_string(v.as_int());
+      break;
+    case Kind::Double:
+      dump_double(v.as_double(), out);
+      break;
+    case Kind::String:
+      out += escape(v.as_string());
+      break;
+    case Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const Value &e : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_into(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto &[key, val] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        out += escape(key);
+        out += ':';
+        dump_into(val, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+// --- parser ---------------------------------------------------------------
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  [[nodiscard]] bool at_end() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end() && (text[pos] == ' ' || text[pos] == '\t' ||
+                         text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (at_end() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  Value fail() {
+    failed = true;
+    return Value();
+  }
+
+  Value parse_value() {
+    skip_ws();
+    if (at_end()) return fail();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't') return consume_literal("true") ? Value(true) : fail();
+    if (c == 'f') return consume_literal("false") ? Value(false) : fail();
+    if (c == 'n') return consume_literal("null") ? Value(nullptr) : fail();
+    return parse_number();
+  }
+
+  Value parse_object() {
+    ++pos;  // '{'
+    Object obj;
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    for (;;) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail();
+      Value key = parse_string();
+      if (failed) return Value();
+      skip_ws();
+      if (!consume(':')) return fail();
+      Value val = parse_value();
+      if (failed) return Value();
+      obj.insert_or_assign(key.as_string(), std::move(val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Value(std::move(obj));
+      return fail();
+    }
+  }
+
+  Value parse_array() {
+    ++pos;  // '['
+    Array arr;
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    for (;;) {
+      Value val = parse_value();
+      if (failed) return Value();
+      arr.push_back(std::move(val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Value(std::move(arr));
+      return fail();
+    }
+  }
+
+  void append_utf8(std::string &out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  [[nodiscard]] int hex4() {
+    if (pos + 4 > text.size()) return -1;
+    int v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        v |= c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        v |= c - 'A' + 10;
+      } else {
+        return -1;
+      }
+    }
+    return v;
+  }
+
+  Value parse_string() {
+    ++pos;  // opening quote
+    std::string out;
+    while (!at_end()) {
+      const char c = text[pos++];
+      if (c == '"') return Value(std::move(out));
+      if (c == '\\') {
+        if (at_end()) return fail();
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            int cp = hex4();
+            if (cp < 0) return fail();
+            if (cp >= 0xD800 && cp <= 0xDBFF) {  // surrogate pair
+              if (!consume('\\') || !consume('u')) return fail();
+              const int lo = hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) return fail();
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            }
+            append_utf8(out, static_cast<unsigned>(cp));
+            break;
+          }
+          default:
+            return fail();
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail();  // raw control characters are invalid in strings
+      } else {
+        out += c;
+      }
+    }
+    return fail();  // unterminated
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos;
+    if (consume('-')) {
+    }
+    bool integral = true;
+    while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    if (!at_end() && peek() == '.') {
+      integral = false;
+      ++pos;
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos;
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    const std::string token(text.substr(start, pos - start));
+    if (token.empty() || token == "-") return fail();
+    char *end = nullptr;
+    if (integral) {
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size()) return fail();
+      return Value(static_cast<std::int64_t>(v));
+    }
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail();
+    return Value(d);
+  }
+};
+
+}  // namespace
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  out += '"';
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_into(*this, out);
+  return out;
+}
+
+std::optional<Value> Value::parse(std::string_view text) {
+  Parser p{text};
+  Value v = p.parse_value();
+  if (p.failed) return std::nullopt;
+  p.skip_ws();
+  if (!p.at_end()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace treu::obs::json

@@ -1,0 +1,141 @@
+#include "treu/obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace treu::obs {
+
+namespace detail {
+
+std::size_t this_thread_shard() noexcept {
+  // Dense per-thread slots (first thread -> 0, second -> 1, ...) folded into
+  // the shard range. Threads outnumbering kShards share lines, which is
+  // correctness-neutral.
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot & (kShards - 1);
+}
+
+void add_relaxed(std::atomic<double> &a, double delta) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto &s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::int64_t Gauge::value() const noexcept {
+  std::int64_t total = 0;
+  for (const auto &s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: upper_bounds must be non-empty");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram: upper_bounds must be strictly increasing");
+  }
+  const std::size_t n = bounds_.size() + 1;  // +inf overflow bucket
+  for (auto &shard : shards_) {
+    shard.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // bounds_.size() = +inf
+  Shard &shard = shards_[detail::this_thread_shard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  detail::add_relaxed(shard.sum, value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  for (const auto &shard : shards_) {
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      snap.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t b : snap.buckets) snap.count += b;
+  return snap;
+}
+
+std::vector<double> Histogram::default_latency_bounds_us() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  bounds.push_back(1e7);  // 10 s
+  return bounds;
+}
+
+Counter *Registry::counter(const std::string &name) {
+  std::lock_guard lock(mu_);
+  auto &slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge *Registry::gauge(const std::string &name) {
+  std::lock_guard lock(mu_);
+  auto &slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram *Registry::histogram(const std::string &name,
+                               std::span<const double> upper_bounds) {
+  std::lock_guard lock(mu_);
+  auto &slot = histograms_[name];
+  if (!slot) {
+    std::vector<double> bounds(upper_bounds.begin(), upper_bounds.end());
+    if (bounds.empty()) bounds = Histogram::default_latency_bounds_us();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto &[name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto &[name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto &[name, h] : histograms_) {
+    snap.histograms[name] = h->snapshot();
+  }
+  return snap;
+}
+
+Registry &Registry::global() {
+  // Intentionally immortal (never destroyed): worker threads owned by
+  // function-local statics constructed earlier (e.g. ThreadPool::global())
+  // may still increment counters while those statics tear down at exit, and
+  // reverse-destruction order would have freed a plain static registry by
+  // then.
+  static Registry *registry = new Registry();
+  return *registry;
+}
+
+}  // namespace treu::obs

@@ -1,0 +1,139 @@
+#include "treu/obs/trace.hpp"
+
+#include <algorithm>
+
+#include "treu/obs/json.hpp"
+
+namespace treu::obs {
+
+namespace {
+
+// One row of the export: B/E rows come from spans, C rows from counter
+// events. Sorting by (ts, seq) reproduces the true per-thread order even
+// when several events share a microsecond — the sequence counter is stamped
+// at the real start and end moments.
+struct EventRow {
+  std::uint64_t ts_us;
+  std::uint64_t seq;
+  char phase;  // 'B', 'E', 'C'
+  const std::string *name;
+  std::uint32_t tid;
+  double value;  // C only
+};
+
+}  // namespace
+
+std::uint64_t TraceCollector::now_us() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceCollector::record_span(SpanRecord record) {
+  std::lock_guard lock(mu_);
+  if (spans_.size() + counter_events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(record));
+}
+
+void TraceCollector::counter_event(std::string name, double value) {
+  CounterEventRecord rec;
+  rec.name = std::move(name);
+  rec.tid = this_thread_tid();
+  rec.ts_us = now_us();
+  rec.seq = next_seq();
+  rec.value = value;
+  std::lock_guard lock(mu_);
+  if (spans_.size() + counter_events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  counter_events_.push_back(std::move(rec));
+}
+
+std::size_t TraceCollector::span_count() const {
+  std::lock_guard lock(mu_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> TraceCollector::spans() const {
+  std::lock_guard lock(mu_);
+  return spans_;
+}
+
+void TraceCollector::set_capacity(std::size_t max_records) {
+  std::lock_guard lock(mu_);
+  capacity_ = max_records;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard lock(mu_);
+  spans_.clear();
+  counter_events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  std::vector<SpanRecord> spans;
+  std::vector<CounterEventRecord> counters;
+  {
+    std::lock_guard lock(mu_);
+    spans = spans_;
+    counters = counter_events_;
+  }
+
+  std::vector<EventRow> rows;
+  rows.reserve(2 * spans.size() + counters.size());
+  for (const SpanRecord &s : spans) {
+    rows.push_back({s.start_us, s.start_seq, 'B', &s.name, s.tid, 0.0});
+    rows.push_back({s.end_us, s.end_seq, 'E', &s.name, s.tid, 0.0});
+  }
+  for (const CounterEventRecord &c : counters) {
+    rows.push_back({c.ts_us, c.seq, 'C', &c.name, c.tid, c.value});
+  }
+  std::sort(rows.begin(), rows.end(), [](const EventRow &a, const EventRow &b) {
+    return a.ts_us != b.ts_us ? a.ts_us < b.ts_us : a.seq < b.seq;
+  });
+
+  json::Array events;
+  events.reserve(rows.size());
+  for (const EventRow &row : rows) {
+    json::Object ev;
+    ev.emplace("name", *row.name);
+    ev.emplace("cat", "treu");
+    ev.emplace("ph", std::string(1, row.phase));
+    ev.emplace("ts", static_cast<std::int64_t>(row.ts_us));
+    ev.emplace("pid", 1);
+    ev.emplace("tid", static_cast<std::int64_t>(row.tid));
+    if (row.phase == 'C') {
+      json::Object args;
+      args.emplace("value", row.value);
+      ev.emplace("args", std::move(args));
+    }
+    events.push_back(std::move(ev));
+  }
+
+  json::Object doc;
+  doc.emplace("traceEvents", std::move(events));
+  doc.emplace("displayTimeUnit", "ms");
+  return json::Value(std::move(doc)).dump();
+}
+
+std::uint32_t TraceCollector::this_thread_tid() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+TraceCollector &TraceCollector::global() {
+  // Immortal for the same reason as Registry::global(): spans may close on
+  // pool worker threads during static teardown.
+  static TraceCollector *collector = new TraceCollector();
+  return *collector;
+}
+
+}  // namespace treu::obs

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "treu/obs/obs.hpp"
+
 namespace treu::parallel {
 namespace {
 
@@ -20,6 +22,7 @@ struct BulkState {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= chunks.size()) break;
+      TREU_OBS_COUNTER_ADD("threadpool.chunks_executed", 1);
       try {
         body(chunks[i]);
       } catch (...) {
@@ -58,15 +61,21 @@ std::size_t ThreadPool::default_concurrency() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  TREU_OBS_COUNTER_ADD("threadpool.tasks_submitted", 1);
   if (threads_.empty()) {
     // Degenerate pool: run inline so futures are always satisfied.
-    task();
+    {
+      TREU_OBS_SCOPED_LATENCY_US(latency, "threadpool.task_us");
+      task();
+    }
+    TREU_OBS_COUNTER_ADD("threadpool.tasks_executed", 1);
     return;
   }
   {
     std::lock_guard lock(mu_);
     queue_.push_back(std::move(task));
   }
+  TREU_OBS_GAUGE_ADD("threadpool.queue_depth", 1);
   cv_.notify_one();
 }
 
@@ -80,7 +89,12 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    TREU_OBS_GAUGE_ADD("threadpool.queue_depth", -1);
+    {
+      TREU_OBS_SCOPED_LATENCY_US(latency, "threadpool.task_us");
+      task();
+    }
+    TREU_OBS_COUNTER_ADD("threadpool.tasks_executed", 1);
   }
 }
 
@@ -99,6 +113,7 @@ void ThreadPool::parallel_for_chunks(std::size_t begin, std::size_t end,
                                      const std::function<void(Range)> &body,
                                      std::size_t chunk) {
   if (begin >= end) return;
+  TREU_OBS_COUNTER_ADD("threadpool.parallel_for_calls", 1);
   const std::size_t n = end - begin;
   const std::size_t executors = worker_count() + 1;
   if (chunk == 0) chunk = choose_chunk(n, executors * 4);

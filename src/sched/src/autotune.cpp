@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "treu/obs/obs.hpp"
+
 namespace treu::sched {
 namespace {
 
@@ -11,9 +13,16 @@ Evaluated evaluate(const Problem &problem, const Schedule &schedule,
                    TuneResult &accounting) {
   Evaluated e;
   e.schedule = schedule;
-  e.measurement = problem.measure(schedule, pool, repeats);
+  {
+    TREU_OBS_SCOPED_LATENCY_US(eval_timer, "autotune.eval_us");
+    e.measurement = problem.measure(schedule, pool, repeats);
+  }
+  TREU_OBS_COUNTER_ADD("autotune.candidates_evaluated", 1);
   ++accounting.evaluations;
-  if (!e.measurement.output_matches_reference) ++accounting.rejected_incorrect;
+  if (!e.measurement.output_matches_reference) {
+    TREU_OBS_COUNTER_ADD("autotune.candidates_rejected_incorrect", 1);
+    ++accounting.rejected_incorrect;
+  }
   return e;
 }
 
@@ -28,26 +37,33 @@ void sort_by_cost(std::vector<Evaluated> &pop) {
 
 TuneResult genetic_autotune(const Problem &problem, const TuneConfig &config,
                             parallel::ThreadPool &pool) {
+  TREU_OBS_SPAN(tune_span, "autotune.genetic");
   TuneResult result;
   core::Rng rng(config.seed, 0x6174756e65ull);  // "atune"
   const std::size_t pop_size = std::max<std::size_t>(config.population, 2);
 
   std::vector<Evaluated> population;
   population.reserve(pop_size);
-  // Seed the population with the baseline (never start worse than naive)
-  // plus random schedules.
-  population.push_back(evaluate(problem, ScheduleSpace::baseline(problem.kind()),
-                                pool, config.repeats, result));
-  while (population.size() < pop_size) {
+  {
+    TREU_OBS_SPAN(seed_span, "autotune.generation.seed");
+    // Seed the population with the baseline (never start worse than naive)
+    // plus random schedules.
     population.push_back(
-        evaluate(problem, config.space.random_schedule(problem.kind(), rng),
-                 pool, config.repeats, result));
+        evaluate(problem, ScheduleSpace::baseline(problem.kind()), pool,
+                 config.repeats, result));
+    while (population.size() < pop_size) {
+      population.push_back(
+          evaluate(problem, config.space.random_schedule(problem.kind(), rng),
+                   pool, config.repeats, result));
+    }
   }
   sort_by_cost(population);
   result.best_cost_per_generation.push_back(population.front().cost());
+  TREU_OBS_COUNTER_EVENT("autotune.best_cost", population.front().cost());
 
   for (std::size_t gen = 1; gen < std::max<std::size_t>(config.generations, 1);
        ++gen) {
+    TREU_OBS_SPAN(gen_span, "autotune.generation");
     std::vector<Evaluated> next;
     next.reserve(pop_size);
     const std::size_t elites = std::min(config.elites, population.size());
@@ -70,6 +86,7 @@ TuneResult genetic_autotune(const Problem &problem, const TuneConfig &config,
     population = std::move(next);
     sort_by_cost(population);
     result.best_cost_per_generation.push_back(population.front().cost());
+    TREU_OBS_COUNTER_EVENT("autotune.best_cost", population.front().cost());
   }
 
   result.best = population.front();
@@ -78,6 +95,7 @@ TuneResult genetic_autotune(const Problem &problem, const TuneConfig &config,
 
 TuneResult random_search(const Problem &problem, const TuneConfig &config,
                          parallel::ThreadPool &pool) {
+  TREU_OBS_SPAN(tune_span, "autotune.random_search");
   TuneResult result;
   core::Rng rng(config.seed, 0x72616e64ull);  // "rand"
   const std::size_t budget =

@@ -1,0 +1,452 @@
+// treu::obs — metrics registry, tracing spans, Chrome trace export, and the
+// telemetry report sink.
+//
+// The concurrency tests double as the TSan workload for the sharded metrics
+// path (see the tsan job in .github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "treu/core/provenance.hpp"
+#include "treu/core/sha256.hpp"
+#include "treu/obs/json.hpp"
+#include "treu/obs/metrics.hpp"
+#include "treu/obs/obs.hpp"
+#include "treu/obs/report.hpp"
+#include "treu/obs/trace.hpp"
+#include "treu/parallel/thread_pool.hpp"
+
+namespace obs = treu::obs;
+
+namespace {
+
+// --- metrics --------------------------------------------------------------
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly) {
+  obs::Registry registry;
+  obs::Counter *counter = registry.counter("test.hits");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 100000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (std::size_t i = 0; i < kPerThread; ++i) counter->add(1);
+    });
+  }
+  for (auto &t : threads) t.join();
+
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+  EXPECT_EQ(registry.snapshot().counters.at("test.hits"),
+            kThreads * kPerThread);
+}
+
+TEST(ObsCounter, SameNameSameObject) {
+  obs::Registry registry;
+  EXPECT_EQ(registry.counter("a"), registry.counter("a"));
+  EXPECT_NE(registry.counter("a"), registry.counter("b"));
+}
+
+TEST(ObsGauge, CrossThreadAddAndSubMergeExactly) {
+  obs::Registry registry;
+  obs::Gauge *gauge = registry.gauge("test.depth");
+  constexpr std::size_t kOps = 50000;
+
+  std::thread up([gauge] {
+    for (std::size_t i = 0; i < kOps; ++i) gauge->add(2);
+  });
+  std::thread down([gauge] {
+    for (std::size_t i = 0; i < kOps; ++i) gauge->sub(1);
+  });
+  up.join();
+  down.join();
+
+  EXPECT_EQ(gauge->value(), static_cast<std::int64_t>(kOps));
+}
+
+TEST(ObsHistogram, BucketBoundariesAreInclusiveUpperBounds) {
+  obs::Histogram hist({1.0, 2.0, 5.0});
+  // Exactly-on-boundary values belong to that bucket; beyond the last bound
+  // goes to the +inf overflow bucket.
+  for (const double v : {0.5, 1.0}) hist.observe(v);   // bucket 0: v <= 1
+  for (const double v : {1.5, 2.0}) hist.observe(v);   // bucket 1: 1 < v <= 2
+  hist.observe(5.0);                                   // bucket 2: 2 < v <= 5
+  hist.observe(7.0);                                   // overflow
+
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0);
+}
+
+TEST(ObsHistogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(obs::Histogram({}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ObsHistogram, DefaultLatencyBoundsStrictlyIncreasing) {
+  const auto bounds = obs::Histogram::default_latency_bounds_us();
+  ASSERT_GE(bounds.size(), 10u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(ObsHistogram, ConcurrentObservationsAllLand) {
+  obs::Registry registry;
+  const std::vector<double> bounds{1.0, 10.0, 100.0};
+  obs::Histogram *hist = registry.histogram("test.lat", bounds);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        hist->observe(static_cast<double>((t * kPerThread + i) % 200));
+      }
+    });
+  }
+  for (auto &t : threads) t.join();
+
+  EXPECT_EQ(hist->snapshot().count, kThreads * kPerThread);
+}
+
+TEST(ObsHistogram, FirstCallFixesBounds) {
+  obs::Registry registry;
+  const std::vector<double> first{1.0, 2.0};
+  const std::vector<double> second{42.0};
+  obs::Histogram *a = registry.histogram("h", first);
+  obs::Histogram *b = registry.histogram("h", second);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+// --- json -----------------------------------------------------------------
+
+TEST(ObsJson, RoundTripsDocuments) {
+  const std::string text =
+      R"({"a":[1,2.5,true,null,"x\n\"y\""],"b":{"nested":-3},"c":1e3})";
+  const auto parsed = obs::json::Value::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  const auto reparsed = obs::json::Value::parse(parsed->dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(parsed->dump(), reparsed->dump());
+
+  const obs::json::Value *a = parsed->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->as_array().size(), 5u);
+  EXPECT_EQ(a->as_array()[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_double(), 2.5);
+  EXPECT_EQ(a->as_array()[4].as_string(), "x\n\"y\"");
+  EXPECT_DOUBLE_EQ(parsed->find("c")->as_double(), 1000.0);
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  EXPECT_FALSE(obs::json::Value::parse("{").has_value());
+  EXPECT_FALSE(obs::json::Value::parse("[1,]").has_value());
+  EXPECT_FALSE(obs::json::Value::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(obs::json::Value::parse("\"unterminated").has_value());
+  EXPECT_FALSE(obs::json::Value::parse("123 trailing").has_value());
+  EXPECT_FALSE(obs::json::Value::parse("nul").has_value());
+}
+
+TEST(ObsJson, EscapesControlCharacters) {
+  const obs::json::Value v(std::string("tab\there\x01"));
+  const std::string dumped = v.dump();
+  EXPECT_NE(dumped.find("\\t"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+  const auto back = obs::json::Value::parse(dumped);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->as_string(), "tab\there\x01");
+}
+
+// --- tracing --------------------------------------------------------------
+
+// Walk the exported traceEvents and check B/E balance per thread plus
+// globally monotone timestamps.
+void check_chrome_events(const obs::json::Value &doc,
+                         std::size_t expected_spans) {
+  const obs::json::Value *events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::map<std::int64_t, std::vector<std::string>> open_per_tid;
+  std::int64_t last_ts = -1;
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (const obs::json::Value &ev : events->as_array()) {
+    ASSERT_TRUE(ev.is_object());
+    const std::string ph = ev.find("ph")->as_string();
+    const std::int64_t ts = ev.find("ts")->as_int();
+    const std::int64_t tid = ev.find("tid")->as_int();
+    const std::string name = ev.find("name")->as_string();
+    EXPECT_GE(ts, last_ts) << "timestamps must be monotone";
+    last_ts = ts;
+    if (ph == "B") {
+      ++begins;
+      open_per_tid[tid].push_back(name);
+    } else if (ph == "E") {
+      ++ends;
+      ASSERT_FALSE(open_per_tid[tid].empty())
+          << "E without matching B on tid " << tid;
+      EXPECT_EQ(open_per_tid[tid].back(), name) << "spans must nest";
+      open_per_tid[tid].pop_back();
+    } else {
+      EXPECT_EQ(ph, "C");
+    }
+  }
+  EXPECT_EQ(begins, expected_spans);
+  EXPECT_EQ(ends, expected_spans);
+  for (const auto &[tid, open] : open_per_tid) {
+    EXPECT_TRUE(open.empty()) << "unclosed span on tid " << tid;
+  }
+}
+
+TEST(ObsTrace, ChromeJsonRoundTripsBalancedAndMonotone) {
+  obs::TraceCollector collector;
+  {
+    obs::Span outer("outer", collector);
+    { obs::Span inner("inner", collector); }
+    { obs::Span inner2("inner2", collector); }
+  }
+  std::thread other([&collector] {
+    obs::Span t("other-thread", collector);
+    obs::Span nested("other-nested", collector);
+  });
+  other.join();
+  collector.counter_event("cost", 1.5);
+
+  ASSERT_EQ(collector.span_count(), 5u);
+  const std::string json_text = collector.to_chrome_json();
+  const auto doc = obs::json::Value::parse(json_text);
+  ASSERT_TRUE(doc.has_value()) << "export must be valid JSON";
+  check_chrome_events(*doc, 5);
+
+  // The counter event is present with its value payload.
+  bool saw_counter = false;
+  for (const obs::json::Value &ev : doc->find("traceEvents")->as_array()) {
+    if (ev.find("ph")->as_string() == "C") {
+      saw_counter = true;
+      EXPECT_EQ(ev.find("name")->as_string(), "cost");
+      EXPECT_DOUBLE_EQ(ev.find("args")->find("value")->as_double(), 1.5);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(ObsTrace, NestingSurvivesSameMicrosecondTimestamps) {
+  obs::TraceCollector collector;
+  // Spans this tight routinely start and end inside one microsecond tick;
+  // the sequence stamps must still order them correctly.
+  for (int i = 0; i < 100; ++i) {
+    obs::Span a("a", collector);
+    obs::Span b("b", collector);
+    obs::Span c("c", collector);
+  }
+  const auto doc = obs::json::Value::parse(collector.to_chrome_json());
+  ASSERT_TRUE(doc.has_value());
+  check_chrome_events(*doc, 300);
+}
+
+TEST(ObsTrace, CapacityCapCountsDrops) {
+  obs::TraceCollector collector;
+  collector.set_capacity(10);
+  for (int i = 0; i < 25; ++i) {
+    obs::Span s("s", collector);
+  }
+  EXPECT_EQ(collector.span_count(), 10u);
+  EXPECT_EQ(collector.dropped(), 15u);
+  collector.clear();
+  EXPECT_EQ(collector.span_count(), 0u);
+  EXPECT_EQ(collector.dropped(), 0u);
+}
+
+TEST(ObsTrace, ConcurrentSpansFromManyThreads) {
+  obs::TraceCollector collector;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kSpansPer = 200;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&collector] {
+      for (std::size_t i = 0; i < kSpansPer; ++i) {
+        obs::Span outer("outer", collector);
+        obs::Span inner("inner", collector);
+      }
+    });
+  }
+  for (auto &t : threads) t.join();
+
+  ASSERT_EQ(collector.span_count(), kThreads * kSpansPer * 2);
+  const auto doc = obs::json::Value::parse(collector.to_chrome_json());
+  ASSERT_TRUE(doc.has_value());
+  check_chrome_events(*doc, kThreads * kSpansPer * 2);
+}
+
+// --- report sink ----------------------------------------------------------
+
+TEST(ObsReport, TelemetryFlagParsing) {
+  {
+    std::vector<std::string> store = {"prog", "--telemetry", "out.json",
+                                      "--benchmark_filter=x"};
+    std::vector<char *> argv;
+    for (auto &s : store) argv.push_back(s.data());
+    int argc = static_cast<int>(argv.size());
+    const auto opts = obs::parse_telemetry_flag(argc, argv.data());
+    EXPECT_TRUE(opts.enabled());
+    EXPECT_EQ(opts.path, "out.json");
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "--benchmark_filter=x");
+  }
+  {
+    std::vector<std::string> store = {"prog", "--telemetry=t.json"};
+    std::vector<char *> argv;
+    for (auto &s : store) argv.push_back(s.data());
+    int argc = static_cast<int>(argv.size());
+    const auto opts = obs::parse_telemetry_flag(argc, argv.data());
+    EXPECT_EQ(opts.path, "t.json");
+    EXPECT_EQ(argc, 1);
+  }
+  {
+    std::vector<std::string> store = {"prog", "--other"};
+    std::vector<char *> argv;
+    for (auto &s : store) argv.push_back(s.data());
+    int argc = static_cast<int>(argv.size());
+    const auto opts = obs::parse_telemetry_flag(argc, argv.data());
+    EXPECT_FALSE(opts.enabled());
+    EXPECT_EQ(argc, 2);
+  }
+}
+
+TEST(ObsReport, ArtifactDigestRegistersInProvenance) {
+  obs::Registry registry;
+  registry.counter("threadpool.tasks_executed")->add(3);
+  const std::vector<double> task_bounds{10.0, 100.0};
+  registry.histogram("threadpool.task_us", task_bounds)->observe(42.0);
+  obs::TraceCollector collector;
+  {
+    obs::Span s("run", collector);
+    obs::Span t("inner", collector);
+  }
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "treu_obs_report_test.json")
+          .string();
+  const obs::TelemetryArtifact artifact =
+      obs::write_telemetry(path, "unit-test-run", registry, collector);
+
+  // File bytes hash to the reported digest.
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  EXPECT_EQ(bytes.size(), artifact.bytes);
+  EXPECT_EQ(treu::core::sha256(bytes), artifact.digest);
+  EXPECT_EQ(artifact.span_count, 2u);
+
+  // The document carries both the metrics and a valid trace.
+  const auto doc = obs::json::Value::parse(bytes);
+  ASSERT_TRUE(doc.has_value());
+  check_chrome_events(*doc, 2);
+  const obs::json::Value *metrics = doc->find("treuMetrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(
+      metrics->find("counters")->find("threadpool.tasks_executed")->as_int(),
+      3);
+  const obs::json::Value *hist =
+      metrics->find("histograms")->find("threadpool.task_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->as_int(), 1);
+
+  // Provenance + run record binding.
+  treu::core::Manifest manifest;
+  manifest.name = "unit-test-run";
+  manifest.seed = 1;
+  treu::core::ProvenanceGraph graph;
+  treu::core::RunRecord record;
+  obs::register_telemetry(artifact, manifest, graph, record);
+  EXPECT_TRUE(graph.contains("telemetry:unit-test-run"));
+  EXPECT_EQ(graph.digest_of("telemetry:unit-test-run"), artifact.digest);
+  EXPECT_EQ(graph.parents_of("telemetry:unit-test-run"),
+            std::vector<std::string>{"manifest:unit-test-run"});
+  EXPECT_EQ(record.artifacts.at("telemetry"), artifact.digest);
+  EXPECT_EQ(record.manifest_digest, manifest.digest());
+
+  std::filesystem::remove(path);
+}
+
+// --- instrumentation wiring (compiled out when TREU_OBS_ENABLED=0) --------
+
+#if TREU_OBS_ENABLED
+
+TEST(ObsInstrumentation, ThreadPoolFeedsGlobalRegistry) {
+  const auto before = obs::Registry::global().snapshot();
+
+  treu::parallel::ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 10000,
+                    [&sum](std::size_t i) { sum.fetch_add(i % 7); });
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+
+  const auto after = obs::Registry::global().snapshot();
+  const auto delta = [&](const char *name) -> std::int64_t {
+    const auto get = [&](const auto &snap) -> std::int64_t {
+      const auto it = snap.counters.find(name);
+      return it == snap.counters.end() ? 0
+                                       : static_cast<std::int64_t>(it->second);
+    };
+    return get(after) - get(before);
+  };
+  EXPECT_GE(delta("threadpool.parallel_for_calls"), 1);
+  EXPECT_GE(delta("threadpool.chunks_executed"), 1);
+  EXPECT_GE(delta("threadpool.tasks_submitted"), 1);
+  // Executed tasks drain by the time the pool is destroyed... which it is.
+  EXPECT_GE(delta("threadpool.tasks_executed"), 1);
+  // The task latency histogram saw at least the submitted task.
+  const auto hist_it = after.histograms.find("threadpool.task_us");
+  ASSERT_NE(hist_it, after.histograms.end());
+  EXPECT_GE(hist_it->second.count, 1u);
+  // All queued work was drained: depth returns to zero.
+  const auto gauge_it = after.gauges.find("threadpool.queue_depth");
+  if (gauge_it != after.gauges.end()) {
+    EXPECT_EQ(gauge_it->second, 0);
+  }
+}
+
+TEST(ObsInstrumentation, MacrosHitGlobalRegistry) {
+  const auto before = obs::Registry::global().snapshot();
+  TREU_OBS_COUNTER_ADD("obs_test.macro_counter", 5);
+  TREU_OBS_GAUGE_ADD("obs_test.macro_gauge", -3);
+  TREU_OBS_HISTOGRAM_OBSERVE("obs_test.macro_hist", 12.0);
+  {
+    TREU_OBS_SCOPED_LATENCY_US(timer, "obs_test.macro_latency");
+  }
+  const auto after = obs::Registry::global().snapshot();
+  EXPECT_EQ(after.counters.at("obs_test.macro_counter"), 5u);
+  EXPECT_EQ(after.gauges.at("obs_test.macro_gauge"), -3);
+  EXPECT_EQ(after.histograms.at("obs_test.macro_hist").count, 1u);
+  EXPECT_EQ(after.histograms.at("obs_test.macro_latency").count, 1u);
+  (void)before;
+}
+
+#endif  // TREU_OBS_ENABLED
+
+}  // namespace
