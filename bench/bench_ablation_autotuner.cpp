@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 #include <string>
 
@@ -77,8 +79,8 @@ BENCHMARK(BM_GaGeneration)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char **argv) {
-  const treu::obs::TelemetryOptions telemetry =
-      treu::obs::parse_telemetry_flag(argc, argv);
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/1);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -86,10 +88,9 @@ int main(int argc, char **argv) {
   treu::core::Manifest manifest;
   manifest.name = "bench_ablation_autotuner";
   manifest.description = "A-tune: GA autotuner vs budget-matched random search";
-  manifest.seed = 1;
   manifest.set("population", std::int64_t{8});
   manifest.set("generations", std::int64_t{4});
   manifest.set("seeds", std::int64_t{3});
-  treu::obs::finish_telemetry_run(telemetry, manifest);
+  treu::bench::finish(flags, manifest);
   return 0;
 }

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -99,8 +101,15 @@ BENCHMARK(BM_DeterministicSum)
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/7);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_ablation_reduction";
+  manifest.description = "A-par: deterministic reduction vs plain summation";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

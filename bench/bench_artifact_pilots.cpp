@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 
 #include "treu/artifact/review.hpp"
@@ -99,8 +101,15 @@ BENCHMARK(BM_PanelReview);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/2023);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_artifact_pilots";
+  manifest.description = "E2.1: artifact-evaluation pilot studies";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

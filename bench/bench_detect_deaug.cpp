@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 
 #include "treu/core/rng.hpp"
@@ -79,8 +81,15 @@ BENCHMARK(BM_DetectOneFrame)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/1);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_detect_deaug";
+  manifest.description = "E2.6: dataset deaugmentation for object detection";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 
 #include "treu/core/rng.hpp"
@@ -55,8 +57,15 @@ BENCHMARK(BM_StagedSimulation)->Arg(2)->Arg(8);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/2244492);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_gpu_contention";
+  manifest.description = "A-gpu: GPU contention and resource-sharing model";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

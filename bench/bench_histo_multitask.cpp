@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 
 #include "treu/core/rng.hpp"
@@ -106,8 +108,15 @@ BENCHMARK(BM_CellCounting);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/1);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_histo_multitask";
+  manifest.description = "E2.7: multi-task histopathology heads";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 #include <string>
 
@@ -118,8 +120,8 @@ BENCHMARK(BM_LoopOrderSweep)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char **argv) {
-  const treu::obs::TelemetryOptions telemetry =
-      treu::obs::parse_telemetry_flag(argc, argv);
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/7);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -127,10 +129,9 @@ int main(int argc, char **argv) {
   treu::core::Manifest manifest;
   manifest.name = "bench_kernels_autotune";
   manifest.description = "E2.5: GA autotuning across the five kernels";
-  manifest.seed = 7;
   manifest.set("population", std::int64_t{10});
   manifest.set("generations", std::int64_t{5});
   manifest.set("repeats", std::int64_t{2});
-  treu::obs::finish_telemetry_run(telemetry, manifest);
+  treu::bench::finish(flags, manifest);
   return 0;
 }

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 
 #include "treu/core/rng.hpp"
@@ -133,8 +135,15 @@ BENCHMARK(BM_FilterStep)->Arg(0)->Arg(1);  // 0 = gaussian, 1 = fast
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/100);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_pf_weighting";
+  manifest.description = "E2.2: particle-filter event location weighting";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 
 #include "treu/core/rng.hpp"
@@ -60,8 +62,15 @@ BENCHMARK(BM_DqnEpisodeAttention)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/1);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_rl_reliability";
+  manifest.description = "E2.8: Q-estimator reliability (MLP vs attention DQN)";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cmath>
 #include <cstdio>
 
@@ -82,8 +84,15 @@ BENCHMARK(BM_PowerIterationOnCovariance)
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/17);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_robust_mean";
+  manifest.description = "E2.10: robust high-dimensional mean estimation";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 #include <string>
 
@@ -81,8 +83,8 @@ BENCHMARK(BM_BandwidthProbe)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char **argv) {
-  const treu::obs::TelemetryOptions telemetry =
-      treu::obs::parse_telemetry_flag(argc, argv);
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/11);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -90,8 +92,7 @@ int main(int argc, char **argv) {
   treu::core::Manifest manifest;
   manifest.name = "bench_roofline";
   manifest.description = "E2.5b: measured roofline model + kernel placement";
-  manifest.seed = 11;
   manifest.set("repeats", std::int64_t{3});
-  treu::obs::finish_telemetry_run(telemetry, manifest);
+  treu::bench::finish(flags, manifest);
   return 0;
 }

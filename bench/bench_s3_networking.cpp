@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 
 #include "treu/survey/likert.hpp"
@@ -45,8 +47,15 @@ BENCHMARK(BM_NetworkingReconstruction);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/2023);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_s3_networking";
+  manifest.description = "S3-net: networking and PhD-intent statistics";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 
 #include "treu/core/rng.hpp"
@@ -98,8 +100,15 @@ BENCHMARK(BM_RepulsionRelax)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/1);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_shape_atlas";
+  manifest.description = "E2.11: statistical shape atlases";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 
 #include "treu/survey/treu_survey.hpp"
@@ -38,8 +40,15 @@ BENCHMARK(BM_Table1Regeneration);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/2023);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_table1_goals";
+  manifest.description = "T1: regenerate Table 1 (student goals accomplished)";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

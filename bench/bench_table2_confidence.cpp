@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 
 #include "treu/survey/likert.hpp"
@@ -59,8 +61,15 @@ BENCHMARK(BM_LikertPrePostSearch);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/2023);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_table2_confidence";
+  manifest.description = "T2: regenerate Table 2 (research-skill confidence)";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

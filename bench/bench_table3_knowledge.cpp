@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 
 #include "treu/survey/likert.hpp"
@@ -48,8 +50,15 @@ BENCHMARK(BM_Table3Reconstruction);
 }  // namespace
 
 int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/2023);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_table3_knowledge";
+  manifest.description = "T3: regenerate Table 3 (self-reported knowledge)";
+  treu::bench::finish(flags, manifest);
   return 0;
 }

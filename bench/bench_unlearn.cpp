@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <cstdio>
 #include <string>
 
@@ -104,8 +106,8 @@ BENCHMARK(BM_SisaForgetOneSample)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char **argv) {
-  const treu::obs::TelemetryOptions telemetry =
-      treu::obs::parse_telemetry_flag(argc, argv);
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/1);
   print_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
@@ -113,10 +115,9 @@ int main(int argc, char **argv) {
   treu::core::Manifest manifest;
   manifest.name = "bench_unlearn";
   manifest.description = "E2.3: unlearn-by-retargeting vs full retraining";
-  manifest.seed = 1;
   manifest.set("per_class", std::int64_t{100});
   manifest.set("epochs", std::int64_t{20});
   manifest.set("seeds", std::int64_t{5});
-  treu::obs::finish_telemetry_run(telemetry, manifest);
+  treu::bench::finish(flags, manifest);
   return 0;
 }

@@ -1,0 +1,83 @@
+#pragma once
+
+// Shared flag handling for every bench binary.
+//
+// All 20 benches accept the same epilogue flags, parsed and removed from
+// argv *before* google-benchmark's own flag parsing runs:
+//
+//   --telemetry <path> | --telemetry=<path>
+//       Write the run's metrics + trace as one JSON artifact, register its
+//       digest in a provenance graph, and append a journaled run record
+//       (see treu/obs/report.hpp).
+//   --seed <n> | --seed=<n>
+//       Master seed recorded in the run manifest. Each bench passes its
+//       historical default so unflagged runs keep reproducing the same
+//       numbers.
+//
+// Bad-path policy (asserted by scripts/check_telemetry_badpath.sh): a bench
+// whose measurements already ran never aborts on a bad epilogue flag — an
+// unwritable --telemetry path or a malformed --seed prints `ERROR` to
+// stderr and the binary continues/exits 0.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "treu/core/manifest.hpp"
+#include "treu/obs/report.hpp"
+
+namespace treu::bench {
+
+struct CommonFlags {
+  obs::TelemetryOptions telemetry;
+  std::uint64_t seed = 0;
+};
+
+/// Extract the shared flags from argv (consumed arguments are removed;
+/// everything else is left for benchmark::Initialize).
+inline CommonFlags parse_common_flags(int &argc, char **argv,
+                                      std::uint64_t default_seed) {
+  CommonFlags flags;
+  flags.seed = default_seed;
+  const auto parse_seed = [&flags, default_seed](const std::string &text) {
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || end == text.c_str() || *end != '\0') {
+      std::fprintf(stderr,
+                   "bench: ERROR bad --seed '%s' (keeping default %llu)\n",
+                   text.c_str(),
+                   static_cast<unsigned long long>(default_seed));
+      return;
+    }
+    flags.seed = static_cast<std::uint64_t>(v);
+  };
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--telemetry" && i + 1 < argc) {
+      flags.telemetry.path = argv[++i];
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      flags.telemetry.path = arg.substr(std::string("--telemetry=").size());
+    } else if (arg == "--seed" && i + 1 < argc) {
+      parse_seed(argv[++i]);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      parse_seed(arg.substr(std::string("--seed=").size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return flags;
+}
+
+/// Uniform bench epilogue: stamp the (possibly overridden) seed into the
+/// manifest and, when --telemetry was requested, write and register the
+/// artifact. Write failures print an error and continue (PR 1 behaviour).
+inline void finish(const CommonFlags &flags, core::Manifest manifest) {
+  manifest.seed = flags.seed;
+  (void)obs::finish_telemetry_run(flags.telemetry, std::move(manifest));
+}
+
+}  // namespace treu::bench

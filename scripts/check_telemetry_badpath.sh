@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Assert the bench bad-path contract (bench/common.hpp): once a bench's
+# measurements have run, a broken epilogue flag must never abort it —
+# an unwritable --telemetry path or a malformed --seed prints an ERROR
+# line and the binary still exits 0.
+#
+# Usage: scripts/check_telemetry_badpath.sh [bench_binary...]
+# Default binaries assume a ./build tree at the repo root.
+set -u
+
+fails=0
+
+check() {
+  local label="$1" needle="$2" bin="$3"
+  shift 3
+  local out status
+  out="$("$bin" "$@" --benchmark_filter=none 2>&1)"
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "FAIL [$label] $bin exited $status (must continue, never abort)"
+    echo "$out" | tail -5
+    fails=$((fails + 1))
+    return
+  fi
+  if ! echo "$out" | grep -q "$needle"; then
+    echo "FAIL [$label] $bin did not print '$needle'"
+    echo "$out" | tail -5
+    fails=$((fails + 1))
+    return
+  fi
+  echo "ok   [$label] $(basename "$bin")"
+}
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+if [ "$#" -gt 0 ]; then
+  benches=("$@")
+else
+  benches=(
+    "$root/build/bench/bench_table1_goals"
+    "$root/build/bench/bench_serve_throughput"
+  )
+fi
+
+for bin in "${benches[@]}"; do
+  if [ ! -x "$bin" ]; then
+    echo "FAIL missing bench binary: $bin"
+    fails=$((fails + 1))
+    continue
+  fi
+  # Unwritable telemetry path: ERROR line, exit 0, no artifact.
+  check "telemetry" "telemetry: ERROR" "$bin" \
+    --telemetry /nonexistent-treu-dir/out.json
+  # Malformed seed: ERROR line, default seed kept, run continues.
+  check "seed" "ERROR bad --seed" "$bin" --seed not-a-number
+done
+
+if [ "$fails" -ne 0 ]; then
+  echo "check_telemetry_badpath: $fails failure(s)"
+  exit 1
+fi
+echo "check_telemetry_badpath: all checks passed"

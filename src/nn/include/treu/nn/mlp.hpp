@@ -12,6 +12,7 @@
 #include "treu/nn/layer.hpp"
 #include "treu/nn/loss.hpp"
 #include "treu/nn/optimizer.hpp"
+#include "treu/nn/predictor.hpp"
 
 namespace treu::nn {
 
@@ -54,10 +55,19 @@ struct TrainStats {
   double final_train_accuracy = 0.0;
 };
 
-class MlpClassifier {
+class MlpClassifier final
+    : public Predictor<std::vector<double>, ClassScores> {
  public:
   MlpClassifier(std::size_t input_dim, const std::vector<std::size_t> &hidden,
                 std::size_t classes, core::Rng &rng);
+
+  /// Predictor: feature rows in, logits + argmax label out. The batch is
+  /// stacked into one matrix and run through a single forward pass; Dense /
+  /// ReLU are row-independent, so outputs are bitwise-identical to
+  /// per-sample calls.
+  [[nodiscard]] std::vector<ClassScores> predict_batch(
+      std::span<const std::vector<double>> inputs) override;
+  [[nodiscard]] std::string weight_hash() override;
 
   [[nodiscard]] tensor::Matrix logits(const tensor::Matrix &x);
   [[nodiscard]] std::vector<std::size_t> predict(const tensor::Matrix &x);

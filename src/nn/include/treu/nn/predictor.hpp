@@ -1,0 +1,68 @@
+#pragma once
+
+// The unified batched-inference interface (treu::nn::Predictor).
+//
+// Every trained model in the repo — the malware sequence classifiers, the
+// vision window scorer, the RL Q-estimators, and the plain MLP — implements
+// this one interface, so the serving layer (treu::serve) can put any of
+// them behind a dynamic batcher without knowing what it is scoring.
+//
+// Contract
+//  - `predict_batch` over N inputs must be *bitwise identical* to N
+//    per-sample calls in the same order. Batching is a throughput
+//    optimization, never a numerics change; serve_test asserts this for
+//    every implementation. Implementations whose layers are row-independent
+//    (Dense/ReLU/softmax) stack inputs into one matrix and run a single
+//    forward; sequence models with variable-length inputs loop, which still
+//    amortizes queue/dispatch overhead upstream.
+//  - `weight_hash` is the SHA-256 fingerprint of all trainable parameters
+//    (via nn::weight_digest), in hex. Served responses carry it so every
+//    answer is attributable to an exact weight snapshot — the serving-time
+//    extension of the repo's reproducibility ledger.
+//  - Inference mutates layer caches (forward stores activations), so
+//    predict_batch is non-const and NOT thread-safe per instance. The
+//    serving layer serializes access per model replica.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "treu/nn/param.hpp"
+
+namespace treu::nn {
+
+template <typename In, typename Out>
+class Predictor {
+ public:
+  using Input = In;
+  using Output = Out;
+
+  virtual ~Predictor() = default;
+
+  /// Batched forward pass; one output per input, in order.
+  [[nodiscard]] virtual std::vector<Out> predict_batch(
+      std::span<const In> inputs) = 0;
+
+  /// Hex SHA-256 of all trainable weights (shapes included).
+  [[nodiscard]] virtual std::string weight_hash() = 0;
+
+  /// Convenience single-sample call through the batched path.
+  [[nodiscard]] Out predict_one(const In &input) {
+    return std::move(predict_batch(std::span<const In>(&input, 1)).front());
+  }
+};
+
+/// Argmax label + raw logits for one classified sample; the Output type of
+/// dense-feature classifiers (MlpClassifier).
+struct ClassScores {
+  std::vector<double> logits;
+  std::size_t label = 0;
+};
+
+/// Helper for implementations: hex weight fingerprint of a parameter list.
+[[nodiscard]] inline std::string weight_hash_hex(
+    std::span<Param *const> params) {
+  return weight_digest(params).hex();
+}
+
+}  // namespace treu::nn

@@ -61,6 +61,34 @@ tensor::Matrix MlpClassifier::logits(const tensor::Matrix &x) {
   return net_.forward(x);
 }
 
+std::vector<ClassScores> MlpClassifier::predict_batch(
+    std::span<const std::vector<double>> inputs) {
+  std::vector<ClassScores> out;
+  if (inputs.empty()) return out;
+  const std::size_t dim = inputs.front().size();
+  tensor::Matrix x(inputs.size(), dim);
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    if (inputs[r].size() != dim) {
+      throw std::invalid_argument("MlpClassifier::predict_batch: ragged batch");
+    }
+    auto row = x.row(r);
+    for (std::size_t c = 0; c < dim; ++c) row[c] = inputs[r][c];
+  }
+  const tensor::Matrix y = net_.forward(x);
+  const std::vector<std::size_t> labels = argmax_rows(y);
+  out.reserve(inputs.size());
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    const auto row = y.row(r);
+    out.push_back({{row.begin(), row.end()}, labels[r]});
+  }
+  return out;
+}
+
+std::string MlpClassifier::weight_hash() {
+  const auto p = net_.params();
+  return weight_hash_hex(std::span<Param *const>(p.data(), p.size()));
+}
+
 std::vector<std::size_t> MlpClassifier::predict(const tensor::Matrix &x) {
   return argmax_rows(logits(x));
 }

@@ -17,16 +17,25 @@
 #include "treu/nn/layer.hpp"
 #include "treu/nn/layers.hpp"
 #include "treu/nn/optimizer.hpp"
+#include "treu/nn/predictor.hpp"
 
 namespace treu::rl {
 
-class QNetwork {
+/// Q estimators implement the unified Predictor API: a batch of state
+/// vectors in, one Q-value vector per state out. The base class provides a
+/// per-sample loop; MlpQNet overrides it with a true stacked-matrix forward
+/// (row-independent layers keep it bitwise-identical to the loop).
+class QNetwork
+    : public nn::Predictor<std::vector<double>, std::vector<double>> {
  public:
-  virtual ~QNetwork() = default;
-
   /// Q values for one state.
   [[nodiscard]] virtual std::vector<double> q_values(
       std::span<const double> state) = 0;
+
+  /// Predictor: one Q vector per state row.
+  [[nodiscard]] std::vector<std::vector<double>> predict_batch(
+      std::span<const std::vector<double>> states) override;
+  [[nodiscard]] std::string weight_hash() override;
 
   /// One SGD step pulling Q(state, action) toward target; returns TD error^2.
   virtual double update(std::span<const double> state, std::size_t action,
@@ -48,6 +57,9 @@ class MlpQNet final : public QNetwork {
           core::Rng &rng, double lr);
 
   std::vector<double> q_values(std::span<const double> state) override;
+  /// Batched override: all states stacked into one matrix, one forward.
+  std::vector<std::vector<double>> predict_batch(
+      std::span<const std::vector<double>> states) override;
   double update(std::span<const double> state, std::size_t action,
                 double target) override;
   std::vector<nn::Param *> params() override { return net_.params(); }

@@ -16,6 +16,19 @@ tensor::Matrix row_from(std::span<const double> state) {
 
 }  // namespace
 
+std::vector<std::vector<double>> QNetwork::predict_batch(
+    std::span<const std::vector<double>> states) {
+  std::vector<std::vector<double>> out;
+  out.reserve(states.size());
+  for (const auto &state : states) out.push_back(q_values(state));
+  return out;
+}
+
+std::string QNetwork::weight_hash() {
+  const auto p = params();
+  return nn::weight_hash_hex(std::span<nn::Param *const>(p.data(), p.size()));
+}
+
 void QNetwork::sync_from(QNetwork &other) {
   const auto src = other.params();
   const auto dst = params();
@@ -43,6 +56,28 @@ MlpQNet::MlpQNet(std::size_t state_dim, std::size_t hidden,
 std::vector<double> MlpQNet::q_values(std::span<const double> state) {
   const tensor::Matrix out = net_.forward(row_from(state));
   return {out.flat().begin(), out.flat().end()};
+}
+
+std::vector<std::vector<double>> MlpQNet::predict_batch(
+    std::span<const std::vector<double>> states) {
+  std::vector<std::vector<double>> out;
+  if (states.empty()) return out;
+  const std::size_t dim = states.front().size();
+  tensor::Matrix x(states.size(), dim);
+  for (std::size_t r = 0; r < states.size(); ++r) {
+    if (states[r].size() != dim) {
+      throw std::invalid_argument("MlpQNet::predict_batch: ragged batch");
+    }
+    auto row = x.row(r);
+    for (std::size_t c = 0; c < dim; ++c) row[c] = states[r][c];
+  }
+  const tensor::Matrix q = net_.forward(x);
+  out.reserve(states.size());
+  for (std::size_t r = 0; r < q.rows(); ++r) {
+    const auto row = q.row(r);
+    out.emplace_back(row.begin(), row.end());
+  }
+  return out;
 }
 
 double MlpQNet::update(std::span<const double> state, std::size_t action,

@@ -1,0 +1,347 @@
+#pragma once
+
+// treu::serve — a dynamic-batching inference runtime.
+//
+// BatchServer puts any nn::Predictor behind a request queue and turns
+// per-sample model code into throughput:
+//
+//   submit(input) -> future            a dedicated batcher thread
+//   ┌────────────┐   condition-var    ┌─────────────────────────────┐
+//   │ bounded    │ ────wakeup───────> │ batch former: flush on      │
+//   │ FIFO queue │                    │ max_batch_size OR           │
+//   └────────────┘                    │ max_queue_delay, whichever  │
+//        │ reject beyond max_pending  │ comes first                 │
+//        v                            └──────────┬──────────────────┘
+//   future <- RejectedError                      │ per-batch job on
+//                                                v treu::parallel::ThreadPool
+//                                     ┌─────────────────────────────┐
+//                                     │ replica checkout ->         │
+//                                     │ predict_batch -> fulfill    │
+//                                     │ futures (output + weight    │
+//                                     │ hash + queue latency)       │
+//                                     └─────────────────────────────┘
+//
+// Design notes
+//  - Batching is adaptive: while every model replica is busy, requests keep
+//    queueing, so the next batch is bigger — backlog converts to batch size
+//    instead of per-sample dispatch overhead. An idle server dispatches a
+//    lone request after `max_queue_delay` (timeout-only flush).
+//  - Backpressure is a bounded queue: beyond `max_pending` undispatched
+//    requests, `submit` fails the returned future with RejectedError
+//    immediately. Rejecting at admission keeps tail latency of accepted
+//    work flat instead of letting the queue grow without bound.
+//  - Model instances are NOT thread-safe (forward passes mutate layer
+//    caches), so each in-flight batch checks out one replica; concurrency
+//    equals the number of replicas passed in. Weight hashes are computed
+//    once at construction — serving assumes frozen weights — and every
+//    response carries its replica's hash, extending the repo's provenance
+//    story to online traffic: any answer can be attributed to an exact
+//    weight snapshot.
+//  - `shutdown()` (also run by the destructor) stops admissions, flushes
+//    the remaining queue in max_batch_size chunks ignoring the delay, and
+//    returns once every accepted request has been fulfilled.
+//  - Everything observable is counted twice: exact internal stats guarded
+//    by the server mutex (tests rely on these; they exist with obs
+//    compiled out), plus treu::obs metrics for telemetry artifacts —
+//    serve.requests_total / serve.rejected_total / serve.batches_total /
+//    serve.responses_total counters, the serve.queue_depth gauge, and
+//    serve.batch_size / serve.queue_latency_us / serve.batch_forward_us
+//    histograms.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "treu/nn/predictor.hpp"
+#include "treu/obs/obs.hpp"
+#include "treu/parallel/thread_pool.hpp"
+
+namespace treu::serve {
+
+struct ServeConfig {
+  /// Flush a forming batch at this many requests...
+  std::size_t max_batch_size = 32;
+  /// ...or once the oldest queued request has waited this long.
+  std::chrono::microseconds max_queue_delay{2000};
+  /// Admission bound: undispatched requests beyond this are rejected.
+  std::size_t max_pending = 1024;
+};
+
+/// The error a rejected request's future carries.
+class RejectedError final : public std::runtime_error {
+ public:
+  explicit RejectedError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/// One served response: the model output plus serving provenance.
+template <typename Out>
+struct Served {
+  Out output;
+  std::string weight_hash;     // hex SHA-256 of the serving replica's weights
+  std::size_t batch_size = 0;  // size of the batch this rode in
+  double queue_us = 0.0;       // admission -> dispatch latency
+};
+
+/// Exact internal counters (independent of TREU_OBS_ENABLED).
+struct ServeStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;  // futures fulfilled with a value
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;  // largest batch formed so far
+  std::size_t queue_depth = 0;  // undispatched requests right now
+};
+
+template <typename In, typename Out>
+class BatchServer {
+ public:
+  using Model = nn::Predictor<In, Out>;
+  using Response = Served<Out>;
+
+  /// Serve a set of replicas of one model (all must hold identical
+  /// weights; each concurrent batch checks out one replica).
+  BatchServer(std::vector<Model *> replicas, const ServeConfig &config,
+              parallel::ThreadPool &pool = parallel::ThreadPool::global())
+      : config_(config), pool_(pool) {
+    if (replicas.empty()) {
+      throw std::invalid_argument("BatchServer: no model replicas");
+    }
+    if (config_.max_batch_size == 0 || config_.max_pending == 0) {
+      throw std::invalid_argument("BatchServer: zero batch/pending bound");
+    }
+    free_.reserve(replicas.size());
+    for (Model *m : replicas) {
+      if (m == nullptr) throw std::invalid_argument("BatchServer: null replica");
+      free_.push_back({m, m->weight_hash()});
+    }
+#if TREU_OBS_ENABLED
+    // Fix power-of-two bounds for the batch-size histogram before the
+    // observe macro's first use can install latency-decade defaults.
+    static const std::vector<double> kBatchBounds{1, 2,  4,  8,   16,
+                                                  32, 64, 128, 256, 512};
+    (void)obs::Registry::global().histogram("serve.batch_size", kBatchBounds);
+#endif
+    batcher_ = std::thread([this] { batcher_loop(); });
+  }
+
+  /// Single-replica convenience: batches run one at a time.
+  BatchServer(Model &model, const ServeConfig &config,
+              parallel::ThreadPool &pool = parallel::ThreadPool::global())
+      : BatchServer(std::vector<Model *>{&model}, config, pool) {}
+
+  BatchServer(const BatchServer &) = delete;
+  BatchServer &operator=(const BatchServer &) = delete;
+
+  ~BatchServer() { shutdown(); }
+
+  /// Enqueue one input. The future resolves to a Served response, or to
+  /// RejectedError when the server is over max_pending / shut down.
+  [[nodiscard]] std::future<Response> submit(In input) {
+    std::promise<Response> promise;
+    std::future<Response> fut = promise.get_future();
+    {
+      std::lock_guard lock(mu_);
+      if (!accepting_ || queue_.size() >= config_.max_pending) {
+        ++stats_.rejected;
+        promise.set_exception(std::make_exception_ptr(RejectedError(
+            accepting_ ? "BatchServer: queue full (max_pending)"
+                       : "BatchServer: shut down")));
+        TREU_OBS_COUNTER_ADD("serve.rejected_total", 1);
+        return fut;
+      }
+      ++stats_.accepted;
+      queue_.push_back(Pending{std::move(input), std::move(promise),
+                               std::chrono::steady_clock::now()});
+    }
+    TREU_OBS_COUNTER_ADD("serve.requests_total", 1);
+    TREU_OBS_GAUGE_ADD("serve.queue_depth", 1);
+    cv_.notify_all();
+    return fut;
+  }
+
+  /// Enqueue a client-side batch of any size; the batch former splits it
+  /// into server batches of at most max_batch_size.
+  [[nodiscard]] std::vector<std::future<Response>> submit_many(
+      std::span<const In> inputs) {
+    std::vector<std::future<Response>> futs;
+    futs.reserve(inputs.size());
+    for (const In &input : inputs) futs.push_back(submit(In(input)));
+    return futs;
+  }
+
+  /// Stop admitting, serve everything already accepted, stop the batcher.
+  /// Safe to call more than once (and from the destructor after an
+  /// explicit call).
+  void shutdown() {
+    std::lock_guard shutdown_guard(shutdown_mu_);
+    {
+      std::unique_lock lock(mu_);
+      accepting_ = false;
+      cv_.notify_all();
+      idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+      stop_ = true;
+      cv_.notify_all();
+    }
+    if (batcher_.joinable()) batcher_.join();
+  }
+
+  [[nodiscard]] ServeStats stats() const {
+    std::lock_guard lock(mu_);
+    ServeStats s = stats_;
+    s.queue_depth = queue_.size();
+    return s;
+  }
+
+  [[nodiscard]] const ServeConfig &config() const noexcept { return config_; }
+
+ private:
+  struct Pending {
+    In input;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct Replica {
+    Model *model;
+    std::string hash;
+  };
+  struct Batch {
+    std::vector<Pending> items;
+    Replica replica;
+    std::chrono::steady_clock::time_point dispatched;
+  };
+
+  void batcher_loop() {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+
+      // Form the batch: grow until full, or until the oldest request has
+      // waited max_queue_delay. A draining server flushes immediately.
+      const auto deadline = queue_.front().enqueued + config_.max_queue_delay;
+      while (queue_.size() < config_.max_batch_size && accepting_ && !stop_) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
+
+      // Wait for a free replica. Requests keep arriving meanwhile, so a
+      // busy server naturally forms bigger batches.
+      cv_.wait(lock, [&] { return stop_ || !free_.empty(); });
+      if (free_.empty()) continue;  // stop_ set; drain requirement already met
+
+      Batch batch;
+      batch.replica = std::move(free_.back());
+      free_.pop_back();
+      const std::size_t n =
+          std::min(queue_.size(), config_.max_batch_size);
+      batch.items.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.items.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      batch.dispatched = std::chrono::steady_clock::now();
+      ++in_flight_;
+      ++stats_.batches;
+      if (n > stats_.max_batch) stats_.max_batch = n;
+      lock.unlock();
+
+      TREU_OBS_COUNTER_ADD("serve.batches_total", 1);
+      TREU_OBS_GAUGE_ADD("serve.queue_depth",
+                         -static_cast<std::int64_t>(n));
+      TREU_OBS_HISTOGRAM_OBSERVE("serve.batch_size",
+                                 static_cast<double>(n));
+      for (const Pending &p : batch.items) {
+        const double waited_us =
+            std::chrono::duration<double, std::micro>(batch.dispatched -
+                                                      p.enqueued)
+                .count();
+        (void)waited_us;
+        TREU_OBS_HISTOGRAM_OBSERVE("serve.queue_latency_us", waited_us);
+      }
+
+      // Fire and forget: completion is reported through the per-request
+      // promises, not the pool future.
+      (void)pool_.submit(
+          [this, b = std::move(batch)]() mutable { run_batch(std::move(b)); });
+
+      lock.lock();
+    }
+  }
+
+  void run_batch(Batch batch) {
+    std::vector<In> inputs;
+    inputs.reserve(batch.items.size());
+    for (Pending &p : batch.items) inputs.push_back(std::move(p.input));
+
+    std::vector<Out> outputs;
+    std::exception_ptr error;
+    {
+      TREU_OBS_SCOPED_LATENCY_US(fwd_timer, "serve.batch_forward_us");
+      try {
+        outputs = batch.replica.model->predict_batch(inputs);
+        if (outputs.size() != inputs.size()) {
+          throw std::runtime_error("BatchServer: predict_batch size mismatch");
+        }
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+
+    std::uint64_t served = 0;
+    for (std::size_t i = 0; i < batch.items.size(); ++i) {
+      if (error) {
+        batch.items[i].promise.set_exception(error);
+        continue;
+      }
+      Response r;
+      r.output = std::move(outputs[i]);
+      r.weight_hash = batch.replica.hash;
+      r.batch_size = batch.items.size();
+      r.queue_us = std::chrono::duration<double, std::micro>(
+                       batch.dispatched - batch.items[i].enqueued)
+                       .count();
+      batch.items[i].promise.set_value(std::move(r));
+      ++served;
+    }
+    TREU_OBS_COUNTER_ADD("serve.responses_total", served);
+
+    {
+      // Notify under the lock: once mu_ is released with in_flight_ == 0 a
+      // concurrent shutdown() may destroy the server, so nothing after
+      // this scope may touch members.
+      std::lock_guard lock(mu_);
+      free_.push_back(std::move(batch.replica));
+      --in_flight_;
+      stats_.completed += served;
+      cv_.notify_all();
+      idle_cv_.notify_all();
+    }
+  }
+
+  ServeConfig config_;
+  parallel::ThreadPool &pool_;
+
+  mutable std::mutex mu_;
+  std::mutex shutdown_mu_;           // serializes concurrent shutdown calls
+  std::condition_variable cv_;       // batcher wakeups (work / replica free)
+  std::condition_variable idle_cv_;  // shutdown waits for full drain
+  std::deque<Pending> queue_;
+  std::vector<Replica> free_;
+  std::size_t in_flight_ = 0;
+  bool accepting_ = true;
+  bool stop_ = false;
+  ServeStats stats_;
+
+  std::thread batcher_;
+};
+
+}  // namespace treu::serve

@@ -15,6 +15,7 @@
 
 #include "treu/core/rng.hpp"
 #include "treu/nn/mlp.hpp"
+#include "treu/nn/predictor.hpp"
 #include "treu/vision/scene.hpp"
 
 namespace treu::vision {
@@ -45,6 +46,33 @@ struct DetectorConfig {
 [[nodiscard]] std::vector<Detection> nms(std::vector<Detection> detections,
                                          double iou_threshold);
 
+/// Per-window class probabilities (softmax over {classes..., background}).
+struct WindowScore {
+  std::vector<double> probs;
+};
+
+/// The detector's scoring head behind the unified Predictor API: pooled
+/// window features in, softmax class probabilities out. `detect` batches
+/// every window of a frame through one `predict_batch` call, and the
+/// serving layer can score windows from many frames in one batch. Softmax
+/// and the MLP layers are row-independent, so batched outputs are
+/// bitwise-identical to per-window calls.
+class WindowScorer final
+    : public nn::Predictor<std::vector<double>, WindowScore> {
+ public:
+  WindowScorer(std::size_t feature_dim, const std::vector<std::size_t> &hidden,
+               core::Rng &rng);
+
+  [[nodiscard]] std::vector<WindowScore> predict_batch(
+      std::span<const std::vector<double>> inputs) override;
+  [[nodiscard]] std::string weight_hash() override;
+
+  [[nodiscard]] nn::MlpClassifier &classifier() noexcept { return mlp_; }
+
+ private:
+  nn::MlpClassifier mlp_;
+};
+
 class SlidingWindowDetector {
  public:
   SlidingWindowDetector(const DetectorConfig &config, core::Rng &rng);
@@ -52,14 +80,17 @@ class SlidingWindowDetector {
   /// Build window-level training data from frames and train the classifier.
   void fit(const std::vector<Frame> &frames, core::Rng &rng);
 
-  /// Detect objects in one frame.
+  /// Detect objects in one frame (all windows scored as one batch).
   [[nodiscard]] std::vector<Detection> detect(const Frame &frame);
 
   [[nodiscard]] const DetectorConfig &config() const noexcept { return config_; }
 
+  /// The batched scoring head (for serving / direct batched use).
+  [[nodiscard]] WindowScorer &scorer() noexcept { return *scorer_; }
+
  private:
   DetectorConfig config_;
-  std::unique_ptr<nn::MlpClassifier> classifier_;
+  std::unique_ptr<WindowScorer> scorer_;
   std::size_t feature_dim_ = 0;
 };
 

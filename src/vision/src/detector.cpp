@@ -44,14 +44,39 @@ std::vector<Detection> nms(std::vector<Detection> detections,
   return kept;
 }
 
+WindowScorer::WindowScorer(std::size_t feature_dim,
+                           const std::vector<std::size_t> &hidden,
+                           core::Rng &rng)
+    : mlp_(feature_dim, hidden, kNumClasses + 1, rng) {}
+
+std::vector<WindowScore> WindowScorer::predict_batch(
+    std::span<const std::vector<double>> inputs) {
+  std::vector<WindowScore> out;
+  if (inputs.empty()) return out;
+  const std::size_t dim = inputs.front().size();
+  tensor::Matrix x(inputs.size(), dim);
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    auto row = x.row(r);
+    for (std::size_t c = 0; c < dim; ++c) row[c] = inputs[r][c];
+  }
+  const tensor::Matrix probs = nn::softmax(mlp_.logits(x));
+  out.reserve(inputs.size());
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    const auto row = probs.row(r);
+    out.push_back({{row.begin(), row.end()}});
+  }
+  return out;
+}
+
+std::string WindowScorer::weight_hash() { return mlp_.weight_hash(); }
+
 SlidingWindowDetector::SlidingWindowDetector(const DetectorConfig &config,
                                              core::Rng &rng)
     : config_(config) {
   const std::size_t pooled = config_.window / 2;
   feature_dim_ = pooled * pooled;
   core::Rng init = rng.split(0xDE7);
-  classifier_ = std::make_unique<nn::MlpClassifier>(
-      feature_dim_, config_.hidden, kNumClasses + 1, init);
+  scorer_ = std::make_unique<WindowScorer>(feature_dim_, config_.hidden, init);
 }
 
 void SlidingWindowDetector::fit(const std::vector<Frame> &frames,
@@ -96,27 +121,33 @@ void SlidingWindowDetector::fit(const std::vector<Frame> &frames,
     for (std::size_t j = 0; j < feature_dim_; ++j) row[j] = feats[i][j];
   }
   core::Rng train_rng = rng.split(0x7E1);
-  classifier_->train(data, config_.train, train_rng);
+  scorer_->classifier().train(data, config_.train, train_rng);
 }
 
 std::vector<Detection> SlidingWindowDetector::detect(const Frame &frame) {
-  std::vector<Detection> raw;
+  // Gather every window's features, then score the whole frame as one
+  // batch through the Predictor API.
+  std::vector<std::vector<double>> feats;
+  std::vector<std::pair<std::size_t, std::size_t>> origins;
   const std::size_t s = frame.image.rows();
   for (std::size_t y0 = 0; y0 + config_.window <= s; y0 += config_.stride) {
     for (std::size_t x0 = 0; x0 + config_.window <= s; x0 += config_.stride) {
-      tensor::Matrix x(1, feature_dim_);
-      const auto f = window_features(frame.image, x0, y0, config_.window);
-      for (std::size_t j = 0; j < feature_dim_; ++j) x(0, j) = f[j];
-      const tensor::Matrix probs = nn::softmax(classifier_->logits(x));
-      for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
-        if (probs(0, cls) >= config_.score_threshold) {
-          Detection d;
-          d.box = {static_cast<double>(x0) + config_.window / 2.0,
-                   static_cast<double>(y0) + config_.window / 2.0,
-                   config_.window / 2.0, cls};
-          d.score = probs(0, cls);
-          raw.push_back(d);
-        }
+      feats.push_back(window_features(frame.image, x0, y0, config_.window));
+      origins.emplace_back(x0, y0);
+    }
+  }
+  const std::vector<WindowScore> scores = scorer_->predict_batch(feats);
+  std::vector<Detection> raw;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const auto [x0, y0] = origins[i];
+    for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+      if (scores[i].probs[cls] >= config_.score_threshold) {
+        Detection d;
+        d.box = {static_cast<double>(x0) + config_.window / 2.0,
+                 static_cast<double>(y0) + config_.window / 2.0,
+                 config_.window / 2.0, cls};
+        d.score = scores[i].probs[cls];
+        raw.push_back(d);
       }
     }
   }

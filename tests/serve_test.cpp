@@ -1,0 +1,380 @@
+// treu::serve — dynamic batcher edge cases and Predictor parity.
+//
+// The concurrency tests run under ThreadSanitizer in CI; keep every
+// assertion free of timing assumptions beyond "a future eventually
+// resolves".
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/malware/classifiers.hpp"
+#include "treu/malware/opcode.hpp"
+#include "treu/nn/mlp.hpp"
+#include "treu/rl/qnet.hpp"
+#include "treu/serve/batch_server.hpp"
+#include "treu/vision/detector.hpp"
+#include "treu/vision/scene.hpp"
+
+namespace serve = treu::serve;
+namespace nn = treu::nn;
+using treu::core::Rng;
+
+namespace {
+
+/// Deterministic toy model: output = input + 1. A gate lets tests hold the
+/// model mid-batch to build backlog with exact control.
+class EchoModel final : public nn::Predictor<int, int> {
+ public:
+  std::vector<int> predict_batch(std::span<const int> inputs) override {
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return open_; });
+    }
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<int> out;
+    out.reserve(inputs.size());
+    for (int v : inputs) out.push_back(v + 1);
+    return out;
+  }
+
+  std::string weight_hash() override { return std::string(64, 'e'); }
+
+  void close_gate() {
+    std::lock_guard lock(mu_);
+    open_ = false;
+  }
+  void open_gate() {
+    {
+      std::lock_guard lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  [[nodiscard]] int calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = true;
+  std::atomic<int> calls_{0};
+};
+
+serve::ServeConfig quick_config() {
+  serve::ServeConfig config;
+  config.max_batch_size = 8;
+  config.max_queue_delay = std::chrono::microseconds(500);
+  config.max_pending = 64;
+  return config;
+}
+
+TEST(BatchServer, TimeoutOnlyFlushServesASingleRequest) {
+  EchoModel model;
+  serve::ServeConfig config = quick_config();
+  config.max_batch_size = 1000;  // never reached: only the timeout can flush
+  serve::BatchServer<int, int> server(model, config);
+  auto fut = server.submit(41);
+  const auto r = fut.get();
+  EXPECT_EQ(r.output, 42);
+  EXPECT_EQ(r.batch_size, 1u);
+  EXPECT_EQ(r.weight_hash, std::string(64, 'e'));
+  EXPECT_GE(r.queue_us, 0.0);
+}
+
+TEST(BatchServer, OversizedClientBatchIsSplitToTheCap) {
+  EchoModel model;
+  model.close_gate();  // hold the model so the whole burst queues up
+  serve::ServeConfig config = quick_config();
+  config.max_batch_size = 16;
+  config.max_pending = 1000;
+  serve::BatchServer<int, int> server(model, config);
+
+  std::vector<int> inputs(100);
+  for (int i = 0; i < 100; ++i) inputs[i] = i;
+  auto futs = server.submit_many(inputs);
+  model.open_gate();
+
+  for (int i = 0; i < 100; ++i) {
+    const auto r = futs[i].get();
+    EXPECT_EQ(r.output, i + 1);
+    EXPECT_LE(r.batch_size, 16u);  // the cap is a hard ceiling per batch
+  }
+  // A resolved future only proves its own response was sent; stats are
+  // linearized by shutdown(), which waits for every batch to retire.
+  server.shutdown();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, 100u);
+  EXPECT_EQ(stats.completed, 100u);
+  EXPECT_GE(stats.batches, 100u / 16u + 1);  // at least ceil(100/16)
+}
+
+TEST(BatchServer, BacklogFormsBatchesBiggerThanOne) {
+  EchoModel model;
+  model.close_gate();
+  serve::ServeConfig config = quick_config();
+  config.max_batch_size = 32;
+  config.max_pending = 1000;
+  serve::BatchServer<int, int> server(model, config);
+
+  std::vector<std::future<serve::BatchServer<int, int>::Response>> futs;
+  for (int i = 0; i < 64; ++i) futs.push_back(server.submit(i));
+  model.open_gate();
+  for (auto &f : futs) (void)f.get();
+
+  // 64 requests against a gated model cannot have been served one-per-batch.
+  EXPECT_GT(server.stats().max_batch, 1u);
+}
+
+TEST(BatchServer, BackpressureRejectionCountIsExactUnderConcurrentLoad) {
+  EchoModel model;
+  model.close_gate();
+  serve::ServeConfig config = quick_config();
+  config.max_batch_size = 4;
+  config.max_pending = 8;
+  serve::BatchServer<int, int> server(model, config);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::future<serve::BatchServer<int, int>::Response>> futs(
+      kThreads * kPerThread);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          futs[static_cast<std::size_t>(t * kPerThread + i)] =
+              server.submit(i);
+        }
+      });
+    }
+    for (auto &th : threads) th.join();
+  }
+  model.open_gate();
+  server.shutdown();
+
+  std::uint64_t ok = 0, rejected = 0;
+  for (auto &f : futs) {
+    try {
+      (void)f.get();
+      ++ok;
+    } catch (const serve::RejectedError &) {
+      ++rejected;
+    }
+  }
+  const auto stats = server.stats();
+  // Every submission is accounted for, exactly once, and the server's own
+  // counters agree with what callers observed.
+  EXPECT_EQ(ok + rejected, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.accepted + stats.rejected,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_GT(rejected, 0u);  // max_pending 8 cannot absorb 200 gated submits
+}
+
+TEST(BatchServer, ShutdownDrainsEveryAcceptedRequest) {
+  EchoModel model;
+  model.close_gate();
+  serve::ServeConfig config = quick_config();
+  config.max_batch_size = 4;
+  config.max_pending = 1000;
+  serve::BatchServer<int, int> server(model, config);
+
+  std::vector<std::future<serve::BatchServer<int, int>::Response>> futs;
+  for (int i = 0; i < 40; ++i) futs.push_back(server.submit(i));
+
+  std::thread opener([&model] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    model.open_gate();
+  });
+  server.shutdown();  // must block until all 40 are served
+  opener.join();
+
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_EQ(futs[static_cast<std::size_t>(i)].wait_for(
+                  std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(futs[static_cast<std::size_t>(i)].get().output, i + 1);
+  }
+  EXPECT_EQ(server.stats().completed, 40u);
+
+  // Post-shutdown submissions are rejected, not dropped.
+  auto late = server.submit(7);
+  EXPECT_THROW((void)late.get(), serve::RejectedError);
+}
+
+TEST(BatchServer, TwoReplicasServeConcurrentlyWithOneWeightHash) {
+  Rng rng_a(3), rng_b(3);  // identical seeds => identical weights
+  treu::rl::MlpQNet a(6, 8, 3, rng_a, 1e-3);
+  treu::rl::MlpQNet b(6, 8, 3, rng_b, 1e-3);
+  ASSERT_EQ(a.weight_hash(), b.weight_hash());
+
+  serve::ServeConfig config = quick_config();
+  serve::BatchServer<std::vector<double>, std::vector<double>> server(
+      {&a, &b}, config);
+  std::vector<std::future<
+      serve::BatchServer<std::vector<double>, std::vector<double>>::Response>>
+      futs;
+  Rng data_rng(11);
+  std::vector<std::vector<double>> states;
+  for (int i = 0; i < 32; ++i) {
+    std::vector<double> s(6);
+    for (auto &v : s) v = data_rng.uniform(-1.0, 1.0);
+    states.push_back(s);
+    futs.push_back(server.submit(s));
+  }
+  Rng check_rng(3);
+  treu::rl::MlpQNet reference(6, 8, 3, check_rng, 1e-3);
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const auto r = futs[i].get();
+    EXPECT_EQ(r.weight_hash, a.weight_hash());
+    const auto expect = reference.q_values(states[i]);
+    ASSERT_EQ(r.output.size(), expect.size());
+    for (std::size_t j = 0; j < expect.size(); ++j) {
+      EXPECT_EQ(r.output[j], expect[j]);  // replicas indistinguishable
+    }
+  }
+}
+
+// ---- batched-vs-single bitwise parity, one test per Predictor ----------
+
+TEST(PredictorParity, MlpClassifierBatchedForwardMatchesPerSample) {
+  Rng init(5);
+  nn::MlpClassifier model(10, {16, 8}, 4, init);
+  Rng data_rng(7);
+  std::vector<std::vector<double>> inputs;
+  for (int i = 0; i < 17; ++i) {
+    std::vector<double> x(10);
+    for (auto &v : x) v = data_rng.normal(0.0, 1.0);
+    inputs.push_back(std::move(x));
+  }
+  const auto batched = model.predict_batch(inputs);
+  ASSERT_EQ(batched.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto single = model.predict_one(inputs[i]);
+    EXPECT_EQ(single.label, batched[i].label);
+    ASSERT_EQ(single.logits.size(), batched[i].logits.size());
+    for (std::size_t j = 0; j < single.logits.size(); ++j) {
+      EXPECT_EQ(single.logits[j], batched[i].logits[j]) << "row " << i;
+    }
+  }
+  EXPECT_EQ(model.weight_hash().size(), 64u);
+}
+
+TEST(PredictorParity, MalwareClassifiersBatchedForwardMatchesPerSample) {
+  Rng corpus_rng(2);
+  treu::malware::CorpusConfig cc;
+  cc.n_benign = 4;
+  cc.n_malware = 4;
+  cc.min_length = 64;
+  cc.max_length = 256;
+  const auto corpus = treu::malware::make_corpus(cc, corpus_rng);
+  std::vector<treu::malware::OpcodeSeq> seqs;
+  for (const auto &s : corpus) seqs.push_back(s.opcodes);
+
+  Rng cnn_rng(3);
+  treu::malware::CnnClassifier cnn(8, 4, {3, 5}, cnn_rng);
+  Rng tf_rng(4);
+  treu::malware::TransformerClassifier tf(8, 2, 16, 64, tf_rng);
+  for (treu::malware::SequenceClassifier *model :
+       {static_cast<treu::malware::SequenceClassifier *>(&cnn),
+        static_cast<treu::malware::SequenceClassifier *>(&tf)}) {
+    const auto batched = model->predict_batch(seqs);
+    ASSERT_EQ(batched.size(), seqs.size());
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      const auto single = model->predict_one(seqs[i]);
+      EXPECT_EQ(single.benign_logit, batched[i].benign_logit);
+      EXPECT_EQ(single.malware_logit, batched[i].malware_logit);
+      EXPECT_EQ(single.malicious, batched[i].malicious);
+    }
+    EXPECT_EQ(model->weight_hash().size(), 64u);
+  }
+}
+
+TEST(PredictorParity, WindowScorerBatchedForwardMatchesPerSample) {
+  Rng rng(9);
+  treu::vision::WindowScorer scorer(36, {16}, rng);
+  Rng data_rng(10);
+  std::vector<std::vector<double>> windows;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> w(36);
+    for (auto &v : w) v = data_rng.uniform(0.0, 1.0);
+    windows.push_back(std::move(w));
+  }
+  const auto batched = scorer.predict_batch(windows);
+  ASSERT_EQ(batched.size(), windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto single = scorer.predict_one(windows[i]);
+    ASSERT_EQ(single.probs.size(), batched[i].probs.size());
+    for (std::size_t j = 0; j < single.probs.size(); ++j) {
+      EXPECT_EQ(single.probs[j], batched[i].probs[j]) << "window " << i;
+    }
+  }
+  EXPECT_EQ(scorer.weight_hash().size(), 64u);
+}
+
+TEST(PredictorParity, QNetworksBatchedForwardMatchesPerSample) {
+  Rng mlp_rng(6);
+  treu::rl::MlpQNet mlp(8, 16, 4, mlp_rng, 1e-3);
+  Rng attn_rng(7);
+  treu::rl::AttentionQNet attn(8, 4, 8, 2, 4, attn_rng, 1e-3);
+  Rng data_rng(8);
+  std::vector<std::vector<double>> states;
+  for (int i = 0; i < 9; ++i) {
+    std::vector<double> s(8);
+    for (auto &v : s) v = data_rng.normal(0.0, 1.0);
+    states.push_back(std::move(s));
+  }
+  for (treu::rl::QNetwork *net : {static_cast<treu::rl::QNetwork *>(&mlp),
+                                  static_cast<treu::rl::QNetwork *>(&attn)}) {
+    const auto batched = net->predict_batch(states);
+    ASSERT_EQ(batched.size(), states.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const auto single = net->q_values(states[i]);
+      ASSERT_EQ(single.size(), batched[i].size());
+      for (std::size_t j = 0; j < single.size(); ++j) {
+        EXPECT_EQ(single[j], batched[i][j]) << net->family() << " state " << i;
+      }
+    }
+    EXPECT_EQ(net->weight_hash().size(), 64u);
+  }
+}
+
+TEST(BatchServer, ServedOutputsMatchDirectPredictBatch) {
+  Rng init(5);
+  nn::MlpClassifier model(6, {8}, 3, init);
+  const std::string hash = model.weight_hash();
+  Rng data_rng(12);
+  std::vector<std::vector<double>> inputs;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> x(6);
+    for (auto &v : x) v = data_rng.normal(0.0, 1.0);
+    inputs.push_back(std::move(x));
+  }
+  const auto direct = model.predict_batch(inputs);
+
+  serve::BatchServer<std::vector<double>, nn::ClassScores> server(
+      model, quick_config());
+  auto futs = server.submit_many(inputs);
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const auto r = futs[i].get();
+    EXPECT_EQ(r.weight_hash, hash);
+    EXPECT_EQ(r.output.label, direct[i].label);
+    ASSERT_EQ(r.output.logits.size(), direct[i].logits.size());
+    for (std::size_t j = 0; j < direct[i].logits.size(); ++j) {
+      EXPECT_EQ(r.output.logits[j], direct[i].logits[j]);
+    }
+  }
+}
+
+}  // namespace
