@@ -38,6 +38,7 @@ else
   benches=(
     "$root/build/bench/bench_table1_goals"
     "$root/build/bench/bench_serve_throughput"
+    "$root/build/bench/bench_serve_faults"
   )
 fi
 

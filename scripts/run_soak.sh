@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Soak the serving stack under deterministic fault injection: run the
+# serve_resilience_test Soak suite once per seed. Each run drives the
+# randomized concurrent load + fault plan from TREU_SOAK_SEED, so a failing
+# seed is reported and can be replayed exactly:
+#
+#   TREU_SOAK_SEED=<seed> <binary> --gtest_filter='Soak.*'
+#
+# Usage: scripts/run_soak.sh [N_SEEDS] [BINARY] [BASE_SEED]
+#   N_SEEDS   how many consecutive seeds to run (default 10)
+#   BINARY    test binary (default ./build/tests/serve_resilience_test)
+#   BASE_SEED first seed; run k uses BASE_SEED + k (default 1234)
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+n_seeds="${1:-10}"
+binary="${2:-$root/build/tests/serve_resilience_test}"
+base_seed="${3:-1234}"
+
+if [ ! -x "$binary" ]; then
+  echo "run_soak: missing test binary: $binary" >&2
+  echo "run_soak: build first (cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+fails=0
+for ((k = 0; k < n_seeds; ++k)); do
+  seed=$((base_seed + k))
+  if TREU_SOAK_SEED="$seed" "$binary" --gtest_filter='Soak.*' \
+      --gtest_brief=1 >/tmp/treu_soak_$$.log 2>&1; then
+    echo "ok   seed $seed"
+  else
+    echo "FAIL seed $seed  (replay: TREU_SOAK_SEED=$seed $binary --gtest_filter='Soak.*')"
+    tail -20 /tmp/treu_soak_$$.log
+    fails=$((fails + 1))
+  fi
+done
+rm -f /tmp/treu_soak_$$.log
+
+if [ "$fails" -ne 0 ]; then
+  echo "run_soak: $fails of $n_seeds seed(s) failed"
+  exit 1
+fi
+echo "run_soak: all $n_seeds seed(s) passed"

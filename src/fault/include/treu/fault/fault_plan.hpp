@@ -1,0 +1,87 @@
+#pragma once
+
+// FaultPlan — a seed-deterministic schedule of injectable faults.
+//
+// The decision for injection event k is a pure function of
+// (seed, config, k, replica): each event draws from its own Philox stream
+// `core::Rng(seed, k)`, so the schedule is identical across runs, platforms
+// and thread interleavings — only *which request* lands on event k depends
+// on scheduling, never what event k decides. `at()` exposes the pure
+// function so a test can enumerate the whole schedule without a server;
+// `decide()` additionally assigns the next event index, records history,
+// and bumps the fault.injected.* counters.
+//
+// Fault mix: independent rates for Throw / Stall / Corrupt (their sum must
+// be <= 1; the remainder is None), drawn from one uniform per event. Stall
+// durations are uniform in [stall_min, stall_max]. On top of the rates, a
+// blackout window turns every event for one chosen replica into a Blackout
+// fault while the event index is inside [blackout_from, blackout_until) —
+// the deterministic analogue of a replica going dark for a while.
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/fault/injector.hpp"
+
+namespace treu::fault {
+
+struct FaultPlanConfig {
+  double throw_rate = 0.0;    // P(Throw) per event
+  double stall_rate = 0.0;    // P(Stall) per event
+  double corrupt_rate = 0.0;  // P(Corrupt) per event
+  /// Stall duration range (uniform per stall event).
+  std::chrono::microseconds stall_min{100};
+  std::chrono::microseconds stall_max{1000};
+  /// Replica blackout window by event index: every decision for
+  /// `blackout_replica` with index in [blackout_from, blackout_until) is a
+  /// Blackout fault. SIZE_MAX (the default) disables the window.
+  std::size_t blackout_replica = static_cast<std::size_t>(-1);
+  std::uint64_t blackout_from = 0;
+  std::uint64_t blackout_until = 0;
+};
+
+class FaultPlan final : public Injector {
+ public:
+  /// Throws std::invalid_argument when rates are negative, sum above 1, or
+  /// stall_max < stall_min.
+  FaultPlan(const FaultPlanConfig &config, std::uint64_t seed);
+
+  /// Assign the next event index and return its decision. Thread-safe.
+  [[nodiscard]] FaultDecision decide(std::size_t replica,
+                                     std::size_t batch_size) override;
+
+  /// The pure schedule: what decide() returns for event index `event` on
+  /// `replica`. Does not advance, record, or count anything.
+  [[nodiscard]] FaultDecision at(std::uint64_t event,
+                                 std::size_t replica) const;
+
+  /// Kinds decided so far, in event order (same seed => same history).
+  [[nodiscard]] std::vector<FaultKind> history() const;
+
+  /// Events decided so far.
+  [[nodiscard]] std::uint64_t events() const;
+
+  /// How many times `kind` has been decided.
+  [[nodiscard]] std::uint64_t injected(FaultKind kind) const;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const FaultPlanConfig &config() const noexcept {
+    return config_;
+  }
+
+ private:
+  FaultPlanConfig config_;
+  std::uint64_t seed_;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_event_ = 0;
+  std::vector<FaultKind> history_;
+  std::array<std::uint64_t, 5> counts_{};  // indexed by FaultKind
+};
+
+}  // namespace treu::fault

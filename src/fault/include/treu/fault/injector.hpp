@@ -1,0 +1,73 @@
+#pragma once
+
+// treu::fault — deterministic fault injection for the serving stack.
+//
+// A trustworthy system is one whose *bad paths* are exercised as
+// deliberately as its happy path, and re-runnable from a seed. This module
+// defines the hook surface: an `Injector` is consulted once per model-call
+// attempt and answers with a `FaultDecision` — do nothing, throw, stall,
+// corrupt the output, or black out (a replica-wide outage). The serving
+// layer (`treu::serve::BatchServer`) applies the decision; the injector
+// never touches the model itself, so the same plan can drive any
+// Predictor type.
+//
+// The canonical implementation is `FaultPlan` (fault_plan.hpp): a
+// counter-based schedule where the decision for event k is a pure function
+// of (seed, config, k), so any failure a test or bench provokes can be
+// replayed exactly from its seed.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace treu::fault {
+
+/// What to do to one model-call attempt.
+enum class FaultKind : std::uint8_t {
+  None = 0,      // run the model untouched
+  Throw,         // skip the model, raise FaultError instead
+  Stall,         // sleep `stall` before running the model (latency fault)
+  Corrupt,       // run the model, then corrupt its outputs (silent fault)
+  Blackout,      // replica-wide outage window: behaves like Throw
+};
+
+[[nodiscard]] constexpr const char *to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::None: return "none";
+    case FaultKind::Throw: return "throw";
+    case FaultKind::Stall: return "stall";
+    case FaultKind::Corrupt: return "corrupt";
+    case FaultKind::Blackout: return "blackout";
+  }
+  return "unknown";
+}
+
+/// One injector verdict. `stall` is meaningful only for FaultKind::Stall.
+struct FaultDecision {
+  FaultKind kind = FaultKind::None;
+  std::chrono::microseconds stall{0};
+};
+
+/// The exception an injected Throw/Blackout surfaces as. Distinct from any
+/// real model failure so tests can tell injected faults apart.
+class FaultError final : public std::runtime_error {
+ public:
+  explicit FaultError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/// Hook interface consulted once per model-call attempt (retries ask
+/// again, so a retried batch can draw a different fault). Implementations
+/// must be thread-safe: concurrent batches decide concurrently.
+class Injector {
+ public:
+  virtual ~Injector() = default;
+
+  /// `replica` is the index of the replica about to run; `batch_size` the
+  /// number of requests riding on this attempt.
+  [[nodiscard]] virtual FaultDecision decide(std::size_t replica,
+                                             std::size_t batch_size) = 0;
+};
+
+}  // namespace treu::fault

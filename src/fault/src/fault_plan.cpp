@@ -1,0 +1,91 @@
+#include "treu/fault/fault_plan.hpp"
+
+#include <stdexcept>
+
+#include "treu/obs/obs.hpp"
+
+namespace treu::fault {
+
+FaultPlan::FaultPlan(const FaultPlanConfig &config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  if (config_.throw_rate < 0.0 || config_.stall_rate < 0.0 ||
+      config_.corrupt_rate < 0.0) {
+    throw std::invalid_argument("FaultPlan: negative fault rate");
+  }
+  if (config_.throw_rate + config_.stall_rate + config_.corrupt_rate > 1.0) {
+    throw std::invalid_argument("FaultPlan: fault rates sum above 1");
+  }
+  if (config_.stall_max < config_.stall_min) {
+    throw std::invalid_argument("FaultPlan: stall_max < stall_min");
+  }
+}
+
+FaultDecision FaultPlan::at(std::uint64_t event, std::size_t replica) const {
+  if (replica == config_.blackout_replica && event >= config_.blackout_from &&
+      event < config_.blackout_until) {
+    return FaultDecision{FaultKind::Blackout, std::chrono::microseconds{0}};
+  }
+  // One stream per event: the decision never depends on how many draws
+  // earlier events made, so the schedule survives any interleaving.
+  core::Rng rng(seed_, event);
+  const double u = rng.uniform();
+  FaultDecision d;
+  if (u < config_.throw_rate) {
+    d.kind = FaultKind::Throw;
+  } else if (u < config_.throw_rate + config_.stall_rate) {
+    d.kind = FaultKind::Stall;
+    d.stall = std::chrono::microseconds(static_cast<std::int64_t>(
+        rng.uniform(static_cast<double>(config_.stall_min.count()),
+                    static_cast<double>(config_.stall_max.count() + 1))));
+  } else if (u < config_.throw_rate + config_.stall_rate +
+                     config_.corrupt_rate) {
+    d.kind = FaultKind::Corrupt;
+  }
+  return d;
+}
+
+FaultDecision FaultPlan::decide(std::size_t replica, std::size_t batch_size) {
+  (void)batch_size;
+  FaultDecision d;
+  {
+    std::lock_guard lock(mu_);
+    const std::uint64_t event = next_event_++;
+    d = at(event, replica);
+    history_.push_back(d.kind);
+    ++counts_[static_cast<std::size_t>(d.kind)];
+  }
+  switch (d.kind) {
+    case FaultKind::Throw:
+      TREU_OBS_COUNTER_ADD("fault.injected.throw", 1);
+      break;
+    case FaultKind::Stall:
+      TREU_OBS_COUNTER_ADD("fault.injected.stall", 1);
+      break;
+    case FaultKind::Corrupt:
+      TREU_OBS_COUNTER_ADD("fault.injected.corrupt", 1);
+      break;
+    case FaultKind::Blackout:
+      TREU_OBS_COUNTER_ADD("fault.injected.blackout", 1);
+      break;
+    case FaultKind::None:
+      break;
+  }
+  return d;
+}
+
+std::vector<FaultKind> FaultPlan::history() const {
+  std::lock_guard lock(mu_);
+  return history_;
+}
+
+std::uint64_t FaultPlan::events() const {
+  std::lock_guard lock(mu_);
+  return next_event_;
+}
+
+std::uint64_t FaultPlan::injected(FaultKind kind) const {
+  std::lock_guard lock(mu_);
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace treu::fault

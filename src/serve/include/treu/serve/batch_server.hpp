@@ -11,14 +11,14 @@
 //   │ FIFO queue │                    │ max_batch_size OR           │
 //   └────────────┘                    │ max_queue_delay, whichever  │
 //        │ reject beyond max_pending  │ comes first                 │
-//        v                            └──────────┬──────────────────┘
-//   future <- RejectedError                      │ per-batch job on
-//                                                v treu::parallel::ThreadPool
+//        │ shed above watermark       └──────────┬──────────────────┘
+//        v                                       │ per-batch job on
+//   future <- RejectedError / ShedError          v treu::parallel::ThreadPool
 //                                     ┌─────────────────────────────┐
-//                                     │ replica checkout ->         │
-//                                     │ predict_batch -> fulfill    │
-//                                     │ futures (output + weight    │
-//                                     │ hash + queue latency)       │
+//                                     │ breaker-gated replica       │
+//                                     │ checkout -> (fault hook) -> │
+//                                     │ predict_batch w/ retries -> │
+//                                     │ fulfill futures             │
 //                                     └─────────────────────────────┘
 //
 // Design notes
@@ -29,7 +29,23 @@
 //  - Backpressure is a bounded queue: beyond `max_pending` undispatched
 //    requests, `submit` fails the returned future with RejectedError
 //    immediately. Rejecting at admission keeps tail latency of accepted
-//    work flat instead of letting the queue grow without bound.
+//    work flat instead of letting the queue grow without bound. Below the
+//    hard bound, priority-aware load shedding (see `shed_watermark`) fails
+//    Low/Normal work with ShedError once the queue crosses its watermark,
+//    so High-priority traffic degrades last.
+//  - Resilience (resilience.hpp): per-request deadlines fail expired work
+//    with DeadlineError (checked at batch formation and again at
+//    fulfilment, so a stalled batch cannot return answers late); failed
+//    model calls are retried on the same replica up to
+//    `retry.max_attempts` with exponential backoff and deterministic
+//    jitter; each replica sits behind a circuit breaker
+//    (closed->open->half-open on consecutive failures) that takes it out
+//    of checkout rotation while open.
+//  - Fault injection (treu::fault): an optional `injector` is consulted
+//    once per predict attempt and can throw, stall, corrupt outputs
+//    (through the server's `set_output_corrupter` hook — corruption needs
+//    to know the Out type), or black out a replica. Seeded injectors
+//    (fault::FaultPlan) make every failure sequence replayable.
 //  - Model instances are NOT thread-safe (forward passes mutate layer
 //    caches), so each in-flight batch checks out one replica; concurrency
 //    equals the number of replicas passed in. Weight hashes are computed
@@ -39,21 +55,27 @@
 //    weight snapshot.
 //  - `shutdown()` (also run by the destructor) stops admissions, flushes
 //    the remaining queue in max_batch_size chunks ignoring the delay, and
-//    returns once every accepted request has been fulfilled.
+//    returns once every accepted request has been fulfilled — value,
+//    error, or deadline miss; exact accounting survives active faults.
 //  - Everything observable is counted twice: exact internal stats guarded
 //    by the server mutex (tests rely on these; they exist with obs
 //    compiled out), plus treu::obs metrics for telemetry artifacts —
-//    serve.requests_total / serve.rejected_total / serve.batches_total /
-//    serve.responses_total counters, the serve.queue_depth gauge, and
+//    serve.requests_total / serve.rejected_total / serve.shed_total /
+//    serve.batches_total / serve.responses_total / serve.deadline_miss /
+//    serve.retry.attempts / serve.retry.exhausted counters, the
+//    serve.queue_depth and serve.breaker.state gauges, and the
 //    serve.batch_size / serve.queue_latency_us / serve.batch_forward_us
 //    histograms.
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <stdexcept>
@@ -62,9 +84,11 @@
 #include <utility>
 #include <vector>
 
+#include "treu/fault/injector.hpp"
 #include "treu/nn/predictor.hpp"
 #include "treu/obs/obs.hpp"
 #include "treu/parallel/thread_pool.hpp"
+#include "treu/serve/resilience.hpp"
 
 namespace treu::serve {
 
@@ -75,6 +99,24 @@ struct ServeConfig {
   std::chrono::microseconds max_queue_delay{2000};
   /// Admission bound: undispatched requests beyond this are rejected.
   std::size_t max_pending = 1024;
+
+  /// Per-request deadline measured from admission; 0 disables. Expired
+  /// requests fail with DeadlineError instead of waiting forever.
+  std::chrono::microseconds deadline{0};
+  /// Retry failed model calls (same replica) with backoff; max_attempts 1
+  /// (the default) means no retry.
+  RetryPolicy retry;
+  /// Per-replica circuit breaker; failure_threshold 0 (default) disables.
+  BreakerConfig breaker;
+  /// Load-shedding watermark as a fraction of max_pending in (0, 1]:
+  /// Low-priority submits shed once the queue reaches
+  /// watermark * max_pending, Normal at the midpoint between that and
+  /// max_pending, High only at the hard bound. 1.0 (default) disables
+  /// shedding entirely.
+  double shed_watermark = 1.0;
+  /// Optional fault-injection hook, consulted once per predict attempt.
+  /// Not owned; must outlive the server.
+  fault::Injector *injector = nullptr;
 };
 
 /// The error a rejected request's future carries.
@@ -82,6 +124,16 @@ class RejectedError final : public std::runtime_error {
  public:
   explicit RejectedError(const std::string &what) : std::runtime_error(what) {}
 };
+
+namespace detail {
+// Pre-built admission-failure messages: the rejection path runs under the
+// server mutex on every overloaded submit, so it must not allocate.
+inline const std::string kQueueFullMsg{"BatchServer: queue full (max_pending)"};
+inline const std::string kShutDownMsg{"BatchServer: shut down"};
+inline const std::string kShedMsg{
+    "BatchServer: shed (queue above watermark for priority)"};
+inline const std::string kDeadlineMsg{"BatchServer: deadline exceeded"};
+}  // namespace detail
 
 /// One served response: the model output plus serving provenance.
 template <typename Out>
@@ -96,7 +148,11 @@ struct Served {
 struct ServeStats {
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
-  std::uint64_t completed = 0;  // futures fulfilled with a value
+  std::uint64_t shed = 0;             // failed with ShedError at admission
+  std::uint64_t completed = 0;        // futures fulfilled with a value
+  std::uint64_t failed = 0;           // futures failed with a model/fault error
+  std::uint64_t deadline_missed = 0;  // futures failed with DeadlineError
+  std::uint64_t retries = 0;          // extra predict attempts made
   std::uint64_t batches = 0;
   std::uint64_t max_batch = 0;  // largest batch formed so far
   std::size_t queue_depth = 0;  // undispatched requests right now
@@ -119,11 +175,29 @@ class BatchServer {
     if (config_.max_batch_size == 0 || config_.max_pending == 0) {
       throw std::invalid_argument("BatchServer: zero batch/pending bound");
     }
-    free_.reserve(replicas.size());
-    for (Model *m : replicas) {
-      if (m == nullptr) throw std::invalid_argument("BatchServer: null replica");
-      free_.push_back({m, m->weight_hash()});
+    if (config_.shed_watermark <= 0.0 || config_.shed_watermark > 1.0) {
+      throw std::invalid_argument("BatchServer: shed_watermark outside (0,1]");
     }
+    if (config_.retry.max_attempts == 0) {
+      throw std::invalid_argument("BatchServer: retry.max_attempts must be >=1");
+    }
+    free_.reserve(replicas.size());
+    breakers_.reserve(replicas.size());
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      Model *m = replicas[i];
+      if (m == nullptr) throw std::invalid_argument("BatchServer: null replica");
+      free_.push_back({m, m->weight_hash(), i});
+      breakers_.push_back(std::make_unique<CircuitBreaker>(config_.breaker));
+    }
+    // Admission caps per priority class. With the watermark at 1.0 every
+    // cap equals max_pending, and since the hard bound rejects first,
+    // shedding never fires — the pre-watermark behaviour is bit-exact.
+    const auto low_cap = static_cast<std::size_t>(
+        config_.shed_watermark * static_cast<double>(config_.max_pending));
+    shed_cap_[static_cast<std::size_t>(Priority::High)] = config_.max_pending;
+    shed_cap_[static_cast<std::size_t>(Priority::Normal)] =
+        (low_cap + config_.max_pending + 1) / 2;
+    shed_cap_[static_cast<std::size_t>(Priority::Low)] = low_cap;
 #if TREU_OBS_ENABLED
     // Fix power-of-two bounds for the batch-size histogram before the
     // observe macro's first use can install latency-decade defaults.
@@ -144,9 +218,20 @@ class BatchServer {
 
   ~BatchServer() { shutdown(); }
 
+  /// How an injected Corrupt fault mutates an output. Type-specific, so it
+  /// cannot live in ServeConfig; without one, Corrupt decisions pass the
+  /// output through untouched (the injector still counts them). Set before
+  /// traffic starts — not synchronized against in-flight batches.
+  void set_output_corrupter(std::function<void(Out &)> corrupter) {
+    corrupter_ = std::move(corrupter);
+  }
+
   /// Enqueue one input. The future resolves to a Served response, or to
-  /// RejectedError when the server is over max_pending / shut down.
-  [[nodiscard]] std::future<Response> submit(In input) {
+  /// RejectedError (over max_pending / shut down), ShedError (above the
+  /// priority's shed watermark), DeadlineError (expired before a response
+  /// was produced), or the model/fault error after retries exhausted.
+  [[nodiscard]] std::future<Response> submit(
+      In input, Priority priority = Priority::Normal) {
     std::promise<Response> promise;
     std::future<Response> fut = promise.get_future();
     {
@@ -154,9 +239,15 @@ class BatchServer {
       if (!accepting_ || queue_.size() >= config_.max_pending) {
         ++stats_.rejected;
         promise.set_exception(std::make_exception_ptr(RejectedError(
-            accepting_ ? "BatchServer: queue full (max_pending)"
-                       : "BatchServer: shut down")));
+            accepting_ ? detail::kQueueFullMsg : detail::kShutDownMsg)));
         TREU_OBS_COUNTER_ADD("serve.rejected_total", 1);
+        return fut;
+      }
+      if (queue_.size() >= shed_cap_[static_cast<std::size_t>(priority)]) {
+        ++stats_.shed;
+        promise.set_exception(
+            std::make_exception_ptr(ShedError(detail::kShedMsg)));
+        TREU_OBS_COUNTER_ADD("serve.shed_total", 1);
         return fut;
       }
       ++stats_.accepted;
@@ -172,10 +263,10 @@ class BatchServer {
   /// Enqueue a client-side batch of any size; the batch former splits it
   /// into server batches of at most max_batch_size.
   [[nodiscard]] std::vector<std::future<Response>> submit_many(
-      std::span<const In> inputs) {
+      std::span<const In> inputs, Priority priority = Priority::Normal) {
     std::vector<std::future<Response>> futs;
     futs.reserve(inputs.size());
-    for (const In &input : inputs) futs.push_back(submit(In(input)));
+    for (const In &input : inputs) futs.push_back(submit(In(input), priority));
     return futs;
   }
 
@@ -202,6 +293,21 @@ class BatchServer {
     return s;
   }
 
+  /// Current breaker state per replica (index = construction order).
+  [[nodiscard]] std::vector<BreakerState> breaker_states() const {
+    std::vector<BreakerState> states;
+    states.reserve(breakers_.size());
+    for (const auto &b : breakers_) states.push_back(b->state());
+    return states;
+  }
+
+  /// Times any replica's breaker has tripped open.
+  [[nodiscard]] std::uint64_t breaker_trips() const {
+    std::uint64_t trips = 0;
+    for (const auto &b : breakers_) trips += b->opened();
+    return trips;
+  }
+
   [[nodiscard]] const ServeConfig &config() const noexcept { return config_; }
 
  private:
@@ -213,14 +319,29 @@ class BatchServer {
   struct Replica {
     Model *model;
     std::string hash;
+    std::size_t index;
   };
   struct Batch {
     std::vector<Pending> items;
     Replica replica;
     std::chrono::steady_clock::time_point dispatched;
+    std::uint64_t id = 0;  // deterministic retry-jitter key
   };
 
+  /// Index into free_ of a replica whose breaker admits work, or npos.
+  /// Scans oldest-returned first (checkout erases from the front, retiring
+  /// batches push to the back), so replicas rotate round-robin and a
+  /// half-open breaker gets its probe instead of being shadowed by a
+  /// healthy neighbour. Caller holds mu_.
+  [[nodiscard]] std::size_t pick_replica_locked() {
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (breakers_[free_[i].index]->allow()) return i;
+    }
+    return static_cast<std::size_t>(-1);
+  }
+
   void batcher_loop() {
+    constexpr auto kNpos = static_cast<std::size_t>(-1);
     std::unique_lock lock(mu_);
     for (;;) {
       cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
@@ -228,35 +349,78 @@ class BatchServer {
 
       // Form the batch: grow until full, or until the oldest request has
       // waited max_queue_delay. A draining server flushes immediately.
-      const auto deadline = queue_.front().enqueued + config_.max_queue_delay;
+      const auto flush_deadline =
+          queue_.front().enqueued + config_.max_queue_delay;
       while (queue_.size() < config_.max_batch_size && accepting_ && !stop_) {
-        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+        if (cv_.wait_until(lock, flush_deadline) == std::cv_status::timeout) {
+          break;
+        }
       }
 
-      // Wait for a free replica. Requests keep arriving meanwhile, so a
-      // busy server naturally forms bigger batches.
-      cv_.wait(lock, [&] { return stop_ || !free_.empty(); });
-      if (free_.empty()) continue;  // stop_ set; drain requirement already met
+      // Wait for a free replica whose circuit breaker admits work.
+      // Requests keep arriving meanwhile, so a busy server naturally forms
+      // bigger batches. When every free replica's breaker is open, poll on
+      // a short timeout so a cooldown expiry (-> half-open probe) is
+      // noticed without a dedicated timer; probes always resolve their
+      // futures, so the drain in shutdown() still terminates.
+      std::size_t picked = kNpos;
+      for (;;) {
+        cv_.wait(lock, [&] { return stop_ || !free_.empty(); });
+        if (stop_ && free_.empty()) break;
+        picked = pick_replica_locked();
+        if (picked != kNpos) break;
+        cv_.wait_for(lock, std::chrono::microseconds(200));
+      }
+      if (picked == kNpos) continue;  // stop_ set; drain already satisfied
 
       Batch batch;
-      batch.replica = std::move(free_.back());
-      free_.pop_back();
-      const std::size_t n =
-          std::min(queue_.size(), config_.max_batch_size);
-      batch.items.reserve(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        batch.items.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
+      batch.replica = std::move(free_[picked]);
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(picked));
       batch.dispatched = std::chrono::steady_clock::now();
+
+      // Pop up to max_batch_size live requests. Requests whose deadline
+      // already passed in the queue fail here with DeadlineError and do
+      // not occupy batch slots.
+      std::size_t popped = 0;
+      std::size_t expired = 0;
+      while (!queue_.empty() && batch.items.size() < config_.max_batch_size) {
+        Pending p = std::move(queue_.front());
+        queue_.pop_front();
+        ++popped;
+        if (config_.deadline.count() > 0 &&
+            batch.dispatched - p.enqueued > config_.deadline) {
+          p.promise.set_exception(
+              std::make_exception_ptr(DeadlineError(detail::kDeadlineMsg)));
+          ++stats_.deadline_missed;
+          ++expired;
+          continue;
+        }
+        batch.items.push_back(std::move(p));
+      }
+      const std::size_t n = batch.items.size();
+      if (n == 0) {
+        // Everything popped had expired: return the replica and let the
+        // drain condition observe the emptier queue.
+        free_.push_back(std::move(batch.replica));
+        TREU_OBS_GAUGE_ADD("serve.queue_depth",
+                           -static_cast<std::int64_t>(popped));
+        TREU_OBS_COUNTER_ADD("serve.deadline_miss",
+                             static_cast<std::uint64_t>(expired));
+        cv_.notify_all();
+        idle_cv_.notify_all();
+        continue;
+      }
+      batch.id = next_batch_id_++;
       ++in_flight_;
       ++stats_.batches;
       if (n > stats_.max_batch) stats_.max_batch = n;
       lock.unlock();
 
       TREU_OBS_COUNTER_ADD("serve.batches_total", 1);
+      TREU_OBS_COUNTER_ADD("serve.deadline_miss",
+                           static_cast<std::uint64_t>(expired));
       TREU_OBS_GAUGE_ADD("serve.queue_depth",
-                         -static_cast<std::int64_t>(n));
+                         -static_cast<std::int64_t>(popped));
       TREU_OBS_HISTOGRAM_OBSERVE("serve.batch_size",
                                  static_cast<double>(n));
       for (const Pending &p : batch.items) {
@@ -278,28 +442,80 @@ class BatchServer {
   }
 
   void run_batch(Batch batch) {
+    TREU_OBS_SPAN(run_span, "serve.run_batch");
     std::vector<In> inputs;
     inputs.reserve(batch.items.size());
     for (Pending &p : batch.items) inputs.push_back(std::move(p.input));
 
+    CircuitBreaker &breaker = *breakers_[batch.replica.index];
     std::vector<Out> outputs;
     std::exception_ptr error;
-    {
-      TREU_OBS_SCOPED_LATENCY_US(fwd_timer, "serve.batch_forward_us");
-      try {
-        outputs = batch.replica.model->predict_batch(inputs);
-        if (outputs.size() != inputs.size()) {
-          throw std::runtime_error("BatchServer: predict_batch size mismatch");
+    std::uint64_t retries = 0;
+    for (std::size_t attempt = 0; attempt < config_.retry.max_attempts;
+         ++attempt) {
+      if (attempt > 0) {
+        ++retries;
+        TREU_OBS_COUNTER_ADD("serve.retry.attempts", 1);
+        TREU_OBS_SPAN(backoff_span, "serve.retry_backoff");
+        std::this_thread::sleep_for(
+            backoff_delay(config_.retry, attempt - 1, batch.id));
+      }
+      error = nullptr;
+      fault::FaultDecision decision;
+      if (config_.injector != nullptr) {
+        decision = config_.injector->decide(batch.replica.index, inputs.size());
+      }
+      {
+        TREU_OBS_SCOPED_LATENCY_US(fwd_timer, "serve.batch_forward_us");
+        try {
+          if (decision.kind == fault::FaultKind::Stall) {
+            std::this_thread::sleep_for(decision.stall);
+          }
+          if (decision.kind == fault::FaultKind::Throw) {
+            throw fault::FaultError("injected fault: throw");
+          }
+          if (decision.kind == fault::FaultKind::Blackout) {
+            throw fault::FaultError("injected fault: replica blackout");
+          }
+          outputs = batch.replica.model->predict_batch(inputs);
+          if (outputs.size() != inputs.size()) {
+            throw std::runtime_error("BatchServer: predict_batch size mismatch");
+          }
+          if (decision.kind == fault::FaultKind::Corrupt && corrupter_) {
+            for (Out &o : outputs) corrupter_(o);
+          }
+        } catch (...) {
+          error = std::current_exception();
         }
-      } catch (...) {
-        error = std::current_exception();
+      }
+      if (error) {
+        breaker.record_failure();
+      } else {
+        breaker.record_success();
+        break;
       }
     }
+    if (error && config_.retry.max_attempts > 1) {
+      TREU_OBS_COUNTER_ADD("serve.retry.exhausted", 1);
+    }
 
+    const auto fulfilled = std::chrono::steady_clock::now();
     std::uint64_t served = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t missed = 0;
     for (std::size_t i = 0; i < batch.items.size(); ++i) {
       if (error) {
         batch.items[i].promise.set_exception(error);
+        ++failed;
+        continue;
+      }
+      // A response produced after the request's deadline (stalled or
+      // slow batch) is a miss, not a late success.
+      if (config_.deadline.count() > 0 &&
+          fulfilled - batch.items[i].enqueued > config_.deadline) {
+        batch.items[i].promise.set_exception(
+            std::make_exception_ptr(DeadlineError(detail::kDeadlineMsg)));
+        ++missed;
         continue;
       }
       Response r;
@@ -313,6 +529,7 @@ class BatchServer {
       ++served;
     }
     TREU_OBS_COUNTER_ADD("serve.responses_total", served);
+    TREU_OBS_COUNTER_ADD("serve.deadline_miss", missed);
 
     {
       // Notify under the lock: once mu_ is released with in_flight_ == 0 a
@@ -322,6 +539,9 @@ class BatchServer {
       free_.push_back(std::move(batch.replica));
       --in_flight_;
       stats_.completed += served;
+      stats_.failed += failed;
+      stats_.deadline_missed += missed;
+      stats_.retries += retries;
       cv_.notify_all();
       idle_cv_.notify_all();
     }
@@ -336,7 +556,11 @@ class BatchServer {
   std::condition_variable idle_cv_;  // shutdown waits for full drain
   std::deque<Pending> queue_;
   std::vector<Replica> free_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;  // by replica index
+  std::array<std::size_t, 3> shed_cap_{};                  // by Priority
+  std::function<void(Out &)> corrupter_;
   std::size_t in_flight_ = 0;
+  std::uint64_t next_batch_id_ = 0;
   bool accepting_ = true;
   bool stop_ = false;
   ServeStats stats_;

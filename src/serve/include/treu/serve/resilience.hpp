@@ -1,0 +1,211 @@
+#pragma once
+
+// Resilience policies for treu::serve — the pieces that keep an injected-
+// fault (or genuinely failing) serving stack inside its contract:
+//
+//  - DeadlineError / ShedError: the two new ways a submitted future can
+//    resolve, alongside RejectedError and model errors. Every accepted
+//    request still resolves exactly one way; exact accounting is the
+//    whole point.
+//  - RetryPolicy + backoff_delay(): bounded retry with exponential
+//    backoff and *deterministic* jitter — the delay for (policy, attempt,
+//    batch id) is a pure function, so a seeded run replays its exact
+//    backoff schedule.
+//  - CircuitBreaker: per-replica closed -> open -> half-open breaker on
+//    consecutive failures, with an injectable microsecond clock so tests
+//    drive the cooldown in virtual time while the server uses wall time.
+//  - Priority: admission classes for load shedding near max_pending
+//    (policy wiring lives in BatchServer; see shed_watermark there).
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "treu/core/rng.hpp"
+#include "treu/obs/obs.hpp"
+
+namespace treu::serve {
+
+/// The error a request's future carries when its deadline passed before a
+/// response could be produced (expired in queue, or finished too late
+/// behind a stalled batch).
+class DeadlineError final : public std::runtime_error {
+ public:
+  explicit DeadlineError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/// The error a request's future carries when admission shed it: the queue
+/// was above the shed watermark for its priority class. Deliberately not a
+/// RejectedError — shedding is a policy choice under load, not a full
+/// queue, and callers may want to retry shed work elsewhere.
+class ShedError final : public std::runtime_error {
+ public:
+  explicit ShedError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/// Admission classes, most to least important. Under load (queue above the
+/// shed watermark) Low is shed first, then Normal; High is only ever
+/// refused by the hard max_pending bound.
+enum class Priority : std::uint8_t { High = 0, Normal = 1, Low = 2 };
+
+/// Bounded retry with exponential backoff and deterministic jitter.
+/// max_attempts == 1 means no retry (the default).
+struct RetryPolicy {
+  std::size_t max_attempts = 1;
+  std::chrono::microseconds base_backoff{100};
+  double multiplier = 2.0;
+  std::chrono::microseconds max_backoff{5000};
+  /// Jitter fraction in [0, 1): delay is scaled by a factor uniform in
+  /// [1 - jitter, 1 + jitter) drawn from a stream keyed by jitter_seed.
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 0;
+};
+
+/// Delay before retry number `attempt` (0 = first retry) of batch
+/// `batch_id`. Pure function: exponential base_backoff * multiplier^attempt
+/// capped at max_backoff, then jittered from Rng(jitter_seed, batch_id)
+/// split by attempt — identical across runs, platforms and interleavings.
+[[nodiscard]] inline std::chrono::microseconds backoff_delay(
+    const RetryPolicy &policy, std::size_t attempt, std::uint64_t batch_id) {
+  double us = static_cast<double>(policy.base_backoff.count());
+  for (std::size_t i = 0; i < attempt; ++i) {
+    us *= policy.multiplier;
+    if (us >= static_cast<double>(policy.max_backoff.count())) break;
+  }
+  us = std::min(us, static_cast<double>(policy.max_backoff.count()));
+  if (policy.jitter > 0.0) {
+    core::Rng rng = core::Rng(policy.jitter_seed, batch_id).split(attempt);
+    us *= rng.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+  }
+  return std::chrono::microseconds(
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(us)));
+}
+
+enum class BreakerState : std::uint8_t { Closed = 0, Open = 1, HalfOpen = 2 };
+
+[[nodiscard]] constexpr const char *to_string(BreakerState s) noexcept {
+  switch (s) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+struct BreakerConfig {
+  /// Consecutive failures that trip the breaker open. 0 disables the
+  /// breaker entirely (allow() is always true, records are no-ops).
+  std::size_t failure_threshold = 0;
+  /// How long an open breaker refuses work before letting one probe
+  /// through (half-open).
+  std::chrono::microseconds cooldown{10000};
+  /// Microsecond clock. Leave empty for steady_clock wall time; tests
+  /// inject a counter to drive cooldowns in virtual time.
+  std::function<std::int64_t()> clock;
+};
+
+/// Per-replica circuit breaker: closed -> open after failure_threshold
+/// consecutive failures; open -> half-open once cooldown elapsed (exactly
+/// one probe admitted); half-open -> closed on probe success, -> open on
+/// probe failure. Internally synchronized.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const BreakerConfig &config) : config_(config) {}
+
+  /// May this caller run work now? Open -> HalfOpen transition (and the
+  /// single-probe admission) happens here.
+  [[nodiscard]] bool allow() {
+    if (config_.failure_threshold == 0) return true;
+    std::lock_guard lock(mu_);
+    switch (state_) {
+      case BreakerState::Closed:
+        return true;
+      case BreakerState::Open:
+        if (now_us() - opened_at_us_ >=
+            static_cast<std::int64_t>(config_.cooldown.count())) {
+          state_ = BreakerState::HalfOpen;
+          probe_in_flight_ = true;
+          return true;
+        }
+        return false;
+      case BreakerState::HalfOpen:
+        if (probe_in_flight_) return false;
+        probe_in_flight_ = true;
+        return true;
+    }
+    return true;
+  }
+
+  void record_success() {
+    if (config_.failure_threshold == 0) return;
+    std::lock_guard lock(mu_);
+    consecutive_failures_ = 0;
+    probe_in_flight_ = false;
+    if (state_ != BreakerState::Closed) {
+      state_ = BreakerState::Closed;
+      TREU_OBS_GAUGE_ADD("serve.breaker.state", -1);
+    }
+  }
+
+  void record_failure() {
+    if (config_.failure_threshold == 0) return;
+    std::lock_guard lock(mu_);
+    probe_in_flight_ = false;
+    if (state_ == BreakerState::HalfOpen) {
+      // Failed probe: back to open for another cooldown.
+      state_ = BreakerState::Open;
+      opened_at_us_ = now_us();
+      ++opened_count_;
+      TREU_OBS_COUNTER_ADD("serve.breaker.opened_total", 1);
+      return;
+    }
+    if (state_ == BreakerState::Open) return;  // already open; don't extend
+    if (++consecutive_failures_ >= config_.failure_threshold) {
+      state_ = BreakerState::Open;
+      opened_at_us_ = now_us();
+      consecutive_failures_ = 0;
+      ++opened_count_;
+      TREU_OBS_GAUGE_ADD("serve.breaker.state", 1);
+      TREU_OBS_COUNTER_ADD("serve.breaker.opened_total", 1);
+    }
+  }
+
+  [[nodiscard]] BreakerState state() const {
+    std::lock_guard lock(mu_);
+    return state_;
+  }
+
+  /// Times this breaker has transitioned to Open (including re-opens from
+  /// a failed half-open probe).
+  [[nodiscard]] std::uint64_t opened() const {
+    std::lock_guard lock(mu_);
+    return opened_count_;
+  }
+
+  [[nodiscard]] const BreakerConfig &config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] std::int64_t now_us() const {
+    if (config_.clock) return config_.clock();
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  BreakerConfig config_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::Closed;
+  std::size_t consecutive_failures_ = 0;
+  std::int64_t opened_at_us_ = 0;
+  bool probe_in_flight_ = false;
+  std::uint64_t opened_count_ = 0;
+};
+
+}  // namespace treu::serve

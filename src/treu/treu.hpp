@@ -18,6 +18,7 @@
 #include "treu/core/sha256.hpp"       // IWYU pragma: export
 #include "treu/core/stats.hpp"        // IWYU pragma: export
 #include "treu/core/timer.hpp"        // IWYU pragma: export
+#include "treu/fault/fault_plan.hpp"  // IWYU pragma: export
 #include "treu/histo/segnet.hpp"      // IWYU pragma: export
 #include "treu/malware/classifiers.hpp"  // IWYU pragma: export
 #include "treu/malware/ngram.hpp"     // IWYU pragma: export
@@ -32,6 +33,7 @@
 #include "treu/sched/autotune.hpp"    // IWYU pragma: export
 #include "treu/sched/gpu_sim.hpp"     // IWYU pragma: export
 #include "treu/sched/roofline.hpp"    // IWYU pragma: export
+#include "treu/serve/batch_server.hpp"    // IWYU pragma: export
 #include "treu/shape/atlas.hpp"       // IWYU pragma: export
 #include "treu/survey/treu_survey.hpp"  // IWYU pragma: export
 #include "treu/tensor/kernels.hpp"    // IWYU pragma: export

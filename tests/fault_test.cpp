@@ -1,0 +1,271 @@
+// treu::fault + serve resilience policy units: FaultPlan determinism,
+// backoff schedule values, and circuit-breaker state transitions driven in
+// virtual time. Everything here is single-threaded and wall-clock-free so
+// the assertions are exact.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "treu/fault/fault_plan.hpp"
+#include "treu/serve/resilience.hpp"
+
+namespace fault = treu::fault;
+namespace serve = treu::serve;
+using std::chrono::microseconds;
+
+namespace {
+
+// ---- FaultPlan ------------------------------------------------------------
+
+fault::FaultPlanConfig mixed_config() {
+  fault::FaultPlanConfig config;
+  config.throw_rate = 0.2;
+  config.stall_rate = 0.2;
+  config.corrupt_rate = 0.1;
+  config.stall_min = microseconds(50);
+  config.stall_max = microseconds(500);
+  return config;
+}
+
+TEST(FaultPlan, SameSeedSameInjectionSequence) {
+  fault::FaultPlan a(mixed_config(), 42);
+  fault::FaultPlan b(mixed_config(), 42);
+  for (int i = 0; i < 500; ++i) {
+    const auto da = a.decide(static_cast<std::size_t>(i % 3), 8);
+    const auto db = b.decide(static_cast<std::size_t>(i % 3), 8);
+    ASSERT_EQ(da.kind, db.kind) << "event " << i;
+    ASSERT_EQ(da.stall, db.stall) << "event " << i;
+  }
+  EXPECT_EQ(a.history(), b.history());
+  EXPECT_EQ(a.events(), 500u);
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  fault::FaultPlan a(mixed_config(), 1);
+  fault::FaultPlan b(mixed_config(), 2);
+  for (int i = 0; i < 200; ++i) {
+    (void)a.decide(0, 1);
+    (void)b.decide(0, 1);
+  }
+  EXPECT_NE(a.history(), b.history());
+}
+
+TEST(FaultPlan, AtIsThePureScheduleDecideWalks) {
+  // decide() must return exactly at(k) for k = 0, 1, 2, ... regardless of
+  // how many draws earlier events made — one Philox stream per event.
+  fault::FaultPlan plan(mixed_config(), 7);
+  const fault::FaultPlan oracle(mixed_config(), 7);
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    const auto expect = oracle.at(k, 1);
+    const auto got = plan.decide(1, 4);
+    ASSERT_EQ(got.kind, expect.kind) << "event " << k;
+    ASSERT_EQ(got.stall, expect.stall) << "event " << k;
+  }
+}
+
+TEST(FaultPlan, RatesRoughlyHonoredAndCountsExact) {
+  fault::FaultPlan plan(mixed_config(), 11);
+  const int kEvents = 4000;
+  for (int i = 0; i < kEvents; ++i) (void)plan.decide(0, 1);
+  const auto hist = plan.history();
+  ASSERT_EQ(hist.size(), static_cast<std::size_t>(kEvents));
+  std::uint64_t thrown = 0, stalled = 0, corrupted = 0, none = 0;
+  for (const auto k : hist) {
+    switch (k) {
+      case fault::FaultKind::Throw: ++thrown; break;
+      case fault::FaultKind::Stall: ++stalled; break;
+      case fault::FaultKind::Corrupt: ++corrupted; break;
+      case fault::FaultKind::None: ++none; break;
+      default: FAIL() << "unexpected kind";
+    }
+  }
+  EXPECT_EQ(plan.injected(fault::FaultKind::Throw), thrown);
+  EXPECT_EQ(plan.injected(fault::FaultKind::Stall), stalled);
+  EXPECT_EQ(plan.injected(fault::FaultKind::Corrupt), corrupted);
+  EXPECT_EQ(plan.injected(fault::FaultKind::None), none);
+  // 20% / 20% / 10% within loose binomial slack at n = 4000.
+  EXPECT_NEAR(static_cast<double>(thrown) / kEvents, 0.2, 0.04);
+  EXPECT_NEAR(static_cast<double>(stalled) / kEvents, 0.2, 0.04);
+  EXPECT_NEAR(static_cast<double>(corrupted) / kEvents, 0.1, 0.03);
+}
+
+TEST(FaultPlan, StallDurationsStayInRange) {
+  fault::FaultPlanConfig config;
+  config.stall_rate = 1.0;
+  config.stall_min = microseconds(100);
+  config.stall_max = microseconds(200);
+  fault::FaultPlan plan(config, 3);
+  for (int i = 0; i < 200; ++i) {
+    const auto d = plan.decide(0, 1);
+    ASSERT_EQ(d.kind, fault::FaultKind::Stall);
+    ASSERT_GE(d.stall, config.stall_min);
+    ASSERT_LE(d.stall, config.stall_max);
+  }
+}
+
+TEST(FaultPlan, BlackoutWindowHitsOnlyItsReplicaAndWindow) {
+  fault::FaultPlanConfig config;  // all rates zero: blackout is isolated
+  config.blackout_replica = 1;
+  config.blackout_from = 10;
+  config.blackout_until = 20;
+  const fault::FaultPlan plan(config, 5);
+  for (std::uint64_t k = 0; k < 30; ++k) {
+    EXPECT_EQ(plan.at(k, 0).kind, fault::FaultKind::None) << k;
+    const bool in_window = k >= 10 && k < 20;
+    EXPECT_EQ(plan.at(k, 1).kind, in_window ? fault::FaultKind::Blackout
+                                            : fault::FaultKind::None)
+        << k;
+  }
+}
+
+TEST(FaultPlan, RejectsInvalidConfig) {
+  fault::FaultPlanConfig negative;
+  negative.throw_rate = -0.1;
+  EXPECT_THROW(fault::FaultPlan(negative, 1), std::invalid_argument);
+  fault::FaultPlanConfig oversum;
+  oversum.throw_rate = 0.7;
+  oversum.stall_rate = 0.5;
+  EXPECT_THROW(fault::FaultPlan(oversum, 1), std::invalid_argument);
+  fault::FaultPlanConfig inverted;
+  inverted.stall_min = microseconds(500);
+  inverted.stall_max = microseconds(100);
+  EXPECT_THROW(fault::FaultPlan(inverted, 1), std::invalid_argument);
+}
+
+// ---- backoff schedule ------------------------------------------------------
+
+TEST(Backoff, ExponentialProgressionWithoutJitterIsExact) {
+  serve::RetryPolicy policy;
+  policy.base_backoff = microseconds(100);
+  policy.multiplier = 2.0;
+  policy.max_backoff = microseconds(1500);
+  EXPECT_EQ(serve::backoff_delay(policy, 0, 0), microseconds(100));
+  EXPECT_EQ(serve::backoff_delay(policy, 1, 0), microseconds(200));
+  EXPECT_EQ(serve::backoff_delay(policy, 2, 0), microseconds(400));
+  EXPECT_EQ(serve::backoff_delay(policy, 3, 0), microseconds(800));
+  EXPECT_EQ(serve::backoff_delay(policy, 4, 0), microseconds(1500));  // capped
+  EXPECT_EQ(serve::backoff_delay(policy, 9, 0), microseconds(1500));
+  // batch id is irrelevant without jitter.
+  EXPECT_EQ(serve::backoff_delay(policy, 2, 77), microseconds(400));
+}
+
+TEST(Backoff, JitterIsDeterministicBoundedAndKeyed) {
+  serve::RetryPolicy policy;
+  policy.base_backoff = microseconds(1000);
+  policy.multiplier = 2.0;
+  policy.max_backoff = microseconds(100000);
+  policy.jitter = 0.25;
+  policy.jitter_seed = 9;
+  std::set<std::int64_t> seen;
+  for (std::uint64_t batch = 0; batch < 20; ++batch) {
+    for (std::size_t attempt = 0; attempt < 4; ++attempt) {
+      const auto d1 = serve::backoff_delay(policy, attempt, batch);
+      const auto d2 = serve::backoff_delay(policy, attempt, batch);
+      ASSERT_EQ(d1, d2);  // pure function of (policy, attempt, batch)
+      const double raw = 1000.0 * static_cast<double>(1u << attempt);
+      ASSERT_GE(static_cast<double>(d1.count()), raw * 0.75 - 1.0);
+      ASSERT_LE(static_cast<double>(d1.count()), raw * 1.25 + 1.0);
+      seen.insert(d1.count());
+    }
+  }
+  // Distinct (attempt, batch) keys actually jitter apart.
+  EXPECT_GT(seen.size(), 40u);
+  // A different jitter seed reshuffles the schedule.
+  serve::RetryPolicy other = policy;
+  other.jitter_seed = 10;
+  EXPECT_NE(serve::backoff_delay(other, 1, 3),
+            serve::backoff_delay(policy, 1, 3));
+}
+
+// ---- circuit breaker in virtual time --------------------------------------
+
+serve::BreakerConfig virtual_breaker(std::int64_t *clock_us,
+                                     std::size_t threshold = 3,
+                                     std::int64_t cooldown_us = 1000) {
+  serve::BreakerConfig config;
+  config.failure_threshold = threshold;
+  config.cooldown = microseconds(cooldown_us);
+  config.clock = [clock_us] { return *clock_us; };
+  return config;
+}
+
+TEST(CircuitBreaker, ClosedToOpenToHalfOpenToClosed) {
+  std::int64_t now = 0;
+  serve::CircuitBreaker breaker(virtual_breaker(&now));
+  EXPECT_EQ(breaker.state(), serve::BreakerState::Closed);
+
+  // Two failures: still closed (threshold 3).
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::Closed);
+  EXPECT_TRUE(breaker.allow());
+
+  // Third consecutive failure trips it open; cooldown refuses work.
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::Open);
+  EXPECT_EQ(breaker.opened(), 1u);
+  EXPECT_FALSE(breaker.allow());
+  now = 999;
+  EXPECT_FALSE(breaker.allow());
+
+  // Cooldown elapsed: exactly one probe is admitted (half-open).
+  now = 1000;
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.state(), serve::BreakerState::HalfOpen);
+  EXPECT_FALSE(breaker.allow());  // second caller is held back
+
+  // Probe succeeds: closed again, and failures start from zero.
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::Closed);
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::Closed);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensForAnotherCooldown) {
+  std::int64_t now = 0;
+  serve::CircuitBreaker breaker(virtual_breaker(&now, 2, 500));
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_EQ(breaker.state(), serve::BreakerState::Open);
+
+  now = 500;
+  ASSERT_TRUE(breaker.allow());  // half-open probe
+  breaker.record_failure();      // probe fails
+  EXPECT_EQ(breaker.state(), serve::BreakerState::Open);
+  EXPECT_EQ(breaker.opened(), 2u);
+  EXPECT_FALSE(breaker.allow());  // new cooldown measured from the reopen
+  now = 999;
+  EXPECT_FALSE(breaker.allow());
+  now = 1000;
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::Closed);
+}
+
+TEST(CircuitBreaker, SuccessResetsConsecutiveFailureCount) {
+  std::int64_t now = 0;
+  serve::CircuitBreaker breaker(virtual_breaker(&now, 3));
+  for (int round = 0; round < 5; ++round) {
+    breaker.record_failure();
+    breaker.record_failure();
+    breaker.record_success();  // never three in a row
+  }
+  EXPECT_EQ(breaker.state(), serve::BreakerState::Closed);
+  EXPECT_EQ(breaker.opened(), 0u);
+}
+
+TEST(CircuitBreaker, ZeroThresholdDisablesEverything) {
+  serve::BreakerConfig config;  // failure_threshold = 0
+  serve::CircuitBreaker breaker(config);
+  for (int i = 0; i < 50; ++i) breaker.record_failure();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::Closed);
+  EXPECT_TRUE(breaker.allow());
+}
+
+}  // namespace

@@ -8,11 +8,15 @@
 
 #include "treu/core/manifest.hpp"
 #include "treu/core/rng.hpp"
+#include "treu/fault/fault_plan.hpp"
 #include "treu/histo/data.hpp"
+#include "treu/nn/mlp.hpp"
 #include "treu/pf/weighting.hpp"
 #include "treu/sched/gpu_sim.hpp"
+#include "treu/serve/batch_server.hpp"
 #include "treu/survey/likert.hpp"
 #include "treu/traj/trajectory.hpp"
+#include "treu/vision/detector.hpp"
 #include "treu/vision/scene.hpp"
 
 // --- Likert reconstruction: every 1-decimal target in range is feasible -----
@@ -213,3 +217,107 @@ TEST_P(HistoGrid, CellCountMatchesComponentsAtEverySize) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, HistoGrid,
                          ::testing::Values<std::size_t>(16, 24, 32, 48));
+
+// --- Retry parity: retries never perturb model output -------------------------
+//
+// Serving under injected throw faults with bounded retry must not change
+// the numbers: every request that eventually succeeds (possibly on its
+// 2nd..4th attempt) must carry output bitwise identical to the fault-free
+// direct predict_batch. A retry re-runs the same frozen weights on the
+// same inputs — anything else would mean the resilience layer leaks into
+// the model's numerics.
+
+namespace {
+
+treu::fault::FaultPlanConfig throwy_plan() {
+  treu::fault::FaultPlanConfig config;
+  config.throw_rate = 0.35;
+  return config;
+}
+
+treu::serve::ServeConfig retry_config(treu::fault::Injector *injector) {
+  treu::serve::ServeConfig config;
+  config.max_batch_size = 4;
+  config.max_queue_delay = std::chrono::microseconds(200);
+  config.max_pending = 256;
+  config.retry.max_attempts = 4;
+  config.retry.base_backoff = std::chrono::microseconds(20);
+  config.retry.jitter = 0.25;
+  config.retry.jitter_seed = 13;
+  config.injector = injector;
+  return config;
+}
+
+}  // namespace
+
+TEST(RetryParity, MlpClassifierRetriedSuccessesAreBitwiseIdentical) {
+  treu::core::Rng init(5);
+  treu::nn::MlpClassifier model(10, {16, 8}, 4, init);
+  treu::core::Rng data_rng(7);
+  std::vector<std::vector<double>> inputs;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<double> x(10);
+    for (auto &v : x) v = data_rng.normal(0.0, 1.0);
+    inputs.push_back(std::move(x));
+  }
+  const auto direct = model.predict_batch(inputs);
+
+  treu::fault::FaultPlan plan(throwy_plan(), 21);
+  treu::serve::BatchServer<std::vector<double>, treu::nn::ClassScores> server(
+      model, retry_config(&plan));
+  auto futs = server.submit_many(inputs);
+  std::size_t succeeded = 0;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    try {
+      const auto r = futs[i].get();
+      ++succeeded;
+      EXPECT_EQ(r.output.label, direct[i].label);
+      ASSERT_EQ(r.output.logits.size(), direct[i].logits.size());
+      for (std::size_t j = 0; j < direct[i].logits.size(); ++j) {
+        EXPECT_EQ(r.output.logits[j], direct[i].logits[j]) << "row " << i;
+      }
+    } catch (const treu::fault::FaultError &) {
+      // Retries exhausted: acceptable, just not comparable.
+    }
+  }
+  server.shutdown();
+  // The sweep is only meaningful if faults fired, retries recovered work,
+  // and a healthy majority of requests still came back.
+  EXPECT_GT(plan.injected(treu::fault::FaultKind::Throw), 0u);
+  EXPECT_GT(server.stats().retries, 0u);
+  EXPECT_GT(succeeded, inputs.size() / 2);
+}
+
+TEST(RetryParity, WindowScorerRetriedSuccessesAreBitwiseIdentical) {
+  treu::core::Rng rng(9);
+  treu::vision::WindowScorer scorer(36, {16}, rng);
+  treu::core::Rng data_rng(10);
+  std::vector<std::vector<double>> windows;
+  for (int i = 0; i < 36; ++i) {
+    std::vector<double> w(36);
+    for (auto &v : w) v = data_rng.uniform(0.0, 1.0);
+    windows.push_back(std::move(w));
+  }
+  const auto direct = scorer.predict_batch(windows);
+
+  treu::fault::FaultPlan plan(throwy_plan(), 22);
+  treu::serve::BatchServer<std::vector<double>, treu::vision::WindowScore>
+      server(scorer, retry_config(&plan));
+  auto futs = server.submit_many(windows);
+  std::size_t succeeded = 0;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    try {
+      const auto r = futs[i].get();
+      ++succeeded;
+      ASSERT_EQ(r.output.probs.size(), direct[i].probs.size());
+      for (std::size_t j = 0; j < direct[i].probs.size(); ++j) {
+        EXPECT_EQ(r.output.probs[j], direct[i].probs[j]) << "window " << i;
+      }
+    } catch (const treu::fault::FaultError &) {
+    }
+  }
+  server.shutdown();
+  EXPECT_GT(plan.injected(treu::fault::FaultKind::Throw), 0u);
+  EXPECT_GT(server.stats().retries, 0u);
+  EXPECT_GT(succeeded, windows.size() / 2);
+}

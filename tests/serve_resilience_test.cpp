@@ -1,0 +1,548 @@
+// treu::serve resilience under injected faults — the stress/soak tier.
+//
+// Two kinds of test live here. The deterministic ones drive a controlled
+// server (gated model, serial closed loop, or scripted injector) and assert
+// exact policy behaviour: deadlines, retries, shedding, breaker-driven
+// failover, and the seed-repro contract (same seed => identical injection
+// sequence and identical accounting, run twice in-process). The soak test
+// throws randomized concurrent load at an injected-fault server and asserts
+// the invariants that must survive *any* interleaving: no deadlock, exact
+// accounting (every submit resolves exactly one way, client tallies ==
+// server stats), and drain-on-shutdown under active faults. Its seed comes
+// from TREU_SOAK_SEED (see scripts/run_soak.sh), so a failing seed is
+// reproducible by exporting the same value.
+//
+// Runs under ThreadSanitizer in CI: keep assertions free of timing
+// assumptions beyond "a future eventually resolves".
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/fault/fault_plan.hpp"
+#include "treu/serve/batch_server.hpp"
+
+namespace serve = treu::serve;
+namespace fault = treu::fault;
+namespace nn = treu::nn;
+using treu::core::Rng;
+using std::chrono::microseconds;
+
+namespace {
+
+/// Deterministic thread-compatible toy model: output = input + 1. A gate
+/// lets tests hold the model mid-batch to build backlog with exact control.
+class EchoModel final : public nn::Predictor<int, int> {
+ public:
+  std::vector<int> predict_batch(std::span<const int> inputs) override {
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return open_; });
+    }
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<int> out;
+    out.reserve(inputs.size());
+    for (int v : inputs) out.push_back(v + 1);
+    return out;
+  }
+
+  std::string weight_hash() override { return std::string(64, 'e'); }
+
+  void close_gate() {
+    std::lock_guard lock(mu_);
+    open_ = false;
+  }
+  void open_gate() {
+    {
+      std::lock_guard lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = true;
+  std::atomic<int> calls_{0};
+};
+
+using Server = serve::BatchServer<int, int>;
+
+/// Injector that replays a fixed decision list, then None forever.
+class ScriptedInjector final : public fault::Injector {
+ public:
+  explicit ScriptedInjector(std::vector<fault::FaultKind> script)
+      : script_(std::move(script)) {}
+
+  fault::FaultDecision decide(std::size_t, std::size_t) override {
+    const auto k = next_.fetch_add(1, std::memory_order_relaxed);
+    fault::FaultDecision d;
+    if (k < script_.size()) d.kind = script_[k];
+    return d;
+  }
+
+ private:
+  std::vector<fault::FaultKind> script_;
+  std::atomic<std::size_t> next_{0};
+};
+
+serve::ServeConfig quick_config() {
+  serve::ServeConfig config;
+  config.max_batch_size = 8;
+  config.max_queue_delay = microseconds(100);
+  config.max_pending = 64;
+  return config;
+}
+
+/// Poll until the first submitted request has been dispatched out of the
+/// queue (it is now in flight inside the gated model).
+void wait_for_dispatch(const Server &server, std::uint64_t batches) {
+  while (true) {
+    const auto s = server.stats();
+    if (s.batches >= batches && s.queue_depth == 0) return;
+    std::this_thread::sleep_for(microseconds(200));
+  }
+}
+
+// ---- deadlines -------------------------------------------------------------
+
+TEST(Resilience, ExpiredRequestsFailWithDeadlineErrorNotLateAnswers) {
+  EchoModel model;
+  model.close_gate();
+  serve::ServeConfig config = quick_config();
+  config.max_batch_size = 4;
+  config.deadline = std::chrono::milliseconds(5);
+  Server server(model, config);
+
+  // One request is dispatched and held mid-predict; eight more age out in
+  // the queue behind the busy replica.
+  auto stuck = server.submit(1);
+  wait_for_dispatch(server, 1);
+  std::vector<std::future<Server::Response>> queued;
+  for (int i = 0; i < 8; ++i) queued.push_back(server.submit(i));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  model.open_gate();
+  server.shutdown();
+
+  // The held batch finished after its deadline: a miss, not a late value.
+  EXPECT_THROW((void)stuck.get(), serve::DeadlineError);
+  for (auto &f : queued) EXPECT_THROW((void)f.get(), serve::DeadlineError);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, 9u);
+  EXPECT_EQ(stats.deadline_missed, 9u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(Resilience, ZeroDeadlineDisablesMisses) {
+  EchoModel model;
+  Server server(model, quick_config());
+  auto fut = server.submit(41);
+  EXPECT_EQ(fut.get().output, 42);
+  EXPECT_EQ(server.stats().deadline_missed, 0u);
+}
+
+// ---- retries ---------------------------------------------------------------
+
+TEST(Resilience, RetryRecoversFromTransientThrow) {
+  EchoModel model;
+  // First attempt throws, the retry sails through.
+  ScriptedInjector injector({fault::FaultKind::Throw});
+  serve::ServeConfig config = quick_config();
+  config.retry.max_attempts = 2;
+  config.retry.base_backoff = microseconds(50);
+  config.injector = &injector;
+  Server server(model, config);
+
+  auto fut = server.submit(10);
+  EXPECT_EQ(fut.get().output, 11);
+  server.shutdown();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(Resilience, RetryExhaustionSurfacesTheInjectedError) {
+  EchoModel model;
+  ScriptedInjector injector({fault::FaultKind::Throw, fault::FaultKind::Throw,
+                             fault::FaultKind::Throw});
+  serve::ServeConfig config = quick_config();
+  config.retry.max_attempts = 3;
+  config.retry.base_backoff = microseconds(20);
+  config.injector = &injector;
+  Server server(model, config);
+
+  auto fut = server.submit(10);
+  EXPECT_THROW((void)fut.get(), fault::FaultError);
+  server.shutdown();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.retries, 2u);  // attempts 2 and 3
+}
+
+TEST(Resilience, CorruptFaultFlipsOutputThroughCorrupter) {
+  EchoModel model;
+  ScriptedInjector injector({fault::FaultKind::Corrupt});
+  serve::ServeConfig config = quick_config();
+  config.injector = &injector;
+  Server server(model, config);
+  server.set_output_corrupter([](int &v) { v = -v; });
+
+  auto fut = server.submit(41);
+  // The model computed 42; the injected corruption silently flipped it.
+  EXPECT_EQ(fut.get().output, -42);
+  EXPECT_EQ(server.stats().completed, 1u);  // corruption is NOT an error
+}
+
+// ---- load shedding ---------------------------------------------------------
+
+TEST(Resilience, PriorityAwareSheddingNearFullQueue) {
+  EchoModel model;
+  model.close_gate();
+  serve::ServeConfig config = quick_config();
+  config.max_batch_size = 4;
+  config.max_pending = 16;
+  config.shed_watermark = 0.5;  // Low caps at 8, Normal at 12, High at 16
+  Server server(model, config);
+
+  auto stuck = server.submit(0);  // occupies the replica
+  wait_for_dispatch(server, 1);
+
+  std::vector<std::future<Server::Response>> accepted;
+  for (int i = 0; i < 8; ++i) {
+    accepted.push_back(server.submit(i, serve::Priority::Normal));
+  }
+  // Depth 8 == the Low watermark: Low is shed, Normal still fits.
+  auto shed_low = server.submit(99, serve::Priority::Low);
+  EXPECT_THROW((void)shed_low.get(), serve::ShedError);
+  for (int i = 0; i < 4; ++i) {
+    accepted.push_back(server.submit(i, serve::Priority::Normal));
+  }
+  // Depth 12 == the Normal watermark: Normal is shed, High still fits.
+  auto shed_normal = server.submit(99, serve::Priority::Normal);
+  EXPECT_THROW((void)shed_normal.get(), serve::ShedError);
+  for (int i = 0; i < 4; ++i) {
+    accepted.push_back(server.submit(i, serve::Priority::High));
+  }
+  // Depth 16 == max_pending: even High is rejected at the hard bound.
+  auto rejected = server.submit(99, serve::Priority::High);
+  EXPECT_THROW((void)rejected.get(), serve::RejectedError);
+
+  model.open_gate();
+  server.shutdown();
+  for (auto &f : accepted) EXPECT_GE(f.get().output, 1);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, 17u);
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 17u);
+}
+
+// ---- circuit breaker / blackout failover -----------------------------------
+
+TEST(Resilience, BlackoutTripsBreakerAndFailsOverToHealthyReplica) {
+  EchoModel sick, healthy;
+  fault::FaultPlanConfig plan_config;  // rates zero: blackout only
+  plan_config.blackout_replica = 0;
+  plan_config.blackout_from = 0;
+  plan_config.blackout_until = 1u << 20;  // dark for the whole test
+  fault::FaultPlan plan(plan_config, 17);
+
+  serve::ServeConfig config = quick_config();
+  config.max_batch_size = 1;
+  config.breaker.failure_threshold = 2;
+  config.breaker.cooldown = std::chrono::seconds(10);  // stays open
+  config.injector = &plan;
+  Server server({&sick, &healthy}, config);
+
+  std::uint64_t ok = 0, faulted = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto fut = server.submit(i);  // serial closed loop: rotation is exact
+    try {
+      EXPECT_EQ(fut.get().output, i + 1);
+      ++ok;
+    } catch (const fault::FaultError &) {
+      ++faulted;
+    }
+  }
+  server.shutdown();
+
+  // Replica 0 fails its first two checkouts, trips open, and every later
+  // request is served by replica 1.
+  EXPECT_EQ(faulted, 2u);
+  EXPECT_EQ(ok, 28u);
+  EXPECT_EQ(server.breaker_trips(), 1u);
+  const auto states = server.breaker_states();
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_EQ(states[0], serve::BreakerState::Open);
+  EXPECT_EQ(states[1], serve::BreakerState::Closed);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_EQ(stats.failed, faulted);
+}
+
+// ---- seed-repro: the acceptance criterion ----------------------------------
+
+struct ReproOutcome {
+  std::vector<fault::FaultKind> injections;
+  std::vector<bool> succeeded;  // per request, in submit order
+  serve::ServeStats stats;
+};
+
+/// One fully deterministic faulted serving run: single replica, singleton
+/// batches, serial closed loop — so injection event k maps to a fixed
+/// (request, attempt) pair and the whole outcome is a pure function of the
+/// seed.
+ReproOutcome run_seeded_scenario(std::uint64_t seed) {
+  EchoModel model;
+  fault::FaultPlanConfig plan_config;
+  plan_config.throw_rate = 0.3;
+  plan_config.stall_rate = 0.1;
+  plan_config.stall_min = microseconds(50);
+  plan_config.stall_max = microseconds(200);
+  fault::FaultPlan plan(plan_config, seed);
+
+  serve::ServeConfig config;
+  config.max_batch_size = 1;
+  config.max_queue_delay = microseconds(50);
+  config.max_pending = 4;
+  config.retry.max_attempts = 3;
+  config.retry.base_backoff = microseconds(20);
+  config.retry.jitter = 0.25;
+  config.retry.jitter_seed = seed;
+  config.injector = &plan;
+
+  ReproOutcome outcome;
+  {
+    Server server(model, config);
+    for (int i = 0; i < 50; ++i) {
+      auto fut = server.submit(i);
+      try {
+        outcome.succeeded.push_back(fut.get().output == i + 1);
+      } catch (const fault::FaultError &) {
+        outcome.succeeded.push_back(false);
+      }
+    }
+    server.shutdown();
+    outcome.stats = server.stats();
+  }
+  outcome.injections = plan.history();
+  return outcome;
+}
+
+TEST(Resilience, SameSeedReproducesInjectionSequenceAndAccounting) {
+  const std::uint64_t seed = 20240805;
+  const ReproOutcome first = run_seeded_scenario(seed);
+  const ReproOutcome second = run_seeded_scenario(seed);
+
+  EXPECT_EQ(first.injections, second.injections);
+  EXPECT_EQ(first.succeeded, second.succeeded);
+  EXPECT_EQ(first.stats.accepted, second.stats.accepted);
+  EXPECT_EQ(first.stats.completed, second.stats.completed);
+  EXPECT_EQ(first.stats.failed, second.stats.failed);
+  EXPECT_EQ(first.stats.retries, second.stats.retries);
+  EXPECT_EQ(first.stats.batches, second.stats.batches);
+  EXPECT_EQ(first.stats.rejected, second.stats.rejected);
+  EXPECT_EQ(first.stats.shed, second.stats.shed);
+  EXPECT_EQ(first.stats.deadline_missed, second.stats.deadline_missed);
+
+  // Sanity: the scenario actually exercised faults and retries.
+  EXPECT_GT(first.injections.size(), 50u);
+  EXPECT_GT(first.stats.retries, 0u);
+
+  // And a different seed gives a genuinely different failure story.
+  const ReproOutcome other = run_seeded_scenario(seed + 1);
+  EXPECT_NE(first.injections, other.injections);
+}
+
+// ---- the soak tier ---------------------------------------------------------
+
+std::uint64_t soak_seed() {
+  if (const char *env = std::getenv("TREU_SOAK_SEED")) {
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
+  }
+  return 1234;
+}
+
+struct Tally {
+  std::uint64_t ok = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline = 0;
+  std::uint64_t faulted = 0;  // FaultError / model error after retries
+};
+
+/// Resolve every future and classify its outcome. EchoModel serves
+/// input + 1; the soak corrupter negates, so a corrupted success is
+/// exactly -(input + 1) — silent wrongness stays countable.
+Tally drain_futures(std::vector<std::pair<int, std::future<Server::Response>>>
+                        &futs) {
+  Tally t;
+  for (auto &[input, fut] : futs) {
+    try {
+      const auto r = fut.get();
+      if (r.output == input + 1) {
+        ++t.ok;
+      } else {
+        EXPECT_EQ(r.output, -(input + 1));
+        ++t.corrupted;
+      }
+    } catch (const serve::ShedError &) {
+      ++t.shed;
+    } catch (const serve::RejectedError &) {
+      ++t.rejected;
+    } catch (const serve::DeadlineError &) {
+      ++t.deadline;
+    } catch (const std::exception &) {
+      ++t.faulted;
+    }
+  }
+  return t;
+}
+
+TEST(Soak, RandomizedConcurrentFaultLoadKeepsExactAccounting) {
+  const std::uint64_t seed = soak_seed();
+  SCOPED_TRACE("TREU_SOAK_SEED=" + std::to_string(seed));
+
+  EchoModel replica_a, replica_b;
+  fault::FaultPlanConfig plan_config;
+  plan_config.throw_rate = 0.15;
+  plan_config.stall_rate = 0.10;
+  plan_config.corrupt_rate = 0.05;
+  plan_config.stall_min = microseconds(100);
+  plan_config.stall_max = microseconds(400);
+  plan_config.blackout_replica = 1;
+  plan_config.blackout_from = 40;
+  plan_config.blackout_until = 120;
+  fault::FaultPlan plan(plan_config, seed);
+
+  serve::ServeConfig config;
+  config.max_batch_size = 8;
+  config.max_queue_delay = microseconds(200);
+  config.max_pending = 48;
+  config.shed_watermark = 0.75;
+  config.deadline = std::chrono::milliseconds(50);
+  config.retry.max_attempts = 3;
+  config.retry.base_backoff = microseconds(50);
+  config.retry.jitter = 0.25;
+  config.retry.jitter_seed = seed;
+  config.breaker.failure_threshold = 4;
+  config.breaker.cooldown = std::chrono::milliseconds(2);
+  config.injector = &plan;
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 120;
+  std::vector<std::pair<int, std::future<Server::Response>>> futs(
+      static_cast<std::size_t>(kThreads * kPerThread));
+  Server server({&replica_a, &replica_b}, config);
+  server.set_output_corrupter([](int &v) { v = -v; });
+  {
+    std::vector<std::thread> submitters;
+    submitters.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        Rng rng(seed, static_cast<std::uint64_t>(t) + 1);
+        for (int i = 0; i < kPerThread; ++i) {
+          const int input = t * kPerThread + i;
+          const auto priority =
+              static_cast<serve::Priority>(rng.uniform_index(3));
+          futs[static_cast<std::size_t>(input)] = {
+              input, server.submit(input, priority)};
+          if (rng.bernoulli(0.3)) {
+            std::this_thread::sleep_for(
+                microseconds(rng.uniform_index(120)));
+          }
+        }
+      });
+    }
+    for (auto &th : submitters) th.join();
+  }
+  // Shutdown while faults, stalls, and a blackout window are still live:
+  // must drain every accepted request and return.
+  server.shutdown();
+
+  for (auto &[input, fut] : futs) {
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "request " << input << " left unresolved by shutdown";
+  }
+  const Tally t = drain_futures(futs);
+  const auto stats = server.stats();
+  const auto total = static_cast<std::uint64_t>(kThreads * kPerThread);
+
+  // Every submission resolved exactly one way...
+  EXPECT_EQ(t.ok + t.corrupted + t.rejected + t.shed + t.deadline + t.faulted,
+            total);
+  // ...and the server's own books agree with what the clients saw.
+  EXPECT_EQ(stats.accepted + stats.rejected + stats.shed, total);
+  EXPECT_EQ(stats.completed, t.ok + t.corrupted);
+  EXPECT_EQ(stats.failed, t.faulted);
+  EXPECT_EQ(stats.deadline_missed, t.deadline);
+  EXPECT_EQ(stats.rejected, t.rejected);
+  EXPECT_EQ(stats.shed, t.shed);
+  EXPECT_EQ(stats.accepted,
+            stats.completed + stats.failed + stats.deadline_missed);
+  EXPECT_EQ(stats.queue_depth, 0u);
+
+  // The plan really fired, and most traffic still got answers.
+  EXPECT_GT(plan.events(), 0u);
+  EXPECT_GT(stats.completed, total / 2);
+
+  // Post-shutdown: rejected, never dropped.
+  auto late = server.submit(7);
+  EXPECT_THROW((void)late.get(), serve::RejectedError);
+}
+
+TEST(Soak, ImmediateShutdownUnderActiveFaultsDrainsEverything) {
+  const std::uint64_t seed = soak_seed() + 101;
+  EchoModel model;
+  fault::FaultPlanConfig plan_config;
+  plan_config.throw_rate = 0.3;
+  plan_config.stall_rate = 0.2;
+  plan_config.stall_min = microseconds(100);
+  plan_config.stall_max = microseconds(300);
+  fault::FaultPlan plan(plan_config, seed);
+
+  serve::ServeConfig config = quick_config();
+  config.max_pending = 256;
+  config.retry.max_attempts = 2;
+  config.retry.base_backoff = microseconds(30);
+  config.injector = &plan;
+  Server server(model, config);
+
+  std::vector<std::pair<int, std::future<Server::Response>>> futs;
+  futs.reserve(100);
+  for (int i = 0; i < 100; ++i) futs.push_back({i, server.submit(i)});
+  server.shutdown();  // burst is still queued; faults are still firing
+
+  for (auto &[input, fut] : futs) {
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+  const Tally t = drain_futures(futs);
+  const auto stats = server.stats();
+  EXPECT_EQ(t.ok + t.faulted + t.rejected, 100u);
+  EXPECT_EQ(stats.completed, t.ok);
+  EXPECT_EQ(stats.failed, t.faulted);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+}  // namespace
