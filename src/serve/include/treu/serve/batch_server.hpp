@@ -67,6 +67,7 @@
 //    serve.batch_size / serve.queue_latency_us / serve.batch_forward_us
 //    histograms.
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <condition_variable>
@@ -192,8 +193,12 @@ class BatchServer {
     // Admission caps per priority class. With the watermark at 1.0 every
     // cap equals max_pending, and since the hard bound rejects first,
     // shedding never fires — the pre-watermark behaviour is bit-exact.
-    const auto low_cap = static_cast<std::size_t>(
-        config_.shed_watermark * static_cast<double>(config_.max_pending));
+    // The Low cap is clamped to >= 1: watermark * max_pending can truncate
+    // to 0 (e.g. 0.1 * 4), which would shed every Low submit even on an
+    // idle server.
+    const auto low_cap = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config_.shed_watermark *
+                                    static_cast<double>(config_.max_pending)));
     shed_cap_[static_cast<std::size_t>(Priority::High)] = config_.max_pending;
     shed_cap_[static_cast<std::size_t>(Priority::Normal)] =
         (low_cap + config_.max_pending + 1) / 2;
@@ -359,17 +364,26 @@ class BatchServer {
 
       // Wait for a free replica whose circuit breaker admits work.
       // Requests keep arriving meanwhile, so a busy server naturally forms
-      // bigger batches. When every free replica's breaker is open, poll on
-      // a short timeout so a cooldown expiry (-> half-open probe) is
-      // noticed without a dedicated timer; probes always resolve their
-      // futures, so the drain in shutdown() still terminates.
+      // bigger batches. When every free replica's breaker refuses, sleep
+      // until the earliest cooldown can expire (-> half-open probe) rather
+      // than polling on a fixed short timeout — an all-open fleet would
+      // otherwise burn ~5k wakeups/sec for the whole cooldown. An
+      // in-flight batch retiring notifies cv_ and wakes us sooner. The
+      // floor keeps a just-about-to-expire (or virtual-clock) breaker from
+      // degenerating into a spin; probes always resolve their futures, so
+      // the drain in shutdown() still terminates.
       std::size_t picked = kNpos;
       for (;;) {
         cv_.wait(lock, [&] { return stop_ || !free_.empty(); });
         if (stop_ && free_.empty()) break;
         picked = pick_replica_locked();
         if (picked != kNpos) break;
-        cv_.wait_for(lock, std::chrono::microseconds(200));
+        auto nap = config_.breaker.cooldown;
+        for (const Replica &r : free_) {
+          nap = std::min(nap, breakers_[r.index]->time_until_allow());
+        }
+        cv_.wait_for(lock,
+                     std::max(nap, std::chrono::microseconds(200)));
       }
       if (picked == kNpos) continue;  // stop_ set; drain already satisfied
 
@@ -400,7 +414,12 @@ class BatchServer {
       const std::size_t n = batch.items.size();
       if (n == 0) {
         // Everything popped had expired: return the replica and let the
-        // drain condition observe the emptier queue.
+        // drain condition observe the emptier queue. The checkout may have
+        // consumed the breaker's one half-open probe; since no predict
+        // will run, give the admission back — otherwise neither
+        // record_success() nor record_failure() ever clears it and the
+        // breaker is stuck HalfOpen refusing this replica forever.
+        breakers_[batch.replica.index]->release_probe();
         free_.push_back(std::move(batch.replica));
         TREU_OBS_GAUGE_ADD("serve.queue_depth",
                            -static_cast<std::int64_t>(popped));

@@ -152,6 +152,21 @@ class CircuitBreaker {
     }
   }
 
+  /// Give back an admission that never ran: the caller passed allow()
+  /// (possibly consuming the one half-open probe) but found no live work
+  /// to execute, so neither record_success() nor record_failure() will
+  /// follow. A half-open probe reverts to Open *without* restarting the
+  /// cooldown (opened_at is kept), so the next allow() re-admits a probe
+  /// immediately — the probe opportunity is returned, not consumed. No-op
+  /// when no probe is pending (a Closed-state admission holds nothing).
+  void release_probe() {
+    if (config_.failure_threshold == 0) return;
+    std::lock_guard lock(mu_);
+    if (!probe_in_flight_) return;
+    probe_in_flight_ = false;
+    if (state_ == BreakerState::HalfOpen) state_ = BreakerState::Open;
+  }
+
   void record_failure() {
     if (config_.failure_threshold == 0) return;
     std::lock_guard lock(mu_);
@@ -173,6 +188,30 @@ class CircuitBreaker {
       TREU_OBS_GAUGE_ADD("serve.breaker.state", 1);
       TREU_OBS_COUNTER_ADD("serve.breaker.opened_total", 1);
     }
+  }
+
+  /// Time, in this breaker's clock units, until allow() could next admit
+  /// work by cooldown expiry. Zero when allow() may already succeed
+  /// (disabled, Closed, or Open with the cooldown elapsed). HalfOpen with
+  /// a probe in flight has no time-based expiry — the probe's completion
+  /// unblocks it — so the full cooldown is returned as a bounded re-check
+  /// hint for pollers.
+  [[nodiscard]] std::chrono::microseconds time_until_allow() const {
+    if (config_.failure_threshold == 0) return std::chrono::microseconds{0};
+    std::lock_guard lock(mu_);
+    switch (state_) {
+      case BreakerState::Closed:
+        return std::chrono::microseconds{0};
+      case BreakerState::HalfOpen:
+        return probe_in_flight_ ? config_.cooldown
+                                : std::chrono::microseconds{0};
+      case BreakerState::Open:
+        break;
+    }
+    const std::int64_t remaining =
+        static_cast<std::int64_t>(config_.cooldown.count()) -
+        (now_us() - opened_at_us_);
+    return std::chrono::microseconds(std::max<std::int64_t>(0, remaining));
   }
 
   [[nodiscard]] BreakerState state() const {

@@ -248,6 +248,57 @@ TEST(CircuitBreaker, FailedProbeReopensForAnotherCooldown) {
   EXPECT_EQ(breaker.state(), serve::BreakerState::Closed);
 }
 
+TEST(CircuitBreaker, ReleasedProbeReopensWithoutRestartingCooldown) {
+  std::int64_t now = 0;
+  serve::CircuitBreaker breaker(virtual_breaker(&now, 2, 500));
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_EQ(breaker.state(), serve::BreakerState::Open);
+
+  now = 500;
+  ASSERT_TRUE(breaker.allow());  // half-open probe admitted
+  ASSERT_EQ(breaker.state(), serve::BreakerState::HalfOpen);
+
+  // The admitted caller found nothing to run (e.g. its whole batch had
+  // expired in queue) and gives the admission back: open again, cooldown
+  // NOT restarted, so a probe is re-admitted at the same instant instead
+  // of the breaker wedging half-open forever.
+  breaker.release_probe();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::Open);
+  EXPECT_EQ(breaker.opened(), 1u);  // a released probe is not a failure
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.state(), serve::BreakerState::HalfOpen);
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::Closed);
+
+  // With no probe pending, release_probe is a no-op.
+  breaker.release_probe();
+  EXPECT_EQ(breaker.state(), serve::BreakerState::Closed);
+  EXPECT_TRUE(breaker.allow());
+}
+
+TEST(CircuitBreaker, TimeUntilAllowTracksCooldownRemainder) {
+  std::int64_t now = 0;
+  serve::CircuitBreaker breaker(virtual_breaker(&now, 2, 1000));
+  EXPECT_EQ(breaker.time_until_allow(), microseconds(0));  // closed
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_EQ(breaker.state(), serve::BreakerState::Open);
+  EXPECT_EQ(breaker.time_until_allow(), microseconds(1000));
+  now = 400;
+  EXPECT_EQ(breaker.time_until_allow(), microseconds(600));
+  now = 1000;
+  EXPECT_EQ(breaker.time_until_allow(), microseconds(0));
+  ASSERT_TRUE(breaker.allow());  // probe in flight: no time-based expiry,
+  EXPECT_EQ(breaker.time_until_allow(), microseconds(1000));  // re-check hint
+  breaker.record_success();
+  EXPECT_EQ(breaker.time_until_allow(), microseconds(0));
+
+  serve::BreakerConfig disabled;  // failure_threshold = 0
+  EXPECT_EQ(serve::CircuitBreaker(disabled).time_until_allow(),
+            microseconds(0));
+}
+
 TEST(CircuitBreaker, SuccessResetsConsecutiveFailureCount) {
   std::int64_t now = 0;
   serve::CircuitBreaker breaker(virtual_breaker(&now, 3));

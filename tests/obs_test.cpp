@@ -399,12 +399,17 @@ TEST(ObsReport, ArtifactDigestRegistersInProvenance) {
 TEST(ObsInstrumentation, ThreadPoolFeedsGlobalRegistry) {
   const auto before = obs::Registry::global().snapshot();
 
-  treu::parallel::ThreadPool pool(2);
-  std::atomic<std::size_t> sum{0};
-  pool.parallel_for(0, 10000,
-                    [&sum](std::size_t i) { sum.fetch_add(i % 7); });
-  auto fut = pool.submit([] { return 41 + 1; });
-  EXPECT_EQ(fut.get(), 42);
+  {
+    treu::parallel::ThreadPool pool(2);
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(0, 10000,
+                      [&sum](std::size_t i) { sum.fetch_add(i % 7); });
+    auto fut = pool.submit([] { return 41 + 1; });
+    EXPECT_EQ(fut.get(), 42);
+    // Join the pool before snapshotting: fut.get() returns the moment the
+    // value is set, which races the worker's post-task bookkeeping
+    // (tasks_executed, task_us, queue_depth).
+  }
 
   const auto after = obs::Registry::global().snapshot();
   const auto delta = [&](const char *name) -> std::int64_t {
