@@ -1,0 +1,149 @@
+// Checkpoint durability costs (docs/checkpointing.md): how much does
+// crash-safety charge per checkpoint, and what does recovery cost once
+// things have gone wrong? Three sweeps:
+//
+//   BM_SaveCheckpoint      atomic save (encode + SHA-256 + fsync + rename)
+//                          vs parameter count — bytes/sec of durability
+//   BM_DecodeCheckpoint    verify-and-decode vs parameter count (the
+//                          restore half, minus the disk read)
+//   BM_RecoverScan         full CheckpointStore::recover() over a store of
+//                          20 checkpoints vs injected corruption rate —
+//                          the price of a scan that must step over torn
+//                          and rotted files (seeded, replayable via --seed)
+
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "treu/ckpt/checkpoint.hpp"
+#include "treu/ckpt/store.hpp"
+#include "treu/core/manifest.hpp"
+#include "treu/core/rng.hpp"
+#include "treu/fault/file_fault.hpp"
+
+namespace {
+
+namespace ckpt = treu::ckpt;
+namespace fault = treu::fault;
+using treu::core::Rng;
+
+std::uint64_t g_seed = 23;  // set from --seed in main before benchmarks run
+
+ckpt::TrainingCheckpoint make_checkpoint(std::size_t rows, std::size_t cols,
+                                         std::uint64_t step) {
+  Rng rng(g_seed, step);
+  ckpt::TrainingCheckpoint c;
+  c.step = step;
+  c.optimizer_kind = "adam";
+  c.params.emplace_back(rows, cols);
+  c.params.emplace_back(cols, rows);
+  for (auto &m : c.params) {
+    for (double &v : m.flat()) v = rng.normal();
+  }
+  c.optimizer_state = rng.normal_vector(2 * rows * cols);
+  c.rng = rng.state();
+  return c;
+}
+
+std::string scratch_dir(const std::string &name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("treu_bench_ckpt_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// arg: square parameter dimension n (two n x n-ish matrices).
+void BM_SaveCheckpoint(benchmark::State &state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto c = make_checkpoint(n, n, 1);
+  const std::string dir = scratch_dir("save_" + std::to_string(n));
+  const std::string path = dir + "/out.treu";
+  const std::size_t bytes = c.encode().size();
+  for (auto _ : state) {
+    const auto r = ckpt::save_checkpoint_file(path, c);
+    if (!r.committed) state.SkipWithError(r.error.c_str());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+  state.counters["ckpt_bytes"] = static_cast<double>(bytes);
+  state.counters["params"] = static_cast<double>(c.parameter_count());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SaveCheckpoint)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DecodeCheckpoint(benchmark::State &state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto bytes = make_checkpoint(n, n, 1).encode();
+  for (auto _ : state) {
+    const auto loaded = ckpt::decode_checkpoint(bytes);
+    if (!loaded.ok()) state.SkipWithError(loaded.error.c_str());
+    benchmark::DoNotOptimize(loaded.checkpoint->params.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DecodeCheckpoint)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+/// arg: fault rate percent split evenly across truncate/flip/crash.
+void BM_RecoverScan(benchmark::State &state) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  const fault::FileFaultConfig cfg{rate / 3, rate / 3, rate / 3};
+  constexpr std::uint64_t kCheckpoints = 20;
+
+  std::uint64_t recovered = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // build a (freshly faulted) store off the clock
+    const std::string dir = scratch_dir("recover");
+    fault::FileFaultInjector inj(cfg, g_seed + round++);
+    ckpt::CheckpointStore store(dir, &inj);
+    for (std::uint64_t s = 1; s <= kCheckpoints; ++s) {
+      (void)store.write(make_checkpoint(24, 24, s));
+    }
+    state.ResumeTiming();
+
+    const auto rec = store.recover();
+    benchmark::DoNotOptimize(rec.scanned);
+    state.PauseTiming();
+    if (rec.ok()) ++recovered;
+    skipped += rec.torn + rec.corrupt;
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.counters["recovered"] = static_cast<double>(recovered);
+  state.counters["skipped_per_scan"] =
+      benchmark::Counter(static_cast<double>(skipped),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_RecoverScan)->Arg(0)->Arg(10)->Arg(30)
+    ->Unit(benchmark::kMicrosecond)->Iterations(4);
+
+}  // namespace
+
+int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/23);
+  g_seed = flags.seed;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_ckpt";
+  manifest.description =
+      "Checkpoint save/decode throughput vs size; recovery scan latency vs "
+      "injected corruption rate";
+  manifest.set("checkpoints_per_store", std::int64_t{20});
+  manifest.set("param_dims", std::string("16,64,256"));
+  manifest.set("fault_rate_percent", std::string("0,10,30"));
+  treu::bench::finish(flags, manifest);
+  return 0;
+}

@@ -42,6 +42,9 @@ else
   )
 fi
 
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+
 for bin in "${benches[@]}"; do
   if [ ! -x "$bin" ]; then
     echo "FAIL missing bench binary: $bin"
@@ -53,6 +56,18 @@ for bin in "${benches[@]}"; do
     --telemetry /nonexistent-treu-dir/out.json
   # Malformed seed: ERROR line, default seed kept, run continues.
   check "seed" "ERROR bad --seed" "$bin" --seed not-a-number
+  # Good path: the artifact is written atomically — the final JSON appears,
+  # and no .tmp staging file is left behind.
+  artifact="$scratch/$(basename "$bin").json"
+  check "goodpath" "telemetry: wrote" "$bin" --telemetry "$artifact"
+  if [ ! -s "$artifact" ]; then
+    echo "FAIL [goodpath] $bin left no artifact at $artifact"
+    fails=$((fails + 1))
+  fi
+  if [ -e "$artifact.tmp" ]; then
+    echo "FAIL [goodpath] $bin left staging debris at $artifact.tmp"
+    fails=$((fails + 1))
+  fi
 done
 
 if [ "$fails" -ne 0 ]; then

@@ -10,12 +10,17 @@
 #   N_SEEDS   how many consecutive seeds to run (default 10)
 #   BINARY    test binary (default ./build/tests/serve_resilience_test)
 #   BASE_SEED first seed; run k uses BASE_SEED + k (default 1234)
+#
+# A failing seed's FULL log is preserved at $TREU_SOAK_LOG_DIR/seed-<seed>.log
+# (default /tmp/treu_soak_logs) and its path printed next to the replay
+# line, so the complete failure evidence survives the run.
 set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 n_seeds="${1:-10}"
 binary="${2:-$root/build/tests/serve_resilience_test}"
 base_seed="${3:-1234}"
+log_dir="${TREU_SOAK_LOG_DIR:-/tmp/treu_soak_logs}"
 
 if [ ! -x "$binary" ]; then
   echo "run_soak: missing test binary: $binary" >&2
@@ -24,18 +29,24 @@ if [ ! -x "$binary" ]; then
 fi
 
 fails=0
+scratch_log="/tmp/treu_soak_$$.log"
 for ((k = 0; k < n_seeds; ++k)); do
   seed=$((base_seed + k))
   if TREU_SOAK_SEED="$seed" "$binary" --gtest_filter='Soak.*' \
-      --gtest_brief=1 >/tmp/treu_soak_$$.log 2>&1; then
+      --gtest_brief=1 >"$scratch_log" 2>&1; then
     echo "ok   seed $seed"
   else
-    echo "FAIL seed $seed  (replay: TREU_SOAK_SEED=$seed $binary --gtest_filter='Soak.*')"
-    tail -20 /tmp/treu_soak_$$.log
+    # Keep the whole log, not a tail: a soak failure's first symptom is
+    # often hundreds of lines above the final assertion.
+    mkdir -p "$log_dir"
+    seed_log="$log_dir/seed-$seed.log"
+    cp "$scratch_log" "$seed_log"
+    echo "FAIL seed $seed  (replay: TREU_SOAK_SEED=$seed $binary --gtest_filter='Soak.*'; full log: $seed_log)"
+    tail -20 "$scratch_log"
     fails=$((fails + 1))
   fi
 done
-rm -f /tmp/treu_soak_$$.log
+rm -f "$scratch_log"
 
 if [ "$fails" -ne 0 ]; then
   echo "run_soak: $fails of $n_seeds seed(s) failed"

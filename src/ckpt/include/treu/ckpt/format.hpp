@@ -1,0 +1,143 @@
+#pragma once
+
+// The checkpoint container format and the atomic write protocol.
+//
+// A checkpoint file is a versioned sequence of named, individually
+// checksummed sections:
+//
+//   "TREUCKPT"                                 8-byte magic
+//   u32 version (currently 1)
+//   u32 section count
+//   per section:
+//     u32 name length | name bytes
+//     u64 payload length | 32-byte SHA-256(payload) | payload bytes
+//   32-byte SHA-256 of everything above        whole-file digest
+//   "TREUEND\n"                                8-byte trailer
+//
+// All integers are little-endian and written byte-by-byte, so the encoding
+// is identical on every platform. The per-section digests localize
+// corruption ("optimizer section digest mismatch", not just "bad file");
+// the whole-file digest plus the trailer catch truncation and any header
+// tampering. decode_sections never throws on bad input — a recovery scan
+// classifies failures (torn vs corrupt) instead of crashing on them.
+//
+// atomic_write_file is the durability half: write `path.tmp`, flush +
+// fsync, rename onto `path`, fsync the directory. A crash at any point
+// leaves either the old file, the new file, or a stranded `.tmp` — never a
+// torn final file. The optional fault::FileInjector hook simulates exactly
+// those crashes (plus at-rest bit rot) so the recovery scan can be soaked
+// deterministically.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "treu/fault/file_fault.hpp"
+
+namespace treu::ckpt {
+
+inline constexpr char kMagic[8] = {'T', 'R', 'E', 'U', 'C', 'K', 'P', 'T'};
+inline constexpr char kTrailer[8] = {'T', 'R', 'E', 'U', 'E', 'N', 'D', '\n'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Little-endian byte-buffer writer. Deliberately tiny: the format above
+/// is the only consumer.
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);  // IEEE-754 bits, little-endian
+  void bytes(std::span<const std::uint8_t> data);
+  void str(std::string_view s);  // u32 length + bytes
+
+  [[nodiscard]] const std::vector<std::uint8_t> &data() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Matching reader. Reads return nullopt past the end instead of throwing
+/// — torn input is an expected case, not an exception.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint32_t> u32() noexcept;
+  [[nodiscard]] std::optional<std::uint64_t> u64() noexcept;
+  [[nodiscard]] std::optional<double> f64() noexcept;
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> bytes(
+      std::size_t n) noexcept;
+  [[nodiscard]] std::optional<std::string> str() noexcept;
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// One named, checksummed chunk of a checkpoint.
+struct Section {
+  std::string name;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize sections into the container format above.
+[[nodiscard]] std::vector<std::uint8_t> encode_sections(
+    std::span<const Section> sections);
+
+/// Why a decode failed, for recovery-scan bookkeeping: Torn is structural
+/// damage (truncation, bad magic/trailer, lengths past the end — what a
+/// crashed write leaves), Corrupt is a checksum mismatch on structurally
+/// intact bytes (what bit rot leaves).
+enum class DecodeFailure : std::uint8_t { None = 0, Torn, Corrupt };
+
+struct DecodeResult {
+  std::vector<Section> sections;
+  DecodeFailure failure = DecodeFailure::None;
+  std::string error;  // empty on success
+
+  [[nodiscard]] bool ok() const noexcept {
+    return failure == DecodeFailure::None;
+  }
+};
+
+/// Parse and verify a checkpoint container. Never throws on bad input.
+[[nodiscard]] DecodeResult decode_sections(
+    std::span<const std::uint8_t> bytes);
+
+/// Outcome of one atomic write attempt.
+struct AtomicWriteResult {
+  /// True when `path` now holds the new bytes (note an injected FlipBit
+  /// still commits — the corruption is at rest, by design).
+  bool committed = false;
+  /// Which fault, if any, the injector applied to this write.
+  fault::FileFaultKind injected = fault::FileFaultKind::None;
+  /// Non-injected I/O failure description; empty otherwise.
+  std::string error;
+};
+
+/// Temp file + fsync + rename + directory fsync. `injector`, when set, is
+/// consulted once and may tear, corrupt, or strand this write (simulating
+/// a crash); the injected outcomes leave exactly the on-disk states a real
+/// crash would.
+[[nodiscard]] AtomicWriteResult atomic_write_file(
+    const std::string &path, std::span<const std::uint8_t> bytes,
+    fault::FileInjector *injector = nullptr);
+
+/// Whole-file read; nullopt when the file cannot be opened or read.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> read_file(
+    const std::string &path);
+
+}  // namespace treu::ckpt

@@ -27,6 +27,21 @@ namespace treu::core {
 [[nodiscard]] std::array<std::uint32_t, 4> philox4x32(
     std::array<std::uint32_t, 4> ctr, std::array<std::uint32_t, 2> key) noexcept;
 
+/// Complete serializable state of one Rng stream. Because the generator is
+/// counter-based, four integers pin the stream exactly: the identity
+/// (seed, stream), the next block index, and the position inside the
+/// current block. `Rng::from_state` reconstructs a generator whose future
+/// output is bitwise identical to the captured one — the primitive that
+/// lets a checkpointed training run resume mid-stream (treu::ckpt).
+struct RngState {
+  std::uint64_t seed = 0;
+  std::uint64_t stream = 0;
+  std::uint64_t counter = 0;  // next Philox block index
+  std::uint32_t buf_pos = 4;  // consumed words in the current block (4 = none buffered)
+
+  friend bool operator==(const RngState &, const RngState &) = default;
+};
+
 /// Deterministic, splittable random stream.
 class Rng {
  public:
@@ -95,6 +110,14 @@ class Rng {
 
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] std::uint64_t stream() const noexcept { return stream_; }
+
+  /// Snapshot the full generator state (cheap: four integers).
+  [[nodiscard]] RngState state() const noexcept;
+
+  /// Rebuild a generator from a snapshot. The returned stream's output is
+  /// bitwise identical to what the snapshotted generator would have
+  /// produced next, on every platform.
+  [[nodiscard]] static Rng from_state(const RngState &s) noexcept;
 
  private:
   void refill() noexcept;

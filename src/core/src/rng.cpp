@@ -177,6 +177,25 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
   return idx;
 }
 
+RngState Rng::state() const noexcept {
+  return RngState{seed_, stream_, counter_,
+                  static_cast<std::uint32_t>(buf_pos_)};
+}
+
+Rng Rng::from_state(const RngState &s) noexcept {
+  Rng rng(s.seed, s.stream);
+  if (s.buf_pos < 4) {
+    // Mid-block: the buffered words are a pure function of the previous
+    // counter value, so recompute them instead of serializing them.
+    rng.counter_ = s.counter - 1;
+    rng.refill();  // restores buf_ and re-increments counter_ to s.counter
+    rng.buf_pos_ = s.buf_pos;
+  } else {
+    rng.counter_ = s.counter;
+  }
+  return rng;
+}
+
 std::vector<double> Rng::normal_vector(std::size_t n) noexcept {
   std::vector<double> v(n);
   for (auto &x : v) x = normal();

@@ -1,0 +1,119 @@
+#pragma once
+
+// FileFaultInjector — seed-deterministic filesystem fault injection.
+//
+// PR 3's FaultPlan exercises the serving stack's *predictor* bad paths;
+// this is the same idea pointed at the filesystem faults that kill real
+// durability layers. An atomic write protocol (temp file + fsync + rename,
+// treu::ckpt) has three interesting ways to die:
+//
+//   Truncate          crash mid-write: the temp file is cut at byte b and
+//                     never renamed — the torn artifact a recovery scan
+//                     must step over.
+//   FlipBit           at-rest corruption: the write commits, then bit i of
+//                     the final file flips — the silent fault only a
+//                     checksum catches.
+//   CrashBeforeRename crash in the gap after fsync, before rename: a
+//                     complete temp file is stranded and the final file
+//                     never appears.
+//
+// Scheduling follows FaultPlan exactly: the decision for write event k is
+// a pure function of (seed, config, k, file size) — each event draws from
+// its own Philox stream core::Rng(seed, k) — so a soak that corrupted
+// checkpoint 7 can be replayed bit-for-bit from its seed. `at()` exposes
+// the pure function; `decide_write()` assigns the next event index,
+// records history, and bumps the fault.injected.file_* counters.
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+
+namespace treu::fault {
+
+/// What to do to one committed file write.
+enum class FileFaultKind : std::uint8_t {
+  None = 0,           // honest write: temp + fsync + rename
+  Truncate,           // temp file cut at `truncate_at`, rename skipped
+  FlipBit,            // full protocol, then bit `flip_bit` of the file flips
+  CrashBeforeRename,  // temp file complete, rename skipped
+};
+
+[[nodiscard]] constexpr const char *to_string(FileFaultKind kind) noexcept {
+  switch (kind) {
+    case FileFaultKind::None: return "none";
+    case FileFaultKind::Truncate: return "truncate";
+    case FileFaultKind::FlipBit: return "flip-bit";
+    case FileFaultKind::CrashBeforeRename: return "crash-before-rename";
+  }
+  return "unknown";
+}
+
+/// One injector verdict. `truncate_at` is meaningful only for Truncate
+/// (byte offset < file size), `flip_bit` only for FlipBit (bit index <
+/// file size * 8).
+struct FileFaultDecision {
+  FileFaultKind kind = FileFaultKind::None;
+  std::uint64_t truncate_at = 0;
+  std::uint64_t flip_bit = 0;
+};
+
+/// Hook interface consulted once per atomic file write. Implementations
+/// must be thread-safe.
+class FileInjector {
+ public:
+  virtual ~FileInjector() = default;
+
+  /// `file_bytes` is the size of the payload about to be persisted.
+  [[nodiscard]] virtual FileFaultDecision decide_write(
+      std::uint64_t file_bytes) = 0;
+};
+
+struct FileFaultConfig {
+  double truncate_rate = 0.0;  // P(Truncate) per write
+  double flip_rate = 0.0;      // P(FlipBit) per write
+  double crash_rate = 0.0;     // P(CrashBeforeRename) per write
+};
+
+class FileFaultInjector final : public FileInjector {
+ public:
+  /// Throws std::invalid_argument when rates are negative or sum above 1.
+  FileFaultInjector(const FileFaultConfig &config, std::uint64_t seed);
+
+  /// Assign the next event index and return its decision. Thread-safe.
+  [[nodiscard]] FileFaultDecision decide_write(
+      std::uint64_t file_bytes) override;
+
+  /// The pure schedule: what decide_write() returns for event index
+  /// `event` on a file of `file_bytes` bytes. Does not advance, record, or
+  /// count anything. A zero-byte file never draws Truncate or FlipBit.
+  [[nodiscard]] FileFaultDecision at(std::uint64_t event,
+                                     std::uint64_t file_bytes) const;
+
+  /// Kinds decided so far, in event order (same seed => same history).
+  [[nodiscard]] std::vector<FileFaultKind> history() const;
+
+  /// Events decided so far.
+  [[nodiscard]] std::uint64_t events() const;
+
+  /// How many times `kind` has been decided.
+  [[nodiscard]] std::uint64_t injected(FileFaultKind kind) const;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const FileFaultConfig &config() const noexcept {
+    return config_;
+  }
+
+ private:
+  FileFaultConfig config_;
+  std::uint64_t seed_;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_event_ = 0;
+  std::vector<FileFaultKind> history_;
+  std::array<std::uint64_t, 4> counts_{};  // indexed by FileFaultKind
+};
+
+}  // namespace treu::fault

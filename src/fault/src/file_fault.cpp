@@ -1,0 +1,84 @@
+#include "treu/fault/file_fault.hpp"
+
+#include <stdexcept>
+
+#include "treu/obs/obs.hpp"
+
+namespace treu::fault {
+
+FileFaultInjector::FileFaultInjector(const FileFaultConfig &config,
+                                     std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  if (config_.truncate_rate < 0.0 || config_.flip_rate < 0.0 ||
+      config_.crash_rate < 0.0) {
+    throw std::invalid_argument("FileFaultInjector: negative fault rate");
+  }
+  if (config_.truncate_rate + config_.flip_rate + config_.crash_rate > 1.0) {
+    throw std::invalid_argument("FileFaultInjector: fault rates sum above 1");
+  }
+}
+
+FileFaultDecision FileFaultInjector::at(std::uint64_t event,
+                                        std::uint64_t file_bytes) const {
+  // One stream per event (FaultPlan's scheme): the decision never depends
+  // on how many draws earlier events made, so the schedule survives any
+  // write interleaving and can be enumerated without a store.
+  core::Rng rng(seed_, event);
+  const double u = rng.uniform();
+  FileFaultDecision d;
+  if (u < config_.truncate_rate) {
+    if (file_bytes == 0) return d;  // nothing to tear
+    d.kind = FileFaultKind::Truncate;
+    d.truncate_at = rng.uniform_index(file_bytes);
+  } else if (u < config_.truncate_rate + config_.flip_rate) {
+    if (file_bytes == 0) return d;  // nothing to flip
+    d.kind = FileFaultKind::FlipBit;
+    d.flip_bit = rng.uniform_index(file_bytes * 8);
+  } else if (u < config_.truncate_rate + config_.flip_rate +
+                     config_.crash_rate) {
+    d.kind = FileFaultKind::CrashBeforeRename;
+  }
+  return d;
+}
+
+FileFaultDecision FileFaultInjector::decide_write(std::uint64_t file_bytes) {
+  FileFaultDecision d;
+  {
+    std::lock_guard lock(mu_);
+    const std::uint64_t event = next_event_++;
+    d = at(event, file_bytes);
+    history_.push_back(d.kind);
+    ++counts_[static_cast<std::size_t>(d.kind)];
+  }
+  switch (d.kind) {
+    case FileFaultKind::Truncate:
+      TREU_OBS_COUNTER_ADD("fault.injected.file_truncate", 1);
+      break;
+    case FileFaultKind::FlipBit:
+      TREU_OBS_COUNTER_ADD("fault.injected.file_flip_bit", 1);
+      break;
+    case FileFaultKind::CrashBeforeRename:
+      TREU_OBS_COUNTER_ADD("fault.injected.file_crash", 1);
+      break;
+    case FileFaultKind::None:
+      break;
+  }
+  return d;
+}
+
+std::vector<FileFaultKind> FileFaultInjector::history() const {
+  std::lock_guard lock(mu_);
+  return history_;
+}
+
+std::uint64_t FileFaultInjector::events() const {
+  std::lock_guard lock(mu_);
+  return next_event_;
+}
+
+std::uint64_t FileFaultInjector::injected(FileFaultKind kind) const {
+  std::lock_guard lock(mu_);
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace treu::fault

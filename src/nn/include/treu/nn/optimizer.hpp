@@ -3,7 +3,15 @@
 // Optimizers over Param lists. Both are deterministic given the gradient
 // sequence; state (momentum / moment estimates) is keyed by position in the
 // parameter list, so the list must be stable across steps.
+//
+// Optimizer state is serializable (save_state / load_state) so a training
+// run can be checkpointed and resumed bitwise-exactly (treu::ckpt): the
+// moment estimates and step count are as much a part of the trajectory as
+// the weights themselves. Hyperparameters (lr, betas, decay) are NOT part
+// of the state — the caller reconstructs the optimizer with the same
+// configuration and loads only the accumulated state into it.
 
+#include <string>
 #include <vector>
 
 #include "treu/nn/param.hpp"
@@ -16,6 +24,20 @@ class Optimizer {
 
   /// Apply one update from the accumulated gradients, then zero them.
   virtual void step(std::span<Param *const> params) = 0;
+
+  /// Short identifier of the concrete optimizer ("sgd" / "adam"), recorded
+  /// in checkpoints so a restore into the wrong kind fails loudly.
+  [[nodiscard]] virtual std::string kind() const = 0;
+
+  /// Serialize the accumulated state (step count, moment vectors) as flat
+  /// doubles. A never-stepped optimizer serializes its (empty) state too;
+  /// the encoding is self-describing enough for load_state to validate.
+  [[nodiscard]] virtual std::vector<double> save_state() const = 0;
+
+  /// Restore state captured by save_state on an identically configured
+  /// optimizer over an identically shaped parameter list. Throws
+  /// std::invalid_argument on a malformed or mismatched encoding.
+  virtual void load_state(std::span<const double> flat) = 0;
 };
 
 /// SGD with classical momentum and optional L2 weight decay.
@@ -25,6 +47,9 @@ class Sgd final : public Optimizer {
       : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
 
   void step(std::span<Param *const> params) override;
+  [[nodiscard]] std::string kind() const override { return "sgd"; }
+  [[nodiscard]] std::vector<double> save_state() const override;
+  void load_state(std::span<const double> flat) override;
 
   void set_lr(double lr) noexcept { lr_ = lr; }
   [[nodiscard]] double lr() const noexcept { return lr_; }
@@ -45,6 +70,9 @@ class Adam final : public Optimizer {
         weight_decay_(weight_decay) {}
 
   void step(std::span<Param *const> params) override;
+  [[nodiscard]] std::string kind() const override { return "adam"; }
+  [[nodiscard]] std::vector<double> save_state() const override;
+  void load_state(std::span<const double> flat) override;
 
   void set_lr(double lr) noexcept { lr_ = lr; }
   [[nodiscard]] double lr() const noexcept { return lr_; }

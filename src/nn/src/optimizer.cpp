@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace treu::nn {
 namespace {
@@ -15,6 +17,54 @@ void ensure_state(std::vector<std::vector<double>> &state,
   state.resize(params.size());
   for (std::size_t i = 0; i < params.size(); ++i) {
     state[i].assign(params[i]->size(), 0.0);
+  }
+}
+
+// State vectors serialize as [n_vecs, len_0, v_0..., len_1, v_1...]; the
+// lengths make load_state self-validating (a state captured over a
+// differently shaped parameter list fails instead of silently loading).
+void encode_vectors(const std::vector<std::vector<double>> &vecs,
+                    std::vector<double> &out) {
+  out.push_back(static_cast<double>(vecs.size()));
+  for (const auto &v : vecs) {
+    out.push_back(static_cast<double>(v.size()));
+    out.insert(out.end(), v.begin(), v.end());
+  }
+}
+
+std::vector<std::vector<double>> decode_vectors(std::span<const double> flat,
+                                                std::size_t &pos,
+                                                const char *what) {
+  const auto take = [&](const char *field) {
+    if (pos >= flat.size()) {
+      throw std::invalid_argument(std::string(what) + ": truncated state (" +
+                                  field + ")");
+    }
+    return flat[pos++];
+  };
+  const double n_raw = take("vector count");
+  if (n_raw < 0.0 || n_raw != static_cast<double>(static_cast<std::size_t>(n_raw))) {
+    throw std::invalid_argument(std::string(what) + ": bad vector count");
+  }
+  std::vector<std::vector<double>> vecs(static_cast<std::size_t>(n_raw));
+  for (auto &v : vecs) {
+    const double len_raw = take("vector length");
+    const auto len = static_cast<std::size_t>(len_raw);
+    if (len_raw < 0.0 || len_raw != static_cast<double>(len) ||
+        pos + len > flat.size()) {
+      throw std::invalid_argument(std::string(what) + ": bad vector length");
+    }
+    v.assign(flat.begin() + static_cast<std::ptrdiff_t>(pos),
+             flat.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+  return vecs;
+}
+
+void check_consumed(std::span<const double> flat, std::size_t pos,
+                    const char *what) {
+  if (pos != flat.size()) {
+    throw std::invalid_argument(std::string(what) + ": trailing state bytes");
   }
 }
 
@@ -34,6 +84,19 @@ void Sgd::step(std::span<Param *const> params) {
     }
     p.zero_grad();
   }
+}
+
+std::vector<double> Sgd::save_state() const {
+  std::vector<double> flat;
+  encode_vectors(velocity_, flat);
+  return flat;
+}
+
+void Sgd::load_state(std::span<const double> flat) {
+  std::size_t pos = 0;
+  auto velocity = decode_vectors(flat, pos, "Sgd::load_state");
+  check_consumed(flat, pos, "Sgd::load_state");
+  velocity_ = std::move(velocity);
 }
 
 void Adam::step(std::span<Param *const> params) {
@@ -58,6 +121,40 @@ void Adam::step(std::span<Param *const> params) {
     }
     p.zero_grad();
   }
+}
+
+std::vector<double> Adam::save_state() const {
+  std::vector<double> flat;
+  flat.push_back(static_cast<double>(t_));
+  encode_vectors(m_, flat);
+  encode_vectors(v_, flat);
+  return flat;
+}
+
+void Adam::load_state(std::span<const double> flat) {
+  if (flat.empty()) {
+    throw std::invalid_argument("Adam::load_state: truncated state (t)");
+  }
+  const double t_raw = flat[0];
+  if (t_raw < 0.0 ||
+      t_raw != static_cast<double>(static_cast<std::size_t>(t_raw))) {
+    throw std::invalid_argument("Adam::load_state: bad step count");
+  }
+  std::size_t pos = 1;
+  auto m = decode_vectors(flat, pos, "Adam::load_state");
+  auto v = decode_vectors(flat, pos, "Adam::load_state");
+  check_consumed(flat, pos, "Adam::load_state");
+  if (m.size() != v.size()) {
+    throw std::invalid_argument("Adam::load_state: m/v vector count mismatch");
+  }
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i].size() != v[i].size()) {
+      throw std::invalid_argument("Adam::load_state: m/v length mismatch");
+    }
+  }
+  t_ = static_cast<std::size_t>(t_raw);
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 double clip_grad_norm(std::span<Param *const> params, double max_norm) {

@@ -113,16 +113,28 @@ struct TelemetryArtifact {
 };
 
 /// Serialize and write the artifact; throws std::runtime_error when the
-/// file cannot be written.
+/// file cannot be written. The write is atomic (temp file + rename): a
+/// crash or failure mid-write leaves either the previous artifact or
+/// nothing at `path`, never a truncated JSON that downstream digest checks
+/// would chase.
 inline TelemetryArtifact write_telemetry(
     const std::string &path, const std::string &run_name,
     const Registry &registry = Registry::global(),
     const TraceCollector &collector = TraceCollector::global()) {
   const std::string body =
       render_telemetry_json(run_name, registry.snapshot(), collector);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out || !(out << body) || !out.flush()) {
-    throw std::runtime_error("write_telemetry: cannot write " + path);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << body) || !out.flush()) {
+      (void)std::remove(tmp.c_str());
+      throw std::runtime_error("write_telemetry: cannot write " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    throw std::runtime_error("write_telemetry: cannot rename " + tmp +
+                             " to " + path);
   }
   TelemetryArtifact artifact;
   artifact.path = path;

@@ -53,6 +53,14 @@
 //    response carries its replica's hash, extending the repo's provenance
 //    story to online traffic: any answer can be attributed to an exact
 //    weight snapshot.
+//  - Hot weight reload (`reload_weights`): replicas are upgraded one at a
+//    time through the same checkout rotation batches use, so no batch ever
+//    observes a half-applied replica. The first replica acts as a standby:
+//    its post-apply weight hash is validated against the expected digest
+//    (e.g. a ckpt::TrainingCheckpoint's weight_digest()) before the rest of
+//    the fleet is touched, and any mismatch rolls every updated replica
+//    back. Responses keep attributing answers to the exact weights that
+//    produced them — hashes swap per replica at the moment it swaps.
 //  - `shutdown()` (also run by the destructor) stops admissions, flushes
 //    the remaining queue in max_batch_size chunks ignoring the delay, and
 //    returns once every accepted request has been fulfilled — value,
@@ -78,6 +86,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -156,7 +165,18 @@ struct ServeStats {
   std::uint64_t retries = 0;          // extra predict attempts made
   std::uint64_t batches = 0;
   std::uint64_t max_batch = 0;  // largest batch formed so far
+  std::uint64_t reloads = 0;    // successful fleet-wide weight reloads
+  std::uint64_t reload_rollbacks = 0;  // reloads undone after validation
   std::size_t queue_depth = 0;  // undispatched requests right now
+};
+
+/// Outcome of one reload_weights call.
+struct ReloadReport {
+  bool ok = false;
+  std::size_t replicas_updated = 0;  // replicas on the new weights now
+  std::string previous_hash;         // fleet hash before the reload
+  std::string new_hash;              // hash the new weights produced
+  std::string error;                 // why the reload failed/rolled back
 };
 
 template <typename In, typename Out>
@@ -291,6 +311,102 @@ class BatchServer {
     if (batcher_.joinable()) batcher_.join();
   }
 
+  /// Hot-swap the fleet's weights while traffic keeps flowing.
+  ///
+  /// `apply` loads the new weights into one model (e.g. restore a
+  /// ckpt::TrainingCheckpoint into its params); `rollback` must restore
+  /// the previous weights and is mandatory — a replica that can't be
+  /// rolled back would have to leave the rotation, and a shrunken fleet
+  /// deadlocks shutdown's drain. When `expected_hash` is non-empty the
+  /// first replica is treated as a standby: after `apply`, its
+  /// weight_hash() must equal `expected_hash` or the whole reload is
+  /// rolled back and no further replica is touched. Replicas are upgraded
+  /// one at a time through the normal checkout rotation, so every
+  /// in-flight batch runs against a fully old or fully new replica and
+  /// carries the matching hash. During the rollout, traffic is served by
+  /// a mix of old and new weights (normal for rolling upgrades).
+  ///
+  /// Serializes against concurrent reloads; safe alongside submit() and
+  /// shutdown() (a reload interrupted by shutdown rolls back and reports
+  /// failure).
+  ReloadReport reload_weights(const std::function<void(Model &)> &apply,
+                              const std::string &expected_hash,
+                              const std::function<void(Model &)> &rollback) {
+    if (!apply) {
+      throw std::invalid_argument("BatchServer: reload apply is empty");
+    }
+    if (!rollback) {
+      throw std::invalid_argument("BatchServer: reload rollback is empty");
+    }
+    std::lock_guard reload_guard(reload_mu_);
+    TREU_OBS_SPAN(reload_span, "serve.reload");
+    TREU_OBS_SCOPED_LATENCY_US(reload_timer, "serve.reload_us");
+
+    ReloadReport report;
+    std::vector<std::size_t> updated;
+    const std::size_t fleet = breakers_.size();
+    for (std::size_t i = 0; i < fleet; ++i) {
+      std::optional<Replica> r = checkout_replica_for_reload(i);
+      if (!r) {
+        report.error = "BatchServer: shut down during reload";
+        break;
+      }
+      if (report.previous_hash.empty()) report.previous_hash = r->hash;
+      try {
+        apply(*r->model);
+      } catch (const std::exception &e) {
+        report.error = std::string("BatchServer: reload apply threw: ") +
+                       e.what();
+        rollback(*r->model);
+        r->hash = r->model->weight_hash();
+        return_reload_replica(std::move(*r));
+        break;
+      }
+      std::string hash = r->model->weight_hash();
+      if (!expected_hash.empty() && hash != expected_hash) {
+        report.error = "BatchServer: reload hash mismatch (expected " +
+                       expected_hash + ", got " + hash + ")";
+        rollback(*r->model);
+        r->hash = r->model->weight_hash();
+        return_reload_replica(std::move(*r));
+        break;
+      }
+      r->hash = std::move(hash);
+      report.new_hash = r->hash;
+      return_reload_replica(std::move(*r));
+      updated.push_back(i);
+      ++report.replicas_updated;
+      TREU_OBS_COUNTER_ADD("serve.reload.replicas_updated", 1);
+    }
+
+    if (report.replicas_updated == fleet) {
+      report.ok = true;
+      std::lock_guard lock(mu_);
+      ++stats_.reloads;
+      TREU_OBS_COUNTER_ADD("serve.reload.success", 1);
+      return report;
+    }
+
+    // Validation failed (normally on the standby, so `updated` is empty) or
+    // shutdown interrupted the rollout: put every touched replica back on
+    // the previous weights so the fleet serves one consistent version.
+    for (const std::size_t idx : updated) {
+      std::optional<Replica> r = checkout_replica_for_reload(idx);
+      if (!r) break;  // shut down mid-rollback; models belong to the caller
+      rollback(*r->model);
+      r->hash = r->model->weight_hash();
+      return_reload_replica(std::move(*r));
+      --report.replicas_updated;
+    }
+    report.new_hash.clear();
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.reload_rollbacks;
+    }
+    TREU_OBS_COUNTER_ADD("serve.reload.rollbacks", 1);
+    return report;
+  }
+
   [[nodiscard]] ServeStats stats() const {
     std::lock_guard lock(mu_);
     ServeStats s = stats_;
@@ -332,6 +448,34 @@ class BatchServer {
     std::chrono::steady_clock::time_point dispatched;
     std::uint64_t id = 0;  // deterministic retry-jitter key
   };
+
+  /// Wait until the replica with this construction index returns to free_
+  /// and take it out of rotation. Batches notify cv_ when they retire a
+  /// replica, so the wait is bounded by one in-flight batch. nullopt only
+  /// when the server stops while the replica is still out (then it will
+  /// land in free_ untouched after the drain).
+  [[nodiscard]] std::optional<Replica> checkout_replica_for_reload(
+      std::size_t index) {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      const auto it =
+          std::find_if(free_.begin(), free_.end(),
+                       [&](const Replica &r) { return r.index == index; });
+      if (it != free_.end()) {
+        Replica r = std::move(*it);
+        free_.erase(it);
+        return r;
+      }
+      if (stop_) return std::nullopt;
+      cv_.wait(lock);
+    }
+  }
+
+  void return_reload_replica(Replica r) {
+    std::lock_guard lock(mu_);
+    free_.push_back(std::move(r));
+    cv_.notify_all();
+  }
 
   /// Index into free_ of a replica whose breaker admits work, or npos.
   /// Scans oldest-returned first (checkout erases from the front, retiring
@@ -571,6 +715,7 @@ class BatchServer {
 
   mutable std::mutex mu_;
   std::mutex shutdown_mu_;           // serializes concurrent shutdown calls
+  std::mutex reload_mu_;             // serializes concurrent weight reloads
   std::condition_variable cv_;       // batcher wakeups (work / replica free)
   std::condition_variable idle_cv_;  // shutdown waits for full drain
   std::deque<Pending> queue_;

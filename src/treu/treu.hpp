@@ -9,6 +9,8 @@
 #include "treu/artifact/study.hpp"    // IWYU pragma: export
 #include "treu/artifact/trace.hpp"    // IWYU pragma: export
 #include "treu/artifact/triangulate.hpp"  // IWYU pragma: export
+#include "treu/ckpt/checkpoint.hpp"   // IWYU pragma: export
+#include "treu/ckpt/store.hpp"        // IWYU pragma: export
 #include "treu/core/compare.hpp"      // IWYU pragma: export
 #include "treu/core/journal_io.hpp"   // IWYU pragma: export
 #include "treu/core/env.hpp"          // IWYU pragma: export
@@ -19,6 +21,7 @@
 #include "treu/core/stats.hpp"        // IWYU pragma: export
 #include "treu/core/timer.hpp"        // IWYU pragma: export
 #include "treu/fault/fault_plan.hpp"  // IWYU pragma: export
+#include "treu/fault/file_fault.hpp"  // IWYU pragma: export
 #include "treu/histo/segnet.hpp"      // IWYU pragma: export
 #include "treu/malware/classifiers.hpp"  // IWYU pragma: export
 #include "treu/malware/ngram.hpp"     // IWYU pragma: export

@@ -144,3 +144,69 @@ TEST(MlpTrain, StepOnBatchDirectionControlsSign) {
   }
   EXPECT_LT(model.evaluate(data), acc_before);
 }
+
+// ---------------------------------------------------------------------------
+// Weight serialization guardrails (treu::ckpt builds on these invariants)
+
+TEST(WeightSerialization, LoadWeightsRejectsLengthMismatch) {
+  treu::core::Rng rng(5);
+  nn::MlpClassifier model(4, {8}, 3, rng);
+  auto params = model.params();
+  const std::span<nn::Param *const> p(params.data(), params.size());
+  std::vector<double> flat = nn::save_weights(p);
+  const std::string before = model.weight_hash();
+
+  std::vector<double> short_flat(flat.begin(), flat.end() - 1);
+  EXPECT_THROW(nn::load_weights(p, short_flat), std::invalid_argument);
+  std::vector<double> long_flat = flat;
+  long_flat.push_back(0.0);
+  EXPECT_THROW(nn::load_weights(p, long_flat), std::invalid_argument);
+  EXPECT_THROW(nn::load_weights(p, std::vector<double>{}),
+               std::invalid_argument);
+  // A rejected load leaves the parameters untouched.
+  EXPECT_EQ(model.weight_hash(), before);
+}
+
+TEST(WeightSerialization, SaveLoadRoundTripPreservesDigest) {
+  treu::core::Rng rng(6);
+  nn::MlpClassifier source(4, {8}, 3, rng);
+  nn::MlpClassifier target(4, {8}, 3, rng);  // different draw -> different
+  ASSERT_NE(source.weight_hash(), target.weight_hash());
+  auto sp = source.params();
+  auto tp = target.params();
+  nn::load_weights(std::span<nn::Param *const>(tp.data(), tp.size()),
+                   nn::save_weights(
+                       std::span<nn::Param *const>(sp.data(), sp.size())));
+  EXPECT_EQ(source.weight_hash(), target.weight_hash());
+}
+
+TEST(WeightSerialization, DigestSeesShapeNotJustData) {
+  // Two parameter sets with identical flat data but different shapes must
+  // not collide: the digest encodes (rows, cols) per matrix, so a 2x3 is
+  // distinguishable from a 3x2 and a 1x6 from a 6x1.
+  const std::vector<double> data{1, 2, 3, 4, 5, 6};
+  const auto digest_for = [&](std::size_t r, std::size_t c) {
+    nn::Param p(treu::tensor::Matrix(r, c));
+    auto flat = p.value.flat();
+    for (std::size_t i = 0; i < flat.size(); ++i) flat[i] = data[i];
+    nn::Param *list[] = {&p};
+    return nn::weight_digest(std::span<nn::Param *const>(list, 1)).hex();
+  };
+  const std::string d23 = digest_for(2, 3);
+  const std::string d32 = digest_for(3, 2);
+  const std::string d16 = digest_for(1, 6);
+  const std::string d61 = digest_for(6, 1);
+  EXPECT_NE(d23, d32);
+  EXPECT_NE(d16, d61);
+  EXPECT_NE(d23, d16);
+  EXPECT_NE(d32, d61);
+}
+
+TEST(WeightSerialization, DigestSeesParameterOrder) {
+  nn::Param a(treu::tensor::Matrix(2, 2, 1.0));
+  nn::Param b(treu::tensor::Matrix(2, 2, 2.0));
+  nn::Param *ab[] = {&a, &b};
+  nn::Param *ba[] = {&b, &a};
+  EXPECT_NE(nn::weight_digest(std::span<nn::Param *const>(ab, 2)).hex(),
+            nn::weight_digest(std::span<nn::Param *const>(ba, 2)).hex());
+}
