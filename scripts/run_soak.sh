@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Soak the serving stack under deterministic fault injection: run the
-# serve_resilience_test Soak suite once per seed. Each run drives the
-# randomized concurrent load + fault plan from TREU_SOAK_SEED, so a failing
-# seed is reported and can be replayed exactly:
+# Soak a treu stack under deterministic fault injection: run one suite's
+# soak tests once per seed. Each run drives the randomized load + fault
+# plan from TREU_SOAK_SEED, so a failing seed is reported and can be
+# replayed exactly:
 #
-#   TREU_SOAK_SEED=<seed> <binary> --gtest_filter='Soak.*'
+#   TREU_SOAK_SEED=<seed> <binary> --gtest_filter='<filter>'
 #
-# Usage: scripts/run_soak.sh [N_SEEDS] [BINARY] [BASE_SEED]
+# Usage: scripts/run_soak.sh [--suite serve|guard] [N_SEEDS] [BINARY] [BASE_SEED]
+#   --suite   which soak tier to run (default serve):
+#               serve  serve_resilience_test, filter 'Soak.*'
+#               guard  guard_test,            filter 'GuardSoak.*'
 #   N_SEEDS   how many consecutive seeds to run (default 10)
-#   BINARY    test binary (default ./build/tests/serve_resilience_test)
+#   BINARY    test binary (default depends on --suite)
 #   BASE_SEED first seed; run k uses BASE_SEED + k (default 1234)
 #
 # A failing seed's FULL log is preserved at $TREU_SOAK_LOG_DIR/seed-<seed>.log
@@ -17,8 +20,30 @@
 set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
+
+suite="serve"
+if [ "${1:-}" = "--suite" ]; then
+  suite="${2:-}"
+  shift 2 || { echo "run_soak: --suite needs an argument" >&2; exit 2; }
+fi
+
+case "$suite" in
+  serve)
+    default_binary="$root/build/tests/serve_resilience_test"
+    filter='Soak.*'
+    ;;
+  guard)
+    default_binary="$root/build/tests/guard_test"
+    filter='GuardSoak.*'
+    ;;
+  *)
+    echo "run_soak: unknown suite '$suite' (expected serve or guard)" >&2
+    exit 2
+    ;;
+esac
+
 n_seeds="${1:-10}"
-binary="${2:-$root/build/tests/serve_resilience_test}"
+binary="${2:-$default_binary}"
 base_seed="${3:-1234}"
 log_dir="${TREU_SOAK_LOG_DIR:-/tmp/treu_soak_logs}"
 
@@ -32,7 +57,7 @@ fails=0
 scratch_log="/tmp/treu_soak_$$.log"
 for ((k = 0; k < n_seeds; ++k)); do
   seed=$((base_seed + k))
-  if TREU_SOAK_SEED="$seed" "$binary" --gtest_filter='Soak.*' \
+  if TREU_SOAK_SEED="$seed" "$binary" --gtest_filter="$filter" \
       --gtest_brief=1 >"$scratch_log" 2>&1; then
     echo "ok   seed $seed"
   else
@@ -41,15 +66,15 @@ for ((k = 0; k < n_seeds; ++k)); do
     mkdir -p "$log_dir"
     seed_log="$log_dir/seed-$seed.log"
     cp "$scratch_log" "$seed_log"
-    echo "FAIL seed $seed  (replay: TREU_SOAK_SEED=$seed $binary --gtest_filter='Soak.*'; full log: $seed_log)"
-    tail -20 "$scratch_log"
+    echo "FAIL seed $seed  (replay: TREU_SOAK_SEED=$seed $binary --gtest_filter='$filter'; full log: $seed_log)" >&2
+    tail -20 "$scratch_log" >&2
     fails=$((fails + 1))
   fi
 done
 rm -f "$scratch_log"
 
 if [ "$fails" -ne 0 ]; then
-  echo "run_soak: $fails of $n_seeds seed(s) failed"
+  echo "run_soak: FAIL: $fails of $n_seeds $suite seed(s) failed" >&2
   exit 1
 fi
-echo "run_soak: all $n_seeds seed(s) passed"
+echo "run_soak: all $n_seeds $suite seed(s) passed"

@@ -75,10 +75,12 @@ class CheckpointStore {
   /// whatever is on disk — including files a recover() would reject.
   [[nodiscard]] std::vector<std::uint64_t> steps() const;
 
-  /// Delete committed checkpoints, oldest first, until at most
-  /// `keep_last` remain; the last-good manifest is left alone (recover()
-  /// falls back to the scan if it pointed at a pruned file). Returns how
-  /// many files were removed.
+  /// Delete committed checkpoints, oldest first, until at most `keep_last`
+  /// remain — except the checkpoint the last-good manifest points at, which
+  /// is never deleted (it is the recovery fast path; a stale manifest may
+  /// name a file older than the keep window). Returns how many files were
+  /// removed; the survivor count can exceed keep_last by one when the
+  /// manifest target falls outside the window.
   std::size_t prune(std::size_t keep_last);
 
   [[nodiscard]] const std::string &dir() const noexcept { return dir_; }

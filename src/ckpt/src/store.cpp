@@ -230,8 +230,21 @@ std::vector<std::uint64_t> CheckpointStore::steps() const {
 std::size_t CheckpointStore::prune(std::size_t keep_last) {
   const std::vector<std::uint64_t> all = steps();
   if (all.size() <= keep_last) return 0;
+  // Never delete the checkpoint the last-good manifest points at: it is the
+  // recovery fast path, and when the manifest is stale (checkpoint
+  // committed, manifest update crashed) it may name a file *older* than the
+  // keep window. Deleting it would turn the next recover() into a scan at
+  // best and — if newer files later rot — cost the only provably good
+  // checkpoint.
+  std::optional<std::uint64_t> manifest_step;
+  if (const auto raw = read_file(manifest_path())) {
+    if (const auto manifest = parse_manifest(*raw)) {
+      manifest_step = step_of_filename(manifest->filename);
+    }
+  }
   std::size_t removed = 0;
   for (std::size_t i = 0; i + keep_last < all.size(); ++i) {
+    if (manifest_step && all[i] == *manifest_step) continue;
     std::error_code ec;
     if (fs::remove(dir_ + "/" + filename_for_step(all[i]), ec)) ++removed;
   }

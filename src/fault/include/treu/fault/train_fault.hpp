@@ -1,0 +1,108 @@
+#pragma once
+
+// TrainFaultPlan — seed-deterministic corruption events for the training
+// loop, the training-side sibling of FaultPlan (serving) and
+// FileFaultInjector (checkpoint I/O).
+//
+// The step driver (`nn::run_step_driver`) consults a TrainInjector once per
+// *executed* training batch. The decision for event k is a pure function of
+// (seed, config, k): each event draws from its own Philox stream
+// `core::Rng(seed, k)`, so a fault schedule replays identically across runs
+// — which is what makes guard recovery testable as a property ("same seed +
+// same schedule => same recovery log + same final digest").
+//
+// Fault mix (one uniform per event; rates must sum to <= 1, remainder None):
+//   NanGrad      poison one gradient scalar with a quiet NaN after backward
+//   ExplodeGrad  scale every gradient by `explode_magnitude`
+//   CorruptParam silently scale one parameter scalar by `corrupt_param_scale`
+//                (finite and small — the silent-data-corruption case; only
+//                the shadow-recompute / digest audits can see it)
+//   CorruptBatch rotate the minibatch's sample indices by a deterministic
+//                offset, so the loop trains on the wrong rows
+//
+// `pick` is a second uniform in [0, 1) drawn from the same event stream; the
+// driver uses it to select the scalar / rotation deterministically.
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace treu::fault {
+
+enum class TrainFaultKind : std::uint8_t {
+  None = 0,
+  NanGrad,
+  ExplodeGrad,
+  CorruptParam,
+  CorruptBatch,
+};
+
+[[nodiscard]] const char *to_string(TrainFaultKind kind);
+
+struct TrainFaultDecision {
+  TrainFaultKind kind = TrainFaultKind::None;
+  /// ExplodeGrad: gradient scale. CorruptParam: parameter scale.
+  double magnitude = 1.0;
+  /// Uniform in [0, 1): selects which scalar (or batch rotation) to hit.
+  double pick = 0.0;
+};
+
+/// Per-batch injection hook for the training step driver.
+class TrainInjector {
+ public:
+  virtual ~TrainInjector() = default;
+
+  /// Consulted once per executed training batch (replays after a rollback
+  /// are new events — the schedule indexes executions, not batch positions).
+  [[nodiscard]] virtual TrainFaultDecision decide_step() = 0;
+};
+
+struct TrainFaultPlanConfig {
+  double nan_grad_rate = 0.0;       // P(NanGrad) per event
+  double explode_grad_rate = 0.0;   // P(ExplodeGrad) per event
+  double corrupt_param_rate = 0.0;  // P(CorruptParam) per event
+  double corrupt_batch_rate = 0.0;  // P(CorruptBatch) per event
+  double explode_magnitude = 1e9;
+  /// Deliberately close to 1: the corruption must stay finite and small
+  /// enough that loss/grad sentinels cannot see it — only the SDC audits.
+  double corrupt_param_scale = 1.5;
+};
+
+class TrainFaultPlan final : public TrainInjector {
+ public:
+  /// Throws std::invalid_argument when rates are negative or sum above 1.
+  TrainFaultPlan(const TrainFaultPlanConfig &config, std::uint64_t seed);
+
+  /// Assign the next event index and return its decision. Thread-safe.
+  [[nodiscard]] TrainFaultDecision decide_step() override;
+
+  /// The pure schedule: what decide_step() returns for event index `event`.
+  /// Does not advance, record, or count anything.
+  [[nodiscard]] TrainFaultDecision at(std::uint64_t event) const;
+
+  /// Kinds decided so far, in event order (same seed => same history).
+  [[nodiscard]] std::vector<TrainFaultKind> history() const;
+
+  /// Events decided so far.
+  [[nodiscard]] std::uint64_t events() const;
+
+  /// How many times `kind` has been decided.
+  [[nodiscard]] std::uint64_t injected(TrainFaultKind kind) const;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const TrainFaultPlanConfig &config() const noexcept {
+    return config_;
+  }
+
+ private:
+  TrainFaultPlanConfig config_;
+  std::uint64_t seed_;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_event_ = 0;
+  std::vector<TrainFaultKind> history_;
+  std::array<std::uint64_t, 5> counts_{};  // indexed by TrainFaultKind
+};
+
+}  // namespace treu::fault

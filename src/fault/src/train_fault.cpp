@@ -1,0 +1,105 @@
+#include "treu/fault/train_fault.hpp"
+
+#include <stdexcept>
+
+#include "treu/core/rng.hpp"
+#include "treu/obs/obs.hpp"
+
+namespace treu::fault {
+
+const char *to_string(TrainFaultKind kind) {
+  switch (kind) {
+    case TrainFaultKind::None:
+      return "none";
+    case TrainFaultKind::NanGrad:
+      return "nan_grad";
+    case TrainFaultKind::ExplodeGrad:
+      return "explode_grad";
+    case TrainFaultKind::CorruptParam:
+      return "corrupt_param";
+    case TrainFaultKind::CorruptBatch:
+      return "corrupt_batch";
+  }
+  return "unknown";
+}
+
+TrainFaultPlan::TrainFaultPlan(const TrainFaultPlanConfig &config,
+                               std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  if (config_.nan_grad_rate < 0.0 || config_.explode_grad_rate < 0.0 ||
+      config_.corrupt_param_rate < 0.0 || config_.corrupt_batch_rate < 0.0) {
+    throw std::invalid_argument("TrainFaultPlan: negative fault rate");
+  }
+  if (config_.nan_grad_rate + config_.explode_grad_rate +
+          config_.corrupt_param_rate + config_.corrupt_batch_rate >
+      1.0) {
+    throw std::invalid_argument("TrainFaultPlan: fault rates sum above 1");
+  }
+}
+
+TrainFaultDecision TrainFaultPlan::at(std::uint64_t event) const {
+  // One stream per event: the decision never depends on how many draws
+  // earlier events made, so the schedule is enumerable without running.
+  core::Rng rng(seed_, event);
+  const double u = rng.uniform();
+  TrainFaultDecision d;
+  double edge = config_.nan_grad_rate;
+  if (u < edge) {
+    d.kind = TrainFaultKind::NanGrad;
+  } else if (u < (edge += config_.explode_grad_rate)) {
+    d.kind = TrainFaultKind::ExplodeGrad;
+    d.magnitude = config_.explode_magnitude;
+  } else if (u < (edge += config_.corrupt_param_rate)) {
+    d.kind = TrainFaultKind::CorruptParam;
+    d.magnitude = config_.corrupt_param_scale;
+  } else if (u < (edge += config_.corrupt_batch_rate)) {
+    d.kind = TrainFaultKind::CorruptBatch;
+  }
+  if (d.kind != TrainFaultKind::None) d.pick = rng.uniform();
+  return d;
+}
+
+TrainFaultDecision TrainFaultPlan::decide_step() {
+  TrainFaultDecision d;
+  {
+    std::lock_guard lock(mu_);
+    const std::uint64_t event = next_event_++;
+    d = at(event);
+    history_.push_back(d.kind);
+    ++counts_[static_cast<std::size_t>(d.kind)];
+  }
+  switch (d.kind) {
+    case TrainFaultKind::NanGrad:
+      TREU_OBS_COUNTER_ADD("fault.injected.train_nan_grad", 1);
+      break;
+    case TrainFaultKind::ExplodeGrad:
+      TREU_OBS_COUNTER_ADD("fault.injected.train_explode_grad", 1);
+      break;
+    case TrainFaultKind::CorruptParam:
+      TREU_OBS_COUNTER_ADD("fault.injected.train_corrupt_param", 1);
+      break;
+    case TrainFaultKind::CorruptBatch:
+      TREU_OBS_COUNTER_ADD("fault.injected.train_corrupt_batch", 1);
+      break;
+    case TrainFaultKind::None:
+      break;
+  }
+  return d;
+}
+
+std::vector<TrainFaultKind> TrainFaultPlan::history() const {
+  std::lock_guard lock(mu_);
+  return history_;
+}
+
+std::uint64_t TrainFaultPlan::events() const {
+  std::lock_guard lock(mu_);
+  return next_event_;
+}
+
+std::uint64_t TrainFaultPlan::injected(TrainFaultKind kind) const {
+  std::lock_guard lock(mu_);
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace treu::fault

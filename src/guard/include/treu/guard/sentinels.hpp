@@ -1,0 +1,88 @@
+#pragma once
+
+// Numeric sentinels — the detectors that decide a training step went bad.
+//
+// SentinelBank::check inspects one executed step (loss, reported gradient
+// norm, optional shadow-recomputed loss) and returns the first trip, in a
+// fixed severity order: non-finite loss, non-finite gradient, gradient
+// explosion, shadow (SDC) mismatch, loss spike. Clean steps fold the loss
+// into an EWMA mean/variance; tripped steps do NOT update the statistics,
+// so one spike can't drag the baseline toward itself.
+//
+// The bank's state is a plain value (SentinelState) precisely so a
+// supervisor can snapshot it next to each checkpoint and rewind it on
+// rollback — a replayed window then sees the same baseline the original
+// pass saw, which the rollback determinism contract requires.
+
+#include <cstdint>
+
+namespace treu::guard {
+
+enum class TripKind : std::uint8_t {
+  None = 0,
+  NonFiniteLoss,   // loss is NaN/Inf
+  NonFiniteGrad,   // reported grad norm is NaN/Inf
+  GradExplosion,   // grad norm above grad_norm_limit
+  SdcShadow,       // shadow-recomputed loss disagrees with the step loss
+  SdcCheckpoint,   // stored checkpoint bytes no longer match their digest
+  LossSpike,       // loss z-score above loss_spike_z vs the EWMA baseline
+};
+
+[[nodiscard]] const char *to_string(TripKind kind);
+
+struct SentinelConfig {
+  bool nonfinite_loss = true;
+  bool nonfinite_grad = true;
+  /// Reported (post-clip) grad-norm ceiling; 0 disables. Because the driver
+  /// reports min(pre_clip, grad_clip) for finite clipped norms, a clipped
+  /// run can only trip this if the limit is set below the clip.
+  double grad_norm_limit = 0.0;
+  /// Loss z-score threshold vs the EWMA baseline; 0 disables.
+  double loss_spike_z = 0.0;
+  double ewma_alpha = 0.1;
+  /// Clean steps observed before spike detection arms (a cold baseline has
+  /// meaningless variance).
+  std::uint64_t spike_warmup = 8;
+  /// |loss - shadow_loss| above this is classified SDC. The shadow recompute
+  /// replays the identical forward arithmetic, so 0 (bitwise equality) is
+  /// the honest default.
+  double shadow_tolerance = 0.0;
+};
+
+/// EWMA running statistics — a value type so it can ride in checkpoints.
+struct SentinelState {
+  double ewma_mean = 0.0;
+  double ewma_var = 0.0;
+  std::uint64_t observed = 0;
+
+  friend bool operator==(const SentinelState &, const SentinelState &) =
+      default;
+};
+
+struct Trip {
+  TripKind kind = TripKind::None;
+  double value = 0.0;      // the offending observation
+  double threshold = 0.0;  // the limit it crossed (0 when not applicable)
+};
+
+class SentinelBank {
+ public:
+  explicit SentinelBank(const SentinelConfig &config);
+
+  /// Inspect one executed step; returns the first trip (or None). Clean
+  /// steps update the EWMA baseline, tripped steps leave it untouched.
+  [[nodiscard]] Trip check(double loss, double grad_norm, bool has_shadow,
+                           double shadow_loss);
+
+  [[nodiscard]] const SentinelState &state() const noexcept { return state_; }
+  void restore(const SentinelState &s) noexcept { state_ = s; }
+  [[nodiscard]] const SentinelConfig &config() const noexcept {
+    return config_;
+  }
+
+ private:
+  SentinelConfig config_;
+  SentinelState state_;
+};
+
+}  // namespace treu::guard

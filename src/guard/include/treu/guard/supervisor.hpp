@@ -1,0 +1,163 @@
+#pragma once
+
+// guard::Supervisor — the self-healing training supervisor.
+//
+// Plugged into nn::run_step_driver as the TrainObserver, it closes the loop
+// between treu::fault (inject), treu::ckpt (restore) and treu::obs
+// (observe):
+//
+//   * checkpoints the run every `checkpoint_interval` executed steps via
+//     ckpt::TrainingCheckpoint (params + optimizer + the train-start RNG
+//     state), optionally persisting through a ckpt::CheckpointStore;
+//   * runs the numeric sentinels on every step; on a trip it opens a
+//     deterministic skip (or down-weight) window over the offending batch
+//     positions and asks the driver to roll back;
+//   * rollback restores the newest good checkpoint — the store's recover()
+//     when one is configured (so simulated disk rot is survivable), the
+//     in-memory snapshot ring otherwise — together with the sentinel EWMA
+//     state and epoch accumulators snapshot alongside it;
+//   * audits for silent data corruption every `audit_interval` batch
+//     positions: a shadow recompute of the step's batch (driver-side, see
+//     StepEvent::shadow_loss) plus an optional re-hash of the last
+//     committed checkpoint file against the digest recorded at capture.
+//
+// Determinism contract: with the same seeds (model init, training stream,
+// fault plan) and the same config, two guarded runs produce the same trip
+// sequence, the same recovery log and bitwise-identical final weights.
+// Everything the supervisor does is a pure function of the step events it
+// sees; it draws no randomness of its own.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "treu/ckpt/checkpoint.hpp"
+#include "treu/ckpt/store.hpp"
+#include "treu/guard/sentinels.hpp"
+#include "treu/nn/train_driver.hpp"
+
+namespace treu::guard {
+
+struct SupervisorConfig {
+  SentinelConfig sentinels;
+
+  /// Executed steps between checkpoint captures (the first capture happens
+  /// at train start). Smaller = cheaper rollbacks, more capture overhead.
+  std::uint64_t checkpoint_interval = 50;
+
+  /// Shadow-recompute cadence in batch positions; 0 disables the SDC audit.
+  std::uint64_t audit_interval = 0;
+
+  /// At each audit, also re-read the last committed checkpoint file and
+  /// compare its weight digest with the digest recorded at capture —
+  /// catches rot of the recovery path itself. Needs a store.
+  bool verify_store_digest = false;
+
+  /// What to do with the batch window that tripped a data/gradient
+  /// sentinel after rolling back. (SDC trips replay cleanly instead: the
+  /// batch was innocent, the corruption was environmental.)
+  enum class Policy : std::uint8_t { Skip, DownWeight };
+  Policy policy = Policy::Skip;
+  double down_weight = 0.1;     // gradient scale under DownWeight
+  std::uint64_t skip_window = 1;  // batch positions per window, from the trip
+
+  /// Rollback budget; past it the supervisor stops the run (gave_up).
+  std::uint64_t max_rollbacks = 32;
+
+  /// In-memory snapshots kept (newest N). The store, when present, is the
+  /// authority; the ring is the fallback and the sidecar for sentinel state.
+  std::size_t keep_snapshots = 4;
+
+  /// Store pruning after each committed write; 0 = never prune.
+  std::size_t store_keep_last = 8;
+};
+
+struct RecoveryEvent {
+  std::uint64_t step = 0;  // batch position that tripped (or was audited)
+  TripKind kind = TripKind::None;
+  double value = 0.0;
+  double threshold = 0.0;
+  std::uint64_t restored_step = 0;  // completed-step count rolled back to
+  bool gave_up = false;
+};
+
+class Supervisor final : public nn::TrainObserver {
+ public:
+  /// `store` (not owned, may be null, must outlive the supervisor)
+  /// persists checkpoints and serves rollbacks.
+  explicit Supervisor(const SupervisorConfig &config,
+                      ckpt::CheckpointStore *store = nullptr);
+
+  void on_train_start(const nn::TrainView &view) override;
+  [[nodiscard]] nn::BatchDecision on_batch_start(
+      const nn::BatchContext &ctx) override;
+  [[nodiscard]] nn::StepAction on_step_end(const nn::StepEvent &event,
+                                           const nn::TrainView &view) override;
+  [[nodiscard]] nn::RollbackTarget rollback(std::span<nn::Param *const> params,
+                                            nn::Optimizer *opt) override;
+
+  /// Every trip/rollback/give-up, in order. Deterministic per seed.
+  [[nodiscard]] const std::vector<RecoveryEvent> &recovery_log() const
+      noexcept {
+    return log_;
+  }
+
+  /// The log rendered one event per line — what the determinism property
+  /// test compares across reruns.
+  [[nodiscard]] std::string recovery_log_string() const;
+
+  /// Batch-position windows being skipped / down-weighted, in trip order.
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::uint64_t>> &
+  windows() const noexcept {
+    return windows_;
+  }
+
+  struct Stats {
+    std::uint64_t trips = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t downweighted = 0;
+    std::uint64_t audits = 0;
+    std::uint64_t sdc_detected = 0;
+    bool gave_up = false;
+  };
+  [[nodiscard]] const Stats &stats() const noexcept { return stats_; }
+
+  [[nodiscard]] const SentinelBank &sentinels() const noexcept {
+    return sentinels_;
+  }
+
+ private:
+  struct Snapshot {
+    ckpt::TrainingCheckpoint checkpoint;
+    SentinelState sentinels;
+    double epoch_loss_accum = 0.0;
+    std::uint64_t epoch_executed = 0;
+    std::string digest_hex;  // weight digest at capture
+    std::string path;        // committed store file ("" when not persisted)
+  };
+
+  void capture(const nn::TrainView &view);
+  void audit_store(const nn::TrainView &view, std::uint64_t step);
+
+  SupervisorConfig config_;
+  ckpt::CheckpointStore *store_;
+  SentinelBank sentinels_;
+
+  std::map<std::uint64_t, Snapshot> snapshots_;  // keyed by completed steps
+  std::uint64_t last_capture_step_ = 0;
+  bool captured_any_ = false;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> windows_;
+  std::vector<RecoveryEvent> log_;
+  Stats stats_;
+
+  Trip pending_trip_;
+  std::uint64_t pending_step_ = 0;
+};
+
+}  // namespace treu::guard

@@ -1,0 +1,69 @@
+#include "treu/guard/sentinels.hpp"
+
+#include <cmath>
+
+namespace treu::guard {
+
+const char *to_string(TripKind kind) {
+  switch (kind) {
+    case TripKind::None:
+      return "none";
+    case TripKind::NonFiniteLoss:
+      return "nonfinite_loss";
+    case TripKind::NonFiniteGrad:
+      return "nonfinite_grad";
+    case TripKind::GradExplosion:
+      return "grad_explosion";
+    case TripKind::SdcShadow:
+      return "sdc_shadow";
+    case TripKind::SdcCheckpoint:
+      return "sdc_checkpoint";
+    case TripKind::LossSpike:
+      return "loss_spike";
+  }
+  return "unknown";
+}
+
+SentinelBank::SentinelBank(const SentinelConfig &config) : config_(config) {}
+
+Trip SentinelBank::check(double loss, double grad_norm, bool has_shadow,
+                         double shadow_loss) {
+  if (config_.nonfinite_loss && !std::isfinite(loss)) {
+    return {TripKind::NonFiniteLoss, loss, 0.0};
+  }
+  if (config_.nonfinite_grad && !std::isfinite(grad_norm)) {
+    return {TripKind::NonFiniteGrad, grad_norm, 0.0};
+  }
+  if (config_.grad_norm_limit > 0.0 && grad_norm > config_.grad_norm_limit) {
+    return {TripKind::GradExplosion, grad_norm, config_.grad_norm_limit};
+  }
+  if (has_shadow) {
+    // Written so a non-finite shadow also trips: !(NaN <= tol) is true.
+    const double delta = std::abs(loss - shadow_loss);
+    if (!(delta <= config_.shadow_tolerance)) {
+      return {TripKind::SdcShadow, shadow_loss, loss};
+    }
+  }
+  if (config_.loss_spike_z > 0.0 && state_.observed >= config_.spike_warmup) {
+    // Floor the deviation so a flat warm-up window (variance ~ 0) doesn't
+    // turn every tiny wiggle into an infinite z-score.
+    const double sd = std::sqrt(std::max(state_.ewma_var, 1e-24));
+    const double z = (loss - state_.ewma_mean) / sd;
+    if (z > config_.loss_spike_z) {
+      return {TripKind::LossSpike, z, config_.loss_spike_z};
+    }
+  }
+  const double a = config_.ewma_alpha;
+  if (state_.observed == 0) {
+    state_.ewma_mean = loss;
+    state_.ewma_var = 0.0;
+  } else {
+    const double d = loss - state_.ewma_mean;
+    state_.ewma_mean += a * d;
+    state_.ewma_var = (1.0 - a) * (state_.ewma_var + a * d * d);
+  }
+  ++state_.observed;
+  return {};
+}
+
+}  // namespace treu::guard

@@ -1,0 +1,249 @@
+#include "treu/guard/supervisor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "treu/obs/obs.hpp"
+
+namespace treu::guard {
+namespace {
+
+void count_trip(TripKind kind) {
+  switch (kind) {
+    case TripKind::NonFiniteLoss:
+      TREU_OBS_COUNTER_ADD("guard.trip.nonfinite_loss", 1);
+      break;
+    case TripKind::NonFiniteGrad:
+      TREU_OBS_COUNTER_ADD("guard.trip.nonfinite_grad", 1);
+      break;
+    case TripKind::GradExplosion:
+      TREU_OBS_COUNTER_ADD("guard.trip.grad_explosion", 1);
+      break;
+    case TripKind::SdcShadow:
+      TREU_OBS_COUNTER_ADD("guard.trip.sdc_shadow", 1);
+      break;
+    case TripKind::SdcCheckpoint:
+      TREU_OBS_COUNTER_ADD("guard.trip.sdc_checkpoint", 1);
+      break;
+    case TripKind::LossSpike:
+      TREU_OBS_COUNTER_ADD("guard.trip.loss_spike", 1);
+      break;
+    case TripKind::None:
+      break;
+  }
+}
+
+}  // namespace
+
+Supervisor::Supervisor(const SupervisorConfig &config,
+                       ckpt::CheckpointStore *store)
+    : config_(config), store_(store), sentinels_(config.sentinels) {
+  config_.checkpoint_interval =
+      std::max<std::uint64_t>(1, config_.checkpoint_interval);
+  config_.keep_snapshots = std::max<std::size_t>(1, config_.keep_snapshots);
+}
+
+void Supervisor::capture(const nn::TrainView &view) {
+  TREU_OBS_SCOPED_LATENCY_US(capture_timer, "guard.checkpoint_us");
+  core::Rng start_rng = core::Rng::from_state(view.train_start_rng);
+  Snapshot snap;
+  snap.checkpoint = ckpt::TrainingCheckpoint::capture(
+      view.params, view.opt, &start_rng, view.step, view.epoch);
+  snap.sentinels = sentinels_.state();
+  snap.epoch_loss_accum = view.epoch_loss_accum;
+  snap.epoch_executed = view.epoch_executed;
+  snap.digest_hex = snap.checkpoint.weight_digest().hex();
+  if (store_) {
+    const ckpt::CheckpointStore::WriteReport report =
+        store_->write(snap.checkpoint);
+    if (report.checkpoint_committed) {
+      snap.path = report.path;
+      if (config_.store_keep_last > 0) store_->prune(config_.store_keep_last);
+    } else {
+      TREU_OBS_COUNTER_ADD("guard.checkpoint_write_failures", 1);
+    }
+  }
+  snapshots_.insert_or_assign(view.step, std::move(snap));
+  while (snapshots_.size() > config_.keep_snapshots) {
+    snapshots_.erase(snapshots_.begin());
+  }
+  last_capture_step_ = view.step;
+  captured_any_ = true;
+  ++stats_.checkpoints;
+  TREU_OBS_COUNTER_ADD("guard.checkpoints_total", 1);
+}
+
+void Supervisor::on_train_start(const nn::TrainView &view) {
+  if (view.opt != nullptr) capture(view);
+}
+
+nn::BatchDecision Supervisor::on_batch_start(const nn::BatchContext &ctx) {
+  nn::BatchDecision dec;
+  for (const auto &[from, until] : windows_) {
+    if (ctx.step < from || ctx.step >= until) continue;
+    if (config_.policy == SupervisorConfig::Policy::Skip) {
+      dec.directive = nn::BatchDirective::Skip;
+      ++stats_.skipped;
+      TREU_OBS_COUNTER_ADD("guard.skipped_batches", 1);
+    } else {
+      dec.directive = nn::BatchDirective::DownWeight;
+      dec.scale = config_.down_weight;
+      ++stats_.downweighted;
+      TREU_OBS_COUNTER_ADD("guard.downweighted_batches", 1);
+    }
+    break;
+  }
+  if (config_.audit_interval > 0 &&
+      ctx.step % config_.audit_interval == 0 &&
+      dec.directive != nn::BatchDirective::Skip) {
+    dec.shadow = true;
+  }
+  return dec;
+}
+
+nn::StepAction Supervisor::on_step_end(const nn::StepEvent &event,
+                                       const nn::TrainView &view) {
+  if (event.has_shadow) {
+    ++stats_.audits;
+    TREU_OBS_COUNTER_ADD("guard.audits_total", 1);
+  }
+  const Trip trip = sentinels_.check(event.loss, event.grad_norm,
+                                     event.has_shadow, event.shadow_loss);
+  if (trip.kind != TripKind::None) {
+    ++stats_.trips;
+    TREU_OBS_COUNTER_ADD("guard.trips_total", 1);
+    count_trip(trip.kind);
+    if (trip.kind == TripKind::SdcShadow) {
+      ++stats_.sdc_detected;
+      TREU_OBS_COUNTER_ADD("guard.sdc_detected_total", 1);
+    }
+    if (!captured_any_ || view.opt == nullptr ||
+        stats_.rollbacks >= config_.max_rollbacks) {
+      log_.push_back(
+          {event.step, trip.kind, trip.value, trip.threshold, 0, true});
+      stats_.gave_up = true;
+      TREU_OBS_COUNTER_ADD("guard.gave_up", 1);
+      return nn::StepAction::Stop;
+    }
+    if (trip.kind != TripKind::SdcShadow) {
+      // The batch (or its gradients) misbehaved: fence off the window so
+      // the replay routes around it. SDC trips replay cleanly instead —
+      // the batch was innocent, the corruption was environmental.
+      windows_.push_back(
+          {event.step,
+           event.step + std::max<std::uint64_t>(1, config_.skip_window)});
+    }
+    pending_trip_ = trip;
+    pending_step_ = event.step;
+    return nn::StepAction::Rollback;
+  }
+
+  if (event.has_shadow && config_.verify_store_digest && store_ != nullptr) {
+    audit_store(view, event.step);
+  }
+  if (view.opt != nullptr &&
+      view.step - last_capture_step_ >= config_.checkpoint_interval) {
+    capture(view);
+  }
+  return nn::StepAction::Continue;
+}
+
+void Supervisor::audit_store(const nn::TrainView &view, std::uint64_t step) {
+  TREU_OBS_SCOPED_LATENCY_US(audit_timer, "guard.store_audit_us");
+  // Only the newest committed file matters: it is what a rollback would
+  // restore first.
+  std::uint64_t key = 0;
+  std::string path;
+  std::string digest;
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    if (it->second.path.empty()) continue;
+    key = it->first;
+    path = it->second.path;
+    digest = it->second.digest_hex;
+    break;
+  }
+  if (path.empty()) return;
+  const ckpt::LoadResult loaded = ckpt::load_checkpoint_file(path);
+  const bool rotten =
+      !loaded.ok() || loaded.checkpoint->weight_digest().hex() != digest;
+  if (!rotten) return;
+  ++stats_.sdc_detected;
+  TREU_OBS_COUNTER_ADD("guard.sdc_detected_total", 1);
+  count_trip(TripKind::SdcCheckpoint);
+  log_.push_back({step, TripKind::SdcCheckpoint, 0.0, 0.0, 0, false});
+  // The live run is healthy — the *recovery path* rotted. Heal it by
+  // re-capturing the current state, which rewrites the newest checkpoint
+  // and the last-good manifest.
+  snapshots_[key].path.clear();
+  capture(view);
+}
+
+nn::RollbackTarget Supervisor::rollback(std::span<nn::Param *const> params,
+                                        nn::Optimizer *opt) {
+  TREU_OBS_SPAN(rollback_span, "guard.rollback");
+  TREU_OBS_COUNTER_ADD("guard.rollbacks_total", 1);
+  ++stats_.rollbacks;
+
+  ckpt::TrainingCheckpoint recovered;
+  bool have = false;
+  if (store_ != nullptr) {
+    ckpt::CheckpointStore::RecoverReport report = store_->recover();
+    if (report.ok()) {
+      recovered = std::move(*report.checkpoint);
+      have = true;
+    }
+  }
+  if (!have) {
+    if (snapshots_.empty()) {
+      log_.push_back({pending_step_, pending_trip_.kind, pending_trip_.value,
+                      pending_trip_.threshold, 0, true});
+      stats_.gave_up = true;
+      TREU_OBS_COUNTER_ADD("guard.gave_up", 1);
+      return {};
+    }
+    recovered = snapshots_.rbegin()->second.checkpoint;
+    have = true;
+  }
+
+  recovered.restore(params, opt, nullptr);
+
+  // The sentinel EWMA and epoch accumulators rewind with the weights, so
+  // the replayed window sees the same baseline the original pass saw.
+  const auto it = snapshots_.find(recovered.step);
+  const Snapshot *sidecar = it != snapshots_.end() ? &it->second : nullptr;
+  sentinels_.restore(sidecar ? sidecar->sentinels : SentinelState{});
+
+  nn::RollbackTarget target;
+  target.ok = true;
+  target.step = recovered.step;
+  target.epoch = recovered.epoch;
+  target.train_start_rng = recovered.rng;
+  target.epoch_loss_accum = sidecar ? sidecar->epoch_loss_accum : 0.0;
+  target.epoch_executed = sidecar ? sidecar->epoch_executed : 0;
+
+  log_.push_back({pending_step_, pending_trip_.kind, pending_trip_.value,
+                  pending_trip_.threshold, recovered.step, false});
+  TREU_OBS_COUNTER_EVENT("guard.rollback_depth",
+                         static_cast<double>(pending_step_ + 1 -
+                                             recovered.step));
+  last_capture_step_ = recovered.step;
+  return target;
+}
+
+std::string Supervisor::recovery_log_string() const {
+  std::string out;
+  char line[192];
+  for (const RecoveryEvent &e : log_) {
+    std::snprintf(line, sizeof line,
+                  "step=%llu kind=%s value=%.17g threshold=%.17g "
+                  "restored=%llu%s\n",
+                  static_cast<unsigned long long>(e.step), to_string(e.kind),
+                  e.value, e.threshold,
+                  static_cast<unsigned long long>(e.restored_step),
+                  e.gave_up ? " gave-up" : "");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace treu::guard

@@ -16,6 +16,13 @@ struct LossResult {
   tensor::Matrix grad;  // same shape as the input
 };
 
+/// Probability floor for every log(p) in the cross-entropy losses: an
+/// all-wrong, fully confident prediction yields a large finite loss
+/// (-log(1e-15) ~ 34.5 per sample) instead of inf, so one saturated batch
+/// can't poison an epoch mean or trip the non-finite sentinels on what is
+/// merely a terrible — not corrupted — model.
+inline constexpr double kProbEpsilon = 1e-15;
+
 /// Softmax cross-entropy over rows: logits (batch x classes), one label per
 /// row. Gradient is (softmax - onehot) / batch.
 [[nodiscard]] LossResult softmax_cross_entropy(const tensor::Matrix &logits,

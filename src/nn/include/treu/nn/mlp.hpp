@@ -13,6 +13,7 @@
 #include "treu/nn/loss.hpp"
 #include "treu/nn/optimizer.hpp"
 #include "treu/nn/predictor.hpp"
+#include "treu/nn/train_driver.hpp"
 
 namespace treu::nn {
 
@@ -53,6 +54,8 @@ struct TrainConfig {
 struct TrainStats {
   std::vector<double> epoch_loss;
   double final_train_accuracy = 0.0;
+  /// Step-driver accounting (skips, down-weights, rollbacks, early stop).
+  DriveStats drive;
 };
 
 class MlpClassifier final
@@ -78,9 +81,13 @@ class MlpClassifier final
   [[nodiscard]] double mean_class_probability(const tensor::Matrix &x,
                                               std::size_t cls);
 
-  /// Adam training with softmax cross-entropy.
+  /// Adam training with softmax cross-entropy, run through the shared step
+  /// driver. With no observer and no injector this is bit-exact with the
+  /// historical in-place loop; a guard::Supervisor passed as `observer`
+  /// makes the run self-healing.
   TrainStats train(const Dataset &data, const TrainConfig &config,
-                   core::Rng &rng);
+                   core::Rng &rng, TrainObserver *observer = nullptr,
+                   fault::TrainInjector *injector = nullptr);
 
   /// One gradient step on an explicit batch with sign `direction`
   /// (+1 descend, -1 ascend — gradient ascent drives unlearning).

@@ -1,0 +1,179 @@
+#pragma once
+
+// Step driver — the one minibatch training loop every trainer in the repo
+// shares (MLP classifier, malware sequence classifiers), refactored out of
+// Mlp::train so a supervisor can interpose per-step without forking the
+// loop.
+//
+// The driver owns epoch/batch bookkeeping (deterministic shuffling, epoch
+// means, obs counters) and calls back into the model through StepFns; a
+// TrainObserver sees every batch (`on_batch_start`, which may skip or
+// down-weight it) and every optimizer step (`on_step_end`, which may
+// continue, stop, or demand a rollback). With no observer and no injector
+// the driver executes bit-exactly the same arithmetic and RNG draws as the
+// historical Mlp::train loop.
+//
+// Determinism contract for rollback:
+//  * `step` counts *batch positions* (epoch * steps_per_epoch + pos), so a
+//    restored step always denotes the same samples regardless of how many
+//    replays happened on the way there.
+//  * The per-epoch shuffle permutes one persistent order vector, so epoch
+//    e's order depends on every shuffle before it. A checkpoint therefore
+//    stores the RNG state at *train start* (constant for the whole run);
+//    restoring replays the shuffles from scratch — O(epochs * n) per
+//    rollback, bitwise-exact, and independent of when the checkpoint was
+//    taken. The restore pre-draws the target epoch's shuffle and re-enters
+//    the epoch mid-way ("resuming"), which skips the epoch-entry draw.
+//  * The optional TrainInjector is consulted once per *executed* batch
+//    (skips don't draw, replays draw fresh events), so a fault schedule is
+//    a pure function of the injector seed and the execution sequence.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "treu/core/rng.hpp"
+#include "treu/fault/train_fault.hpp"
+#include "treu/nn/optimizer.hpp"
+#include "treu/nn/param.hpp"
+
+namespace treu::nn {
+
+struct StepDriverConfig {
+  std::size_t epochs = 20;
+  std::size_t batch_size = 32;
+  bool shuffle = true;
+  double grad_clip = 0.0;  // 0 = off; applied after faults, before the step
+};
+
+enum class BatchDirective : std::uint8_t { Run, Skip, DownWeight };
+
+/// What the observer wants done with the upcoming batch.
+struct BatchDecision {
+  BatchDirective directive = BatchDirective::Run;
+  /// DownWeight: gradients are scaled by this before clip + step.
+  double scale = 1.0;
+  /// Request a shadow recompute (StepFns::loss_only on the same batch,
+  /// after fault injection) reported via StepEvent::shadow_loss.
+  bool shadow = false;
+};
+
+enum class StepAction : std::uint8_t { Continue, Rollback, Stop };
+
+struct BatchContext {
+  std::uint64_t step = 0;  // batch position: epoch * steps_per_epoch + pos
+  std::uint64_t epoch = 0;
+  std::span<const std::size_t> indices;  // sample rows (pre-corruption)
+};
+
+struct StepEvent {
+  std::uint64_t step = 0;  // batch position just executed
+  std::uint64_t epoch = 0;
+  double loss = 0.0;  // raw batch loss (never down-weighted)
+  /// Post-clip gradient norm: min(pre_clip, grad_clip) when both are
+  /// finite, the raw (possibly NaN/Inf) norm otherwise — so clipping can
+  /// never mask a non-finite gradient from the sentinels, and a clipped
+  /// run can never spuriously trip an explosion threshold above the clip.
+  double grad_norm = 0.0;
+  double pre_clip_grad_norm = 0.0;
+  bool has_shadow = false;
+  double shadow_loss = 0.0;
+  bool downweighted = false;
+};
+
+/// Everything a supervisor needs to checkpoint the run mid-flight. `step`
+/// counts completed batch positions; `train_start_rng` is the RNG state at
+/// train start (see the determinism contract above). The epoch accumulators
+/// travel with checkpoints so a rollback can re-complete the epoch with the
+/// exact mean it would have produced uninterrupted.
+struct TrainView {
+  std::span<Param *const> params;
+  Optimizer *opt = nullptr;  // null when the trainer owns no optimizer (rl)
+  core::RngState train_start_rng;
+  std::uint64_t step = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t steps_per_epoch = 0;
+  double epoch_loss_accum = 0.0;
+  std::uint64_t epoch_executed = 0;
+  /// Forward-only loss on a batch (no gradient side effects); null when the
+  /// model can't provide one.
+  const std::function<double(std::span<const std::size_t>)> *loss_only =
+      nullptr;
+};
+
+/// Where the observer's rollback() landed. `ok == false` means no usable
+/// checkpoint — the driver stops the run.
+struct RollbackTarget {
+  bool ok = false;
+  std::uint64_t step = 0;
+  std::uint64_t epoch = 0;
+  core::RngState train_start_rng;
+  double epoch_loss_accum = 0.0;
+  std::uint64_t epoch_executed = 0;
+};
+
+/// Per-step hooks. The default implementation observes nothing and changes
+/// nothing: driving with a default-constructed TrainObserver is bit-exact
+/// with driving unhooked.
+class TrainObserver {
+ public:
+  virtual ~TrainObserver() = default;
+
+  virtual void on_train_start(const TrainView &view) { (void)view; }
+
+  [[nodiscard]] virtual BatchDecision on_batch_start(const BatchContext &ctx) {
+    (void)ctx;
+    return {};
+  }
+
+  [[nodiscard]] virtual StepAction on_step_end(const StepEvent &event,
+                                               const TrainView &view) {
+    (void)event;
+    (void)view;
+    return StepAction::Continue;
+  }
+
+  /// Called when on_step_end returned Rollback: restore params + optimizer
+  /// to a previous good state and say where that state lives. The driver
+  /// then rewinds its own bookkeeping (RNG, order, epoch accumulators).
+  [[nodiscard]] virtual RollbackTarget rollback(std::span<Param *const> params,
+                                                Optimizer *opt) {
+    (void)params;
+    (void)opt;
+    return {};
+  }
+
+  virtual void on_train_end(const TrainView &view) { (void)view; }
+};
+
+/// Model callbacks: the only two things the driver doesn't know how to do.
+struct StepFns {
+  /// Forward + loss + backward over the given sample rows; returns the
+  /// batch loss. Gradients accumulate into the params the driver steps.
+  std::function<double(std::span<const std::size_t>)> forward_backward;
+  /// Forward-only loss (no backward, no grad writes). Optional; required
+  /// for shadow recomputes.
+  std::function<double(std::span<const std::size_t>)> loss_only;
+};
+
+struct DriveStats {
+  std::vector<double> epoch_loss;  // indexed by epoch (replays overwrite)
+  std::uint64_t executed_steps = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t downweighted = 0;
+  std::uint64_t rollbacks = 0;
+  bool stopped_early = false;
+};
+
+/// Run the shared minibatch loop over `n_samples` samples. Throws
+/// std::invalid_argument when batch_size is 0 or forward_backward is unset.
+DriveStats run_step_driver(std::size_t n_samples,
+                           const StepDriverConfig &config,
+                           std::span<Param *const> params, Optimizer &opt,
+                           core::Rng &rng, const StepFns &fns,
+                           TrainObserver *observer = nullptr,
+                           fault::TrainInjector *injector = nullptr);
+
+}  // namespace treu::nn

@@ -35,7 +35,7 @@ LossResult softmax_cross_entropy(const tensor::Matrix &logits,
     if (labels[r] >= logits.cols()) {
       throw std::out_of_range("softmax_cross_entropy: label out of range");
     }
-    const double p = std::max(out.grad(r, labels[r]), 1e-15);
+    const double p = std::max(out.grad(r, labels[r]), kProbEpsilon);
     loss -= std::log(p);
     out.grad(r, labels[r]) -= 1.0;
   }

@@ -108,7 +108,8 @@ double MlpClassifier::mean_class_probability(const tensor::Matrix &x,
 }
 
 TrainStats MlpClassifier::train(const Dataset &data, const TrainConfig &config,
-                                core::Rng &rng) {
+                                core::Rng &rng, TrainObserver *observer,
+                                fault::TrainInjector *injector) {
   TrainStats stats;
   if (data.size() == 0) return stats;
   std::unique_ptr<Optimizer> opt;
@@ -119,36 +120,30 @@ TrainStats MlpClassifier::train(const Dataset &data, const TrainConfig &config,
                                  config.weight_decay);
   }
   const auto param_list = net_.params();
-  std::vector<std::size_t> order(data.size());
-  std::iota(order.begin(), order.end(), 0);
+  const std::span<Param *const> params(param_list.data(), param_list.size());
 
-  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    TREU_OBS_SPAN(epoch_span, "nn.train.epoch");
-    TREU_OBS_SCOPED_LATENCY_US(epoch_timer, "nn.train.epoch_us");
-    if (config.shuffle) rng.shuffle(order);
-    double epoch_loss = 0.0;
-    std::size_t batches = 0;
-    for (std::size_t start = 0; start < order.size();
-         start += config.batch_size) {
-      const std::size_t end =
-          std::min(start + config.batch_size, order.size());
-      const std::span<const std::size_t> batch_idx(order.data() + start,
-                                                   end - start);
-      const Dataset batch = data.subset(batch_idx);
-      const tensor::Matrix out = net_.forward(batch.x);
-      const LossResult lr = softmax_cross_entropy(out, batch.y);
-      net_.backward(lr.grad);
-      if (config.grad_clip > 0.0) clip_grad_norm(param_list, config.grad_clip);
-      opt->step(param_list);
-      epoch_loss += lr.loss;
-      ++batches;
-    }
-    const double mean_loss =
-        batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
-    TREU_OBS_COUNTER_ADD("nn.train.epochs", 1);
-    TREU_OBS_COUNTER_EVENT("nn.train.epoch_loss", mean_loss);
-    stats.epoch_loss.push_back(mean_loss);
-  }
+  StepFns fns;
+  fns.forward_backward = [&](std::span<const std::size_t> batch_idx) {
+    const Dataset batch = data.subset(batch_idx);
+    const tensor::Matrix out = net_.forward(batch.x);
+    const LossResult lr = softmax_cross_entropy(out, batch.y);
+    net_.backward(lr.grad);
+    return lr.loss;
+  };
+  fns.loss_only = [&](std::span<const std::size_t> batch_idx) {
+    const Dataset batch = data.subset(batch_idx);
+    return softmax_cross_entropy(net_.forward(batch.x), batch.y).loss;
+  };
+
+  StepDriverConfig driver_config;
+  driver_config.epochs = config.epochs;
+  driver_config.batch_size = config.batch_size;
+  driver_config.shuffle = config.shuffle;
+  driver_config.grad_clip = config.grad_clip;
+  stats.drive =
+      run_step_driver(data.size(), driver_config, params, *opt, rng, fns,
+                      observer, injector);
+  stats.epoch_loss = stats.drive.epoch_loss;
   stats.final_train_accuracy = evaluate(data);
   return stats;
 }
@@ -166,7 +161,7 @@ double MlpClassifier::step_toward_distribution(const tensor::Matrix &x,
   double loss = 0.0;
   for (std::size_t r = 0; r < probs.rows(); ++r) {
     for (std::size_t c = 0; c < classes_; ++c) {
-      const double p = std::max(probs(r, c), 1e-15);
+      const double p = std::max(probs(r, c), kProbEpsilon);
       loss -= target_probs(r, c) * std::log(p);
     }
   }

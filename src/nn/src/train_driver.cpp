@@ -1,0 +1,265 @@
+#include "treu/nn/train_driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "treu/obs/obs.hpp"
+
+namespace treu::nn {
+namespace {
+
+double grad_l2_norm(std::span<Param *const> params) {
+  double total = 0.0;
+  for (const Param *p : params) {
+    for (double g : p->grad.flat()) total += g * g;
+  }
+  return std::sqrt(total);
+}
+
+std::size_t total_scalars(std::span<Param *const> params) {
+  std::size_t n = 0;
+  for (const Param *p : params) n += p->value.flat().size();
+  return n;
+}
+
+/// Map a uniform pick in [0, 1) to one scalar across the parameter list and
+/// apply `fn` to it (grad == false hits the value, true hits the gradient).
+template <typename Fn>
+void with_picked_scalar(std::span<Param *const> params, double pick, bool grad,
+                        Fn &&fn) {
+  const std::size_t total = total_scalars(params);
+  if (total == 0) return;
+  std::size_t target = static_cast<std::size_t>(
+      pick * static_cast<double>(total));
+  target = std::min(target, total - 1);
+  for (Param *p : params) {
+    auto flat = grad ? p->grad.flat() : p->value.flat();
+    if (target < flat.size()) {
+      fn(flat[target]);
+      return;
+    }
+    target -= flat.size();
+  }
+}
+
+void apply_train_fault(const fault::TrainFaultDecision &fd,
+                       std::span<Param *const> params) {
+  switch (fd.kind) {
+    case fault::TrainFaultKind::NanGrad:
+      with_picked_scalar(params, fd.pick, /*grad=*/true, [](double &g) {
+        g = std::numeric_limits<double>::quiet_NaN();
+      });
+      break;
+    case fault::TrainFaultKind::ExplodeGrad:
+      for (Param *p : params) {
+        for (auto &g : p->grad.flat()) g *= fd.magnitude;
+      }
+      break;
+    case fault::TrainFaultKind::CorruptParam:
+      with_picked_scalar(params, fd.pick, /*grad=*/false,
+                         [&](double &v) { v *= fd.magnitude; });
+      break;
+    case fault::TrainFaultKind::CorruptBatch:
+    case fault::TrainFaultKind::None:
+      break;
+  }
+}
+
+}  // namespace
+
+DriveStats run_step_driver(std::size_t n_samples,
+                           const StepDriverConfig &config,
+                           std::span<Param *const> params, Optimizer &opt,
+                           core::Rng &rng, const StepFns &fns,
+                           TrainObserver *observer,
+                           fault::TrainInjector *injector) {
+  if (config.batch_size == 0) {
+    throw std::invalid_argument("run_step_driver: batch_size must be > 0");
+  }
+  if (!fns.forward_backward) {
+    throw std::invalid_argument("run_step_driver: forward_backward unset");
+  }
+  DriveStats stats;
+  if (n_samples == 0 || config.epochs == 0) return stats;
+
+  const std::uint64_t spe =
+      (n_samples + config.batch_size - 1) / config.batch_size;
+  const core::RngState start_state = rng.state();
+  const bool hooked = observer != nullptr || injector != nullptr;
+
+  std::vector<std::size_t> order(n_samples);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::uint64_t epoch = 0;
+  std::uint64_t pos = 0;
+  double epoch_accum = 0.0;
+  std::uint64_t epoch_executed = 0;
+  bool resuming = false;
+  bool stopped = false;
+
+  const auto view_at = [&](std::uint64_t completed) {
+    TrainView v;
+    v.params = params;
+    v.opt = &opt;
+    v.train_start_rng = start_state;
+    v.step = completed;
+    v.epoch = epoch;
+    v.steps_per_epoch = spe;
+    v.epoch_loss_accum = epoch_accum;
+    v.epoch_executed = epoch_executed;
+    v.loss_only = fns.loss_only ? &fns.loss_only : nullptr;
+    return v;
+  };
+
+  if (observer) observer->on_train_start(view_at(0));
+
+  while (epoch < config.epochs && !stopped) {
+    TREU_OBS_SPAN(epoch_span, "nn.train.epoch");
+    TREU_OBS_SCOPED_LATENCY_US(epoch_timer, "nn.train.epoch_us");
+    if (!resuming) {
+      if (config.shuffle) rng.shuffle(order);
+      pos = 0;
+      epoch_accum = 0.0;
+      epoch_executed = 0;
+    }
+    resuming = false;
+    bool rolled_back = false;
+
+    while (pos < spe) {
+      const std::size_t start = static_cast<std::size_t>(pos) *
+                                config.batch_size;
+      const std::size_t end =
+          std::min(start + config.batch_size, order.size());
+      const std::span<const std::size_t> batch_idx(order.data() + start,
+                                                   end - start);
+      const std::uint64_t step_index = epoch * spe + pos;
+
+      BatchDecision dec;
+      if (observer) dec = observer->on_batch_start({step_index, epoch,
+                                                    batch_idx});
+      if (dec.directive == BatchDirective::Skip) {
+        ++stats.skipped;
+        ++pos;
+        continue;
+      }
+
+      fault::TrainFaultDecision fd;
+      if (injector) fd = injector->decide_step();
+
+      std::vector<std::size_t> corrupted;
+      std::span<const std::size_t> run_idx = batch_idx;
+      if (fd.kind == fault::TrainFaultKind::CorruptBatch && n_samples > 1) {
+        // Rotate the sample rows by a deterministic offset: the loop trains
+        // on real-but-wrong samples, which only the shadow audit can see.
+        const std::size_t rot =
+            1 + static_cast<std::size_t>(
+                    fd.pick * static_cast<double>(n_samples - 1));
+        corrupted.assign(batch_idx.begin(), batch_idx.end());
+        for (auto &i : corrupted) i = (i + rot) % n_samples;
+        run_idx = corrupted;
+      }
+
+      const double loss = fns.forward_backward(run_idx);
+      apply_train_fault(fd, params);
+
+      bool has_shadow = false;
+      double shadow_loss = 0.0;
+      if (dec.shadow && fns.loss_only) {
+        // After fault application: a silently corrupted parameter changes
+        // the recomputed forward loss, which is exactly the mismatch the
+        // SDC audit looks for.
+        shadow_loss = fns.loss_only(batch_idx);
+        has_shadow = true;
+      }
+
+      if (dec.directive == BatchDirective::DownWeight) {
+        ++stats.downweighted;
+        for (Param *p : params) {
+          for (auto &g : p->grad.flat()) g *= dec.scale;
+        }
+      }
+
+      double pre_clip = 0.0;
+      double reported = 0.0;
+      if (config.grad_clip > 0.0) {
+        pre_clip = clip_grad_norm(params, config.grad_clip);
+        reported = std::isfinite(pre_clip)
+                       ? std::min(pre_clip, config.grad_clip)
+                       : pre_clip;
+      } else if (hooked) {
+        pre_clip = grad_l2_norm(params);
+        reported = pre_clip;
+      }
+
+      opt.step(params);
+      epoch_accum += loss;
+      ++epoch_executed;
+      ++stats.executed_steps;
+
+      if (observer) {
+        StepEvent ev;
+        ev.step = step_index;
+        ev.epoch = epoch;
+        ev.loss = loss;
+        ev.grad_norm = reported;
+        ev.pre_clip_grad_norm = pre_clip;
+        ev.has_shadow = has_shadow;
+        ev.shadow_loss = shadow_loss;
+        ev.downweighted = dec.directive == BatchDirective::DownWeight;
+        const StepAction act = observer->on_step_end(ev, view_at(step_index + 1));
+        if (act == StepAction::Stop) {
+          stats.stopped_early = true;
+          stopped = true;
+          break;
+        }
+        if (act == StepAction::Rollback) {
+          ++stats.rollbacks;
+          const RollbackTarget t = observer->rollback(params, &opt);
+          if (!t.ok) {
+            stats.stopped_early = true;
+            stopped = true;
+            break;
+          }
+          // Rewind the loop to the restored position: replay the shuffle
+          // sequence from the train-start RNG state (pre-drawing the target
+          // epoch's shuffle — `resuming` skips the epoch-entry draw), then
+          // re-enter the epoch with its accumulators restored.
+          rng = core::Rng::from_state(t.train_start_rng);
+          std::iota(order.begin(), order.end(), 0);
+          if (config.shuffle) {
+            for (std::uint64_t e = 0; e <= t.epoch; ++e) rng.shuffle(order);
+          }
+          epoch = t.epoch;
+          pos = t.step - t.epoch * spe;
+          epoch_accum = t.epoch_loss_accum;
+          epoch_executed = t.epoch_executed;
+          resuming = true;
+          rolled_back = true;
+          break;
+        }
+      }
+      ++pos;
+    }
+
+    if (stopped) break;
+    if (rolled_back) continue;
+
+    const double mean_loss =
+        epoch_executed > 0
+            ? epoch_accum / static_cast<double>(epoch_executed)
+            : 0.0;
+    TREU_OBS_COUNTER_ADD("nn.train.epochs", 1);
+    TREU_OBS_COUNTER_EVENT("nn.train.epoch_loss", mean_loss);
+    if (stats.epoch_loss.size() <= epoch) stats.epoch_loss.resize(epoch + 1);
+    stats.epoch_loss[epoch] = mean_loss;
+    ++epoch;
+  }
+
+  if (observer) observer->on_train_end(view_at(epoch * spe + pos));
+  return stats;
+}
+
+}  // namespace treu::nn

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "treu/core/rng.hpp"
+#include "treu/nn/train_driver.hpp"
 #include "treu/rl/env.hpp"
 #include "treu/rl/qnet.hpp"
 
@@ -55,12 +56,22 @@ struct DqnConfig {
   /// the target net scores it. Curbs the max-operator overestimation that
   /// otherwise traps greedy policies in self-consistent loops.
   bool double_dqn = true;
+  /// Optional per-update hooks (not owned). Semantics are narrower than the
+  /// nn step driver's: QNetwork::update owns its backward + optimizer step,
+  /// so events report the TD loss with no gradient norm, Skip drops the
+  /// update (the replay draw still happens, keeping the RNG stream aligned
+  /// with an unhooked run), and Rollback degenerates to Stop — there is no
+  /// optimizer to restore. A guard::Supervisor therefore acts as a NaN/spike
+  /// tripwire that halts a poisoned run instead of healing it.
+  nn::TrainObserver *observer = nullptr;
 };
 
 struct TrainOutcome {
   std::vector<double> episode_returns;
   double final_eval_return = 0.0;   // greedy policy, mean over eval episodes
   double seconds = 0.0;
+  bool aborted = false;             // an observer stopped the run
+  std::uint64_t aborted_at_update = 0;
 };
 
 /// Train a fresh Q network of `family` on `env`; deterministic per seed.

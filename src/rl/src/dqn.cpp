@@ -62,6 +62,24 @@ TrainOutcome train_dqn(Environment &env, const std::string &family,
   core::Rng explore_rng = rng.split(2);
   core::Rng sample_rng = rng.split(3);
   std::size_t global_step = 0;
+  std::uint64_t update_step = 0;
+
+  const auto observer_view = [&](std::uint64_t completed,
+                                 std::uint64_t episode,
+                                 std::vector<nn::Param *> &list) {
+    nn::TrainView view;
+    view.params = std::span<nn::Param *const>(list.data(), list.size());
+    view.opt = nullptr;  // QNetwork::update owns its optimizer
+    view.step = completed;
+    view.epoch = episode;
+    return view;
+  };
+  std::vector<nn::Param *> observed_params;
+  if (config.observer) {
+    observed_params = online->params();
+    config.observer->on_train_start(
+        observer_view(0, 0, observed_params));
+  }
 
   for (std::size_t episode = 0; episode < config.episodes; ++episode) {
     core::Rng episode_rng = rng.split(100 + episode);
@@ -88,6 +106,16 @@ TrainOutcome train_dqn(Environment &env, const std::string &family,
       if (buffer.size() >= config.warmup) {
         for (std::size_t u = 0; u < config.batch_size; ++u) {
           const Transition &t = buffer.sample(sample_rng);
+          if (config.observer) {
+            // The replay draw above already happened, so a skipped update
+            // leaves the RNG stream aligned with an unhooked run.
+            const nn::BatchDecision dec =
+                config.observer->on_batch_start({update_step, episode, {}});
+            if (dec.directive == nn::BatchDirective::Skip) {
+              ++update_step;
+              continue;
+            }
+          }
           double target_q = t.reward;
           if (!t.done) {
             const auto next_q = target->q_values(t.next_state);
@@ -99,9 +127,27 @@ TrainOutcome train_dqn(Environment &env, const std::string &family,
                           *std::max_element(next_q.begin(), next_q.end());
             }
           }
-          online->update(t.state, t.action, target_q);
+          const double td_loss = online->update(t.state, t.action, target_q);
+          ++update_step;
+          if (config.observer) {
+            nn::StepEvent ev;
+            ev.step = update_step - 1;
+            ev.epoch = episode;
+            ev.loss = td_loss;
+            observed_params = online->params();
+            const nn::StepAction act = config.observer->on_step_end(
+                ev, observer_view(update_step, episode, observed_params));
+            if (act != nn::StepAction::Continue) {
+              // Rollback degenerates to Stop: there is no optimizer state
+              // the observer could restore (see DqnConfig::observer).
+              outcome.aborted = true;
+              outcome.aborted_at_update = update_step - 1;
+            }
+          }
+          if (outcome.aborted) break;
         }
       }
+      if (outcome.aborted) break;
       if (global_step % config.target_sync_interval == 0) {
         target->sync_from(*online);
       }
@@ -109,6 +155,12 @@ TrainOutcome train_dqn(Environment &env, const std::string &family,
       state = r.state;
     }
     outcome.episode_returns.push_back(episode_return);
+    if (outcome.aborted) break;
+  }
+  if (config.observer) {
+    observed_params = online->params();
+    config.observer->on_train_end(
+        observer_view(update_step, config.episodes, observed_params));
   }
 
   core::Rng eval_rng = rng.split(4);

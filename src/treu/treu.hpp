@@ -22,6 +22,9 @@
 #include "treu/core/timer.hpp"        // IWYU pragma: export
 #include "treu/fault/fault_plan.hpp"  // IWYU pragma: export
 #include "treu/fault/file_fault.hpp"  // IWYU pragma: export
+#include "treu/fault/train_fault.hpp" // IWYU pragma: export
+#include "treu/guard/sentinels.hpp"   // IWYU pragma: export
+#include "treu/guard/supervisor.hpp"  // IWYU pragma: export
 #include "treu/histo/segnet.hpp"      // IWYU pragma: export
 #include "treu/malware/classifiers.hpp"  // IWYU pragma: export
 #include "treu/malware/ngram.hpp"     // IWYU pragma: export

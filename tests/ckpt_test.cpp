@@ -484,6 +484,53 @@ TEST(CkptStore, PruneKeepsNewest) {
   EXPECT_EQ(rec.checkpoint->step, 5u);
 }
 
+TEST(CkptStore, PruneNeverDeletesManifestTarget) {
+  // Fault-free store: the manifest tracks the newest write, so even an
+  // aggressive prune(1) must leave the manifest's fast path intact.
+  ckpt::CheckpointStore store(fresh_dir("prune_manifest"));
+  for (const std::uint64_t step : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    const auto r = store.write(toy_checkpoint(step));
+    ASSERT_TRUE(r.checkpoint_committed) << r.error;
+    ASSERT_TRUE(r.manifest_committed) << r.error;
+  }
+  EXPECT_EQ(store.prune(1), 5u);
+  EXPECT_EQ(store.steps(), (std::vector<std::uint64_t>{6}));
+  auto rec = store.recover();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.checkpoint->step, 6u);
+  EXPECT_TRUE(rec.used_manifest);  // fast path resolves after the prune
+}
+
+TEST(CkptStore, PruneSparesStaleManifestTargetOutsideKeepWindow) {
+  // Checkpoint 6 commits but its manifest update crashes, so the manifest
+  // is stuck at 5. prune(1)'s keep window is {6} alone — yet 5 must survive
+  // too, because deleting the manifest target would strand the fast path
+  // (and, if 6 later rots, the only provably good checkpoint).
+  const std::string dir = fresh_dir("prune_stale_manifest");
+  fault::FileFaultDecision crash{fault::FileFaultKind::CrashBeforeRename, 0,
+                                 0};
+  // 5 clean writes = 10 events, then checkpoint 6 commits (None) and its
+  // manifest write crashes.
+  std::vector<fault::FileFaultDecision> script(10);
+  script.push_back({});     // checkpoint 6: commits
+  script.push_back(crash);  // manifest for 6: crashes, manifest stays at 5
+  ScriptedInjector inj(std::move(script));
+  ckpt::CheckpointStore store(dir, &inj);
+  for (const std::uint64_t step : {1u, 2u, 3u, 4u, 5u}) {
+    ASSERT_TRUE(store.write(toy_checkpoint(step)).manifest_committed);
+  }
+  const auto r6 = store.write(toy_checkpoint(6));
+  ASSERT_TRUE(r6.checkpoint_committed);
+  ASSERT_FALSE(r6.manifest_committed);
+
+  EXPECT_EQ(store.prune(1), 4u);  // 1..4 deleted; 5 (manifest) and 6 survive
+  EXPECT_EQ(store.steps(), (std::vector<std::uint64_t>{5, 6}));
+  auto rec = store.recover();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.checkpoint->step, 6u);  // newest still wins, via the scan
+  EXPECT_FALSE(rec.used_manifest);
+}
+
 TEST(CkptStore, FilenameStepParsingIsStrict) {
   using Store = ckpt::CheckpointStore;
   EXPECT_EQ(Store::step_of_filename(Store::filename_for_step(123)), 123u);

@@ -1,0 +1,879 @@
+// treu::guard — numeric sentinels, the self-healing supervisor, and the
+// rollback determinism contract.
+//
+// The property tests are the module's reason to exist: a guarded run under a
+// seed-deterministic fault schedule must produce the same trip sequence, the
+// same recovery log and bitwise-identical final weights on every rerun — and
+// a guarded run whose faults were all skipped must match a fault-free run
+// that skipped the same batch windows. The GuardSoak suite drives the same
+// properties from TREU_SOAK_SEED (see scripts/run_soak.sh --suite guard), so
+// a failing seed is reproducible by exporting the same value.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "treu/ckpt/checkpoint.hpp"
+#include "treu/ckpt/store.hpp"
+#include "treu/core/rng.hpp"
+#include "treu/fault/train_fault.hpp"
+#include "treu/guard/sentinels.hpp"
+#include "treu/guard/supervisor.hpp"
+#include "treu/malware/classifiers.hpp"
+#include "treu/malware/opcode.hpp"
+#include "treu/nn/mlp.hpp"
+#include "treu/nn/train_driver.hpp"
+#include "treu/rl/dqn.hpp"
+#include "treu/rl/env.hpp"
+#include "treu/unlearn/unlearn.hpp"
+
+namespace ckpt = treu::ckpt;
+namespace fault = treu::fault;
+namespace guard = treu::guard;
+namespace mw = treu::malware;
+namespace nn = treu::nn;
+namespace rl = treu::rl;
+using treu::core::Rng;
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string fresh_dir(const std::string &name) {
+  const std::string dir = testing::TempDir() + "treu_guard_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Injector with a fixed event -> decision script (None everywhere else) —
+/// precise control over which *execution* is corrupted, independent of rates.
+class ScriptedTrainInjector final : public fault::TrainInjector {
+ public:
+  explicit ScriptedTrainInjector(
+      std::map<std::uint64_t, fault::TrainFaultDecision> script)
+      : script_(std::move(script)) {}
+
+  fault::TrainFaultDecision decide_step() override {
+    const auto it = script_.find(next_++);
+    return it == script_.end() ? fault::TrainFaultDecision{} : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t events() const noexcept { return next_; }
+
+ private:
+  std::map<std::uint64_t, fault::TrainFaultDecision> script_;
+  std::uint64_t next_ = 0;
+};
+
+/// Observer that records every step event and changes nothing.
+class RecordingObserver final : public nn::TrainObserver {
+ public:
+  std::vector<nn::StepEvent> events;
+
+  nn::StepAction on_step_end(const nn::StepEvent &event,
+                             const nn::TrainView &) override {
+    events.push_back(event);
+    return nn::StepAction::Continue;
+  }
+};
+
+/// Observer that skips a fixed set of [from, until) batch-position windows —
+/// the replay half of the skip-equivalence property.
+class WindowSkipObserver final : public nn::TrainObserver {
+ public:
+  explicit WindowSkipObserver(
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> windows)
+      : windows_(std::move(windows)) {}
+
+  nn::BatchDecision on_batch_start(const nn::BatchContext &ctx) override {
+    for (const auto &[from, until] : windows_) {
+      if (ctx.step >= from && ctx.step < until) {
+        nn::BatchDecision dec;
+        dec.directive = nn::BatchDirective::Skip;
+        return dec;
+      }
+    }
+    return {};
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> windows_;
+};
+
+nn::TrainConfig small_config() {
+  nn::TrainConfig config;
+  config.epochs = 4;
+  config.batch_size = 8;
+  config.lr = 5e-3;
+  return config;
+}
+
+/// One deterministic end-to-end MLP run (3 blob classes, 60 samples,
+/// steps_per_epoch = 8): same seeds => same data, init and batch stream.
+std::string run_mlp(nn::TrainObserver *observer, fault::TrainInjector *injector,
+                    nn::TrainStats *stats_out = nullptr,
+                    nn::TrainConfig config = small_config(),
+                    bool *finite_out = nullptr) {
+  Rng data_rng(11);
+  const nn::Dataset data = treu::unlearn::make_blobs(3, 20, 4, 1.0, data_rng);
+  Rng init(22);
+  nn::MlpClassifier model(4, {16}, 3, init);
+  Rng train_rng(33);
+  const nn::TrainStats stats =
+      model.train(data, config, train_rng, observer, injector);
+  if (stats_out) *stats_out = stats;
+  if (finite_out) {
+    *finite_out = true;
+    for (nn::Param *p : model.params()) {
+      for (double v : p->value.flat()) {
+        if (!std::isfinite(v)) *finite_out = false;
+      }
+    }
+  }
+  return model.weight_hash();
+}
+
+fault::TrainFaultDecision nan_grad(double pick = 0.5) {
+  return {fault::TrainFaultKind::NanGrad, 1.0, pick};
+}
+
+fault::TrainFaultDecision explode_grad(double magnitude) {
+  return {fault::TrainFaultKind::ExplodeGrad, magnitude, 0.0};
+}
+
+fault::TrainFaultDecision corrupt_param(double magnitude, double pick) {
+  return {fault::TrainFaultKind::CorruptParam, magnitude, pick};
+}
+
+std::uint64_t soak_seed() {
+  if (const char *env = std::getenv("TREU_SOAK_SEED")) {
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
+  }
+  return 1234;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TrainFaultPlan — the seed-deterministic fault schedule
+
+TEST(TrainFault, ScheduleIsPureAndDeterministic) {
+  fault::TrainFaultPlanConfig config;
+  config.nan_grad_rate = 0.1;
+  config.explode_grad_rate = 0.1;
+  config.corrupt_param_rate = 0.1;
+  config.corrupt_batch_rate = 0.1;
+  fault::TrainFaultPlan a(config, 99);
+  fault::TrainFaultPlan b(config, 99);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const auto da = a.decide_step();
+    const auto db = b.at(k);  // at() must agree with the live sequence
+    EXPECT_EQ(da.kind, db.kind) << "event " << k;
+    EXPECT_EQ(da.magnitude, db.magnitude);
+    EXPECT_EQ(da.pick, db.pick);
+    if (da.kind != fault::TrainFaultKind::None) {
+      EXPECT_GE(da.pick, 0.0);
+      EXPECT_LT(da.pick, 1.0);
+    }
+  }
+  EXPECT_EQ(a.events(), 200u);
+  EXPECT_EQ(a.history().size(), 200u);
+  std::uint64_t counted = 0;
+  for (const auto kind :
+       {fault::TrainFaultKind::None, fault::TrainFaultKind::NanGrad,
+        fault::TrainFaultKind::ExplodeGrad, fault::TrainFaultKind::CorruptParam,
+        fault::TrainFaultKind::CorruptBatch}) {
+    counted += a.injected(kind);
+  }
+  EXPECT_EQ(counted, 200u);
+}
+
+TEST(TrainFault, RatesApproximateTheConfiguredMix) {
+  fault::TrainFaultPlanConfig config;
+  config.nan_grad_rate = 0.25;
+  fault::TrainFaultPlan plan(config, 7);
+  std::uint64_t hits = 0;
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    if (plan.at(k).kind == fault::TrainFaultKind::NanGrad) ++hits;
+  }
+  EXPECT_GT(hits, 2000 * 0.15);
+  EXPECT_LT(hits, 2000 * 0.35);
+}
+
+TEST(TrainFault, RejectsInvalidRates) {
+  fault::TrainFaultPlanConfig negative;
+  negative.nan_grad_rate = -0.1;
+  EXPECT_THROW(fault::TrainFaultPlan(negative, 1), std::invalid_argument);
+  fault::TrainFaultPlanConfig oversum;
+  oversum.nan_grad_rate = 0.6;
+  oversum.explode_grad_rate = 0.6;
+  EXPECT_THROW(fault::TrainFaultPlan(oversum, 1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Sentinels
+
+TEST(Sentinels, NonFiniteLossTrips) {
+  guard::SentinelBank bank({});
+  EXPECT_EQ(bank.check(kNan, 1.0, false, 0.0).kind,
+            guard::TripKind::NonFiniteLoss);
+  EXPECT_EQ(bank.check(kInf, 1.0, false, 0.0).kind,
+            guard::TripKind::NonFiniteLoss);
+  EXPECT_EQ(bank.check(1.0, 1.0, false, 0.0).kind, guard::TripKind::None);
+}
+
+TEST(Sentinels, NonFiniteGradTrips) {
+  guard::SentinelBank bank({});
+  EXPECT_EQ(bank.check(1.0, kNan, false, 0.0).kind,
+            guard::TripKind::NonFiniteGrad);
+  EXPECT_EQ(bank.check(1.0, kInf, false, 0.0).kind,
+            guard::TripKind::NonFiniteGrad);
+}
+
+TEST(Sentinels, GradExplosionTripsAboveLimit) {
+  guard::SentinelConfig config;
+  config.grad_norm_limit = 10.0;
+  guard::SentinelBank bank(config);
+  EXPECT_EQ(bank.check(1.0, 10.0, false, 0.0).kind, guard::TripKind::None);
+  const guard::Trip trip = bank.check(1.0, 10.5, false, 0.0);
+  EXPECT_EQ(trip.kind, guard::TripKind::GradExplosion);
+  EXPECT_EQ(trip.value, 10.5);
+  EXPECT_EQ(trip.threshold, 10.0);
+}
+
+TEST(Sentinels, ShadowMismatchTripsAsSdc) {
+  guard::SentinelBank bank({});  // shadow_tolerance = 0: bitwise honesty
+  EXPECT_EQ(bank.check(1.0, 1.0, true, 1.0).kind, guard::TripKind::None);
+  EXPECT_EQ(bank.check(1.0, 1.0, true, 1.0 + 1e-12).kind,
+            guard::TripKind::SdcShadow);
+  // A non-finite shadow recompute is itself corruption evidence.
+  EXPECT_EQ(bank.check(1.0, 1.0, true, kNan).kind, guard::TripKind::SdcShadow);
+  // No shadow requested: the comparison must not run at all.
+  EXPECT_EQ(bank.check(1.0, 1.0, false, kNan).kind, guard::TripKind::None);
+}
+
+TEST(Sentinels, LossSpikeArmsOnlyAfterWarmup) {
+  guard::SentinelConfig config;
+  config.loss_spike_z = 4.0;
+  config.spike_warmup = 8;
+  guard::SentinelBank bank(config);
+  // An early outlier folds into the baseline instead of tripping.
+  EXPECT_EQ(bank.check(100.0, 1.0, false, 0.0).kind, guard::TripKind::None);
+  guard::SentinelBank armed(config);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(armed.check(1.0, 1.0, false, 0.0).kind, guard::TripKind::None);
+  }
+  const guard::Trip trip = armed.check(100.0, 1.0, false, 0.0);
+  EXPECT_EQ(trip.kind, guard::TripKind::LossSpike);
+  EXPECT_GT(trip.value, 4.0);  // the z-score it crossed the threshold with
+  EXPECT_EQ(trip.threshold, 4.0);
+  // Ordinary wiggle around the baseline stays clean.
+  EXPECT_EQ(armed.check(1.0, 1.0, false, 0.0).kind, guard::TripKind::None);
+}
+
+TEST(Sentinels, TrippedStepsDoNotMoveTheBaseline) {
+  guard::SentinelConfig config;
+  config.loss_spike_z = 3.0;
+  config.spike_warmup = 2;
+  guard::SentinelBank bank(config);
+  (void)bank.check(1.0, 1.0, false, 0.0);
+  (void)bank.check(1.1, 1.0, false, 0.0);
+  const guard::SentinelState before = bank.state();
+  EXPECT_EQ(bank.check(kNan, 1.0, false, 0.0).kind,
+            guard::TripKind::NonFiniteLoss);
+  EXPECT_EQ(bank.check(500.0, 1.0, false, 0.0).kind,
+            guard::TripKind::LossSpike);
+  EXPECT_EQ(bank.state(), before);  // one spike can't drag the mean toward it
+}
+
+TEST(Sentinels, StateRoundTripsThroughRestore) {
+  guard::SentinelBank bank({});
+  for (int i = 0; i < 5; ++i) (void)bank.check(1.0 + 0.1 * i, 1.0, false, 0.0);
+  const guard::SentinelState saved = bank.state();
+  for (int i = 0; i < 5; ++i) (void)bank.check(9.0, 1.0, false, 0.0);
+  EXPECT_NE(bank.state(), saved);
+  bank.restore(saved);
+  EXPECT_EQ(bank.state(), saved);
+  EXPECT_EQ(saved.observed, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Step driver hooks
+
+TEST(StepDriver, NoopObserverIsBitExactWithUnhooked) {
+  nn::TrainStats unhooked_stats;
+  const std::string unhooked = run_mlp(nullptr, nullptr, &unhooked_stats);
+  nn::TrainObserver noop;  // base class: observes everything, changes nothing
+  nn::TrainStats hooked_stats;
+  const std::string hooked = run_mlp(&noop, nullptr, &hooked_stats);
+  EXPECT_EQ(unhooked, hooked);
+  ASSERT_EQ(unhooked_stats.epoch_loss.size(), hooked_stats.epoch_loss.size());
+  for (std::size_t e = 0; e < unhooked_stats.epoch_loss.size(); ++e) {
+    EXPECT_DOUBLE_EQ(unhooked_stats.epoch_loss[e], hooked_stats.epoch_loss[e]);
+  }
+}
+
+TEST(StepDriver, RecordingObserverSeesEveryExecutedStep) {
+  RecordingObserver rec;
+  nn::TrainStats stats;
+  run_mlp(&rec, nullptr, &stats);
+  // 60 samples / batch 8 = 8 steps per epoch, 4 epochs.
+  ASSERT_EQ(rec.events.size(), 32u);
+  EXPECT_EQ(stats.drive.executed_steps, 32u);
+  for (std::size_t i = 0; i < rec.events.size(); ++i) {
+    const nn::StepEvent &ev = rec.events[i];
+    EXPECT_EQ(ev.step, i);  // batch positions, strictly sequential
+    EXPECT_EQ(ev.epoch, i / 8);
+    EXPECT_TRUE(std::isfinite(ev.loss));
+    EXPECT_TRUE(std::isfinite(ev.grad_norm));
+    EXPECT_GT(ev.grad_norm, 0.0);
+    EXPECT_FALSE(ev.has_shadow);
+    EXPECT_FALSE(ev.downweighted);
+  }
+}
+
+TEST(StepDriver, GradClipBoundsReportedNorm) {
+  nn::TrainConfig config = small_config();
+  config.grad_clip = 0.05;  // low enough that real batches clip
+  RecordingObserver rec;
+  run_mlp(&rec, nullptr, nullptr, config);
+  bool clipped_any = false;
+  for (const nn::StepEvent &ev : rec.events) {
+    EXPECT_LE(ev.grad_norm, config.grad_clip + 1e-12);
+    EXPECT_GE(ev.pre_clip_grad_norm, ev.grad_norm - 1e-12);
+    clipped_any |= ev.pre_clip_grad_norm > config.grad_clip;
+  }
+  EXPECT_TRUE(clipped_any);  // otherwise the bound above proved nothing
+}
+
+// ---------------------------------------------------------------------------
+// Grad-clip / sentinel interaction (clip-then-sentinel ordering)
+
+TEST(GuardClip, ClippedExplosionCannotTripTheSentinel) {
+  // An injected 1e6x gradient blow-up, clipped to norm 1, must not trip a
+  // grad_norm_limit above the clip: the sentinel sees min(pre_clip, clip).
+  guard::SupervisorConfig config;
+  config.sentinels.grad_norm_limit = 100.0;
+  config.checkpoint_interval = 4;
+  guard::Supervisor sup(config);
+  ScriptedTrainInjector inj({{5, explode_grad(1e6)}});
+  nn::TrainConfig train = small_config();
+  train.grad_clip = 1.0;
+  nn::TrainStats stats;
+  bool finite = false;
+  run_mlp(&sup, &inj, &stats, train, &finite);
+  EXPECT_EQ(sup.stats().trips, 0u);
+  EXPECT_EQ(stats.drive.rollbacks, 0u);
+  EXPECT_FALSE(stats.drive.stopped_early);
+  EXPECT_TRUE(finite);
+}
+
+TEST(GuardClip, UnclippedExplosionTripsDeterministically) {
+  const auto run = [](std::string *log, nn::TrainStats *stats) {
+    guard::SupervisorConfig config;
+    config.sentinels.grad_norm_limit = 100.0;
+    config.checkpoint_interval = 4;
+    guard::Supervisor sup(config);
+    ScriptedTrainInjector inj({{5, explode_grad(1e6)}});
+    const std::string hash = run_mlp(&sup, &inj, stats);  // no grad_clip
+    *log = sup.recovery_log_string();
+    EXPECT_EQ(sup.stats().trips, 1u);
+    EXPECT_NE(log->find("grad_explosion"), std::string::npos);
+    return hash;
+  };
+  std::string log_a, log_b;
+  nn::TrainStats stats_a, stats_b;
+  const std::string hash_a = run(&log_a, &stats_a);
+  const std::string hash_b = run(&log_b, &stats_b);
+  EXPECT_EQ(hash_a, hash_b);
+  EXPECT_EQ(log_a, log_b);
+  EXPECT_EQ(stats_a.drive.rollbacks, 1u);
+  EXPECT_EQ(stats_a.drive.rollbacks, stats_b.drive.rollbacks);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor recovery
+
+TEST(Supervisor, NanGradRollbackIsDeterministic) {
+  // The tentpole property: same seeds + same fault schedule => identical
+  // recovery sequence and bitwise-identical final weights.
+  const auto guarded = [](const std::string &dir, std::string *log,
+                          guard::Supervisor::Stats *sup_stats,
+                          std::vector<std::pair<std::uint64_t, std::uint64_t>>
+                              *windows) {
+    ckpt::CheckpointStore store(fresh_dir(dir));
+    guard::SupervisorConfig config;
+    config.checkpoint_interval = 4;
+    guard::Supervisor sup(config, &store);
+    ScriptedTrainInjector inj({{5, nan_grad()}, {17, nan_grad(0.9)}});
+    nn::TrainStats stats;
+    bool finite = false;
+    const std::string hash = run_mlp(&sup, &inj, &stats, small_config(),
+                                     &finite);
+    EXPECT_TRUE(finite);
+    EXPECT_FALSE(stats.drive.stopped_early);
+    EXPECT_EQ(stats.drive.rollbacks, 2u);
+    EXPECT_GE(stats.drive.skipped, 2u);
+    *log = sup.recovery_log_string();
+    *sup_stats = sup.stats();
+    if (windows) *windows = sup.windows();
+    return hash;
+  };
+
+  std::string log_a, log_b;
+  guard::Supervisor::Stats stats_a, stats_b;
+  const std::string hash_a = guarded("nan_a", &log_a, &stats_a, nullptr);
+  const std::string hash_b = guarded("nan_b", &log_b, &stats_b, nullptr);
+
+  EXPECT_EQ(hash_a, hash_b);
+  EXPECT_EQ(log_a, log_b);
+  EXPECT_NE(log_a.find("nonfinite_grad"), std::string::npos);
+  EXPECT_EQ(stats_a.trips, 2u);
+  EXPECT_EQ(stats_a.rollbacks, 2u);
+  EXPECT_FALSE(stats_a.gave_up);
+  EXPECT_EQ(stats_a.trips, stats_b.trips);
+  EXPECT_EQ(stats_a.checkpoints, stats_b.checkpoints);
+  EXPECT_EQ(stats_a.skipped, stats_b.skipped);
+}
+
+TEST(Supervisor, UnguardedNanGradPoisonsTheRun) {
+  // Negative control: the same fault schedule with the guard off must wreck
+  // the weights — otherwise the recovery tests above prove nothing.
+  ScriptedTrainInjector inj({{5, nan_grad()}});
+  bool finite = true;
+  const std::string poisoned =
+      run_mlp(nullptr, &inj, nullptr, small_config(), &finite);
+  EXPECT_FALSE(finite);
+  const std::string clean = run_mlp(nullptr, nullptr);
+  EXPECT_NE(poisoned, clean);
+}
+
+TEST(Supervisor, SkippedWindowsReplayEquivalence) {
+  // A guarded run whose every fault was rolled back and skipped must equal a
+  // fault-free run that skips the same batch windows: recovery leaves no
+  // other trace in the weights.
+  ckpt::CheckpointStore store(fresh_dir("skip_equiv"));
+  guard::SupervisorConfig config;
+  config.checkpoint_interval = 4;
+  guard::Supervisor sup(config, &store);
+  ScriptedTrainInjector inj({{5, nan_grad()}, {17, nan_grad(0.9)}});
+  const std::string guarded = run_mlp(&sup, &inj);
+  ASSERT_FALSE(sup.windows().empty());
+
+  WindowSkipObserver skipper(sup.windows());
+  const std::string replayed = run_mlp(&skipper, nullptr);
+  EXPECT_EQ(guarded, replayed);
+}
+
+TEST(Supervisor, InMemorySnapshotsServeRollbacksWithoutStore) {
+  guard::SupervisorConfig config;
+  config.checkpoint_interval = 4;
+  guard::Supervisor sup(config);  // no store: the snapshot ring is it
+  ScriptedTrainInjector inj({{9, nan_grad()}});
+  nn::TrainStats stats;
+  bool finite = false;
+  run_mlp(&sup, &inj, &stats, small_config(), &finite);
+  EXPECT_TRUE(finite);
+  EXPECT_FALSE(stats.drive.stopped_early);
+  EXPECT_EQ(sup.stats().rollbacks, 1u);
+  ASSERT_EQ(sup.recovery_log().size(), 1u);
+  EXPECT_EQ(sup.recovery_log()[0].restored_step, 8u);  // newest snapshot
+}
+
+TEST(Supervisor, DownWeightPolicyRecoversDeterministically) {
+  const auto run = [](std::string *log) {
+    guard::SupervisorConfig config;
+    config.sentinels.grad_norm_limit = 100.0;
+    config.checkpoint_interval = 4;
+    config.policy = guard::SupervisorConfig::Policy::DownWeight;
+    config.down_weight = 0.1;
+    guard::Supervisor sup(config);
+    ScriptedTrainInjector inj({{6, explode_grad(1e6)}});
+    nn::TrainStats stats;
+    bool finite = false;
+    const std::string hash = run_mlp(&sup, &inj, &stats, small_config(),
+                                     &finite);
+    EXPECT_TRUE(finite);
+    EXPECT_EQ(sup.stats().downweighted, 1u);
+    EXPECT_EQ(sup.stats().skipped, 0u);
+    EXPECT_EQ(stats.drive.downweighted, 1u);
+    EXPECT_FALSE(stats.drive.stopped_early);
+    *log = sup.recovery_log_string();
+    return hash;
+  };
+  std::string log_a, log_b;
+  const std::string hash_a = run(&log_a);
+  const std::string hash_b = run(&log_b);
+  EXPECT_EQ(hash_a, hash_b);
+  EXPECT_EQ(log_a, log_b);
+}
+
+TEST(Supervisor, ShadowAuditDetectsSilentParamCorruption) {
+  // CorruptParam is invisible to the loss/grad sentinels by design: only the
+  // shadow recompute can see it. The trip classifies as SDC, rolls back (which
+  // also heals the corrupted weight), and opens NO skip window — the batch was
+  // innocent — so the final digest matches a fault-free run exactly.
+  ckpt::CheckpointStore store(fresh_dir("sdc_shadow"));
+  guard::SupervisorConfig config;
+  config.checkpoint_interval = 8;
+  config.audit_interval = 1;  // shadow every executed batch
+  guard::Supervisor sup(config, &store);
+  // Event 10: after Adam has made every scalar (biases included) nonzero.
+  ScriptedTrainInjector inj({{10, corrupt_param(10.0, 0.999)}});
+  nn::TrainStats stats;
+  const std::string guarded = run_mlp(&sup, &inj, &stats);
+  EXPECT_GE(sup.stats().sdc_detected, 1u);
+  EXPECT_EQ(sup.stats().skipped, 0u);
+  EXPECT_TRUE(sup.windows().empty());
+  EXPECT_EQ(stats.drive.rollbacks, 1u);
+  EXPECT_NE(sup.recovery_log_string().find("sdc_shadow"), std::string::npos);
+  EXPECT_EQ(guarded, run_mlp(nullptr, nullptr));
+}
+
+namespace {
+
+/// Wraps a Supervisor and rots the newest stored checkpoint file once, at a
+/// chosen step — simulated disk corruption of the recovery path itself.
+class RotNewestOnce final : public nn::TrainObserver {
+ public:
+  RotNewestOnce(guard::Supervisor &inner, std::string dir, std::uint64_t at)
+      : inner_(inner), dir_(std::move(dir)), at_(at) {}
+
+  void on_train_start(const nn::TrainView &view) override {
+    inner_.on_train_start(view);
+  }
+  nn::BatchDecision on_batch_start(const nn::BatchContext &ctx) override {
+    return inner_.on_batch_start(ctx);
+  }
+  nn::StepAction on_step_end(const nn::StepEvent &event,
+                             const nn::TrainView &view) override {
+    if (!done_ && event.step == at_) {
+      rot_newest();
+      done_ = true;
+    }
+    return inner_.on_step_end(event, view);
+  }
+  nn::RollbackTarget rollback(std::span<nn::Param *const> params,
+                              nn::Optimizer *opt) override {
+    return inner_.rollback(params, opt);
+  }
+  void on_train_end(const nn::TrainView &view) override {
+    inner_.on_train_end(view);
+  }
+
+ private:
+  void rot_newest() {
+    std::string newest;
+    std::uint64_t best = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir_)) {
+      const auto step = ckpt::CheckpointStore::step_of_filename(
+          entry.path().filename().string());
+      if (step && (*step >= best || newest.empty())) {
+        best = *step;
+        newest = entry.path().string();
+      }
+    }
+    ASSERT_FALSE(newest.empty());
+    const auto off = static_cast<std::streamoff>(
+        std::filesystem::file_size(newest) / 2);
+    std::fstream f(newest, std::ios::in | std::ios::out | std::ios::binary);
+    char x = 0;
+    f.seekg(off);
+    f.read(&x, 1);
+    x = static_cast<char>(x ^ 0x20);
+    f.seekp(off);
+    f.write(&x, 1);
+  }
+
+  guard::Supervisor &inner_;
+  std::string dir_;
+  std::uint64_t at_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+TEST(Supervisor, StoreAuditHealsRottenCheckpoint) {
+  // The live run is healthy but its newest stored checkpoint rots on disk.
+  // The periodic digest audit must classify that as SDC, re-capture, and let
+  // training finish untouched — bit-exact with a clean run.
+  const std::string dir = fresh_dir("ckpt_rot");
+  ckpt::CheckpointStore store(dir);
+  guard::SupervisorConfig config;
+  config.checkpoint_interval = 1000;  // only the train-start capture
+  config.audit_interval = 6;
+  config.verify_store_digest = true;
+  guard::Supervisor sup(config, &store);
+  RotNewestOnce rotter(sup, dir, 3);
+  nn::TrainStats stats;
+  bool finite = false;
+  const std::string guarded =
+      run_mlp(&rotter, nullptr, &stats, small_config(), &finite);
+  EXPECT_TRUE(finite);
+  EXPECT_FALSE(stats.drive.stopped_early);
+  EXPECT_EQ(stats.drive.rollbacks, 0u);  // the run itself never tripped
+  EXPECT_GE(sup.stats().sdc_detected, 1u);
+  EXPECT_NE(sup.recovery_log_string().find("sdc_checkpoint"),
+            std::string::npos);
+  EXPECT_EQ(guarded, run_mlp(nullptr, nullptr));
+  // The healed store must recover cleanly again.
+  EXPECT_TRUE(store.recover().ok());
+}
+
+TEST(Supervisor, GivesUpAfterMaxRollbacks) {
+  fault::TrainFaultPlanConfig plan_config;
+  plan_config.nan_grad_rate = 1.0;  // every executed batch is poisoned
+  fault::TrainFaultPlan plan(plan_config, 3);
+  guard::SupervisorConfig config;
+  config.checkpoint_interval = 4;
+  config.max_rollbacks = 2;
+  guard::Supervisor sup(config);
+  nn::TrainStats stats;
+  run_mlp(&sup, &plan, &stats);
+  EXPECT_TRUE(stats.drive.stopped_early);
+  EXPECT_TRUE(sup.stats().gave_up);
+  EXPECT_EQ(sup.stats().rollbacks, 2u);
+  ASSERT_FALSE(sup.recovery_log().empty());
+  EXPECT_TRUE(sup.recovery_log().back().gave_up);
+}
+
+TEST(Supervisor, EpochBoundaryCheckpointRollsBackCleanly) {
+  // checkpoint_interval == steps_per_epoch: the rollback target sits exactly
+  // on an epoch boundary (pos == 0 of the next epoch), the edge where the
+  // shuffle-replay bookkeeping is easiest to get wrong.
+  const auto run = [](const std::string &dir, std::string *log) {
+    ckpt::CheckpointStore store(fresh_dir(dir));
+    guard::SupervisorConfig config;
+    config.checkpoint_interval = 8;  // == steps_per_epoch for run_mlp
+    guard::Supervisor sup(config, &store);
+    ScriptedTrainInjector inj({{8, nan_grad()}});  // first batch of epoch 1
+    nn::TrainStats stats;
+    bool finite = false;
+    const std::string hash = run_mlp(&sup, &inj, &stats, small_config(),
+                                     &finite);
+    EXPECT_TRUE(finite);
+    EXPECT_FALSE(stats.drive.stopped_early);
+    EXPECT_EQ(sup.recovery_log().size(), 1u);
+    if (!sup.recovery_log().empty()) {
+      EXPECT_EQ(sup.recovery_log()[0].restored_step, 8u);
+    }
+    *log = sup.recovery_log_string();
+    return hash;
+  };
+  std::string log_a, log_b;
+  const std::string hash_a = run("epoch_a", &log_a);
+  const std::string hash_b = run("epoch_b", &log_b);
+  EXPECT_EQ(hash_a, hash_b);
+  EXPECT_EQ(log_a, log_b);
+}
+
+TEST(Supervisor, RecoveryLogStringHasOneLinePerEvent) {
+  guard::SupervisorConfig config;
+  config.checkpoint_interval = 4;
+  guard::Supervisor sup(config);
+  ScriptedTrainInjector inj({{5, nan_grad()}});
+  run_mlp(&sup, &inj);
+  const std::string log = sup.recovery_log_string();
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(log.begin(), log.end(), '\n'));
+  EXPECT_EQ(lines, sup.recovery_log().size());
+  EXPECT_NE(log.find("step=5 kind=nonfinite_grad"), std::string::npos);
+  EXPECT_NE(log.find("restored=4"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Malware classifiers ride the same driver
+
+namespace {
+
+mw::CorpusConfig guard_corpus() {
+  mw::CorpusConfig config;
+  config.n_benign = 8;
+  config.n_malware = 8;
+  config.min_length = 64;
+  config.max_length = 128;
+  return config;
+}
+
+}  // namespace
+
+TEST(GuardMalware, NoopObserverKeepsFitBitExact) {
+  Rng data_rng(5);
+  const auto corpus = mw::make_corpus(guard_corpus(), data_rng);
+  mw::FitConfig fit;
+  fit.epochs = 2;
+
+  Rng init_a(6);
+  mw::CnnClassifier plain(8, 4, {3}, init_a, 2e-3);
+  Rng fit_a(7);
+  plain.fit(corpus, fit, fit_a);
+
+  Rng init_b(6);
+  mw::CnnClassifier hooked(8, 4, {3}, init_b, 2e-3);
+  Rng fit_b(7);
+  nn::TrainObserver noop;
+  hooked.fit(corpus, fit, fit_b, &noop);
+
+  EXPECT_EQ(plain.weight_hash(), hooked.weight_hash());
+}
+
+TEST(GuardMalware, SupervisorRecoversCnnFromNanGrad) {
+  Rng data_rng(5);
+  const auto corpus = mw::make_corpus(guard_corpus(), data_rng);
+  mw::FitConfig fit;
+  fit.epochs = 2;
+
+  guard::SupervisorConfig config;
+  config.checkpoint_interval = 8;
+  guard::Supervisor sup(config);
+  ScriptedTrainInjector inj({{10, nan_grad()}});
+  Rng init(6);
+  mw::CnnClassifier cnn(8, 4, {3}, init, 2e-3);
+  Rng fit_rng(7);
+  const double final_loss = cnn.fit(corpus, fit, fit_rng, &sup, &inj);
+  EXPECT_TRUE(std::isfinite(final_loss));
+  EXPECT_EQ(sup.stats().rollbacks, 1u);
+  for (nn::Param *p : cnn.params()) {
+    for (double v : p->value.flat()) ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RL: the observer as a tripwire
+
+TEST(GuardRl, ObserverSeesTdSteps) {
+  rl::GridWorld env(0.05);
+  RecordingObserver rec;
+  rl::DqnConfig config;
+  config.episodes = 3;
+  config.warmup = 16;
+  config.batch_size = 4;
+  config.observer = &rec;
+  const rl::TrainOutcome outcome = rl::train_dqn(env, "mlp", config, 5);
+  EXPECT_FALSE(outcome.aborted);
+  ASSERT_FALSE(rec.events.empty());
+  for (std::size_t i = 0; i < rec.events.size(); ++i) {
+    EXPECT_EQ(rec.events[i].step, i);  // update indices, gap-free
+    EXPECT_TRUE(std::isfinite(rec.events[i].loss));
+  }
+}
+
+namespace {
+
+class StopImmediately final : public nn::TrainObserver {
+ public:
+  nn::StepAction on_step_end(const nn::StepEvent &,
+                             const nn::TrainView &) override {
+    return nn::StepAction::Stop;
+  }
+};
+
+}  // namespace
+
+TEST(GuardRl, StopObserverAbortsTraining) {
+  rl::GridWorld env(0.05);
+  StopImmediately stopper;
+  rl::DqnConfig config;
+  config.episodes = 6;
+  config.warmup = 16;
+  config.batch_size = 4;
+  config.observer = &stopper;
+  const rl::TrainOutcome outcome = rl::train_dqn(env, "mlp", config, 5);
+  EXPECT_TRUE(outcome.aborted);
+  EXPECT_EQ(outcome.aborted_at_update, 0u);
+  EXPECT_LT(outcome.episode_returns.size(), config.episodes);
+}
+
+// ---------------------------------------------------------------------------
+// Soak: rate-based fault schedules from TREU_SOAK_SEED (run_soak.sh --suite
+// guard). Same seed => same recovery log and same final digest, replayably.
+
+namespace {
+
+struct SoakResult {
+  std::string hash;
+  std::string log;
+  bool finite = false;
+  bool stopped = false;
+};
+
+SoakResult soak_run(std::uint64_t seed, const std::string &dir,
+                    const fault::TrainFaultPlanConfig &plan_config,
+                    std::uint64_t audit_interval) {
+  SoakResult result;
+  Rng data_rng(seed);
+  const nn::Dataset data = treu::unlearn::make_blobs(3, 20, 4, 1.0, data_rng);
+  Rng init(seed + 1);
+  nn::MlpClassifier model(4, {16}, 3, init);
+
+  ckpt::CheckpointStore store(fresh_dir(dir));
+  guard::SupervisorConfig config;
+  config.checkpoint_interval = 4;
+  config.audit_interval = audit_interval;
+  config.sentinels.grad_norm_limit = 1e6;
+  guard::Supervisor sup(config, &store);
+  fault::TrainFaultPlan plan(plan_config, seed + 2);
+
+  nn::TrainConfig train;
+  train.epochs = 6;
+  train.batch_size = 8;
+  train.lr = 5e-3;
+  Rng train_rng(seed + 3);
+  const nn::TrainStats stats =
+      model.train(data, train, train_rng, &sup, &plan);
+  result.hash = model.weight_hash();
+  result.log = sup.recovery_log_string();
+  result.stopped = stats.drive.stopped_early;
+  result.finite = true;
+  for (nn::Param *p : model.params()) {
+    for (double v : p->value.flat()) {
+      if (!std::isfinite(v)) result.finite = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+TEST(GuardSoak, RateFaultedTrainingIsSeedDeterministic) {
+  const std::uint64_t seed = soak_seed();
+  SCOPED_TRACE("TREU_SOAK_SEED=" + std::to_string(seed));
+  fault::TrainFaultPlanConfig plan;
+  plan.nan_grad_rate = 0.04;
+  plan.explode_grad_rate = 0.04;
+  plan.corrupt_batch_rate = 0.04;
+  const SoakResult a = soak_run(seed, "soak_a", plan, 0);
+  const SoakResult b = soak_run(seed, "soak_b", plan, 0);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.stopped, b.stopped);
+  EXPECT_TRUE(a.finite);
+  EXPECT_TRUE(b.finite);
+}
+
+TEST(GuardSoak, SdcAuditSoakIsSeedDeterministic) {
+  const std::uint64_t seed = soak_seed() + 1000;
+  SCOPED_TRACE("TREU_SOAK_SEED=" + std::to_string(soak_seed()));
+  fault::TrainFaultPlanConfig plan;
+  plan.corrupt_param_rate = 0.05;
+  plan.corrupt_batch_rate = 0.05;
+  const SoakResult a = soak_run(seed, "soak_sdc_a", plan, 2);
+  const SoakResult b = soak_run(seed, "soak_sdc_b", plan, 2);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_TRUE(a.finite);
+  EXPECT_TRUE(b.finite);
+}

@@ -145,6 +145,25 @@ TEST(MlpTrain, StepOnBatchDirectionControlsSign) {
   EXPECT_LT(model.evaluate(data), acc_before);
 }
 
+TEST(MlpTrain, ConfidentlyWrongBatchHasFiniteLoss) {
+  // Every sample maximally confident in the wrong class: the true-class
+  // softmax probability underflows to exactly 0, and an unclamped
+  // cross-entropy would return -log(0) = inf (and NaN gradients through it).
+  // The kProbEpsilon clamp caps the per-sample loss at -log(1e-15) ~ 34.5.
+  treu::tensor::Matrix logits(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    logits(i, 0) = -1000.0;  // true class, drowned out
+    logits(i, 1) = 1000.0;
+  }
+  const std::vector<std::size_t> labels{0, 0, 0, 0};
+  const nn::LossResult result = nn::softmax_cross_entropy(logits, labels);
+  EXPECT_TRUE(std::isfinite(result.loss));
+  EXPECT_NEAR(result.loss, -std::log(nn::kProbEpsilon), 1e-9);
+  for (double g : result.grad.flat()) {
+    EXPECT_TRUE(std::isfinite(g));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Weight serialization guardrails (treu::ckpt builds on these invariants)
 
