@@ -2,7 +2,7 @@
 
 // Shared flag handling for every bench binary.
 //
-// All 20 benches accept the same epilogue flags, parsed and removed from
+// All benches accept the same epilogue flags, parsed and removed from
 // argv *before* google-benchmark's own flag parsing runs:
 //
 //   --telemetry <path> | --telemetry=<path>
@@ -13,11 +13,21 @@
 //       Master seed recorded in the run manifest. Each bench passes its
 //       historical default so unflagged runs keep reproducing the same
 //       numbers.
+//   --trace-sample-rate <r> | --trace-sample-rate=<r>
+//       Fraction in [0, 1] of requests whose causal path is recorded as
+//       linked spans (benches thread it into ServeConfig /
+//       SupervisorConfig where applicable). Default 0: off, and the
+//       telemetry artifact is byte-identical to pre-tracing builds.
+//   --flight-recorder <path> | --flight-recorder=<path>
+//       Enable the always-on flight recorder for the run and dump its ring
+//       to <path> at finish(); the dump's digest is registered in the run
+//       record alongside the telemetry artifact. Default: disabled.
 //
 // Bad-path policy (asserted by scripts/check_telemetry_badpath.sh): a bench
 // whose measurements already ran never aborts on a bad epilogue flag — an
-// unwritable --telemetry path or a malformed --seed prints `ERROR` to
-// stderr and the binary continues/exits 0.
+// unwritable --telemetry / --flight-recorder path or a malformed --seed /
+// --trace-sample-rate prints `ERROR` to stderr and the binary
+// continues/exits 0.
 
 #include <cstdint>
 #include <cstdio>
@@ -26,6 +36,7 @@
 #include <utility>
 
 #include "treu/core/manifest.hpp"
+#include "treu/obs/flight_recorder.hpp"
 #include "treu/obs/report.hpp"
 
 namespace treu::bench {
@@ -33,10 +44,14 @@ namespace treu::bench {
 struct CommonFlags {
   obs::TelemetryOptions telemetry;
   std::uint64_t seed = 0;
+  double trace_sample_rate = 0.0;
+  std::string flight_recorder_path;  // empty => recorder stays disabled
 };
 
 /// Extract the shared flags from argv (consumed arguments are removed;
-/// everything else is left for benchmark::Initialize).
+/// everything else is left for benchmark::Initialize). Enables the global
+/// flight recorder immediately when --flight-recorder was given, so every
+/// event from the first measurement on lands in the ring.
 inline CommonFlags parse_common_flags(int &argc, char **argv,
                                       std::uint64_t default_seed) {
   CommonFlags flags;
@@ -53,6 +68,19 @@ inline CommonFlags parse_common_flags(int &argc, char **argv,
     }
     flags.seed = static_cast<std::uint64_t>(v);
   };
+  const auto parse_rate = [&flags](const std::string &text) {
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == text.c_str() || *end != '\0' || v < 0.0 ||
+        v > 1.0) {
+      std::fprintf(
+          stderr,
+          "bench: ERROR bad --trace-sample-rate '%s' (keeping default 0)\n",
+          text.c_str());
+      return;
+    }
+    flags.trace_sample_rate = v;
+  };
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -64,20 +92,47 @@ inline CommonFlags parse_common_flags(int &argc, char **argv,
       parse_seed(argv[++i]);
     } else if (arg.rfind("--seed=", 0) == 0) {
       parse_seed(arg.substr(std::string("--seed=").size()));
+    } else if (arg == "--trace-sample-rate" && i + 1 < argc) {
+      parse_rate(argv[++i]);
+    } else if (arg.rfind("--trace-sample-rate=", 0) == 0) {
+      parse_rate(arg.substr(std::string("--trace-sample-rate=").size()));
+    } else if (arg == "--flight-recorder" && i + 1 < argc) {
+      flags.flight_recorder_path = argv[++i];
+    } else if (arg.rfind("--flight-recorder=", 0) == 0) {
+      flags.flight_recorder_path =
+          arg.substr(std::string("--flight-recorder=").size());
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
+  if (!flags.flight_recorder_path.empty()) {
+    obs::FlightRecorder::global().set_enabled(true);
+  }
   return flags;
 }
 
 /// Uniform bench epilogue: stamp the (possibly overridden) seed into the
-/// manifest and, when --telemetry was requested, write and register the
-/// artifact. Write failures print an error and continue (PR 1 behaviour).
+/// manifest; when --flight-recorder was requested, dump the ring next to
+/// the telemetry and register both; when --telemetry was requested, write
+/// and register the artifact. Write failures print an error and continue
+/// (PR 1 behaviour).
 inline void finish(const CommonFlags &flags, core::Manifest manifest) {
   manifest.seed = flags.seed;
-  (void)obs::finish_telemetry_run(flags.telemetry, std::move(manifest));
+  std::string flight_path;
+  if (!flags.flight_recorder_path.empty()) {
+    if (obs::FlightRecorder::global().dump(flags.flight_recorder_path,
+                                           manifest.name)) {
+      flight_path = flags.flight_recorder_path;
+      std::printf("flight-recorder: wrote %s\n", flight_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench: ERROR cannot write --flight-recorder %s\n",
+                   flags.flight_recorder_path.c_str());
+    }
+  }
+  (void)obs::finish_telemetry_run(flags.telemetry, std::move(manifest),
+                                  obs::Registry::global(),
+                                  obs::TraceCollector::global(), flight_path);
 }
 
 }  // namespace treu::bench

@@ -16,7 +16,11 @@
 #
 # A failing seed's FULL log is preserved at $TREU_SOAK_LOG_DIR/seed-<seed>.log
 # (default /tmp/treu_soak_logs) and its path printed next to the replay
-# line, so the complete failure evidence survives the run.
+# line, so the complete failure evidence survives the run. Each run also
+# arms the binary's flight recorder (TREU_FLIGHT_DUMP): a failing seed's
+# event dump lands beside its log as seed-<seed>.flight.json — the black
+# box from which the failing request's causal path can be reconstructed
+# (see docs/observability.md) — and passing seeds leave nothing behind.
 set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -55,9 +59,12 @@ fi
 
 fails=0
 scratch_log="/tmp/treu_soak_$$.log"
+scratch_flight="/tmp/treu_soak_$$.flight.json"
 for ((k = 0; k < n_seeds; ++k)); do
   seed=$((base_seed + k))
-  if TREU_SOAK_SEED="$seed" "$binary" --gtest_filter="$filter" \
+  rm -f "$scratch_flight"
+  if TREU_SOAK_SEED="$seed" TREU_FLIGHT_DUMP="$scratch_flight" \
+      "$binary" --gtest_filter="$filter" \
       --gtest_brief=1 >"$scratch_log" 2>&1; then
     echo "ok   seed $seed"
   else
@@ -66,12 +73,18 @@ for ((k = 0; k < n_seeds; ++k)); do
     mkdir -p "$log_dir"
     seed_log="$log_dir/seed-$seed.log"
     cp "$scratch_log" "$seed_log"
-    echo "FAIL seed $seed  (replay: TREU_SOAK_SEED=$seed $binary --gtest_filter='$filter'; full log: $seed_log)" >&2
+    flight_note=""
+    if [ -s "$scratch_flight" ]; then
+      seed_flight="$log_dir/seed-$seed.flight.json"
+      mv "$scratch_flight" "$seed_flight"
+      flight_note="; flight dump: $seed_flight"
+    fi
+    echo "FAIL seed $seed  (replay: TREU_SOAK_SEED=$seed $binary --gtest_filter='$filter'; full log: $seed_log$flight_note)" >&2
     tail -20 "$scratch_log" >&2
     fails=$((fails + 1))
   fi
 done
-rm -f "$scratch_log"
+rm -f "$scratch_log" "$scratch_flight"
 
 if [ "$fails" -ne 0 ]; then
   echo "run_soak: FAIL: $fails of $n_seeds $suite seed(s) failed" >&2

@@ -240,6 +240,8 @@ AtomicWriteResult save_checkpoint_file(const std::string &path,
   } else {
     TREU_OBS_COUNTER_ADD("ckpt.write_failures_total", 1);
   }
+  TREU_OBS_FR_EVENT(CkptSave, 0, ckpt.step,
+                    result.committed ? bytes.size() : 0);
   return result;
 }
 
@@ -250,9 +252,13 @@ LoadResult load_checkpoint_file(const std::string &path) {
     LoadResult result;
     result.failure = DecodeFailure::Torn;
     result.error = "cannot read " + path;
+    TREU_OBS_FR_EVENT(CkptLoad, 0, 0, 0);
     return result;
   }
-  return decode_checkpoint(*bytes);
+  LoadResult result = decode_checkpoint(*bytes);
+  TREU_OBS_FR_EVENT(CkptLoad, 0, result.ok() ? result.checkpoint->step : 0,
+                    bytes->size());
+  return result;
 }
 
 }  // namespace treu::ckpt

@@ -174,6 +174,7 @@ CheckpointStore::RecoverReport CheckpointStore::recover() {
               report.used_manifest = true;
               TREU_OBS_COUNTER_ADD("ckpt.recover.manifest_hits", 1);
               TREU_OBS_COUNTER_ADD("ckpt.recoveries_total", 1);
+              TREU_OBS_FR_EVENT(CkptRecover, 0, report.checkpoint->step, 1);
               return report;
             }
             // Digest matched but the container is invalid: the manifest
@@ -199,6 +200,7 @@ CheckpointStore::RecoverReport CheckpointStore::recover() {
       report.checkpoint = std::move(loaded.checkpoint);
       report.path = path;
       TREU_OBS_COUNTER_ADD("ckpt.recoveries_total", 1);
+      TREU_OBS_FR_EVENT(CkptRecover, 0, report.checkpoint->step, 0);
       break;
     }
     if (loaded.failure == DecodeFailure::Torn) {

@@ -73,6 +73,13 @@ struct SupervisorConfig {
 
   /// Store pruning after each committed write; 0 = never prune.
   std::size_t store_keep_last = 8;
+
+  /// Causal tracing of recovery actions (obs/causal.hpp): recovery event k
+  /// gets the deterministic trace id derive_trace_id(trace_seed, k); when
+  /// head-sampled at this rate its rollback is recorded as causally-linked
+  /// spans in the global TraceCollector. 0 (default) records nothing.
+  double trace_sample_rate = 0.0;
+  std::uint64_t trace_seed = 0;
 };
 
 struct RecoveryEvent {

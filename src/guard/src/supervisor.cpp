@@ -112,6 +112,8 @@ nn::StepAction Supervisor::on_step_end(const nn::StepEvent &event,
   if (trip.kind != TripKind::None) {
     ++stats_.trips;
     TREU_OBS_COUNTER_ADD("guard.trips_total", 1);
+    TREU_OBS_FR_EVENT(GuardTrip, 0, event.step,
+                      static_cast<std::uint64_t>(trip.kind));
     count_trip(trip.kind);
     if (trip.kind == TripKind::SdcShadow) {
       ++stats_.sdc_detected;
@@ -123,6 +125,8 @@ nn::StepAction Supervisor::on_step_end(const nn::StepEvent &event,
           {event.step, trip.kind, trip.value, trip.threshold, 0, true});
       stats_.gave_up = true;
       TREU_OBS_COUNTER_ADD("guard.gave_up", 1);
+      TREU_OBS_FR_EVENT(GuardGiveUp, 0, event.step,
+                        static_cast<std::uint64_t>(trip.kind));
       return nn::StepAction::Stop;
     }
     if (trip.kind != TripKind::SdcShadow) {
@@ -183,6 +187,16 @@ nn::RollbackTarget Supervisor::rollback(std::span<nn::Param *const> params,
   TREU_OBS_SPAN(rollback_span, "guard.rollback");
   TREU_OBS_COUNTER_ADD("guard.rollbacks_total", 1);
   ++stats_.rollbacks;
+#if TREU_OBS_ENABLED
+  // Recovery event index == log_.size(): every terminal path below pushes
+  // exactly one entry, so two same-seed runs number (and trace) their
+  // recoveries identically.
+  const obs::TraceContext rec_trace = obs::TraceContext::root(
+      config_.trace_seed, static_cast<std::uint64_t>(log_.size()),
+      config_.trace_sample_rate);
+  const std::uint64_t rec_start_us =
+      rec_trace.active() ? obs::TraceCollector::global().now_us() : 0;
+#endif
 
   ckpt::TrainingCheckpoint recovered;
   bool have = false;
@@ -199,6 +213,8 @@ nn::RollbackTarget Supervisor::rollback(std::span<nn::Param *const> params,
                       pending_trip_.threshold, 0, true});
       stats_.gave_up = true;
       TREU_OBS_COUNTER_ADD("guard.gave_up", 1);
+      TREU_OBS_FR_EVENT(GuardGiveUp, 0, pending_step_,
+                        static_cast<std::uint64_t>(pending_trip_.kind));
       return {};
     }
     recovered = snapshots_.rbegin()->second.checkpoint;
@@ -221,6 +237,22 @@ nn::RollbackTarget Supervisor::rollback(std::span<nn::Param *const> params,
   target.epoch_loss_accum = sidecar ? sidecar->epoch_loss_accum : 0.0;
   target.epoch_executed = sidecar ? sidecar->epoch_executed : 0;
 
+#if TREU_OBS_ENABLED
+  TREU_OBS_FR_EVENT(GuardRollback, rec_trace.id.lo, pending_step_,
+                    recovered.step);
+  if (rec_trace.active()) {
+    auto &tc = obs::TraceCollector::global();
+    const std::uint64_t rec_end_us = tc.now_us();
+    tc.record_causal_span("guard.recovery", rec_trace, rec_start_us,
+                          rec_end_us);
+    tc.record_causal_span("guard.restore",
+                          rec_trace.child(obs::kSpanQueue), rec_start_us,
+                          rec_end_us);
+    tc.record_causal_span("guard.outcome.restored",
+                          rec_trace.child(obs::kSpanOutcome), rec_end_us,
+                          rec_end_us);
+  }
+#endif
   log_.push_back({pending_step_, pending_trip_.kind, pending_trip_.value,
                   pending_trip_.threshold, recovered.step, false});
   TREU_OBS_COUNTER_EVENT("guard.rollback_depth",

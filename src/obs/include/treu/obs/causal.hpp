@@ -1,0 +1,135 @@
+#pragma once
+
+// Request-scoped causal tracing primitives.
+//
+// A TraceId is 128 bits derived *deterministically* from (seed, request_seq)
+// by a splitmix64-style mix implemented right here — treu_obs is a leaf
+// library and must not link treu_core, so it cannot reach core::Rng; any
+// pure, platform-independent function of (seed, seq) satisfies the
+// contract. Two runs with the same seed assign the same trace id to the
+// k-th submitted request, so their trace trees are comparable record for
+// record.
+//
+// Sampling is head-based and deterministic: whether a trace is sampled is a
+// pure function of (trace id, rate), decided once at the root and inherited
+// by every child span. No coin flips, no per-run drift — a replayed seed
+// samples exactly the same requests.
+//
+// Span ids inside one trace follow a fixed scheme (kSpanRoot etc. below)
+// assigned by the emitter, not by a counter, so parentage is reproducible
+// without any cross-thread coordination.
+
+#include <cstdint>
+#include <string>
+
+namespace treu::obs {
+
+/// 128-bit trace identity. {0, 0} means "no trace".
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return (hi | lo) != 0; }
+
+  friend bool operator==(const TraceId &, const TraceId &) = default;
+
+  /// 32 lowercase hex digits, the wire form used in dumps and exemplars.
+  [[nodiscard]] std::string hex() const {
+    static const char *digits = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i) {
+      const std::uint64_t w = i < 8 ? hi : lo;
+      const int shift = 60 - 8 * (i % 8);
+      out[static_cast<std::size_t>(2 * i)] = digits[(w >> shift) & 0xF];
+      out[static_cast<std::size_t>(2 * i + 1)] =
+          digits[(w >> (shift - 4)) & 0xF];
+    }
+    return out;
+  }
+};
+
+namespace detail {
+
+/// splitmix64 finalizer: the standard 64-bit avalanche mix.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+/// The deterministic trace id for request `request_seq` of stream `seed`.
+/// Pure: same (seed, seq) -> same id on every platform, run and thread
+/// interleaving. The two halves use distinct domain constants so hi and lo
+/// are independent mixes of the same identity.
+[[nodiscard]] constexpr TraceId derive_trace_id(
+    std::uint64_t seed, std::uint64_t request_seq) noexcept {
+  TraceId id;
+  id.hi = detail::mix64(detail::mix64(seed ^ 0x7265712D686900ULL) +
+                        request_seq);
+  id.lo = detail::mix64(detail::mix64(seed ^ 0x7265712D6C6F00ULL) +
+                        request_seq * 0x9E3779B97F4A7C15ULL + 1);
+  if (!id.valid()) id.lo = 1;  // reserve {0,0} for "no trace"
+  return id;
+}
+
+/// Head-based deterministic sampling: true iff this trace is kept at
+/// `sample_rate` in [0, 1]. Pure function of the id — every run, and every
+/// component observing the same trace, agrees.
+[[nodiscard]] constexpr bool head_sample(const TraceId &id,
+                                         double sample_rate) noexcept {
+  if (sample_rate <= 0.0 || !id.valid()) return false;
+  if (sample_rate >= 1.0) return true;
+  // 53 uniform bits of the (already avalanched) low word -> [0, 1).
+  const double u =
+      static_cast<double>(id.lo >> 11) * (1.0 / 9007199254740992.0);
+  return u < sample_rate;
+}
+
+/// Fixed span-id scheme inside one request trace. Emitters assign these
+/// rather than drawing from a counter, so two runs of the same seed build
+/// identical (id, parent) trees.
+inline constexpr std::uint64_t kSpanRoot = 1;     // whole request lifetime
+inline constexpr std::uint64_t kSpanQueue = 2;    // admission -> dispatch
+inline constexpr std::uint64_t kSpanOutcome = 3;  // terminal marker
+/// Attempt k (0-based) of the batch the request rode in.
+[[nodiscard]] constexpr std::uint64_t span_id_attempt(
+    std::uint64_t attempt) noexcept {
+  return 16 + attempt;
+}
+
+/// One request's (or recovery action's) tracing identity, threaded through
+/// the serving/recovery stack. `sampled` is decided once at the root.
+struct TraceContext {
+  TraceId id;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  bool sampled = false;
+
+  [[nodiscard]] bool active() const noexcept { return sampled && id.valid(); }
+
+  /// Root context for request `request_seq` of stream `seed`.
+  [[nodiscard]] static TraceContext root(std::uint64_t seed,
+                                         std::uint64_t request_seq,
+                                         double sample_rate) noexcept {
+    TraceContext ctx;
+    ctx.id = derive_trace_id(seed, request_seq);
+    ctx.span_id = kSpanRoot;
+    ctx.parent_span_id = 0;
+    ctx.sampled = head_sample(ctx.id, sample_rate);
+    return ctx;
+  }
+
+  /// Child context under this one with the scheme-assigned `span_id`.
+  [[nodiscard]] TraceContext child(std::uint64_t child_span_id) const
+      noexcept {
+    TraceContext ctx = *this;
+    ctx.parent_span_id = ctx.span_id;
+    ctx.span_id = child_span_id;
+    return ctx;
+  }
+};
+
+}  // namespace treu::obs

@@ -1,0 +1,216 @@
+#pragma once
+
+// Always-on flight recorder: a fixed-size, lock-light, per-thread ring of
+// compact binary events for post-mortem debugging.
+//
+// Design
+//  - Each recording thread owns one ring; record() touches only that ring
+//    plus one process-wide relaxed sequence counter, so the hot path is a
+//    handful of relaxed atomic stores (~15 ns) and threads never contend
+//    on event slots. The only lock is taken once per thread, at ring
+//    registration. Rings outlive their threads (the black box keeps a dead
+//    thread's last events) and are recycled for later threads, so thread
+//    churn costs neither unbounded memory nor a fresh ~230 KiB allocation
+//    plus page faults on each new worker's first event.
+//  - Event timestamps come from the kernel's coarse monotonic clock
+//    (~5 ns to read, millisecond-ish resolution). Ordering never depends
+//    on them — `seq` is the total order — and precise timing belongs to
+//    the sampled causal spans in TraceCollector; the recorder's job is
+//    "what happened, in what order, roughly when", at a cost low enough
+//    to leave on everywhere.
+//  - The recorder is *runtime*-gated by one relaxed flag (default off:
+//    record() is a load + branch) and *compile-time*-gated through the
+//    TREU_OBS_FR_* macros in obs.hpp, which vanish entirely when
+//    TREU_OBS_ENABLED=0.
+//  - Event slots are relaxed atomics so a dump taken while writers are
+//    still running is a data-race-free snapshot (an event being overwritten
+//    mid-read can mix fields; the per-thread sequence number exposes such
+//    wrap casualties, and dumps at quiescence — the normal case — are
+//    exact).
+//  - Rings wrap: each ring keeps its newest `capacity` events and counts
+//    what it overwrote. A soak that fails after millions of events still
+//    ships its last-N black box instead of an unbounded log.
+//  - dump()/to_json() serialize the merged rings as one JSON document that
+//    is BOTH machine-parseable ("flightEvents": full binary fields) and a
+//    Chrome trace (instant events), so the same artifact feeds assertions
+//    and Perfetto. dump_signal_safe() is the crash path: no allocation, no
+//    locks taken (registration is frozen by the crash), raw write(2) of one
+//    text line per event.
+//
+// Determinism: the *per-trace* subsequence of events (filter by trace_lo,
+// order by seq) is a pure function of the seeded workload; cross-trace
+// interleaving follows the scheduler and is not reproducible. Tests compare
+// per-trace sequences.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace treu::obs {
+
+/// What happened. Values are stable (they appear in dumps); append only.
+enum class FrEvent : std::uint16_t {
+  None = 0,
+  // serve
+  Enqueue = 1,        // a = queue depth after admit, b = priority
+  Reject = 2,         // a = queue depth at refusal
+  Shed = 3,           // a = queue depth at refusal, b = priority
+  Dequeue = 4,        // one per formed batch; trace_lo = lead item,
+                      // a = batch id, b = replica index
+  DeadlineMiss = 5,   // a = batch id (0 = expired in queue), b = phase
+  PredictStart = 6,   // a = batch id, b = attempt
+  PredictOk = 7,      // a = batch id, b = attempt
+  PredictFail = 8,    // a = batch id, b = attempt
+  Retry = 9,          // a = batch id, b = backoff microseconds
+  Fulfill = 10,       // a = batch id, b = batch size
+  RequestFail = 11,   // a = batch id, b = attempts made
+  Reload = 12,        // a = replicas updated, b = ok
+  ReloadRollback = 13,  // a = replicas rolled back
+  // resilience
+  BreakerOpen = 14,     // a = breaker id, b = times opened so far
+  BreakerHalfOpen = 15, // a = breaker id
+  BreakerClose = 16,    // a = breaker id
+  // fault
+  FaultInjected = 17,  // a = replica, b = FaultKind
+  // ckpt
+  CkptSave = 18,     // a = step, b = bytes committed (0 = write failed)
+  CkptLoad = 19,     // a = step (0 = unreadable), b = bytes
+  CkptRecover = 20,  // a = restored step, b = manifest fast path taken
+  // guard
+  GuardTrip = 21,      // a = step, b = TripKind
+  GuardRollback = 22,  // a = tripped step, b = restored step
+  GuardGiveUp = 23,    // a = step, b = TripKind
+  // tests / tooling
+  Mark = 24,  // a, b free-form
+};
+
+[[nodiscard]] const char *to_string(FrEvent kind) noexcept;
+
+/// One decoded event (plain struct; the in-ring form is atomic fields).
+struct FlightEvent {
+  std::uint64_t seq = 0;       // process-wide record order stamp
+  std::uint64_t ts_us = 0;     // coarse clock (ms-ish resolution), us since
+                               // recorder epoch; order by seq, not this
+  std::uint64_t trace_lo = 0;  // low word of the owning TraceId (0 = none)
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint32_t tid = 0;
+  FrEvent kind = FrEvent::None;
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder();
+  FlightRecorder(const FlightRecorder &) = delete;
+  FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+  /// Runtime switch. Off (the default) makes record() a relaxed load and a
+  /// branch; nothing is written anywhere.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Events retained per thread; rounded up to a power of two. Applies to
+  /// rings created after the call (set it before recording threads start;
+  /// tests construct a fresh recorder per capacity).
+  void set_capacity_per_thread(std::size_t events);
+  [[nodiscard]] std::size_t capacity_per_thread() const noexcept {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// Append one event to the calling thread's ring. Safe from any thread;
+  /// never blocks, never allocates after the thread's first record.
+  void record(FrEvent kind, std::uint64_t trace_lo = 0, std::uint64_t a = 0,
+              std::uint64_t b = 0) noexcept;
+
+  /// Merged view of every ring, sorted by seq (record order). Events being
+  /// overwritten concurrently may carry mixed fields; at quiescence the
+  /// snapshot is exact.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// Total events overwritten by ring wraparound, all threads.
+  [[nodiscard]] std::uint64_t overwritten() const noexcept;
+
+  /// Drop all retained events (rings stay registered).
+  void clear();
+
+  /// The dump document: {"flightEvents": [...], "traceEvents": [instant
+  /// events], "otherData": {...}} — parseable and Perfetto-loadable.
+  [[nodiscard]] std::string to_json(const std::string &run_name) const;
+
+  /// Atomically (tmp + rename) write to_json() to `path`. Returns false on
+  /// I/O failure (never throws: dump paths run inside failure handlers).
+  bool dump(const std::string &path, const std::string &run_name) const;
+
+  /// Crash-path dump: one "seq ts tid kind trace_lo a b" text line per
+  /// event straight to `fd` with write(2). No allocation, no locks, no
+  /// stdio — callable from a signal handler.
+  void dump_signal_safe(int fd) const noexcept;
+
+  /// Install SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT handlers that write this
+  /// recorder's events to `path` (truncating), then re-raise the default
+  /// action. Best effort; the last call wins process-wide.
+  void install_crash_handler(std::string path);
+
+  /// Microseconds since this recorder was constructed.
+  [[nodiscard]] std::uint64_t now_us() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Process-wide recorder used by the TREU_OBS_FR_* macros. Immortal for
+  /// the same reason as Registry::global().
+  [[nodiscard]] static FlightRecorder &global();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> ts_us{0};
+    std::atomic<std::uint64_t> trace_lo{0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::atomic<std::uint32_t> tid{0};
+    std::atomic<std::uint16_t> kind{0};
+  };
+  struct Ring {
+    explicit Ring(std::size_t cap, std::uint32_t thread_id)
+        : slots(cap), mask(cap - 1), tid(thread_id) {}
+    std::vector<Slot> slots;       // power-of-two size
+    std::size_t mask;
+    std::uint32_t tid;
+    std::atomic<std::uint64_t> head{0};  // next write position (monotone)
+  };
+
+  [[nodiscard]] Ring &local_ring();
+
+  /// Return an exiting thread's ring to the free pool for the next thread.
+  void release_ring(Ring *ring) noexcept;
+
+  /// Coarse monotonic microseconds since construction (record()'s clock).
+  [[nodiscard]] std::uint64_t coarse_now_us() const noexcept;
+
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  std::uint64_t coarse_epoch_us_ = 0;  // set in the constructor
+  std::uint64_t gen_ = 0;  // process-unique; guards the thread-local
+                           // ring cache against recorder address reuse
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_{4096};
+  std::atomic<std::uint64_t> seq_{1};  // 0 = "empty slot"
+
+  mutable std::mutex rings_mu_;  // ring registration + snapshot iteration
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<Ring *> free_rings_;  // rings of exited threads, reusable
+};
+
+}  // namespace treu::obs

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "treu/obs/causal.hpp"
+
 namespace treu::obs {
 
 namespace detail {
@@ -91,6 +93,10 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> buckets;   // size upper_bounds.size() + 1
   std::uint64_t count = 0;
   double sum = 0.0;
+  /// Per-bucket exemplar trace ids (see Histogram::observe_exemplar).
+  /// Empty unless at least one exemplar was ever recorded; entries with
+  /// !valid() are buckets that never saw a sampled observation.
+  std::vector<TraceId> exemplars;
 
   [[nodiscard]] double mean() const noexcept {
     return count > 0 ? sum / static_cast<double>(count) : 0.0;
@@ -105,6 +111,13 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_bounds);
 
   void observe(double value) noexcept;
+
+  /// observe(value) plus an exemplar: the bucket remembers `trace` as the
+  /// trace id of a recent sample landing in it, so a p99 outlier in the
+  /// metrics jumps straight to a concrete trace. Last-writer-wins; a writer
+  /// finding the slot mid-update drops its exemplar rather than waiting
+  /// (exemplars are samples, losing one under contention is free).
+  void observe_exemplar(double value, const TraceId &trace) noexcept;
 
   [[nodiscard]] const std::vector<double> &upper_bounds() const noexcept {
     return bounds_;
@@ -121,9 +134,22 @@ class Histogram {
     std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;  // bounds + 1
     std::atomic<double> sum{0.0};
   };
+  /// One exemplar slot: version is even when stable, odd while a writer
+  /// owns it. Writers claim with a CAS and bail out (dropping the
+  /// exemplar) when another writer holds the slot; readers retry on a
+  /// version change so they never observe a mixed hi/lo pair.
+  struct ExemplarSlot {
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::uint64_t> hi{0};
+    std::atomic<std::uint64_t> lo{0};
+  };
+
+  [[nodiscard]] std::size_t bucket_index(double value) const noexcept;
 
   std::vector<double> bounds_;
   std::array<Shard, detail::kShards> shards_;
+  std::unique_ptr<ExemplarSlot[]> exemplars_;  // bounds + 1, lazy-written
+  std::atomic<bool> any_exemplar_{false};
 };
 
 /// Everything a registry knows, merged and ready to serialize.

@@ -15,6 +15,8 @@
 
 #include <chrono>
 
+#include "treu/obs/causal.hpp"
+#include "treu/obs/flight_recorder.hpp"
 #include "treu/obs/metrics.hpp"
 #include "treu/obs/trace.hpp"
 
@@ -85,6 +87,26 @@ class ScopedLatencyUs {
 #define TREU_OBS_COUNTER_EVENT(name, value) \
   ::treu::obs::TraceCollector::global().counter_event((name), (value))
 
+/// observe() plus an exemplar trace id on the bucket the value lands in.
+#define TREU_OBS_HISTOGRAM_OBSERVE_EXEMPLAR(name, value, trace)           \
+  do {                                                                    \
+    static ::treu::obs::Histogram *treu_obs_histogram_ =                  \
+        ::treu::obs::Registry::global().histogram(name);                  \
+    treu_obs_histogram_->observe_exemplar((value), (trace));              \
+  } while (0)
+
+/// Drops one compact event into the per-thread flight-recorder ring.
+/// No-op (one relaxed load) while the recorder is disabled.
+#define TREU_OBS_FR_EVENT(kind, trace_lo, a, b)                           \
+  ::treu::obs::FlightRecorder::global().record(                           \
+      ::treu::obs::FrEvent::kind, (trace_lo), (a), (b))
+
+/// Records one causally-linked span with explicit timestamps (collector
+/// clock) into the global TraceCollector.
+#define TREU_OBS_CAUSAL_SPAN(name, ctx, start_us, end_us)                 \
+  ::treu::obs::TraceCollector::global().record_causal_span(               \
+      (name), (ctx), (start_us), (end_us))
+
 #else  // TREU_OBS_ENABLED == 0
 
 #define TREU_OBS_COUNTER_ADD(name, n) (void)0
@@ -93,5 +115,8 @@ class ScopedLatencyUs {
 #define TREU_OBS_SPAN(var, name) (void)0
 #define TREU_OBS_SCOPED_LATENCY_US(var, name) (void)0
 #define TREU_OBS_COUNTER_EVENT(name, value) (void)0
+#define TREU_OBS_HISTOGRAM_OBSERVE_EXEMPLAR(name, value, trace) (void)0
+#define TREU_OBS_FR_EVENT(kind, trace_lo, a, b) (void)0
+#define TREU_OBS_CAUSAL_SPAN(name, ctx, start_us, end_us) (void)0
 
 #endif  // TREU_OBS_ENABLED

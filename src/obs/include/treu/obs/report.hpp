@@ -20,6 +20,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -94,6 +95,16 @@ inline std::string render_telemetry_json(const std::string &run_name,
     hist.emplace("buckets", std::move(buckets));
     hist.emplace("count", static_cast<std::int64_t>(h.count));
     hist.emplace("sum", h.sum);
+    if (!h.exemplars.empty()) {
+      // Only present when at least one exemplar was recorded, so telemetry
+      // from runs with tracing disabled is byte-identical to pre-exemplar
+      // output. Empty string = bucket never saw a sampled observation.
+      json::Array exemplars;
+      for (const TraceId &id : h.exemplars) {
+        exemplars.push_back(id.valid() ? id.hex() : std::string());
+      }
+      hist.emplace("exemplars", std::move(exemplars));
+    }
     histograms.emplace(name, std::move(hist));
   }
   json::Object treu_metrics;
@@ -160,13 +171,39 @@ inline void register_telemetry(const TelemetryArtifact &artifact,
   record.artifacts["telemetry"] = artifact.digest;
 }
 
+/// Bind a flight-recorder dump to the same run: provenance edge manifest ->
+/// flight dump, plus the digest in the RunRecord's artifact map. Returns
+/// false (and registers nothing) when the dump file cannot be read — a
+/// missing dump must not invalidate the telemetry that did get written.
+inline bool register_flight_dump(const std::string &dump_path,
+                                 const core::Manifest &manifest,
+                                 core::ProvenanceGraph &graph,
+                                 core::RunRecord &record) {
+  std::ifstream in(dump_path, std::ios::binary);
+  if (!in) return false;
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return false;
+  const std::string manifest_node = "manifest:" + manifest.name;
+  if (!graph.contains(manifest_node)) {
+    graph.add_artifact(manifest_node, manifest.digest());
+  }
+  graph.add_artifact("flight:" + manifest.name, core::sha256(body),
+                     {manifest_node});
+  record.artifacts["flight_recorder"] = core::sha256(body);
+  return true;
+}
+
 /// One-call bench epilogue: write the artifact, register it in a provenance
 /// graph and a journaled run record, and print where the evidence went.
+/// When `flight_dump_path` names a flight-recorder dump written by the same
+/// run, its digest is registered alongside the telemetry artifact.
 /// Returns nullopt when telemetry was not requested.
 inline std::optional<TelemetryArtifact> finish_telemetry_run(
     const TelemetryOptions &opts, core::Manifest manifest,
     const Registry &registry = Registry::global(),
-    const TraceCollector &collector = TraceCollector::global()) {
+    const TraceCollector &collector = TraceCollector::global(),
+    const std::string &flight_dump_path = {}) {
   if (!opts.enabled()) return std::nullopt;
 
   TelemetryArtifact artifact;
@@ -182,6 +219,15 @@ inline std::optional<TelemetryArtifact> finish_telemetry_run(
   core::ProvenanceGraph graph;
   core::RunRecord record;
   register_telemetry(artifact, manifest, graph, record);
+  bool flight_registered = false;
+  if (!flight_dump_path.empty()) {
+    flight_registered =
+        register_flight_dump(flight_dump_path, manifest, graph, record);
+    if (!flight_registered) {
+      std::fprintf(stderr, "telemetry: ERROR cannot read flight dump %s\n",
+                   flight_dump_path.c_str());
+    }
+  }
 
   // Fold headline counters/gauges into the run record so the journal entry
   // is meaningful without opening the artifact.
@@ -203,6 +249,10 @@ inline std::optional<TelemetryArtifact> finish_telemetry_run(
   std::printf("telemetry: provenance %s -> %s, journal head %s\n",
               ("manifest:" + manifest.name).c_str(),
               ("telemetry:" + manifest.name).c_str(), head.hex().c_str());
+  if (flight_registered) {
+    std::printf("telemetry: flight recorder dump registered: %s\n",
+                flight_dump_path.c_str());
+  }
   return artifact;
 }
 

@@ -1,0 +1,159 @@
+#pragma once
+
+// SLO monitor: sliding-window goodput / p99 / error-budget burn-rate
+// evaluated from a metrics Registry.
+//
+// The monitor is a *pure consumer* of the registry: each tick() snapshots
+// the configured counters and latency histogram, takes the delta since the
+// previous tick as one window slice, and evaluates the sliding window of
+// the last `window_slices` slices:
+//
+//   goodput    = successes / (successes + errors) over the window
+//   p99        = bucket-interpolated 99th percentile of the window's
+//                latency observations
+//   burn rate  = (window error fraction) / error_budget — 1.0 means the
+//                budget is being consumed exactly at the sustainable rate,
+//                14.0 means the whole budget burns in ~1/14 of the period
+//                (the classic fast-burn page threshold)
+//
+// Determinism: tick() is a pure function of the registry deltas it
+// observes, and the clock is injectable, so a seeded workload driven by
+// explicit tick() calls produces a byte-identical breach log on every run.
+// The background thread (start()/stop()) is a convenience cadence driver
+// for live serving; tests call tick() directly in virtual time.
+//
+// Results are re-exported as slo.* gauges (integer-scaled where the value
+// is fractional) so breaches show up in the same telemetry artifact as the
+// metrics they were computed from — the decision primitive a canary
+// rollout's promote/rollback comparison consumes.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "treu/obs/metrics.hpp"
+
+namespace treu::obs {
+
+struct SloConfig {
+  /// Counter counted as successful work.
+  std::string success_counter = "serve.responses_total";
+  /// Counters counted as errors (missing names read as 0).
+  std::vector<std::string> error_counters = {
+      "serve.failed_total", "serve.deadline_miss", "serve.shed_total"};
+  /// Latency histogram the p99 is computed from.
+  std::string latency_histogram = "serve.queue_latency_us";
+
+  /// Window goodput below this breaches. [0, 1].
+  double goodput_slo = 0.99;
+  /// Window p99 above this (microseconds) breaches. 0 disables.
+  double p99_slo_us = 0.0;
+  /// Tolerated error fraction; burn rate = error fraction / budget.
+  double error_budget = 0.01;
+  /// Burn rate at or above this breaches (14 = classic fast-burn page).
+  double burn_rate_threshold = 14.0;
+
+  /// Slices in the sliding window.
+  std::size_t window_slices = 12;
+  /// Background cadence for start(); tick() callers set their own pace.
+  std::chrono::microseconds cadence{1'000'000};
+  /// Microsecond clock stamped on breaches. Empty = steady_clock. Tests
+  /// inject a counter so breach logs are reproducible byte for byte.
+  std::function<std::int64_t()> clock;
+  /// Prefix for the emitted gauges.
+  std::string gauge_prefix = "slo";
+};
+
+/// One detected violation. `slice` is the tick index (1-based) that
+/// completed the breaching window.
+struct SloBreach {
+  enum class Kind : std::uint8_t { Goodput = 0, P99 = 1, BurnRate = 2 };
+  std::uint64_t slice = 0;
+  std::int64_t at_us = 0;  // injectable-clock stamp
+  Kind kind = Kind::Goodput;
+  double measured = 0.0;
+  double threshold = 0.0;
+};
+
+[[nodiscard]] constexpr const char *to_string(SloBreach::Kind k) noexcept {
+  switch (k) {
+    case SloBreach::Kind::Goodput: return "goodput";
+    case SloBreach::Kind::P99: return "p99";
+    case SloBreach::Kind::BurnRate: return "burn_rate";
+  }
+  return "unknown";
+}
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(const SloConfig &config,
+                      Registry &registry = Registry::global());
+  ~SloMonitor();
+  SloMonitor(const SloMonitor &) = delete;
+  SloMonitor &operator=(const SloMonitor &) = delete;
+
+  /// Evaluate one slice now: registry delta since the previous tick ->
+  /// window -> gauges + breach log. Thread-safe (serialized internally).
+  void tick();
+
+  /// Run tick() every `cadence` on a background thread until stop().
+  void start();
+  void stop();
+
+  /// Window state after the latest tick.
+  struct Snapshot {
+    std::uint64_t slices = 0;  // ticks evaluated so far
+    std::uint64_t window_success = 0;
+    std::uint64_t window_errors = 0;
+    double goodput = 1.0;
+    double p99_us = 0.0;
+    double burn_rate = 0.0;
+  };
+  [[nodiscard]] Snapshot current() const;
+
+  /// Every breach, in tick order. Deterministic per seeded workload.
+  [[nodiscard]] std::vector<SloBreach> breaches() const;
+
+  /// The breach log rendered one line per event — what determinism tests
+  /// compare across reruns. Timestamps come from the injected clock.
+  [[nodiscard]] std::string breach_log_string() const;
+
+  [[nodiscard]] const SloConfig &config() const noexcept { return config_; }
+
+ private:
+  struct Slice {
+    std::uint64_t success = 0;
+    std::uint64_t errors = 0;
+    std::vector<std::uint64_t> latency_buckets;  // per-slice delta
+  };
+
+  [[nodiscard]] std::int64_t now_us() const;
+  void set_gauge(const std::string &name, std::int64_t value);
+
+  SloConfig config_;
+  Registry &registry_;
+
+  mutable std::mutex mu_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t last_success_ = 0;
+  std::uint64_t last_errors_ = 0;
+  std::vector<std::uint64_t> last_buckets_;
+  std::vector<double> bucket_bounds_;
+  std::deque<Slice> window_;
+  Snapshot snapshot_;
+  std::vector<SloBreach> breaches_;
+  std::map<std::string, std::int64_t> gauge_emitted_;  // set-on-add deltas
+
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+  std::thread bg_;
+};
+
+}  // namespace treu::obs

@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "treu/obs/causal.hpp"
+
 namespace treu::obs {
 
 struct SpanRecord {
@@ -34,6 +36,16 @@ struct SpanRecord {
   std::uint64_t end_us = 0;
   std::uint64_t start_seq = 0;  // global order stamp at construction
   std::uint64_t end_seq = 0;    // global order stamp at destruction
+
+  // Causal linkage (v2): zero trace id means "plain span" (pre-v2 records
+  // are unchanged). Causal spans additionally carry their trace tree
+  // position; span/parent ids follow the deterministic scheme in
+  // causal.hpp.
+  TraceId trace;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  [[nodiscard]] bool causal() const noexcept { return trace.valid(); }
 };
 
 struct CounterEventRecord {
@@ -60,8 +72,22 @@ class TraceCollector {
   void record_span(SpanRecord record);
   void counter_event(std::string name, double value);
 
+  /// Record one causally-linked span with explicit timestamps (collector
+  /// clock, see now_us()). Used by emitters that learn a request's full
+  /// timeline only at fulfillment, so no RAII scope exists to wrap.
+  void record_causal_span(std::string name, const TraceContext &ctx,
+                          std::uint64_t start_us, std::uint64_t end_us);
+
   [[nodiscard]] std::size_t span_count() const;
   [[nodiscard]] std::vector<SpanRecord> spans() const;
+
+  /// All retained spans belonging to `trace`, sorted by span id.
+  [[nodiscard]] std::vector<SpanRecord> spans_for(const TraceId &trace) const;
+
+  /// Canonical rendering of every causal trace tree: traces sorted by id,
+  /// spans sorted by (span_id, name), timestamps excluded — two runs of the
+  /// same seed must produce identical strings (the determinism oracle).
+  [[nodiscard]] std::string causal_tree_string() const;
   [[nodiscard]] std::uint64_t dropped() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
   }
@@ -108,10 +134,14 @@ class Span {
   Span &operator=(const Span &) = delete;
 
   ~Span() {
-    collector_->record_span({std::move(name_),
-                             TraceCollector::this_thread_tid(), start_us_,
-                             collector_->now_us(), start_seq_,
-                             collector_->next_seq()});
+    SpanRecord record;
+    record.name = std::move(name_);
+    record.tid = TraceCollector::this_thread_tid();
+    record.start_us = start_us_;
+    record.end_us = collector_->now_us();
+    record.start_seq = start_seq_;
+    record.end_seq = collector_->next_seq();
+    collector_->record_span(std::move(record));
   }
 
  private:

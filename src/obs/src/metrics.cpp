@@ -55,15 +55,36 @@ Histogram::Histogram(std::vector<double> upper_bounds)
       shard.buckets[i].store(0, std::memory_order_relaxed);
     }
   }
+  exemplars_ = std::make_unique<ExemplarSlot[]>(n);
+}
+
+std::size_t Histogram::bucket_index(double value) const noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());  // size() = +inf
 }
 
 void Histogram::observe(double value) noexcept {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  const std::size_t bucket =
-      static_cast<std::size_t>(it - bounds_.begin());  // bounds_.size() = +inf
+  const std::size_t bucket = bucket_index(value);
   Shard &shard = shards_[detail::this_thread_shard()];
   shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
   detail::add_relaxed(shard.sum, value);
+}
+
+void Histogram::observe_exemplar(double value, const TraceId &trace) noexcept {
+  observe(value);
+  if (!trace.valid()) return;
+  ExemplarSlot &slot = exemplars_[bucket_index(value)];
+  std::uint64_t version = slot.version.load(std::memory_order_relaxed);
+  if (version & 1) return;  // another writer owns the slot; drop the sample
+  if (!slot.version.compare_exchange_strong(version, version + 1,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+    return;
+  }
+  slot.hi.store(trace.hi, std::memory_order_relaxed);
+  slot.lo.store(trace.lo, std::memory_order_relaxed);
+  slot.version.store(version + 2, std::memory_order_release);
+  any_exemplar_.store(true, std::memory_order_relaxed);
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -77,6 +98,23 @@ HistogramSnapshot Histogram::snapshot() const {
     snap.sum += shard.sum.load(std::memory_order_relaxed);
   }
   for (const std::uint64_t b : snap.buckets) snap.count += b;
+  if (any_exemplar_.load(std::memory_order_relaxed)) {
+    snap.exemplars.resize(snap.buckets.size());
+    for (std::size_t i = 0; i < snap.exemplars.size(); ++i) {
+      const ExemplarSlot &slot = exemplars_[i];
+      for (;;) {
+        const std::uint64_t v0 = slot.version.load(std::memory_order_acquire);
+        if (v0 & 1) continue;  // writer mid-update
+        TraceId id;
+        id.hi = slot.hi.load(std::memory_order_relaxed);
+        id.lo = slot.lo.load(std::memory_order_relaxed);
+        if (slot.version.load(std::memory_order_acquire) == v0) {
+          snap.exemplars[i] = id;
+          break;
+        }
+      }
+    }
+  }
   return snap;
 }
 

@@ -1,0 +1,211 @@
+#include "treu/obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace treu::obs {
+
+SloMonitor::SloMonitor(const SloConfig &config, Registry &registry)
+    : config_(config), registry_(registry) {
+  if (config_.window_slices == 0) {
+    throw std::invalid_argument("SloMonitor: window_slices must be >= 1");
+  }
+  if (config_.error_budget <= 0.0) {
+    throw std::invalid_argument("SloMonitor: error_budget must be > 0");
+  }
+}
+
+SloMonitor::~SloMonitor() { stop(); }
+
+std::int64_t SloMonitor::now_us() const {
+  if (config_.clock) return config_.clock();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SloMonitor::set_gauge(const std::string &name, std::int64_t value) {
+  // Gauges are additive; remember what we last emitted so re-emission is a
+  // delta and the merged gauge always reads the latest value.
+  std::int64_t &emitted = gauge_emitted_[name];
+  if (value != emitted) {
+    registry_.gauge(name)->add(value - emitted);
+    emitted = value;
+  }
+}
+
+void SloMonitor::tick() {
+  std::lock_guard lock(mu_);
+  const MetricsSnapshot snap = registry_.snapshot();
+
+  const auto counter_value = [&snap](const std::string &name) {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? std::uint64_t{0} : it->second;
+  };
+  const std::uint64_t success = counter_value(config_.success_counter);
+  std::uint64_t errors = 0;
+  for (const std::string &name : config_.error_counters) {
+    errors += counter_value(name);
+  }
+
+  Slice slice;
+  slice.success = success - last_success_;
+  slice.errors = errors - last_errors_;
+  last_success_ = success;
+  last_errors_ = errors;
+
+  const auto hist_it = snap.histograms.find(config_.latency_histogram);
+  if (hist_it != snap.histograms.end()) {
+    const HistogramSnapshot &h = hist_it->second;
+    if (bucket_bounds_.empty()) {
+      bucket_bounds_ = h.upper_bounds;
+      last_buckets_.assign(h.buckets.size(), 0);
+    }
+    slice.latency_buckets.resize(h.buckets.size());
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      slice.latency_buckets[i] = h.buckets[i] - last_buckets_[i];
+    }
+    last_buckets_ = h.buckets;
+  }
+
+  window_.push_back(std::move(slice));
+  while (window_.size() > config_.window_slices) window_.pop_front();
+  ++ticks_;
+
+  // Evaluate the window.
+  std::uint64_t w_success = 0;
+  std::uint64_t w_errors = 0;
+  std::vector<std::uint64_t> w_buckets;
+  for (const Slice &s : window_) {
+    w_success += s.success;
+    w_errors += s.errors;
+    if (!s.latency_buckets.empty()) {
+      if (w_buckets.empty()) w_buckets.assign(s.latency_buckets.size(), 0);
+      for (std::size_t i = 0; i < s.latency_buckets.size(); ++i) {
+        w_buckets[i] += s.latency_buckets[i];
+      }
+    }
+  }
+
+  Snapshot result;
+  result.slices = ticks_;
+  result.window_success = w_success;
+  result.window_errors = w_errors;
+  const std::uint64_t total = w_success + w_errors;
+  result.goodput =
+      total == 0 ? 1.0
+                 : static_cast<double>(w_success) / static_cast<double>(total);
+  const double error_fraction = 1.0 - result.goodput;
+  result.burn_rate = error_fraction / config_.error_budget;
+
+  // p99 by linear interpolation inside the covering bucket. The +inf
+  // bucket has no upper bound; report the last finite bound (the honest
+  // floor — "at least this much").
+  if (!w_buckets.empty()) {
+    std::uint64_t count = 0;
+    for (const std::uint64_t c : w_buckets) count += c;
+    if (count > 0) {
+      const double target = 0.99 * static_cast<double>(count);
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < w_buckets.size(); ++i) {
+        const std::uint64_t prev_cum = cum;
+        cum += w_buckets[i];
+        if (static_cast<double>(cum) >= target) {
+          if (i >= bucket_bounds_.size()) {
+            result.p99_us = bucket_bounds_.empty() ? 0.0 : bucket_bounds_.back();
+          } else {
+            const double lo = i == 0 ? 0.0 : bucket_bounds_[i - 1];
+            const double hi = bucket_bounds_[i];
+            const double in_bucket = static_cast<double>(w_buckets[i]);
+            const double frac =
+                in_bucket == 0.0
+                    ? 1.0
+                    : (target - static_cast<double>(prev_cum)) / in_bucket;
+            result.p99_us = lo + frac * (hi - lo);
+          }
+          break;
+        }
+      }
+    }
+  }
+  snapshot_ = result;
+
+  // Gauges: integer-scaled where fractional.
+  const std::string &p = config_.gauge_prefix;
+  set_gauge(p + ".goodput_bp",
+            static_cast<std::int64_t>(std::llround(result.goodput * 10000.0)));
+  set_gauge(p + ".p99_us",
+            static_cast<std::int64_t>(std::llround(result.p99_us)));
+  set_gauge(p + ".burn_rate_milli",
+            static_cast<std::int64_t>(std::llround(result.burn_rate * 1000.0)));
+  set_gauge(p + ".window_errors", static_cast<std::int64_t>(w_errors));
+
+  // Breach detection — only meaningful once the window saw traffic.
+  const std::int64_t stamp = now_us();
+  const auto breach = [&](SloBreach::Kind kind, double measured,
+                          double threshold) {
+    breaches_.push_back({ticks_, stamp, kind, measured, threshold});
+    registry_.counter(p + ".breaches_total")->add(1);
+  };
+  if (total > 0 && result.goodput < config_.goodput_slo) {
+    breach(SloBreach::Kind::Goodput, result.goodput, config_.goodput_slo);
+  }
+  if (config_.p99_slo_us > 0.0 && result.p99_us > config_.p99_slo_us) {
+    breach(SloBreach::Kind::P99, result.p99_us, config_.p99_slo_us);
+  }
+  if (total > 0 && result.burn_rate >= config_.burn_rate_threshold) {
+    breach(SloBreach::Kind::BurnRate, result.burn_rate,
+           config_.burn_rate_threshold);
+  }
+}
+
+void SloMonitor::start() {
+  std::lock_guard lock(bg_mu_);
+  if (bg_.joinable()) return;
+  bg_stop_ = false;
+  bg_ = std::thread([this] {
+    std::unique_lock bg_lock(bg_mu_);
+    while (!bg_stop_) {
+      if (bg_cv_.wait_for(bg_lock, config_.cadence,
+                          [this] { return bg_stop_; })) {
+        return;
+      }
+      bg_lock.unlock();
+      tick();
+      bg_lock.lock();
+    }
+  });
+}
+
+void SloMonitor::stop() {
+  {
+    std::lock_guard lock(bg_mu_);
+    bg_stop_ = true;
+    bg_cv_.notify_all();
+  }
+  if (bg_.joinable()) bg_.join();
+}
+
+SloMonitor::Snapshot SloMonitor::current() const {
+  std::lock_guard lock(mu_);
+  return snapshot_;
+}
+
+std::vector<SloBreach> SloMonitor::breaches() const {
+  std::lock_guard lock(mu_);
+  return breaches_;
+}
+
+std::string SloMonitor::breach_log_string() const {
+  std::vector<SloBreach> log = breaches();
+  std::ostringstream out;
+  for (const SloBreach &b : log) {
+    out << "slice=" << b.slice << " at_us=" << b.at_us
+        << " kind=" << to_string(b.kind) << " measured=" << b.measured
+        << " threshold=" << b.threshold << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace treu::obs

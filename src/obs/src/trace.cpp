@@ -15,10 +15,11 @@ namespace {
 struct EventRow {
   std::uint64_t ts_us;
   std::uint64_t seq;
-  char phase;  // 'B', 'E', 'C'
+  char phase;  // 'B', 'E', 'C', 'X'
   const std::string *name;
   std::uint32_t tid;
-  double value;  // C only
+  double value;                    // C only
+  const SpanRecord *span = nullptr;  // X only: causal linkage payload
 };
 
 }  // namespace
@@ -37,6 +38,23 @@ void TraceCollector::record_span(SpanRecord record) {
     return;
   }
   spans_.push_back(std::move(record));
+}
+
+void TraceCollector::record_causal_span(std::string name,
+                                        const TraceContext &ctx,
+                                        std::uint64_t start_us,
+                                        std::uint64_t end_us) {
+  SpanRecord record;
+  record.name = std::move(name);
+  record.tid = this_thread_tid();
+  record.start_us = start_us;
+  record.end_us = end_us;
+  record.start_seq = next_seq();
+  record.end_seq = next_seq();
+  record.trace = ctx.id;
+  record.span_id = ctx.span_id;
+  record.parent_span_id = ctx.parent_span_id;
+  record_span(std::move(record));
 }
 
 void TraceCollector::counter_event(std::string name, double value) {
@@ -64,6 +82,51 @@ std::vector<SpanRecord> TraceCollector::spans() const {
   return spans_;
 }
 
+std::vector<SpanRecord> TraceCollector::spans_for(const TraceId &trace) const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard lock(mu_);
+    for (const SpanRecord &s : spans_) {
+      if (s.trace == trace) out.push_back(s);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord &a, const SpanRecord &b) {
+              return a.span_id != b.span_id ? a.span_id < b.span_id
+                                            : a.name < b.name;
+            });
+  return out;
+}
+
+std::string TraceCollector::causal_tree_string() const {
+  std::vector<SpanRecord> causal;
+  {
+    std::lock_guard lock(mu_);
+    for (const SpanRecord &s : spans_) {
+      if (s.causal()) causal.push_back(s);
+    }
+  }
+  std::sort(causal.begin(), causal.end(),
+            [](const SpanRecord &a, const SpanRecord &b) {
+              if (a.trace.hi != b.trace.hi) return a.trace.hi < b.trace.hi;
+              if (a.trace.lo != b.trace.lo) return a.trace.lo < b.trace.lo;
+              if (a.span_id != b.span_id) return a.span_id < b.span_id;
+              return a.name < b.name;
+            });
+  std::string out;
+  const TraceId *current = nullptr;
+  for (const SpanRecord &s : causal) {
+    if (current == nullptr || !(*current == s.trace)) {
+      out += "trace " + s.trace.hex() + "\n";
+      current = &s.trace;
+    }
+    out += "  span=" + std::to_string(s.span_id) +
+           " parent=" + std::to_string(s.parent_span_id) + " " + s.name +
+           "\n";
+  }
+  return out;
+}
+
 void TraceCollector::set_capacity(std::size_t max_records) {
   std::lock_guard lock(mu_);
   capacity_ = max_records;
@@ -88,6 +151,14 @@ std::string TraceCollector::to_chrome_json() const {
   std::vector<EventRow> rows;
   rows.reserve(2 * spans.size() + counters.size());
   for (const SpanRecord &s : spans) {
+    if (s.causal()) {
+      // Causal spans are recorded retrospectively (at fulfillment), so
+      // their B/E rows could interleave improperly with live RAII spans on
+      // the same thread; Chrome 'X' complete events need no balancing and
+      // carry the trace linkage in args.
+      rows.push_back({s.start_us, s.start_seq, 'X', &s.name, s.tid, 0.0, &s});
+      continue;
+    }
     rows.push_back({s.start_us, s.start_seq, 'B', &s.name, s.tid, 0.0});
     rows.push_back({s.end_us, s.end_seq, 'E', &s.name, s.tid, 0.0});
   }
@@ -111,6 +182,15 @@ std::string TraceCollector::to_chrome_json() const {
     if (row.phase == 'C') {
       json::Object args;
       args.emplace("value", row.value);
+      ev.emplace("args", std::move(args));
+    } else if (row.phase == 'X') {
+      ev.emplace("dur", static_cast<std::int64_t>(
+                            row.span->end_us - row.span->start_us));
+      json::Object args;
+      args.emplace("trace_id", row.span->trace.hex());
+      args.emplace("span_id", static_cast<std::int64_t>(row.span->span_id));
+      args.emplace("parent_span_id",
+                   static_cast<std::int64_t>(row.span->parent_span_id));
       ev.emplace("args", std::move(args));
     }
     events.push_back(std::move(ev));

@@ -73,7 +73,22 @@
 //    serve.retry.attempts / serve.retry.exhausted counters, the
 //    serve.queue_depth and serve.breaker.state gauges, and the
 //    serve.batch_size / serve.queue_latency_us / serve.batch_forward_us
-//    histograms.
+//    histograms. (serve.failed_total appears only once a request actually
+//    fails, so fault-free telemetry is unchanged.)
+//  - Causal tracing (obs/causal.hpp): every request gets a TraceContext
+//    whose 128-bit id is a pure function of (trace_seed, submission
+//    index), so two same-seed runs assign identical ids to the k-th
+//    submitted request. `trace_sample_rate` head-samples traces
+//    deterministically; a sampled request's full path — root lifetime,
+//    queue wait, each predict attempt, terminal outcome — is emitted as
+//    causally-linked spans at fulfilment (span ids follow the fixed
+//    scheme in causal.hpp, so the (id, parent) tree is reproducible).
+//    Every lifecycle edge also drops a compact event into the always-on
+//    flight recorder (enqueue/reject/shed, dequeue, predict attempts,
+//    retries, breaker transitions, fulfilment), stamped with the
+//    request's trace-id low word for post-hoc causal reconstruction.
+//    All of it defaults off: rate 0 plus a disabled recorder leaves the
+//    serving output and telemetry byte-identical to pre-tracing builds.
 
 #include <algorithm>
 #include <array>
@@ -127,6 +142,15 @@ struct ServeConfig {
   /// Optional fault-injection hook, consulted once per predict attempt.
   /// Not owned; must outlive the server.
   fault::Injector *injector = nullptr;
+
+  /// Fraction of requests whose full causal path is recorded as linked
+  /// spans in the global TraceCollector. Head-based and deterministic: a
+  /// trace is sampled iff head_sample(id, rate), a pure function of the
+  /// id. 0 (default) records nothing.
+  double trace_sample_rate = 0.0;
+  /// Seed for trace-id derivation: request k gets derive_trace_id(
+  /// trace_seed, k) in submission order. Same seed -> same ids.
+  std::uint64_t trace_seed = 0;
 };
 
 /// The error a rejected request's future carries.
@@ -152,6 +176,7 @@ struct Served {
   std::string weight_hash;     // hex SHA-256 of the serving replica's weights
   std::size_t batch_size = 0;  // size of the batch this rode in
   double queue_us = 0.0;       // admission -> dispatch latency
+  obs::TraceId trace;          // deterministic causal trace id of the request
 };
 
 /// Exact internal counters (independent of TREU_OBS_ENABLED).
@@ -208,7 +233,13 @@ class BatchServer {
       Model *m = replicas[i];
       if (m == nullptr) throw std::invalid_argument("BatchServer: null replica");
       free_.push_back({m, m->weight_hash(), i});
-      breakers_.push_back(std::make_unique<CircuitBreaker>(config_.breaker));
+      BreakerConfig breaker_config = config_.breaker;
+      breaker_config.id = i;  // flight-recorder events name the replica
+      breakers_.push_back(std::make_unique<CircuitBreaker>(breaker_config));
+    }
+    if (config_.trace_sample_rate < 0.0 || config_.trace_sample_rate > 1.0) {
+      throw std::invalid_argument(
+          "BatchServer: trace_sample_rate outside [0,1]");
     }
     // Admission caps per priority class. With the watermark at 1.0 every
     // cap equals max_pending, and since the hard bound rejects first,
@@ -259,13 +290,21 @@ class BatchServer {
       In input, Priority priority = Priority::Normal) {
     std::promise<Response> promise;
     std::future<Response> fut = promise.get_future();
+    obs::TraceContext trace;
     {
       std::lock_guard lock(mu_);
+      // Every submit — accepted or not — consumes one deterministic trace
+      // identity, so the k-th submit of a seeded run always maps to
+      // derive_trace_id(trace_seed, k) regardless of admission outcome.
+      trace = obs::TraceContext::root(config_.trace_seed, next_request_seq_++,
+                                      config_.trace_sample_rate);
       if (!accepting_ || queue_.size() >= config_.max_pending) {
         ++stats_.rejected;
         promise.set_exception(std::make_exception_ptr(RejectedError(
             accepting_ ? detail::kQueueFullMsg : detail::kShutDownMsg)));
         TREU_OBS_COUNTER_ADD("serve.rejected_total", 1);
+        TREU_OBS_FR_EVENT(Reject, trace.id.lo, queue_.size(),
+                          accepting_ ? 1 : 0);
         return fut;
       }
       if (queue_.size() >= shed_cap_[static_cast<std::size_t>(priority)]) {
@@ -273,11 +312,20 @@ class BatchServer {
         promise.set_exception(
             std::make_exception_ptr(ShedError(detail::kShedMsg)));
         TREU_OBS_COUNTER_ADD("serve.shed_total", 1);
+        TREU_OBS_FR_EVENT(Shed, trace.id.lo, queue_.size(),
+                          static_cast<std::uint64_t>(priority));
         return fut;
       }
       ++stats_.accepted;
-      queue_.push_back(Pending{std::move(input), std::move(promise),
-                               std::chrono::steady_clock::now()});
+      Pending p;
+      p.input = std::move(input);
+      p.promise = std::move(promise);
+      p.enqueued = std::chrono::steady_clock::now();
+      p.trace = trace;
+      if (trace.sampled) p.enq_us = obs_now_us();
+      queue_.push_back(std::move(p));
+      TREU_OBS_FR_EVENT(Enqueue, trace.id.lo, queue_.size(),
+                        static_cast<std::uint64_t>(priority));
     }
     TREU_OBS_COUNTER_ADD("serve.requests_total", 1);
     TREU_OBS_GAUGE_ADD("serve.queue_depth", 1);
@@ -384,6 +432,7 @@ class BatchServer {
       std::lock_guard lock(mu_);
       ++stats_.reloads;
       TREU_OBS_COUNTER_ADD("serve.reload.success", 1);
+      TREU_OBS_FR_EVENT(Reload, 0, fleet, 1);
       return report;
     }
 
@@ -404,6 +453,7 @@ class BatchServer {
       ++stats_.reload_rollbacks;
     }
     TREU_OBS_COUNTER_ADD("serve.reload.rollbacks", 1);
+    TREU_OBS_FR_EVENT(ReloadRollback, 0, updated.size(), 0);
     return report;
   }
 
@@ -436,18 +486,73 @@ class BatchServer {
     In input;
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point enqueued;
+    obs::TraceContext trace;    // deterministic identity + sampling decision
+    std::uint64_t enq_us = 0;   // TraceCollector clock at admission (sampled)
   };
   struct Replica {
     Model *model;
     std::string hash;
     std::size_t index;
   };
+  /// One predict attempt's timing window, kept only while the batch holds
+  /// at least one sampled request (see Batch::traced).
+  struct AttemptWindow {
+    std::uint64_t start_us = 0;
+    std::uint64_t end_us = 0;
+    bool ok = false;
+  };
   struct Batch {
     std::vector<Pending> items;
     Replica replica;
     std::chrono::steady_clock::time_point dispatched;
     std::uint64_t id = 0;  // deterministic retry-jitter key
+    bool traced = false;   // any item sampled -> collect attempt windows
+    std::uint64_t dispatch_us = 0;  // TraceCollector clock at dispatch
+    std::vector<AttemptWindow> attempts;
   };
+
+#if TREU_OBS_ENABLED
+  static std::uint64_t obs_now_us() {
+    return obs::TraceCollector::global().now_us();
+  }
+
+  /// Emit the full causal path of one sampled request at its terminal
+  /// moment: root lifetime, queue wait, each predict attempt of the batch
+  /// it rode in, and a zero-length outcome marker. Emitting everything at
+  /// fulfilment (rather than live) keeps the per-trace span set atomic —
+  /// a trace is either fully present or fully absent in the collector.
+  void emit_request_trace(const Pending &item, const Batch &batch,
+                          std::uint64_t end_us, const char *outcome) {
+    if (!item.trace.active()) return;
+    auto &tc = obs::TraceCollector::global();
+    tc.record_causal_span("serve.request", item.trace, item.enq_us, end_us);
+    tc.record_causal_span("serve.queue", item.trace.child(obs::kSpanQueue),
+                          item.enq_us, batch.dispatch_us);
+    for (std::size_t k = 0; k < batch.attempts.size(); ++k) {
+      const AttemptWindow &w = batch.attempts[k];
+      tc.record_causal_span(w.ok ? "serve.attempt.ok" : "serve.attempt.fail",
+                            item.trace.child(obs::span_id_attempt(k)),
+                            w.start_us, w.end_us);
+    }
+    tc.record_causal_span(outcome, item.trace.child(obs::kSpanOutcome),
+                          end_us, end_us);
+  }
+
+  /// Causal path of a request that expired while still queued: no batch,
+  /// no attempts — root, queue wait, deadline outcome.
+  void emit_queue_expiry_trace(const Pending &item) {
+    if (!item.trace.active()) return;
+    const std::uint64_t now = obs_now_us();
+    auto &tc = obs::TraceCollector::global();
+    tc.record_causal_span("serve.request", item.trace, item.enq_us, now);
+    tc.record_causal_span("serve.queue", item.trace.child(obs::kSpanQueue),
+                          item.enq_us, now);
+    tc.record_causal_span("serve.outcome.deadline",
+                          item.trace.child(obs::kSpanOutcome), now, now);
+  }
+#else
+  static std::uint64_t obs_now_us() { return 0; }
+#endif
 
   /// Wait until the replica with this construction index returns to free_
   /// and take it out of rotation. Batches notify cv_ when they retire a
@@ -551,6 +656,10 @@ class BatchServer {
               std::make_exception_ptr(DeadlineError(detail::kDeadlineMsg)));
           ++stats_.deadline_missed;
           ++expired;
+          TREU_OBS_FR_EVENT(DeadlineMiss, p.trace.id.lo, 0, 0);
+#if TREU_OBS_ENABLED
+          emit_queue_expiry_trace(p);
+#endif
           continue;
         }
         batch.items.push_back(std::move(p));
@@ -574,6 +683,21 @@ class BatchServer {
         continue;
       }
       batch.id = next_batch_id_++;
+      // One formation event per batch, not per item: every item's outcome
+      // event (Fulfill / RequestFail) carries the batch id, so a trace's
+      // batch is recoverable from its terminal event and the per-item
+      // record cost stays at admit + outcome.
+      TREU_OBS_FR_EVENT(Dequeue, batch.items[0].trace.id.lo, batch.id,
+                        batch.replica.index);
+#if TREU_OBS_ENABLED
+      for (const Pending &p : batch.items) {
+        if (p.trace.sampled) {
+          batch.traced = true;
+          break;
+        }
+      }
+      if (batch.traced) batch.dispatch_us = obs_now_us();
+#endif
       ++in_flight_;
       ++stats_.batches;
       if (n > stats_.max_batch) stats_.max_batch = n;
@@ -592,7 +716,12 @@ class BatchServer {
                                                       p.enqueued)
                 .count();
         (void)waited_us;
-        TREU_OBS_HISTOGRAM_OBSERVE("serve.queue_latency_us", waited_us);
+        if (p.trace.sampled) {
+          TREU_OBS_HISTOGRAM_OBSERVE_EXEMPLAR("serve.queue_latency_us",
+                                              waited_us, p.trace.id);
+        } else {
+          TREU_OBS_HISTOGRAM_OBSERVE("serve.queue_latency_us", waited_us);
+        }
       }
 
       // Fire and forget: completion is reported through the per-request
@@ -614,20 +743,31 @@ class BatchServer {
     std::vector<Out> outputs;
     std::exception_ptr error;
     std::uint64_t retries = 0;
+    const std::uint64_t lead_lo = batch.items[0].trace.id.lo;
+    (void)lead_lo;
     for (std::size_t attempt = 0; attempt < config_.retry.max_attempts;
          ++attempt) {
       if (attempt > 0) {
         ++retries;
         TREU_OBS_COUNTER_ADD("serve.retry.attempts", 1);
         TREU_OBS_SPAN(backoff_span, "serve.retry_backoff");
-        std::this_thread::sleep_for(
-            backoff_delay(config_.retry, attempt - 1, batch.id));
+        const auto delay = backoff_delay(config_.retry, attempt - 1, batch.id);
+        TREU_OBS_FR_EVENT(Retry, lead_lo, batch.id,
+                          static_cast<std::uint64_t>(delay.count()));
+        std::this_thread::sleep_for(delay);
       }
       error = nullptr;
       fault::FaultDecision decision;
       if (config_.injector != nullptr) {
         decision = config_.injector->decide(batch.replica.index, inputs.size());
+        if (decision.kind != fault::FaultKind::None) {
+          TREU_OBS_FR_EVENT(FaultInjected, lead_lo, batch.replica.index,
+                            static_cast<std::uint64_t>(decision.kind));
+        }
       }
+      TREU_OBS_FR_EVENT(PredictStart, lead_lo, batch.id, attempt);
+      AttemptWindow window;
+      if (batch.traced) window.start_us = obs_now_us();
       {
         TREU_OBS_SCOPED_LATENCY_US(fwd_timer, "serve.batch_forward_us");
         try {
@@ -651,10 +791,17 @@ class BatchServer {
           error = std::current_exception();
         }
       }
+      if (batch.traced) {
+        window.end_us = obs_now_us();
+        window.ok = !error;
+        batch.attempts.push_back(window);
+      }
       if (error) {
         breaker.record_failure();
+        TREU_OBS_FR_EVENT(PredictFail, lead_lo, batch.id, attempt);
       } else {
         breaker.record_success();
+        TREU_OBS_FR_EVENT(PredictOk, lead_lo, batch.id, attempt);
         break;
       }
     }
@@ -663,20 +810,38 @@ class BatchServer {
     }
 
     const auto fulfilled = std::chrono::steady_clock::now();
+#if TREU_OBS_ENABLED
+    const std::uint64_t fulfilled_us = batch.traced ? obs_now_us() : 0;
+#endif
     std::uint64_t served = 0;
     std::uint64_t failed = 0;
     std::uint64_t missed = 0;
     for (std::size_t i = 0; i < batch.items.size(); ++i) {
+      Pending &item = batch.items[i];
       if (error) {
-        batch.items[i].promise.set_exception(error);
+        // Record the terminal event (and spans) *before* fulfilling the
+        // promise: anything the client does after observing the outcome is
+        // then guaranteed a later flight-recorder seq than the outcome
+        // itself, which is what lets a serial closed loop reproduce the
+        // full global event sequence (not just per-trace order).
+        TREU_OBS_FR_EVENT(RequestFail, item.trace.id.lo, batch.id,
+                          retries + 1);
+#if TREU_OBS_ENABLED
+        emit_request_trace(item, batch, fulfilled_us, "serve.outcome.fail");
+#endif
+        item.promise.set_exception(error);
         ++failed;
         continue;
       }
       // A response produced after the request's deadline (stalled or
       // slow batch) is a miss, not a late success.
       if (config_.deadline.count() > 0 &&
-          fulfilled - batch.items[i].enqueued > config_.deadline) {
-        batch.items[i].promise.set_exception(
+          fulfilled - item.enqueued > config_.deadline) {
+        TREU_OBS_FR_EVENT(DeadlineMiss, item.trace.id.lo, batch.id, 1);
+#if TREU_OBS_ENABLED
+        emit_request_trace(item, batch, fulfilled_us, "serve.outcome.deadline");
+#endif
+        item.promise.set_exception(
             std::make_exception_ptr(DeadlineError(detail::kDeadlineMsg)));
         ++missed;
         continue;
@@ -686,13 +851,24 @@ class BatchServer {
       r.weight_hash = batch.replica.hash;
       r.batch_size = batch.items.size();
       r.queue_us = std::chrono::duration<double, std::micro>(
-                       batch.dispatched - batch.items[i].enqueued)
+                       batch.dispatched - item.enqueued)
                        .count();
-      batch.items[i].promise.set_value(std::move(r));
+      r.trace = item.trace.id;
+      TREU_OBS_FR_EVENT(Fulfill, item.trace.id.lo, batch.id,
+                        batch.items.size());
+#if TREU_OBS_ENABLED
+      emit_request_trace(item, batch, fulfilled_us, "serve.outcome.ok");
+#endif
+      item.promise.set_value(std::move(r));
       ++served;
     }
     TREU_OBS_COUNTER_ADD("serve.responses_total", served);
     TREU_OBS_COUNTER_ADD("serve.deadline_miss", missed);
+    if (failed > 0) {
+      // Created lazily so fault-free runs emit telemetry byte-identical to
+      // builds that predate this counter (the SLO monitor reads it).
+      TREU_OBS_COUNTER_ADD("serve.failed_total", failed);
+    }
 
     {
       // Notify under the lock: once mu_ is released with in_flight_ == 0 a
@@ -725,6 +901,7 @@ class BatchServer {
   std::function<void(Out &)> corrupter_;
   std::size_t in_flight_ = 0;
   std::uint64_t next_batch_id_ = 0;
+  std::uint64_t next_request_seq_ = 0;  // deterministic trace-id index
   bool accepting_ = true;
   bool stop_ = false;
   ServeStats stats_;

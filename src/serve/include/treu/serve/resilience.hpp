@@ -107,6 +107,10 @@ struct BreakerConfig {
   /// Microsecond clock. Leave empty for steady_clock wall time; tests
   /// inject a counter to drive cooldowns in virtual time.
   std::function<std::int64_t()> clock;
+  /// Identity stamped into flight-recorder transition events so a dump can
+  /// tell which replica's breaker tripped (BatchServer sets it to the
+  /// replica's construction index).
+  std::uint64_t id = 0;
 };
 
 /// Per-replica circuit breaker: closed -> open after failure_threshold
@@ -130,6 +134,7 @@ class CircuitBreaker {
             static_cast<std::int64_t>(config_.cooldown.count())) {
           state_ = BreakerState::HalfOpen;
           probe_in_flight_ = true;
+          TREU_OBS_FR_EVENT(BreakerHalfOpen, 0, config_.id, 0);
           return true;
         }
         return false;
@@ -149,6 +154,7 @@ class CircuitBreaker {
     if (state_ != BreakerState::Closed) {
       state_ = BreakerState::Closed;
       TREU_OBS_GAUGE_ADD("serve.breaker.state", -1);
+      TREU_OBS_FR_EVENT(BreakerClose, 0, config_.id, 0);
     }
   }
 
@@ -177,6 +183,7 @@ class CircuitBreaker {
       opened_at_us_ = now_us();
       ++opened_count_;
       TREU_OBS_COUNTER_ADD("serve.breaker.opened_total", 1);
+      TREU_OBS_FR_EVENT(BreakerOpen, 0, config_.id, opened_count_);
       return;
     }
     if (state_ == BreakerState::Open) return;  // already open; don't extend
@@ -187,6 +194,7 @@ class CircuitBreaker {
       ++opened_count_;
       TREU_OBS_GAUGE_ADD("serve.breaker.state", 1);
       TREU_OBS_COUNTER_ADD("serve.breaker.opened_total", 1);
+      TREU_OBS_FR_EVENT(BreakerOpen, 0, config_.id, opened_count_);
     }
   }
 

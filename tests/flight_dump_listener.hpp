@@ -1,0 +1,76 @@
+#pragma once
+
+// Opt-in flight-recorder black box for test binaries (docs/observability.md).
+//
+// When the environment asks for it, this listener turns the global flight
+// recorder on for the whole test program and ships its merged rings as a
+// JSON dump the moment something goes wrong — a failing assertion (via a
+// gtest event listener) or a crash signal (via the recorder's async-safe
+// handler). Soak runs use it through scripts/run_soak.sh, CI through the
+// upload-on-failure artifact steps; with neither variable set the header is
+// completely inert and the recorder stays off.
+//
+//   TREU_FLIGHT_DUMP=<path>      dump to exactly <path>
+//   TREU_FLIGHT_DUMP_DIR=<dir>   dump to <dir>/<binary>.flight.json
+//
+// Usage (once per test binary, at namespace scope):
+//
+//   #include "flight_dump_listener.hpp"
+//   TREU_INSTALL_FLIGHT_DUMP("my_test");
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "treu/obs/flight_recorder.hpp"
+
+namespace treu::testing {
+
+/// Dumps the recorder after every failed test (overwriting: the newest
+/// failure's evidence wins, and the dump carries everything recorded since
+/// the program started, earlier failures included).
+class FlightDumpListener final : public ::testing::EmptyTestEventListener {
+ public:
+  explicit FlightDumpListener(std::string path) : path_(std::move(path)) {}
+
+  void OnTestEnd(const ::testing::TestInfo &info) override {
+    if (info.result() == nullptr || !info.result()->Failed()) return;
+    const std::string run = std::string(info.test_suite_name()) + "." +
+                            info.name();
+    if (obs::FlightRecorder::global().dump(path_, run)) {
+      std::printf("[flight recorder] %s -> %s\n", run.c_str(), path_.c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+};
+
+/// Reads the TREU_FLIGHT_DUMP / TREU_FLIGHT_DUMP_DIR contract; enables the
+/// recorder, arms the crash handler, and registers the failure listener.
+/// Returns false (and changes nothing) when neither variable is set.
+inline bool install_flight_dump(const char *binary_name) {
+  const char *path_env = std::getenv("TREU_FLIGHT_DUMP");
+  const char *dir_env = std::getenv("TREU_FLIGHT_DUMP_DIR");
+  if (path_env == nullptr && dir_env == nullptr) return false;
+  const std::string path =
+      path_env != nullptr
+          ? std::string(path_env)
+          : std::string(dir_env) + "/" + binary_name + ".flight.json";
+  auto &fr = obs::FlightRecorder::global();
+  fr.set_enabled(true);
+  fr.install_crash_handler(path);
+  // Pre-main registration is fine: UnitTest::GetInstance() constructs the
+  // singleton on first use and listeners survive InitGoogleTest.
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new FlightDumpListener(path));
+  return true;
+}
+
+}  // namespace treu::testing
+
+#define TREU_INSTALL_FLIGHT_DUMP(binary_name)             \
+  static const bool treu_flight_dump_installed_ =         \
+      ::treu::testing::install_flight_dump(binary_name)

@@ -37,6 +37,12 @@
 #include "treu/rl/env.hpp"
 #include "treu/unlearn/unlearn.hpp"
 
+#include "flight_dump_listener.hpp"
+
+// Soak black box: with TREU_FLIGHT_DUMP[_DIR] set, a failing or crashing
+// seed leaves a flight-recorder dump next to its log (scripts/run_soak.sh).
+TREU_INSTALL_FLIGHT_DUMP("guard_test");
+
 namespace ckpt = treu::ckpt;
 namespace fault = treu::fault;
 namespace guard = treu::guard;

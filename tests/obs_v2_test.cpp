@@ -1,0 +1,556 @@
+// treu::obs v2 unit tier: deterministic trace identity and sampling,
+// histogram exemplars (including torn-pair safety under concurrent
+// writers), the flight recorder's ring semantics (wraparound, concurrent
+// writers, recycling across thread churn, dump formats), and the SLO
+// monitor driven in virtual time.
+//
+// Cross-layer behaviour (trace trees out of a live BatchServer, causal-path
+// reconstruction from a dump) lives in serve_trace_test.cpp; this file
+// tests each primitive in isolation. Runs under TSan in CI — the
+// concurrent-writer tests are the reason.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "treu/obs/causal.hpp"
+#include "treu/obs/flight_recorder.hpp"
+#include "treu/obs/json.hpp"
+#include "treu/obs/metrics.hpp"
+#include "treu/obs/slo.hpp"
+
+namespace obs = treu::obs;
+
+namespace {
+
+// ---- trace identity --------------------------------------------------------
+
+TEST(CausalTrace, TraceIdIsAPureFunctionOfSeedAndSeq) {
+  const obs::TraceId a = obs::derive_trace_id(42, 7);
+  const obs::TraceId b = obs::derive_trace_id(42, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.valid());
+  EXPECT_NE(a, obs::derive_trace_id(42, 8));
+  EXPECT_NE(a, obs::derive_trace_id(43, 7));
+  EXPECT_EQ(a.hex().size(), 32u);
+  EXPECT_NE(a.hex(), obs::derive_trace_id(42, 8).hex());
+}
+
+TEST(CausalTrace, SequentialSeqsGiveWellSpreadIds) {
+  // The ids seed head sampling and exemplar slots: consecutive request
+  // numbers must not produce clustered low words.
+  std::set<std::uint64_t> los;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    los.insert(obs::derive_trace_id(1, k).lo);
+  }
+  EXPECT_EQ(los.size(), 1000u);
+}
+
+TEST(CausalTrace, HeadSamplingIsDeterministicAndProportional) {
+  const obs::TraceId id = obs::derive_trace_id(3, 11);
+  EXPECT_FALSE(obs::head_sample(id, 0.0));
+  EXPECT_TRUE(obs::head_sample(id, 1.0));
+  EXPECT_EQ(obs::head_sample(id, 0.3), obs::head_sample(id, 0.3));
+
+  int kept = 0;
+  const int n = 20000;
+  for (int k = 0; k < n; ++k) {
+    if (obs::head_sample(obs::derive_trace_id(9, static_cast<std::uint64_t>(k)),
+                         0.25)) {
+      ++kept;
+    }
+  }
+  const double fraction = static_cast<double>(kept) / n;
+  EXPECT_NEAR(fraction, 0.25, 0.02);
+}
+
+TEST(CausalTrace, ContextChildKeepsIdAndChainsParentage) {
+  const obs::TraceContext root = obs::TraceContext::root(5, 0, 1.0);
+  EXPECT_TRUE(root.active());
+  EXPECT_EQ(root.span_id, obs::kSpanRoot);
+  EXPECT_EQ(root.parent_span_id, 0u);
+
+  const obs::TraceContext queue = root.child(obs::kSpanQueue);
+  EXPECT_EQ(queue.id, root.id);
+  EXPECT_EQ(queue.span_id, obs::kSpanQueue);
+  EXPECT_EQ(queue.parent_span_id, obs::kSpanRoot);
+
+  const obs::TraceContext unsampled = obs::TraceContext::root(5, 0, 0.0);
+  EXPECT_FALSE(unsampled.active());
+  EXPECT_TRUE(unsampled.id.valid());  // identity exists even when unsampled
+}
+
+// ---- exemplars -------------------------------------------------------------
+
+TEST(Exemplars, HistogramRemembersTheTraceOfASample) {
+  obs::Registry registry;
+  const std::vector<double> bounds{10.0, 100.0};
+  obs::Histogram *h = registry.histogram("lat", bounds);
+
+  // Plain observations never materialize the exemplars array — disabled
+  // tracing must keep telemetry output byte-identical.
+  h->observe(5.0);
+  EXPECT_TRUE(h->snapshot().exemplars.empty());
+
+  const obs::TraceId fast = obs::derive_trace_id(1, 0);
+  const obs::TraceId slow = obs::derive_trace_id(1, 1);
+  h->observe_exemplar(5.0, fast);    // bucket 0: <= 10
+  h->observe_exemplar(5000.0, slow); // bucket 2: +inf
+  const obs::HistogramSnapshot snap = h->snapshot();
+  ASSERT_EQ(snap.exemplars.size(), 3u);
+  EXPECT_EQ(snap.exemplars[0], fast);
+  EXPECT_FALSE(snap.exemplars[1].valid());  // bucket never saw a sample
+  EXPECT_EQ(snap.exemplars[2], slow);
+  EXPECT_EQ(snap.count, 3u);  // exemplar observations still count
+
+  // Last writer wins within a bucket.
+  const obs::TraceId faster = obs::derive_trace_id(1, 2);
+  h->observe_exemplar(6.0, faster);
+  EXPECT_EQ(h->snapshot().exemplars[0], faster);
+}
+
+TEST(Exemplars, ConcurrentWritersNeverProduceATornPair) {
+  obs::Registry registry;
+  obs::Histogram *h = registry.histogram("lat", std::vector<double>{1000.0});
+
+  // Every writer uses an id from one derived family, so a reader can tell a
+  // mixed hi/lo pair from any legitimate value.
+  constexpr std::uint64_t kSeed = 77;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;
+  std::map<std::uint64_t, std::uint64_t> lo_for_hi;
+  for (std::uint64_t k = 0; k < kWriters * kPerWriter; ++k) {
+    const obs::TraceId id = obs::derive_trace_id(kSeed, k);
+    lo_for_hi[id.hi] = id.lo;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::HistogramSnapshot snap = h->snapshot();
+      if (snap.exemplars.empty()) continue;
+      const obs::TraceId seen = snap.exemplars[0];
+      if (!seen.valid()) continue;
+      const auto it = lo_for_hi.find(seen.hi);
+      if (it == lo_for_hi.end() || it->second != seen.lo) {
+        torn.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const auto k =
+            static_cast<std::uint64_t>(w) * kPerWriter + static_cast<std::uint64_t>(i);
+        h->observe_exemplar(1.0, obs::derive_trace_id(kSeed, k));
+      }
+    });
+  }
+  for (auto &t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  // Contended writers may drop exemplars, but never the count.
+  EXPECT_EQ(h->snapshot().count,
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+}
+
+// ---- flight recorder -------------------------------------------------------
+
+TEST(FlightRecorder, RecordsInProcessOrderWithPayloads) {
+  obs::FlightRecorder fr;
+  fr.set_enabled(true);
+  fr.record(obs::FrEvent::Enqueue, 111, 1, 2);
+  fr.record(obs::FrEvent::Dequeue, 111, 3, 0);
+  fr.record(obs::FrEvent::Fulfill, 111, 3, 8);
+
+  const std::vector<obs::FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_EQ(events[0].kind, obs::FrEvent::Enqueue);
+  EXPECT_EQ(events[0].trace_lo, 111u);
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[0].b, 2u);
+  EXPECT_EQ(events[2].kind, obs::FrEvent::Fulfill);
+  EXPECT_EQ(events[2].b, 8u);
+  EXPECT_STREQ(obs::to_string(events[1].kind), "dequeue");
+  EXPECT_EQ(fr.overwritten(), 0u);
+}
+
+TEST(FlightRecorder, DisabledRecordsNothing) {
+  obs::FlightRecorder fr;
+  fr.record(obs::FrEvent::Mark, 1, 2, 3);  // default: disabled
+  EXPECT_TRUE(fr.snapshot().empty());
+  fr.set_enabled(true);
+  fr.record(obs::FrEvent::Mark, 1, 2, 3);
+  fr.set_enabled(false);
+  fr.record(obs::FrEvent::Mark, 4, 5, 6);
+  EXPECT_EQ(fr.snapshot().size(), 1u);
+}
+
+TEST(FlightRecorder, WraparoundKeepsTheNewestEventsAndCountsTheRest) {
+  obs::FlightRecorder fr;
+  fr.set_capacity_per_thread(8);
+  fr.set_enabled(true);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    fr.record(obs::FrEvent::Mark, 0, i, 0);
+  }
+  const std::vector<obs::FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(fr.overwritten(), 92u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 92 + i) << "ring must keep exactly the last 8";
+  }
+
+  fr.clear();
+  EXPECT_TRUE(fr.snapshot().empty());
+  EXPECT_EQ(fr.overwritten(), 0u);
+}
+
+TEST(FlightRecorder, CapacityRoundsUpToAPowerOfTwo) {
+  obs::FlightRecorder fr;
+  fr.set_capacity_per_thread(100);
+  EXPECT_EQ(fr.capacity_per_thread(), 128u);
+  fr.set_capacity_per_thread(1);
+  EXPECT_EQ(fr.capacity_per_thread(), 2u);
+}
+
+TEST(FlightRecorder, ConcurrentWritersLoseNothingAcrossRings) {
+  // Each thread owns a ring, so N writers recording under capacity must be
+  // lossless and their seqs globally unique. A concurrent reader snapshots
+  // throughout — under TSan this is the data-race check for the
+  // all-atomic slot design.
+  obs::FlightRecorder fr;
+  fr.set_capacity_per_thread(4096);
+  fr.set_enabled(true);
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)fr.snapshot();
+      (void)fr.overwritten();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&fr, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        fr.record(obs::FrEvent::Mark, static_cast<std::uint64_t>(w), i, 0);
+      }
+    });
+  }
+  for (auto &t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const std::vector<obs::FlightEvent> events = fr.snapshot();
+  ASSERT_EQ(events.size(), kWriters * kPerWriter);
+  std::set<std::uint64_t> seqs;
+  std::map<std::uint64_t, std::uint64_t> per_writer;
+  for (const obs::FlightEvent &ev : events) {
+    seqs.insert(ev.seq);
+    ++per_writer[ev.trace_lo];
+  }
+  EXPECT_EQ(seqs.size(), events.size()) << "seqs must be globally unique";
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(per_writer[static_cast<std::uint64_t>(w)], kPerWriter);
+  }
+  // Per-writer event subsequences arrive in program order — the per-trace
+  // determinism contract at ring level.
+  std::map<std::uint64_t, std::uint64_t> last_a;
+  std::map<std::uint64_t, bool> seen;
+  for (const obs::FlightEvent &ev : events) {  // snapshot is seq-sorted
+    if (seen[ev.trace_lo]) {
+      EXPECT_EQ(ev.a, last_a[ev.trace_lo] + 1);
+    }
+    last_a[ev.trace_lo] = ev.a;
+    seen[ev.trace_lo] = true;
+  }
+}
+
+TEST(FlightRecorder, RingsAreRecycledAcrossThreadChurnAndKeepOldEvents) {
+  // Worker churn (a server per burst) must neither grow the recorder's
+  // memory without bound nor drop the dead thread's last events: the
+  // recycled ring keeps them until wraparound claims the slots.
+  obs::FlightRecorder &fr = obs::FlightRecorder::global();
+  fr.clear();
+  fr.set_enabled(true);
+  std::thread t1([&fr] { fr.record(obs::FrEvent::Mark, 0, 1001, 0); });
+  t1.join();
+  std::thread t2([&fr] { fr.record(obs::FrEvent::Mark, 0, 1002, 0); });
+  t2.join();
+  fr.set_enabled(false);
+
+  std::vector<std::uint64_t> marks;
+  std::set<std::uint32_t> tids;
+  for (const obs::FlightEvent &ev : fr.snapshot()) {
+    if (ev.kind == obs::FrEvent::Mark && ev.a >= 1001 && ev.a <= 1002) {
+      marks.push_back(ev.a);
+      tids.insert(ev.tid);
+    }
+  }
+  fr.clear();
+  ASSERT_EQ(marks.size(), 2u) << "recycling must not drop the first "
+                                 "thread's events";
+  EXPECT_EQ(marks[0], 1001u);
+  EXPECT_EQ(marks[1], 1002u);
+  EXPECT_EQ(tids.size(), 2u) << "events keep their own thread attribution";
+}
+
+TEST(FlightRecorder, DumpWritesTheDualFormatJsonArtifact) {
+  obs::FlightRecorder fr;
+  fr.set_enabled(true);
+  fr.record(obs::FrEvent::Enqueue, 42, 1, 0);
+  fr.record(obs::FrEvent::Fulfill, 42, 1, 1);
+
+  const std::string path =
+      ::testing::TempDir() + "obs_v2_flight_dump_test.json";
+  ASSERT_TRUE(fr.dump(path, "unit"));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  // Machine-parseable event list and Chrome/Perfetto track in one document.
+  const std::optional<obs::json::Value> doc =
+      obs::json::Value::parse(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  const obs::json::Value *flight = doc->find("flightEvents");
+  ASSERT_NE(flight, nullptr);
+  ASSERT_EQ(flight->as_array().size(), 2u);
+  const obs::json::Value &first = flight->as_array()[0];
+  EXPECT_EQ(first.find("kind")->as_string(), "enqueue");
+  EXPECT_EQ(first.find("trace_lo")->as_int(), 42);
+  EXPECT_EQ(first.find("a")->as_int(), 1);
+  EXPECT_EQ(flight->as_array()[1].find("kind")->as_string(), "fulfill");
+  const obs::json::Value *chrome = doc->find("traceEvents");
+  ASSERT_NE(chrome, nullptr);
+  EXPECT_EQ(chrome->as_array().size(), 2u);
+  EXPECT_EQ(chrome->as_array()[0].find("ph")->as_string(), "i");
+  const obs::json::Value *other = doc->find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->find("run")->as_string(), "unit");
+  EXPECT_EQ(other->find("overwritten")->as_int(), 0);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(fr.dump("/nonexistent-dir/x/y.json", "unit"))
+      << "dump must report unwritable paths, not throw";
+}
+
+TEST(FlightRecorder, SignalSafeDumpEmitsOneParseableLinePerEvent) {
+  obs::FlightRecorder fr;
+  fr.set_enabled(true);
+  fr.record(obs::FrEvent::GuardTrip, 7, 100, 2);
+  fr.record(obs::FrEvent::GuardRollback, 7, 100, 90);
+
+  const std::string path =
+      ::testing::TempDir() + "obs_v2_signal_dump_test.txt";
+  std::FILE *f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fr.dump_signal_safe(fileno(f));
+  std::fclose(f);
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::vector<std::uint64_t>> rows;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::vector<std::uint64_t> row;
+    std::uint64_t v = 0;
+    while (fields >> v) row.push_back(v);
+    rows.push_back(row);
+  }
+  std::remove(path.c_str());
+
+  // "seq ts tid kind trace_lo a b"
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto &row : rows) ASSERT_EQ(row.size(), 7u);
+  EXPECT_EQ(rows[0][3], static_cast<std::uint64_t>(obs::FrEvent::GuardTrip));
+  EXPECT_EQ(rows[1][3],
+            static_cast<std::uint64_t>(obs::FrEvent::GuardRollback));
+  EXPECT_EQ(rows[0][4], 7u);
+  EXPECT_EQ(rows[1][5], 100u);
+  EXPECT_EQ(rows[1][6], 90u);
+}
+
+// ---- SLO monitor -----------------------------------------------------------
+
+obs::SloConfig virtual_slo_config(std::int64_t *clock_us) {
+  obs::SloConfig config;
+  config.success_counter = "t.success";
+  config.error_counters = {"t.err"};
+  config.latency_histogram = "t.lat";
+  config.goodput_slo = 0.95;
+  config.error_budget = 0.01;
+  config.burn_rate_threshold = 5.0;
+  config.window_slices = 4;
+  config.gauge_prefix = "t.slo";
+  config.clock = [clock_us] { return *clock_us; };
+  return config;
+}
+
+TEST(SloMonitor, SlidingWindowGoodputAndBurnRate) {
+  obs::Registry registry;
+  std::int64_t clock_us = 0;
+  obs::SloMonitor monitor(virtual_slo_config(&clock_us), registry);
+
+  // Healthy traffic: 100 successes per slice for 4 slices.
+  for (int s = 0; s < 4; ++s) {
+    registry.counter("t.success")->add(100);
+    clock_us += 1000;
+    monitor.tick();
+  }
+  obs::SloMonitor::Snapshot snap = monitor.current();
+  EXPECT_EQ(snap.window_success, 400u);
+  EXPECT_EQ(snap.window_errors, 0u);
+  EXPECT_DOUBLE_EQ(snap.goodput, 1.0);
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 0.0);
+  EXPECT_TRUE(monitor.breaches().empty());
+
+  // One bad slice: 60 successes, 40 errors. Window = 360/400 success ->
+  // goodput 0.9 (< 0.95) and burn rate 10 (>= 5): two breaches at once.
+  registry.counter("t.success")->add(60);
+  registry.counter("t.err")->add(40);
+  clock_us += 1000;
+  monitor.tick();
+  snap = monitor.current();
+  EXPECT_EQ(snap.window_success, 360u);
+  EXPECT_EQ(snap.window_errors, 40u);
+  EXPECT_DOUBLE_EQ(snap.goodput, 0.9);
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 10.0);
+  const std::vector<obs::SloBreach> breaches = monitor.breaches();
+  ASSERT_EQ(breaches.size(), 2u);
+  EXPECT_EQ(breaches[0].kind, obs::SloBreach::Kind::Goodput);
+  EXPECT_EQ(breaches[1].kind, obs::SloBreach::Kind::BurnRate);
+  EXPECT_EQ(breaches[0].slice, 5u);
+  EXPECT_EQ(breaches[0].at_us, 5000);
+
+  // Four healthy slices push the bad one out of the window: recovered.
+  for (int s = 0; s < 4; ++s) {
+    registry.counter("t.success")->add(100);
+    clock_us += 1000;
+    monitor.tick();
+  }
+  EXPECT_DOUBLE_EQ(monitor.current().goodput, 1.0);
+
+  // Breaches log per evaluated tick while the window stays in violation:
+  // the bad slice sits in the 4-slice window for ticks 5-8, each logging
+  // a goodput + a burn-rate breach; tick 9's window is clean again.
+  EXPECT_EQ(monitor.breaches().size(), 8u);
+  EXPECT_EQ(monitor.breaches().back().slice, 8u);
+
+  // Gauges re-export the window state for the telemetry artifact.
+  const obs::MetricsSnapshot metrics = registry.snapshot();
+  EXPECT_EQ(metrics.gauges.at("t.slo.goodput_bp"), 10000);
+  EXPECT_EQ(metrics.gauges.at("t.slo.window_errors"), 0);
+  EXPECT_EQ(metrics.counters.at("t.slo.breaches_total"), 8u);
+}
+
+TEST(SloMonitor, P99ComesFromTheWindowLatencyHistogram) {
+  obs::Registry registry;
+  std::int64_t clock_us = 0;
+  obs::SloConfig config = virtual_slo_config(&clock_us);
+  config.p99_slo_us = 500.0;
+  obs::SloMonitor monitor(config, registry);
+
+  const std::vector<double> bounds{100.0, 1000.0};
+  obs::Histogram *lat = registry.histogram("t.lat", bounds);
+  // 90 fast, 10 slow: rank 99 falls 9/10 into the (100, 1000] bucket, so
+  // the interpolated p99 is ~910. (99 fast + 1 slow would put the rank
+  // exactly on the first bucket's upper bound — a degenerate boundary.)
+  for (int i = 0; i < 90; ++i) lat->observe(50.0);
+  for (int i = 0; i < 10; ++i) lat->observe(900.0);
+  registry.counter("t.success")->add(100);
+  clock_us += 1000;
+  monitor.tick();
+
+  const obs::SloMonitor::Snapshot snap = monitor.current();
+  EXPECT_GT(snap.p99_us, 100.0);
+  EXPECT_LE(snap.p99_us, 1000.0);
+  const std::vector<obs::SloBreach> breaches = monitor.breaches();
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].kind, obs::SloBreach::Kind::P99);
+  EXPECT_DOUBLE_EQ(breaches[0].threshold, 500.0);
+}
+
+TEST(SloMonitor, BreachLogIsByteIdenticalAcrossIdenticalRuns) {
+  const auto run = [] {
+    obs::Registry registry;
+    std::int64_t clock_us = 0;
+    obs::SloMonitor monitor(virtual_slo_config(&clock_us), registry);
+    for (int s = 0; s < 10; ++s) {
+      registry.counter("t.success")->add(90);
+      if (s % 3 == 2) registry.counter("t.err")->add(30);
+      clock_us += 1000;
+      monitor.tick();
+    }
+    return monitor.breach_log_string();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(SloMonitor, EmptyWindowNeverBreaches) {
+  obs::Registry registry;
+  std::int64_t clock_us = 0;
+  obs::SloMonitor monitor(virtual_slo_config(&clock_us), registry);
+  for (int s = 0; s < 8; ++s) {
+    clock_us += 1000;
+    monitor.tick();  // no traffic at all
+  }
+  EXPECT_TRUE(monitor.breaches().empty());
+  EXPECT_DOUBLE_EQ(monitor.current().goodput, 1.0);
+}
+
+TEST(SloMonitor, BackgroundCadenceTicksWithoutRaces) {
+  obs::Registry registry;
+  obs::SloConfig config;
+  config.success_counter = "bg.success";
+  config.error_counters = {"bg.err"};
+  config.latency_histogram = "bg.lat";
+  config.cadence = std::chrono::microseconds(200);
+  config.gauge_prefix = "bg.slo";
+  obs::SloMonitor monitor(config, registry);
+  monitor.start();
+  monitor.start();  // idempotent
+  for (int i = 0; i < 50; ++i) {
+    registry.counter("bg.success")->add(10);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  monitor.stop();
+  const std::uint64_t ticks = monitor.current().slices;
+  EXPECT_GT(ticks, 0u);
+  monitor.stop();  // idempotent
+  EXPECT_EQ(monitor.current().slices, ticks);
+}
+
+TEST(SloMonitor, RejectsDegenerateConfig) {
+  obs::Registry registry;
+  obs::SloConfig config;
+  config.window_slices = 0;
+  EXPECT_THROW(obs::SloMonitor(config, registry), std::invalid_argument);
+  config.window_slices = 4;
+  config.error_budget = 0.0;
+  EXPECT_THROW(obs::SloMonitor(config, registry), std::invalid_argument);
+}
+
+}  // namespace

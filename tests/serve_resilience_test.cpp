@@ -33,6 +33,12 @@
 #include "treu/fault/fault_plan.hpp"
 #include "treu/serve/batch_server.hpp"
 
+#include "flight_dump_listener.hpp"
+
+// Soak black box: with TREU_FLIGHT_DUMP[_DIR] set, a failing or crashing
+// seed leaves a flight-recorder dump next to its log (scripts/run_soak.sh).
+TREU_INSTALL_FLIGHT_DUMP("serve_resilience_test");
+
 namespace serve = treu::serve;
 namespace fault = treu::fault;
 namespace nn = treu::nn;
