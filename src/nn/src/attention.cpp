@@ -71,9 +71,11 @@ tensor::Matrix MultiHeadAttention::forward(const tensor::Matrix &x) {
     throw std::invalid_argument("MultiHeadAttention::forward: dim mismatch");
   }
   x_ = x;
-  q_ = tensor::matmul(x, wq_.value);
-  k_ = tensor::matmul(x, wk_.value);
-  v_ = tensor::matmul(x, wv_.value);
+  const tensor::KernelParams p = tensor::Kernel::fast_params();
+  auto &pool = tensor::Kernel::default_pool();
+  q_ = tensor::Kernel::matmul(x, wq_.value, p, pool);
+  k_ = tensor::Kernel::matmul(x, wk_.value, p, pool);
+  v_ = tensor::Kernel::matmul(x, wv_.value, p, pool);
   const std::size_t n = x.rows();
   concat_ = tensor::Matrix(n, model_dim_, 0.0);
   attn_.assign(heads_, tensor::Matrix());
@@ -82,14 +84,16 @@ tensor::Matrix MultiHeadAttention::forward(const tensor::Matrix &x) {
     const tensor::Matrix qh = head_slice(q_, h, head_dim_);
     const tensor::Matrix kh = head_slice(k_, h, head_dim_);
     const tensor::Matrix vh = head_slice(v_, h, head_dim_);
-    tensor::Matrix scores = tensor::matmul_transposed(qh, kh);  // n x n
+    tensor::Matrix scores =
+        tensor::Kernel::matmul_transposed(qh, kh, p, pool);  // n x n
     scores *= scale;
     softmax_rows(scores);
     attn_[h] = scores;
-    const tensor::Matrix oh = tensor::matmul(scores, vh);  // n x hd
+    const tensor::Matrix oh =
+        tensor::Kernel::matmul(scores, vh, p, pool);  // n x hd
     head_write(concat_, oh, h, head_dim_);
   }
-  return tensor::matmul(concat_, wo_.value);
+  return tensor::Kernel::matmul(concat_, wo_.value, p, pool);
 }
 
 tensor::Matrix MultiHeadAttention::backward(const tensor::Matrix &grad_out) {

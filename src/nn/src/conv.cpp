@@ -1,7 +1,10 @@
 #include "treu/nn/conv.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
+
+#include "treu/tensor/kernels.hpp"
 
 namespace treu::nn {
 
@@ -25,17 +28,16 @@ tensor::Matrix Conv1dSeq::forward(const tensor::Matrix &x) {
   }
   input_ = x;
   const std::size_t out_len = x.rows() - width_ + 1;
+  const tensor::KernelParams p = tensor::Kernel::fast_params();
+  auto &pool = tensor::Kernel::default_pool();
   tensor::Matrix y(out_len, filters_);
   for (std::size_t t = 0; t < out_len; ++t) {
     // The window rows [t, t+width) are contiguous in memory because the
-    // matrix is row-major: flatten once per position.
-    const double *window = x.row(t).data();
-    for (std::size_t f = 0; f < filters_; ++f) {
-      const double *wf = w_.value.row(f).data();
-      double s = b_.value(0, f);
-      for (std::size_t i = 0; i < width_ * in_dim_; ++i) s += window[i] * wf[i];
-      y(t, f) = s;
-    }
+    // matrix is row-major: each output position is one matvec of the
+    // filter bank against the flattened window.
+    const std::span<const double> window(x.row(t).data(), width_ * in_dim_);
+    const std::vector<double> s = tensor::Kernel::matvec(w_.value, window, p, pool);
+    for (std::size_t f = 0; f < filters_; ++f) y(t, f) = s[f] + b_.value(0, f);
   }
   return y;
 }

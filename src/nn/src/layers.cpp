@@ -18,21 +18,18 @@ tensor::Matrix Dense::forward(const tensor::Matrix &x) {
     throw std::invalid_argument("Dense::forward: feature dim mismatch");
   }
   input_ = x;
-  // ikj accumulation with a zero-skip: post-ReLU activations and sparse
-  // presence features (the n-gram classifier) are mostly zeros, and
-  // skipping them turns a dense O(in*out) row into O(nnz*out).
-  tensor::Matrix y(x.rows(), w_.value.cols());
+  // x @ W through the dispatch surface, with the zero-skip retained:
+  // post-ReLU activations and sparse presence features (the n-gram
+  // classifier) are mostly zeros, and skipping them turns a dense
+  // O(in*out) row into O(nnz*out).
+  tensor::KernelParams p = tensor::Kernel::fast_params();
+  p.skip_zero_a = true;
+  tensor::Matrix y =
+      tensor::Kernel::matmul(x, w_.value, p, tensor::Kernel::default_pool());
+  const auto brow = b_.value.row(0);
   for (std::size_t r = 0; r < y.rows(); ++r) {
     auto yrow = y.row(r);
-    const auto brow = b_.value.row(0);
-    for (std::size_t c = 0; c < yrow.size(); ++c) yrow[c] = brow[c];
-    const auto xrow = x.row(r);
-    for (std::size_t k = 0; k < xrow.size(); ++k) {
-      const double xv = xrow[k];
-      if (xv == 0.0) continue;
-      const auto wrow = w_.value.row(k);
-      for (std::size_t c = 0; c < yrow.size(); ++c) yrow[c] += xv * wrow[c];
-    }
+    for (std::size_t c = 0; c < yrow.size(); ++c) yrow[c] += brow[c];
   }
   return y;
 }

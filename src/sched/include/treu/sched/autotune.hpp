@@ -11,6 +11,7 @@
 // silently winning on speed.
 
 #include <cstddef>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <string>
@@ -30,6 +31,15 @@ struct TuneConfig {
   std::size_t repeats = 3;      // timing repeats per candidate
   std::uint64_t seed = 0;
   ScheduleSpace space;
+  /// Optional cost oracle replacing wall-clock measurement. Candidates are
+  /// still the same deterministic sequence; only how they are scored
+  /// changes. A pure evaluator makes the whole tune run replayable
+  /// byte-for-byte (same seed + same detected ISA => identical winner),
+  /// which timing noise cannot promise — that is what the determinism
+  /// tests pin down.
+  std::function<Measurement(const Problem &, const Schedule &,
+                            parallel::ThreadPool &, std::size_t)>
+      evaluator;
 };
 
 /// One evaluated candidate.

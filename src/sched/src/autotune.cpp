@@ -4,18 +4,27 @@
 #include <limits>
 
 #include "treu/obs/obs.hpp"
+#include "treu/tensor/kernels.hpp"
 
 namespace treu::sched {
 namespace {
 
 Evaluated evaluate(const Problem &problem, const Schedule &schedule,
-                   parallel::ThreadPool &pool, std::size_t repeats,
+                   parallel::ThreadPool &pool, const TuneConfig &config,
                    TuneResult &accounting) {
+  // Normalize the requested ISA to what this host actually dispatches, so
+  // the tuner's population (and therefore its winner) never names a backend
+  // the machine cannot run — the fallback happens here, in the data, not
+  // silently at execution time.
   Evaluated e;
   e.schedule = schedule;
+  e.schedule.params.isa = tensor::Kernel::effective(schedule.params.isa);
   {
     TREU_OBS_SCOPED_LATENCY_US(eval_timer, "autotune.eval_us");
-    e.measurement = problem.measure(schedule, pool, repeats);
+    e.measurement =
+        config.evaluator
+            ? config.evaluator(problem, e.schedule, pool, config.repeats)
+            : problem.measure(e.schedule, pool, config.repeats);
   }
   TREU_OBS_COUNTER_ADD("autotune.candidates_evaluated", 1);
   ++accounting.evaluations;
@@ -50,11 +59,11 @@ TuneResult genetic_autotune(const Problem &problem, const TuneConfig &config,
     // plus random schedules.
     population.push_back(
         evaluate(problem, ScheduleSpace::baseline(problem.kind()), pool,
-                 config.repeats, result));
+                 config, result));
     while (population.size() < pop_size) {
       population.push_back(
           evaluate(problem, config.space.random_schedule(problem.kind(), rng),
-                   pool, config.repeats, result));
+                   pool, config, result));
     }
   }
   sort_by_cost(population);
@@ -81,7 +90,7 @@ TuneResult genetic_autotune(const Problem &problem, const TuneConfig &config,
       if (rng.bernoulli(config.mutation_rate)) {
         child = config.space.mutate(child, rng);
       }
-      next.push_back(evaluate(problem, child, pool, config.repeats, result));
+      next.push_back(evaluate(problem, child, pool, config, result));
     }
     population = std::move(next);
     sort_by_cost(population);
@@ -103,12 +112,12 @@ TuneResult random_search(const Problem &problem, const TuneConfig &config,
       std::max<std::size_t>(config.generations, 1);
 
   Evaluated best = evaluate(problem, ScheduleSpace::baseline(problem.kind()),
-                            pool, config.repeats, result);
+                            pool, config, result);
   result.best_cost_per_generation.push_back(best.cost());
   for (std::size_t i = 1; i < budget; ++i) {
     Evaluated cand =
         evaluate(problem, config.space.random_schedule(problem.kind(), rng),
-                 pool, config.repeats, result);
+                 pool, config, result);
     if (cand.cost() < best.cost()) best = cand;
     // Record at generation granularity to align with the GA's curve.
     if (i % std::max<std::size_t>(config.population, 2) == 0) {

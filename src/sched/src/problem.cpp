@@ -73,35 +73,33 @@ std::vector<double> Problem::execute(const Schedule &schedule,
   if (schedule.kernel != kind_) {
     throw std::invalid_argument("Problem::execute: schedule kernel mismatch");
   }
+  // One dispatch for every kernel and every backend; Kernel::run preserves
+  // the old routing (pure interchange schedules still run matmul_ordered so
+  // `order` differences stay observable, tiled scalar schedules run the
+  // legacy nest bit-for-bit, isa/rtile schedules run the microkernels).
+  tensor::KernelArgs args;
   switch (kind_) {
     case KernelKind::MatVec:
-      return tensor::matvec_opt(a_, x_, schedule.params, pool);
+      args.a = &a_;
+      args.x = x_;
+      break;
     case KernelKind::Conv1D:
-      return tensor::conv1d_opt(x_, w_, schedule.params, pool);
-    case KernelKind::Conv2D: {
-      tensor::Matrix out = tensor::conv2d_opt(a_, b_, schedule.params, pool);
-      return {out.flat().begin(), out.flat().end()};
-    }
-    case KernelKind::MatMul: {
-      // Tiled path when any tile is set or unroll > 1; otherwise pure loop
-      // interchange so `order` differences stay observable.
-      tensor::Matrix out;
-      if (schedule.params.tile_i == 0 && schedule.params.tile_j == 0 &&
-          schedule.params.tile_k == 0 && schedule.params.unroll == 1 &&
-          !schedule.params.parallel) {
-        out = tensor::matmul_ordered(a_, b_, schedule.params.order);
-      } else {
-        out = tensor::matmul_opt(a_, b_, schedule.params, pool);
-      }
-      return {out.flat().begin(), out.flat().end()};
-    }
-    case KernelKind::MatMulTransposed: {
-      tensor::Matrix out =
-          tensor::matmul_transposed_opt(a_, b_, schedule.params, pool);
-      return {out.flat().begin(), out.flat().end()};
-    }
+      args.x = x_;
+      args.w = w_;
+      break;
+    case KernelKind::Conv2D:
+    case KernelKind::MatMul:
+    case KernelKind::MatMulTransposed:
+      args.a = &a_;
+      args.b = &b_;
+      break;
   }
-  return {};
+  tensor::KernelResult out =
+      tensor::Kernel::run(kind_, args, schedule.params, pool);
+  if (kind_ == KernelKind::MatVec || kind_ == KernelKind::Conv1D) {
+    return std::move(out.vec);
+  }
+  return {out.matrix.flat().begin(), out.matrix.flat().end()};
 }
 
 const std::vector<double> &Problem::reference() const {

@@ -10,14 +10,9 @@ bool is_matmul_family(KernelKind kind) noexcept {
   return kind == KernelKind::MatMul || kind == KernelKind::MatMulTransposed;
 }
 
-template <typename T>
-bool contains(const std::vector<T> &v, const T &x) {
-  return std::find(v.begin(), v.end(), x) != v.end();
-}
-
-}  // namespace
-
-const char *to_string(KernelKind kind) noexcept {
+// Grammar spelling of each kernel. Kept distinct from tensor::to_string so
+// existing schedule strings ("matmul_t: ...") stay parseable and canonical.
+const char *kernel_name(KernelKind kind) noexcept {
   switch (kind) {
     case KernelKind::MatVec: return "matvec";
     case KernelKind::Conv1D: return "conv1d";
@@ -28,15 +23,23 @@ const char *to_string(KernelKind kind) noexcept {
   return "?";
 }
 
+}  // namespace
+
 std::string Schedule::to_string() const {
   std::ostringstream os;
-  os << sched::to_string(kernel) << ": ";
+  os << kernel_name(kernel) << ": ";
   if (is_matmul_family(kernel)) {
     os << "order(" << tensor::to_string(params.order) << ").";
   }
   os << "tile(i=" << params.tile_i << ",j=" << params.tile_j;
   if (is_matmul_family(kernel)) os << ",k=" << params.tile_k;
   os << ").unroll(" << params.unroll << ")";
+  if (params.isa != tensor::Isa::Scalar) {
+    os << ".isa(" << tensor::to_string(params.isa) << ")";
+  }
+  if (params.rtile_m != 0 || params.rtile_n != 0) {
+    os << ".rtile(" << params.rtile_m << "x" << params.rtile_n << ")";
+  }
   if (params.parallel) os << ".parallel";
   return os.str();
 }
@@ -44,25 +47,27 @@ std::string Schedule::to_string() const {
 bool Schedule::valid() const noexcept {
   const std::size_t u = params.unroll;
   if (u != 1 && u != 2 && u != 4 && u != 8) return false;
+  if (params.rtile_m > 8) return false;
   return true;
 }
 
 std::optional<Schedule> Schedule::parse(std::string_view text) {
-  // Grammar: "<kernel>: [order(<o>).]tile(i=N,j=N[,k=N]).unroll(N)[.parallel]"
+  // Grammar: "<kernel>: [order(<o>).]tile(i=N,j=N[,k=N]).unroll(N)
+  //           [.isa(<isa>)][.rtile(MxN)][.parallel]"
   const auto colon = text.find(':');
   if (colon == std::string_view::npos) return std::nullopt;
-  const std::string_view kernel_name = text.substr(0, colon);
+  const std::string_view kernel_str = text.substr(0, colon);
 
   Schedule s;
-  if (kernel_name == "matvec") {
+  if (kernel_str == "matvec") {
     s.kernel = KernelKind::MatVec;
-  } else if (kernel_name == "conv1d") {
+  } else if (kernel_str == "conv1d") {
     s.kernel = KernelKind::Conv1D;
-  } else if (kernel_name == "conv2d") {
+  } else if (kernel_str == "conv2d") {
     s.kernel = KernelKind::Conv2D;
-  } else if (kernel_name == "matmul") {
+  } else if (kernel_str == "matmul") {
     s.kernel = KernelKind::MatMul;
-  } else if (kernel_name == "matmul_t") {
+  } else if (kernel_str == "matmul_t" || kernel_str == "matmul_transposed") {
     s.kernel = KernelKind::MatMulTransposed;
   } else {
     return std::nullopt;
@@ -121,6 +126,22 @@ std::optional<Schedule> Schedule::parse(std::string_view text) {
   const auto unroll = parse_number();
   if (!unroll || !consume(")")) return std::nullopt;
   s.params.unroll = *unroll;
+  if (consume(".isa(")) {
+    const auto paren = rest.find(')');
+    if (paren == std::string_view::npos) return std::nullopt;
+    const auto isa = tensor::parse_isa(rest.substr(0, paren));
+    if (!isa) return std::nullopt;
+    s.params.isa = *isa;
+    rest.remove_prefix(paren + 1);
+  }
+  if (consume(".rtile(")) {
+    const auto rm = parse_number();
+    if (!rm || !consume("x")) return std::nullopt;
+    const auto rn = parse_number();
+    if (!rn || !consume(")")) return std::nullopt;
+    s.params.rtile_m = *rm;
+    s.params.rtile_n = *rn;
+  }
   if (consume(".parallel")) s.params.parallel = true;
   if (!rest.empty()) return std::nullopt;
   if (!s.valid()) return std::nullopt;
@@ -131,16 +152,18 @@ std::size_t ScheduleSpace::cardinality(KernelKind kind) const noexcept {
   const std::size_t t = tile_candidates.size();
   const std::size_t u = unroll_candidates.size();
   const std::size_t p = allow_parallel ? 2 : 1;
+  const std::size_t v = isa_candidates.size();
   switch (kind) {
     case KernelKind::MatVec:
     case KernelKind::Conv1D:
-      return t * u * p;  // tile_i, unroll, parallel
+      return t * u * p * v;  // tile_i, unroll, parallel, isa
     case KernelKind::Conv2D:
-      return t * t * u * p;  // tile_i, tile_j
+      return t * t * u * p * v;  // tile_i, tile_j
     case KernelKind::MatMul:
-      return order_candidates.size() * t * t * t * u * p;
+      return order_candidates.size() * t * t * t * u * p * v *
+             rtile_candidates.size();
     case KernelKind::MatMulTransposed:
-      return t * t * u * p;  // tile_i, tile_j
+      return t * t * u * p * v;  // tile_i, tile_j
   }
   return 0;
 }
@@ -154,6 +177,9 @@ Schedule ScheduleSpace::random_schedule(KernelKind kind, core::Rng &rng) const {
   s.params.unroll = unroll_candidates[rng.uniform_index(unroll_candidates.size())];
   s.params.parallel = allow_parallel ? rng.bernoulli(0.5) : false;
   s.params.tile_i = pick_tile();
+  if (!isa_candidates.empty()) {
+    s.params.isa = isa_candidates[rng.uniform_index(isa_candidates.size())];
+  }
   switch (kind) {
     case KernelKind::MatVec:
     case KernelKind::Conv1D:
@@ -167,6 +193,12 @@ Schedule ScheduleSpace::random_schedule(KernelKind kind, core::Rng &rng) const {
       s.params.tile_k = pick_tile();
       s.params.order =
           order_candidates[rng.uniform_index(order_candidates.size())];
+      if (!rtile_candidates.empty()) {
+        const RTile rt =
+            rtile_candidates[rng.uniform_index(rtile_candidates.size())];
+        s.params.rtile_m = rt.m;
+        s.params.rtile_n = rt.n;
+      }
       break;
   }
   return s;
@@ -178,9 +210,10 @@ Schedule ScheduleSpace::mutate(const Schedule &s, core::Rng &rng) const {
     return tile_candidates[rng.uniform_index(tile_candidates.size())];
   };
   // Knob indices: 0 tile_i, 1 tile_j, 2 tile_k, 3 unroll, 4 parallel,
-  // 5 order — restricted to knobs meaningful for the kernel.
+  // 5 order, 6 isa, 7 rtile — restricted to knobs meaningful for the kernel.
   std::vector<int> knobs = {0, 3};
   if (allow_parallel) knobs.push_back(4);
+  if (!isa_candidates.empty()) knobs.push_back(6);
   if (s.kernel == KernelKind::Conv2D ||
       s.kernel == KernelKind::MatMulTransposed) {
     knobs.push_back(1);
@@ -189,6 +222,7 @@ Schedule ScheduleSpace::mutate(const Schedule &s, core::Rng &rng) const {
     knobs.push_back(1);
     knobs.push_back(2);
     knobs.push_back(5);
+    if (!rtile_candidates.empty()) knobs.push_back(7);
   }
   switch (knobs[rng.uniform_index(knobs.size())]) {
     case 0: out.params.tile_i = pick_tile(); break;
@@ -203,6 +237,16 @@ Schedule ScheduleSpace::mutate(const Schedule &s, core::Rng &rng) const {
       out.params.order =
           order_candidates[rng.uniform_index(order_candidates.size())];
       break;
+    case 6:
+      out.params.isa = isa_candidates[rng.uniform_index(isa_candidates.size())];
+      break;
+    case 7: {
+      const RTile rt =
+          rtile_candidates[rng.uniform_index(rtile_candidates.size())];
+      out.params.rtile_m = rt.m;
+      out.params.rtile_n = rt.n;
+      break;
+    }
     default: break;
   }
   return out;
@@ -217,6 +261,12 @@ Schedule ScheduleSpace::crossover(const Schedule &a, const Schedule &b,
   if (rng.bernoulli(0.5)) out.params.unroll = b.params.unroll;
   if (rng.bernoulli(0.5)) out.params.parallel = b.params.parallel;
   if (rng.bernoulli(0.5)) out.params.order = b.params.order;
+  if (rng.bernoulli(0.5)) out.params.isa = b.params.isa;
+  if (rng.bernoulli(0.5)) {
+    // Register-tile shape crosses as one knob: m and n travel together.
+    out.params.rtile_m = b.params.rtile_m;
+    out.params.rtile_n = b.params.rtile_n;
+  }
   return out;
 }
 
@@ -229,6 +279,9 @@ Schedule ScheduleSpace::baseline(KernelKind kind) noexcept {
   s.params.tile_k = 0;
   s.params.unroll = 1;
   s.params.parallel = false;
+  s.params.isa = tensor::Isa::Scalar;
+  s.params.rtile_m = 0;
+  s.params.rtile_n = 0;
   return s;
 }
 

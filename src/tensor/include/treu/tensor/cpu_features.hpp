@@ -1,0 +1,59 @@
+#pragma once
+
+// Runtime CPU feature detection for the SIMD kernel backends.
+//
+// An `Isa` names one compiled kernel backend; dispatch picks the fastest one
+// the host can execute (`treu::tensor::Kernel` in kernels.hpp). Detection is
+// a CPUID query cached on first use, and the `TREU_FORCE_ISA` environment
+// variable pins the decision for CI and soak reproducibility:
+//
+//   TREU_FORCE_ISA=scalar   every dispatch takes the portable path, even on
+//                           AVX2 hosts (requests for Avx2 fall back).
+//   TREU_FORCE_ISA=avx2     asserts the AVX2 path is usable; refused with a
+//                           clear std::runtime_error if the CPU or build
+//                           lacks it (a forced pin that silently downgraded
+//                           would fake reproducibility).
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace treu::tensor {
+
+/// Instruction-set backends a schedule can request. Scalar is always
+/// available; Avx2 means AVX2+FMA double-precision microkernels.
+enum class Isa : std::uint8_t { Scalar = 0, Avx2 = 1 };
+
+[[nodiscard]] const char *to_string(Isa isa) noexcept;
+
+/// "scalar" / "avx2" -> Isa; nullopt for anything else.
+[[nodiscard]] std::optional<Isa> parse_isa(std::string_view name) noexcept;
+
+/// Raw hardware capability (CPUID), ignoring TREU_FORCE_ISA and whether the
+/// backend was compiled in. Scalar is always supported.
+[[nodiscard]] bool cpu_supports(Isa isa) noexcept;
+
+/// True when the AVX2 backend object code exists in this binary (x86-64
+/// build with a compiler that accepts -mavx2 -mfma). Defined by the backend
+/// translation unit so detection can't drift from what was actually built.
+[[nodiscard]] bool avx2_backend_compiled() noexcept;
+
+/// The TREU_FORCE_ISA pin, read once and cached. nullopt when unset. Throws
+/// std::runtime_error when the variable names an unknown ISA or one this
+/// host/build cannot execute.
+[[nodiscard]] std::optional<Isa> forced_isa();
+
+/// Drops the cached TREU_FORCE_ISA decision so the next forced_isa() call
+/// re-reads the environment. Test hook only: production code must see one
+/// consistent pin for the whole process.
+void refresh_forced_isa_for_testing() noexcept;
+
+namespace detail {
+/// Pure resolution of a TREU_FORCE_ISA value against a capability flag;
+/// factored out so the refusal logic is unit-testable on any host. Throws
+/// std::runtime_error exactly when forced_isa() would.
+[[nodiscard]] Isa resolve_forced_isa(std::string_view value,
+                                     bool avx2_usable);
+}  // namespace detail
+
+}  // namespace treu::tensor

@@ -1,33 +1,58 @@
 #pragma once
 
-// The five kernels from the compiler-optimization project (§2.5): matrix-
+// The five kernels from the compiler-optimization project (§2.5) — matrix-
 // vector multiply, 1D convolution, 2D convolution, matrix-matrix multiply,
-// and transposed matrix-matrix multiply.
+// and transposed matrix-matrix multiply — behind one dispatch surface.
 //
-// Every kernel has a naive reference implementation (the semantic oracle:
-// schedule correctness tests compare against it) and a parameterised
-// optimized implementation whose knobs — loop order, tile sizes, unroll
-// factor, parallelization — are exactly the scheduling-language primitives
-// exposed by treu::sched. This mirrors the TVM/MLIR structure the students
-// worked with: the *schedule* is data, the kernel semantics never change.
+// `Kernel::run(op, args, params, pool)` is the single entry point: it
+// resolves the requested instruction set (`KernelParams::isa`) against what
+// the host CPU, the build, and the TREU_FORCE_ISA pin allow, then executes
+// either the legacy scalar loop nests (whose knobs — loop order, tile
+// sizes, unroll factor, parallelization — are exactly the scheduling-
+// language primitives exposed by treu::sched) or the register-tiled
+// microkernel backends: a portable scalar instantiation and an AVX2+FMA
+// instantiation compiled from the same template. This mirrors the TVM/MLIR
+// structure the students worked with — the *schedule* (now including vector
+// ISA and register-tile shape) is data, the kernel semantics never change.
+//
+// Parity contract: every backend computes the same function as the naive
+// reference up to summation-order effects (FMA contraction, lane-split
+// reductions), which kernels_test bounds in ULPs. When the requested ISA is
+// unavailable, dispatch falls back to Scalar and records it (the
+// `sched.isa_fallback` metric and Kernel::isa_fallbacks()) instead of
+// throwing — a schedule tuned on another host must still run here.
+//
+// The historical free functions (`matvec`/`matvec_opt`,
+// `matmul`/`matmul_ordered`/`matmul_opt`, ...) survive as thin deprecated
+// shims over Kernel::run; new code should call the Kernel entry points.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "treu/parallel/thread_pool.hpp"
+#include "treu/tensor/cpu_features.hpp"
 #include "treu/tensor/matrix.hpp"
 
 namespace treu::tensor {
 
-/// Loop order for the matmul triple loop.
+/// Loop order for the matmul triple loop (honored by the scalar
+/// interchange/tiled paths; the register-tiled backends fix their own
+/// micro-order).
 enum class LoopOrder { IJK, IKJ, JIK, JKI, KIJ, KJI };
 
 [[nodiscard]] const char *to_string(LoopOrder order) noexcept;
 
-/// Knobs shared by the optimized kernel variants. A default-constructed
-/// value reproduces a reasonable blocked implementation; tile values of 0
-/// mean "no tiling in that dimension".
+/// The five dispatchable kernels.
+enum class KernelOp { MatVec, Conv1D, Conv2D, MatMul, MatMulTransposed };
+
+[[nodiscard]] const char *to_string(KernelOp op) noexcept;
+
+/// Knobs shared by every kernel backend. A default-constructed value
+/// reproduces the pre-SIMD blocked scalar implementation bit-for-bit; tile
+/// values of 0 mean "no tiling in that dimension", rtile values of 0 mean
+/// "backend default register tile".
 struct KernelParams {
   LoopOrder order = LoopOrder::IKJ;
   std::size_t tile_i = 0;
@@ -35,11 +60,100 @@ struct KernelParams {
   std::size_t tile_k = 0;
   std::size_t unroll = 1;   // inner-loop unroll factor: 1, 2, 4 or 8
   bool parallel = false;    // parallelize the outermost loop on the pool
+  Isa isa = Isa::Scalar;    // which compiled backend to dispatch to
+  std::size_t rtile_m = 0;  // register-tile rows (matmul microkernel)
+  std::size_t rtile_n = 0;  // register-tile cols, multiple of the vector width
+  // Skip the rank-1 update when a(i,k) == 0 (matmul only). Post-ReLU
+  // activations and n-gram presence features are mostly zeros; skipping
+  // them never changes a finite result because each skipped contribution
+  // is exactly +-0.0.
+  bool skip_zero_a = false;
 
   friend bool operator==(const KernelParams &, const KernelParams &) = default;
 };
 
-// --- Matrix-vector multiply: y = A x ---------------------------------------
+/// Operand bundle for Kernel::run. Which fields matter depends on the op:
+///   MatVec            a (m x n), x (n)
+///   MatMul            a (m x k), b (k x n)
+///   MatMulTransposed  a (m x k), b (n x k)
+///   Conv1D            x (signal), w (taps)
+///   Conv2D            a (image), b (kernel)
+struct KernelArgs {
+  const Matrix *a = nullptr;
+  const Matrix *b = nullptr;
+  std::span<const double> x;
+  std::span<const double> w;
+};
+
+/// Result of one dispatch: matrix-valued ops fill `matrix`, vector-valued
+/// ops (MatVec, Conv1D) fill `vec`.
+struct KernelResult {
+  Matrix matrix;
+  std::vector<double> vec;
+};
+
+/// The one dispatch surface over the kernel zoo.
+class Kernel {
+ public:
+  /// Execute `op` on `args` with `params`, dispatching to the backend
+  /// selected by params.isa (clamped to availability, see effective()).
+  /// Shape errors throw std::invalid_argument, exactly like the historical
+  /// free functions.
+  [[nodiscard]] static KernelResult run(KernelOp op, const KernelArgs &args,
+                                        const KernelParams &params,
+                                        parallel::ThreadPool &pool);
+
+  // Typed conveniences — same dispatch path as run().
+  [[nodiscard]] static std::vector<double> matvec(const Matrix &a,
+                                                  std::span<const double> x,
+                                                  const KernelParams &params,
+                                                  parallel::ThreadPool &pool);
+  [[nodiscard]] static Matrix matmul(const Matrix &a, const Matrix &b,
+                                     const KernelParams &params,
+                                     parallel::ThreadPool &pool);
+  [[nodiscard]] static Matrix matmul_transposed(const Matrix &a,
+                                                const Matrix &b,
+                                                const KernelParams &params,
+                                                parallel::ThreadPool &pool);
+  [[nodiscard]] static std::vector<double> conv1d(std::span<const double> input,
+                                                  std::span<const double> weights,
+                                                  const KernelParams &params,
+                                                  parallel::ThreadPool &pool);
+  [[nodiscard]] static Matrix conv2d(const Matrix &input, const Matrix &kernel,
+                                     const KernelParams &params,
+                                     parallel::ThreadPool &pool);
+
+  /// True when `isa` can be dispatched right now: CPU + build support it and
+  /// TREU_FORCE_ISA does not pin it away. Scalar is always available unless
+  /// TREU_FORCE_ISA itself is invalid (which throws).
+  [[nodiscard]] static bool available(Isa isa);
+
+  /// Fastest available ISA.
+  [[nodiscard]] static Isa best();
+
+  /// The ISA `requested` actually dispatches to (Scalar when the request is
+  /// unavailable). Pure availability clamp — does not count a fallback.
+  [[nodiscard]] static Isa effective(Isa requested);
+
+  /// "Make it fast, keep the semantics": best() ISA with the default
+  /// register tile. What the nn forward passes use so every served model
+  /// rides the fastest compiled backend for free.
+  [[nodiscard]] static KernelParams fast_params();
+
+  /// Lazily-constructed serial pool for callers without one (the deprecated
+  /// shims). Never spun up unless a parallel schedule actually needs it.
+  [[nodiscard]] static parallel::ThreadPool &default_pool();
+
+  /// Process-wide count of dispatches whose requested ISA was unavailable
+  /// (mirrors the sched.isa_fallback metric for obs-off builds).
+  [[nodiscard]] static std::uint64_t isa_fallbacks() noexcept;
+};
+
+// --- Deprecated shims over Kernel::run --------------------------------------
+//
+// Kept so existing call sites and published schedules keep compiling; each
+// is a thin delegation and bitwise-identical to direct dispatch (asserted
+// in kernels_test). Prefer Kernel::*.
 
 [[nodiscard]] std::vector<double> matvec(const Matrix &a,
                                          std::span<const double> x);
@@ -49,8 +163,6 @@ struct KernelParams {
                                              const KernelParams &params,
                                              parallel::ThreadPool &pool);
 
-// --- Matrix-matrix multiply: C = A B ----------------------------------------
-
 [[nodiscard]] Matrix matmul(const Matrix &a, const Matrix &b);
 
 /// Triple loop in an arbitrary order, untiled: exposes the effect of loop
@@ -58,29 +170,17 @@ struct KernelParams {
 [[nodiscard]] Matrix matmul_ordered(const Matrix &a, const Matrix &b,
                                     LoopOrder order);
 
-/// Fully parameterized: interchange + tiling + unroll + parallel outer loop.
+/// Fully parameterized: interchange + tiling + unroll + parallel outer loop
+/// + ISA/register-tile dispatch.
 [[nodiscard]] Matrix matmul_opt(const Matrix &a, const Matrix &b,
                                 const KernelParams &params,
                                 parallel::ThreadPool &pool);
-
-// --- Gram-style matmul: C = A^T B (no transpose materialized) ---------------
-//
-// The backward pass of every dense layer computes dW = X^T G; materializing
-// X^T copies the (often huge) activation matrix on every step. This kernel
-// walks A and B row-by-row (both row-major friendly) and accumulates the
-// outer products directly.
-
-[[nodiscard]] Matrix matmul_atb(const Matrix &a, const Matrix &b);
-
-// --- Transposed matmul: C = A B^T (B supplied row-major, used row-wise) ----
 
 [[nodiscard]] Matrix matmul_transposed(const Matrix &a, const Matrix &b);
 
 [[nodiscard]] Matrix matmul_transposed_opt(const Matrix &a, const Matrix &b,
                                            const KernelParams &params,
                                            parallel::ThreadPool &pool);
-
-// --- 1D convolution (valid mode): out[i] = sum_k in[i+k] w[k] --------------
 
 [[nodiscard]] std::vector<double> conv1d(std::span<const double> input,
                                          std::span<const double> weights);
@@ -90,13 +190,20 @@ struct KernelParams {
                                              const KernelParams &params,
                                              parallel::ThreadPool &pool);
 
-// --- 2D convolution (valid mode) --------------------------------------------
-
 [[nodiscard]] Matrix conv2d(const Matrix &input, const Matrix &kernel);
 
 [[nodiscard]] Matrix conv2d_opt(const Matrix &input, const Matrix &kernel,
                                 const KernelParams &params,
                                 parallel::ThreadPool &pool);
+
+// --- Gram-style matmul: C = A^T B (no transpose materialized) ---------------
+//
+// The backward pass of every dense layer computes dW = X^T G; materializing
+// X^T copies the (often huge) activation matrix on every step. This kernel
+// walks A and B row-by-row (both row-major friendly) and accumulates the
+// outer products directly. Not part of the schedule zoo, so not dispatched.
+
+[[nodiscard]] Matrix matmul_atb(const Matrix &a, const Matrix &b);
 
 /// FLOP counts for the roofline model (multiply-add counted as 2 flops).
 [[nodiscard]] double matvec_flops(std::size_t m, std::size_t n) noexcept;
@@ -114,5 +221,31 @@ struct KernelParams {
 [[nodiscard]] double conv1d_bytes(std::size_t n, std::size_t k) noexcept;
 [[nodiscard]] double conv2d_bytes(std::size_t h, std::size_t w, std::size_t kh,
                                   std::size_t kw) noexcept;
+
+namespace detail {
+
+/// One compiled backend: the five ops instantiated from the shared
+/// microkernel template (kernels_micro.hpp) for a concrete vector ISA.
+struct Backend {
+  Matrix (*matmul)(const Matrix &, const Matrix &, const KernelParams &,
+                   parallel::ThreadPool &);
+  Matrix (*matmul_transposed)(const Matrix &, const Matrix &,
+                              const KernelParams &, parallel::ThreadPool &);
+  std::vector<double> (*matvec)(const Matrix &, std::span<const double>,
+                                const KernelParams &, parallel::ThreadPool &);
+  std::vector<double> (*conv1d)(std::span<const double>,
+                                std::span<const double>, const KernelParams &,
+                                parallel::ThreadPool &);
+  Matrix (*conv2d)(const Matrix &, const Matrix &, const KernelParams &,
+                   parallel::ThreadPool &);
+};
+
+/// Portable scalar instantiation (always present).
+[[nodiscard]] const Backend &scalar_backend() noexcept;
+
+/// AVX2+FMA instantiation; nullptr when not compiled into this binary.
+[[nodiscard]] const Backend *avx2_backend() noexcept;
+
+}  // namespace detail
 
 }  // namespace treu::tensor

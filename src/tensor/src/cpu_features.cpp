@@ -1,0 +1,121 @@
+#include "treu/tensor/cpu_features.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace treu::tensor {
+namespace {
+
+bool detect_avx2_fma() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+// Cached TREU_FORCE_ISA decision. Encoding keeps the hot path one relaxed
+// load: kUninit means "not read yet"; the two invalid states re-throw on
+// every call so a bad pin can never be silently shrugged off after the
+// first error was swallowed somewhere.
+enum ForceState : int {
+  kUninit = -1,
+  kNone = 0,
+  kScalar = 1,
+  kAvx2 = 2,
+  kInvalidUnknown = 3,
+  kInvalidUnsupported = 4,
+};
+
+std::atomic<int> g_force_state{kUninit};
+
+[[noreturn]] void throw_force_error(int state) {
+  const char *value = std::getenv("TREU_FORCE_ISA");
+  const std::string shown = value ? value : "<unset>";
+  if (state == kInvalidUnknown) {
+    throw std::runtime_error(
+        "TREU_FORCE_ISA=" + shown +
+        ": unknown ISA (expected \"scalar\" or \"avx2\")");
+  }
+  throw std::runtime_error(
+      "TREU_FORCE_ISA=" + shown +
+      ": this host/build cannot execute the requested ISA "
+      "(refusing to silently downgrade a forced pin)");
+}
+
+int compute_force_state() {
+  const char *value = std::getenv("TREU_FORCE_ISA");
+  if (value == nullptr || *value == '\0') return kNone;
+  const auto parsed = parse_isa(value);
+  if (!parsed) return kInvalidUnknown;
+  if (*parsed == Isa::Avx2 &&
+      !(cpu_supports(Isa::Avx2) && avx2_backend_compiled())) {
+    return kInvalidUnsupported;
+  }
+  return *parsed == Isa::Scalar ? kScalar : kAvx2;
+}
+
+}  // namespace
+
+const char *to_string(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::Scalar: return "scalar";
+    case Isa::Avx2: return "avx2";
+  }
+  return "?";
+}
+
+std::optional<Isa> parse_isa(std::string_view name) noexcept {
+  if (name == "scalar") return Isa::Scalar;
+  if (name == "avx2") return Isa::Avx2;
+  return std::nullopt;
+}
+
+bool cpu_supports(Isa isa) noexcept {
+  if (isa == Isa::Scalar) return true;
+  static const bool avx2 = detect_avx2_fma();
+  return avx2;
+}
+
+std::optional<Isa> forced_isa() {
+  int state = g_force_state.load(std::memory_order_relaxed);
+  if (state == kUninit) {
+    state = compute_force_state();
+    g_force_state.store(state, std::memory_order_relaxed);
+  }
+  switch (state) {
+    case kNone: return std::nullopt;
+    case kScalar: return Isa::Scalar;
+    case kAvx2: return Isa::Avx2;
+    default: throw_force_error(state);
+  }
+}
+
+void refresh_forced_isa_for_testing() noexcept {
+  g_force_state.store(kUninit, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+Isa resolve_forced_isa(std::string_view value, bool avx2_usable) {
+  const auto parsed = parse_isa(value);
+  if (!parsed) {
+    throw std::runtime_error(
+        "TREU_FORCE_ISA=" + std::string(value) +
+        ": unknown ISA (expected \"scalar\" or \"avx2\")");
+  }
+  if (*parsed == Isa::Avx2 && !avx2_usable) {
+    throw std::runtime_error(
+        "TREU_FORCE_ISA=" + std::string(value) +
+        ": this host/build cannot execute the requested ISA "
+        "(refusing to silently downgrade a forced pin)");
+  }
+  return *parsed;
+}
+
+}  // namespace detail
+
+}  // namespace treu::tensor

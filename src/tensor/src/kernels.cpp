@@ -1,7 +1,13 @@
-#include "treu/tensor/kernels.hpp"
+// Legacy scalar kernel bodies (see kernels_legacy.hpp for why they are kept
+// verbatim) plus the kernel-agnostic pieces: matmul_atb and the
+// flop/byte-count helpers. The public free functions and the Kernel
+// dispatch surface live in kernels_dispatch.cpp.
 
 #include <algorithm>
 #include <stdexcept>
+
+#include "kernels_legacy.hpp"
+#include "treu/tensor/kernels.hpp"
 
 namespace treu::tensor {
 namespace {
@@ -87,7 +93,20 @@ const char *to_string(LoopOrder order) noexcept {
   return "?";
 }
 
-std::vector<double> matvec(const Matrix &a, std::span<const double> x) {
+const char *to_string(KernelOp op) noexcept {
+  switch (op) {
+    case KernelOp::MatVec: return "matvec";
+    case KernelOp::Conv1D: return "conv1d";
+    case KernelOp::Conv2D: return "conv2d";
+    case KernelOp::MatMul: return "matmul";
+    case KernelOp::MatMulTransposed: return "matmul_transposed";
+  }
+  return "?";
+}
+
+namespace detail {
+
+std::vector<double> legacy_matvec(const Matrix &a, std::span<const double> x) {
   if (a.cols() != x.size()) {
     throw std::invalid_argument("matvec: dimension mismatch");
   }
@@ -101,9 +120,10 @@ std::vector<double> matvec(const Matrix &a, std::span<const double> x) {
   return y;
 }
 
-std::vector<double> matvec_opt(const Matrix &a, std::span<const double> x,
-                               const KernelParams &params,
-                               parallel::ThreadPool &pool) {
+std::vector<double> legacy_matvec_opt(const Matrix &a,
+                                      std::span<const double> x,
+                                      const KernelParams &params,
+                                      parallel::ThreadPool &pool) {
   if (a.cols() != x.size()) {
     throw std::invalid_argument("matvec_opt: dimension mismatch");
   }
@@ -125,11 +145,8 @@ std::vector<double> matvec_opt(const Matrix &a, std::span<const double> x,
   return y;
 }
 
-Matrix matmul(const Matrix &a, const Matrix &b) {
-  return matmul_ordered(a, b, LoopOrder::IJK);
-}
-
-Matrix matmul_ordered(const Matrix &a, const Matrix &b, LoopOrder order) {
+Matrix legacy_matmul_ordered(const Matrix &a, const Matrix &b,
+                             LoopOrder order) {
   check_matmul_shapes(a, b);
   const std::size_t m = a.rows(), n = b.cols(), kk = a.cols();
   Matrix c(m, n, 0.0);
@@ -185,8 +202,9 @@ Matrix matmul_ordered(const Matrix &a, const Matrix &b, LoopOrder order) {
   return c;
 }
 
-Matrix matmul_opt(const Matrix &a, const Matrix &b, const KernelParams &params,
-                  parallel::ThreadPool &pool) {
+Matrix legacy_matmul_opt(const Matrix &a, const Matrix &b,
+                         const KernelParams &params,
+                         parallel::ThreadPool &pool) {
   check_matmul_shapes(a, b);
   const std::size_t m = a.rows(), n = b.cols(), kk = a.cols();
   Matrix c(m, n, 0.0);
@@ -214,26 +232,7 @@ Matrix matmul_opt(const Matrix &a, const Matrix &b, const KernelParams &params,
   return c;
 }
 
-Matrix matmul_atb(const Matrix &a, const Matrix &b) {
-  if (a.rows() != b.rows()) {
-    throw std::invalid_argument("matmul_atb: row counts differ");
-  }
-  const std::size_t n = a.rows(), p = a.cols(), q = b.cols();
-  Matrix c(p, q, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double *arow = a.row(i).data();
-    const double *brow = b.row(i).data();
-    for (std::size_t j = 0; j < p; ++j) {
-      const double aij = arow[j];
-      if (aij == 0.0) continue;  // sparse activations skip whole rows of C
-      double *crow = c.row(j).data();
-      for (std::size_t k = 0; k < q; ++k) crow[k] += aij * brow[k];
-    }
-  }
-  return c;
-}
-
-Matrix matmul_transposed(const Matrix &a, const Matrix &b) {
+Matrix legacy_matmul_transposed(const Matrix &a, const Matrix &b) {
   if (a.cols() != b.cols()) {
     throw std::invalid_argument("matmul_transposed: inner dimensions differ");
   }
@@ -249,9 +248,9 @@ Matrix matmul_transposed(const Matrix &a, const Matrix &b) {
   return c;
 }
 
-Matrix matmul_transposed_opt(const Matrix &a, const Matrix &b,
-                             const KernelParams &params,
-                             parallel::ThreadPool &pool) {
+Matrix legacy_matmul_transposed_opt(const Matrix &a, const Matrix &b,
+                                    const KernelParams &params,
+                                    parallel::ThreadPool &pool) {
   if (a.cols() != b.cols()) {
     throw std::invalid_argument("matmul_transposed_opt: inner dimensions differ");
   }
@@ -281,8 +280,8 @@ Matrix matmul_transposed_opt(const Matrix &a, const Matrix &b,
   return c;
 }
 
-std::vector<double> conv1d(std::span<const double> input,
-                           std::span<const double> weights) {
+std::vector<double> legacy_conv1d(std::span<const double> input,
+                                  std::span<const double> weights) {
   if (weights.empty() || input.size() < weights.size()) return {};
   const std::size_t out_n = input.size() - weights.size() + 1;
   std::vector<double> out(out_n, 0.0);
@@ -294,10 +293,10 @@ std::vector<double> conv1d(std::span<const double> input,
   return out;
 }
 
-std::vector<double> conv1d_opt(std::span<const double> input,
-                               std::span<const double> weights,
-                               const KernelParams &params,
-                               parallel::ThreadPool &pool) {
+std::vector<double> legacy_conv1d_opt(std::span<const double> input,
+                                      std::span<const double> weights,
+                                      const KernelParams &params,
+                                      parallel::ThreadPool &pool) {
   if (weights.empty() || input.size() < weights.size()) return {};
   const std::size_t out_n = input.size() - weights.size() + 1;
   std::vector<double> out(out_n, 0.0);
@@ -319,7 +318,7 @@ std::vector<double> conv1d_opt(std::span<const double> input,
   return out;
 }
 
-Matrix conv2d(const Matrix &input, const Matrix &kernel) {
+Matrix legacy_conv2d(const Matrix &input, const Matrix &kernel) {
   if (kernel.rows() == 0 || kernel.cols() == 0 ||
       input.rows() < kernel.rows() || input.cols() < kernel.cols()) {
     return {};
@@ -341,8 +340,9 @@ Matrix conv2d(const Matrix &input, const Matrix &kernel) {
   return out;
 }
 
-Matrix conv2d_opt(const Matrix &input, const Matrix &kernel,
-                  const KernelParams &params, parallel::ThreadPool &pool) {
+Matrix legacy_conv2d_opt(const Matrix &input, const Matrix &kernel,
+                         const KernelParams &params,
+                         parallel::ThreadPool &pool) {
   if (kernel.rows() == 0 || kernel.cols() == 0 ||
       input.rows() < kernel.rows() || input.cols() < kernel.cols()) {
     return {};
@@ -378,6 +378,27 @@ Matrix conv2d_opt(const Matrix &input, const Matrix &kernel,
     for (std::size_t yb = 0; yb < yblocks; ++yb) body(yb);
   }
   return out;
+}
+
+}  // namespace detail
+
+Matrix matmul_atb(const Matrix &a, const Matrix &b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("matmul_atb: row counts differ");
+  }
+  const std::size_t n = a.rows(), p = a.cols(), q = b.cols();
+  Matrix c(p, q, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double *arow = a.row(i).data();
+    const double *brow = b.row(i).data();
+    for (std::size_t j = 0; j < p; ++j) {
+      const double aij = arow[j];
+      if (aij == 0.0) continue;  // sparse activations skip whole rows of C
+      double *crow = c.row(j).data();
+      for (std::size_t k = 0; k < q; ++k) crow[k] += aij * brow[k];
+    }
+  }
+  return c;
 }
 
 double matvec_flops(std::size_t m, std::size_t n) noexcept {

@@ -1,0 +1,73 @@
+// AVX2+FMA instantiation of the shared microkernel templates.
+//
+// This translation unit is the only one compiled with -mavx2 -mfma (see
+// src/tensor/CMakeLists.txt, which also defines TREU_TENSOR_AVX2_BUILD when
+// it does so). Nothing here executes unless runtime dispatch has already
+// confirmed the CPU supports AVX2+FMA, so the ISA-specific flags are safe:
+// the compiler may use AVX2 freely inside these functions, and non-AVX2
+// hosts simply never call them.
+//
+// avx2_backend_compiled() is defined here — next to the object code it
+// reports on — so "was the backend built" can never disagree with what the
+// binary actually contains.
+
+#include "treu/tensor/cpu_features.hpp"
+#include "treu/tensor/kernels.hpp"
+
+#if defined(TREU_TENSOR_AVX2_BUILD) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "kernels_micro.hpp"
+
+namespace treu::tensor {
+namespace {
+
+/// Four doubles per register; fma maps to vfmadd (single rounding), matching
+/// ScalarVec's std::fma so the two backends agree bitwise on the
+/// broadcast-FMA kernels (matmul, conv1d, conv2d).
+struct Avx2Vec {
+  using Reg = __m256d;
+  static constexpr std::size_t kWidth = 4;
+  static Reg zero() noexcept { return _mm256_setzero_pd(); }
+  static Reg load(const double *p) noexcept { return _mm256_loadu_pd(p); }
+  static Reg broadcast(double v) noexcept { return _mm256_set1_pd(v); }
+  static Reg fma(Reg a, Reg b, Reg c) noexcept {
+    return _mm256_fmadd_pd(a, b, c);
+  }
+  static void store(double *p, Reg v) noexcept { _mm256_storeu_pd(p, v); }
+  /// Pairwise tree: (lane0+lane2) + (lane1+lane3).
+  static double hsum(Reg v) noexcept {
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    const __m128d sum2 = _mm_add_pd(lo, hi);
+    const __m128d swapped = _mm_unpackhi_pd(sum2, sum2);
+    return _mm_cvtsd_f64(_mm_add_sd(sum2, swapped));
+  }
+};
+
+const detail::Backend kAvx2Backend = micro::make_backend<Avx2Vec>();
+
+}  // namespace
+
+bool avx2_backend_compiled() noexcept { return true; }
+
+namespace detail {
+const Backend *avx2_backend() noexcept { return &kAvx2Backend; }
+}  // namespace detail
+
+}  // namespace treu::tensor
+
+#else  // portable build: no AVX2 object code in this binary
+
+namespace treu::tensor {
+
+bool avx2_backend_compiled() noexcept { return false; }
+
+namespace detail {
+const Backend *avx2_backend() noexcept { return nullptr; }
+}  // namespace detail
+
+}  // namespace treu::tensor
+
+#endif

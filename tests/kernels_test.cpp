@@ -4,12 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 #include <tuple>
+#include <utility>
 
+#include "treu/core/compare.hpp"
 #include "treu/core/rng.hpp"
 #include "treu/parallel/thread_pool.hpp"
+#include "treu/tensor/cpu_features.hpp"
 #include "treu/tensor/kernels.hpp"
 
 namespace tt = treu::tensor;
@@ -288,4 +293,331 @@ TEST(MatmulAtb, SparseInputFastPathIsExact) {
   const tt::Matrix b = tt::Matrix::random_normal(20, 4, rng);
   EXPECT_LT(tt::matmul_atb(a, b).max_abs_diff(tt::matmul(a.transposed(), b)),
             1e-12);
+}
+
+// --- The Kernel dispatch surface: ISA x shape x register-tile parity ---------
+
+namespace {
+
+// Parity gate between backends and the naive reference: bitwise where the
+// accumulation order is preserved, ULP-bounded where lane-split reductions
+// legitimately reorder the sum. The absolute escape covers results near zero
+// where ULP distance explodes.
+void expect_ulp_close(double ref, double got, const char *what,
+                      std::uint64_t max_ulps = 512) {
+  if (ref == got) return;
+  if (std::fabs(ref - got) <= 1e-12) return;
+  EXPECT_LE(treu::core::ulp_distance(ref, got), max_ulps)
+      << what << ": ref=" << ref << " got=" << got;
+}
+
+std::vector<tt::Isa> testable_isas() {
+  std::vector<tt::Isa> isas = {tt::Isa::Scalar};
+  if (tt::Kernel::available(tt::Isa::Avx2)) isas.push_back(tt::Isa::Avx2);
+  return isas;
+}
+
+}  // namespace
+
+TEST(KernelDispatch, MatmulParityAcrossIsaShapeAndRtile) {
+  treu::core::Rng rng(50);
+  const std::vector<std::array<std::size_t, 3>> shapes = {
+      {1, 1, 1}, {3, 7, 5}, {8, 8, 8}, {13, 9, 1}, {33, 31, 29}, {64, 64, 64}};
+  const std::vector<std::pair<std::size_t, std::size_t>> rtiles = {
+      {0, 0}, {2, 8}, {4, 8}, {6, 16}, {8, 4}, {4, 32}};
+  for (const auto &[m, n, k] : shapes) {
+    const tt::Matrix a = tt::Matrix::random_uniform(m, k, rng, -1.0, 1.0);
+    const tt::Matrix b = tt::Matrix::random_uniform(k, n, rng, -1.0, 1.0);
+    const tt::Matrix ref = tt::matmul(a, b);
+    for (const tt::Isa isa : testable_isas()) {
+      for (const auto &[rm, rn] : rtiles) {
+        for (const bool par : {false, true}) {
+          tt::KernelParams p;
+          p.isa = isa;
+          p.rtile_m = rm;
+          p.rtile_n = rn;
+          p.parallel = par;
+          const tt::Matrix c = tt::Kernel::matmul(a, b, p, pool());
+          ASSERT_EQ(c.rows(), ref.rows());
+          ASSERT_EQ(c.cols(), ref.cols());
+          for (std::size_t r = 0; r < c.rows(); ++r) {
+            for (std::size_t col = 0; col < c.cols(); ++col) {
+              expect_ulp_close(ref(r, col), c(r, col), "matmul");
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, MatmulTransposedAndMatvecParityAcrossIsa) {
+  treu::core::Rng rng(51);
+  const tt::Matrix a = tt::Matrix::random_uniform(19, 23, rng, -1.0, 1.0);
+  const tt::Matrix bt = tt::Matrix::random_uniform(17, 23, rng, -1.0, 1.0);
+  const tt::Matrix mt_ref = tt::matmul_transposed(a, bt);
+  std::vector<double> x(23);
+  for (auto &v : x) v = rng.uniform(-1.0, 1.0);
+  const std::vector<double> mv_ref = tt::matvec(a, x);
+  for (const tt::Isa isa : testable_isas()) {
+    for (const std::size_t unroll : {1, 4}) {
+      for (const bool par : {false, true}) {
+        tt::KernelParams p;
+        p.isa = isa;
+        p.unroll = unroll;
+        p.parallel = par;
+        p.rtile_m = 4;  // force the micro path even for Scalar
+        const tt::Matrix mt = tt::Kernel::matmul_transposed(a, bt, p, pool());
+        for (std::size_t r = 0; r < mt.rows(); ++r) {
+          for (std::size_t c = 0; c < mt.cols(); ++c) {
+            expect_ulp_close(mt_ref(r, c), mt(r, c), "matmul_t");
+          }
+        }
+        const std::vector<double> mv = tt::Kernel::matvec(a, x, p, pool());
+        ASSERT_EQ(mv.size(), mv_ref.size());
+        for (std::size_t i = 0; i < mv.size(); ++i) {
+          expect_ulp_close(mv_ref[i], mv[i], "matvec");
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, ConvParityAcrossIsaAndOddShapes) {
+  treu::core::Rng rng(52);
+  std::vector<double> input(259), w(17);  // deliberately not multiples of 4
+  for (auto &v : input) v = rng.uniform(-1.0, 1.0);
+  for (auto &v : w) v = rng.uniform(-1.0, 1.0);
+  const auto c1_ref = tt::conv1d(input, w);
+  const tt::Matrix img = tt::Matrix::random_uniform(25, 27, rng, -1.0, 1.0);
+  const tt::Matrix ker = tt::Matrix::random_uniform(5, 5, rng, -1.0, 1.0);
+  const tt::Matrix c2_ref = tt::conv2d(img, ker);
+  for (const tt::Isa isa : testable_isas()) {
+    for (const bool par : {false, true}) {
+      tt::KernelParams p;
+      p.isa = isa;
+      p.parallel = par;
+      p.rtile_n = 8;  // force the micro path even for Scalar
+      const auto c1 = tt::Kernel::conv1d(input, w, p, pool());
+      ASSERT_EQ(c1.size(), c1_ref.size());
+      for (std::size_t i = 0; i < c1.size(); ++i) {
+        expect_ulp_close(c1_ref[i], c1[i], "conv1d");
+      }
+      const tt::Matrix c2 = tt::Kernel::conv2d(img, ker, p, pool());
+      ASSERT_EQ(c2.rows(), c2_ref.rows());
+      for (std::size_t r = 0; r < c2.rows(); ++r) {
+        for (std::size_t c = 0; c < c2.cols(); ++c) {
+          expect_ulp_close(c2_ref(r, c), c2(r, c), "conv2d");
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, ScalarAndAvx2BitwiseAgreeOnFmaKernels) {
+  // matmul/conv1d/conv2d accumulate per-element in ascending k with fma in
+  // both microkernel instantiations, so the backends must agree *bitwise*.
+  // (Dot-style kernels — matvec, matmul_t — use lane-split reductions and
+  // are only ULP-bounded, covered above.)
+  if (!tt::Kernel::available(tt::Isa::Avx2)) GTEST_SKIP() << "no AVX2 here";
+  treu::core::Rng rng(53);
+  const tt::Matrix a = tt::Matrix::random_uniform(22, 18, rng, -1.0, 1.0);
+  const tt::Matrix b = tt::Matrix::random_uniform(18, 21, rng, -1.0, 1.0);
+  std::vector<double> sig(131), taps(9);
+  for (auto &v : sig) v = rng.uniform(-1.0, 1.0);
+  for (auto &v : taps) v = rng.uniform(-1.0, 1.0);
+  tt::KernelParams scalar;
+  scalar.isa = tt::Isa::Scalar;
+  scalar.rtile_m = 4;
+  scalar.rtile_n = 8;
+  tt::KernelParams avx2 = scalar;
+  avx2.isa = tt::Isa::Avx2;
+
+  const tt::Matrix ms = tt::Kernel::matmul(a, b, scalar, pool());
+  const tt::Matrix mv = tt::Kernel::matmul(a, b, avx2, pool());
+  for (std::size_t r = 0; r < ms.rows(); ++r) {
+    for (std::size_t c = 0; c < ms.cols(); ++c) {
+      EXPECT_EQ(ms(r, c), mv(r, c)) << "matmul differs at " << r << "," << c;
+    }
+  }
+  EXPECT_EQ(tt::Kernel::conv1d(sig, taps, scalar, pool()),
+            tt::Kernel::conv1d(sig, taps, avx2, pool()));
+  const tt::Matrix c2s = tt::Kernel::conv2d(a, tt::Matrix(3, 3, 0.5), scalar, pool());
+  const tt::Matrix c2v = tt::Kernel::conv2d(a, tt::Matrix(3, 3, 0.5), avx2, pool());
+  for (std::size_t r = 0; r < c2s.rows(); ++r) {
+    for (std::size_t c = 0; c < c2s.cols(); ++c) {
+      EXPECT_EQ(c2s(r, c), c2v(r, c)) << "conv2d differs at " << r << "," << c;
+    }
+  }
+}
+
+TEST(KernelDispatch, ShimsBitwiseIdenticalToDirectDispatch) {
+  treu::core::Rng rng(54);
+  const tt::Matrix a = tt::Matrix::random_uniform(14, 11, rng, -1.0, 1.0);
+  const tt::Matrix b = tt::Matrix::random_uniform(11, 12, rng, -1.0, 1.0);
+  const tt::Matrix bt = tt::Matrix::random_uniform(9, 11, rng, -1.0, 1.0);
+  std::vector<double> x(11), sig(97), taps(7);
+  for (auto &v : x) v = rng.uniform(-1.0, 1.0);
+  for (auto &v : sig) v = rng.uniform(-1.0, 1.0);
+  for (auto &v : taps) v = rng.uniform(-1.0, 1.0);
+
+  tt::KernelParams tiled;
+  tiled.tile_i = 8;
+  tiled.tile_j = 8;
+  tiled.tile_k = 8;
+  tiled.unroll = 4;
+  for (const tt::KernelParams &p : {tt::KernelParams{}, tiled,
+                                    tt::Kernel::fast_params()}) {
+    EXPECT_EQ(tt::matvec_opt(a, x, p, pool()).front(),
+              tt::Kernel::matvec(a, x, p, pool()).front());
+    EXPECT_EQ(tt::matmul_opt(a, b, p, pool())(3, 4),
+              tt::Kernel::matmul(a, b, p, pool())(3, 4));
+    EXPECT_EQ(tt::matmul_transposed_opt(a, bt, p, pool())(2, 5),
+              tt::Kernel::matmul_transposed(a, bt, p, pool())(2, 5));
+    EXPECT_EQ(tt::conv1d_opt(sig, taps, p, pool()).back(),
+              tt::Kernel::conv1d(sig, taps, p, pool()).back());
+    EXPECT_EQ(tt::conv2d_opt(a, tt::Matrix(3, 3, 0.25), p, pool())(1, 1),
+              tt::Kernel::conv2d(a, tt::Matrix(3, 3, 0.25), p, pool())(1, 1));
+  }
+  // Poolless naive shims route through pure_default -> legacy naive nests.
+  tt::KernelParams ijk;
+  ijk.order = tt::LoopOrder::IJK;
+  EXPECT_EQ(tt::matmul(a, b)(0, 0),
+            tt::Kernel::matmul(a, b, ijk, tt::Kernel::default_pool())(0, 0));
+  EXPECT_EQ(tt::matvec(a, x),
+            tt::Kernel::matvec(a, x, tt::KernelParams{},
+                               tt::Kernel::default_pool()));
+  EXPECT_EQ(tt::conv1d(sig, taps),
+            tt::Kernel::conv1d(sig, taps, tt::KernelParams{},
+                               tt::Kernel::default_pool()));
+}
+
+TEST(KernelDispatch, SkipZeroAIsBitwiseExactOnMicroPath) {
+  treu::core::Rng rng(55);
+  tt::Matrix a = tt::Matrix::random_uniform(17, 13, rng, -1.0, 1.0);
+  for (auto &v : a.flat()) {
+    if (rng.bernoulli(0.8)) v = 0.0;  // sparse activations
+  }
+  const tt::Matrix b = tt::Matrix::random_uniform(13, 10, rng, -1.0, 1.0);
+  tt::KernelParams p = tt::Kernel::fast_params();
+  p.skip_zero_a = false;
+  const tt::Matrix dense = tt::Kernel::matmul(a, b, p, pool());
+  p.skip_zero_a = true;
+  const tt::Matrix sparse = tt::Kernel::matmul(a, b, p, pool());
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      EXPECT_EQ(dense(r, c), sparse(r, c));
+    }
+  }
+}
+
+TEST(KernelDispatch, MissingOperandThrows) {
+  tt::KernelArgs args;  // no matrices at all
+  EXPECT_THROW((void)tt::Kernel::run(tt::KernelOp::MatVec, args,
+                                     tt::KernelParams{}, pool()),
+               std::invalid_argument);
+  EXPECT_THROW((void)tt::Kernel::run(tt::KernelOp::MatMul, args,
+                                     tt::KernelParams{}, pool()),
+               std::invalid_argument);
+}
+
+// --- CPU features and the TREU_FORCE_ISA pin ---------------------------------
+
+namespace {
+
+// RAII guard: set/unset TREU_FORCE_ISA and drop the cached decision, restoring
+// the previous state on scope exit so test order cannot leak pins.
+class ForcedIsaGuard {
+ public:
+  explicit ForcedIsaGuard(const char *value) {
+    const char *old = std::getenv("TREU_FORCE_ISA");
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv("TREU_FORCE_ISA", value, 1);
+    } else {
+      ::unsetenv("TREU_FORCE_ISA");
+    }
+    tt::refresh_forced_isa_for_testing();
+  }
+  ~ForcedIsaGuard() {
+    if (had_value_) {
+      ::setenv("TREU_FORCE_ISA", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("TREU_FORCE_ISA");
+    }
+    tt::refresh_forced_isa_for_testing();
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+}  // namespace
+
+TEST(CpuFeatures, ResolveForcedIsaRefusalLogic) {
+  EXPECT_EQ(tt::detail::resolve_forced_isa("scalar", false), tt::Isa::Scalar);
+  EXPECT_EQ(tt::detail::resolve_forced_isa("scalar", true), tt::Isa::Scalar);
+  EXPECT_EQ(tt::detail::resolve_forced_isa("avx2", true), tt::Isa::Avx2);
+  EXPECT_THROW((void)tt::detail::resolve_forced_isa("avx2", false),
+               std::runtime_error);
+  EXPECT_THROW((void)tt::detail::resolve_forced_isa("neon", true),
+               std::runtime_error);
+  EXPECT_THROW((void)tt::detail::resolve_forced_isa("AVX2", true),
+               std::runtime_error);  // spellings are exact, lowercase
+}
+
+TEST(CpuFeatures, ForcedScalarPinOverridesEveryDispatch) {
+  ForcedIsaGuard guard("scalar");
+  ASSERT_EQ(tt::forced_isa(), tt::Isa::Scalar);
+  EXPECT_EQ(tt::Kernel::best(), tt::Isa::Scalar);
+  EXPECT_FALSE(tt::Kernel::available(tt::Isa::Avx2));
+  EXPECT_EQ(tt::Kernel::effective(tt::Isa::Avx2), tt::Isa::Scalar);
+
+  // A dispatch requesting AVX2 under the pin falls back, still computes
+  // the right answer, and is counted.
+  treu::core::Rng rng(56);
+  const tt::Matrix a = tt::Matrix::random_uniform(9, 7, rng, -1.0, 1.0);
+  const tt::Matrix b = tt::Matrix::random_uniform(7, 8, rng, -1.0, 1.0);
+  const tt::Matrix ref = tt::matmul(a, b);
+  tt::KernelParams p;
+  p.isa = tt::Isa::Avx2;
+  p.rtile_m = 4;
+  p.rtile_n = 8;
+  const std::uint64_t before = tt::Kernel::isa_fallbacks();
+  const tt::Matrix c = tt::Kernel::matmul(a, b, p, pool());
+  EXPECT_EQ(tt::Kernel::isa_fallbacks(), before + 1);
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    for (std::size_t col = 0; col < c.cols(); ++col) {
+      expect_ulp_close(ref(r, col), c(r, col), "forced-scalar matmul");
+    }
+  }
+}
+
+TEST(CpuFeatures, UnknownForcedIsaThrowsOnUse) {
+  ForcedIsaGuard guard("sse9");
+  EXPECT_THROW((void)tt::forced_isa(), std::runtime_error);
+  // The invalid pin re-throws on every query; it cannot be shrugged off.
+  EXPECT_THROW((void)tt::Kernel::best(), std::runtime_error);
+}
+
+TEST(CpuFeatures, DetectionIsConsistentWithBackendPresence) {
+  // Whatever this host is, the invariants hold: Scalar always works, and
+  // Avx2 availability implies both CPUID support and compiled object code.
+  ForcedIsaGuard guard(nullptr);  // make sure no pin interferes
+  EXPECT_TRUE(tt::Kernel::available(tt::Isa::Scalar));
+  EXPECT_TRUE(tt::cpu_supports(tt::Isa::Scalar));
+  if (tt::Kernel::available(tt::Isa::Avx2)) {
+    EXPECT_TRUE(tt::cpu_supports(tt::Isa::Avx2));
+    EXPECT_TRUE(tt::avx2_backend_compiled());
+    EXPECT_NE(tt::detail::avx2_backend(), nullptr);
+    EXPECT_EQ(tt::Kernel::best(), tt::Isa::Avx2);
+  } else {
+    EXPECT_EQ(tt::Kernel::best(), tt::Isa::Scalar);
+  }
+  EXPECT_STREQ(tt::to_string(tt::Isa::Avx2), "avx2");
+  EXPECT_EQ(tt::parse_isa("avx2"), tt::Isa::Avx2);
+  EXPECT_EQ(tt::parse_isa("scalar"), tt::Isa::Scalar);
+  EXPECT_FALSE(tt::parse_isa("mmx").has_value());
 }

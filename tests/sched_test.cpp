@@ -3,14 +3,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <functional>
 #include <set>
 
 #include "treu/core/rng.hpp"
 #include "treu/sched/autotune.hpp"
 #include "treu/sched/problem.hpp"
 #include "treu/sched/schedule.hpp"
+#include "treu/tensor/cpu_features.hpp"
+#include "treu/tensor/kernels.hpp"
 
 namespace ts = treu::sched;
+namespace tt = treu::tensor;
 using treu::parallel::ThreadPool;
 
 namespace {
@@ -23,6 +29,31 @@ ThreadPool &pool() {
 const std::vector<ts::KernelKind> kAllKernels = {
     ts::KernelKind::MatVec, ts::KernelKind::Conv1D, ts::KernelKind::Conv2D,
     ts::KernelKind::MatMul, ts::KernelKind::MatMulTransposed};
+
+// Pin TREU_FORCE_ISA for one test and restore whatever was there before, so
+// these tests behave the same inside a forced-scalar CI job.
+class ScopedForceIsa {
+ public:
+  explicit ScopedForceIsa(const char *value) {
+    const char *old = std::getenv("TREU_FORCE_ISA");
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    ::setenv("TREU_FORCE_ISA", value, 1);
+    tt::refresh_forced_isa_for_testing();
+  }
+  ~ScopedForceIsa() {
+    if (had_) {
+      ::setenv("TREU_FORCE_ISA", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("TREU_FORCE_ISA");
+    }
+    tt::refresh_forced_isa_for_testing();
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
 
 ts::ProblemSize small_size(ts::KernelKind kind) {
   switch (kind) {
@@ -40,7 +71,7 @@ ts::ProblemSize small_size(ts::KernelKind kind) {
 TEST(Schedule, BaselineIsValidForEveryKernel) {
   for (const auto kind : kAllKernels) {
     const ts::Schedule s = ts::ScheduleSpace::baseline(kind);
-    EXPECT_TRUE(s.valid()) << ts::to_string(kind);
+    EXPECT_TRUE(s.valid()) << tt::to_string(kind);
     EXPECT_EQ(s.kernel, kind);
     EXPECT_FALSE(s.params.parallel);
   }
@@ -92,6 +123,11 @@ TEST(ScheduleSpace, MutationChangesAtMostOneKnob) {
     if (m.params.unroll != s.params.unroll) ++changed;
     if (m.params.parallel != s.params.parallel) ++changed;
     if (m.params.order != s.params.order) ++changed;
+    if (m.params.isa != s.params.isa) ++changed;
+    if (m.params.rtile_m != s.params.rtile_m ||
+        m.params.rtile_n != s.params.rtile_n) {
+      ++changed;  // the register-tile shape mutates as one knob
+    }
     EXPECT_LE(changed, 1);
     EXPECT_TRUE(m.valid());
   }
@@ -115,9 +151,11 @@ TEST(ScheduleSpace, CardinalityMatchesKnobCount) {
   ts::ScheduleSpace space;
   const std::size_t t = space.tile_candidates.size();
   const std::size_t u = space.unroll_candidates.size();
-  EXPECT_EQ(space.cardinality(ts::KernelKind::MatVec), t * u * 2);
+  const std::size_t v = space.isa_candidates.size();
+  const std::size_t r = space.rtile_candidates.size();
+  EXPECT_EQ(space.cardinality(ts::KernelKind::MatVec), t * u * 2 * v);
   EXPECT_EQ(space.cardinality(ts::KernelKind::MatMul),
-            space.order_candidates.size() * t * t * t * u * 2);
+            space.order_candidates.size() * t * t * t * u * 2 * v * r);
 }
 
 TEST(Problem, EveryKernelExecutesBaselineCorrectly) {
@@ -126,7 +164,7 @@ TEST(Problem, EveryKernelExecutesBaselineCorrectly) {
     ts::Problem problem(kind, small_size(kind), rng);
     const auto m =
         problem.measure(ts::ScheduleSpace::baseline(kind), pool(), 1);
-    EXPECT_TRUE(m.output_matches_reference) << ts::to_string(kind);
+    EXPECT_TRUE(m.output_matches_reference) << tt::to_string(kind);
     EXPECT_GT(m.gflops, 0.0);
     EXPECT_GT(problem.flops(), 0.0);
     EXPECT_GT(problem.intensity(), 0.0);
@@ -143,7 +181,7 @@ TEST(Problem, RandomSchedulesAlwaysMatchReference) {
       const ts::Schedule s = space.random_schedule(kind, rng);
       const auto m = problem.measure(s, pool(), 1);
       EXPECT_TRUE(m.output_matches_reference)
-          << ts::to_string(kind) << " " << s.to_string();
+          << tt::to_string(kind) << " " << s.to_string();
     }
   }
 }
@@ -257,7 +295,7 @@ TEST(DefaultSizes, AreNonDegenerate) {
     const auto size = ts::default_size(kind);
     treu::core::Rng rng(13);
     ts::Problem problem(kind, size, rng);
-    EXPECT_GT(problem.flops(), 1e4) << ts::to_string(kind);
+    EXPECT_GT(problem.flops(), 1e4) << tt::to_string(kind);
   }
 }
 
@@ -307,4 +345,106 @@ TEST(ScheduleParse, ParsedScheduleExecutesCorrectly) {
   ASSERT_TRUE(schedule.has_value());
   const auto m = problem.measure(*schedule, pool(), 1);
   EXPECT_TRUE(m.output_matches_reference);
+}
+
+TEST(ScheduleParse, IsaAndRtileRoundTrip) {
+  const auto s = ts::Schedule::parse(
+      "matmul: order(ikj).tile(i=64,j=64,k=32).unroll(4).isa(avx2).rtile(4x8).parallel");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->params.isa, tt::Isa::Avx2);
+  EXPECT_EQ(s->params.rtile_m, 4u);
+  EXPECT_EQ(s->params.rtile_n, 8u);
+  EXPECT_TRUE(s->params.parallel);
+  // render(parse(text)) == text for every canonical string.
+  for (const char *text :
+       {"matmul: order(ikj).tile(i=64,j=64,k=32).unroll(4).isa(avx2).rtile(4x8).parallel",
+        "matmul: order(ijk).tile(i=0,j=0,k=0).unroll(1)",
+        "matvec: tile(i=32,j=0).unroll(2).isa(avx2)",
+        "conv1d: tile(i=16,j=0).unroll(8).isa(avx2).parallel",
+        "conv2d: tile(i=8,j=8).unroll(4).rtile(2x8)",
+        "matmul_t: order(ikj).tile(i=8,j=16,k=0).unroll(1).isa(avx2)"}) {
+    const auto parsed = ts::Schedule::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->to_string(), text);
+  }
+  // Pre-SIMD schedule strings still parse to the scalar default, and render
+  // without the new suffixes — published schedules stay canonical.
+  const auto old = ts::Schedule::parse("matmul: order(ikj).tile(i=8,j=8,k=8).unroll(2)");
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(old->params.isa, tt::Isa::Scalar);
+  EXPECT_EQ(old->params.rtile_m, 0u);
+  EXPECT_EQ(old->to_string(), "matmul: order(ikj).tile(i=8,j=8,k=8).unroll(2)");
+  // Malformed isa/rtile are rejected, not guessed at.
+  EXPECT_FALSE(ts::Schedule::parse(
+      "matmul: order(ikj).tile(i=0,j=0,k=0).unroll(1).isa(neon)").has_value());
+  EXPECT_FALSE(ts::Schedule::parse(
+      "matmul: order(ikj).tile(i=0,j=0,k=0).unroll(1).rtile(4)").has_value());
+  EXPECT_FALSE(ts::Schedule::parse(
+      "matmul: order(ikj).tile(i=0,j=0,k=0).unroll(1).rtile(16x8)").has_value());
+}
+
+TEST(ScheduleExec, UnavailableIsaFallsBackWithMetricInsteadOfThrowing) {
+  // Pin the process to scalar so an avx2-naming schedule is guaranteed to
+  // be "from another machine", whatever host runs the tests.
+  ScopedForceIsa pin("scalar");
+  treu::core::Rng rng(60);
+  ts::Problem problem(ts::KernelKind::MatMul,
+                      small_size(ts::KernelKind::MatMul), rng);
+  const auto schedule = ts::Schedule::parse(
+      "matmul: order(ikj).tile(i=0,j=0,k=0).unroll(1).isa(avx2).rtile(4x8)");
+  ASSERT_TRUE(schedule.has_value());
+  const std::uint64_t before = tt::Kernel::isa_fallbacks();
+  ts::Measurement m;
+  EXPECT_NO_THROW(m = problem.measure(*schedule, pool(), 1));
+  EXPECT_TRUE(m.output_matches_reference);
+  EXPECT_GT(tt::Kernel::isa_fallbacks(), before);
+}
+
+TEST(Autotune, PureEvaluatorMakesWinnerByteIdentical) {
+  // With a pure cost oracle the whole GA run is replayable: same seed +
+  // same detected ISA => byte-identical winning schedule. Wall-clock
+  // measurement cannot promise this; the injectable evaluator can.
+  treu::core::Rng rng(61);
+  ts::Problem problem(ts::KernelKind::MatMul,
+                      small_size(ts::KernelKind::MatMul), rng);
+  ts::TuneConfig config;
+  config.population = 8;
+  config.generations = 4;
+  config.seed = 123;
+  config.evaluator = [](const ts::Problem &, const ts::Schedule &s,
+                        ThreadPool &, std::size_t) {
+    ts::Measurement m;
+    // Deterministic pseudo-cost from the schedule text alone.
+    double cost = 1.0;
+    for (const char c : s.to_string()) {
+      cost = cost * 31.0 + static_cast<double>(c);
+      cost = std::fmod(cost, 1e6) + 1.0;
+    }
+    m.seconds = cost;
+    m.output_matches_reference = true;
+    return m;
+  };
+  const auto r1 = ts::genetic_autotune(problem, config, pool());
+  const auto r2 = ts::genetic_autotune(problem, config, pool());
+  EXPECT_EQ(r1.best.schedule, r2.best.schedule);
+  EXPECT_EQ(r1.best.schedule.to_string(), r2.best.schedule.to_string());
+  EXPECT_EQ(r1.best_cost_per_generation, r2.best_cost_per_generation);
+  // The winner never names an ISA this host cannot execute: requests are
+  // normalized through Kernel::effective() before entering the population.
+  EXPECT_TRUE(tt::Kernel::available(r1.best.schedule.params.isa));
+}
+
+TEST(Autotune, WinnerIsaIsAlwaysAvailableUnderForcedScalar) {
+  ScopedForceIsa pin("scalar");
+  treu::core::Rng rng(62);
+  ts::Problem problem(ts::KernelKind::MatMul,
+                      small_size(ts::KernelKind::MatMul), rng);
+  ts::TuneConfig config;
+  config.population = 6;
+  config.generations = 2;
+  config.repeats = 1;
+  config.seed = 17;
+  const auto result = ts::genetic_autotune(problem, config, pool());
+  EXPECT_EQ(result.best.schedule.params.isa, tt::Isa::Scalar);
+  EXPECT_TRUE(result.best.measurement.output_matches_reference);
 }
