@@ -1,0 +1,163 @@
+// Graph compiler (docs/compiler.md): how long compile() takes on the
+// captured model families, and what operator fusion buys at run time.
+// Fused-vs-unfused compares the same pass pipeline with only the fusion
+// passes (and the constant folding that feeds them) toggled — layout
+// selection runs in both, so the delta is fusion, not kernel choice. By
+// the compiler's bitwise contract both plans produce identical outputs,
+// which print_report() re-checks before timing anything.
+
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "treu/core/manifest.hpp"
+#include "treu/core/rng.hpp"
+#include "treu/graph/builder.hpp"
+#include "treu/graph/plan.hpp"
+#include "treu/nn/conv.hpp"
+#include "treu/nn/layers.hpp"
+#include "treu/nn/mlp.hpp"
+#include "treu/tensor/matrix.hpp"
+
+namespace {
+
+namespace tg = treu::graph;
+namespace tn = treu::nn;
+namespace tt = treu::tensor;
+
+constexpr std::uint64_t kSeed = 8;
+
+tg::CompileOptions unfused_options() {
+  tg::CompileOptions opts;
+  opts.fold_constants = false;
+  opts.fuse_conv = false;
+  opts.fuse_dense = false;
+  return opts;
+}
+
+tn::MlpClassifier make_mlp(treu::core::Rng &rng) {
+  return tn::MlpClassifier(64, {128, 96}, 10, rng);
+}
+
+tn::Sequential make_conv_stack(treu::core::Rng &rng) {
+  tn::Sequential net;
+  net.emplace<tn::Conv1dSeq>(16, 32, 5, rng);
+  net.emplace<tn::ReLU>();
+  net.emplace<tn::GlobalMaxPool>();
+  net.emplace<tn::Dense>(32, 8, rng);
+  return net;
+}
+
+double run_seconds(const tg::Plan &plan, const tt::Matrix &x,
+                   std::size_t iters) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    benchmark::DoNotOptimize(plan.run(x));
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void report_family(const char *name, tg::Captured &captured,
+                   const tt::Matrix &input) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const tg::Plan fused = tg::compile(captured.graph, {});
+  const double compile_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  const tg::Plan unfused = tg::compile(captured.graph, unfused_options());
+
+  // The whole point of the differential harness: fused and unfused plans
+  // are the same function, bit for bit. Refuse to report a speedup
+  // otherwise.
+  const tt::Matrix a = fused.run(input);
+  const tt::Matrix b = unfused.run(input);
+  if (a.digest().hex() != b.digest().hex()) {
+    std::fprintf(stderr, "bench_compile: %s fused/unfused outputs diverge\n",
+                 name);
+    return;
+  }
+
+  constexpr std::size_t kIters = 200;
+  (void)run_seconds(fused, input, 8);  // warm both paths
+  (void)run_seconds(unfused, input, 8);
+  const double fused_s = run_seconds(fused, input, kIters);
+  const double unfused_s = run_seconds(unfused, input, kIters);
+  const tg::CompileReport &r = fused.report();
+  std::printf(
+      "  %-12s compile %7.3f ms  nodes %3zu -> %2zu  fused %zu conv + %zu "
+      "dense  run %8.1f us fused vs %8.1f us unfused  speedup %.2fx\n",
+      name, compile_ms, r.nodes_before, r.nodes_after, r.conv_fused,
+      r.dense_fused, 1e6 * fused_s / kIters, 1e6 * unfused_s / kIters,
+      unfused_s / fused_s);
+}
+
+void print_report() {
+  std::printf("== Graph compiler: compile time and fusion speedup ==\n");
+  treu::core::Rng rng(kSeed);
+  tn::MlpClassifier mlp = make_mlp(rng);
+  tg::Captured mlp_captured = tg::capture_mlp(mlp);
+  const tt::Matrix batch = tt::Matrix::random_uniform(64, 64, rng, -1.0, 1.0);
+  report_family("mlp", mlp_captured, batch);
+
+  tn::Sequential conv = make_conv_stack(rng);
+  tg::Captured conv_captured = tg::capture_sequential(conv, 16);
+  const tt::Matrix seq = tt::Matrix::random_uniform(96, 16, rng, -1.0, 1.0);
+  report_family("conv_stack", conv_captured, seq);
+  std::printf("\n");
+}
+
+void BM_CompileMlp(benchmark::State &state) {
+  treu::core::Rng rng(kSeed);
+  tn::MlpClassifier mlp = make_mlp(rng);
+  const tg::Captured captured = tg::capture_mlp(mlp);
+  for (auto _ : state) {
+    const tg::Plan plan = tg::compile(captured.graph, {});
+    benchmark::DoNotOptimize(&plan);
+    state.counters["nodes_after"] =
+        static_cast<double>(plan.report().nodes_after);
+  }
+}
+BENCHMARK(BM_CompileMlp)->Unit(benchmark::kMicrosecond);
+
+void BM_PlanRun(benchmark::State &state) {
+  treu::core::Rng rng(kSeed);
+  tn::MlpClassifier mlp = make_mlp(rng);
+  const tg::Captured captured = tg::capture_mlp(mlp);
+  const bool fuse = state.range(0) != 0;
+  const tg::Plan plan =
+      tg::compile(captured.graph, fuse ? tg::CompileOptions{}
+                                       : unfused_options());
+  const tt::Matrix batch = tt::Matrix::random_uniform(64, 64, rng, -1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.run(batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.rows()));
+}
+BENCHMARK(BM_PlanRun)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, kSeed);
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_compile";
+  manifest.description =
+      "Graph compiler: compile time and fused-vs-unfused plan speedup";
+  manifest.set("mlp_batch", std::int64_t{64});
+  manifest.set("conv_seq", std::int64_t{96});
+  treu::bench::finish(flags, manifest);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#pragma once
+
+// Builders: capture the hand-written nn forward passes as graphs.
+//
+// capture_sequential walks a Sequential layer by layer (dynamic_cast over
+// the concrete layer types) and emits the primitive-op dataflow each layer
+// computes at inference time. The captured graph, run through the reference
+// interpreter, is bitwise identical to the hand-written forward for layers
+// whose kernels are micro-matmul-backed (Dense stacks — the MLP family) and
+// ULP-close for layers whose hand-written code uses the dot-style kernels
+// (Conv1dSeq's matvec, attention's matmul_transposed): the graph re-expresses
+// those as Im2Row + MatMul and Transpose + MatMul so that the *graph's* own
+// semantics stay bitwise stable across every backend.
+//
+// Captured weights become Const nodes; their ids are returned in the exact
+// order the model's params() lists them, so a captured graph's weight set
+// digests identically to the source model's (nn::weight_digest order) and
+// hot-reload flows can address weights positionally.
+
+#include <vector>
+
+#include "treu/graph/ir.hpp"
+#include "treu/nn/layer.hpp"
+#include "treu/nn/mlp.hpp"
+
+namespace treu::graph {
+
+struct Captured {
+  Graph graph;
+  /// Const node ids of the captured parameters, in params() order (one per
+  /// nn::Param: Dense contributes {W, b}, LayerNorm {gain, bias}, ...).
+  std::vector<NodeId> params;
+};
+
+/// Capture a Sequential taking (rows x input_cols) activations. Dynamic rows
+/// (the default) captures batch/sequence-length polymorphic graphs; layers
+/// that need a static sequence length (MultiHeadAttention, TransformerBlock,
+/// PositionalEncoding) require `input_rows` to be static and throw
+/// std::invalid_argument otherwise. Unsupported layers throw with the layer
+/// name in the message. Dropout captures as identity (inference semantics).
+[[nodiscard]] Captured capture_sequential(nn::Sequential &net,
+                                          std::size_t input_cols,
+                                          Dim input_rows = Dim::dyn());
+
+/// Capture an MlpClassifier's Dense/ReLU stack with a dynamic batch axis.
+[[nodiscard]] Captured capture_mlp(nn::MlpClassifier &model);
+
+}  // namespace treu::graph

@@ -1,0 +1,61 @@
+#pragma once
+
+// The reference interpreter: executes a graph node-by-node in id order with
+// fixed scalar-microkernel dispatch parameters and loop nests copied verbatim
+// from the nn layers. It is the oracle every pass and every compiled Plan is
+// differential-tested against — "compiled output == interpreted output,
+// bitwise" is the repo's definition of a correct compilation.
+//
+// eval_node is shared three ways: the interpreter runs it with
+// reference_params(), constant folding runs it to fold Const-only subtrees
+// (so folding is bit-identical to evaluating at run time), and Plan::run
+// runs it with each node's selected kernel parameters. One evaluator means
+// a semantics fix lands everywhere at once and the oracle cannot drift from
+// the execution engine except through the kernel parameters — which the
+// microkernels' bitwise invariance makes a non-observable difference.
+
+#include <span>
+#include <vector>
+
+#include "treu/graph/ir.hpp"
+#include "treu/parallel/thread_pool.hpp"
+
+namespace treu::graph {
+
+/// Dispatch parameters of the oracle: Scalar ISA on the register-tiled
+/// micro path. Never the legacy scalar nests — those accumulate without FMA
+/// and would differ bitwise from every vector backend.
+[[nodiscard]] tensor::KernelParams reference_params() noexcept;
+
+/// Clamp arbitrary kernel parameters onto the micro path: a Scalar request
+/// with no register tile would fall through to the legacy nests, so it gets
+/// the reference register tile instead. Identity for anything already on
+/// the micro path.
+[[nodiscard]] tensor::KernelParams normalize_micro(
+    tensor::KernelParams p) noexcept;
+
+/// Evaluate one node given its operand values (same order as node.inputs).
+/// `kp` is used only by matmul-backed ops (MatMul and the fused forms);
+/// everything else is fixed-order scalar code. Throws std::invalid_argument
+/// on operand shape mismatches (which check_invariants rules out for graphs
+/// built through Graph::add).
+[[nodiscard]] tensor::Matrix eval_node(const Node &node,
+                                       std::span<const tensor::Matrix *const> in,
+                                       const tensor::KernelParams &kp,
+                                       parallel::ThreadPool &pool);
+
+/// Reference execution of a whole graph.
+class Interpreter {
+ public:
+  explicit Interpreter(const Graph &graph);
+
+  /// Run the graph on one input matrix. The input's column count must match
+  /// the graph's input node; its row count resolves the dynamic extent (and
+  /// must equal a static input row count exactly).
+  [[nodiscard]] tensor::Matrix run(const tensor::Matrix &input) const;
+
+ private:
+  const Graph &graph_;
+};
+
+}  // namespace treu::graph

@@ -1,0 +1,33 @@
+#pragma once
+
+// The op registry: one OpInfo per OpKind with arity bounds and a shape/type
+// inference rule. Graph::add consults it on every node insertion, and the
+// invariant checker re-runs inference over finished graphs, so a node whose
+// stored shape disagrees with its rule cannot survive either entry point.
+
+#include <span>
+
+#include "treu/graph/ir.hpp"
+
+namespace treu::graph {
+
+struct OpInfo {
+  const char *name = "";
+  std::size_t min_arity = 0;
+  std::size_t max_arity = 0;
+  /// True for Input/Const, whose shapes are set by the graph builder rather
+  /// than inferred from operands.
+  bool source = false;
+};
+
+/// Registry lookup; total over OpKind.
+[[nodiscard]] const OpInfo &op_info(OpKind op) noexcept;
+
+/// Infer the result shape of `op` applied to operands with the given shapes.
+/// Throws std::invalid_argument (with the op name in the message) on arity
+/// or shape violations. Source ops (Input/Const) are rejected — their shapes
+/// are declared, not inferred.
+[[nodiscard]] Shape infer_shape(OpKind op, std::span<const Shape> inputs,
+                                const Attrs &attrs);
+
+}  // namespace treu::graph

@@ -1,0 +1,79 @@
+#pragma once
+
+// The pass pipeline: constant folding, conv fusion, dense fusion, dead-code
+// elimination, and layout selection, plus the structural invariant checker
+// that runs between passes.
+//
+// Every rewriting pass is rebuild-style: it constructs a fresh Graph through
+// the same Graph::add entry points the builders use (so shape inference
+// re-runs on every surviving node) and returns it, never mutating its input.
+// Node order in the rebuilt graph follows the original id order, which keeps
+// the topological order stable across runs — the same graph in always
+// produces byte-identical Graph::to_string() out. Layout selection is the
+// one in-place pass: it only annotates kernel parameters, never changes
+// structure.
+//
+// Correctness story: each pass must be semantics-preserving *bitwise*, and
+// compiler_test enforces that by differential-testing every pass (alone and
+// in pipeline order) against the reference interpreter on fuzzed graphs.
+// The invariant checker is the structural half of that harness: it re-runs
+// shape inference over the finished graph and rejects dangling producers,
+// broken topological order, misdeclared constants, and out-of-range
+// attributes — the classes of bug a rewrite can introduce without changing
+// any computed value.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "treu/graph/ir.hpp"
+
+namespace treu::graph {
+
+/// Thrown by check_invariants; the message names the offending node.
+class GraphInvariantError final : public std::logic_error {
+ public:
+  explicit GraphInvariantError(const std::string &what)
+      : std::logic_error(what) {}
+};
+
+/// Structural validation of a whole graph:
+///  - node ids equal storage indices, inputs reference strictly earlier
+///    nodes (topological order, no dangling producers, acyclic by
+///    construction);
+///  - arity within the op registry's bounds;
+///  - source nodes are well-formed (Input registered in graph.inputs() with
+///    nonzero columns; Const value matches its declared static shape);
+///  - re-running shape inference reproduces every stored shape;
+///  - attribute validity (window widths, slice bounds, LayerNorm eps) via
+///    the same inference rules;
+///  - the output, when set, is in range.
+void check_invariants(const Graph &g);
+
+/// Evaluate every node whose operands are all Const (via the reference
+/// evaluator, so folding is bit-identical to runtime evaluation) and replace
+/// it with a Const of the result. Increments *folded per node folded.
+[[nodiscard]] Graph fold_constants(const Graph &g, std::size_t *folded = nullptr);
+
+/// Rewrite GlobalMaxPool <- Relu <- RowBias <- MatMul <- Im2Row chains whose
+/// interior nodes have exactly one use into one FusedConvReluPool node.
+[[nodiscard]] Graph fuse_conv(const Graph &g, std::size_t *fused = nullptr);
+
+/// Rewrite [activation <-] RowBias <- MatMul chains whose interior nodes
+/// have exactly one use into one FusedMatMulBiasAct node.
+[[nodiscard]] Graph fuse_dense(const Graph &g, std::size_t *fused = nullptr);
+
+/// Drop nodes unreachable from the output (Input nodes always survive: the
+/// graph's calling convention is part of its interface).
+[[nodiscard]] Graph eliminate_dead(const Graph &g, std::size_t *removed = nullptr);
+
+/// Annotate every matmul-backed node (MatMul and the fused forms) with
+/// concrete kernel dispatch parameters derived from `base`, normalized onto
+/// the micro path (see normalize_micro — the legacy scalar nests are never
+/// selected because they are not bitwise-compatible with the oracle).
+/// Additionally enables the zero-skip fast path when the left operand is
+/// produced by a ReLU (or relu-activated fused matmul): post-ReLU zeros are
+/// exact +0.0, which the microkernels skip without changing a single bit.
+void select_layout(Graph &g, const tensor::KernelParams &base);
+
+}  // namespace treu::graph

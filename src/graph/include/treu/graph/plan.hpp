@@ -1,0 +1,80 @@
+#pragma once
+
+// compile(): the pass pipeline driver. Takes a captured (or hand-built)
+// graph, runs constant folding -> conv fusion -> dense fusion -> dead-code
+// elimination -> layout selection (each individually optional, each followed
+// by the invariant checker by default), and returns an executable Plan.
+//
+// Plan::run executes the optimized graph in id order with per-node kernel
+// parameters chosen by layout selection, freeing intermediate buffers after
+// their last use. By the bitwise contract of the micro-kernel family and
+// the fusion proofs in interp.cpp, Plan output is bit-identical to the
+// reference Interpreter on the *unoptimized* graph — compiler_test's fuzzer
+// holds that line across ISA / register-tile / batch sweeps.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "treu/graph/ir.hpp"
+#include "treu/sched/schedule.hpp"
+
+namespace treu::graph {
+
+struct CompileOptions {
+  bool fold_constants = true;
+  bool fuse_conv = true;
+  bool fuse_dense = true;
+  bool eliminate_dead = true;
+  bool select_layout = true;
+  /// Run check_invariants after every pass (cheap; on by default — the
+  /// differential harness relies on it).
+  bool check_invariants_each_pass = true;
+
+  /// Base dispatch parameters for matmul-backed nodes; layout selection
+  /// normalizes them onto the micro path and adds per-node zero-skip.
+  tensor::KernelParams kernel = tensor::Kernel::fast_params();
+
+  /// Optional autotuned schedule: when set, its kernel parameters replace
+  /// `kernel` as the lowering target (the sched autotuner's winning
+  /// ".isa(...).rtile(...)" string drives the compiled plan).
+  std::optional<sched::Schedule> schedule;
+};
+
+struct CompileReport {
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  std::size_t folded = 0;
+  std::size_t conv_fused = 0;
+  std::size_t dense_fused = 0;
+  std::size_t dce_removed = 0;
+  double compile_seconds = 0.0;
+  /// One line per executed pass, e.g. "fuse_dense: 2 fused, 14 -> 10 nodes".
+  std::vector<std::string> pass_log;
+};
+
+class Plan {
+ public:
+  /// The optimized graph (owned).
+  [[nodiscard]] const Graph &graph() const noexcept { return graph_; }
+  [[nodiscard]] const CompileReport &report() const noexcept { return report_; }
+
+  /// Execute on one input matrix (columns must match the graph input;
+  /// rows resolve the dynamic extent). Thread-safe: all run state is local.
+  [[nodiscard]] tensor::Matrix run(const tensor::Matrix &input) const;
+
+ private:
+  friend Plan compile(Graph g, const CompileOptions &opts);
+
+  Graph graph_;
+  CompileReport report_;
+  std::vector<std::vector<NodeId>> consumers_;  // per node, who reads it
+};
+
+/// Run the pass pipeline over `g` and return the executable plan. Throws
+/// GraphInvariantError if any pass breaks the structural invariants and
+/// std::invalid_argument on graphs the pipeline cannot accept (no/multiple
+/// inputs, unset output).
+[[nodiscard]] Plan compile(Graph g, const CompileOptions &opts = {});
+
+}  // namespace treu::graph

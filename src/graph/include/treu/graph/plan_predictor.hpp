@@ -1,0 +1,58 @@
+#pragma once
+
+// PlanPredictor: a compiled Plan behind the nn::Predictor interface, so
+// serve::BatchServer hosts compiled models exactly as it hosts hand-written
+// ones — same batching, same weight-hash provenance, same hot-reload flow.
+//
+// weight_hash() reproduces nn::weight_digest byte-for-byte over the captured
+// parameter constants (same "weights-v1" domain string, same rows/cols/raw-
+// doubles encoding, same params() order), so a compiled replica's hash equals
+// its source model's and ckpt-driven reloads validate against the same
+// expected digest. load_weights() swaps the captured constants positionally
+// and recompiles — constant folding baked the old weights into the plan, so
+// a reload is by construction a fresh compile, never a half-patched plan.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "treu/graph/builder.hpp"
+#include "treu/graph/plan.hpp"
+#include "treu/nn/predictor.hpp"
+
+namespace treu::graph {
+
+class PlanPredictor final
+    : public nn::Predictor<std::vector<double>, nn::ClassScores> {
+ public:
+  /// Compile `captured` with `opts` and serve it. The captured graph must
+  /// take a dynamic row axis (feature-vector models): predict_batch stacks
+  /// the batch into one matrix and runs the plan once, which is bitwise
+  /// identical to per-sample runs because every op the dense family lowers
+  /// to is row-independent.
+  explicit PlanPredictor(Captured captured, CompileOptions opts = {});
+
+  [[nodiscard]] std::vector<nn::ClassScores> predict_batch(
+      std::span<const std::vector<double>> inputs) override;
+  [[nodiscard]] std::string weight_hash() override;
+
+  /// Flat weight vector in captured-params order (nn::save_weights layout).
+  [[nodiscard]] std::vector<double> save_weights() const;
+
+  /// Swap all captured weights (nn::load_weights layout; sizes must match)
+  /// and recompile the plan.
+  void load_weights(std::span<const double> flat);
+
+  [[nodiscard]] const Plan &plan() const noexcept { return plan_; }
+  [[nodiscard]] const Graph &source_graph() const noexcept {
+    return captured_.graph;
+  }
+  [[nodiscard]] const Captured &captured() const noexcept { return captured_; }
+
+ private:
+  Captured captured_;
+  CompileOptions opts_;
+  Plan plan_;
+};
+
+}  // namespace treu::graph

@@ -1,0 +1,160 @@
+#include "treu/graph/ir.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "treu/graph/ops.hpp"
+
+namespace treu::graph {
+namespace {
+
+const char *isa_name(tensor::Isa isa) noexcept {
+  switch (isa) {
+    case tensor::Isa::Scalar:
+      return "scalar";
+    case tensor::Isa::Avx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::size_t Dim::resolve(std::size_t dyn_extent) const {
+  if (!dynamic) return fixed;
+  const auto n = static_cast<std::ptrdiff_t>(dyn_extent) + offset;
+  if (n < 1) {
+    throw std::invalid_argument("graph: dynamic extent " +
+                                std::to_string(dyn_extent) +
+                                " too small for offset " +
+                                std::to_string(offset));
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::string Dim::str() const {
+  if (!dynamic) return std::to_string(fixed);
+  if (offset == 0) return "N";
+  std::string s = "N";
+  if (offset > 0) s += '+';
+  s += std::to_string(offset);
+  return s;
+}
+
+std::string Shape::str() const { return rows.str() + "x" + std::to_string(cols); }
+
+NodeId Graph::add_input(std::size_t cols, Dim rows) {
+  if (cols == 0) {
+    throw std::invalid_argument("graph: input with zero columns");
+  }
+  Node n;
+  n.id = nodes_.size();
+  n.op = OpKind::Input;
+  n.shape = {rows, cols};
+  nodes_.push_back(std::move(n));
+  input_ids_.push_back(nodes_.back().id);
+  return nodes_.back().id;
+}
+
+NodeId Graph::add_const(tensor::Matrix value, std::string label) {
+  if (value.rows() == 0 || value.cols() == 0) {
+    throw std::invalid_argument("graph: empty constant");
+  }
+  Node n;
+  n.id = nodes_.size();
+  n.op = OpKind::Const;
+  n.shape = {Dim::of(value.rows()), value.cols()};
+  n.value = std::move(value);
+  n.label = std::move(label);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+NodeId Graph::add(OpKind op, std::vector<NodeId> inputs, Attrs attrs,
+                  std::string label) {
+  std::vector<Shape> shapes;
+  shapes.reserve(inputs.size());
+  for (const NodeId id : inputs) {
+    if (id >= nodes_.size()) {
+      throw std::invalid_argument(std::string(op_info(op).name) +
+                                  ": input id out of range");
+    }
+    shapes.push_back(nodes_[id].shape);
+  }
+  Node n;
+  n.id = nodes_.size();
+  n.op = op;
+  n.shape = infer_shape(op, shapes, attrs);
+  n.inputs = std::move(inputs);
+  n.attrs = std::move(attrs);
+  n.label = std::move(label);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+void Graph::set_output(NodeId id) {
+  if (id >= nodes_.size()) {
+    throw std::invalid_argument("graph: output id out of range");
+  }
+  output_ = id;
+}
+
+NodeId Graph::output() const {
+  if (output_ == kNoNode) throw std::logic_error("graph: output not set");
+  return output_;
+}
+
+std::size_t Graph::count(OpKind op) const noexcept {
+  std::size_t n = 0;
+  for (const Node &node : nodes_) {
+    if (node.op == op) ++n;
+  }
+  return n;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream out;
+  for (const Node &n : nodes_) {
+    out << '%' << n.id << " = " << op_info(n.op).name << '(';
+    for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << '%' << n.inputs[i];
+    }
+    out << ") : " << n.shape.str();
+    switch (n.op) {
+      case OpKind::Scale:
+        out << " scale=" << n.attrs.scale;
+        break;
+      case OpKind::LayerNorm:
+        out << " eps=" << n.attrs.eps;
+        break;
+      case OpKind::Im2Row:
+      case OpKind::FusedConvReluPool:
+        out << " width=" << n.attrs.width;
+        break;
+      case OpKind::ColSlice:
+        out << " cols=[" << n.attrs.begin << ", " << n.attrs.end << ')';
+        break;
+      case OpKind::FusedMatMulBiasAct:
+        out << " act=" << graph::to_string(n.attrs.act);
+        break;
+      case OpKind::Const:
+        out << " digest=" << n.value.digest().hex().substr(0, 12);
+        break;
+      default:
+        break;
+    }
+    if (n.attrs.kernel_set) {
+      out << " kernel=" << isa_name(n.attrs.kernel.isa) << '/'
+          << n.attrs.kernel.rtile_m << 'x' << n.attrs.kernel.rtile_n
+          << (n.attrs.kernel.skip_zero_a ? "/skip0" : "");
+    }
+    if (!n.label.empty()) out << "  # " << n.label;
+    out << '\n';
+  }
+  if (output_ != kNoNode) out << "output %" << output_ << '\n';
+  return std::move(out).str();
+}
+
+}  // namespace treu::graph

@@ -1,0 +1,188 @@
+#include "treu/graph/ops.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace treu::graph {
+namespace {
+
+constexpr std::size_t kVariadic = static_cast<std::size_t>(-1);
+
+constexpr OpInfo kRegistry[kOpKindCount] = {
+    /* Input */ {"input", 0, 0, true},
+    /* Const */ {"const", 0, 0, true},
+    /* MatMul */ {"matmul", 2, 2, false},
+    /* Transpose */ {"transpose", 1, 1, false},
+    /* RowBias */ {"rowbias", 2, 2, false},
+    /* Add */ {"add", 2, 2, false},
+    /* Relu */ {"relu", 1, 1, false},
+    /* Tanh */ {"tanh", 1, 1, false},
+    /* Sigmoid */ {"sigmoid", 1, 1, false},
+    /* Softmax */ {"softmax", 1, 1, false},
+    /* Scale */ {"scale", 1, 1, false},
+    /* Im2Row */ {"im2row", 1, 1, false},
+    /* MeanPool */ {"meanpool", 1, 1, false},
+    /* GlobalMaxPool */ {"globalmaxpool", 1, 1, false},
+    /* LayerNorm */ {"layernorm", 3, 3, false},
+    /* ColSlice */ {"colslice", 1, 1, false},
+    /* Concat */ {"concat", 1, kVariadic, false},
+    /* FusedMatMulBiasAct */ {"fused_matmul_bias_act", 3, 3, false},
+    /* FusedConvReluPool */ {"fused_conv_relu_pool", 3, 3, false},
+};
+
+[[noreturn]] void fail(OpKind op, const std::string &why) {
+  throw std::invalid_argument(std::string(op_info(op).name) + ": " + why);
+}
+
+/// A (1 x c) parameter row with static rows, as biases and LayerNorm
+/// gain/bias must be.
+void require_param_row(OpKind op, const Shape &s, std::size_t cols,
+                       const char *what) {
+  if (s.rows.dynamic || s.rows.fixed != 1) {
+    fail(op, std::string(what) + " must have exactly one (static) row");
+  }
+  if (s.cols != cols) {
+    fail(op, std::string(what) + " column count mismatch");
+  }
+}
+
+/// Static inner dimension of the right-hand matmul operand.
+std::size_t require_static_rows(OpKind op, const Shape &s, const char *what) {
+  if (s.rows.dynamic) {
+    fail(op, std::string(what) + " must have a static row count");
+  }
+  return s.rows.fixed;
+}
+
+Shape infer_matmul_like(OpKind op, const Shape &a, const Shape &w,
+                        const Shape *bias) {
+  if (require_static_rows(op, w, "rhs weight") != a.cols) {
+    fail(op, "inner dimensions differ");
+  }
+  if (w.cols == 0) fail(op, "rhs weight has zero columns");
+  if (bias != nullptr) require_param_row(op, *bias, w.cols, "bias");
+  return {a.rows, w.cols};
+}
+
+Shape infer_im2row_rows(OpKind op, const Shape &x, std::size_t width) {
+  if (width == 0) fail(op, "window width must be >= 1");
+  if (x.cols == 0) fail(op, "input has zero columns");
+  const auto shrink = static_cast<std::ptrdiff_t>(width) - 1;
+  Dim rows;
+  if (x.rows.dynamic) {
+    rows = Dim::dyn(x.rows.offset - shrink);
+  } else {
+    if (x.rows.fixed < width) fail(op, "sequence shorter than window");
+    rows = Dim::of(x.rows.fixed - width + 1);
+  }
+  return {rows, width * x.cols};
+}
+
+}  // namespace
+
+const OpInfo &op_info(OpKind op) noexcept {
+  return kRegistry[static_cast<std::size_t>(op)];
+}
+
+Shape infer_shape(OpKind op, std::span<const Shape> in, const Attrs &attrs) {
+  const OpInfo &info = op_info(op);
+  if (info.source) fail(op, "source ops declare their shape, not infer it");
+  if (in.size() < info.min_arity ||
+      (info.max_arity != kVariadic && in.size() > info.max_arity)) {
+    fail(op, "arity " + std::to_string(in.size()) + " outside [" +
+                 std::to_string(info.min_arity) + ", " +
+                 std::to_string(info.max_arity) + "]");
+  }
+
+  switch (op) {
+    case OpKind::Input:
+    case OpKind::Const:
+      fail(op, "unreachable");
+
+    case OpKind::MatMul:
+      return infer_matmul_like(op, in[0], in[1], nullptr);
+
+    case OpKind::Transpose: {
+      const std::size_t r = require_static_rows(op, in[0], "operand");
+      return {Dim::of(in[0].cols), r};
+    }
+
+    case OpKind::RowBias:
+      require_param_row(op, in[1], in[0].cols, "bias");
+      return in[0];
+
+    case OpKind::Add:
+      if (in[0] != in[1]) fail(op, "operand shapes differ");
+      return in[0];
+
+    case OpKind::Relu:
+    case OpKind::Tanh:
+    case OpKind::Sigmoid:
+    case OpKind::Softmax:
+    case OpKind::Scale:
+      return in[0];
+
+    case OpKind::Im2Row:
+      return infer_im2row_rows(op, in[0], attrs.width);
+
+    case OpKind::MeanPool:
+    case OpKind::GlobalMaxPool:
+      if (in[0].cols == 0) fail(op, "input has zero columns");
+      return {Dim::of(1), in[0].cols};
+
+    case OpKind::LayerNorm:
+      require_param_row(op, in[1], in[0].cols, "gain");
+      require_param_row(op, in[2], in[0].cols, "bias");
+      if (!(attrs.eps > 0.0)) fail(op, "eps must be positive");
+      return in[0];
+
+    case OpKind::ColSlice:
+      if (attrs.begin >= attrs.end || attrs.end > in[0].cols) {
+        fail(op, "column range [" + std::to_string(attrs.begin) + ", " +
+                     std::to_string(attrs.end) + ") invalid for " +
+                     std::to_string(in[0].cols) + " columns");
+      }
+      return {in[0].rows, attrs.end - attrs.begin};
+
+    case OpKind::Concat: {
+      std::size_t cols = 0;
+      for (const Shape &s : in) {
+        if (s.rows != in[0].rows) fail(op, "operand row dims differ");
+        cols += s.cols;
+      }
+      if (cols == 0) fail(op, "result has zero columns");
+      return {in[0].rows, cols};
+    }
+
+    case OpKind::FusedMatMulBiasAct:
+      return infer_matmul_like(op, in[0], in[1], &in[2]);
+
+    case OpKind::FusedConvReluPool: {
+      // x (seq x d) conv'd with a (width*d x filters) transposed filter
+      // bank, pooled to (1 x filters). The im2row row count must stay
+      // realizable, so the same window check applies.
+      const Shape patches = infer_im2row_rows(op, in[0], attrs.width);
+      const Shape conv = infer_matmul_like(op, patches, in[1], &in[2]);
+      return {Dim::of(1), conv.cols};
+    }
+  }
+  fail(op, "unknown op kind");
+}
+
+const char *to_string(OpKind op) noexcept { return op_info(op).name; }
+
+const char *to_string(Act act) noexcept {
+  switch (act) {
+    case Act::None:
+      return "none";
+    case Act::Relu:
+      return "relu";
+    case Act::Tanh:
+      return "tanh";
+    case Act::Sigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+}  // namespace treu::graph

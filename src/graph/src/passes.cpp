@@ -1,0 +1,318 @@
+#include "treu/graph/passes.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "treu/graph/interp.hpp"
+#include "treu/graph/ops.hpp"
+
+namespace treu::graph {
+namespace {
+
+constexpr std::size_t kVariadic = static_cast<std::size_t>(-1);
+
+[[noreturn]] void violate(const Node &n, const std::string &why) {
+  throw GraphInvariantError(std::string("graph invariant: %") +
+                            std::to_string(n.id) + " (" + op_info(n.op).name +
+                            "): " + why);
+}
+
+/// Uses per node, counting the graph output as one use — an interior node
+/// that doubles as the output must never be silently consumed by fusion.
+std::vector<std::size_t> use_counts(const Graph &g) {
+  std::vector<std::size_t> uses(g.size(), 0);
+  for (const Node &n : g.nodes()) {
+    for (const NodeId i : n.inputs) ++uses[i];
+  }
+  if (g.has_output()) ++uses[g.output()];
+  return uses;
+}
+
+/// Re-insert `n` into `out` with operands remapped; the Graph::add path
+/// re-runs shape inference, so every rebuilt pass revalidates for free.
+NodeId re_add(Graph &out, const Node &n, const std::vector<NodeId> &remap) {
+  switch (n.op) {
+    case OpKind::Input:
+      return out.add_input(n.shape.cols, n.shape.rows);
+    case OpKind::Const:
+      return out.add_const(n.value, n.label);
+    default: {
+      std::vector<NodeId> ins;
+      ins.reserve(n.inputs.size());
+      for (const NodeId i : n.inputs) ins.push_back(remap[i]);
+      return out.add(n.op, std::move(ins), n.attrs, n.label);
+    }
+  }
+}
+
+void finish(Graph &out, const Graph &g, const std::vector<NodeId> &remap) {
+  if (g.has_output()) out.set_output(remap[g.output()]);
+}
+
+}  // namespace
+
+void check_invariants(const Graph &g) {
+  const auto nodes = g.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node &n = nodes[i];
+    if (n.id != i) violate(n, "id disagrees with storage index");
+
+    const OpInfo &info = op_info(n.op);
+    if (n.inputs.size() < info.min_arity ||
+        (info.max_arity != kVariadic && n.inputs.size() > info.max_arity)) {
+      violate(n, "arity " + std::to_string(n.inputs.size()) +
+                     " outside registry bounds");
+    }
+    for (const NodeId in : n.inputs) {
+      if (in >= nodes.size()) violate(n, "dangling producer id");
+      if (in >= n.id) violate(n, "input does not precede node (order broken)");
+    }
+
+    if (n.op == OpKind::Input) {
+      const auto ins = g.inputs();
+      if (std::find(ins.begin(), ins.end(), n.id) == ins.end()) {
+        violate(n, "input node not registered with the graph");
+      }
+      if (n.shape.cols == 0) violate(n, "zero-column input");
+      continue;
+    }
+    if (n.op == OpKind::Const) {
+      if (n.value.rows() == 0 || n.value.cols() == 0) {
+        violate(n, "empty constant value");
+      }
+      if (n.shape.rows.dynamic || n.shape.rows.fixed != n.value.rows() ||
+          n.shape.cols != n.value.cols()) {
+        violate(n, "constant value disagrees with declared shape");
+      }
+      continue;
+    }
+
+    std::vector<Shape> shapes;
+    shapes.reserve(n.inputs.size());
+    for (const NodeId in : n.inputs) shapes.push_back(nodes[in].shape);
+    Shape expect;
+    try {
+      expect = infer_shape(n.op, shapes, n.attrs);
+    } catch (const std::invalid_argument &e) {
+      violate(n, std::string("shape inference rejects node: ") + e.what());
+    }
+    if (expect != n.shape) {
+      violate(n, "stored shape " + n.shape.str() +
+                     " disagrees with inferred " + expect.str());
+    }
+  }
+  for (const NodeId in : g.inputs()) {
+    if (in >= nodes.size() || nodes[in].op != OpKind::Input) {
+      throw GraphInvariantError(
+          "graph invariant: registered input id is not an Input node");
+    }
+  }
+  if (g.has_output() && g.output() >= nodes.size()) {
+    throw GraphInvariantError("graph invariant: output id out of range");
+  }
+}
+
+Graph fold_constants(const Graph &g, std::size_t *folded) {
+  Graph out;
+  std::vector<NodeId> remap(g.size(), kNoNode);
+  const tensor::KernelParams kp = reference_params();
+  auto &pool = tensor::Kernel::default_pool();
+  std::size_t count = 0;
+
+  for (const Node &n : g.nodes()) {
+    const bool computable =
+        !op_info(n.op).source &&
+        std::all_of(n.inputs.begin(), n.inputs.end(), [&](NodeId i) {
+          return out.node(remap[i]).op == OpKind::Const;
+        });
+    if (!computable) {
+      remap[n.id] = re_add(out, n, remap);
+      continue;
+    }
+    std::vector<const tensor::Matrix *> operands;
+    operands.reserve(n.inputs.size());
+    for (const NodeId i : n.inputs) {
+      operands.push_back(&out.node(remap[i]).value);
+    }
+    remap[n.id] = out.add_const(eval_node(n, operands, kp, pool),
+                                n.label.empty() ? "folded" : n.label);
+    ++count;
+  }
+  finish(out, g, remap);
+  if (folded != nullptr) *folded = count;
+  return out;
+}
+
+Graph fuse_conv(const Graph &g, std::size_t *fused) {
+  const std::vector<std::size_t> uses = use_counts(g);
+  std::vector<bool> consumed(g.size(), false);
+  struct ConvPlan {
+    NodeId x, wt, bias;
+    std::size_t width;
+  };
+  std::vector<std::optional<ConvPlan>> plans(g.size());
+  std::size_t count = 0;
+
+  // Anchor at the pool; the whole chain below it must be single-use so the
+  // intermediate activations are provably dead once fused.
+  for (const Node &n : g.nodes()) {
+    if (n.op != OpKind::GlobalMaxPool) continue;
+    const Node &relu = g.node(n.inputs[0]);
+    if (relu.op != OpKind::Relu || uses[relu.id] != 1) continue;
+    const Node &rb = g.node(relu.inputs[0]);
+    if (rb.op != OpKind::RowBias || uses[rb.id] != 1) continue;
+    const Node &mm = g.node(rb.inputs[0]);
+    if (mm.op != OpKind::MatMul || uses[mm.id] != 1) continue;
+    const Node &i2r = g.node(mm.inputs[0]);
+    if (i2r.op != OpKind::Im2Row || uses[i2r.id] != 1) continue;
+    plans[n.id] = ConvPlan{i2r.inputs[0], mm.inputs[1], rb.inputs[1],
+                           i2r.attrs.width};
+    consumed[relu.id] = consumed[rb.id] = consumed[mm.id] = consumed[i2r.id] =
+        true;
+    ++count;
+  }
+
+  Graph out;
+  std::vector<NodeId> remap(g.size(), kNoNode);
+  for (const Node &n : g.nodes()) {
+    if (consumed[n.id]) continue;
+    if (plans[n.id]) {
+      const ConvPlan &p = *plans[n.id];
+      Attrs attrs;
+      attrs.width = p.width;
+      remap[n.id] =
+          out.add(OpKind::FusedConvReluPool,
+                  {remap[p.x], remap[p.wt], remap[p.bias]}, attrs, n.label);
+      continue;
+    }
+    remap[n.id] = re_add(out, n, remap);
+  }
+  finish(out, g, remap);
+  if (fused != nullptr) *fused = count;
+  return out;
+}
+
+Graph fuse_dense(const Graph &g, std::size_t *fused) {
+  const std::vector<std::size_t> uses = use_counts(g);
+  std::vector<bool> consumed(g.size(), false);
+  struct DensePlan {
+    NodeId x, w, bias;
+    Act act;
+  };
+  std::vector<std::optional<DensePlan>> plans(g.size());
+  std::size_t count = 0;
+
+  // Sweep 1 — activation anchors claim their RowBias <- MatMul chain.
+  for (const Node &n : g.nodes()) {
+    Act act;
+    switch (n.op) {
+      case OpKind::Relu:
+        act = Act::Relu;
+        break;
+      case OpKind::Tanh:
+        act = Act::Tanh;
+        break;
+      case OpKind::Sigmoid:
+        act = Act::Sigmoid;
+        break;
+      default:
+        continue;
+    }
+    const Node &rb = g.node(n.inputs[0]);
+    if (rb.op != OpKind::RowBias || uses[rb.id] != 1) continue;
+    const Node &mm = g.node(rb.inputs[0]);
+    if (mm.op != OpKind::MatMul || uses[mm.id] != 1) continue;
+    plans[n.id] = DensePlan{mm.inputs[0], mm.inputs[1], rb.inputs[1], act};
+    consumed[rb.id] = consumed[mm.id] = true;
+    ++count;
+  }
+  // Sweep 2 — bare RowBias <- MatMul (no activation, or a multi-use
+  // activation) still collapses to an act-less fused node.
+  for (const Node &n : g.nodes()) {
+    if (n.op != OpKind::RowBias || consumed[n.id]) continue;
+    const Node &mm = g.node(n.inputs[0]);
+    if (mm.op != OpKind::MatMul || uses[mm.id] != 1 || consumed[mm.id]) {
+      continue;
+    }
+    plans[n.id] = DensePlan{mm.inputs[0], mm.inputs[1], n.inputs[1], Act::None};
+    consumed[mm.id] = true;
+    ++count;
+  }
+
+  Graph out;
+  std::vector<NodeId> remap(g.size(), kNoNode);
+  for (const Node &n : g.nodes()) {
+    if (consumed[n.id]) continue;
+    if (plans[n.id]) {
+      const DensePlan &p = *plans[n.id];
+      Attrs attrs;
+      attrs.act = p.act;
+      remap[n.id] =
+          out.add(OpKind::FusedMatMulBiasAct,
+                  {remap[p.x], remap[p.w], remap[p.bias]}, attrs, n.label);
+      continue;
+    }
+    remap[n.id] = re_add(out, n, remap);
+  }
+  finish(out, g, remap);
+  if (fused != nullptr) *fused = count;
+  return out;
+}
+
+Graph eliminate_dead(const Graph &g, std::size_t *removed) {
+  std::vector<bool> live(g.size(), false);
+  if (g.has_output()) {
+    std::vector<NodeId> stack{g.output()};
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      if (live[id]) continue;
+      live[id] = true;
+      for (const NodeId in : g.node(id).inputs) stack.push_back(in);
+    }
+  }
+  // The input placeholders are the graph's calling convention; a plan that
+  // ignores its input still accepts one.
+  for (const NodeId id : g.inputs()) live[id] = true;
+
+  Graph out;
+  std::vector<NodeId> remap(g.size(), kNoNode);
+  std::size_t count = 0;
+  for (const Node &n : g.nodes()) {
+    if (!live[n.id]) {
+      ++count;
+      continue;
+    }
+    remap[n.id] = re_add(out, n, remap);
+  }
+  finish(out, g, remap);
+  if (removed != nullptr) *removed = count;
+  return out;
+}
+
+void select_layout(Graph &g, const tensor::KernelParams &base) {
+  const tensor::KernelParams norm = normalize_micro(base);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    Node &n = g.node_mut(i);
+    if (n.op != OpKind::MatMul && n.op != OpKind::FusedMatMulBiasAct &&
+        n.op != OpKind::FusedConvReluPool) {
+      continue;
+    }
+    tensor::KernelParams p = norm;
+    const Node &a = g.node(n.inputs[0]);
+    const bool relu_fed =
+        a.op == OpKind::Relu ||
+        (a.op == OpKind::FusedMatMulBiasAct && a.attrs.act == Act::Relu);
+    // Post-ReLU zeros are exact +0.0 and the left-side accumulator can
+    // never hold -0.0 when every skipped contribution is +-0.0 * b, so the
+    // zero-skip is a pure speed knob here — bitwise identical, cheaper on
+    // sparse activations.
+    if (relu_fed) p.skip_zero_a = true;
+    n.attrs.kernel = p;
+    n.attrs.kernel_set = true;
+  }
+}
+
+}  // namespace treu::graph

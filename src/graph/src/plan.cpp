@@ -1,0 +1,135 @@
+#include "treu/graph/plan.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "treu/graph/interp.hpp"
+#include "treu/graph/ops.hpp"
+#include "treu/graph/passes.hpp"
+#include "treu/obs/obs.hpp"
+
+namespace treu::graph {
+namespace {
+
+std::string pass_line(const char *name, std::size_t metric, const char *what,
+                      std::size_t before, std::size_t after) {
+  return std::string(name) + ": " + std::to_string(metric) + " " + what +
+         ", " + std::to_string(before) + " -> " + std::to_string(after) +
+         " nodes";
+}
+
+}  // namespace
+
+tensor::Matrix Plan::run(const tensor::Matrix &input) const {
+  TREU_OBS_SCOPED_LATENCY_US(run_timer, "graph.plan_run_us");
+  const Node &in_node = graph_.node(graph_.inputs()[0]);
+  if (input.cols() != in_node.shape.cols) {
+    throw std::invalid_argument("Plan::run: input column count mismatch");
+  }
+  if (!in_node.shape.rows.dynamic &&
+      input.rows() != in_node.shape.rows.fixed) {
+    throw std::invalid_argument("Plan::run: input row count mismatch");
+  }
+  auto &pool = tensor::Kernel::default_pool();
+
+  // Buffer slots: Const values are read in place from the graph; computed
+  // values live in `vals` and are released after their last consumer (the
+  // output is pinned, so the final value survives to the return).
+  std::vector<tensor::Matrix> vals(graph_.size());
+  std::vector<std::size_t> pending(graph_.size(), 0);
+  for (std::size_t i = 0; i < graph_.size(); ++i) {
+    pending[i] = consumers_[i].size();
+  }
+  const NodeId out_id = graph_.output();
+
+  auto operand = [&](NodeId id) -> const tensor::Matrix * {
+    const Node &n = graph_.node(id);
+    return n.op == OpKind::Const ? &n.value : &vals[id];
+  };
+  auto release = [&](NodeId id) {
+    if (id == out_id || graph_.node(id).op == OpKind::Const) return;
+    if (--pending[id] == 0) vals[id] = tensor::Matrix();
+  };
+
+  const tensor::KernelParams fallback = reference_params();
+  for (const Node &node : graph_.nodes()) {
+    if (node.op == OpKind::Const) continue;
+    if (node.op == OpKind::Input) {
+      vals[node.id] = input;
+      continue;
+    }
+    std::vector<const tensor::Matrix *> operands;
+    operands.reserve(node.inputs.size());
+    for (const NodeId id : node.inputs) operands.push_back(operand(id));
+    vals[node.id] = eval_node(
+        node, operands, node.attrs.kernel_set ? node.attrs.kernel : fallback,
+        pool);
+    for (const NodeId id : node.inputs) release(id);
+  }
+  const Node &out_node = graph_.node(out_id);
+  return out_node.op == OpKind::Const ? out_node.value : std::move(vals[out_id]);
+}
+
+Plan compile(Graph g, const CompileOptions &opts) {
+  TREU_OBS_SCOPED_LATENCY_US(compile_timer, "graph.compile_us");
+  const auto start = std::chrono::steady_clock::now();
+  if (g.inputs().size() != 1) {
+    throw std::invalid_argument("compile: graph must have exactly one input");
+  }
+  (void)g.output();  // throws if unset
+
+  Plan plan;
+  plan.report_.nodes_before = g.size();
+  check_invariants(g);
+
+  const auto checked = [&](Graph next) {
+    if (opts.check_invariants_each_pass) check_invariants(next);
+    return next;
+  };
+
+  if (opts.fold_constants) {
+    const std::size_t before = g.size();
+    g = checked(fold_constants(g, &plan.report_.folded));
+    plan.report_.pass_log.push_back(pass_line(
+        "fold_constants", plan.report_.folded, "folded", before, g.size()));
+  }
+  if (opts.fuse_conv) {
+    const std::size_t before = g.size();
+    g = checked(fuse_conv(g, &plan.report_.conv_fused));
+    plan.report_.pass_log.push_back(pass_line(
+        "fuse_conv", plan.report_.conv_fused, "fused", before, g.size()));
+  }
+  if (opts.fuse_dense) {
+    const std::size_t before = g.size();
+    g = checked(fuse_dense(g, &plan.report_.dense_fused));
+    plan.report_.pass_log.push_back(pass_line(
+        "fuse_dense", plan.report_.dense_fused, "fused", before, g.size()));
+  }
+  if (opts.eliminate_dead) {
+    const std::size_t before = g.size();
+    g = checked(eliminate_dead(g, &plan.report_.dce_removed));
+    plan.report_.pass_log.push_back(pass_line(
+        "eliminate_dead", plan.report_.dce_removed, "removed", before,
+        g.size()));
+  }
+  if (opts.select_layout) {
+    select_layout(g, opts.schedule ? opts.schedule->params : opts.kernel);
+    if (opts.check_invariants_each_pass) check_invariants(g);
+    plan.report_.pass_log.push_back("select_layout: annotated matmul-backed nodes");
+  }
+
+  plan.report_.nodes_after = g.size();
+  plan.graph_ = std::move(g);
+  plan.consumers_.assign(plan.graph_.size(), {});
+  for (const Node &n : plan.graph_.nodes()) {
+    for (const NodeId id : n.inputs) plan.consumers_[id].push_back(n.id);
+  }
+  plan.report_.compile_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  TREU_OBS_COUNTER_ADD("graph.compile_total", 1);
+  return plan;
+}
+
+}  // namespace treu::graph

@@ -1,0 +1,91 @@
+#include "treu/graph/plan_predictor.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "treu/core/sha256.hpp"
+#include "treu/nn/loss.hpp"
+
+namespace treu::graph {
+
+PlanPredictor::PlanPredictor(Captured captured, CompileOptions opts)
+    : captured_(std::move(captured)),
+      opts_(opts),
+      plan_(compile(captured_.graph, opts_)) {
+  const Node &input = captured_.graph.node(captured_.graph.inputs()[0]);
+  if (!input.shape.rows.dynamic) {
+    throw std::invalid_argument(
+        "PlanPredictor: captured graph must take a dynamic batch axis");
+  }
+}
+
+std::vector<nn::ClassScores> PlanPredictor::predict_batch(
+    std::span<const std::vector<double>> inputs) {
+  std::vector<nn::ClassScores> out;
+  if (inputs.empty()) return out;
+  const std::size_t dim = inputs.front().size();
+  tensor::Matrix x(inputs.size(), dim);
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    if (inputs[r].size() != dim) {
+      throw std::invalid_argument("PlanPredictor::predict_batch: ragged batch");
+    }
+    auto row = x.row(r);
+    for (std::size_t c = 0; c < dim; ++c) row[c] = inputs[r][c];
+  }
+  const tensor::Matrix y = plan_.run(x);
+  const std::vector<std::size_t> labels = nn::argmax_rows(y);
+  out.reserve(inputs.size());
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    const auto row = y.row(r);
+    out.push_back({{row.begin(), row.end()}, labels[r]});
+  }
+  return out;
+}
+
+std::string PlanPredictor::weight_hash() {
+  // nn::weight_digest's exact encoding over the captured constants, so the
+  // compiled replica hashes identically to the model it was captured from.
+  core::Sha256 h;
+  h.update("weights-v1");
+  for (const NodeId id : captured_.params) {
+    const tensor::Matrix &v = captured_.graph.node(id).value;
+    const std::size_t r = v.rows();
+    const std::size_t c = v.cols();
+    h.update_value(r);
+    h.update_value(c);
+    h.update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t *>(v.data()),
+        v.size() * sizeof(double)));
+  }
+  return h.finish().hex();
+}
+
+std::vector<double> PlanPredictor::save_weights() const {
+  std::vector<double> flat;
+  for (const NodeId id : captured_.params) {
+    const auto vals = captured_.graph.node(id).value.flat();
+    flat.insert(flat.end(), vals.begin(), vals.end());
+  }
+  return flat;
+}
+
+void PlanPredictor::load_weights(std::span<const double> flat) {
+  std::size_t total = 0;
+  for (const NodeId id : captured_.params) {
+    total += captured_.graph.node(id).value.size();
+  }
+  if (flat.size() != total) {
+    throw std::invalid_argument("PlanPredictor::load_weights: size mismatch");
+  }
+  std::size_t off = 0;
+  for (const NodeId id : captured_.params) {
+    auto dst = captured_.graph.node_mut(id).value.flat();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = flat[off + i];
+    off += dst.size();
+  }
+  // Constant folding baked the previous weights into the compiled plan;
+  // recompiling is the only way a reload can be complete.
+  plan_ = compile(captured_.graph, opts_);
+}
+
+}  // namespace treu::graph

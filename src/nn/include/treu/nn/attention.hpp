@@ -58,6 +58,14 @@ class TransformerBlock final : public Layer {
   std::vector<Param *> params() override;
   [[nodiscard]] std::string name() const override { return "transformer_block"; }
 
+  /// Sub-layer access for graph capture (treu::graph::capture_sequential
+  /// rebuilds the block's dataflow from these).
+  [[nodiscard]] LayerNorm &ln1() noexcept { return ln1_; }
+  [[nodiscard]] MultiHeadAttention &mha() noexcept { return mha_; }
+  [[nodiscard]] LayerNorm &ln2() noexcept { return ln2_; }
+  [[nodiscard]] Dense &ff1() noexcept { return ff1_; }
+  [[nodiscard]] Dense &ff2() noexcept { return ff2_; }
+
  private:
   LayerNorm ln1_;
   MultiHeadAttention mha_;

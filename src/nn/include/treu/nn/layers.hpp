@@ -86,6 +86,9 @@ class LayerNorm final : public Layer {
   std::vector<Param *> params() override { return {&gain_, &bias_}; }
   [[nodiscard]] std::string name() const override { return "layernorm"; }
 
+  /// Variance epsilon — graph capture must reproduce it exactly.
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+
  private:
   double eps_;
   Param gain_;  // 1 x features

@@ -106,6 +106,10 @@ class MlpClassifier final
   [[nodiscard]] std::vector<Param *> params() { return net_.params(); }
   [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
 
+  /// The underlying layer stack, exposed for graph capture
+  /// (treu::graph::capture_mlp walks it layer by layer).
+  [[nodiscard]] Sequential &network() noexcept { return net_; }
+
  private:
   Sequential net_;
   std::size_t classes_;

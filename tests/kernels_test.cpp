@@ -11,9 +11,12 @@
 #include <tuple>
 #include <utility>
 
+#include <cstdint>
+
 #include "treu/core/compare.hpp"
 #include "treu/core/rng.hpp"
 #include "treu/parallel/thread_pool.hpp"
+#include "treu/sched/schedule.hpp"
 #include "treu/tensor/cpu_features.hpp"
 #include "treu/tensor/kernels.hpp"
 
@@ -591,6 +594,39 @@ TEST(CpuFeatures, ForcedScalarPinOverridesEveryDispatch) {
   for (std::size_t r = 0; r < c.rows(); ++r) {
     for (std::size_t col = 0; col < c.cols(); ++col) {
       expect_ulp_close(ref(r, col), c(r, col), "forced-scalar matmul");
+    }
+  }
+}
+
+TEST(CpuFeatures, ForcedScalarPinBeatsScheduleIsaRequest) {
+  // Regression: an autotuned schedule string naming .isa(avx2) must not be
+  // able to out-vote the operator's TREU_FORCE_ISA=scalar pin. The pin wins
+  // deterministically, the run lands on the scalar microkernel (bitwise
+  // identical to an explicit scalar request of the same register tile), and
+  // the override is counted in sched.isa_fallback.
+  ForcedIsaGuard guard("scalar");
+  const auto schedule = treu::sched::Schedule::parse(
+      "matmul: order(ikj).tile(i=0,j=0,k=0).unroll(1).isa(avx2).rtile(6x16)");
+  ASSERT_TRUE(schedule.has_value());
+  ASSERT_EQ(schedule->params.isa, tt::Isa::Avx2);
+  EXPECT_EQ(tt::Kernel::effective(schedule->params.isa), tt::Isa::Scalar);
+
+  treu::core::Rng rng(57);
+  const tt::Matrix a = tt::Matrix::random_uniform(11, 9, rng, -1.0, 1.0);
+  const tt::Matrix b = tt::Matrix::random_uniform(9, 20, rng, -1.0, 1.0);
+  const std::uint64_t before = tt::Kernel::isa_fallbacks();
+  const tt::Matrix pinned = tt::Kernel::matmul(a, b, schedule->params, pool());
+  EXPECT_EQ(tt::Kernel::isa_fallbacks(), before + 1);
+
+  tt::KernelParams scalar = schedule->params;
+  scalar.isa = tt::Isa::Scalar;
+  const tt::Matrix explicit_scalar = tt::Kernel::matmul(a, b, scalar, pool());
+  EXPECT_EQ(tt::Kernel::isa_fallbacks(), before + 1);  // no second fallback
+  for (std::size_t r = 0; r < pinned.rows(); ++r) {
+    for (std::size_t c = 0; c < pinned.cols(); ++c) {
+      EXPECT_EQ(pinned(r, c), explicit_scalar(r, c))
+          << "pinned dispatch diverged from the scalar microkernel at (" << r
+          << ", " << c << ")";
     }
   }
 }
