@@ -39,6 +39,7 @@ else
     "$root/build/bench/bench_table1_goals"
     "$root/build/bench/bench_serve_throughput"
     "$root/build/bench/bench_serve_faults"
+    "$root/build/bench/bench_cluster_failover"
     "$root/build/bench/bench_compile"
   )
 fi

@@ -6,10 +6,14 @@
 #
 #   TREU_SOAK_SEED=<seed> <binary> --gtest_filter='<filter>'
 #
-# Usage: scripts/run_soak.sh [--suite serve|guard] [N_SEEDS] [BINARY] [BASE_SEED]
+# Usage: scripts/run_soak.sh [--suite serve|guard|cluster] [N_SEEDS] [BINARY] [BASE_SEED]
 #   --suite   which soak tier to run (default serve):
-#               serve  serve_resilience_test, filter 'Soak.*'
-#               guard  guard_test,            filter 'GuardSoak.*'
+#               serve    serve_resilience_test, filter 'Soak.*'
+#               guard    guard_test,            filter 'GuardSoak.*'
+#               cluster  cluster_test,          filter 'ClusterSoak.*'
+#                        (worker-murder storm across real processes; a
+#                        failing seed additionally preserves every worker's
+#                        stderr log and flight dump as seed-<seed>.workers/)
 #   N_SEEDS   how many consecutive seeds to run (default 10)
 #   BINARY    test binary (default depends on --suite)
 #   BASE_SEED first seed; run k uses BASE_SEED + k (default 1234)
@@ -40,8 +44,12 @@ case "$suite" in
     default_binary="$root/build/tests/guard_test"
     filter='GuardSoak.*'
     ;;
+  cluster)
+    default_binary="$root/build/tests/cluster_test"
+    filter='ClusterSoak.*'
+    ;;
   *)
-    echo "run_soak: unknown suite '$suite' (expected serve or guard)" >&2
+    echo "run_soak: unknown suite '$suite' (expected serve, guard or cluster)" >&2
     exit 2
     ;;
 esac
@@ -60,12 +68,28 @@ fi
 fails=0
 scratch_log="/tmp/treu_soak_$$.log"
 scratch_flight="/tmp/treu_soak_$$.flight.json"
+scratch_workers="/tmp/treu_soak_$$.workers"
 for ((k = 0; k < n_seeds; ++k)); do
   seed=$((base_seed + k))
   rm -f "$scratch_flight"
-  if TREU_SOAK_SEED="$seed" TREU_FLIGHT_DUMP="$scratch_flight" \
+  if [ "$suite" = "cluster" ]; then
+    # The cluster soak reads TREU_FLIGHT_DUMP_DIR as the fleet's log_dir:
+    # every worker process writes worker-<shard>.log there and dumps its
+    # own flight ring to worker-<shard>.flight.json on exit.
+    rm -rf "$scratch_workers"
+    mkdir -p "$scratch_workers"
+    TREU_SOAK_SEED="$seed" TREU_FLIGHT_DUMP="$scratch_flight" \
+      TREU_FLIGHT_DUMP_DIR="$scratch_workers" \
       "$binary" --gtest_filter="$filter" \
-      --gtest_brief=1 >"$scratch_log" 2>&1; then
+      --gtest_brief=1 >"$scratch_log" 2>&1
+    rc=$?
+  else
+    TREU_SOAK_SEED="$seed" TREU_FLIGHT_DUMP="$scratch_flight" \
+      "$binary" --gtest_filter="$filter" \
+      --gtest_brief=1 >"$scratch_log" 2>&1
+    rc=$?
+  fi
+  if [ "$rc" -eq 0 ]; then
     echo "ok   seed $seed"
   else
     # Keep the whole log, not a tail: a soak failure's first symptom is
@@ -79,12 +103,19 @@ for ((k = 0; k < n_seeds; ++k)); do
       mv "$scratch_flight" "$seed_flight"
       flight_note="; flight dump: $seed_flight"
     fi
+    if [ "$suite" = "cluster" ] && [ -n "$(ls -A "$scratch_workers" 2>/dev/null)" ]; then
+      seed_workers="$log_dir/seed-$seed.workers"
+      rm -rf "$seed_workers"
+      cp -r "$scratch_workers" "$seed_workers"
+      flight_note="$flight_note; worker logs+dumps: $seed_workers/"
+    fi
     echo "FAIL seed $seed  (replay: TREU_SOAK_SEED=$seed $binary --gtest_filter='$filter'; full log: $seed_log$flight_note)" >&2
     tail -20 "$scratch_log" >&2
     fails=$((fails + 1))
   fi
 done
 rm -f "$scratch_log" "$scratch_flight"
+rm -rf "$scratch_workers"
 
 if [ "$fails" -ne 0 ]; then
   echo "run_soak: FAIL: $fails of $n_seeds $suite seed(s) failed" >&2

@@ -1,0 +1,74 @@
+#pragma once
+
+// Request/response payload codecs for the model types the repo serves.
+//
+// The wire protocol carries opaque payload bytes; these helpers fix the
+// encoding for the two shapes cluster tests and benches ship across it —
+// dense feature vectors in, nn::ClassScores out. Same byte-by-byte
+// little-endian discipline as the frame header, and decoders return false
+// instead of throwing: a worker fed garbage answers with an Error frame,
+// it never dies.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "treu/cluster/wire.hpp"
+#include "treu/nn/predictor.hpp"
+
+namespace treu::cluster {
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode_features(
+    const std::vector<double> &features) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 8 * features.size());
+  put_u32(out, static_cast<std::uint32_t>(features.size()));
+  for (const double v : features) put_f64(out, v);
+  return out;
+}
+
+[[nodiscard]] inline bool decode_features(std::span<const std::uint8_t> bytes,
+                                          std::vector<double> &out) {
+  PayloadReader r(bytes);
+  std::uint32_t n = 0;
+  if (!r.u32(n)) return false;
+  if (r.remaining() != static_cast<std::size_t>(n) * 8) return false;
+  out.clear();
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    if (!r.f64(v)) return false;
+    out.push_back(v);
+  }
+  return true;
+}
+
+[[nodiscard]] inline std::vector<std::uint8_t> encode_scores(
+    const nn::ClassScores &scores) {
+  std::vector<std::uint8_t> out;
+  out.reserve(12 + 8 * scores.logits.size());
+  put_u64(out, static_cast<std::uint64_t>(scores.label));
+  put_u32(out, static_cast<std::uint32_t>(scores.logits.size()));
+  for (const double v : scores.logits) put_f64(out, v);
+  return out;
+}
+
+[[nodiscard]] inline bool decode_scores(std::span<const std::uint8_t> bytes,
+                                        nn::ClassScores &out) {
+  PayloadReader r(bytes);
+  std::uint64_t label = 0;
+  std::uint32_t n = 0;
+  if (!r.u64(label) || !r.u32(n)) return false;
+  if (r.remaining() != static_cast<std::size_t>(n) * 8) return false;
+  out.label = static_cast<std::size_t>(label);
+  out.logits.clear();
+  out.logits.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    if (!r.f64(v)) return false;
+    out.logits.push_back(v);
+  }
+  return true;
+}
+
+}  // namespace treu::cluster

@@ -1,0 +1,197 @@
+#pragma once
+
+// ModelWorker: the standard WorkerService — one shard of replicated models
+// behind a serve::BatchServer, bridged onto the cluster wire.
+//
+// The bridge is deliberately thin: handle_request decodes the payload and
+// submits to the server (non-blocking, as the worker-loop contract
+// requires), and a single reply thread drains the returned futures in FIFO
+// order, encoding each outcome as a Response or Error frame through the
+// loop's emit callback. Everything the single-process server already does —
+// batching, deadlines, retries, breakers, in-process fault injection, hot
+// reload — happens unchanged inside the shard; the cluster layer adds only
+// transport and failover on top. FIFO future draining cannot deadlock:
+// BatchServer resolves every accepted future (that exact-accounting
+// contract is what the zero-loss cluster invariant stands on).
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "treu/cluster/worker.hpp"
+#include "treu/serve/batch_server.hpp"
+
+namespace treu::cluster {
+
+template <typename In, typename Out>
+class ModelWorker final : public WorkerService {
+ public:
+  using Model = nn::Predictor<In, Out>;
+  using Server = serve::BatchServer<In, Out>;
+  using DecodeIn =
+      std::function<bool(std::span<const std::uint8_t>, In &)>;
+  using EncodeOut = std::function<std::vector<std::uint8_t>(const Out &)>;
+  /// Hot-reload hook: apply new weights (normally via
+  /// Server::reload_weights + ckpt restore) and report the outcome. Absent
+  /// hook -> Reload frames fail with "no reload handler".
+  using ReloadFn = std::function<bool(Server &, const std::string &path,
+                                      const std::string &digest,
+                                      std::string &error)>;
+
+  ModelWorker(std::vector<std::unique_ptr<Model>> models,
+              const serve::ServeConfig &config, DecodeIn decode,
+              EncodeOut encode, ReloadFn reload = nullptr)
+      : models_(std::move(models)),
+        decode_(std::move(decode)),
+        encode_(std::move(encode)),
+        reload_(std::move(reload)) {
+    std::vector<Model *> replicas;
+    replicas.reserve(models_.size());
+    for (const auto &m : models_) replicas.push_back(m.get());
+    server_ = std::make_unique<Server>(std::move(replicas), config);
+    hash_ = models_.front()->weight_hash();
+  }
+
+  ~ModelWorker() override { stop(); }
+
+  void start(std::function<void(const WorkerReply &)> emit) override {
+    emit_ = std::move(emit);
+    replier_ = std::thread([this] { reply_loop(); });
+  }
+
+  void handle_request(const Frame &frame) override {
+    Pending p;
+    p.seq = frame.seq;
+    p.trace_hi = frame.trace_hi;
+    p.trace_lo = frame.trace_lo;
+    p.tenant = frame.tenant;
+    In input{};
+    if (!decode_({frame.payload.data(), frame.payload.size()}, input)) {
+      // Undecodable payload: answer, don't die. Counts as served — the
+      // request got its one deterministic resolution.
+      WorkerReply r;
+      r.seq = p.seq;
+      r.trace_hi = p.trace_hi;
+      r.trace_lo = p.trace_lo;
+      r.tenant = p.tenant;
+      r.ok = false;
+      r.error = "worker: request payload undecodable";
+      served_.fetch_add(1, std::memory_order_relaxed);
+      emit_(r);
+      return;
+    }
+    const auto pri_bits = static_cast<std::uint8_t>(frame.flags & 0x3);
+    const auto priority = pri_bits <= 2 ? static_cast<serve::Priority>(pri_bits)
+                                        : serve::Priority::Normal;
+    p.fut = server_->submit(std::move(input), priority);
+    {
+      std::lock_guard lock(mu_);
+      queue_.push_back(std::move(p));
+    }
+    cv_.notify_all();
+  }
+
+  std::uint64_t served() const override {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  std::string weight_hash() const override {
+    std::lock_guard lock(hash_mu_);
+    return hash_;
+  }
+
+  bool reload(const std::string &path, const std::string &digest,
+              std::string &error) override {
+    if (!reload_) {
+      error = "worker: no reload handler";
+      return false;
+    }
+    const bool ok = reload_(*server_, path, digest, error);
+    if (ok) {
+      std::lock_guard lock(hash_mu_);
+      hash_ = models_.front()->weight_hash();
+    }
+    return ok;
+  }
+
+  void stop() override {
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) {
+        if (replier_.joinable()) replier_.join();
+        return;
+      }
+      stopping_ = true;
+    }
+    // Resolve every accepted future before asking the replier to finish;
+    // its queue then drains without ever blocking on an unserved request.
+    server_->shutdown();
+    cv_.notify_all();
+    if (replier_.joinable()) replier_.join();
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t seq = 0;
+    std::uint64_t trace_hi = 0;
+    std::uint64_t trace_lo = 0;
+    std::uint32_t tenant = 0;
+    std::future<typename Server::Response> fut;
+  };
+
+  void reply_loop() {
+    for (;;) {
+      Pending p;
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        p = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      WorkerReply r;
+      r.seq = p.seq;
+      r.trace_hi = p.trace_hi;
+      r.trace_lo = p.trace_lo;
+      r.tenant = p.tenant;
+      try {
+        typename Server::Response resp = p.fut.get();
+        r.ok = true;
+        r.payload = encode_(resp.output);
+      } catch (const std::exception &e) {
+        r.ok = false;
+        r.error = e.what();
+      }
+      served_.fetch_add(1, std::memory_order_relaxed);
+      emit_(r);
+    }
+  }
+
+  std::vector<std::unique_ptr<Model>> models_;
+  DecodeIn decode_;
+  EncodeOut encode_;
+  ReloadFn reload_;
+  std::unique_ptr<Server> server_;
+
+  std::function<void(const WorkerReply &)> emit_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> served_{0};
+
+  mutable std::mutex hash_mu_;
+  std::string hash_;
+
+  std::thread replier_;
+};
+
+}  // namespace treu::cluster

@@ -1,0 +1,62 @@
+#pragma once
+
+// Consistent-hash routing over a fixed worker fleet with a live mask.
+//
+// The ring is built once, from (worker count, vnodes, seed): each worker
+// owns `vnodes` points drawn from its own Philox stream, so the point set —
+// and therefore every routing decision — is a pure function of the config
+// on every platform. Liveness is the only runtime input: route(key, live)
+// walks the ring from the key's position and returns the first *live*
+// worker, which is exactly the deterministic failover rule the acceptance
+// tests replay ("worker 2 died, its keys move to its ring successor").
+// Restoring a worker restores the original assignment, because the points
+// never move.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace treu::core {}  // (ring depends only on core::Rng via ring.cpp)
+
+namespace treu::cluster {
+
+inline constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+
+/// splitmix64 finalizer — the routing key hash. Pure and platform-stable.
+[[nodiscard]] constexpr std::uint64_t mix_key(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+class HashRing {
+ public:
+  /// `workers` > 0, `vnodes` > 0. Points for worker w come from
+  /// core::Rng(seed, w), so adding vnodes never moves another worker's
+  /// points.
+  HashRing(std::size_t workers, std::size_t vnodes, std::uint64_t seed);
+
+  /// First live worker at or clockwise of hash(key). kNoWorker when no
+  /// worker is live. `live` is indexed by worker; workers beyond its size
+  /// count as dead.
+  [[nodiscard]] std::size_t route(std::uint64_t key,
+                                  const std::vector<bool> &live) const;
+
+  /// Full deterministic preference order for a key: distinct workers in
+  /// ring order starting at hash(key), ignoring liveness. route() equals
+  /// the first live entry of this chain.
+  [[nodiscard]] std::vector<std::size_t> chain(std::uint64_t key) const;
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+ private:
+  struct Point {
+    std::uint64_t at;
+    std::size_t worker;
+  };
+  std::size_t workers_;
+  std::vector<Point> points_;  // sorted by `at`
+};
+
+}  // namespace treu::cluster

@@ -1,0 +1,163 @@
+#pragma once
+
+// The cluster wire protocol: compact length-prefixed binary frames over
+// local stream sockets, one controller <-> worker socketpair per worker.
+//
+// Layout (all integers little-endian, written byte-by-byte so the encoding
+// is identical on every platform — same discipline as the ckpt container):
+//
+//   u32 magic      "TRWF"
+//   u8  version    (currently 1)
+//   u8  type       FrameType
+//   u8  flags      Request: low 2 bits = serve::Priority; acks: bit 0 = ok
+//   u8  reserved   (0)
+//   u64 seq        correlation id (controller-assigned request sequence)
+//   u64 trace_hi   128-bit deterministic trace id, carried across the wire
+//   u64 trace_lo
+//   u32 tenant
+//   u32 payload_len
+//   u64 checksum   FNV-1a 64 of the 40 header bytes above + payload
+//   payload bytes
+//
+// decode() NEVER throws. Damage is classified, mirroring ckpt::DecodeResult:
+// NeedMore is an incomplete prefix of a valid frame (keep reading), Torn is
+// structural damage (bad magic/version/type, or a length prefix past the
+// size bound — what a crashed or hostile peer produces), Corrupt is a
+// checksum mismatch on a structurally intact frame (bit rot / torn write on
+// the wire). Consumers count both and treat the stream as poisoned: framing
+// cannot be trusted to resynchronize after arbitrary damage.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace treu::cluster {
+
+inline constexpr std::uint32_t kWireMagic = 0x46575254;  // "TRWF" little-endian
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderSize = 48;
+/// Hard bound a decoder enforces on payload_len before trusting it; a torn
+/// or hostile length prefix must never drive a multi-gigabyte allocation.
+inline constexpr std::size_t kDefaultMaxPayload = std::size_t{1} << 20;
+
+/// Frame kinds. Values are wire-stable; append only.
+enum class FrameType : std::uint8_t {
+  None = 0,
+  Hello = 1,         // worker -> controller: shard, pid, weight hash
+  Request = 2,       // controller -> worker: opaque app payload
+  Response = 3,      // worker -> controller: opaque app payload (flags ok)
+  Error = 4,         // worker -> controller: request failed, payload = reason
+  Heartbeat = 5,     // controller -> worker: are you alive?
+  HeartbeatAck = 6,  // worker -> controller: yes (echoes seq)
+  Drain = 7,         // controller -> worker: stop accepting, finish, exit
+  DrainAck = 8,      // worker -> controller: drained (payload = served count)
+  Reload = 9,        // controller -> worker: hot-reload weights (path+digest)
+  ReloadAck = 10,    // worker -> controller: reload outcome (flags ok)
+  Stall = 11,        // controller -> worker: freeze event loop (injected)
+  Shutdown = 12,     // controller -> worker: exit now (no drain)
+};
+
+[[nodiscard]] const char *to_string(FrameType type) noexcept;
+
+/// One decoded frame. `payload` owns its bytes (copied out of the stream
+/// buffer, so the buffer can compact underneath it).
+struct Frame {
+  FrameType type = FrameType::None;
+  std::uint8_t flags = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint32_t tenant = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Why a decode did not produce a frame. NeedMore is not damage.
+enum class WireFailure : std::uint8_t { None = 0, NeedMore, Torn, Corrupt };
+
+[[nodiscard]] const char *to_string(WireFailure failure) noexcept;
+
+struct WireDecodeResult {
+  Frame frame;
+  std::size_t consumed = 0;  // bytes to drop from the stream buffer
+  WireFailure failure = WireFailure::None;
+  std::string error;  // empty on success / NeedMore
+
+  [[nodiscard]] bool ok() const noexcept {
+    return failure == WireFailure::None;
+  }
+};
+
+/// FNV-1a 64 over a byte span (the frame checksum).
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                                    std::uint64_t seed = 0xCBF29CE484222325ULL)
+    noexcept;
+
+/// Serialize one frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame &frame);
+
+/// Parse the first frame out of `bytes`. Never throws; see WireFailure for
+/// the classification contract. `consumed` is set only on success (a
+/// damaged stream cannot be resynchronized, so the caller drops it whole).
+[[nodiscard]] WireDecodeResult decode_frame(
+    std::span<const std::uint8_t> bytes,
+    std::size_t max_payload = kDefaultMaxPayload);
+
+/// Incremental stream decoder: feed() appends raw socket bytes, next()
+/// yields frames until NeedMore (or damage). One per connection.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void feed(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Decode the next buffered frame. NeedMore when the buffer holds only a
+  /// frame prefix; Torn/Corrupt poison the decoder (every later call
+  /// returns the same verdict — stream framing is gone for good).
+  [[nodiscard]] WireDecodeResult next();
+
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size(); }
+  [[nodiscard]] bool poisoned() const noexcept {
+    return poisoned_ != WireFailure::None;
+  }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buf_;
+  WireFailure poisoned_ = WireFailure::None;
+  std::string poison_error_;
+};
+
+// -- Payload helpers ---------------------------------------------------------
+// Tiny little-endian writer/reader for frame payload internals (Hello,
+// Reload, ...). Deliberately local: the ckpt ByteWriter serves the container
+// format; the wire payloads carry their own, equally explicit, encoding.
+
+void put_u32(std::vector<std::uint8_t> &out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t> &out, std::uint64_t v);
+void put_f64(std::vector<std::uint8_t> &out, double v);
+void put_str(std::vector<std::uint8_t> &out, std::string_view s);
+
+/// Cursor-based reader; getters return false past the end (never throw).
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+  [[nodiscard]] bool u32(std::uint32_t &out) noexcept;
+  [[nodiscard]] bool u64(std::uint64_t &out) noexcept;
+  [[nodiscard]] bool f64(double &out) noexcept;
+  [[nodiscard]] bool str(std::string &out) noexcept;
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace treu::cluster

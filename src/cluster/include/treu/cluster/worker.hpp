@@ -1,0 +1,112 @@
+#pragma once
+
+// Worker-process harness for treu::cluster.
+//
+// A worker is this same executable re-exec'd with `--treu-cluster-worker
+// <kind> --treu-cluster-fd N --treu-cluster-shard K ...`. The controller
+// creates a socketpair, forks, and execs /proc/self/exe — fork WITHOUT exec
+// is off the table in a process that already runs threads (gtest binaries
+// run a global ThreadPool; a forked child would inherit locked mutexes and
+// trip TSan's after-fork checks), so between fork() and execv() the child
+// performs only async-signal-safe calls on pre-built argument strings.
+//
+// Binaries that host workers (cluster_test, bench_cluster_failover) install
+// their worker kinds with register_worker() and call maybe_run_worker()
+// FIRST in main(): it returns -1 in the controller process and otherwise
+// runs the worker loop to completion and returns its exit code. That keeps
+// the worker path out of gtest entirely — a worker process never
+// initializes the test framework.
+//
+// The worker loop speaks the wire protocol on its inherited fd: Requests
+// are handed to the registered WorkerService (non-blocking), replies come
+// back through a thread-safe emit callback, Heartbeats are acked inline by
+// the reader, and Drain/Shutdown/Reload/Stall are handled as control
+// frames. EOF on the socket means the controller is gone: drain and exit.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "treu/cluster/wire.hpp"
+
+namespace treu::cluster {
+
+/// One finished request, handed back by a WorkerService through emit().
+struct WorkerReply {
+  std::uint64_t seq = 0;
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint32_t tenant = 0;
+  bool ok = false;
+  std::vector<std::uint8_t> payload;  // response payload when ok
+  std::string error;                  // reason when !ok
+};
+
+/// What a worker process knows about itself when its service is built.
+struct WorkerStartup {
+  std::size_t shard = 0;
+  std::string log_dir;                  // empty = no per-worker log file
+  std::vector<std::string> extra_args;  // controller worker_args, verbatim
+};
+
+/// The application side of a worker process. One instance per process;
+/// calls arrive from the worker loop's reader thread.
+class WorkerService {
+ public:
+  virtual ~WorkerService() = default;
+
+  /// Called once before any request. `emit` is thread-safe and may be
+  /// called from any thread the service owns; it writes one Response or
+  /// Error frame to the controller.
+  virtual void start(std::function<void(const WorkerReply &)> emit) = 0;
+
+  /// One Request frame. Must not block: decode, enqueue, return. A payload
+  /// that fails to decode must surface as an emitted !ok reply (never an
+  /// exception — the loop treats a throwing service as fatal).
+  virtual void handle_request(const Frame &frame) = 0;
+
+  /// Requests answered so far (ok or not) — reported in DrainAck.
+  virtual std::uint64_t served() const = 0;
+
+  /// Current weight hash, reported in Hello and ReloadAck.
+  virtual std::string weight_hash() const = 0;
+
+  /// Hot weight reload. Returns false and fills `error` on failure; the
+  /// worker keeps serving its previous weights either way.
+  virtual bool reload(const std::string &path, const std::string &digest,
+                      std::string &error) = 0;
+
+  /// Stop accepting, finish everything in flight, join internal threads.
+  virtual void stop() = 0;
+};
+
+using WorkerFactory =
+    std::function<std::unique_ptr<WorkerService>(const WorkerStartup &)>;
+
+/// Install a worker kind. Call before maybe_run_worker(); last install of a
+/// kind wins. Worker kinds are process-local — each hosting binary
+/// registers exactly the kinds its tests/benches spawn.
+void register_worker(const std::string &kind, WorkerFactory factory);
+
+/// If argv selects a worker (`--treu-cluster-worker <kind>`), run it to
+/// completion and return its exit code (0 = clean drain). Returns -1 when
+/// argv is a normal controller/test invocation. Hosting binaries call this
+/// first in main() and `return` its result when >= 0.
+int maybe_run_worker(int argc, char **argv);
+
+/// Controller-side spawn record.
+struct SpawnedWorker {
+  int pid = -1;
+  int fd = -1;  // controller end of the socketpair (CLOEXEC)
+};
+
+/// fork+exec one worker of `kind` for `shard`. `extra_args` is appended to
+/// the child's argv verbatim (the service factory sees it as extra_args).
+/// Throws std::runtime_error when the socketpair/fork/exec plumbing fails.
+SpawnedWorker spawn_worker(const std::string &kind, std::size_t shard,
+                           const std::string &log_dir, bool worker_obs,
+                           const std::vector<std::string> &extra_args);
+
+}  // namespace treu::cluster

@@ -1,0 +1,67 @@
+#include "treu/cluster/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "treu/core/rng.hpp"
+
+namespace treu::cluster {
+
+HashRing::HashRing(std::size_t workers, std::size_t vnodes,
+                   std::uint64_t seed)
+    : workers_(workers) {
+  if (workers == 0 || vnodes == 0) {
+    throw std::invalid_argument("HashRing: zero workers or vnodes");
+  }
+  points_.reserve(workers * vnodes);
+  for (std::size_t w = 0; w < workers; ++w) {
+    core::Rng rng(seed, w);
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      points_.push_back({rng.next_u64(), w});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point &a,
+                                               const Point &b) {
+    // Tie-break on worker index so equal points (vanishingly rare but
+    // possible) still order identically everywhere.
+    return a.at != b.at ? a.at < b.at : a.worker < b.worker;
+  });
+}
+
+std::size_t HashRing::route(std::uint64_t key,
+                            const std::vector<bool> &live) const {
+  const std::uint64_t h = mix_key(key);
+  const auto start = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point &p, std::uint64_t value) { return p.at < value; });
+  const std::size_t begin =
+      static_cast<std::size_t>(start - points_.begin());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Point &p = points_[(begin + i) % points_.size()];
+    if (p.worker < live.size() && live[p.worker]) return p.worker;
+  }
+  return kNoWorker;
+}
+
+std::vector<std::size_t> HashRing::chain(std::uint64_t key) const {
+  const std::uint64_t h = mix_key(key);
+  const auto start = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point &p, std::uint64_t value) { return p.at < value; });
+  const std::size_t begin =
+      static_cast<std::size_t>(start - points_.begin());
+  std::vector<std::size_t> order;
+  std::vector<bool> seen(workers_, false);
+  order.reserve(workers_);
+  for (std::size_t i = 0; i < points_.size() && order.size() < workers_;
+       ++i) {
+    const Point &p = points_[(begin + i) % points_.size()];
+    if (!seen[p.worker]) {
+      seen[p.worker] = true;
+      order.push_back(p.worker);
+    }
+  }
+  return order;
+}
+
+}  // namespace treu::cluster

@@ -1,0 +1,217 @@
+#include "treu/cluster/wire.hpp"
+
+#include <cstring>
+
+namespace treu::cluster {
+
+const char *to_string(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::None: return "none";
+    case FrameType::Hello: return "hello";
+    case FrameType::Request: return "request";
+    case FrameType::Response: return "response";
+    case FrameType::Error: return "error";
+    case FrameType::Heartbeat: return "heartbeat";
+    case FrameType::HeartbeatAck: return "heartbeat_ack";
+    case FrameType::Drain: return "drain";
+    case FrameType::DrainAck: return "drain_ack";
+    case FrameType::Reload: return "reload";
+    case FrameType::ReloadAck: return "reload_ack";
+    case FrameType::Stall: return "stall";
+    case FrameType::Shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+const char *to_string(WireFailure failure) noexcept {
+  switch (failure) {
+    case WireFailure::None: return "none";
+    case WireFailure::NeedMore: return "need_more";
+    case WireFailure::Torn: return "torn";
+    case WireFailure::Corrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                      std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void put_u32(std::vector<std::uint8_t> &out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t> &out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t> &out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_str(std::vector<std::uint8_t> &out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+namespace {
+
+std::uint32_t read_u32(const std::uint8_t *p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t read_u64(const std::uint8_t *p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+bool valid_type(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(FrameType::Hello) &&
+         t <= static_cast<std::uint8_t>(FrameType::Shutdown);
+}
+
+}  // namespace
+
+bool PayloadReader::u32(std::uint32_t &out) noexcept {
+  if (data_.size() - pos_ < 4) return false;
+  out = read_u32(data_.data() + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool PayloadReader::u64(std::uint64_t &out) noexcept {
+  if (data_.size() - pos_ < 8) return false;
+  out = read_u64(data_.data() + pos_);
+  pos_ += 8;
+  return true;
+}
+
+bool PayloadReader::f64(double &out) noexcept {
+  std::uint64_t bits = 0;
+  if (!u64(bits)) return false;
+  std::memcpy(&out, &bits, sizeof(out));
+  return true;
+}
+
+bool PayloadReader::str(std::string &out) noexcept {
+  std::uint32_t n = 0;
+  if (!u32(n)) return false;
+  if (data_.size() - pos_ < n) return false;
+  out.assign(reinterpret_cast<const char *>(data_.data() + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame &frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kWireHeaderSize + frame.payload.size());
+  put_u32(out, kWireMagic);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  out.push_back(frame.flags);
+  out.push_back(0);  // reserved
+  put_u64(out, frame.seq);
+  put_u64(out, frame.trace_hi);
+  put_u64(out, frame.trace_lo);
+  put_u32(out, frame.tenant);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  // Checksum covers the 40 header bytes written so far plus the payload.
+  std::uint64_t sum = fnv1a64({out.data(), out.size()});
+  sum = fnv1a64({frame.payload.data(), frame.payload.size()}, sum);
+  put_u64(out, sum);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+WireDecodeResult decode_frame(std::span<const std::uint8_t> bytes,
+                              std::size_t max_payload) {
+  WireDecodeResult r;
+  if (bytes.size() < kWireHeaderSize) {
+    r.failure = WireFailure::NeedMore;
+    return r;
+  }
+  const std::uint8_t *p = bytes.data();
+  if (read_u32(p) != kWireMagic) {
+    r.failure = WireFailure::Torn;
+    r.error = "wire: bad magic";
+    return r;
+  }
+  if (p[4] != kWireVersion) {
+    r.failure = WireFailure::Torn;
+    r.error = "wire: unknown version";
+    return r;
+  }
+  if (!valid_type(p[5])) {
+    r.failure = WireFailure::Torn;
+    r.error = "wire: unknown frame type";
+    return r;
+  }
+  const std::uint32_t payload_len = read_u32(p + 36);
+  if (payload_len > max_payload) {
+    // An oversized length prefix is structural damage: trusting it would
+    // stall the stream forever (or drive an absurd allocation).
+    r.failure = WireFailure::Torn;
+    r.error = "wire: payload length above bound";
+    return r;
+  }
+  if (bytes.size() < kWireHeaderSize + payload_len) {
+    r.failure = WireFailure::NeedMore;
+    return r;
+  }
+  std::uint64_t sum = fnv1a64({p, 40});
+  sum = fnv1a64({p + kWireHeaderSize, payload_len}, sum);
+  if (sum != read_u64(p + 40)) {
+    r.failure = WireFailure::Corrupt;
+    r.error = "wire: checksum mismatch";
+    return r;
+  }
+  r.frame.type = static_cast<FrameType>(p[5]);
+  r.frame.flags = p[6];
+  r.frame.seq = read_u64(p + 8);
+  r.frame.trace_hi = read_u64(p + 16);
+  r.frame.trace_lo = read_u64(p + 24);
+  r.frame.tenant = read_u32(p + 32);
+  r.frame.payload.assign(p + kWireHeaderSize,
+                         p + kWireHeaderSize + payload_len);
+  r.consumed = kWireHeaderSize + payload_len;
+  return r;
+}
+
+WireDecodeResult FrameDecoder::next() {
+  if (poisoned_ != WireFailure::None) {
+    WireDecodeResult r;
+    r.failure = poisoned_;
+    r.error = poison_error_;
+    return r;
+  }
+  WireDecodeResult r = decode_frame({buf_.data(), buf_.size()}, max_payload_);
+  if (r.failure == WireFailure::Torn || r.failure == WireFailure::Corrupt) {
+    poisoned_ = r.failure;
+    poison_error_ = r.error;
+    buf_.clear();
+    return r;
+  }
+  if (r.ok()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(r.consumed));
+  }
+  return r;
+}
+
+}  // namespace treu::cluster

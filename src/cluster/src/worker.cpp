@@ -1,0 +1,333 @@
+#include "treu/cluster/worker.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "treu/obs/obs.hpp"
+
+namespace treu::cluster {
+
+namespace {
+
+std::map<std::string, WorkerFactory> &registry() {
+  static std::map<std::string, WorkerFactory> r;
+  return r;
+}
+
+/// The worker's half of the socket: one mutex serializes the reader's
+/// control acks with the service's reply thread. Failed writes are dropped
+/// silently — a vanished controller has already accounted for us.
+class Channel {
+ public:
+  explicit Channel(int fd) : fd_(fd) {}
+
+  void send_frame(const Frame &frame) {
+    const std::vector<std::uint8_t> bytes = encode_frame(frame);
+    std::lock_guard lock(mu_);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  int fd_;
+  std::mutex mu_;
+};
+
+struct WorkerArgs {
+  std::string kind;
+  int fd = -1;
+  std::size_t shard = 0;
+  std::string log_dir;
+  bool obs = false;
+  std::vector<std::string> extra;
+  bool is_worker = false;
+  bool valid = true;
+};
+
+WorkerArgs parse_worker_args(int argc, char **argv) {
+  WorkerArgs a;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--treu-cluster-worker") {
+      a.is_worker = true;
+      if (++i >= argc) { a.valid = false; return a; }
+      a.kind = argv[i];
+    } else if (arg == "--treu-cluster-fd") {
+      if (++i >= argc) { a.valid = false; return a; }
+      a.fd = std::atoi(argv[i]);
+    } else if (arg == "--treu-cluster-shard") {
+      if (++i >= argc) { a.valid = false; return a; }
+      a.shard = static_cast<std::size_t>(std::atoll(argv[i]));
+    } else if (arg == "--treu-cluster-log-dir") {
+      if (++i >= argc) { a.valid = false; return a; }
+      a.log_dir = argv[i];
+    } else if (arg == "--treu-cluster-obs") {
+      a.obs = true;
+    } else if (arg == "--treu-cluster-extra") {
+      for (++i; i < argc; ++i) a.extra.emplace_back(argv[i]);
+      break;
+    } else if (a.is_worker) {
+      a.valid = false;  // unknown flag in a worker invocation
+      return a;
+    }
+  }
+  if (a.is_worker && a.fd < 0) a.valid = false;
+  return a;
+}
+
+int run_worker(const WorkerArgs &args) {
+  const auto it = registry().find(args.kind);
+  if (it == registry().end()) {
+    std::fprintf(stderr, "treu-cluster-worker: unknown kind '%s'\n",
+                 args.kind.c_str());
+    return 3;
+  }
+
+  WorkerStartup startup;
+  startup.shard = args.shard;
+  startup.log_dir = args.log_dir;
+  startup.extra_args = args.extra;
+
+  std::unique_ptr<WorkerService> service;
+  try {
+    service = it->second(startup);
+  } catch (const std::exception &e) {
+    std::fprintf(stderr, "treu-cluster-worker[%zu]: factory threw: %s\n",
+                 args.shard, e.what());
+    return 4;
+  }
+  if (!service) {
+    std::fprintf(stderr, "treu-cluster-worker[%zu]: factory returned null\n",
+                 args.shard);
+    return 4;
+  }
+
+  Channel channel(args.fd);
+  const std::size_t shard = args.shard;
+  service->start([&channel, shard](const WorkerReply &reply) {
+    Frame f;
+    f.type = reply.ok ? FrameType::Response : FrameType::Error;
+    f.flags = reply.ok ? 1 : 0;
+    f.seq = reply.seq;
+    f.trace_hi = reply.trace_hi;
+    f.trace_lo = reply.trace_lo;
+    f.tenant = reply.tenant;
+    if (reply.ok) {
+      f.payload = reply.payload;
+    } else {
+      put_str(f.payload, reply.error);
+    }
+    TREU_OBS_FR_EVENT(ClusterWorkerReply, reply.trace_lo, shard,
+                      reply.ok ? 1 : 0);
+    channel.send_frame(f);
+  });
+
+  {
+    Frame hello;
+    hello.type = FrameType::Hello;
+    put_u64(hello.payload, static_cast<std::uint64_t>(::getpid()));
+    put_u32(hello.payload, static_cast<std::uint32_t>(shard));
+    put_str(hello.payload, service->weight_hash());
+    channel.send_frame(hello);
+  }
+
+  FrameDecoder decoder;
+  std::uint8_t buf[4096];
+  int exit_code = 0;
+  bool running = true;
+  while (running) {
+    const ssize_t n = ::recv(args.fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // controller side torn down
+    }
+    if (n == 0) break;  // EOF: controller gone — drain and leave
+    decoder.feed({buf, static_cast<std::size_t>(n)});
+    for (;;) {
+      WireDecodeResult r = decoder.next();
+      if (r.failure == WireFailure::NeedMore) break;
+      if (!r.ok()) {
+        // A controller that corrupts its own stream is unrecoverable.
+        std::fprintf(stderr, "treu-cluster-worker[%zu]: %s\n", shard,
+                     r.error.c_str());
+        exit_code = 2;
+        running = false;
+        break;
+      }
+      const Frame &f = r.frame;
+      switch (f.type) {
+        case FrameType::Request: {
+          TREU_OBS_FR_EVENT(ClusterWorkerRecv, f.trace_lo, shard, f.tenant);
+          service->handle_request(f);
+          break;
+        }
+        case FrameType::Heartbeat: {
+          Frame ack;
+          ack.type = FrameType::HeartbeatAck;
+          ack.seq = f.seq;
+          channel.send_frame(ack);
+          break;
+        }
+        case FrameType::Stall: {
+          // Injected: freeze this event loop. Heartbeats queue up unacked,
+          // which is exactly how the controller notices.
+          PayloadReader pr({f.payload.data(), f.payload.size()});
+          std::uint64_t us = 0;
+          (void)pr.u64(us);
+          std::this_thread::sleep_for(std::chrono::microseconds(us));
+          break;
+        }
+        case FrameType::Reload: {
+          PayloadReader pr({f.payload.data(), f.payload.size()});
+          std::string path;
+          std::string digest;
+          std::string error;
+          bool ok = pr.str(path) && pr.str(digest);
+          if (!ok) {
+            error = "reload payload malformed";
+          } else {
+            ok = service->reload(path, digest, error);
+          }
+          Frame ack;
+          ack.type = FrameType::ReloadAck;
+          ack.flags = ok ? 1 : 0;
+          ack.seq = f.seq;
+          put_str(ack.payload, error);
+          put_str(ack.payload, service->weight_hash());
+          channel.send_frame(ack);
+          break;
+        }
+        case FrameType::Drain: {
+          service->stop();  // finish everything in flight first
+          Frame ack;
+          ack.type = FrameType::DrainAck;
+          ack.seq = f.seq;
+          put_u64(ack.payload, service->served());
+          channel.send_frame(ack);
+          running = false;
+          break;
+        }
+        case FrameType::Shutdown:
+          // Exit now, no drain: abandoned work was already failed over on
+          // the controller side, so unwinding would only slow the reaper.
+          std::_Exit(0);
+        default:
+          break;  // controller-bound frame types: ignore
+      }
+      if (!running) break;
+    }
+  }
+  service->stop();
+  if (args.obs && !args.log_dir.empty()) {
+    obs::FlightRecorder::global().dump(
+        args.log_dir + "/worker-" + std::to_string(shard) + ".flight.json",
+        "cluster-worker-" + std::to_string(shard));
+  }
+  return exit_code;
+}
+
+}  // namespace
+
+void register_worker(const std::string &kind, WorkerFactory factory) {
+  registry()[kind] = std::move(factory);
+}
+
+int maybe_run_worker(int argc, char **argv) {
+  WorkerArgs args = parse_worker_args(argc, argv);
+  if (!args.is_worker) return -1;
+  if (!args.valid) {
+    std::fprintf(stderr, "treu-cluster-worker: malformed worker argv\n");
+    return 5;
+  }
+  if (!args.log_dir.empty()) {
+    const std::string path =
+        args.log_dir + "/worker-" + std::to_string(args.shard) + ".log";
+    // Capture the worker's stdout/stderr for post-mortem (soak preserves
+    // these on failure). Best effort: a bad dir leaves output on the
+    // inherited descriptors.
+    if (std::freopen(path.c_str(), "a", stdout) != nullptr) {
+      ::dup2(::fileno(stdout), 2);
+    }
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  }
+#if TREU_OBS_ENABLED
+  if (args.obs) obs::FlightRecorder::global().set_enabled(true);
+#endif
+  return run_worker(args);
+}
+
+SpawnedWorker spawn_worker(const std::string &kind, std::size_t shard,
+                           const std::string &log_dir, bool worker_obs,
+                           const std::vector<std::string> &extra_args) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    throw std::runtime_error("spawn_worker: socketpair failed");
+  }
+  const int parent_fd = fds[0];
+  const int child_fd = fds[1];
+
+  // Everything the child needs is materialized BEFORE fork: between fork
+  // and exec only async-signal-safe calls are allowed in a process that
+  // runs threads (this one does — thread pools, reader threads).
+  std::vector<std::string> args;
+  args.emplace_back("treu-cluster-worker");
+  args.emplace_back("--treu-cluster-worker");
+  args.push_back(kind);
+  args.emplace_back("--treu-cluster-fd");
+  args.push_back(std::to_string(child_fd));
+  args.emplace_back("--treu-cluster-shard");
+  args.push_back(std::to_string(shard));
+  if (!log_dir.empty()) {
+    args.emplace_back("--treu-cluster-log-dir");
+    args.push_back(log_dir);
+  }
+  if (worker_obs) args.emplace_back("--treu-cluster-obs");
+  if (!extra_args.empty()) {
+    args.emplace_back("--treu-cluster-extra");
+    for (const std::string &e : extra_args) args.push_back(e);
+  }
+  std::vector<char *> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string &a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(parent_fd);
+    ::close(child_fd);
+    throw std::runtime_error("spawn_worker: fork failed");
+  }
+  if (pid == 0) {
+    // Child. The socketpair was created CLOEXEC on both ends so no other
+    // concurrently-spawned worker can inherit a stray copy; re-arm just
+    // this child's end to survive the exec.
+    ::fcntl(child_fd, F_SETFD, 0);
+    ::close(parent_fd);
+    ::execv("/proc/self/exe", argv.data());
+    ::_exit(127);
+  }
+  ::close(child_fd);
+  return SpawnedWorker{static_cast<int>(pid), parent_fd};
+}
+
+}  // namespace treu::cluster

@@ -11,12 +11,16 @@
 // `decide()` additionally assigns the next event index, records history,
 // and bumps the fault.injected.* counters.
 //
-// Fault mix: independent rates for Throw / Stall / Corrupt (their sum must
-// be <= 1; the remainder is None), drawn from one uniform per event. Stall
-// durations are uniform in [stall_min, stall_max]. On top of the rates, a
-// blackout window turns every event for one chosen replica into a Blackout
-// fault while the event index is inside [blackout_from, blackout_until) —
-// the deterministic analogue of a replica going dark for a while.
+// Fault mix: independent rates for Throw / Stall / Corrupt plus the
+// cluster-level WorkerKill / WorkerStall / LinkDrop (their sum must be
+// <= 1; the remainder is None), drawn from one uniform per event. Stall
+// durations are uniform in [stall_min, stall_max]; worker stalls in
+// [worker_stall_min, worker_stall_max]. On top of the rates, a blackout
+// window turns every event for one chosen replica into a Blackout fault
+// while the event index is inside [blackout_from, blackout_until) — the
+// deterministic analogue of a replica going dark for a while. The worker
+// rates default to 0, so a pre-cluster config draws the exact same
+// schedule it always did (the ladder gains only zero-width slices).
 
 #include <array>
 #include <chrono>
@@ -34,9 +38,19 @@ struct FaultPlanConfig {
   double throw_rate = 0.0;    // P(Throw) per event
   double stall_rate = 0.0;    // P(Stall) per event
   double corrupt_rate = 0.0;  // P(Corrupt) per event
+  /// Cluster-level rates: the event's `replica` names a worker process.
+  /// Only treu::cluster acts on these; in-process servers ignore them.
+  double worker_kill_rate = 0.0;   // P(WorkerKill) per dispatch
+  double worker_stall_rate = 0.0;  // P(WorkerStall) per dispatch
+  double link_drop_rate = 0.0;     // P(LinkDrop) per dispatch
   /// Stall duration range (uniform per stall event).
   std::chrono::microseconds stall_min{100};
   std::chrono::microseconds stall_max{1000};
+  /// Worker-stall duration range (uniform per worker-stall event). Whole
+  /// event loops freeze for this long, so the useful range sits above the
+  /// cluster's heartbeat timeout, not the per-call stall range.
+  std::chrono::microseconds worker_stall_min{1000};
+  std::chrono::microseconds worker_stall_max{5000};
   /// Replica blackout window by event index: every decision for
   /// `blackout_replica` with index in [blackout_from, blackout_until) is a
   /// Blackout fault. SIZE_MAX (the default) disables the window.
@@ -81,7 +95,7 @@ class FaultPlan final : public Injector {
   mutable std::mutex mu_;
   std::uint64_t next_event_ = 0;
   std::vector<FaultKind> history_;
-  std::array<std::uint64_t, 5> counts_{};  // indexed by FaultKind
+  std::array<std::uint64_t, 8> counts_{};  // indexed by FaultKind
 };
 
 }  // namespace treu::fault

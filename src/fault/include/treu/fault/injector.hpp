@@ -24,13 +24,21 @@
 
 namespace treu::fault {
 
-/// What to do to one model-call attempt.
+/// What to do to one model-call attempt (or, for the cluster-level kinds,
+/// to one cross-process dispatch — see treu::cluster::ClusterController).
 enum class FaultKind : std::uint8_t {
   None = 0,      // run the model untouched
   Throw,         // skip the model, raise FaultError instead
   Stall,         // sleep `stall` before running the model (latency fault)
   Corrupt,       // run the model, then corrupt its outputs (silent fault)
   Blackout,      // replica-wide outage window: behaves like Throw
+  // Cluster-level kinds: `replica` is a worker-process index and the
+  // injury lands on the whole worker or its link, not one model call.
+  // In-process consumers (BatchServer) never see these unless the plan's
+  // worker rates are set, and must treat them as None.
+  WorkerKill,    // SIGKILL the worker process mid-load
+  WorkerStall,   // freeze the worker's event loop for `stall`
+  LinkDrop,      // the dispatched frame vanishes on the wire
 };
 
 [[nodiscard]] constexpr const char *to_string(FaultKind kind) noexcept {
@@ -40,6 +48,9 @@ enum class FaultKind : std::uint8_t {
     case FaultKind::Stall: return "stall";
     case FaultKind::Corrupt: return "corrupt";
     case FaultKind::Blackout: return "blackout";
+    case FaultKind::WorkerKill: return "worker_kill";
+    case FaultKind::WorkerStall: return "worker_stall";
+    case FaultKind::LinkDrop: return "link_drop";
   }
   return "unknown";
 }

@@ -9,14 +9,22 @@ namespace treu::fault {
 FaultPlan::FaultPlan(const FaultPlanConfig &config, std::uint64_t seed)
     : config_(config), seed_(seed) {
   if (config_.throw_rate < 0.0 || config_.stall_rate < 0.0 ||
-      config_.corrupt_rate < 0.0) {
+      config_.corrupt_rate < 0.0 || config_.worker_kill_rate < 0.0 ||
+      config_.worker_stall_rate < 0.0 || config_.link_drop_rate < 0.0) {
     throw std::invalid_argument("FaultPlan: negative fault rate");
   }
-  if (config_.throw_rate + config_.stall_rate + config_.corrupt_rate > 1.0) {
+  if (config_.throw_rate + config_.stall_rate + config_.corrupt_rate +
+          config_.worker_kill_rate + config_.worker_stall_rate +
+          config_.link_drop_rate >
+      1.0) {
     throw std::invalid_argument("FaultPlan: fault rates sum above 1");
   }
   if (config_.stall_max < config_.stall_min) {
     throw std::invalid_argument("FaultPlan: stall_max < stall_min");
+  }
+  if (config_.worker_stall_max < config_.worker_stall_min) {
+    throw std::invalid_argument(
+        "FaultPlan: worker_stall_max < worker_stall_min");
   }
 }
 
@@ -30,17 +38,41 @@ FaultDecision FaultPlan::at(std::uint64_t event, std::size_t replica) const {
   core::Rng rng(seed_, event);
   const double u = rng.uniform();
   FaultDecision d;
-  if (u < config_.throw_rate) {
+  double edge = config_.throw_rate;
+  if (u < edge) {
     d.kind = FaultKind::Throw;
-  } else if (u < config_.throw_rate + config_.stall_rate) {
+    return d;
+  }
+  edge += config_.stall_rate;
+  if (u < edge) {
     d.kind = FaultKind::Stall;
     d.stall = std::chrono::microseconds(static_cast<std::int64_t>(
         rng.uniform(static_cast<double>(config_.stall_min.count()),
                     static_cast<double>(config_.stall_max.count() + 1))));
-  } else if (u < config_.throw_rate + config_.stall_rate +
-                     config_.corrupt_rate) {
-    d.kind = FaultKind::Corrupt;
+    return d;
   }
+  edge += config_.corrupt_rate;
+  if (u < edge) {
+    d.kind = FaultKind::Corrupt;
+    return d;
+  }
+  edge += config_.worker_kill_rate;
+  if (u < edge) {
+    d.kind = FaultKind::WorkerKill;
+    return d;
+  }
+  edge += config_.worker_stall_rate;
+  if (u < edge) {
+    d.kind = FaultKind::WorkerStall;
+    // Drawn from the same per-event stream, after the ladder uniform: the
+    // duration is as replayable as the kind.
+    d.stall = std::chrono::microseconds(static_cast<std::int64_t>(rng.uniform(
+        static_cast<double>(config_.worker_stall_min.count()),
+        static_cast<double>(config_.worker_stall_max.count() + 1))));
+    return d;
+  }
+  edge += config_.link_drop_rate;
+  if (u < edge) d.kind = FaultKind::LinkDrop;
   return d;
 }
 
@@ -66,6 +98,15 @@ FaultDecision FaultPlan::decide(std::size_t replica, std::size_t batch_size) {
       break;
     case FaultKind::Blackout:
       TREU_OBS_COUNTER_ADD("fault.injected.blackout", 1);
+      break;
+    case FaultKind::WorkerKill:
+      TREU_OBS_COUNTER_ADD("fault.injected.worker_kill", 1);
+      break;
+    case FaultKind::WorkerStall:
+      TREU_OBS_COUNTER_ADD("fault.injected.worker_stall", 1);
+      break;
+    case FaultKind::LinkDrop:
+      TREU_OBS_COUNTER_ADD("fault.injected.link_drop", 1);
       break;
     case FaultKind::None:
       break;

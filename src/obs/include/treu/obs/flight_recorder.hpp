@@ -87,6 +87,28 @@ enum class FrEvent : std::uint16_t {
   GuardGiveUp = 23,    // a = step, b = TripKind
   // tests / tooling
   Mark = 24,  // a, b free-form
+  // cluster (controller side unless noted; a worker-side event's trace_lo
+  // is the controller-derived id carried across the wire)
+  ClusterSpawn = 25,         // a = shard, b = pid
+  ClusterHello = 26,         // a = shard, b = pid
+  ClusterDispatch = 27,      // a = shard, b = attempt (1-based)
+  ClusterFulfill = 28,       // a = shard that answered, b = attempts
+  ClusterRequestFail = 29,   // a = last shard tried, b = attempts
+  ClusterShed = 30,          // a = tenant, b = tenant in-flight at refusal
+  ClusterReject = 31,        // a = tenant, b = total in-flight at refusal
+  ClusterWorkerDead = 32,    // a = shard, b = deaths so far
+  ClusterFailover = 33,      // a = dead shard, b = requests re-routed
+  ClusterHeartbeatMiss = 34, // a = shard, b = silence in us
+  ClusterRetry = 35,         // a = shard routed to, b = attempt (1-based)
+  ClusterDrain = 36,         // a = shard, b = served total reported back
+  ClusterRestart = 37,       // a = shard, b = restarts so far
+  ClusterReload = 38,        // a = shard, b = ok
+  ClusterFrameError = 39,    // a = shard, b = 0 torn / 1 corrupt
+  ClusterKillInjected = 40,  // a = shard, b = fault-plan event index
+  ClusterStallInjected = 41, // a = shard, b = stall us
+  ClusterLinkDrop = 42,      // a = shard, b = fault-plan event index
+  ClusterWorkerRecv = 43,    // worker side: a = shard, b = tenant
+  ClusterWorkerReply = 44,   // worker side: a = shard, b = ok
 };
 
 [[nodiscard]] const char *to_string(FrEvent kind) noexcept;

@@ -64,6 +64,26 @@ const char *to_string(FrEvent kind) noexcept {
     case FrEvent::GuardRollback: return "guard_rollback";
     case FrEvent::GuardGiveUp: return "guard_give_up";
     case FrEvent::Mark: return "mark";
+    case FrEvent::ClusterSpawn: return "cluster_spawn";
+    case FrEvent::ClusterHello: return "cluster_hello";
+    case FrEvent::ClusterDispatch: return "cluster_dispatch";
+    case FrEvent::ClusterFulfill: return "cluster_fulfill";
+    case FrEvent::ClusterRequestFail: return "cluster_request_fail";
+    case FrEvent::ClusterShed: return "cluster_shed";
+    case FrEvent::ClusterReject: return "cluster_reject";
+    case FrEvent::ClusterWorkerDead: return "cluster_worker_dead";
+    case FrEvent::ClusterFailover: return "cluster_failover";
+    case FrEvent::ClusterHeartbeatMiss: return "cluster_heartbeat_miss";
+    case FrEvent::ClusterRetry: return "cluster_retry";
+    case FrEvent::ClusterDrain: return "cluster_drain";
+    case FrEvent::ClusterRestart: return "cluster_restart";
+    case FrEvent::ClusterReload: return "cluster_reload";
+    case FrEvent::ClusterFrameError: return "cluster_frame_error";
+    case FrEvent::ClusterKillInjected: return "cluster_kill_injected";
+    case FrEvent::ClusterStallInjected: return "cluster_stall_injected";
+    case FrEvent::ClusterLinkDrop: return "cluster_link_drop";
+    case FrEvent::ClusterWorkerRecv: return "cluster_worker_recv";
+    case FrEvent::ClusterWorkerReply: return "cluster_worker_reply";
   }
   return "unknown";
 }

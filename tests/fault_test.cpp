@@ -136,6 +136,132 @@ TEST(FaultPlan, RejectsInvalidConfig) {
   EXPECT_THROW(fault::FaultPlan(inverted, 1), std::invalid_argument);
 }
 
+// ---- cluster-level fault kinds (WorkerKill / WorkerStall / LinkDrop) -------
+
+fault::FaultPlanConfig cluster_config() {
+  fault::FaultPlanConfig config;
+  config.worker_kill_rate = 0.15;
+  config.worker_stall_rate = 0.10;
+  config.link_drop_rate = 0.10;
+  config.worker_stall_min = microseconds(2000);
+  config.worker_stall_max = microseconds(4000);
+  return config;
+}
+
+TEST(FaultPlan, WorkerFaultKindsReplayExactlyFromSeed) {
+  fault::FaultPlan a(cluster_config(), 77);
+  fault::FaultPlan b(cluster_config(), 77);
+  const fault::FaultPlan oracle(cluster_config(), 77);
+  std::uint64_t injected = 0;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const auto da = a.decide(static_cast<std::size_t>(k % 3), 1);
+    const auto db = b.decide(static_cast<std::size_t>(k % 3), 1);
+    const auto expect = oracle.at(k, static_cast<std::size_t>(k % 3));
+    // decide() walks the pure at() schedule — worker-stall durations
+    // included, so a kill-and-recover sequence replays bit-exactly.
+    ASSERT_EQ(da.kind, expect.kind) << "event " << k;
+    ASSERT_EQ(da.stall, expect.stall) << "event " << k;
+    ASSERT_EQ(db.kind, da.kind) << "event " << k;
+    ASSERT_EQ(db.stall, da.stall) << "event " << k;
+    if (da.kind != fault::FaultKind::None) ++injected;
+  }
+  EXPECT_GT(injected, 0u);
+  EXPECT_EQ(a.history(), b.history());
+  EXPECT_EQ(a.injected(fault::FaultKind::WorkerKill),
+            b.injected(fault::FaultKind::WorkerKill));
+  EXPECT_GT(a.injected(fault::FaultKind::WorkerKill), 0u);
+  EXPECT_GT(a.injected(fault::FaultKind::WorkerStall), 0u);
+  EXPECT_GT(a.injected(fault::FaultKind::LinkDrop), 0u);
+}
+
+TEST(FaultPlan, WorkerStallDurationsUseTheWorkerRange) {
+  fault::FaultPlanConfig config;
+  config.worker_stall_rate = 1.0;
+  config.worker_stall_min = microseconds(2000);
+  config.worker_stall_max = microseconds(4000);
+  // The per-call stall range stays untouched and irrelevant here.
+  config.stall_min = microseconds(1);
+  config.stall_max = microseconds(2);
+  fault::FaultPlan plan(config, 9);
+  for (int i = 0; i < 200; ++i) {
+    const auto d = plan.decide(0, 1);
+    ASSERT_EQ(d.kind, fault::FaultKind::WorkerStall);
+    ASSERT_GE(d.stall, config.worker_stall_min);
+    ASSERT_LE(d.stall, config.worker_stall_max);
+  }
+}
+
+TEST(FaultPlan, WorkerRatesExtendTheLadderWithoutMovingLegacySlices) {
+  // The worker kinds occupy ladder slices ABOVE throw/stall/corrupt, so
+  // turning them on can only reclassify events that used to be None —
+  // every in-process decision of a pre-cluster config is preserved
+  // bit-for-bit, which is what keeps old seeded repros valid.
+  const fault::FaultPlan legacy(mixed_config(), 21);
+  fault::FaultPlanConfig extended = mixed_config();
+  extended.worker_kill_rate = 0.1;
+  extended.worker_stall_rate = 0.1;
+  extended.link_drop_rate = 0.1;
+  const fault::FaultPlan plan(extended, 21);
+  std::uint64_t promoted = 0;
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    const auto was = legacy.at(k, 0);
+    const auto now = plan.at(k, 0);
+    if (was.kind != fault::FaultKind::None) {
+      ASSERT_EQ(now.kind, was.kind) << "event " << k;
+      ASSERT_EQ(now.stall, was.stall) << "event " << k;
+    } else {
+      ASSERT_TRUE(now.kind == fault::FaultKind::None ||
+                  now.kind == fault::FaultKind::WorkerKill ||
+                  now.kind == fault::FaultKind::WorkerStall ||
+                  now.kind == fault::FaultKind::LinkDrop)
+          << "event " << k;
+      if (now.kind != fault::FaultKind::None) ++promoted;
+    }
+  }
+  EXPECT_GT(promoted, 0u);
+}
+
+TEST(FaultPlan, ClusterRatesRoughlyHonoredAndCountsExact) {
+  fault::FaultPlan plan(cluster_config(), 13);
+  const int kEvents = 4000;
+  for (int i = 0; i < kEvents; ++i) (void)plan.decide(0, 1);
+  const auto hist = plan.history();
+  std::uint64_t kills = 0, stalls = 0, drops = 0;
+  for (const auto k : hist) {
+    if (k == fault::FaultKind::WorkerKill) ++kills;
+    if (k == fault::FaultKind::WorkerStall) ++stalls;
+    if (k == fault::FaultKind::LinkDrop) ++drops;
+  }
+  EXPECT_EQ(plan.injected(fault::FaultKind::WorkerKill), kills);
+  EXPECT_EQ(plan.injected(fault::FaultKind::WorkerStall), stalls);
+  EXPECT_EQ(plan.injected(fault::FaultKind::LinkDrop), drops);
+  EXPECT_NEAR(static_cast<double>(kills) / kEvents, 0.15, 0.03);
+  EXPECT_NEAR(static_cast<double>(stalls) / kEvents, 0.10, 0.03);
+  EXPECT_NEAR(static_cast<double>(drops) / kEvents, 0.10, 0.03);
+}
+
+TEST(FaultPlan, RejectsInvalidWorkerConfig) {
+  fault::FaultPlanConfig negative;
+  negative.worker_kill_rate = -0.01;
+  EXPECT_THROW(fault::FaultPlan(negative, 1), std::invalid_argument);
+  fault::FaultPlanConfig oversum;
+  oversum.throw_rate = 0.5;
+  oversum.worker_kill_rate = 0.3;
+  oversum.link_drop_rate = 0.3;
+  EXPECT_THROW(fault::FaultPlan(oversum, 1), std::invalid_argument);
+  fault::FaultPlanConfig inverted;
+  inverted.worker_stall_min = microseconds(5000);
+  inverted.worker_stall_max = microseconds(1000);
+  EXPECT_THROW(fault::FaultPlan(inverted, 1), std::invalid_argument);
+}
+
+TEST(FaultPlan, WorkerKindNamesAreStable) {
+  EXPECT_STREQ(fault::to_string(fault::FaultKind::WorkerKill), "worker_kill");
+  EXPECT_STREQ(fault::to_string(fault::FaultKind::WorkerStall),
+               "worker_stall");
+  EXPECT_STREQ(fault::to_string(fault::FaultKind::LinkDrop), "link_drop");
+}
+
 // ---- backoff schedule ------------------------------------------------------
 
 TEST(Backoff, ExponentialProgressionWithoutJitterIsExact) {
