@@ -1,0 +1,421 @@
+// Closed-loop rollout economics (docs/pipeline.md): how fast a candidate
+// moves publish→canary→promoted, how many shadow-scored requests the
+// canary needs to *detect* a regression as a function of its magnitude,
+// and the rollback MTTR — verdict-fail to both fleets re-serving the
+// incumbent digest. All three ride the real machinery: ModelRegistry's
+// chained log on CheckpointStore, RolloutController's journaled state
+// machine, and BatchServer's digest-validated hot reload. --seed replays
+// any row exactly.
+
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "treu/ckpt/checkpoint.hpp"
+#include "treu/core/manifest.hpp"
+#include "treu/core/rng.hpp"
+#include "treu/nn/mlp.hpp"
+#include "treu/nn/param.hpp"
+#include "treu/pipeline/canary_server.hpp"
+#include "treu/pipeline/registry.hpp"
+#include "treu/pipeline/rollout.hpp"
+#include "treu/serve/batch_server.hpp"
+
+namespace {
+
+namespace ckpt = treu::ckpt;
+namespace nn = treu::nn;
+namespace pipeline = treu::pipeline;
+namespace serve = treu::serve;
+using treu::core::Rng;
+using treu::tensor::Matrix;
+
+constexpr std::size_t kDim = 4;
+constexpr std::size_t kClasses = 3;
+constexpr std::size_t kEval = 192;
+
+std::uint64_t g_seed = 47;  // set from --seed in main before benchmarks run
+
+using MlpSplit =
+    pipeline::CanarySplitServer<std::vector<double>, nn::ClassScores>;
+using MlpModel = MlpSplit::Model;
+
+std::vector<double> flat_weights(nn::MlpClassifier &m) {
+  auto p = m.params();
+  return nn::save_weights(std::span<nn::Param *const>(p.data(), p.size()));
+}
+
+void apply_flat(MlpModel &replica, const std::vector<double> &flat) {
+  auto &m = static_cast<nn::MlpClassifier &>(replica);
+  auto p = m.params();
+  nn::load_weights(std::span<nn::Param *const>(p.data(), p.size()), flat);
+}
+
+void apply_checkpoint(MlpModel &replica, const ckpt::TrainingCheckpoint &c) {
+  auto &m = static_cast<nn::MlpClassifier &>(replica);
+  auto p = m.params();
+  c.restore(std::span<nn::Param *const>(p.data(), p.size()), nullptr,
+            nullptr);
+}
+
+nn::Dataset make_blobs(std::size_t n, Rng &rng) {
+  nn::Dataset d;
+  d.x = Matrix(n, kDim);
+  d.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % kClasses;
+    d.y[i] = c;
+    for (std::size_t j = 0; j < kDim; ++j) {
+      d.x.at(i, j) = (j == c ? 2.5 : 0.0) + 0.5 * rng.normal();
+    }
+  }
+  return d;
+}
+
+std::vector<double> row_of(const Matrix &x, std::size_t r) {
+  std::vector<double> row(x.cols());
+  for (std::size_t j = 0; j < x.cols(); ++j) row[j] = x.at(r, j);
+  return row;
+}
+
+// One benchmark deployment: trained incumbent on primary(2)+canary(1)
+// fleets, a registry in a scratch dir, and hooks over the real reload
+// path. Same shape as the pipeline_test adapter, tuned for reuse across
+// benchmark iterations.
+struct Deployment {
+  nn::Dataset eval;
+  std::unique_ptr<nn::MlpClassifier> p0, p1, c0, scratch;
+  std::optional<MlpSplit> split;
+  std::vector<double> incumbent_flat;
+  std::string incumbent_hash;
+  std::unique_ptr<pipeline::ModelRegistry> registry;
+  std::string root;
+  std::int64_t last_rollback_us = 0;  // duration of the latest rollback hook
+
+  void init(std::uint64_t seed, const std::string &tag) {
+    root = (std::filesystem::temp_directory_path() /
+            ("treu_bench_pipeline_" + tag + "_" + std::to_string(seed)))
+               .string();
+    std::filesystem::remove_all(root);
+    std::filesystem::create_directories(root);
+
+    Rng data_rng(seed, 1);
+    eval = make_blobs(kEval, data_rng);
+    Rng m_rng(seed, 2);
+    const std::vector<std::size_t> hidden{8};
+    p0 = std::make_unique<nn::MlpClassifier>(kDim, hidden, kClasses, m_rng);
+    p1 = std::make_unique<nn::MlpClassifier>(kDim, hidden, kClasses, m_rng);
+    c0 = std::make_unique<nn::MlpClassifier>(kDim, hidden, kClasses, m_rng);
+    scratch =
+        std::make_unique<nn::MlpClassifier>(kDim, hidden, kClasses, m_rng);
+
+    nn::TrainConfig tc;
+    tc.epochs = 60;
+    tc.batch_size = 16;
+    tc.lr = 0.01;
+    Rng train_rng(seed, 3);
+    (void)p0->train(eval, tc, train_rng);
+    incumbent_flat = flat_weights(*p0);
+    incumbent_hash = p0->weight_hash();
+    apply_flat(*p1, incumbent_flat);
+    apply_flat(*c0, incumbent_flat);
+
+    serve::ServeConfig cfg;
+    cfg.max_batch_size = 8;
+    cfg.max_queue_delay = std::chrono::microseconds(200);
+    cfg.max_pending = 512;
+    split.emplace(std::vector<MlpModel *>{p0.get(), p1.get()},
+                  std::vector<MlpModel *>{c0.get()}, cfg, 0.25,
+                  0xC0FFEEULL + seed);
+    registry = std::make_unique<pipeline::ModelRegistry>(root + "/registry");
+  }
+
+  /// Candidate whose weights are the incumbent blended toward a random
+  /// model by `alpha`: alpha 0 is a no-op update, alpha 1 is fully
+  /// untrained — the regression-magnitude dial.
+  [[nodiscard]] ckpt::TrainingCheckpoint blended_candidate(
+      double alpha, std::uint64_t step, std::uint64_t salt) {
+    Rng rng(salt, step);
+    nn::MlpClassifier random(kDim, std::vector<std::size_t>{8}, kClasses,
+                             rng);
+    const std::vector<double> noise = flat_weights(random);
+    std::vector<double> flat = incumbent_flat;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      flat[i] = (1.0 - alpha) * flat[i] + alpha * noise[i];
+    }
+    apply_flat(*scratch, flat);
+    auto p = scratch->params();
+    return ckpt::TrainingCheckpoint::capture(
+        std::span<nn::Param *const>(p.data(), p.size()), nullptr, nullptr,
+        step);
+  }
+
+  [[nodiscard]] pipeline::RolloutHooks hooks() {
+    pipeline::RolloutHooks h;
+    h.start_canary = [this](const pipeline::RegistryEntry &entry) {
+      const ckpt::LoadResult lr = registry->load(entry);
+      if (!lr.ok()) return false;
+      return split
+          ->reload_canary(
+              [&](MlpModel &m) { apply_checkpoint(m, *lr.checkpoint); },
+              entry.weight_digest,
+              [this](MlpModel &m) { apply_flat(m, incumbent_flat); })
+          .ok;
+    };
+    h.score = [this](const pipeline::RegistryEntry &) {
+      pipeline::CanaryVerdict v;
+      std::uint64_t cand_ok = 0, inc_ok = 0;
+      for (std::size_t i = 0; i < eval.size(); ++i) {
+        auto in = row_of(eval.x, i);
+        auto fc = split->submit_to_canary(in);
+        auto fp = split->submit_to_primary(std::move(in));
+        if (fc.get().output.label == eval.y[i]) ++cand_ok;
+        if (fp.get().output.label == eval.y[i]) ++inc_ok;
+      }
+      v.candidate_score = static_cast<double>(cand_ok) / eval.size();
+      v.incumbent_score = static_cast<double>(inc_ok) / eval.size();
+      return v;
+    };
+    h.promote = [this](const pipeline::RegistryEntry &entry) {
+      const ckpt::LoadResult lr = registry->load(entry);
+      if (!lr.ok()) return false;
+      const auto apply = [&](MlpModel &m) {
+        apply_checkpoint(m, *lr.checkpoint);
+      };
+      const auto undo = [this](MlpModel &m) {
+        apply_flat(m, incumbent_flat);
+      };
+      if (!split->reload_primary(apply, entry.weight_digest, undo).ok) {
+        return false;
+      }
+      if (!split->reload_canary(apply, entry.weight_digest, undo).ok) {
+        return false;
+      }
+      std::vector<double> flat;
+      for (const Matrix &m : lr.checkpoint->params) {
+        flat.insert(flat.end(), m.flat().begin(), m.flat().end());
+      }
+      incumbent_flat = std::move(flat);
+      incumbent_hash = entry.weight_digest;
+      return true;
+    };
+    h.rollback = [this]() {
+      const auto start = std::chrono::steady_clock::now();
+      const auto apply = [this](MlpModel &m) {
+        apply_flat(m, incumbent_flat);
+      };
+      const bool ok = split->reload_canary(apply, incumbent_hash, apply).ok &&
+                      split->reload_primary(apply, incumbent_hash, apply).ok;
+      last_rollback_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+      return ok;
+    };
+    return h;
+  }
+
+  void teardown() {
+    if (split) split->shutdown();
+    std::filesystem::remove_all(root);
+  }
+};
+
+/// Shadow-score eval rows one at a time until the observed accuracy gap is
+/// decisive; returns how many paired requests that took (the canary's
+/// detection delay, in requests). 0 = never detected within the eval set.
+std::size_t requests_to_detect(Deployment &dep, double threshold) {
+  std::uint64_t cand_ok = 0, inc_ok = 0;
+  constexpr std::size_t kMinSample = 24;
+  for (std::size_t i = 0; i < dep.eval.size(); ++i) {
+    auto in = row_of(dep.eval.x, i);
+    auto fc = dep.split->submit_to_canary(in);
+    auto fp = dep.split->submit_to_primary(std::move(in));
+    if (fc.get().output.label == dep.eval.y[i]) ++cand_ok;
+    if (fp.get().output.label == dep.eval.y[i]) ++inc_ok;
+    const std::size_t n = i + 1;
+    if (n < kMinSample) continue;
+    const double gap = static_cast<double>(inc_ok - cand_ok) / n;
+    if (inc_ok > cand_ok && gap > threshold) return n;
+  }
+  return 0;
+}
+
+struct CycleTiming {
+  std::int64_t publish_us = 0;
+  std::int64_t cycle_us = 0;  // run_cycle wall time, publish included
+  bool promoted = false;
+};
+
+CycleTiming time_promotion_cycle(Deployment &dep,
+                                 pipeline::RolloutController &ctl,
+                                 std::uint64_t step) {
+  using clock = std::chrono::steady_clock;
+  CycleTiming t;
+  const auto candidate = dep.blended_candidate(0.0, step, g_seed);
+  const auto p0 = clock::now();
+  const auto publish = dep.registry->publish(candidate);
+  t.publish_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     clock::now() - p0)
+                     .count();
+  (void)publish;  // timing probe only; the controller publishes its own
+  const auto c0 = clock::now();
+  const auto report = ctl.run_cycle(dep.blended_candidate(0.0, step + 1,
+                                                          g_seed));
+  t.cycle_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                   clock::now() - c0)
+                   .count();
+  t.promoted = report.state == pipeline::RolloutState::Promoted;
+  return t;
+}
+
+void print_report(std::uint64_t seed) {
+  std::printf("== Pipeline rollout: latency, detection delay, MTTR ==\n");
+  std::printf("  (eval %zu, 2 primary + 1 canary replicas, seed %llu)\n",
+              kEval, static_cast<unsigned long long>(seed));
+
+  Deployment dep;
+  dep.init(seed, "report");
+  pipeline::RolloutConfig cfg;
+  cfg.max_score_regression = 0.05;
+  pipeline::RolloutController ctl(*dep.registry, dep.hooks(), cfg,
+                                  dep.root + "/rollout.journal");
+
+  const CycleTiming t = time_promotion_cycle(dep, ctl, 100);
+  std::printf("  publish (store+chain append): %8lld us\n",
+              static_cast<long long>(t.publish_us));
+  std::printf("  publish->promoted full cycle: %8lld us (%s)\n",
+              static_cast<long long>(t.cycle_us),
+              t.promoted ? "promoted" : "NOT PROMOTED");
+
+  std::printf("  canary detection delay vs regression magnitude:\n");
+  std::printf("    %7s %10s %10s %16s\n", "alpha", "cand-acc", "inc-acc",
+              "detect@requests");
+  for (const double alpha : {0.25, 0.5, 0.75, 1.0}) {
+    const auto candidate = dep.blended_candidate(alpha, 500, seed);
+    const bool loaded =
+        dep.split
+            ->reload_canary(
+                [&](MlpModel &m) { apply_checkpoint(m, candidate); },
+                candidate.weight_digest().hex(),
+                [&](MlpModel &m) { apply_flat(m, dep.incumbent_flat); })
+            .ok;
+    if (!loaded) continue;
+    std::uint64_t cand_ok = 0, inc_ok = 0;
+    for (std::size_t i = 0; i < dep.eval.size(); ++i) {
+      auto in = row_of(dep.eval.x, i);
+      auto fc = dep.split->submit_to_canary(in);
+      auto fp = dep.split->submit_to_primary(std::move(in));
+      if (fc.get().output.label == dep.eval.y[i]) ++cand_ok;
+      if (fp.get().output.label == dep.eval.y[i]) ++inc_ok;
+    }
+    const std::size_t detect = requests_to_detect(dep, cfg.max_score_regression);
+    std::printf("    %7.2f %10.3f %10.3f %16s\n", alpha,
+                static_cast<double>(cand_ok) / dep.eval.size(),
+                static_cast<double>(inc_ok) / dep.eval.size(),
+                detect == 0 ? "not detected"
+                            : std::to_string(detect).c_str());
+  }
+  // Restore the canary to the incumbent and time it: rollback MTTR.
+  const auto hooks = dep.hooks();
+  const bool rolled = hooks.rollback();
+  std::printf("  rollback MTTR (both fleets -> incumbent): %lld us (%s)\n\n",
+              static_cast<long long>(dep.last_rollback_us),
+              rolled ? "ok" : "FAILED");
+  dep.teardown();
+}
+
+void BM_PublishToPromote(benchmark::State &state) {
+  Deployment dep;
+  dep.init(g_seed, "bm_cycle");
+  pipeline::RolloutConfig cfg;
+  cfg.max_score_regression = 0.05;
+  pipeline::RolloutController ctl(*dep.registry, dep.hooks(), cfg,
+                                  dep.root + "/rollout.journal");
+  std::uint64_t step = 100;
+  for (auto _ : state) {
+    const CycleTiming t = time_promotion_cycle(dep, ctl, step);
+    step += 10;
+    state.counters["publish_us"] = static_cast<double>(t.publish_us);
+    state.counters["cycle_us"] = static_cast<double>(t.cycle_us);
+    state.counters["promoted"] = t.promoted ? 1.0 : 0.0;
+  }
+  dep.teardown();
+}
+BENCHMARK(BM_PublishToPromote)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_CanaryDetectionDelay(benchmark::State &state) {
+  const double alpha = static_cast<double>(state.range(0)) / 100.0;
+  Deployment dep;
+  dep.init(g_seed, "bm_detect_" + std::to_string(state.range(0)));
+  const auto candidate = dep.blended_candidate(alpha, 500, g_seed);
+  const bool loaded =
+      dep.split
+          ->reload_canary(
+              [&](MlpModel &m) { apply_checkpoint(m, candidate); },
+              candidate.weight_digest().hex(),
+              [&](MlpModel &m) { apply_flat(m, dep.incumbent_flat); })
+          .ok;
+  for (auto _ : state) {
+    const std::size_t detect = loaded ? requests_to_detect(dep, 0.05) : 0;
+    state.counters["detect_requests"] = static_cast<double>(detect);
+  }
+  dep.teardown();
+}
+BENCHMARK(BM_CanaryDetectionDelay)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_RollbackMttr(benchmark::State &state) {
+  Deployment dep;
+  dep.init(g_seed, "bm_mttr");
+  const auto hooks = dep.hooks();
+  const auto candidate = dep.blended_candidate(1.0, 500, g_seed);
+  for (auto _ : state) {
+    // Canary on the bad candidate, then the timed rollback.
+    (void)dep.split->reload_canary(
+        [&](MlpModel &m) { apply_checkpoint(m, candidate); },
+        candidate.weight_digest().hex(),
+        [&](MlpModel &m) { apply_flat(m, dep.incumbent_flat); });
+    const bool ok = hooks.rollback();
+    state.counters["rollback_us"] =
+        static_cast<double>(dep.last_rollback_us);
+    state.counters["ok"] = ok ? 1.0 : 0.0;
+  }
+  dep.teardown();
+}
+BENCHMARK(BM_RollbackMttr)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char **argv) {
+  const treu::bench::CommonFlags flags =
+      treu::bench::parse_common_flags(argc, argv, /*default_seed=*/47);
+  g_seed = flags.seed;
+  print_report(flags.seed);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  treu::core::Manifest manifest;
+  manifest.name = "bench_pipeline_rollout";
+  manifest.description =
+      "Closed-loop rollout: publish->promote latency, canary detection "
+      "delay vs regression magnitude, rollback MTTR";
+  manifest.set("eval_size", static_cast<std::int64_t>(kEval));
+  manifest.set("replicas", std::string("2 primary + 1 canary"));
+  manifest.set("regression_alphas", std::string("0.25,0.5,0.75,1.0"));
+  treu::bench::finish(flags, manifest);
+  return 0;
+}

@@ -41,6 +41,7 @@ else
     "$root/build/bench/bench_serve_faults"
     "$root/build/bench/bench_cluster_failover"
     "$root/build/bench/bench_compile"
+    "$root/build/bench/bench_pipeline_rollout"
   )
 fi
 

@@ -6,7 +6,7 @@
 #
 #   TREU_SOAK_SEED=<seed> <binary> --gtest_filter='<filter>'
 #
-# Usage: scripts/run_soak.sh [--suite serve|guard|cluster] [N_SEEDS] [BINARY] [BASE_SEED]
+# Usage: scripts/run_soak.sh [--suite serve|guard|cluster|pipeline] [N_SEEDS] [BINARY] [BASE_SEED]
 #   --suite   which soak tier to run (default serve):
 #               serve    serve_resilience_test, filter 'Soak.*'
 #               guard    guard_test,            filter 'GuardSoak.*'
@@ -14,6 +14,11 @@
 #                        (worker-murder storm across real processes; a
 #                        failing seed additionally preserves every worker's
 #                        stderr log and flight dump as seed-<seed>.workers/)
+#               pipeline pipeline_test,         filter 'PipelineSoak.*'
+#                        (publish->canary->promote storms under injected
+#                        crashes; a failing seed additionally preserves the
+#                        rollout journals and registry dirs — chained log +
+#                        checkpoint files — as seed-<seed>.pipeline/)
 #   N_SEEDS   how many consecutive seeds to run (default 10)
 #   BINARY    test binary (default depends on --suite)
 #   BASE_SEED first seed; run k uses BASE_SEED + k (default 1234)
@@ -48,8 +53,12 @@ case "$suite" in
     default_binary="$root/build/tests/cluster_test"
     filter='ClusterSoak.*'
     ;;
+  pipeline)
+    default_binary="$root/build/tests/pipeline_test"
+    filter='PipelineSoak.*'
+    ;;
   *)
-    echo "run_soak: unknown suite '$suite' (expected serve, guard or cluster)" >&2
+    echo "run_soak: unknown suite '$suite' (expected serve, guard, cluster or pipeline)" >&2
     exit 2
     ;;
 esac
@@ -69,10 +78,22 @@ fails=0
 scratch_log="/tmp/treu_soak_$$.log"
 scratch_flight="/tmp/treu_soak_$$.flight.json"
 scratch_workers="/tmp/treu_soak_$$.workers"
+scratch_pipeline="/tmp/treu_soak_$$.pipeline"
 for ((k = 0; k < n_seeds; ++k)); do
   seed=$((base_seed + k))
   rm -f "$scratch_flight"
-  if [ "$suite" = "cluster" ]; then
+  if [ "$suite" = "pipeline" ]; then
+    # The pipeline soak writes its rollout journals, registry logs, and
+    # checkpoint files under TREU_PIPELINE_DIR, so a failing seed's full
+    # on-disk state (the byte-identity + provenance evidence) survives.
+    rm -rf "$scratch_pipeline"
+    mkdir -p "$scratch_pipeline"
+    TREU_SOAK_SEED="$seed" TREU_FLIGHT_DUMP="$scratch_flight" \
+      TREU_PIPELINE_DIR="$scratch_pipeline" \
+      "$binary" --gtest_filter="$filter" \
+      --gtest_brief=1 >"$scratch_log" 2>&1
+    rc=$?
+  elif [ "$suite" = "cluster" ]; then
     # The cluster soak reads TREU_FLIGHT_DUMP_DIR as the fleet's log_dir:
     # every worker process writes worker-<shard>.log there and dumps its
     # own flight ring to worker-<shard>.flight.json on exit.
@@ -109,13 +130,19 @@ for ((k = 0; k < n_seeds; ++k)); do
       cp -r "$scratch_workers" "$seed_workers"
       flight_note="$flight_note; worker logs+dumps: $seed_workers/"
     fi
+    if [ "$suite" = "pipeline" ] && [ -n "$(ls -A "$scratch_pipeline" 2>/dev/null)" ]; then
+      seed_pipeline="$log_dir/seed-$seed.pipeline"
+      rm -rf "$seed_pipeline"
+      cp -r "$scratch_pipeline" "$seed_pipeline"
+      flight_note="$flight_note; rollout journals+registry: $seed_pipeline/"
+    fi
     echo "FAIL seed $seed  (replay: TREU_SOAK_SEED=$seed $binary --gtest_filter='$filter'; full log: $seed_log$flight_note)" >&2
     tail -20 "$scratch_log" >&2
     fails=$((fails + 1))
   fi
 done
 rm -f "$scratch_log" "$scratch_flight"
-rm -rf "$scratch_workers"
+rm -rf "$scratch_workers" "$scratch_pipeline"
 
 if [ "$fails" -ne 0 ]; then
   echo "run_soak: FAIL: $fails of $n_seeds $suite seed(s) failed" >&2

@@ -13,7 +13,12 @@
 // protocol, and both are subject to the store's FileInjector, so a
 // simulated crash can strand either. recover() therefore trusts nothing:
 //
-//   1. sweep *.tmp debris;
+//   1. sweep *.tmp debris — with one exception: a stranded last-good.tmp
+//      that parses as a manifest, names the newest candidate on disk, and
+//      whose named file hashes to the recorded digest is the footprint of
+//      a crash *between* the manifest temp's fsync and its rename. The
+//      write provably reached durable storage, so recovery completes the
+//      interrupted rename (roll-forward) instead of deleting the evidence;
 //   2. try the last-good manifest: if it parses, and the file it names
 //      exists, and the file's bytes hash to the recorded digest, and the
 //      container decodes clean — restore it (the fast path);
@@ -63,12 +68,16 @@ class CheckpointStore {
     std::size_t torn = 0;        // skipped: structural damage
     std::size_t corrupt = 0;     // skipped: checksum mismatch
     std::size_t tmp_cleaned = 0;  // stranded .tmp files removed
+    /// Stranded last-good.tmp manifests whose interrupted rename recovery
+    /// completed (the crash landed between temp fsync and rename).
+    std::size_t manifest_tmp_completed = 0;
 
     [[nodiscard]] bool ok() const noexcept { return checkpoint.has_value(); }
   };
 
   /// The recovery scan described above (ckpt.recover_us / ckpt.recover.*
-  /// telemetry). Side effects: sweeps *.tmp debris only.
+  /// telemetry). Side effects: sweeps *.tmp debris and rolls forward a
+  /// verifiable stranded manifest temp; touches nothing else.
   RecoverReport recover();
 
   /// Steps of the checkpoint files currently present, ascending. Lists

@@ -1,5 +1,8 @@
 #include "treu/ckpt/store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -53,6 +56,14 @@ std::optional<Manifest> parse_manifest(const std::vector<std::uint8_t> &raw) {
   // damaged either way — reject it rather than follow it.
   if (m.filename.find('/') != std::string::npos) return std::nullopt;
   return m;
+}
+
+void fsync_dir(const std::string &dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    (void)::close(fd);
+  }
 }
 
 }  // namespace
@@ -130,27 +141,65 @@ CheckpointStore::RecoverReport CheckpointStore::recover() {
   TREU_OBS_SCOPED_LATENCY_US(recover_timer, "ckpt.recover_us");
   RecoverReport report;
 
-  // Pass 1: sweep atomic-write debris and index candidate checkpoints.
+  // Pass 1: index candidate checkpoints and collect atomic-write debris.
+  // Debris handling is deferred until the candidates are known: whether a
+  // stranded manifest temp is salvageable depends on the newest step.
   std::vector<std::pair<std::uint64_t, std::string>> candidates;
+  std::vector<std::string> tmp_debris;
   std::error_code ec;
   for (const auto &entry : fs::directory_iterator(dir_, ec)) {
     if (!entry.is_regular_file(ec)) continue;
     const std::string name = entry.path().filename().string();
     if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
-      std::error_code rm_ec;
-      if (fs::remove(entry.path(), rm_ec)) ++report.tmp_cleaned;
+      tmp_debris.push_back(entry.path().string());
       continue;
     }
     if (const auto step = step_of_filename(name)) {
       candidates.emplace_back(*step, entry.path().string());
     }
   }
-  if (report.tmp_cleaned > 0) {
-    TREU_OBS_COUNTER_ADD("ckpt.recover.tmp_cleaned", report.tmp_cleaned);
-  }
 
   std::uint64_t max_step = 0;
   for (const auto &[step, path] : candidates) max_step = std::max(max_step, step);
+
+  // Sweep the debris — except a stranded last-good.tmp that is provably the
+  // fsynced-but-unrenamed manifest of the newest checkpoint on disk (a
+  // crash in the window between the temp's fsync and its rename). That one
+  // write already reached durable storage, so complete the interrupted
+  // rename instead of deleting it: the fast path below then works exactly
+  // as if the crash had landed one instruction later.
+  const std::string manifest_tmp = manifest_path() + ".tmp";
+  for (const std::string &tmp : tmp_debris) {
+    if (tmp == manifest_tmp) {
+      bool salvaged = false;
+      if (const auto raw = read_file(tmp)) {
+        if (const auto manifest = parse_manifest(*raw)) {
+          const auto manifest_step = step_of_filename(manifest->filename);
+          if (manifest_step && *manifest_step == max_step &&
+              !candidates.empty()) {
+            if (const auto bytes = read_file(dir_ + "/" + manifest->filename)) {
+              if (hex(core::sha256(*bytes)) == manifest->digest_hex) {
+                salvaged =
+                    std::rename(tmp.c_str(), manifest_path().c_str()) == 0;
+                if (salvaged) fsync_dir(dir_);
+              }
+            }
+          }
+        }
+      }
+      if (salvaged) {
+        ++report.manifest_tmp_completed;
+        TREU_OBS_COUNTER_ADD("ckpt.recover.manifest_tmp_completed", 1);
+        continue;
+      }
+      // Torn, stale, or unverifiable manifest temp: plain debris.
+    }
+    std::error_code rm_ec;
+    if (fs::remove(tmp, rm_ec)) ++report.tmp_cleaned;
+  }
+  if (report.tmp_cleaned > 0) {
+    TREU_OBS_COUNTER_ADD("ckpt.recover.tmp_cleaned", report.tmp_cleaned);
+  }
 
   // Pass 2: the last-good manifest fast path. Trust nothing in it — the
   // named file must exist, hash to the recorded digest, and decode clean.

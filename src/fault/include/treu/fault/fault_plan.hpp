@@ -43,6 +43,13 @@ struct FaultPlanConfig {
   double worker_kill_rate = 0.0;   // P(WorkerKill) per dispatch
   double worker_stall_rate = 0.0;  // P(WorkerStall) per dispatch
   double link_drop_rate = 0.0;     // P(LinkDrop) per dispatch
+  /// Pipeline-level rates: the event is a rollout decision point. Their
+  /// ladder slices sit above link_drop, so the zero defaults keep every
+  /// pre-pipeline schedule bit-identical.
+  double publish_corrupt_rate = 0.0;  // P(PublishCorrupt) per publish
+  double canary_crash_rate = 0.0;     // P(CanaryCrash) per canary entry
+  double promote_crash_rate = 0.0;    // P(PromoteCrash) per promote entry
+  double registry_torn_rate = 0.0;    // P(RegistryTorn) per log append
   /// Stall duration range (uniform per stall event).
   std::chrono::microseconds stall_min{100};
   std::chrono::microseconds stall_max{1000};
@@ -95,7 +102,7 @@ class FaultPlan final : public Injector {
   mutable std::mutex mu_;
   std::uint64_t next_event_ = 0;
   std::vector<FaultKind> history_;
-  std::array<std::uint64_t, 8> counts_{};  // indexed by FaultKind
+  std::array<std::uint64_t, 12> counts_{};  // indexed by FaultKind
 };
 
 }  // namespace treu::fault

@@ -39,6 +39,14 @@ enum class FaultKind : std::uint8_t {
   WorkerKill,    // SIGKILL the worker process mid-load
   WorkerStall,   // freeze the worker's event loop for `stall`
   LinkDrop,      // the dispatched frame vanishes on the wire
+  // Pipeline-level kinds: the event is one rollout decision point
+  // (publish / canary start / promote start), not a model call. Only
+  // treu::pipeline::RolloutController acts on these; every other consumer
+  // must treat them as None.
+  PublishCorrupt,  // rot the just-committed checkpoint bytes at rest
+  CanaryCrash,     // kill the controller right after entering Canary
+  PromoteCrash,    // kill the controller right after entering Promoting
+  RegistryTorn,    // crash mid registry-log append (torn tail record)
 };
 
 [[nodiscard]] constexpr const char *to_string(FaultKind kind) noexcept {
@@ -51,6 +59,10 @@ enum class FaultKind : std::uint8_t {
     case FaultKind::WorkerKill: return "worker_kill";
     case FaultKind::WorkerStall: return "worker_stall";
     case FaultKind::LinkDrop: return "link_drop";
+    case FaultKind::PublishCorrupt: return "publish_corrupt";
+    case FaultKind::CanaryCrash: return "canary_crash";
+    case FaultKind::PromoteCrash: return "promote_crash";
+    case FaultKind::RegistryTorn: return "registry_torn";
   }
   return "unknown";
 }

@@ -10,12 +10,16 @@ FaultPlan::FaultPlan(const FaultPlanConfig &config, std::uint64_t seed)
     : config_(config), seed_(seed) {
   if (config_.throw_rate < 0.0 || config_.stall_rate < 0.0 ||
       config_.corrupt_rate < 0.0 || config_.worker_kill_rate < 0.0 ||
-      config_.worker_stall_rate < 0.0 || config_.link_drop_rate < 0.0) {
+      config_.worker_stall_rate < 0.0 || config_.link_drop_rate < 0.0 ||
+      config_.publish_corrupt_rate < 0.0 || config_.canary_crash_rate < 0.0 ||
+      config_.promote_crash_rate < 0.0 || config_.registry_torn_rate < 0.0) {
     throw std::invalid_argument("FaultPlan: negative fault rate");
   }
   if (config_.throw_rate + config_.stall_rate + config_.corrupt_rate +
           config_.worker_kill_rate + config_.worker_stall_rate +
-          config_.link_drop_rate >
+          config_.link_drop_rate + config_.publish_corrupt_rate +
+          config_.canary_crash_rate + config_.promote_crash_rate +
+          config_.registry_torn_rate >
       1.0) {
     throw std::invalid_argument("FaultPlan: fault rates sum above 1");
   }
@@ -72,7 +76,29 @@ FaultDecision FaultPlan::at(std::uint64_t event, std::size_t replica) const {
     return d;
   }
   edge += config_.link_drop_rate;
-  if (u < edge) d.kind = FaultKind::LinkDrop;
+  if (u < edge) {
+    d.kind = FaultKind::LinkDrop;
+    return d;
+  }
+  // Pipeline slices extend the ladder above every legacy kind, so turning
+  // them on can only promote events that were previously None.
+  edge += config_.publish_corrupt_rate;
+  if (u < edge) {
+    d.kind = FaultKind::PublishCorrupt;
+    return d;
+  }
+  edge += config_.canary_crash_rate;
+  if (u < edge) {
+    d.kind = FaultKind::CanaryCrash;
+    return d;
+  }
+  edge += config_.promote_crash_rate;
+  if (u < edge) {
+    d.kind = FaultKind::PromoteCrash;
+    return d;
+  }
+  edge += config_.registry_torn_rate;
+  if (u < edge) d.kind = FaultKind::RegistryTorn;
   return d;
 }
 
@@ -107,6 +133,18 @@ FaultDecision FaultPlan::decide(std::size_t replica, std::size_t batch_size) {
       break;
     case FaultKind::LinkDrop:
       TREU_OBS_COUNTER_ADD("fault.injected.link_drop", 1);
+      break;
+    case FaultKind::PublishCorrupt:
+      TREU_OBS_COUNTER_ADD("fault.injected.pipeline_publish_corrupt", 1);
+      break;
+    case FaultKind::CanaryCrash:
+      TREU_OBS_COUNTER_ADD("fault.injected.pipeline_canary_crash", 1);
+      break;
+    case FaultKind::PromoteCrash:
+      TREU_OBS_COUNTER_ADD("fault.injected.pipeline_promote_crash", 1);
+      break;
+    case FaultKind::RegistryTorn:
+      TREU_OBS_COUNTER_ADD("fault.injected.pipeline_registry_torn", 1);
       break;
     case FaultKind::None:
       break;

@@ -109,6 +109,13 @@ enum class FrEvent : std::uint16_t {
   ClusterLinkDrop = 42,      // a = shard, b = fault-plan event index
   ClusterWorkerRecv = 43,    // worker side: a = shard, b = tenant
   ClusterWorkerReply = 44,   // worker side: a = shard, b = ok
+  // pipeline (train→deploy rollout controller)
+  PipelinePublish = 45,      // a = registry version, b = vetted (0/1)
+  PipelineCanaryStart = 46,  // a = registry version, b = cycle
+  PipelineVerdict = 47,      // a = registry version, b = pass (0/1)
+  PipelinePromote = 48,      // a = registry version, b = cycle
+  PipelineRollback = 49,     // a = incumbent version restored, b = cycle
+  PipelineResume = 50,       // a = cycle resumed, b = RolloutState resumed from
 };
 
 [[nodiscard]] const char *to_string(FrEvent kind) noexcept;

@@ -84,6 +84,12 @@ const char *to_string(FrEvent kind) noexcept {
     case FrEvent::ClusterLinkDrop: return "cluster_link_drop";
     case FrEvent::ClusterWorkerRecv: return "cluster_worker_recv";
     case FrEvent::ClusterWorkerReply: return "cluster_worker_reply";
+    case FrEvent::PipelinePublish: return "pipeline_publish";
+    case FrEvent::PipelineCanaryStart: return "pipeline_canary_start";
+    case FrEvent::PipelineVerdict: return "pipeline_verdict";
+    case FrEvent::PipelinePromote: return "pipeline_promote";
+    case FrEvent::PipelineRollback: return "pipeline_rollback";
+    case FrEvent::PipelineResume: return "pipeline_resume";
   }
   return "unknown";
 }

@@ -1,0 +1,127 @@
+#pragma once
+
+// CanarySplitServer — deterministic traffic splitting across an incumbent
+// fleet and a canary fleet.
+//
+// Routing is a pure function of (request key, salt, fraction): key k goes
+// to the canary iff mix64(k ^ mix64(salt)) falls below fraction of the
+// 64-bit space. No clocks, no counters, no randomness — the same key
+// routes the same way in every run, on every platform, which is what lets
+// a soak assert per-request provenance ("this key was answered by that
+// digest") across same-seed replays.
+//
+// Each fleet is a full serve::BatchServer, so the canary slice inherits
+// batching, backpressure, retries, breakers, and per-response weight-hash
+// provenance unchanged. Reloads go through BatchServer::reload_weights —
+// digest-validated, standby-first, rollback on mismatch — which is the
+// mechanism that makes "no request is ever served by an unvetted
+// checkpoint" enforceable: a reload to a digest the registry cannot verify
+// never commits.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "treu/serve/batch_server.hpp"
+
+namespace treu::pipeline {
+
+/// splitmix64 finalizer: a strong 64-bit bit mixer.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Pure routing predicate: does `key` fall in the canary slice?
+[[nodiscard]] constexpr bool in_canary_slice(std::uint64_t key,
+                                             std::uint64_t salt,
+                                             double fraction) noexcept {
+  if (fraction <= 0.0) return false;
+  if (fraction >= 1.0) return true;
+  const auto threshold = static_cast<std::uint64_t>(
+      fraction * 18446744073709551616.0 /* 2^64 */);
+  return mix64(key ^ mix64(salt)) < threshold;
+}
+
+template <typename In, typename Out>
+class CanarySplitServer {
+ public:
+  using Model = nn::Predictor<In, Out>;
+  using Response = serve::Served<Out>;
+
+  /// `primary` serves 1-fraction of keys, `canary` the rest. Both fleets
+  /// share one config; replica sets must be disjoint model instances.
+  CanarySplitServer(std::vector<Model *> primary, std::vector<Model *> canary,
+                    const serve::ServeConfig &config, double fraction,
+                    std::uint64_t salt)
+      : fraction_(fraction),
+        salt_(salt),
+        primary_(std::move(primary), config),
+        canary_(std::move(canary), config) {
+    if (fraction < 0.0 || fraction > 1.0) {
+      throw std::invalid_argument(
+          "CanarySplitServer: fraction outside [0,1]");
+    }
+  }
+
+  [[nodiscard]] bool routes_to_canary(std::uint64_t key) const noexcept {
+    return in_canary_slice(key, salt_, fraction_);
+  }
+
+  /// Route by key: deterministic hash split between the two fleets.
+  [[nodiscard]] std::future<Response> submit(
+      std::uint64_t key, In input,
+      serve::Priority priority = serve::Priority::Normal) {
+    return (routes_to_canary(key) ? canary_ : primary_)
+        .submit(std::move(input), priority);
+  }
+
+  /// Direct fleet access for shadow scoring: mirror the same input to both
+  /// sides regardless of routing.
+  [[nodiscard]] std::future<Response> submit_to_canary(In input) {
+    return canary_.submit(std::move(input));
+  }
+  [[nodiscard]] std::future<Response> submit_to_primary(In input) {
+    return primary_.submit(std::move(input));
+  }
+
+  serve::ReloadReport reload_canary(
+      const std::function<void(Model &)> &apply,
+      const std::string &expected_hash,
+      const std::function<void(Model &)> &rollback) {
+    return canary_.reload_weights(apply, expected_hash, rollback);
+  }
+  serve::ReloadReport reload_primary(
+      const std::function<void(Model &)> &apply,
+      const std::string &expected_hash,
+      const std::function<void(Model &)> &rollback) {
+    return primary_.reload_weights(apply, expected_hash, rollback);
+  }
+
+  [[nodiscard]] serve::ServeStats primary_stats() const {
+    return primary_.stats();
+  }
+  [[nodiscard]] serve::ServeStats canary_stats() const {
+    return canary_.stats();
+  }
+  [[nodiscard]] double fraction() const noexcept { return fraction_; }
+  [[nodiscard]] std::uint64_t salt() const noexcept { return salt_; }
+
+  void shutdown() {
+    primary_.shutdown();
+    canary_.shutdown();
+  }
+
+ private:
+  double fraction_;
+  std::uint64_t salt_;
+  serve::BatchServer<In, Out> primary_;
+  serve::BatchServer<In, Out> canary_;
+};
+
+}  // namespace treu::pipeline

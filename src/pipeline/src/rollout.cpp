@@ -1,0 +1,555 @@
+#include "treu/pipeline/rollout.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "treu/obs/obs.hpp"
+
+namespace fs = std::filesystem;
+
+namespace treu::pipeline {
+namespace {
+
+constexpr const char *kJournalHeader = "treu-rollout-journal v1";
+
+bool append_fsync(const std::string &path, const std::string &text) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  bool ok = true;
+  while (written < text.size()) {
+    const ssize_t w =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(w);
+  }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  (void)::close(fd);
+  return ok;
+}
+
+std::string fixed6(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string &digits) {
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto d = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - d) / 10) return std::nullopt;
+    value = value * 10 + d;
+  }
+  return value;
+}
+
+std::optional<std::string> field(const std::string &token,
+                                 const std::string &key) {
+  if (token.size() <= key.size() + 1) return std::nullopt;
+  if (token.compare(0, key.size(), key) != 0) return std::nullopt;
+  if (token[key.size()] != '=') return std::nullopt;
+  return token.substr(key.size() + 1);
+}
+
+std::optional<RolloutState> state_from_name(const std::string &name) {
+  if (name == "canary") return RolloutState::Canary;
+  if (name == "promoting") return RolloutState::Promoting;
+  if (name == "promoted") return RolloutState::Promoted;
+  if (name == "rolling-back") return RolloutState::RollingBack;
+  if (name == "rolled-back") return RolloutState::RolledBack;
+  return std::nullopt;
+}
+
+}  // namespace
+
+// What the journal says about where the last run stopped.
+struct RolloutController::JournalTail {
+  std::uint64_t last_cycle = 0;         // highest cycle number seen
+  bool open = false;                    // last cycle lacks a terminal line
+  std::uint64_t open_cycle = 0;
+  std::uint64_t open_version = 0;
+  RolloutState open_from = RolloutState::Idle;
+  bool open_has_verdict = false;
+  bool open_pass = false;
+  RolloutState terminal = RolloutState::Idle;  // when not open
+  std::uint64_t incumbent_version = 0;
+  std::size_t torn_lines = 0;
+  std::size_t good_bytes = 0;  // journal prefix that parsed clean
+};
+
+RolloutController::RolloutController(ModelRegistry &registry,
+                                     RolloutHooks hooks,
+                                     const RolloutConfig &config,
+                                     std::string journal_path)
+    : registry_(registry),
+      hooks_(std::move(hooks)),
+      config_(config),
+      journal_path_(std::move(journal_path)) {
+  if (!hooks_.start_canary || !hooks_.score || !hooks_.promote ||
+      !hooks_.rollback) {
+    throw std::invalid_argument("RolloutController: empty hook");
+  }
+
+  const auto raw = ckpt::read_file(journal_path_);
+  if (!raw) {
+    (void)append_fsync(journal_path_, std::string(kJournalHeader) + "\n");
+    return;
+  }
+
+  // Replay the journal. Stop at the first unparseable line (torn append or
+  // rot) and truncate to the clean prefix so the next append starts on a
+  // record boundary — the same classified-recovery posture as the registry.
+  const std::string text(raw->begin(), raw->end());
+  JournalTail tail;
+  std::unordered_map<std::uint64_t, std::uint64_t> cycle_version;
+  std::size_t start = 0;
+  bool first = true;
+  bool bad = false;
+  std::size_t remaining_lines = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      bad = true;  // dangling fragment: torn append
+      ++remaining_lines;
+      break;
+    }
+    const std::string line = text.substr(start, nl - start);
+
+    if (first) {
+      if (line != kJournalHeader) {
+        bad = true;
+        ++remaining_lines;
+        break;
+      }
+      first = false;
+      start = nl + 1;
+      tail.good_bytes = start;
+      continue;
+    }
+
+    std::istringstream in(line);
+    std::string tag;
+    in >> tag;
+    bool line_ok = false;
+    if (tag == "cycle") {
+      std::string n_tok, v_tok, step_tok, w_tok;
+      if (in >> n_tok >> v_tok >> step_tok >> w_tok) {
+        const auto n = parse_u64(n_tok);
+        const auto v = field(v_tok, "version");
+        if (n && v) {
+          if (const auto version = parse_u64(*v)) {
+            cycle_version[*n] = *version;
+            tail.last_cycle = std::max(tail.last_cycle, *n);
+            tail.open = true;
+            tail.open_cycle = *n;
+            tail.open_version = *version;
+            tail.open_from = RolloutState::Idle;
+            tail.open_has_verdict = false;
+            line_ok = true;
+          }
+        }
+      }
+    } else if (tag == "state") {
+      std::string n_tok, name;
+      if (in >> n_tok >> name) {
+        const auto n = parse_u64(n_tok);
+        const auto s = state_from_name(name);
+        if (n && s) {
+          tail.last_cycle = std::max(tail.last_cycle, *n);
+          if (*s == RolloutState::Promoted ||
+              *s == RolloutState::RolledBack) {
+            tail.open = false;
+            tail.terminal = *s;
+            if (*s == RolloutState::Promoted) {
+              tail.incumbent_version = cycle_version[*n];
+            }
+          } else {
+            tail.open = true;
+            tail.open_cycle = *n;
+            tail.open_from = *s;
+          }
+          line_ok = true;
+        }
+      }
+    } else if (tag == "verdict") {
+      std::string n_tok, cand, inc, goodput, errors, outcome;
+      if (in >> n_tok >> cand >> inc >> goodput >> errors >> outcome) {
+        const auto n = parse_u64(n_tok);
+        if (n && (outcome == "pass" || outcome == "fail")) {
+          tail.open = true;
+          tail.open_cycle = *n;
+          tail.open_from = RolloutState::Canary;
+          tail.open_has_verdict = true;
+          tail.open_pass = outcome == "pass";
+          line_ok = true;
+        }
+      }
+    } else if (tag == "rejected") {
+      std::string n_tok, rest;
+      if (in >> n_tok) {
+        const auto n = parse_u64(n_tok);
+        if (n) {
+          tail.last_cycle = std::max(tail.last_cycle, *n);
+          tail.open = false;
+          tail.terminal = RolloutState::Idle;
+          line_ok = true;
+        }
+      }
+    } else if (tag == "resume") {
+      std::string n_tok;
+      if (in >> n_tok && parse_u64(n_tok)) line_ok = true;
+    }
+
+    if (!line_ok) {
+      bad = true;
+      break;
+    }
+    start = nl + 1;
+    tail.good_bytes = start;
+  }
+  if (bad) {
+    // Count the torn tail (first bad line plus everything after it).
+    std::size_t pos = tail.good_bytes;
+    tail.torn_lines = remaining_lines;
+    while (pos < text.size()) {
+      const std::size_t nl = text.find('\n', pos);
+      ++tail.torn_lines;
+      if (nl == std::string::npos) break;
+      pos = nl + 1;
+    }
+    if (remaining_lines > 0 && tail.torn_lines > 0) {
+      --tail.torn_lines;  // the dangling fragment was counted once already
+    }
+    std::error_code ec;
+    fs::resize_file(journal_path_, tail.good_bytes, ec);
+  }
+
+  cycle_ = tail.last_cycle;
+  incumbent_version_ = tail.incumbent_version;
+  torn_journal_lines_ = tail.torn_lines;
+  if (tail.open) {
+    // open_version may come from an earlier `cycle` line of the same cycle.
+    if (tail.open_version == 0) tail.open_version = cycle_version[tail.open_cycle];
+    pending_resume_ = true;
+    pending_cycle_ = tail.open_cycle;
+    pending_version_ = tail.open_version;
+    pending_from_ = tail.open_from;
+    pending_has_verdict_ = tail.open_has_verdict;
+    pending_pass_ = tail.open_pass;
+    state_ = tail.open_from;
+  } else {
+    state_ = tail.terminal;
+  }
+}
+
+std::string RolloutController::journal_string() const {
+  const auto raw = ckpt::read_file(journal_path_);
+  if (!raw) return {};
+  return std::string(raw->begin(), raw->end());
+}
+
+bool RolloutController::journal_append(const std::string &line) {
+  return append_fsync(journal_path_, line + "\n");
+}
+
+void RolloutController::journal_state(std::uint64_t cycle, RolloutState s) {
+  (void)journal_append("state " + std::to_string(cycle) + " " +
+                       to_string(s));
+}
+
+bool RolloutController::crash_here(CrashPoint point) {
+  if (config_.crash_point != point) return false;
+  halted_ = true;
+  TREU_OBS_COUNTER_ADD("pipeline.crashes_simulated", 1);
+  return true;
+}
+
+void RolloutController::do_promote(std::uint64_t cycle,
+                                   const RegistryEntry &entry,
+                                   CycleReport *report) {
+  const bool ok = hooks_.promote(entry);
+  if (crash_here(CrashPoint::AfterPromoteApply)) {
+    if (report != nullptr) {
+      report->crashed = true;
+      report->state = state_;
+    }
+    return;
+  }
+  if (!ok) {
+    if (report != nullptr) report->error = "promote hook failed";
+    do_rollback(cycle, /*rolling_back_journaled=*/false, report);
+    return;
+  }
+  journal_state(cycle, RolloutState::Promoted);
+  state_ = RolloutState::Promoted;
+  incumbent_version_ = entry.version;
+  TREU_OBS_COUNTER_ADD("pipeline.promotions_total", 1);
+  TREU_OBS_FR_EVENT(PipelinePromote, 0, entry.version, cycle);
+  if (report != nullptr) report->state = state_;
+}
+
+void RolloutController::do_rollback(std::uint64_t cycle,
+                                    bool rolling_back_journaled,
+                                    CycleReport *report) {
+  state_ = RolloutState::RollingBack;
+  if (!rolling_back_journaled) {
+    journal_state(cycle, RolloutState::RollingBack);
+  }
+  if (crash_here(CrashPoint::AfterRollingBackEnter)) {
+    if (report != nullptr) {
+      report->crashed = true;
+      report->state = state_;
+    }
+    return;
+  }
+  if (!hooks_.rollback()) {
+    // The incumbent could not be restored: stop rather than journal a
+    // convergence that did not happen. A fresh controller retries.
+    halted_ = true;
+    if (report != nullptr) {
+      report->error = "rollback hook failed";
+      report->state = state_;
+    }
+    return;
+  }
+  journal_state(cycle, RolloutState::RolledBack);
+  state_ = RolloutState::RolledBack;
+  TREU_OBS_COUNTER_ADD("pipeline.rollbacks_total", 1);
+  TREU_OBS_FR_EVENT(PipelineRollback, 0, incumbent_version_, cycle);
+  if (report != nullptr) report->state = state_;
+}
+
+ResumeReport RolloutController::resume() {
+  ResumeReport rr;
+  rr.torn_journal_lines = torn_journal_lines_;
+  if (halted_) throw std::logic_error("RolloutController: halted");
+  if (!pending_resume_) {
+    rr.state = state_;
+    return rr;
+  }
+  rr.resumed = true;
+  rr.cycle = pending_cycle_;
+  rr.from = pending_from_;
+  const std::uint64_t n = pending_cycle_;
+
+  // Honor a durable pass verdict or promoting intent; everything earlier
+  // rolls back. The journal line names exactly what we decided.
+  bool promote_action =
+      pending_from_ == RolloutState::Promoting ||
+      (pending_has_verdict_ && pending_pass_);
+  std::string from_tag;
+  switch (pending_from_) {
+    case RolloutState::Idle: from_tag = "published"; break;
+    case RolloutState::Canary:
+      from_tag = pending_has_verdict_
+                     ? (pending_pass_ ? "verdict-pass" : "verdict-fail")
+                     : "canary";
+      break;
+    case RolloutState::Promoting: from_tag = "promoting"; break;
+    case RolloutState::RollingBack: from_tag = "rolling-back"; break;
+    default: from_tag = "unknown"; break;
+  }
+
+  std::optional<RegistryEntry> entry;
+  if (promote_action) {
+    entry = registry_.entry_for_version(pending_version_);
+    if (!entry || !registry_.verify_entry(*entry)) {
+      // The candidate vanished or rotted since the verdict: promotion is
+      // no longer provably safe, so converge the other way.
+      promote_action = false;
+    }
+  }
+
+  (void)journal_append("resume " + std::to_string(n) + " from=" + from_tag +
+                       " action=" +
+                       (promote_action ? "promote" : "rollback"));
+  TREU_OBS_COUNTER_ADD("pipeline.resumes_total", 1);
+  TREU_OBS_FR_EVENT(PipelineResume, 0, n,
+                    static_cast<std::uint64_t>(pending_from_));
+
+  pending_resume_ = false;
+  if (promote_action) {
+    if (pending_from_ != RolloutState::Promoting) {
+      state_ = RolloutState::Promoting;
+      journal_state(n, RolloutState::Promoting);
+    }
+    do_promote(n, *entry, nullptr);
+  } else {
+    do_rollback(n, pending_from_ == RolloutState::RollingBack, nullptr);
+  }
+  rr.state = state_;
+  return rr;
+}
+
+CycleReport RolloutController::run_cycle(
+    const ckpt::TrainingCheckpoint &candidate) {
+  if (halted_) throw std::logic_error("RolloutController: halted");
+  if (pending_resume_) {
+    throw std::logic_error(
+        "RolloutController: interrupted cycle pending; call resume()");
+  }
+  TREU_OBS_SPAN(cycle_span, "pipeline.cycle");
+  TREU_OBS_SCOPED_LATENCY_US(cycle_timer, "pipeline.cycle_us");
+
+  CycleReport report;
+  report.cycle = ++cycle_;
+  const std::uint64_t n = report.cycle;
+
+  // Decision point 0: publish. A plan decision of a non-pipeline kind is
+  // deliberately ignored, so a shared serving plan stays safe to pass in.
+  PublishFaults publish_faults;
+  if (config_.plan != nullptr) {
+    const fault::FaultDecision d = config_.plan->decide(0, 1);
+    if (d.kind == fault::FaultKind::PublishCorrupt) {
+      publish_faults.corrupt_file = true;
+    } else if (d.kind == fault::FaultKind::RegistryTorn) {
+      publish_faults.tear_log = true;
+    }
+  }
+
+  const ModelRegistry::PublishReport pub =
+      registry_.publish(candidate, publish_faults);
+  if (pub.torn_log) {
+    // The registry log append tore: on real hardware this is the process
+    // dying mid-write. Halt without journaling — the restarted registry's
+    // repair drops the torn record, and this cycle never happened.
+    halted_ = true;
+    --cycle_;
+    report.cycle = 0;
+    report.crashed = true;
+    report.error = pub.error;
+    report.state = state_;
+    return report;
+  }
+  if (!pub.logged) {
+    (void)journal_append("rejected " + std::to_string(n) +
+                         " version=0 reason=publish-failed");
+    state_ = RolloutState::Idle;
+    report.state = state_;
+    report.error = pub.error;
+    return report;
+  }
+  report.published = true;
+  report.entry = pub.entry;
+  report.vetted = pub.vetted;
+  if (!pub.vetted) {
+    // Chain record is durable but the container failed read-back
+    // verification (e.g. PublishCorrupt): never let it near traffic.
+    (void)journal_append("rejected " + std::to_string(n) +
+                         " version=" + std::to_string(pub.entry.version) +
+                         " reason=unvetted");
+    state_ = RolloutState::Idle;
+    report.state = state_;
+    return report;
+  }
+
+  (void)journal_append(
+      "cycle " + std::to_string(n) +
+      " version=" + std::to_string(pub.entry.version) +
+      " step=" + std::to_string(pub.entry.step) +
+      " weights=" + pub.entry.weight_digest);
+  if (crash_here(CrashPoint::AfterPublish)) {
+    report.crashed = true;
+    report.state = state_;
+    return report;
+  }
+
+  state_ = RolloutState::Canary;
+  journal_state(n, RolloutState::Canary);
+  TREU_OBS_FR_EVENT(PipelineCanaryStart, 0, pub.entry.version, n);
+  if (crash_here(CrashPoint::AfterCanaryEnter)) {
+    report.crashed = true;
+    report.state = state_;
+    return report;
+  }
+
+  const bool canary_ok = hooks_.start_canary(pub.entry);
+
+  // Decision point 1: canary. CanaryCrash kills the controller with the
+  // candidate live on the canary slice — the state resume() must undo.
+  bool injected_canary_crash = false;
+  if (config_.plan != nullptr) {
+    injected_canary_crash =
+        config_.plan->decide(1, 1).kind == fault::FaultKind::CanaryCrash;
+  }
+  if (injected_canary_crash || crash_here(CrashPoint::AfterCanaryApply)) {
+    halted_ = true;
+    report.crashed = true;
+    report.state = state_;
+    return report;
+  }
+
+  if (!canary_ok) {
+    report.error = "canary apply failed";
+    do_rollback(n, /*rolling_back_journaled=*/false, &report);
+    return report;
+  }
+
+  report.verdict = hooks_.score(pub.entry);
+  report.pass =
+      report.verdict.candidate_score + config_.max_score_regression >=
+          report.verdict.incumbent_score &&
+      report.verdict.canary_goodput >= config_.min_canary_goodput;
+  (void)journal_append(
+      "verdict " + std::to_string(n) +
+      " cand=" + fixed6(report.verdict.candidate_score) +
+      " inc=" + fixed6(report.verdict.incumbent_score) +
+      " goodput=" + fixed6(report.verdict.canary_goodput) +
+      " errors=" + std::to_string(report.verdict.canary_errors) +
+      (report.pass ? " pass" : " fail"));
+  TREU_OBS_FR_EVENT(PipelineVerdict, 0, pub.entry.version,
+                    report.pass ? 1 : 0);
+  if (crash_here(CrashPoint::AfterVerdict)) {
+    report.crashed = true;
+    report.state = state_;
+    return report;
+  }
+
+  if (!report.pass) {
+    do_rollback(n, /*rolling_back_journaled=*/false, &report);
+    return report;
+  }
+
+  state_ = RolloutState::Promoting;
+  journal_state(n, RolloutState::Promoting);
+  if (crash_here(CrashPoint::AfterPromotingEnter)) {
+    report.crashed = true;
+    report.state = state_;
+    return report;
+  }
+
+  // Decision point 2: promote. PromoteCrash lands in the nastiest window —
+  // intent journaled, fleet not yet touched.
+  bool injected_promote_crash = false;
+  if (config_.plan != nullptr) {
+    injected_promote_crash =
+        config_.plan->decide(2, 1).kind == fault::FaultKind::PromoteCrash;
+  }
+  if (injected_promote_crash) {
+    halted_ = true;
+    report.crashed = true;
+    report.state = state_;
+    return report;
+  }
+
+  do_promote(n, pub.entry, &report);
+  return report;
+}
+
+}  // namespace treu::pipeline

@@ -12,10 +12,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -432,8 +435,11 @@ TEST(CkptStore, SkipsCorruptNewestAndFallsBack) {
 }
 
 TEST(CkptStore, StaleManifestDoesNotShadowNewerCheckpoint) {
-  // Checkpoint 20 commits but its manifest update "crashes": the manifest
-  // still points at 10. Recovery must return 20 anyway.
+  // Checkpoint 20 commits but its manifest update "crashes": the committed
+  // manifest still points at 10. Recovery must return 20 anyway — and
+  // because CrashBeforeRename dies *after* the manifest temp's fsync, the
+  // stranded last-good.tmp names 20 verbatim, so recovery completes the
+  // interrupted rename and takes the fast path it re-established.
   const std::string dir = fresh_dir("stale");
   fault::FileFaultDecision crash{fault::FileFaultKind::CrashBeforeRename, 0,
                                  0};
@@ -446,7 +452,67 @@ TEST(CkptStore, StaleManifestDoesNotShadowNewerCheckpoint) {
   auto rec = store.recover();
   ASSERT_TRUE(rec.ok());
   EXPECT_EQ(rec.checkpoint->step, 20u);
-  EXPECT_FALSE(rec.used_manifest);
+  EXPECT_TRUE(rec.used_manifest);
+  EXPECT_EQ(rec.manifest_tmp_completed, 1u);
+  EXPECT_EQ(rec.tmp_cleaned, 0u);
+  // The roll-forward is durable: a second recovery reads the repaired
+  // manifest directly, with no debris left to salvage.
+  auto again = store.recover();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.checkpoint->step, 20u);
+  EXPECT_TRUE(again.used_manifest);
+  EXPECT_EQ(again.manifest_tmp_completed, 0u);
+}
+
+TEST(CkptStore, TornManifestTmpIsDebrisNotSalvage) {
+  // A manifest temp truncated mid-write (crash before its fsync finished)
+  // does not parse: recovery must clean it, never install it.
+  const std::string dir = fresh_dir("torn_manifest_tmp");
+  fault::FileFaultDecision truncate{fault::FileFaultKind::Truncate, 10, 0};
+  ScriptedInjector inj({{}, {}, {}, truncate});  // 4th write = 20's manifest
+  ckpt::CheckpointStore store(dir, &inj);
+  ASSERT_TRUE(store.write(toy_checkpoint(10)).manifest_committed);
+  const auto r20 = store.write(toy_checkpoint(20));
+  ASSERT_TRUE(r20.checkpoint_committed);
+  ASSERT_FALSE(r20.manifest_committed);
+  auto rec = store.recover();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.checkpoint->step, 20u);  // via the scan
+  EXPECT_FALSE(rec.used_manifest);       // stale manifest names 10
+  EXPECT_EQ(rec.manifest_tmp_completed, 0u);
+  EXPECT_EQ(rec.tmp_cleaned, 1u);
+  for (const auto &e : std::filesystem::directory_iterator(dir)) {
+    EXPECT_NE(e.path().extension(), ".tmp");
+  }
+}
+
+TEST(CkptStore, StaleManifestTmpIsDebrisNotSalvage) {
+  // A stranded manifest temp naming an *older* step than the newest file
+  // on disk must not be installed: rolling it forward would make the fast
+  // path shadow a newer committed checkpoint. It is debris. (The temp is
+  // handcrafted: any later successful manifest write reuses — and thus
+  // destroys — the stranded temp path, so no injector script can leave
+  // this layout behind in one store lifetime.)
+  const std::string dir = fresh_dir("stale_manifest_tmp");
+  ckpt::CheckpointStore store(dir);
+  ASSERT_TRUE(store.write(toy_checkpoint(10)).manifest_committed);
+  ASSERT_TRUE(store.write(toy_checkpoint(20)).manifest_committed);
+  const std::string old_file =
+      ckpt::CheckpointStore::filename_for_step(10);
+  const auto old_bytes = ckpt::read_file(dir + "/" + old_file);
+  ASSERT_TRUE(old_bytes.has_value());
+  {
+    std::ofstream tmp(dir + "/last-good.tmp", std::ios::binary);
+    tmp << "treu-ckpt-manifest v1\n"
+        << old_file << '\n'
+        << treu::core::sha256(*old_bytes).hex() << '\n';
+  }
+  auto rec = store.recover();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.checkpoint->step, 20u);
+  EXPECT_TRUE(rec.used_manifest);  // the committed manifest, not the temp
+  EXPECT_EQ(rec.manifest_tmp_completed, 0u);
+  EXPECT_EQ(rec.tmp_cleaned, 1u);
 }
 
 TEST(CkptStore, CleansStrandedTmpFiles) {
@@ -527,8 +593,11 @@ TEST(CkptStore, PruneSparesStaleManifestTargetOutsideKeepWindow) {
   EXPECT_EQ(store.steps(), (std::vector<std::uint64_t>{5, 6}));
   auto rec = store.recover();
   ASSERT_TRUE(rec.ok());
-  EXPECT_EQ(rec.checkpoint->step, 6u);  // newest still wins, via the scan
-  EXPECT_FALSE(rec.used_manifest);
+  EXPECT_EQ(rec.checkpoint->step, 6u);
+  // 6's manifest crashed after its temp's fsync, so recovery rolls the
+  // stranded temp forward and the fast path resolves to 6 directly.
+  EXPECT_TRUE(rec.used_manifest);
+  EXPECT_EQ(rec.manifest_tmp_completed, 1u);
 }
 
 TEST(CkptStore, FilenameStepParsingIsStrict) {
@@ -925,6 +994,90 @@ TEST(CkptReload, CorruptCheckpointRollsBackCleanlyUnderTraffic) {
   const auto stats = server.stats();
   EXPECT_EQ(stats.reloads, 0u);
   EXPECT_EQ(stats.reload_rollbacks, 1u);
+}
+
+TEST(CkptReload, ConcurrentReloadsSerializeAndNeverInterleave) {
+  // A second reload_weights call arriving while the first is still
+  // validating its standby must queue behind it — complete fleets only,
+  // never an interleaving where replicas end up on a mix of versions.
+  Rng init(61);
+  nn::MlpClassifier r0(4, {8}, 3, init);
+  nn::MlpClassifier r1(4, {8}, 3, init);
+  apply_flat(r1, flat_weights(r0));
+  const std::vector<double> v1_flat = flat_weights(r0);
+
+  Rng init_a(62);
+  nn::MlpClassifier version_a(4, {8}, 3, init_a);
+  Rng init_b(63);
+  nn::MlpClassifier version_b(4, {8}, 3, init_b);
+  const std::vector<double> a_flat = flat_weights(version_a);
+  const std::vector<double> b_flat = flat_weights(version_b);
+  const std::string a_hash = version_a.weight_hash();
+  const std::string b_hash = version_b.weight_hash();
+  ASSERT_NE(a_hash, b_hash);
+
+  serve::ServeConfig cfg;
+  MlpServer server({&r0, &r1}, cfg);
+
+  std::mutex log_mu;
+  std::vector<char> events;  // 'A'/'B': which reload touched a replica
+  const auto record = [&](char tag) {
+    std::lock_guard lock(log_mu);
+    events.push_back(tag);
+  };
+
+  // Reload A parks inside its FIRST apply (the standby, mid-validation)
+  // until the test has launched reload B and given it time to reach the
+  // reload mutex. If reloads could interleave, B's applies would land in
+  // the window A deliberately holds open.
+  std::atomic<bool> a_in_standby{false};
+  std::promise<void> b_launched;
+  std::shared_future<void> b_launched_f = b_launched.get_future().share();
+  auto a_future = std::async(std::launch::async, [&] {
+    std::size_t applied = 0;
+    return server.reload_weights(
+        [&](MlpServer::Model &m) {
+          if (applied++ == 0) {
+            a_in_standby.store(true);
+            b_launched_f.wait();
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          }
+          record('A');
+          apply_flat(m, a_flat);
+        },
+        a_hash, [&](MlpServer::Model &m) { apply_flat(m, v1_flat); });
+  });
+  while (!a_in_standby.load()) std::this_thread::yield();
+
+  auto b_future = std::async(std::launch::async, [&] {
+    return server.reload_weights(
+        [&](MlpServer::Model &m) {
+          record('B');
+          apply_flat(m, b_flat);
+        },
+        b_hash, [&](MlpServer::Model &m) { apply_flat(m, v1_flat); });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  b_launched.set_value();  // A still sleeps 100ms with B at the mutex
+
+  const auto a_report = a_future.get();
+  const auto b_report = b_future.get();
+  EXPECT_TRUE(a_report.ok) << a_report.error;
+  EXPECT_TRUE(b_report.ok) << b_report.error;
+
+  // Strictly serialized: both of A's applies before both of B's.
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(std::string(events.begin(), events.end()), "AABB");
+  // B queued behind A (it saw A's completed fleet, not v1), and the final
+  // fleet is entirely on B — deterministic last-submitted-wins.
+  EXPECT_EQ(b_report.previous_hash, a_hash);
+  EXPECT_EQ(b_report.new_hash, b_hash);
+  EXPECT_EQ(r0.weight_hash(), b_hash);
+  EXPECT_EQ(r1.weight_hash(), b_hash);
+  server.shutdown();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.reloads, 2u);
+  EXPECT_EQ(stats.reload_rollbacks, 0u);
 }
 
 TEST(CkptReload, RejectsEmptyCallbacks) {

@@ -262,6 +262,93 @@ TEST(FaultPlan, WorkerKindNamesAreStable) {
   EXPECT_STREQ(fault::to_string(fault::FaultKind::LinkDrop), "link_drop");
 }
 
+// ---- pipeline fault kinds --------------------------------------------------
+
+TEST(FaultPlan, PipelineRatesExtendTheLadderWithoutMovingLegacySlices) {
+  // Same contract as the worker kinds one level up: the pipeline slices
+  // sit ABOVE link_drop, so enabling them can only promote events that
+  // every earlier config classified None. A pre-pipeline schedule —
+  // serving faults and cluster faults alike — replays bit-identically.
+  fault::FaultPlanConfig legacy_cfg = mixed_config();
+  legacy_cfg.worker_kill_rate = 0.05;
+  legacy_cfg.worker_stall_rate = 0.05;
+  legacy_cfg.link_drop_rate = 0.05;
+  const fault::FaultPlan legacy(legacy_cfg, 33);
+  fault::FaultPlanConfig extended = legacy_cfg;
+  extended.publish_corrupt_rate = 0.05;
+  extended.canary_crash_rate = 0.05;
+  extended.promote_crash_rate = 0.05;
+  extended.registry_torn_rate = 0.05;
+  const fault::FaultPlan plan(extended, 33);
+  std::uint64_t promoted = 0;
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    const auto was = legacy.at(k, 0);
+    const auto now = plan.at(k, 0);
+    if (was.kind != fault::FaultKind::None) {
+      ASSERT_EQ(now.kind, was.kind) << "event " << k;
+      ASSERT_EQ(now.stall, was.stall) << "event " << k;
+    } else {
+      ASSERT_TRUE(now.kind == fault::FaultKind::None ||
+                  now.kind == fault::FaultKind::PublishCorrupt ||
+                  now.kind == fault::FaultKind::CanaryCrash ||
+                  now.kind == fault::FaultKind::PromoteCrash ||
+                  now.kind == fault::FaultKind::RegistryTorn)
+          << "event " << k;
+      if (now.kind != fault::FaultKind::None) ++promoted;
+    }
+  }
+  EXPECT_GT(promoted, 0u);
+}
+
+TEST(FaultPlan, PipelineRatesRoughlyHonoredAndCountsExact) {
+  fault::FaultPlanConfig cfg;
+  cfg.publish_corrupt_rate = 0.15;
+  cfg.canary_crash_rate = 0.10;
+  cfg.promote_crash_rate = 0.10;
+  cfg.registry_torn_rate = 0.05;
+  fault::FaultPlan plan(cfg, 29);
+  const int kEvents = 4000;
+  for (int i = 0; i < kEvents; ++i) (void)plan.decide(0, 1);
+  const auto hist = plan.history();
+  std::uint64_t corrupts = 0, canary = 0, promote = 0, torn = 0;
+  for (const auto k : hist) {
+    if (k == fault::FaultKind::PublishCorrupt) ++corrupts;
+    if (k == fault::FaultKind::CanaryCrash) ++canary;
+    if (k == fault::FaultKind::PromoteCrash) ++promote;
+    if (k == fault::FaultKind::RegistryTorn) ++torn;
+  }
+  EXPECT_EQ(plan.injected(fault::FaultKind::PublishCorrupt), corrupts);
+  EXPECT_EQ(plan.injected(fault::FaultKind::CanaryCrash), canary);
+  EXPECT_EQ(plan.injected(fault::FaultKind::PromoteCrash), promote);
+  EXPECT_EQ(plan.injected(fault::FaultKind::RegistryTorn), torn);
+  EXPECT_NEAR(static_cast<double>(corrupts) / kEvents, 0.15, 0.03);
+  EXPECT_NEAR(static_cast<double>(canary) / kEvents, 0.10, 0.03);
+  EXPECT_NEAR(static_cast<double>(promote) / kEvents, 0.10, 0.03);
+  EXPECT_NEAR(static_cast<double>(torn) / kEvents, 0.05, 0.02);
+}
+
+TEST(FaultPlan, RejectsInvalidPipelineConfig) {
+  fault::FaultPlanConfig negative;
+  negative.publish_corrupt_rate = -0.01;
+  EXPECT_THROW(fault::FaultPlan(negative, 1), std::invalid_argument);
+  fault::FaultPlanConfig oversum;
+  oversum.throw_rate = 0.4;
+  oversum.canary_crash_rate = 0.4;
+  oversum.registry_torn_rate = 0.3;
+  EXPECT_THROW(fault::FaultPlan(oversum, 1), std::invalid_argument);
+}
+
+TEST(FaultPlan, PipelineKindNamesAreStable) {
+  EXPECT_STREQ(fault::to_string(fault::FaultKind::PublishCorrupt),
+               "publish_corrupt");
+  EXPECT_STREQ(fault::to_string(fault::FaultKind::CanaryCrash),
+               "canary_crash");
+  EXPECT_STREQ(fault::to_string(fault::FaultKind::PromoteCrash),
+               "promote_crash");
+  EXPECT_STREQ(fault::to_string(fault::FaultKind::RegistryTorn),
+               "registry_torn");
+}
+
 // ---- backoff schedule ------------------------------------------------------
 
 TEST(Backoff, ExponentialProgressionWithoutJitterIsExact) {

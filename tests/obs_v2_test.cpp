@@ -521,6 +521,109 @@ TEST(SloMonitor, EmptyWindowNeverBreaches) {
   EXPECT_DOUBLE_EQ(monitor.current().goodput, 1.0);
 }
 
+TEST(SloMonitor, WindowRolloverDropsTheEdgeSliceExactlyOnce) {
+  // The slice that falls off the window at rollover must leave the sums
+  // completely — burn rate computed from a window that still remembers
+  // (or double-counts) the evicted edge slice would page on stale errors.
+  obs::Registry registry;
+  std::int64_t clock_us = 0;
+  obs::SloConfig config = virtual_slo_config(&clock_us);
+  config.window_slices = 2;
+  obs::SloMonitor monitor(config, registry);
+
+  // Slice 1: 5 errors. Slice 2: clean. Slice 3: 7 errors.
+  registry.counter("t.success")->add(95);
+  registry.counter("t.err")->add(5);
+  clock_us += 1000;
+  monitor.tick();
+  EXPECT_EQ(monitor.current().window_errors, 5u);
+
+  registry.counter("t.success")->add(100);
+  clock_us += 1000;
+  monitor.tick();
+  EXPECT_EQ(monitor.current().window_errors, 5u);  // slice 1 still inside
+
+  registry.counter("t.success")->add(93);
+  registry.counter("t.err")->add(7);
+  clock_us += 1000;
+  monitor.tick();
+  // Window is exactly {slice 2, slice 3}: 7 errors, not 12 (edge slice
+  // counted once on the way in, once out — never twice).
+  const obs::SloMonitor::Snapshot snap = monitor.current();
+  EXPECT_EQ(snap.window_errors, 7u);
+  EXPECT_EQ(snap.window_success, 193u);
+  EXPECT_NEAR(snap.burn_rate, (7.0 / 200.0) / 0.01, 1e-9);
+}
+
+TEST(SloMonitor, QuietTickAtRolloverContributesAZeroSlice) {
+  // A tick with no counter movement is a real (empty) slice: it must
+  // advance the window and evict the edge, not re-read the edge's delta.
+  obs::Registry registry;
+  std::int64_t clock_us = 0;
+  obs::SloConfig config = virtual_slo_config(&clock_us);
+  config.window_slices = 2;
+  obs::SloMonitor monitor(config, registry);
+
+  registry.counter("t.success")->add(40);
+  registry.counter("t.err")->add(60);
+  clock_us += 1000;
+  monitor.tick();
+  EXPECT_EQ(monitor.current().window_errors, 60u);
+
+  clock_us += 1000;
+  monitor.tick();  // quiet: window {bad, empty}
+  EXPECT_EQ(monitor.current().window_errors, 60u);
+
+  clock_us += 1000;
+  monitor.tick();  // quiet: window {empty, empty}
+  const obs::SloMonitor::Snapshot snap = monitor.current();
+  EXPECT_EQ(snap.window_errors, 0u);
+  EXPECT_EQ(snap.window_success, 0u);
+  EXPECT_DOUBLE_EQ(snap.burn_rate, 0.0);  // empty window: no stale burn
+  EXPECT_DOUBLE_EQ(snap.goodput, 1.0);
+}
+
+TEST(SloMonitor, BurnBreachClearsExactlyWindowSlicesTicksAfterTheBadSlice) {
+  // One bad slice must breach for exactly window_slices consecutive ticks
+  // (while it remains in the window) and not one tick more: an off-by-one
+  // at the rollover boundary would either page too long or clear early.
+  obs::Registry registry;
+  std::int64_t clock_us = 0;
+  obs::SloConfig config = virtual_slo_config(&clock_us);
+  config.window_slices = 3;
+  obs::SloMonitor monitor(config, registry);
+
+  // Tick 1: healthy. Tick 2: the bad slice. Ticks 3+: healthy.
+  registry.counter("t.success")->add(100);
+  clock_us += 1000;
+  monitor.tick();
+  ASSERT_TRUE(monitor.breaches().empty());
+
+  registry.counter("t.success")->add(50);
+  registry.counter("t.err")->add(50);
+  clock_us += 1000;
+  monitor.tick();
+
+  for (int s = 0; s < 4; ++s) {
+    registry.counter("t.success")->add(100);
+    clock_us += 1000;
+    monitor.tick();
+  }
+
+  // The bad slice occupies the window for ticks 2, 3, 4 — each breaches
+  // goodput and burn rate; tick 5's window {3,4,5} is clean again.
+  const std::vector<obs::SloBreach> breaches = monitor.breaches();
+  ASSERT_EQ(breaches.size(), 6u);
+  std::uint64_t first = breaches.front().slice;
+  std::uint64_t last = breaches.back().slice;
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(last, 4u);  // = bad tick + window_slices - 1, never tick 5
+  for (const obs::SloBreach &b : breaches) {
+    EXPECT_GE(b.slice, 2u);
+    EXPECT_LE(b.slice, 4u);
+  }
+}
+
 TEST(SloMonitor, BackgroundCadenceTicksWithoutRaces) {
   obs::Registry registry;
   obs::SloConfig config;
